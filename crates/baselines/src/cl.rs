@@ -1,0 +1,274 @@
+//! CL — COMET-Light (paper §4.5).
+//!
+//! Applies COMET's Estimator once, up front, to produce a *static* ranked
+//! list of `(feature, error type)` candidates, then cleans in that fixed
+//! order using the same cleaning step, revert and fallback machinery as
+//! COMET. The contrast with full COMET isolates the value of re-estimating
+//! every iteration: CL's ranking goes stale as the data changes.
+
+use crate::strategy::StrategyConfig;
+use comet_core::{
+    Budget, CleaningEnvironment, CleaningTrace, CometConfig, EnvError, Estimator, Polluter,
+    Recommender, StepAction, StepRecord,
+};
+use comet_jenga::ErrorType;
+use rand::Rng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The COMET-Light baseline.
+#[derive(Debug, Clone)]
+pub struct CometLight {
+    /// COMET configuration used for the single estimation pass (pollution
+    /// steps, combinations, Bayesian regression settings).
+    pub comet: CometConfig,
+}
+
+impl CometLight {
+    /// Build with a COMET config (its budget/cost fields are ignored; the
+    /// [`StrategyConfig`] passed to [`run`](Self::run) governs those).
+    pub fn new(comet: CometConfig) -> Self {
+        CometLight { comet }
+    }
+
+    /// Run CL to completion.
+    pub fn run<R: Rng>(
+        &self,
+        env: &mut CleaningEnvironment,
+        errors: &[ErrorType],
+        config: &StrategyConfig,
+        rng: &mut R,
+    ) -> Result<CleaningTrace, EnvError> {
+        let mut budget = Budget::new(config.budget);
+        let polluter = Polluter::from_config(&self.comet);
+        let estimator = Estimator::new(
+            self.comet.blr_degree,
+            self.comet.interval,
+            false, // one-shot estimation: nothing to bias-correct against
+        );
+        let mut recommender = Recommender::new(self.comet.use_uncertainty);
+        let mut steps_done: HashMap<(usize, ErrorType), usize> = HashMap::new();
+
+        let mut trace = CleaningTrace {
+            initial_f1: env.evaluate()?,
+            fully_clean_f1: Some(env.fully_cleaned_f1()?),
+            ..CleaningTrace::default()
+        };
+        let mut current_f1 = trace.initial_f1;
+
+        // --- The single estimation pass (this is what makes CL "light"). ---
+        let started = Instant::now();
+        let pairs = env.candidate_pairs(errors);
+        let mut ranking: Vec<((usize, ErrorType), f64)> = Vec::with_capacity(pairs.len());
+        for &(col, err) in &pairs {
+            let variants = polluter.variants(env, col, err, rng)?;
+            let estimate = estimator.estimate(env, col, err, current_f1, &variants)?;
+            let cost = config.costs.next_cost(err, 0);
+            let score = recommender.score(&estimate, cost);
+            ranking.push(((col, err), score));
+        }
+        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        let order: Vec<(usize, ErrorType)> = ranking.into_iter().map(|(p, _)| p).collect();
+        trace.iteration_runtimes.push(started.elapsed());
+
+        // --- Clean in the static order with revert/fallback. ---
+        for iteration in 0..100_000usize {
+            if budget.exhausted() {
+                break;
+            }
+            let dirty = env.candidate_pairs(errors);
+            if dirty.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+
+            for &(col, err) in order.iter().filter(|p| dirty.contains(p)) {
+                // Buffered (previously reverted) state re-applies for free.
+                if recommender.buffer_contains(col, err) {
+                    let pre = env.snapshot(col)?;
+                    let buffered = recommender.buffer_take(col, err).expect("contains");
+                    env.restore(&buffered)?;
+                    let f1 = env.evaluate()?;
+                    if f1 >= current_f1 - 1e-12 {
+                        current_f1 = f1;
+                        recommender.record_post_clean_f1(col, err, f1);
+                        trace.records.push(StepRecord {
+                            iteration,
+                            col,
+                            err,
+                            action: StepAction::BufferApplied,
+                            cost: 0.0,
+                            budget_spent: budget.spent(),
+                            predicted_f1: None,
+                            raw_predicted_f1: None,
+                            actual_f1: f1,
+                            cleaned_cells: 0,
+                        });
+                        trace.f1_curve.push((budget.spent(), f1));
+                        progressed = true;
+                        break;
+                    }
+                    env.restore(&pre)?;
+                    recommender.buffer_store(col, err, buffered);
+                    continue;
+                }
+
+                let done = steps_done.get(&(col, err)).copied().unwrap_or(0);
+                let cost = config.costs.next_cost(err, done);
+                if !budget.can_afford(cost) {
+                    continue;
+                }
+                let pre = env.snapshot(col)?;
+                let (ctr, cte) = env.clean_step(col, err, &[], &[], rng)?;
+                if ctr + cte == 0 {
+                    continue;
+                }
+                budget.try_spend(cost);
+                *steps_done.entry((col, err)).or_default() += 1;
+                let f1 = env.evaluate()?;
+                recommender.record_post_clean_f1(col, err, f1);
+
+                if f1 >= current_f1 - 1e-12 {
+                    current_f1 = f1;
+                    trace.records.push(StepRecord {
+                        iteration,
+                        col,
+                        err,
+                        action: StepAction::Accepted,
+                        cost,
+                        budget_spent: budget.spent(),
+                        predicted_f1: None,
+                        raw_predicted_f1: None,
+                        actual_f1: f1,
+                        cleaned_cells: ctr + cte,
+                    });
+                    trace.f1_curve.push((budget.spent(), f1));
+                    progressed = true;
+                    break;
+                }
+                let cleaned_state = env.snapshot(col)?;
+                env.restore(&pre)?;
+                recommender.buffer_store(col, err, cleaned_state);
+                trace.records.push(StepRecord {
+                    iteration,
+                    col,
+                    err,
+                    action: StepAction::Reverted,
+                    cost,
+                    budget_spent: budget.spent(),
+                    predicted_f1: None,
+                    raw_predicted_f1: None,
+                    actual_f1: f1,
+                    cleaned_cells: ctr + cte,
+                });
+                trace.f1_curve.push((budget.spent(), current_f1));
+            }
+
+            // Fallback: commit to the historically best candidate.
+            if !progressed {
+                let dirty_now = env.candidate_pairs(errors);
+                if let Some((col, err)) = recommender.fallback(&dirty_now) {
+                    if let Some(buffered) = recommender.buffer_take(col, err) {
+                        env.restore(&buffered)?;
+                        let f1 = env.evaluate()?;
+                        current_f1 = f1;
+                        recommender.record_post_clean_f1(col, err, f1);
+                        trace.records.push(StepRecord {
+                            iteration,
+                            col,
+                            err,
+                            action: StepAction::Fallback,
+                            cost: 0.0,
+                            budget_spent: budget.spent(),
+                            predicted_f1: None,
+                            raw_predicted_f1: None,
+                            actual_f1: f1,
+                            cleaned_cells: 0,
+                        });
+                        trace.f1_curve.push((budget.spent(), f1));
+                        progressed = true;
+                    } else {
+                        let done = steps_done.get(&(col, err)).copied().unwrap_or(0);
+                        let cost = config.costs.next_cost(err, done);
+                        if budget.can_afford(cost) {
+                            let (ctr, cte) = env.clean_step(col, err, &[], &[], rng)?;
+                            if ctr + cte > 0 {
+                                budget.try_spend(cost);
+                                *steps_done.entry((col, err)).or_default() += 1;
+                                let f1 = env.evaluate()?;
+                                current_f1 = f1;
+                                recommender.record_post_clean_f1(col, err, f1);
+                                trace.records.push(StepRecord {
+                                    iteration,
+                                    col,
+                                    err,
+                                    action: StepAction::Fallback,
+                                    cost,
+                                    budget_spent: budget.spent(),
+                                    predicted_f1: None,
+                                    raw_predicted_f1: None,
+                                    actual_f1: f1,
+                                    cleaned_cells: ctr + cte,
+                                });
+                                trace.f1_curve.push((budget.spent(), f1));
+                                progressed = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+        trace.final_f1 = current_f1;
+        Ok(trace)
+    }
+}
+
+impl Default for CometLight {
+    fn default() -> Self {
+        CometLight::new(CometConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_support::small_env;
+    use comet_ml::{Algorithm, RandomSearch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_comet() -> CometConfig {
+        CometConfig {
+            n_combinations: 1,
+            search: RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            ..CometConfig::default()
+        }
+    }
+
+    #[test]
+    fn cl_runs_and_respects_budget() {
+        let mut env = small_env(1, vec![(0, 0.3), (1, 0.2)], Algorithm::Knn);
+        let cl = CometLight::new(quick_comet());
+        let config = StrategyConfig { budget: 8.0, ..StrategyConfig::default() };
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace = cl.run(&mut env, &[ErrorType::MissingValues], &config, &mut rng).unwrap();
+        assert!(trace.total_spent() <= 8.0 + 1e-9);
+        assert!(!trace.records.is_empty());
+        // Exactly one estimation pass: one recommendation runtime entry.
+        assert_eq!(trace.iteration_runtimes.len(), 1);
+    }
+
+    #[test]
+    fn cl_fully_cleans_with_ample_budget() {
+        let mut env = small_env(2, vec![(0, 0.1), (3, 0.1)], Algorithm::Knn);
+        let cl = CometLight::new(quick_comet());
+        let config = StrategyConfig { budget: 1_000.0, ..StrategyConfig::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        cl.run(&mut env, &[ErrorType::MissingValues], &config, &mut rng).unwrap();
+        assert!(env.candidate_pairs(&[ErrorType::MissingValues]).is_empty());
+    }
+}

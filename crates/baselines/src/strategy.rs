@@ -1,0 +1,221 @@
+//! Shared strategy plumbing: configuration, the accept-always step executor
+//! used by RR/FIR/Oracle, and trace averaging for repeated runs.
+
+use comet_core::{
+    Budget, CleaningEnvironment, CleaningTrace, CostPolicy, EnvError, StepAction, StepRecord,
+};
+use comet_jenga::ErrorType;
+use rand::Rng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Budget and cost setup shared by all strategies in one experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyConfig {
+    /// Total cleaning budget.
+    pub budget: f64,
+    /// Cost policy (must match COMET's for comparability).
+    pub costs: CostPolicy,
+}
+
+impl Default for StrategyConfig {
+    fn default() -> Self {
+        StrategyConfig { budget: 50.0, costs: CostPolicy::constant() }
+    }
+}
+
+/// Run an accept-always cleaning loop where `pick` chooses the next
+/// `(feature, error type)` among the currently dirty pairs. Used by RR
+/// (random pick), FIR (static ranking pick) and Oracle (measured pick).
+pub(crate) fn execute_picks<R, F>(
+    env: &mut CleaningEnvironment,
+    errors: &[ErrorType],
+    config: &StrategyConfig,
+    mut pick: F,
+    rng: &mut R,
+) -> Result<CleaningTrace, EnvError>
+where
+    R: Rng,
+    F: FnMut(
+        &mut CleaningEnvironment,
+        &[(usize, ErrorType)],
+        &StrategyConfig,
+        &HashMap<(usize, ErrorType), usize>,
+        &mut R,
+    ) -> Result<Option<(usize, ErrorType)>, EnvError>,
+{
+    let mut budget = Budget::new(config.budget);
+    let mut steps_done: HashMap<(usize, ErrorType), usize> = HashMap::new();
+    let mut trace = CleaningTrace {
+        initial_f1: env.evaluate()?,
+        fully_clean_f1: Some(env.fully_cleaned_f1()?),
+        ..CleaningTrace::default()
+    };
+    let mut current_f1 = trace.initial_f1;
+
+    for iteration in 0..100_000usize {
+        if budget.exhausted() {
+            break;
+        }
+        let dirty = env.candidate_pairs(errors);
+        if dirty.is_empty() {
+            break;
+        }
+        let started = Instant::now();
+        let Some((col, err)) = pick(env, &dirty, config, &steps_done, rng)? else {
+            break;
+        };
+        trace.iteration_runtimes.push(started.elapsed());
+        let done = steps_done.get(&(col, err)).copied().unwrap_or(0);
+        let cost = config.costs.next_cost(err, done);
+        if !budget.can_afford(cost) {
+            // Try to find any affordable dirty pair before giving up.
+            let affordable = dirty.iter().copied().find(|&(c, e)| {
+                let d = steps_done.get(&(c, e)).copied().unwrap_or(0);
+                budget.can_afford(config.costs.next_cost(e, d))
+            });
+            match affordable {
+                Some((c, e)) => {
+                    let d = steps_done.get(&(c, e)).copied().unwrap_or(0);
+                    let cost = config.costs.next_cost(e, d);
+                    clean_and_record(
+                        env, c, e, cost, iteration, &mut budget, &mut steps_done, &mut trace,
+                        &mut current_f1, rng,
+                    )?;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        clean_and_record(
+            env, col, err, cost, iteration, &mut budget, &mut steps_done, &mut trace,
+            &mut current_f1, rng,
+        )?;
+    }
+    trace.final_f1 = current_f1;
+    Ok(trace)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn clean_and_record<R: Rng>(
+    env: &mut CleaningEnvironment,
+    col: usize,
+    err: ErrorType,
+    cost: f64,
+    iteration: usize,
+    budget: &mut Budget,
+    steps_done: &mut HashMap<(usize, ErrorType), usize>,
+    trace: &mut CleaningTrace,
+    current_f1: &mut f64,
+    rng: &mut R,
+) -> Result<(), EnvError> {
+    let (ctr, cte) = env.clean_step(col, err, &[], &[], rng)?;
+    if ctr + cte == 0 {
+        return Ok(());
+    }
+    budget.try_spend(cost);
+    *steps_done.entry((col, err)).or_default() += 1;
+    let f1 = env.evaluate()?;
+    *current_f1 = f1;
+    trace.records.push(StepRecord {
+        iteration,
+        col,
+        err,
+        action: StepAction::Accepted,
+        cost,
+        budget_spent: budget.spent(),
+        predicted_f1: None,
+        raw_predicted_f1: None,
+        actual_f1: f1,
+        cleaned_cells: ctr + cte,
+    });
+    trace.f1_curve.push((budget.spent(), f1));
+    Ok(())
+}
+
+/// Average several traces into one F1-per-budget-unit series (RR runs five
+/// repetitions, §4.5). Returns `series[b]` = mean F1 after budget `b`.
+pub fn average_traces(traces: &[CleaningTrace], max_budget: usize) -> Vec<f64> {
+    assert!(!traces.is_empty(), "need at least one trace");
+    let mut series = vec![0.0; max_budget + 1];
+    for trace in traces {
+        for (b, slot) in series.iter_mut().enumerate() {
+            *slot += trace.f1_at_budget(b as f64);
+        }
+    }
+    series.iter_mut().for_each(|v| *v /= traces.len() as f64);
+    series
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use comet_core::CleaningEnvironment;
+    use comet_frame::{train_test_split, SplitOptions};
+    use comet_jenga::{ErrorType, GroundTruth, PrePollutionPlan, Provenance, Scenario};
+    use comet_ml::{Algorithm, Metric, RandomSearch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A small pre-polluted EEG environment used across baseline tests.
+    pub fn small_env(seed: u64, levels: Vec<(usize, f64)>, algorithm: Algorithm) -> CleaningEnvironment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let df = comet_datasets::Dataset::Eeg.generate(Some(240), &mut rng);
+        let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+        let gt_train = GroundTruth::new(tt.train.clone());
+        let gt_test = GroundTruth::new(tt.test.clone());
+        let mut train = tt.train;
+        let mut test = tt.test;
+        let mut prov_train = Provenance::for_frame(&train);
+        let mut prov_test = Provenance::for_frame(&test);
+        let plan = PrePollutionPlan::explicit(
+            Scenario::SingleError(ErrorType::MissingValues),
+            levels,
+        );
+        plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
+        plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
+        CleaningEnvironment::new(
+            train,
+            test,
+            gt_train,
+            gt_test,
+            prov_train,
+            prov_test,
+            algorithm,
+            Metric::F1,
+            0.02,
+            RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            17,
+            &mut rng,
+        )
+        .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_traces_means_series() {
+        let t1 = CleaningTrace {
+            initial_f1: 0.4,
+            f1_curve: vec![(1.0, 0.6)],
+            final_f1: 0.6,
+            ..CleaningTrace::default()
+        };
+        let t2 = CleaningTrace {
+            initial_f1: 0.6,
+            f1_curve: vec![(2.0, 0.8)],
+            final_f1: 0.8,
+            ..CleaningTrace::default()
+        };
+        let avg = average_traces(&[t1, t2], 2);
+        assert_eq!(avg, vec![0.5, 0.6, 0.7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_traces_panic() {
+        average_traces(&[], 5);
+    }
+}

@@ -1,0 +1,297 @@
+//! Conjugate Bayesian linear regression (Normal–Inverse-Gamma prior).
+//!
+//! Model: `y = Xw + ε`, `ε ~ N(0, σ²)`, with conjugate prior
+//! `w | σ² ~ N(m₀, σ²V₀)`, `σ² ~ InvGamma(a₀, b₀)`.
+//!
+//! The posterior is again Normal–Inverse-Gamma and the posterior predictive
+//! at a new input `x*` is a scaled/shifted Student-t — which is exactly what
+//! COMET's Estimator needs: a point prediction for the F1 score after the
+//! next cleaning step *plus* a credible interval whose width becomes the
+//! uncertainty penalty `U(f)` in the Recommender score (paper Eq. 4).
+
+use crate::linalg::{cholesky_solve, spd_inverse, CholeskyError};
+use crate::poly::PolynomialBasis;
+use crate::student_t::StudentT;
+
+/// Hyperparameters of the Normal–Inverse-Gamma prior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlrConfig {
+    /// Polynomial degree of the basis applied to the scalar input.
+    pub degree: usize,
+    /// Prior weight variance scale: `V₀ = prior_scale · I`.
+    pub prior_scale: f64,
+    /// Inverse-gamma shape `a₀`.
+    pub a0: f64,
+    /// Inverse-gamma rate `b₀`.
+    pub b0: f64,
+    /// Credible-interval level for [`Prediction::lower`]/[`Prediction::upper`].
+    pub interval: f64,
+}
+
+impl Default for BlrConfig {
+    fn default() -> Self {
+        // Weakly informative: wide weight prior, a noise prior that admits
+        // both near-deterministic and noisy F1-vs-pollution trends.
+        BlrConfig { degree: 1, prior_scale: 100.0, a0: 1.0, b0: 1e-4, interval: 0.95 }
+    }
+}
+
+/// Posterior parameters after conditioning on data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posterior {
+    /// Posterior mean of the weights, length `d`.
+    pub mean: Vec<f64>,
+    /// Posterior covariance scale `Vₙ` (row-major `d×d`); the weight
+    /// covariance is `σ² Vₙ`.
+    pub cov_scale: Vec<f64>,
+    /// Posterior inverse-gamma shape `aₙ`.
+    pub a: f64,
+    /// Posterior inverse-gamma rate `bₙ`.
+    pub b: f64,
+    /// Number of observations conditioned on.
+    pub n: usize,
+}
+
+/// A posterior-predictive summary at one input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predictive mean.
+    pub mean: f64,
+    /// Predictive standard deviation (Student-t scale × √(ν/(ν−2)) is the
+    /// true SD for ν > 2; this field stores the *scale* parameter, which is
+    /// what interval construction uses).
+    pub scale: f64,
+    /// Lower bound of the central credible interval.
+    pub lower: f64,
+    /// Upper bound of the central credible interval.
+    pub upper: f64,
+}
+
+impl Prediction {
+    /// Interval width — the paper's uncertainty `U(f)`.
+    pub fn uncertainty(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Bayesian linear regression on a scalar input through a polynomial basis.
+#[derive(Debug, Clone)]
+pub struct BayesianLinearRegression {
+    config: BlrConfig,
+    basis: PolynomialBasis,
+    posterior: Option<Posterior>,
+}
+
+impl BayesianLinearRegression {
+    /// Create an unfitted model.
+    pub fn new(config: BlrConfig) -> Self {
+        let basis = PolynomialBasis::new(config.degree);
+        BayesianLinearRegression { config, basis, posterior: None }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BlrConfig {
+        &self.config
+    }
+
+    /// Fit the posterior from paired observations. Requires at least one
+    /// point; with fewer points than basis dimensions the prior regularizes.
+    pub fn fit(&mut self, xs: &[f64], ys: &[f64]) -> Result<&Posterior, CholeskyError> {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+        assert!(!xs.is_empty(), "need at least one observation");
+        let d = self.basis.dim();
+        let n = xs.len();
+
+        // Precision matrix: V₀⁻¹ + XᵀX, with V₀ = prior_scale · I.
+        let prior_precision = 1.0 / self.config.prior_scale;
+        let mut precision = vec![0.0; d * d];
+        for i in 0..d {
+            precision[i * d + i] = prior_precision;
+        }
+        let mut xty = vec![0.0; d];
+        let mut yty = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let phi = self.basis.expand(x);
+            for i in 0..d {
+                xty[i] += phi[i] * y;
+                for j in 0..d {
+                    precision[i * d + j] += phi[i] * phi[j];
+                }
+            }
+            yty += y * y;
+        }
+
+        // mₙ = Vₙ Xᵀy  (prior mean is zero).
+        let mean = cholesky_solve(&precision, d, &xty)?;
+        let cov_scale = spd_inverse(&precision, d)?;
+
+        // bₙ = b₀ + ½(yᵀy − mₙᵀ(V₀⁻¹ + XᵀX)mₙ); guard tiny negatives from
+        // floating-point cancellation.
+        let mut quad = 0.0;
+        for i in 0..d {
+            for j in 0..d {
+                quad += mean[i] * precision[i * d + j] * mean[j];
+            }
+        }
+        let a = self.config.a0 + n as f64 / 2.0;
+        let b = (self.config.b0 + 0.5 * (yty - quad)).max(self.config.b0 * 1e-6).max(1e-12);
+
+        self.posterior = Some(Posterior { mean, cov_scale, a, b, n });
+        Ok(self.posterior.as_ref().expect("just set"))
+    }
+
+    /// The fitted posterior, if [`fit`](Self::fit) has been called.
+    pub fn posterior(&self) -> Option<&Posterior> {
+        self.posterior.as_ref()
+    }
+
+    /// Posterior-predictive summary at input `x`. Panics if unfitted.
+    pub fn predict(&self, x: f64) -> Prediction {
+        let post = self.posterior.as_ref().expect("predict called before fit");
+        let d = self.basis.dim();
+        let phi = self.basis.expand(x);
+
+        let mut mean = 0.0;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..d {
+            mean += phi[i] * post.mean[i];
+        }
+        // x*ᵀ Vₙ x*.
+        let mut xvx = 0.0;
+        for i in 0..d {
+            for j in 0..d {
+                xvx += phi[i] * post.cov_scale[i * d + j] * phi[j];
+            }
+        }
+        let scale = ((post.b / post.a) * (1.0 + xvx)).sqrt();
+        let t = StudentT::new(2.0 * post.a);
+        let half = t.interval_half_width(self.config.interval) * scale;
+        Prediction { mean, scale, lower: mean - half, upper: mean + half }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data(n: usize, slope: f64, intercept: f64, noise: f64) -> (Vec<f64>, Vec<f64>) {
+        // Deterministic pseudo-noise so tests don't need rand.
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| intercept + slope * x + noise * ((i as f64 * 12.9898).sin()))
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_noiseless_line() {
+        let (xs, ys) = line_data(20, -0.5, 0.9, 0.0);
+        let mut blr = BayesianLinearRegression::new(BlrConfig::default());
+        let post = blr.fit(&xs, &ys).unwrap().clone();
+        // The weak prior shrinks estimates slightly toward zero.
+        assert!((post.mean[0] - 0.9).abs() < 1e-2, "intercept {}", post.mean[0]);
+        assert!((post.mean[1] + 0.5).abs() < 2e-2, "slope {}", post.mean[1]);
+        let p = blr.predict(0.5);
+        assert!((p.mean - 0.65).abs() < 1e-2);
+        // Prior shrinkage leaves small residuals even on noiseless data, so
+        // the interval is narrow but not degenerate.
+        assert!(p.uncertainty() < 0.15, "noiseless fit should be confident");
+    }
+
+    #[test]
+    fn noisy_fit_has_wider_interval() {
+        let (xs, ys) = line_data(20, -0.5, 0.9, 0.0);
+        let (_, ys_noisy) = line_data(20, -0.5, 0.9, 0.1);
+        let mut clean = BayesianLinearRegression::new(BlrConfig::default());
+        clean.fit(&xs, &ys).unwrap();
+        let mut noisy = BayesianLinearRegression::new(BlrConfig::default());
+        noisy.fit(&xs, &ys_noisy).unwrap();
+        assert!(
+            noisy.predict(0.5).uncertainty() > clean.predict(0.5).uncertainty(),
+            "noise must widen the credible interval"
+        );
+    }
+
+    #[test]
+    fn interval_shrinks_with_more_data() {
+        let (xs_small, ys_small) = line_data(4, 1.0, 0.0, 0.05);
+        let (xs_big, ys_big) = line_data(64, 1.0, 0.0, 0.05);
+        let mut small = BayesianLinearRegression::new(BlrConfig::default());
+        small.fit(&xs_small, &ys_small).unwrap();
+        let mut big = BayesianLinearRegression::new(BlrConfig::default());
+        big.fit(&xs_big, &ys_big).unwrap();
+        assert!(big.predict(0.5).uncertainty() < small.predict(0.5).uncertainty());
+    }
+
+    #[test]
+    fn extrapolation_is_less_certain_than_interpolation() {
+        let (xs, ys) = line_data(16, -1.0, 1.0, 0.02);
+        let mut blr = BayesianLinearRegression::new(BlrConfig::default());
+        blr.fit(&xs, &ys).unwrap();
+        let inside = blr.predict(0.5).uncertainty();
+        let outside = blr.predict(3.0).uncertainty();
+        assert!(outside > inside, "extrapolation {outside} <= interpolation {inside}");
+    }
+
+    #[test]
+    fn quadratic_basis_captures_curvature() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 / 30.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 - 0.3 * x - 0.5 * x * x).collect();
+        let mut blr = BayesianLinearRegression::new(BlrConfig {
+            degree: 2,
+            ..BlrConfig::default()
+        });
+        blr.fit(&xs, &ys).unwrap();
+        let p = blr.predict(0.8);
+        let want = 1.0 - 0.3 * 0.8 - 0.5 * 0.64;
+        assert!((p.mean - want).abs() < 1e-2, "{} vs {want}", p.mean);
+    }
+
+    #[test]
+    fn single_point_falls_back_to_prior_shrinkage() {
+        let mut blr = BayesianLinearRegression::new(BlrConfig::default());
+        blr.fit(&[0.0], &[0.7]).unwrap();
+        let p = blr.predict(0.0);
+        // With one point the prediction is pulled toward it but the interval
+        // must be wide.
+        assert!((p.mean - 0.7).abs() < 0.1);
+        assert!(p.uncertainty() > 0.1);
+    }
+
+    #[test]
+    fn posterior_bookkeeping() {
+        let (xs, ys) = line_data(10, 1.0, 0.0, 0.0);
+        let mut blr = BayesianLinearRegression::new(BlrConfig::default());
+        assert!(blr.posterior().is_none());
+        let post = blr.fit(&xs, &ys).unwrap();
+        assert_eq!(post.n, 10);
+        assert!((post.a - (1.0 + 5.0)).abs() < 1e-12);
+        assert!(post.b > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        BayesianLinearRegression::new(BlrConfig::default()).predict(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_inputs_panic() {
+        BayesianLinearRegression::new(BlrConfig::default())
+            .fit(&[0.0, 1.0], &[0.0])
+            .unwrap();
+    }
+
+    #[test]
+    fn prediction_uncertainty_is_interval_width() {
+        let (xs, ys) = line_data(12, 0.0, 0.5, 0.01);
+        let mut blr = BayesianLinearRegression::new(BlrConfig::default());
+        blr.fit(&xs, &ys).unwrap();
+        let p = blr.predict(0.2);
+        assert!((p.uncertainty() - (p.upper - p.lower)).abs() < 1e-15);
+        assert!(p.lower < p.mean && p.mean < p.upper);
+    }
+}

@@ -1,0 +1,187 @@
+//! Tiny dense linear algebra: Cholesky factorization and solves for the
+//! symmetric positive-definite systems that arise in (Bayesian) least
+//! squares. Matrices are row-major `Vec<f64>` with explicit dimension — the
+//! systems here are d×d with d ≤ ~5 (polynomial basis), so simplicity wins
+//! over cleverness.
+
+use std::fmt;
+
+/// Failure of a Cholesky factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// The matrix is not positive definite (or numerically singular).
+    NotPositiveDefinite { pivot: usize },
+    /// Dimension mismatch between the matrix and right-hand side.
+    DimensionMismatch,
+}
+
+impl fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CholeskyError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite at pivot {pivot}")
+            }
+            CholeskyError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Solve `A x = b` for symmetric positive-definite `A` (row-major, `d×d`).
+/// Returns the solution vector.
+pub fn cholesky_solve(a: &[f64], d: usize, b: &[f64]) -> Result<Vec<f64>, CholeskyError> {
+    if a.len() != d * d || b.len() != d {
+        return Err(CholeskyError::DimensionMismatch);
+    }
+    let l = cholesky_factor(a, d)?;
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; d];
+    for i in 0..d {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= l[i * d + j] * y[j];
+        }
+        y[i] = sum / l[i * d + i];
+    }
+    // Backward substitution: Lᵀ x = y.
+    let mut x = vec![0.0; d];
+    for i in (0..d).rev() {
+        let mut sum = y[i];
+        for j in (i + 1)..d {
+            sum -= l[j * d + i] * x[j];
+        }
+        x[i] = sum / l[i * d + i];
+    }
+    Ok(x)
+}
+
+/// Lower-triangular Cholesky factor `L` of `A = L Lᵀ` (row-major).
+pub(crate) fn cholesky_factor(a: &[f64], d: usize) -> Result<Vec<f64>, CholeskyError> {
+    let mut l = vec![0.0; d * d];
+    for i in 0..d {
+        for j in 0..=i {
+            let mut sum = a[i * d + j];
+            for k in 0..j {
+                sum -= l[i * d + k] * l[j * d + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(CholeskyError::NotPositiveDefinite { pivot: i });
+                }
+                l[i * d + j] = sum.sqrt();
+            } else {
+                l[i * d + j] = sum / l[j * d + j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Invert a symmetric positive-definite matrix by solving against the
+/// identity column by column. Returns row-major `d×d`.
+pub(crate) fn spd_inverse(a: &[f64], d: usize) -> Result<Vec<f64>, CholeskyError> {
+    let mut inv = vec![0.0; d * d];
+    let mut e = vec![0.0; d];
+    for col in 0..d {
+        e.iter_mut().for_each(|v| *v = 0.0);
+        e[col] = 1.0;
+        let x = cholesky_solve(a, d, &e)?;
+        for row in 0..d {
+            inv[row * d + col] = x[row];
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = cholesky_solve(&a, 2, &[3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] → x = [7/4, 3/2].
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let x = cholesky_solve(&a, 2, &[10.0, 8.0]).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_3x3() {
+        // A = LLᵀ with L = [[2,0,0],[1,3,0],[0.5,1,1.5]].
+        let l = [2.0, 0.0, 0.0, 1.0, 3.0, 0.0, 0.5, 1.0, 1.5];
+        let mut a = vec![0.0; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    a[i * 3 + j] += l[i * 3 + k] * l[j * 3 + k];
+                }
+            }
+        }
+        let x_true = [1.0, -2.0, 0.5];
+        let mut b = vec![0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                b[i] += a[i * 3 + j] * x_true[j];
+            }
+        }
+        let x = cholesky_solve(&a, 3, &b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
+        assert!(matches!(
+            cholesky_solve(&a, 2, &[1.0, 1.0]),
+            Err(CholeskyError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        assert_eq!(
+            cholesky_solve(&[1.0], 2, &[1.0, 2.0]),
+            Err(CholeskyError::DimensionMismatch)
+        );
+        assert_eq!(
+            cholesky_solve(&[1.0, 0.0, 0.0, 1.0], 2, &[1.0]),
+            Err(CholeskyError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn inverse_of_spd() {
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let inv = spd_inverse(&a, 2).unwrap();
+        // A * A⁻¹ = I.
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut v = 0.0;
+                for k in 0..2 {
+                    v += a[i * 2 + k] * inv[k * 2 + j];
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((v - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CholeskyError::NotPositiveDefinite { pivot: 1 }
+            .to_string()
+            .contains("pivot 1"));
+        assert!(CholeskyError::DimensionMismatch.to_string().contains("mismatch"));
+    }
+}

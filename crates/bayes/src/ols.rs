@@ -1,0 +1,114 @@
+//! Ordinary least squares on a polynomial basis — the frequentist
+//! counterpart of [`crate::BayesianLinearRegression`], used as a numerical
+//! cross-check and by ablation benchmarks (Score without uncertainty).
+
+use crate::linalg::{cholesky_solve, CholeskyError};
+use crate::poly::PolynomialBasis;
+
+/// Ordinary least squares fit of `y` on `[1, x, …, x^degree]` with a small
+/// ridge term for numerical stability.
+#[derive(Debug, Clone)]
+pub struct Ols {
+    basis: PolynomialBasis,
+    ridge: f64,
+    weights: Option<Vec<f64>>,
+}
+
+impl Ols {
+    /// Create an unfitted model of the given polynomial degree.
+    pub fn new(degree: usize) -> Self {
+        Ols { basis: PolynomialBasis::new(degree), ridge: 1e-9, weights: None }
+    }
+
+    /// Fit the weights by solving the (ridge-stabilized) normal equations.
+    pub fn fit(&mut self, xs: &[f64], ys: &[f64]) -> Result<&[f64], CholeskyError> {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+        assert!(!xs.is_empty(), "need at least one observation");
+        let d = self.basis.dim();
+        let mut xtx = vec![0.0; d * d];
+        let mut xty = vec![0.0; d];
+        for (&x, &y) in xs.iter().zip(ys) {
+            let phi = self.basis.expand(x);
+            for i in 0..d {
+                xty[i] += phi[i] * y;
+                for j in 0..d {
+                    xtx[i * d + j] += phi[i] * phi[j];
+                }
+            }
+        }
+        for i in 0..d {
+            xtx[i * d + i] += self.ridge;
+        }
+        let w = cholesky_solve(&xtx, d, &xty)?;
+        self.weights = Some(w);
+        Ok(self.weights.as_deref().expect("just set"))
+    }
+
+    /// Fitted weights (intercept first).
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Predict at `x`. Panics if unfitted.
+    pub fn predict(&self, x: f64) -> f64 {
+        let w = self.weights.as_ref().expect("predict called before fit");
+        self.basis
+            .expand(x)
+            .iter()
+            .zip(w)
+            .map(|(phi, wi)| phi * wi)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0]; // y = 1 + 2x
+        let mut ols = Ols::new(1);
+        let w = ols.fit(&xs, &ys).unwrap().to_vec();
+        assert!((w[0] - 1.0).abs() < 1e-6);
+        assert!((w[1] - 2.0).abs() < 1e-6);
+        assert!((ols.predict(10.0) - 21.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn least_squares_of_inconsistent_data() {
+        // y = x with one outlier pulls slope below 1 slightly; the residual
+        // sum must be minimal — check against hand-derived solution for
+        // xs = [0,1,2], ys = [0,1,5]: slope = 2.5, intercept = -1/2... compute:
+        // Sxx=5, Sx=3, Sy=6, Sxy=11, n=3 → slope=(3*11-3*6)/(3*5-9)=15/6=2.5,
+        // intercept=(6-2.5*3)/3=-0.5.
+        let mut ols = Ols::new(1);
+        ols.fit(&[0.0, 1.0, 2.0], &[0.0, 1.0, 5.0]).unwrap();
+        let w = ols.weights().unwrap();
+        assert!((w[1] - 2.5).abs() < 1e-6);
+        assert!((w[0] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn agrees_with_blr_mean_for_weak_prior() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 - 0.1 * x).collect();
+        let mut ols = Ols::new(1);
+        ols.fit(&xs, &ys).unwrap();
+        let mut blr = crate::BayesianLinearRegression::new(crate::BlrConfig {
+            prior_scale: 1e6,
+            ..crate::BlrConfig::default()
+        });
+        blr.fit(&xs, &ys).unwrap();
+        for x in [0.0, 5.0, 20.0] {
+            assert!((ols.predict(x) - blr.predict(x).mean).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_unfitted_panics() {
+        Ols::new(1).predict(0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion benchmark of COMET configuration ablations: wall-clock cost of
+//! one full (small) cleaning session under each design-choice toggle. The
+//! quality side of the ablation lives in the `ablation` binary; this
+//! measures the *runtime* impact (e.g. extra pollution steps and
+//! combinations multiply evaluation count).
+
+use comet_core::{CleaningEnvironment, CleaningSession, CometConfig};
+use comet_datasets::Dataset;
+use comet_frame::{train_test_split, SplitOptions};
+use comet_jenga::{ErrorType, GroundTruth, PrePollutionPlan, Provenance, Scenario};
+use comet_ml::{Algorithm, Metric, RandomSearch};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn build_env() -> CleaningEnvironment {
+    let mut rng = StdRng::seed_from_u64(1);
+    let df = Dataset::Eeg.generate(Some(200), &mut rng);
+    let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+    let gt_train = GroundTruth::new(tt.train.clone());
+    let gt_test = GroundTruth::new(tt.test.clone());
+    let mut train = tt.train;
+    let mut test = tt.test;
+    let mut prov_train = Provenance::for_frame(&train);
+    let mut prov_test = Provenance::for_frame(&test);
+    let plan = PrePollutionPlan::explicit(
+        Scenario::SingleError(ErrorType::MissingValues),
+        vec![(0, 0.3), (1, 0.2)],
+    );
+    plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
+    plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
+    CleaningEnvironment::new(
+        train,
+        test,
+        gt_train,
+        gt_test,
+        prov_train,
+        prov_test,
+        Algorithm::Knn,
+        Metric::F1,
+        0.02,
+        RandomSearch { n_samples: 1, ..RandomSearch::default() },
+        2,
+        &mut rng,
+    )
+    .unwrap()
+}
+
+fn bench_session_variants(c: &mut Criterion) {
+    let env = build_env();
+    let base = CometConfig { budget: 3.0, ..CometConfig::default() };
+    let variants: Vec<(&str, CometConfig)> = vec![
+        ("full", base),
+        ("no_uncertainty", CometConfig { use_uncertainty: false, ..base }),
+        ("one_combination", CometConfig { n_combinations: 1, ..base }),
+        ("four_steps", CometConfig { pollution_steps: 4, ..base }),
+        ("no_revert", CometConfig { revert_on_decrease: false, ..base }),
+    ];
+    let mut group = c.benchmark_group("comet_session_ablation");
+    group.sample_size(10);
+    for (name, config) in variants {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || (env.clone(), StdRng::seed_from_u64(3)),
+                |(mut env, mut rng)| {
+                    let session =
+                        CleaningSession::new(config, vec![ErrorType::MissingValues]);
+                    black_box(session.run(&mut env, &mut rng).unwrap());
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).without_plots();
+    targets = bench_session_variants
+}
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Criterion microbenchmarks for the building blocks every experiment
+//! exercises: error injection, featurization, learner training, Bayesian
+//! regression, Shapley values, and one full COMET estimate.
+
+use comet_bayes::{BayesianLinearRegression, BlrConfig, StudentT};
+use comet_core::{CleaningEnvironment, Estimator, Polluter};
+use comet_datasets::Dataset;
+use comet_frame::{train_test_split, SplitOptions};
+use comet_jenga::{inject, sample_rows, ErrorType, GroundTruth, Provenance};
+use comet_ml::shapley::{column_means, shapley_importance, ShapleyConfig};
+use comet_ml::{Algorithm, Featurizer, Metric, RandomSearch};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_injection(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let df = Dataset::Eeg.generate(Some(1_000), &mut rng);
+    let mut group = c.benchmark_group("injection");
+    group.sample_size(30);
+    for err in [ErrorType::MissingValues, ErrorType::GaussianNoise, ErrorType::Scaling] {
+        group.bench_function(err.abbrev(), |b| {
+            b.iter_batched(
+                || (df.clone(), StdRng::seed_from_u64(2)),
+                |(mut frame, mut rng)| {
+                    let rows = sample_rows(frame.nrows(), 100, &mut rng);
+                    black_box(inject(&mut frame, 0, &rows, err, &mut rng).unwrap());
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_featurizer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let df = Dataset::Churn.generate(Some(1_000), &mut rng);
+    c.bench_function("featurizer/fit_transform_churn_1k", |b| {
+        b.iter(|| {
+            let f = Featurizer::fit(black_box(&df)).unwrap();
+            black_box(f.transform(&df).unwrap());
+        })
+    });
+}
+
+fn bench_learners(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let df = Dataset::Eeg.generate(Some(500), &mut rng);
+    let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+    let (_, xtr, xte) = Featurizer::fit_transform(&tt.train, &tt.test).unwrap();
+    let ytr = tt.train.label_codes().unwrap();
+
+    let mut group = c.benchmark_group("learner_fit_predict");
+    group.sample_size(10);
+    for algorithm in Algorithm::ALL {
+        group.bench_function(algorithm.name(), |b| {
+            b.iter(|| {
+                let mut model = algorithm.default_params().build();
+                let mut rng = StdRng::seed_from_u64(5);
+                model.fit(black_box(&xtr), &ytr, 2, &mut rng);
+                black_box(model.predict(&xte));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bayes(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..5).map(|i| i as f64).collect();
+    let ys = vec![0.9, 0.87, 0.85, 0.84, 0.80];
+    c.bench_function("bayes/blr_fit_predict", |b| {
+        b.iter(|| {
+            let mut blr = BayesianLinearRegression::new(BlrConfig::default());
+            blr.fit(black_box(&xs), black_box(&ys)).unwrap();
+            black_box(blr.predict(-1.0));
+        })
+    });
+    c.bench_function("bayes/student_t_quantile", |b| {
+        b.iter(|| black_box(StudentT::new(7.0).quantile(black_box(0.975))))
+    });
+}
+
+fn bench_shapley(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let df = Dataset::Eeg.generate(Some(300), &mut rng);
+    let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+    let (featurizer, xtr, xte) = Featurizer::fit_transform(&tt.train, &tt.test).unwrap();
+    let ytr = tt.train.label_codes().unwrap();
+    let yte = tt.test.label_codes().unwrap();
+    let mut model = Algorithm::Knn.default_params().build();
+    model.fit(&xtr, &ytr, 2, &mut rng);
+    let bg = column_means(&xtr);
+    c.bench_function("shapley/knn_eeg_300_2perm", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(shapley_importance(
+                model.as_ref(),
+                &xte,
+                &yte,
+                2,
+                featurizer.groups(),
+                &bg,
+                ShapleyConfig { n_permutations: 2, metric: Metric::F1 },
+                &mut rng,
+            ));
+        })
+    });
+}
+
+fn bench_comet_estimate(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let df = Dataset::Eeg.generate(Some(300), &mut rng);
+    let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+    let gt_train = GroundTruth::new(tt.train.clone());
+    let gt_test = GroundTruth::new(tt.test.clone());
+    let env = CleaningEnvironment::new(
+        tt.train.clone(),
+        tt.test.clone(),
+        gt_train,
+        gt_test,
+        Provenance::for_frame(&tt.train),
+        Provenance::for_frame(&tt.test),
+        Algorithm::Knn,
+        Metric::F1,
+        0.01,
+        RandomSearch { n_samples: 1, ..RandomSearch::default() },
+        9,
+        &mut rng,
+    )
+    .unwrap();
+    let current = env.evaluate().unwrap();
+    let polluter = Polluter::new(2, 2);
+    let estimator = Estimator::new(1, 0.95, true);
+    c.bench_function("comet/estimate_one_candidate", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(10);
+            let variants = polluter
+                .variants(&env, 0, ErrorType::GaussianNoise, &mut rng)
+                .unwrap();
+            black_box(
+                estimator
+                    .estimate(&env, 0, ErrorType::GaussianNoise, current, &variants)
+                    .unwrap(),
+            );
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).without_plots();
+    targets = bench_injection, bench_featurizer, bench_learners, bench_bayes,
+              bench_shapley, bench_comet_estimate
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation study — the design choices DESIGN.md calls out, each switched
+//! off individually against full COMET (single-error missing values,
+//! constant costs):
+//!
+//! * `no_uncertainty`  — Score = gain/cost (drops the `−U(f)` term of Eq. 4),
+//! * `no_bias_corr`    — no per-feature discrepancy correction (§3.3),
+//! * `no_revert`       — keep every cleaning step, never buffer,
+//! * `no_fallback`     — stop when no candidate is predicted positive,
+//! * `one_combination` — a single Polluter cell combination per level,
+//! * `four_steps`      — four instead of two probe pollution steps.
+//!
+//! Reported: mean final F1 per dataset (higher is better), full COMET first.
+
+use comet_bench::{build_prepolluted_env, ExperimentOpts, MatrixTable};
+use comet_core::{CleaningSession, CometConfig, CostPolicy};
+use comet_jenga::{ErrorType, Scenario};
+use comet_ml::Algorithm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn variants(base: CometConfig) -> Vec<(&'static str, CometConfig)> {
+    vec![
+        ("full", base),
+        ("no_uncertainty", CometConfig { use_uncertainty: false, ..base }),
+        ("no_bias_corr", CometConfig { bias_correction: false, ..base }),
+        ("no_revert", CometConfig { revert_on_decrease: false, ..base }),
+        ("no_fallback", CometConfig { fallback: false, ..base }),
+        ("one_combination", CometConfig { n_combinations: 1, ..base }),
+        ("four_steps", CometConfig { pollution_steps: 4, ..base }),
+    ]
+}
+
+fn main() {
+    let mut opts = ExperimentOpts::from_env();
+    if opts.quick {
+        opts.settings = opts.settings.min(2);
+    }
+    let algorithm = opts.algorithm_or(Algorithm::Knn);
+    let datasets = [comet_datasets::Dataset::Eeg, comet_datasets::Dataset::Cmc];
+    let err = ErrorType::MissingValues;
+    let base = CometConfig {
+        budget: opts.budget,
+        costs: CostPolicy::constant(),
+        n_combinations: opts.combos,
+        ..CometConfig::default()
+    };
+    let names: Vec<String> = variants(base).iter().map(|(n, _)| n.to_string()).collect();
+
+    println!("Ablation: COMET design choices, {algorithm}, missing values\n");
+    let mut table = MatrixTable::new(
+        "ablation_final_f1",
+        names.clone(),
+        datasets.iter().map(|d| d.to_string()).collect(),
+    );
+
+    for &dataset in &datasets {
+        for (variant_name, config) in variants(base) {
+            let mut finals: Vec<f64> = Vec::new();
+            for setting in 0..opts.settings {
+                let setup = build_prepolluted_env(
+                    dataset,
+                    algorithm,
+                    Scenario::SingleError(err),
+                    setting,
+                    &opts,
+                )
+                .unwrap_or_else(|e| panic!("{dataset}: {e}"));
+                let session = CleaningSession::new(config, vec![err]);
+                let mut env = setup.env.clone();
+                let mut rng = StdRng::seed_from_u64(
+                    opts.child_seed(&format!("ablation-{variant_name}"), setting as u64),
+                );
+                let outcome = session.run(&mut env, &mut rng).expect("session");
+                finals.push(outcome.trace.final_f1);
+            }
+            let mean = finals.iter().sum::<f64>() / finals.len() as f64;
+            table.set(variant_name, &dataset.to_string(), mean);
+        }
+        eprintln!("  [ablation] {dataset} done");
+    }
+    table.emit(&opts.out_dir).expect("emit ablation");
+}

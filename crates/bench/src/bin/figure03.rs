@@ -1,0 +1,41 @@
+//! Figure 3 (and appendix Figures 13–15 via `--algo mlp|knn|gb`):
+//! COMET vs FIR/RR/CL across **multiple error types and diverse cost
+//! functions** on the four pre-polluted datasets.
+//!
+//! Paper expectation: the `adv_vs_*` series are predominantly positive —
+//! COMET outperforms all three baselines, with the diverse cost functions
+//! (one-shot MV, linear GN) punishing the baselines' suboptimal choices.
+
+use comet_bench::{dataset_advantage_table, ExperimentOpts, Source, Strategy};
+use comet_core::CostPolicy;
+use comet_datasets::Dataset;
+use comet_jenga::Scenario;
+use comet_ml::Algorithm;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let algorithm = opts.algorithm_or(Algorithm::Svm);
+    let baselines = [Strategy::Fir, Strategy::Rr, Strategy::Cl];
+    println!(
+        "Figure 3: COMET vs FIR/RR/CL, multi-error + diverse cost functions, {algorithm}\n"
+    );
+    for dataset in Dataset::PREPOLLUTED {
+        let name = format!(
+            "figure03_{}_{}",
+            algorithm.name().to_lowercase(),
+            dataset.spec().name.to_lowercase().replace('-', "")
+        );
+        let table = dataset_advantage_table(
+            name,
+            Source::Prepolluted(Scenario::MultiError),
+            dataset,
+            algorithm,
+            &baselines,
+            CostPolicy::paper_multi(),
+            &opts,
+        )
+        .unwrap_or_else(|e| panic!("{dataset}: {e}"));
+        table.emit(&opts.out_dir).expect("emit table");
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 5 (and appendix Figures 18/20/22 via `--algo gb|knn|svm`):
+//! COMET vs FIR/RR/CL per **single error type** on the pre-polluted
+//! datasets, MLP by default (the paper's worst case for COMET), constant
+//! costs.
+//!
+//! Paper expectation: positive advantage in most budget cells; strongest
+//! for categorical shift and missing values, smaller for Gaussian noise
+//! and scaling; occasional dips (e.g. CMC/GN) are normal.
+
+use comet_bench::{applicable, dataset_advantage_table, ExperimentOpts, Source, Strategy};
+use comet_core::CostPolicy;
+use comet_datasets::Dataset;
+use comet_jenga::{ErrorType, Scenario};
+use comet_ml::Algorithm;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let algorithm = opts.algorithm_or(Algorithm::Mlp);
+    let baselines = [Strategy::Fir, Strategy::Rr, Strategy::Cl];
+    println!("Figure 5: COMET vs FIR/RR/CL per error type, {algorithm}\n");
+    for err in ErrorType::ALL {
+        for dataset in Dataset::PREPOLLUTED {
+            if !applicable(dataset, err) {
+                println!(
+                    "-- {dataset} has no features for {err}; skipped (paper §4.3) --\n"
+                );
+                continue;
+            }
+            let name = format!(
+                "figure05_{}_{}_{}",
+                algorithm.name().to_lowercase(),
+                err.abbrev().to_lowercase(),
+                dataset.spec().name.to_lowercase().replace('-', "")
+            );
+            let table = dataset_advantage_table(
+                name,
+                Source::Prepolluted(Scenario::SingleError(err)),
+                dataset,
+                algorithm,
+                &baselines,
+                CostPolicy::constant(),
+                &opts,
+            )
+            .unwrap_or_else(|e| panic!("{dataset}/{err}: {e}"));
+            table.emit(&opts.out_dir).expect("emit table");
+            println!();
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 6 (and appendix Figures 19/21/23 via `--algo gb|knn|svm`):
+//! COMET vs FIR/RR/CL on the **CleanML datasets** with their documented
+//! error types (Airbnb: scaling, Credit: scaling [+MV], Titanic: missing
+//! values), MLP by default.
+
+use comet_bench::{dataset_advantage_table, ExperimentOpts, Source, Strategy};
+use comet_core::CostPolicy;
+use comet_datasets::Dataset;
+use comet_ml::Algorithm;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let algorithm = opts.algorithm_or(Algorithm::Mlp);
+    let baselines = [Strategy::Fir, Strategy::Rr, Strategy::Cl];
+    println!("Figure 6: COMET vs FIR/RR/CL on CleanML datasets, {algorithm}\n");
+    for dataset in Dataset::CLEANML {
+        let errors: Vec<String> = dataset
+            .spec()
+            .cleanml_errors
+            .iter()
+            .map(|e| e.abbrev().to_lowercase())
+            .collect();
+        let name = format!(
+            "figure06_{}_{}_{}",
+            algorithm.name().to_lowercase(),
+            dataset.spec().name.to_lowercase(),
+            errors.join("_")
+        );
+        let table = dataset_advantage_table(
+            name,
+            Source::CleanMl,
+            dataset,
+            algorithm,
+            &baselines,
+            CostPolicy::constant(),
+            &opts,
+        )
+        .unwrap_or_else(|e| panic!("{dataset}: {e}"));
+        table.emit(&opts.out_dir).expect("emit table");
+        println!();
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 8 (and appendix Figures 24/26 via `--algo lir|lor`):
+//! COMET vs ActiveClean per **single error type** on the pre-polluted
+//! datasets, AC-SVM by default, constant costs.
+//!
+//! Paper expectation: large positive advantages (up to ~40 %pt), with AC
+//! erratic; occasional AC wins on EEG/CMC.
+
+use comet_bench::{applicable, dataset_advantage_table, ExperimentOpts, Source, Strategy};
+use comet_core::CostPolicy;
+use comet_datasets::Dataset;
+use comet_jenga::{ErrorType, Scenario};
+use comet_ml::Algorithm;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let algorithm = opts.algorithm_or(Algorithm::Svm);
+    assert!(
+        algorithm.is_convex_linear(),
+        "ActiveClean supports SVM/LOR/LIR only (paper §4.5)"
+    );
+    println!("Figure 8: COMET vs AC per error type, {algorithm}\n");
+    for err in ErrorType::ALL {
+        for dataset in Dataset::PREPOLLUTED {
+            if !applicable(dataset, err) {
+                println!("-- {dataset} has no features for {err}; skipped --\n");
+                continue;
+            }
+            let name = format!(
+                "figure08_{}_{}_{}",
+                algorithm.name().to_lowercase(),
+                err.abbrev().to_lowercase(),
+                dataset.spec().name.to_lowercase().replace('-', "")
+            );
+            let table = dataset_advantage_table(
+                name,
+                Source::Prepolluted(Scenario::SingleError(err)),
+                dataset,
+                algorithm,
+                &[Strategy::Ac],
+                CostPolicy::constant(),
+                &opts,
+            )
+            .unwrap_or_else(|e| panic!("{dataset}/{err}: {e}"));
+            table.emit(&opts.out_dir).expect("emit table");
+            println!();
+        }
+    }
+}

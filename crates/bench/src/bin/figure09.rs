@@ -1,0 +1,43 @@
+//! Figure 9 (and appendix Figures 25/27 via `--algo lir|lor`):
+//! COMET vs ActiveClean on the **CleanML datasets**, AC-SVM by default.
+
+use comet_bench::{dataset_advantage_table, ExperimentOpts, Source, Strategy};
+use comet_core::CostPolicy;
+use comet_datasets::Dataset;
+use comet_ml::Algorithm;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let algorithm = opts.algorithm_or(Algorithm::Svm);
+    assert!(
+        algorithm.is_convex_linear(),
+        "ActiveClean supports SVM/LOR/LIR only (paper §4.5)"
+    );
+    println!("Figure 9: COMET vs AC on CleanML datasets, {algorithm}\n");
+    for dataset in Dataset::CLEANML {
+        let errors: Vec<String> = dataset
+            .spec()
+            .cleanml_errors
+            .iter()
+            .map(|e| e.abbrev().to_lowercase())
+            .collect();
+        let name = format!(
+            "figure09_{}_{}_{}",
+            algorithm.name().to_lowercase(),
+            dataset.spec().name.to_lowercase(),
+            errors.join("_")
+        );
+        let table = dataset_advantage_table(
+            name,
+            Source::CleanMl,
+            dataset,
+            algorithm,
+            &[Strategy::Ac],
+            CostPolicy::constant(),
+            &opts,
+        )
+        .unwrap_or_else(|e| panic!("{dataset}: {e}"));
+        table.emit(&opts.out_dir).expect("emit table");
+        println!();
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 11 — MAE of COMET's Estimator predictions, grouped by error type
+//! and ML algorithm (single-error scenario, all datasets pooled).
+//!
+//! Paper expectation: small MAEs overall (0.0007–0.05); KNN among the most
+//! predictable, the linear-regression classifier (LIR) the least.
+
+use comet_bench::{
+    applicable,
+    figures::{comet_traces_for_cell, grid_datasets},
+    ExperimentOpts, MatrixTable, Source,
+};
+use comet_core::CostPolicy;
+use comet_jenga::{ErrorType, Scenario};
+use comet_ml::Algorithm;
+
+fn main() {
+    let mut opts = ExperimentOpts::from_env();
+    if opts.quick {
+        opts.settings = 1;
+    }
+    let datasets = grid_datasets(&opts);
+    let algorithms = [
+        Algorithm::Gb,
+        Algorithm::Knn,
+        Algorithm::Mlp,
+        Algorithm::Svm,
+        Algorithm::LinReg,
+        Algorithm::LogReg,
+    ];
+    let costs = CostPolicy::constant();
+
+    println!("Figure 11: MAE of COMET's predictions (per error type × algorithm)\n");
+    let mut table = MatrixTable::new(
+        "figure11_prediction_mae",
+        algorithms.iter().map(|a| a.name().to_string()).collect(),
+        ErrorType::ALL.iter().map(|e| e.abbrev().to_string()).collect(),
+    );
+
+    for &algorithm in &algorithms {
+        for &err in &ErrorType::ALL {
+            let mut maes: Vec<f64> = Vec::new();
+            for &dataset in &datasets {
+                if !applicable(dataset, err) {
+                    continue;
+                }
+                let traces = comet_traces_for_cell(
+                    &format!("fig11-{algorithm}-{dataset}-{err:?}"),
+                    Source::Prepolluted(Scenario::SingleError(err)),
+                    dataset,
+                    algorithm,
+                    costs,
+                    &opts,
+                )
+                .unwrap_or_else(|e| panic!("{dataset}/{algorithm}/{err}: {e}"));
+                maes.extend(traces.iter().filter_map(|t| t.prediction_mae()));
+            }
+            if !maes.is_empty() {
+                table.set(
+                    algorithm.name(),
+                    err.abbrev(),
+                    maes.iter().sum::<f64>() / maes.len() as f64,
+                );
+            }
+        }
+        eprintln!("  [11] {algorithm} done");
+    }
+    table.emit(&opts.out_dir).expect("emit figure 11");
+}

@@ -1,0 +1,79 @@
+//! Figure 12 — COMET's runtime to produce a recommendation, grouped by
+//! error type and ML algorithm. As in the paper, the *first* iteration is
+//! measured: all polluted features are candidates, so it is the most
+//! expensive recommendation.
+//!
+//! Paper expectation (shape, not absolute seconds — different hardware and
+//! data sizes): categorical shift / missing values cost more than Gaussian
+//! noise / scaling (one-hot encoding inflates training), and runtime scales
+//! with the number of candidate features.
+
+use comet_bench::{
+    applicable,
+    figures::{comet_traces_for_cell, grid_datasets},
+    ExperimentOpts, MatrixTable, Source,
+};
+use comet_core::CostPolicy;
+use comet_jenga::{ErrorType, Scenario};
+use comet_ml::Algorithm;
+
+fn main() {
+    let mut opts = ExperimentOpts::from_env();
+    if opts.quick {
+        opts.settings = 1;
+    }
+    // Only the first recommendation is timed: one budget unit suffices.
+    opts.budget = opts.budget.min(2.0);
+    let datasets = grid_datasets(&opts);
+    let algorithms = [
+        Algorithm::Gb,
+        Algorithm::Knn,
+        Algorithm::Mlp,
+        Algorithm::Svm,
+        Algorithm::LinReg,
+        Algorithm::LogReg,
+    ];
+    let costs = CostPolicy::constant();
+
+    println!("Figure 12: runtime (ms) of the first recommendation (error type × algorithm)\n");
+    let mut table = MatrixTable::new(
+        "figure12_recommendation_runtime_ms",
+        algorithms.iter().map(|a| a.name().to_string()).collect(),
+        ErrorType::ALL.iter().map(|e| e.abbrev().to_string()).collect(),
+    );
+
+    for &algorithm in &algorithms {
+        for &err in &ErrorType::ALL {
+            let mut millis: Vec<f64> = Vec::new();
+            for &dataset in &datasets {
+                if !applicable(dataset, err) {
+                    continue;
+                }
+                let traces = comet_traces_for_cell(
+                    &format!("fig12-{algorithm}-{dataset}-{err:?}"),
+                    Source::Prepolluted(Scenario::SingleError(err)),
+                    dataset,
+                    algorithm,
+                    costs,
+                    &opts,
+                )
+                .unwrap_or_else(|e| panic!("{dataset}/{algorithm}/{err}: {e}"));
+                millis.extend(
+                    traces
+                        .iter()
+                        .filter_map(|t| t.iteration_runtimes.first())
+                        .map(|d| d.as_secs_f64() * 1e3),
+                );
+            }
+            if !millis.is_empty() {
+                table.set(
+                    algorithm.name(),
+                    err.abbrev(),
+                    millis.iter().sum::<f64>() / millis.len() as f64,
+                );
+            }
+        }
+        eprintln!("  [12] {algorithm} done");
+    }
+    table.emit(&opts.out_dir).expect("emit figure 12");
+}

@@ -1,0 +1,111 @@
+//! Aggregate every CSV in the results directory into a compact report:
+//! per advantage figure, the mean/min/max of each `adv_vs_*` series; matrix
+//! figures are echoed as-is. This is the quick way to see whether the
+//! reproduction preserves the paper's *shape* after regenerating figures.
+//!
+//! ```text
+//! cargo run --release -p comet-bench --bin summary [-- --out bench_results]
+//! ```
+
+use comet_bench::ExperimentOpts;
+use std::collections::BTreeMap;
+use std::fs;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let dir = &opts.out_dir;
+    let mut entries: Vec<String> = match fs::read_dir(dir) {
+        Ok(read) => read
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".csv"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    entries.sort();
+
+    println!("== Summary of {dir}/ ==\n");
+    // Group advantage figures: figure name -> (column -> stats).
+    let mut advantage_rows: Vec<(String, String, Stats)> = Vec::new();
+    for name in &entries {
+        let path = format!("{dir}/{name}");
+        let Ok(text) = fs::read_to_string(&path) else { continue };
+        let mut lines = text.lines();
+        let Some(header) = lines.next() else { continue };
+        let cols: Vec<&str> = header.split(',').collect();
+        if cols.first() == Some(&"budget") {
+            // Advantage/series figure.
+            let mut series: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+            for line in lines {
+                for (i, field) in line.split(',').enumerate().skip(1) {
+                    if let Ok(v) = field.parse::<f64>() {
+                        series.entry(i).or_default().push(v);
+                    }
+                }
+            }
+            for (i, col) in cols.iter().enumerate().skip(1) {
+                if !col.starts_with("adv_vs_") {
+                    continue;
+                }
+                if let Some(values) = series.get(&i) {
+                    // Skip budget 0 (identical starting states).
+                    let tail = &values[1.min(values.len())..];
+                    if !tail.is_empty() {
+                        advantage_rows.push((
+                            name.trim_end_matches(".csv").to_string(),
+                            col.to_string(),
+                            Stats::of(tail),
+                        ));
+                    }
+                }
+            }
+        } else if cols.first() == Some(&"row") {
+            // Matrix figure: echo verbatim.
+            println!("-- {name} --");
+            println!("{text}");
+        }
+    }
+
+    if !advantage_rows.is_empty() {
+        println!("-- F1 advantage of COMET (percentage points, over budgets ≥ 1) --");
+        println!("{:<44}{:>10}{:>9}{:>9}{:>9}", "experiment", "baseline", "mean", "min", "max");
+        let mut grand: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for (name, col, stats) in &advantage_rows {
+            let baseline = col.trim_start_matches("adv_vs_");
+            println!(
+                "{name:<44}{baseline:>10}{:>9.2}{:>9.2}{:>9.2}",
+                100.0 * stats.mean,
+                100.0 * stats.min,
+                100.0 * stats.max
+            );
+            grand.entry(baseline.to_string()).or_default().push(stats.mean);
+        }
+        println!("\n-- grand means per baseline --");
+        for (baseline, means) in grand {
+            let m = means.iter().sum::<f64>() / means.len() as f64;
+            println!(
+                "  COMET vs {baseline:<6} {:+.2} pt on average across {} experiments",
+                100.0 * m,
+                means.len()
+            );
+        }
+    }
+}
+
+struct Stats {
+    mean: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Stats {
+    fn of(values: &[f64]) -> Stats {
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Stats { mean, min, max }
+    }
+}

@@ -1,0 +1,48 @@
+//! Table 1 — overview of the evaluation datasets.
+//!
+//! Prints the paper's dataset characteristics (rows, categorical/numeric
+//! feature counts, classes) and verifies the generated synthetic analog
+//! matches the spec.
+
+use comet_bench::ExperimentOpts;
+use comet_datasets::Dataset;
+use comet_frame::ColumnKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    println!("== Table 1: Overview of our used datasets ==");
+    println!("{:<12}{:>9}{:>8}{:>8}{:>9}{:>12}", "Name", "# Rows", "# Cat.", "# Num.", "# Class", "errors");
+    let mut csv = String::from("name,rows,categorical,numeric,classes,cleanml_errors\n");
+    for dataset in Dataset::ALL {
+        let spec = dataset.spec();
+        // Generate a sample and verify the analog honours the schema.
+        let df = dataset.generate(Some(spec.rows.min(opts.rows.unwrap_or(spec.rows))), &mut rng);
+        let features = df.feature_indices();
+        let n_cat = features
+            .iter()
+            .filter(|&&c| df.column(c).unwrap().kind() == ColumnKind::Categorical)
+            .count();
+        let n_num = features.len() - n_cat;
+        assert_eq!(n_cat, spec.n_categorical, "{dataset}: categorical count mismatch");
+        assert_eq!(n_num, spec.n_numeric, "{dataset}: numeric count mismatch");
+        assert_eq!(df.n_classes().unwrap(), spec.n_classes, "{dataset}: class count mismatch");
+
+        let errors: Vec<&str> = spec.cleanml_errors.iter().map(|e| e.abbrev()).collect();
+        let errors = if errors.is_empty() { "-".to_string() } else { errors.join("+") };
+        println!(
+            "{:<12}{:>9}{:>8}{:>8}{:>9}{:>12}",
+            spec.name, spec.rows, spec.n_categorical, spec.n_numeric, spec.n_classes, errors
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            spec.name, spec.rows, spec.n_categorical, spec.n_numeric, spec.n_classes, errors
+        ));
+    }
+    std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+    std::fs::write(format!("{}/table1.csv", opts.out_dir), csv).expect("write csv");
+    println!("\n(schema of every generated analog verified against Table 1)");
+}

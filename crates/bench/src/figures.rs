@@ -1,0 +1,186 @@
+//! High-level figure builders shared by the experiment binaries.
+
+use crate::opts::ExperimentOpts;
+use crate::report::SeriesTable;
+use crate::runner::{advantage, f1_series, mean_series, run_strategy, Strategy};
+use crate::setup::{build_cleanml_env, build_prepolluted_env, EnvSetup};
+use comet_core::{CleaningTrace, CostPolicy, EnvError};
+use comet_datasets::Dataset;
+use comet_jenga::Scenario;
+use comet_ml::Algorithm;
+
+/// Where the dirty data comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Clean synthetic analog + sampled pre-pollution setting (§4.1).
+    Prepolluted(Scenario),
+    /// CleanML-style paired dirty/clean dataset (§4.3).
+    CleanMl,
+}
+
+/// Build the environment for one `(dataset, algorithm, setting)` cell.
+pub fn build_setup(
+    source: Source,
+    dataset: Dataset,
+    algorithm: Algorithm,
+    setting: usize,
+    opts: &ExperimentOpts,
+) -> Result<EnvSetup, EnvError> {
+    match source {
+        Source::Prepolluted(scenario) => {
+            build_prepolluted_env(dataset, algorithm, scenario, setting, opts)
+        }
+        Source::CleanMl => build_cleanml_env(dataset, algorithm, setting, opts),
+    }
+}
+
+/// The workhorse behind Figures 3–6, 8, 9 and the appendix variants: for one
+/// dataset, run COMET and the given baselines on every pre-pollution
+/// setting and average. The table carries COMET's F1 series plus one
+/// `adv_vs_<baseline>` column per baseline (the paper's "F1 advantage").
+pub fn dataset_advantage_table(
+    name: impl Into<String>,
+    source: Source,
+    dataset: Dataset,
+    algorithm: Algorithm,
+    baselines: &[Strategy],
+    costs: CostPolicy,
+    opts: &ExperimentOpts,
+) -> Result<SeriesTable, EnvError> {
+    let name = name.into();
+    let max_budget = opts.budget.round() as usize;
+    let mut comet_all: Vec<Vec<f64>> = Vec::with_capacity(opts.settings);
+    let mut adv_all: Vec<Vec<Vec<f64>>> = vec![Vec::new(); baselines.len()];
+
+    for setting in 0..opts.settings {
+        let setup = build_setup(source, dataset, algorithm, setting, opts)?;
+        let comet_traces = run_strategy(
+            Strategy::Comet,
+            &setup.env,
+            &setup.errors,
+            costs,
+            opts,
+            opts.child_seed(&format!("{name}-comet"), setting as u64),
+        )?;
+        let comet = f1_series(&comet_traces, max_budget);
+        for (i, &baseline) in baselines.iter().enumerate() {
+            let traces = run_strategy(
+                baseline,
+                &setup.env,
+                &setup.errors,
+                costs,
+                opts,
+                opts.child_seed(&format!("{name}-{}", baseline.label()), setting as u64),
+            )?;
+            let series = f1_series(&traces, max_budget);
+            adv_all[i].push(advantage(&comet, &series));
+        }
+        comet_all.push(comet);
+    }
+
+    let mut table = SeriesTable::over_budget(name, max_budget);
+    table.push("COMET_F1", mean_series(&comet_all));
+    for (i, &baseline) in baselines.iter().enumerate() {
+        table.push(format!("adv_vs_{}", baseline.label()), mean_series(&adv_all[i]));
+    }
+    Ok(table)
+}
+
+/// Run COMET alone across every setting of one cell and return the traces —
+/// the inputs for the MAE (Figure 11) and runtime (Figure 12) analyses.
+pub fn comet_traces_for_cell(
+    tag: &str,
+    source: Source,
+    dataset: Dataset,
+    algorithm: Algorithm,
+    costs: CostPolicy,
+    opts: &ExperimentOpts,
+) -> Result<Vec<CleaningTrace>, EnvError> {
+    let mut traces = Vec::with_capacity(opts.settings);
+    for setting in 0..opts.settings {
+        let setup = build_setup(source, dataset, algorithm, setting, opts)?;
+        let mut runs = run_strategy(
+            Strategy::Comet,
+            &setup.env,
+            &setup.errors,
+            costs,
+            opts,
+            opts.child_seed(tag, setting as u64),
+        )?;
+        traces.append(&mut runs);
+    }
+    Ok(traces)
+}
+
+/// The quick-mode dataset subset for the heavy grid figures (10–12): full
+/// mode covers all pre-polluted datasets, quick mode a representative pair
+/// (one numeric-only, one categorical-heavy).
+pub fn grid_datasets(opts: &ExperimentOpts) -> Vec<Dataset> {
+    if opts.quick {
+        vec![Dataset::Eeg, Dataset::Cmc]
+    } else {
+        Dataset::PREPOLLUTED.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_jenga::ErrorType;
+
+    fn tiny() -> ExperimentOpts {
+        ExperimentOpts {
+            rows: Some(150),
+            budget: 3.0,
+            settings: 1,
+            search_samples: 1,
+            combos: 1,
+            rr_repetitions: 1,
+            ..ExperimentOpts::quick()
+        }
+    }
+
+    #[test]
+    fn advantage_table_has_expected_columns() {
+        let opts = tiny();
+        let table = dataset_advantage_table(
+            "test_adv",
+            Source::Prepolluted(Scenario::SingleError(ErrorType::MissingValues)),
+            Dataset::Eeg,
+            Algorithm::Knn,
+            &[Strategy::Rr, Strategy::Fir],
+            CostPolicy::constant(),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(table.index.len(), 4); // budgets 0..=3
+        assert!(table.get("COMET_F1").is_some());
+        assert!(table.get("adv_vs_RR").is_some());
+        assert!(table.get("adv_vs_FIR").is_some());
+        // Advantage at budget 0 is 0 by construction (same starting state).
+        let adv0 = table.get("adv_vs_RR").unwrap()[0];
+        assert!(adv0.abs() < 1e-9, "budget-0 advantage {adv0}");
+    }
+
+    #[test]
+    fn comet_traces_for_cell_runs() {
+        let opts = tiny();
+        let traces = comet_traces_for_cell(
+            "test_cell",
+            Source::Prepolluted(Scenario::SingleError(ErrorType::MissingValues)),
+            Dataset::Eeg,
+            Algorithm::Knn,
+            CostPolicy::constant(),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(traces.len(), 1);
+        assert!(!traces[0].iteration_runtimes.is_empty());
+    }
+
+    #[test]
+    fn grid_datasets_by_mode() {
+        assert_eq!(grid_datasets(&ExperimentOpts::quick()).len(), 2);
+        assert_eq!(grid_datasets(&ExperimentOpts::full()).len(), 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! # comet-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5).
+//! Each `src/bin/figureNN.rs` binary reproduces one figure (appendix
+//! variants via `--algo`); `table1` prints the dataset overview. All
+//! binaries accept:
+//!
+//! ```text
+//! --quick          subsampled rows / fewer settings (default)
+//! --full           paper-scale rows, budget 50, 3 pre-pollution settings
+//! --seed N         master seed (default 42)
+//! --algo NAME      override the figure's ML algorithm
+//! --rows N         hard row cap
+//! --budget N       cleaning budget in units
+//! --settings N     pre-pollution settings per dataset
+//! --out DIR        CSV output directory (default bench_results/)
+//! ```
+//!
+//! Output: aligned text tables on stdout (the same series the paper plots)
+//! plus a CSV per figure under `--out`.
+
+pub mod figures;
+pub mod opts;
+pub mod report;
+pub mod runner;
+pub mod setup;
+
+pub use figures::{dataset_advantage_table, Source};
+pub use opts::ExperimentOpts;
+pub use report::{MatrixTable, SeriesTable};
+pub use runner::{advantage, comet_config, f1_series, mean_series, run_strategy, Strategy};
+pub use setup::{applicable, build_cleanml_env, build_prepolluted_env, scenario_errors, EnvSetup};

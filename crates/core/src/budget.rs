@@ -1,0 +1,105 @@
+//! Cleaning-budget accounting (paper §4.2: 50 units total).
+
+/// A finite cleaning budget measured in cost units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budget {
+    total: f64,
+    spent: f64,
+}
+
+impl Budget {
+    /// A budget of `total` units.
+    pub fn new(total: f64) -> Self {
+        assert!(total >= 0.0 && total.is_finite(), "budget must be non-negative");
+        Budget { total, spent: 0.0 }
+    }
+
+    /// Total units.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Units spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Units remaining.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// True if at least `cost` units remain.
+    pub fn can_afford(&self, cost: f64) -> bool {
+        cost <= self.remaining() + 1e-9
+    }
+
+    /// Spend `cost` units; returns `false` (and spends nothing) if the
+    /// budget cannot afford it.
+    pub fn try_spend(&mut self, cost: f64) -> bool {
+        assert!(cost >= 0.0, "cost must be non-negative");
+        if !self.can_afford(cost) {
+            return false;
+        }
+        self.spent += cost;
+        true
+    }
+
+    /// True once no budget remains.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() <= 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spend_and_remaining() {
+        let mut b = Budget::new(50.0);
+        assert_eq!(b.total(), 50.0);
+        assert!(b.try_spend(10.0));
+        assert_eq!(b.spent(), 10.0);
+        assert_eq!(b.remaining(), 40.0);
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn cannot_overspend() {
+        let mut b = Budget::new(5.0);
+        assert!(!b.try_spend(6.0));
+        assert_eq!(b.spent(), 0.0);
+        assert!(b.try_spend(5.0));
+        assert!(b.exhausted());
+        assert!(!b.try_spend(0.1));
+    }
+
+    #[test]
+    fn zero_cost_always_affordable() {
+        let mut b = Budget::new(0.0);
+        assert!(b.try_spend(0.0));
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn float_tolerance() {
+        let mut b = Budget::new(1.0);
+        for _ in 0..10 {
+            assert!(b.try_spend(0.1));
+        }
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_budget_rejected() {
+        Budget::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_rejected() {
+        Budget::new(1.0).try_spend(-0.5);
+    }
+}

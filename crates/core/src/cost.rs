@@ -1,0 +1,177 @@
+//! Cleaning cost models (paper §4.2).
+
+use comet_jenga::ErrorType;
+
+/// How much one cleaning step of some error type costs, as a function of how
+/// many steps of that error type have already been performed on the feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostModel {
+    /// Every step costs the same (paper: categorical shift, scaling — 1 unit).
+    Constant(f64),
+    /// High first step (set-up: detection + configuring imputation), cheap
+    /// afterwards (paper: missing values — 2 units then 0).
+    OneShot {
+        /// Cost of the first step.
+        first: f64,
+        /// Cost of each subsequent step.
+        rest: f64,
+    },
+    /// Each step costs more than the previous (paper: Gaussian noise —
+    /// subtler outliers are harder to find; 1 unit initial, +1 per step).
+    Linear {
+        /// Cost of the first step.
+        initial: f64,
+        /// Increment per performed step.
+        increment: f64,
+    },
+}
+
+impl CostModel {
+    /// Cost of the next step given `steps_done` prior steps.
+    pub fn next_cost(&self, steps_done: usize) -> f64 {
+        match *self {
+            CostModel::Constant(c) => c,
+            CostModel::OneShot { first, rest } => {
+                if steps_done == 0 {
+                    first
+                } else {
+                    rest
+                }
+            }
+            CostModel::Linear { initial, increment } => {
+                initial + increment * steps_done as f64
+            }
+        }
+    }
+
+    /// Total cost of the first `steps` steps.
+    pub fn cumulative(&self, steps: usize) -> f64 {
+        (0..steps).map(|s| self.next_cost(s)).sum()
+    }
+}
+
+/// Maps error types to cost models — one policy per experiment scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostPolicy {
+    missing_values: CostModel,
+    gaussian_noise: CostModel,
+    categorical_shift: CostModel,
+    scaling: CostModel,
+}
+
+impl CostPolicy {
+    /// Single-error scenario (§5.2/§5.3): constant cost of one unit for
+    /// everything, "to maintain comparability".
+    pub fn constant() -> Self {
+        let one = CostModel::Constant(1.0);
+        CostPolicy {
+            missing_values: one,
+            gaussian_noise: one,
+            categorical_shift: one,
+            scaling: one,
+        }
+    }
+
+    /// Multi-error scenario (§4.2/§5.1): constant for categorical shift and
+    /// scaling, one-shot (2, then 0) for missing values, linear (1, +1) for
+    /// Gaussian noise.
+    pub fn paper_multi() -> Self {
+        CostPolicy {
+            missing_values: CostModel::OneShot { first: 2.0, rest: 0.0 },
+            gaussian_noise: CostModel::Linear { initial: 1.0, increment: 1.0 },
+            categorical_shift: CostModel::Constant(1.0),
+            scaling: CostModel::Constant(1.0),
+        }
+    }
+
+    /// Custom policy.
+    pub fn new(
+        missing_values: CostModel,
+        gaussian_noise: CostModel,
+        categorical_shift: CostModel,
+        scaling: CostModel,
+    ) -> Self {
+        CostPolicy { missing_values, gaussian_noise, categorical_shift, scaling }
+    }
+
+    /// The model for one error type.
+    pub fn model(&self, err: ErrorType) -> CostModel {
+        match err {
+            ErrorType::MissingValues => self.missing_values,
+            ErrorType::GaussianNoise => self.gaussian_noise,
+            ErrorType::CategoricalShift => self.categorical_shift,
+            ErrorType::Scaling => self.scaling,
+        }
+    }
+
+    /// Cost of the next step of `err` after `steps_done` prior steps.
+    pub fn next_cost(&self, err: ErrorType, steps_done: usize) -> f64 {
+        self.model(err).next_cost(steps_done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model() {
+        let m = CostModel::Constant(1.0);
+        assert_eq!(m.next_cost(0), 1.0);
+        assert_eq!(m.next_cost(99), 1.0);
+        assert_eq!(m.cumulative(5), 5.0);
+    }
+
+    #[test]
+    fn one_shot_model() {
+        let m = CostModel::OneShot { first: 2.0, rest: 0.0 };
+        assert_eq!(m.next_cost(0), 2.0);
+        assert_eq!(m.next_cost(1), 0.0);
+        assert_eq!(m.next_cost(7), 0.0);
+        assert_eq!(m.cumulative(4), 2.0);
+    }
+
+    #[test]
+    fn linear_model() {
+        let m = CostModel::Linear { initial: 1.0, increment: 1.0 };
+        assert_eq!(m.next_cost(0), 1.0);
+        assert_eq!(m.next_cost(1), 2.0);
+        assert_eq!(m.next_cost(4), 5.0);
+        // 1+2+3 = 6.
+        assert_eq!(m.cumulative(3), 6.0);
+    }
+
+    #[test]
+    fn constant_policy_charges_one_everywhere() {
+        let p = CostPolicy::constant();
+        for err in ErrorType::ALL {
+            assert_eq!(p.next_cost(err, 0), 1.0);
+            assert_eq!(p.next_cost(err, 10), 1.0);
+        }
+    }
+
+    #[test]
+    fn paper_multi_matches_section_4_2() {
+        let p = CostPolicy::paper_multi();
+        assert_eq!(p.next_cost(ErrorType::MissingValues, 0), 2.0);
+        assert_eq!(p.next_cost(ErrorType::MissingValues, 1), 0.0);
+        assert_eq!(p.next_cost(ErrorType::GaussianNoise, 0), 1.0);
+        assert_eq!(p.next_cost(ErrorType::GaussianNoise, 3), 4.0);
+        assert_eq!(p.next_cost(ErrorType::CategoricalShift, 5), 1.0);
+        assert_eq!(p.next_cost(ErrorType::Scaling, 5), 1.0);
+    }
+
+    #[test]
+    fn custom_policy_routes_by_error() {
+        let p = CostPolicy::new(
+            CostModel::Constant(3.0),
+            CostModel::Constant(4.0),
+            CostModel::Constant(5.0),
+            CostModel::Constant(6.0),
+        );
+        assert_eq!(p.next_cost(ErrorType::MissingValues, 0), 3.0);
+        assert_eq!(p.next_cost(ErrorType::GaussianNoise, 0), 4.0);
+        assert_eq!(p.next_cost(ErrorType::CategoricalShift, 0), 5.0);
+        assert_eq!(p.next_cost(ErrorType::Scaling, 0), 6.0);
+    }
+}

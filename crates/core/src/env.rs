@@ -1,0 +1,532 @@
+//! The simulated cleaning environment.
+//!
+//! In the paper, a human or algorithmic *Cleaner* executes COMET's
+//! recommendations. The reproduction simulates that Cleaner: it holds the
+//! dirty train/test splits, their clean ground truth, and per-cell error
+//! provenance, and exposes exactly the operations a Cleaner performs —
+//! clean one step of one feature (restoring ground truth), evaluate the
+//! model, revert a cleaning step. COMET itself only ever sees the dirty
+//! frames and the evaluation scores, never the ground truth.
+//!
+//! All cleaning strategies (COMET, RR, FIR, CL, AC, Oracle) run against
+//! this same environment, so their traces are directly comparable.
+
+use comet_frame::{Column, DataFrame, FrameError};
+use comet_jenga::{ErrorType, GroundTruth, Provenance};
+use comet_ml::{Algorithm, Featurizer, HyperParams, Metric, RandomSearch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Errors from environment operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvError {
+    /// Underlying frame error.
+    Frame(FrameError),
+    /// Configuration / usage error.
+    Invalid(String),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::Frame(e) => write!(f, "frame error: {e}"),
+            EnvError::Invalid(msg) => write!(f, "invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+impl From<FrameError> for EnvError {
+    fn from(e: FrameError) -> Self {
+        EnvError::Frame(e)
+    }
+}
+
+/// The ML model under evaluation: algorithm plus the hyperparameters found
+/// by the one-time random search (§4.4).
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Tuned hyperparameters.
+    pub params: HyperParams,
+}
+
+/// A revertible snapshot of one feature column across both splits,
+/// including its provenance — what the Recommender's cleaning buffer stores.
+#[derive(Debug, Clone)]
+pub struct StateSnapshot {
+    /// Feature column index.
+    pub col: usize,
+    train_col: Column,
+    test_col: Column,
+    prov_train: Vec<Option<ErrorType>>,
+    prov_test: Vec<Option<ErrorType>>,
+}
+
+/// The simulated world: dirty data + hidden ground truth + a fixed model.
+#[derive(Debug, Clone)]
+pub struct CleaningEnvironment {
+    train: DataFrame,
+    test: DataFrame,
+    gt_train: GroundTruth,
+    gt_test: GroundTruth,
+    prov_train: Provenance,
+    prov_test: Provenance,
+    model: ModelSpec,
+    metric: Metric,
+    n_classes: usize,
+    step_train: usize,
+    step_test: usize,
+    eval_seed: u64,
+}
+
+impl CleaningEnvironment {
+    /// Build the environment. `gt_*` must be the clean versions of the
+    /// supplied dirty splits; `prov_*` the per-cell error provenance.
+    /// Hyperparameters are tuned once on the dirty training data (§4.4:
+    /// "users working with dirty data aim for the highest prediction
+    /// accuracy given the dataset's current state").
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng>(
+        train: DataFrame,
+        test: DataFrame,
+        gt_train: GroundTruth,
+        gt_test: GroundTruth,
+        prov_train: Provenance,
+        prov_test: Provenance,
+        algorithm: Algorithm,
+        metric: Metric,
+        step_frac: f64,
+        search: RandomSearch,
+        eval_seed: u64,
+        rng: &mut R,
+    ) -> Result<Self, EnvError> {
+        if !(step_frac > 0.0 && step_frac <= 1.0) {
+            return Err(EnvError::Invalid(format!("step_frac {step_frac} out of (0,1]")));
+        }
+        if train.schema() != test.schema() {
+            return Err(EnvError::Invalid("train/test schema mismatch".into()));
+        }
+        let n_classes = train.n_classes()?;
+        let step_train = ((step_frac * train.nrows() as f64).round() as usize).max(1);
+        let step_test = ((step_frac * test.nrows() as f64).round() as usize).max(1);
+
+        // One-time hyperparameter search on the dirty data.
+        let featurizer = Featurizer::fit(&train)?;
+        let xtr = featurizer.transform(&train)?;
+        let ytr = train.label_codes()?;
+        let tuned = search.tune(algorithm, &xtr, &ytr, n_classes, rng);
+
+        Ok(CleaningEnvironment {
+            train,
+            test,
+            gt_train,
+            gt_test,
+            prov_train,
+            prov_test,
+            model: ModelSpec { algorithm, params: tuned.params },
+            metric,
+            n_classes,
+            step_train,
+            step_test,
+            eval_seed,
+        })
+    }
+
+    /// The current (dirty) training split.
+    pub fn train(&self) -> &DataFrame {
+        &self.train
+    }
+
+    /// The current (dirty) test split.
+    pub fn test(&self) -> &DataFrame {
+        &self.test
+    }
+
+    /// The model specification in use.
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The optimization metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Number of label classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Cells per cleaning/pollution step on the training split.
+    pub fn step_train(&self) -> usize {
+        self.step_train
+    }
+
+    /// Cells per cleaning/pollution step on the test split.
+    pub fn step_test(&self) -> usize {
+        self.step_test
+    }
+
+    /// Feature column indices.
+    pub fn feature_cols(&self) -> Vec<usize> {
+        self.train.feature_indices()
+    }
+
+    /// Train and evaluate the model on arbitrary frames (used by the
+    /// Polluter's what-if variants). Deterministic given the data.
+    pub fn evaluate_frames(&self, train: &DataFrame, test: &DataFrame) -> Result<f64, EnvError> {
+        let featurizer = Featurizer::fit(train)?;
+        let xtr = featurizer.transform(train)?;
+        let xte = featurizer.transform(test)?;
+        let ytr = train.label_codes()?;
+        let yte = test.label_codes()?;
+        let mut model = self.model.params.build();
+        let mut rng = StdRng::seed_from_u64(self.eval_seed);
+        model.fit(&xtr, &ytr, self.n_classes, &mut rng);
+        Ok(self.metric.eval(&yte, &model.predict(&xte), self.n_classes))
+    }
+
+    /// Evaluate the model on the current state.
+    pub fn evaluate(&self) -> Result<f64, EnvError> {
+        self.evaluate_frames(&self.train, &self.test)
+    }
+
+    /// Rows of feature `col` currently dirty with `err` on the train split.
+    pub fn dirty_train_rows(&self, col: usize, err: ErrorType) -> Vec<usize> {
+        self.prov_train.rows_with(col, Some(err))
+    }
+
+    /// Rows of feature `col` currently dirty with `err` on the test split.
+    pub fn dirty_test_rows(&self, col: usize, err: ErrorType) -> Vec<usize> {
+        self.prov_test.rows_with(col, Some(err))
+    }
+
+    /// True while feature `col` still carries `err`-type dirt in either
+    /// split — the simulated Cleaner's "not yet marked clean" signal.
+    pub fn pair_dirty(&self, col: usize, err: ErrorType) -> bool {
+        !self.dirty_train_rows(col, err).is_empty()
+            || !self.dirty_test_rows(col, err).is_empty()
+    }
+
+    /// All `(feature, error type)` pairs still dirty, restricted to the
+    /// given error types (single-error scenario passes one; multi-error all).
+    pub fn candidate_pairs(&self, errors: &[ErrorType]) -> Vec<(usize, ErrorType)> {
+        let mut out = Vec::new();
+        for &col in &self.feature_cols() {
+            for &err in errors {
+                if self.pair_dirty(col, err) {
+                    out.push((col, err));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total dirty cells across both splits (ground-truth diff).
+    pub fn total_dirty(&self) -> Result<usize, EnvError> {
+        Ok(self.gt_train.total_dirty(&self.train)? + self.gt_test.total_dirty(&self.test)?)
+    }
+
+    /// True when both splits match ground truth exactly.
+    pub fn is_fully_clean(&self) -> Result<bool, EnvError> {
+        Ok(self.total_dirty()? == 0)
+    }
+
+    /// Snapshot feature `col` (both splits + provenance) for later revert.
+    pub fn snapshot(&self, col: usize) -> Result<StateSnapshot, EnvError> {
+        Ok(StateSnapshot {
+            col,
+            train_col: self.train.column(col)?.clone(),
+            test_col: self.test.column(col)?.clone(),
+            prov_train: self.prov_train.column(col).to_vec(),
+            prov_test: self.prov_test.column(col).to_vec(),
+        })
+    }
+
+    /// Restore a snapshot (the Recommender's revert).
+    pub fn restore(&mut self, snapshot: &StateSnapshot) -> Result<(), EnvError> {
+        self.train.replace_column(snapshot.col, snapshot.train_col.clone())?;
+        self.test.replace_column(snapshot.col, snapshot.test_col.clone())?;
+        self.prov_train.set_column(snapshot.col, snapshot.prov_train.clone());
+        self.prov_test.set_column(snapshot.col, snapshot.prov_test.clone());
+        Ok(())
+    }
+
+    /// Simulate one cleaning step of `(col, err)`: restore up to one step's
+    /// worth of `err`-polluted cells per split (preferring the rows the
+    /// Polluter flagged, §3.3), clearing their provenance. Returns
+    /// `(train_cells, test_cells)` actually cleaned.
+    pub fn clean_step<R: Rng>(
+        &mut self,
+        col: usize,
+        err: ErrorType,
+        preferred_train: &[usize],
+        preferred_test: &[usize],
+        rng: &mut R,
+    ) -> Result<(usize, usize), EnvError> {
+        let cleaned_train = clean_split(
+            &mut self.train,
+            &self.gt_train,
+            &mut self.prov_train,
+            col,
+            err,
+            self.step_train,
+            preferred_train,
+            rng,
+        )?;
+        let cleaned_test = clean_split(
+            &mut self.test,
+            &self.gt_test,
+            &mut self.prov_test,
+            col,
+            err,
+            self.step_test,
+            preferred_test,
+            rng,
+        )?;
+        Ok((cleaned_train, cleaned_test))
+    }
+
+    /// Clean *everything* (diagnostics: the paper's "cleaned" horizontal
+    /// line in Figure 7). Returns the fully-clean F1.
+    pub fn fully_cleaned_f1(&self) -> Result<f64, EnvError> {
+        self.evaluate_frames(self.gt_train.clean(), self.gt_test.clean())
+    }
+
+    /// Direct mutable access for strategies that clean record-wise
+    /// (ActiveClean): restore the given rows across *all* feature columns.
+    /// Returns the number of cells changed.
+    pub fn clean_records<R: Rng>(
+        &mut self,
+        train_rows: &[usize],
+        test_rows: &[usize],
+        _rng: &mut R,
+    ) -> Result<usize, EnvError> {
+        let mut changed = 0;
+        for &col in &self.feature_cols() {
+            let restored = self.gt_train.restore(&mut self.train, col, train_rows)?;
+            for &r in &restored {
+                self.prov_train.clear(col, r);
+            }
+            changed += restored.len();
+            let restored = self.gt_test.restore(&mut self.test, col, test_rows)?;
+            for &r in &restored {
+                self.prov_test.clear(col, r);
+            }
+            changed += restored.len();
+        }
+        Ok(changed)
+    }
+
+    /// Ground-truth dirty rows per split for a column, regardless of error
+    /// type (used by the Oracle and by record-wise strategies).
+    pub fn gt_dirty_rows(&self, col: usize) -> Result<(Vec<usize>, Vec<usize>), EnvError> {
+        Ok((
+            self.gt_train.dirty_rows(&self.train, col)?,
+            self.gt_test.dirty_rows(&self.test, col)?,
+        ))
+    }
+}
+
+/// Clean up to `k` `err`-provenance cells of `col` in one split.
+#[allow(clippy::too_many_arguments)]
+fn clean_split<R: Rng>(
+    df: &mut DataFrame,
+    gt: &GroundTruth,
+    prov: &mut Provenance,
+    col: usize,
+    err: ErrorType,
+    k: usize,
+    preferred: &[usize],
+    rng: &mut R,
+) -> Result<usize, EnvError> {
+    let dirty = prov.rows_with(col, Some(err));
+    if dirty.is_empty() {
+        return Ok(0);
+    }
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for &p in preferred {
+        if chosen.len() == k {
+            break;
+        }
+        if dirty.binary_search(&p).is_ok() && !chosen.contains(&p) {
+            chosen.push(p);
+        }
+    }
+    if chosen.len() < k {
+        let mut rest: Vec<usize> = dirty.iter().copied().filter(|r| !chosen.contains(r)).collect();
+        let need = (k - chosen.len()).min(rest.len());
+        for i in 0..need {
+            let j = rng.gen_range(i..rest.len());
+            rest.swap(i, j);
+            chosen.push(rest[i]);
+        }
+    }
+    let restored = gt.restore(df, col, &chosen)?;
+    // Clear provenance for every chosen row: restoring may be a no-op for a
+    // cell whose polluted value coincides with ground truth, but the cell is
+    // clean either way.
+    for &r in &chosen {
+        prov.clear(col, r);
+    }
+    Ok(restored.len().max(chosen.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_frame::{train_test_split, SplitOptions};
+    use comet_jenga::{PrePollutionPlan, Scenario};
+
+    fn make_env(seed: u64) -> CleaningEnvironment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let df = comet_datasets::Dataset::Eeg.generate(Some(300), &mut rng);
+        let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+        let gt_train = GroundTruth::new(tt.train.clone());
+        let gt_test = GroundTruth::new(tt.test.clone());
+        let mut train = tt.train;
+        let mut test = tt.test;
+        let mut prov_train = Provenance::for_frame(&train);
+        let mut prov_test = Provenance::for_frame(&test);
+        let plan = PrePollutionPlan::explicit(
+            Scenario::SingleError(ErrorType::MissingValues),
+            vec![(0, 0.3), (1, 0.2), (2, 0.1)],
+        );
+        plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
+        plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
+        CleaningEnvironment::new(
+            train,
+            test,
+            gt_train,
+            gt_test,
+            prov_train,
+            prov_test,
+            Algorithm::Knn,
+            Metric::F1,
+            0.01,
+            RandomSearch { n_samples: 2, ..RandomSearch::default() },
+            7,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let env = make_env(1);
+        assert_eq!(env.n_classes(), 2);
+        assert_eq!(env.feature_cols().len(), 14);
+        assert!(env.step_train() >= 1);
+        assert!(env.step_test() >= 1);
+        assert_eq!(env.model().algorithm, Algorithm::Knn);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let env = make_env(2);
+        let a = env.evaluate().unwrap();
+        let b = env.evaluate().unwrap();
+        assert_eq!(a, b);
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn candidate_pairs_track_dirt() {
+        let env = make_env(3);
+        let pairs = env.candidate_pairs(&[ErrorType::MissingValues]);
+        let cols: Vec<usize> = pairs.iter().map(|&(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 1, 2]);
+        assert!(env.pair_dirty(0, ErrorType::MissingValues));
+        assert!(!env.pair_dirty(5, ErrorType::MissingValues));
+        assert!(!env.pair_dirty(0, ErrorType::GaussianNoise));
+    }
+
+    #[test]
+    fn clean_step_reduces_dirt_and_terminates() {
+        let mut env = make_env(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let before = env.total_dirty().unwrap();
+        let (ctr, cte) = env
+            .clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng)
+            .unwrap();
+        assert!(ctr > 0 && ctr <= env.step_train());
+        assert!(cte <= env.step_test());
+        let after = env.total_dirty().unwrap();
+        assert_eq!(before - after, ctr + cte);
+
+        // Keep cleaning column 0 until its pair is clean.
+        let mut guard = 0;
+        while env.pair_dirty(0, ErrorType::MissingValues) {
+            env.clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng).unwrap();
+            guard += 1;
+            assert!(guard < 200, "cleaning must terminate");
+        }
+        assert_eq!(env.dirty_train_rows(0, ErrorType::MissingValues).len(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut env = make_env(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let snap = env.snapshot(0).unwrap();
+        let dirty_before = env.dirty_train_rows(0, ErrorType::MissingValues);
+        env.clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng).unwrap();
+        assert_ne!(env.dirty_train_rows(0, ErrorType::MissingValues), dirty_before);
+        env.restore(&snap).unwrap();
+        assert_eq!(env.dirty_train_rows(0, ErrorType::MissingValues), dirty_before);
+    }
+
+    #[test]
+    fn preferred_rows_cleaned_first() {
+        let mut env = make_env(6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let dirty = env.dirty_train_rows(0, ErrorType::MissingValues);
+        let preferred = vec![dirty[0]];
+        env.clean_step(0, ErrorType::MissingValues, &preferred, &[], &mut rng).unwrap();
+        assert!(!env.dirty_train_rows(0, ErrorType::MissingValues).contains(&dirty[0]));
+    }
+
+    #[test]
+    fn fully_cleaned_f1_at_least_plausible() {
+        let env = make_env(7);
+        let clean_f1 = env.fully_cleaned_f1().unwrap();
+        assert!((0.0..=1.0).contains(&clean_f1));
+        assert!(!env.is_fully_clean().unwrap());
+    }
+
+    #[test]
+    fn clean_records_clears_across_features() {
+        let mut env = make_env(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (rows0, _) = env.gt_dirty_rows(0).unwrap();
+        let changed = env.clean_records(&rows0, &[], &mut rng).unwrap();
+        assert!(changed >= rows0.len());
+        assert!(env.dirty_train_rows(0, ErrorType::MissingValues).is_empty());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = comet_datasets::Dataset::Eeg.generate(Some(50), &mut rng);
+        let b = comet_datasets::Dataset::Cmc.generate(Some(50), &mut rng);
+        let res = CleaningEnvironment::new(
+            a.clone(),
+            b.clone(),
+            GroundTruth::new(a.clone()),
+            GroundTruth::new(b.clone()),
+            Provenance::for_frame(&a),
+            Provenance::for_frame(&b),
+            Algorithm::Knn,
+            Metric::F1,
+            0.01,
+            RandomSearch::default(),
+            0,
+            &mut rng,
+        );
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! The Estimator module (paper §3.2): measure pollution effects, fit a
+//! Bayesian regression, extrapolate the effect of *cleaning* one step.
+
+use crate::env::{CleaningEnvironment, EnvError};
+use crate::polluter::PollutedVariant;
+use comet_bayes::{BayesianLinearRegression, BlrConfig, RunningStats};
+use comet_jenga::ErrorType;
+use std::collections::HashMap;
+
+/// The Estimator's output for one `(feature, error type)` candidate.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Feature column.
+    pub col: usize,
+    /// Error type.
+    pub err: ErrorType,
+    /// F1 in the current data state (pollution step 0).
+    pub current_f1: f64,
+    /// Raw regression prediction at −1 steps (one cleaning step).
+    pub raw_predicted_f1: f64,
+    /// Bias-corrected prediction (§3.3: mean of observed discrepancies).
+    pub predicted_f1: f64,
+    /// Credible-interval width `U(f)` of the prediction.
+    pub uncertainty: f64,
+    /// `(pollution steps, measured F1)` points the regression was fitted on.
+    pub points: Vec<(f64, f64)>,
+    /// Training rows the Polluter flagged (Cleaner hint).
+    pub flagged_train: Vec<usize>,
+    /// Test rows the Polluter flagged.
+    pub flagged_test: Vec<usize>,
+}
+
+impl Estimate {
+    /// Predicted F1 gain of one cleaning step.
+    pub fn gain(&self) -> f64 {
+        self.predicted_f1 - self.current_f1
+    }
+}
+
+/// The Estimator: owns the per-candidate bias-correction state that
+/// accumulates as the Recommender compares predictions with outcomes.
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    blr_config: BlrConfig,
+    bias_correction: bool,
+    /// Observed (actual − raw predicted) discrepancies per candidate pair.
+    discrepancies: HashMap<(usize, ErrorType), RunningStats>,
+}
+
+impl Estimator {
+    /// Create an Estimator. `degree`/`interval` configure the Bayesian
+    /// regression; `bias_correction` enables the §3.3 adjustment.
+    pub fn new(degree: usize, interval: f64, bias_correction: bool) -> Self {
+        Estimator {
+            blr_config: BlrConfig { degree, interval, ..BlrConfig::default() },
+            bias_correction,
+            discrepancies: HashMap::new(),
+        }
+    }
+
+    /// Step 1 + Step 2 (Eqs. 2–3): evaluate every polluted variant, regress
+    /// F1 on pollution steps, and predict the F1 one *cleaning* step away
+    /// (x = −1) with uncertainty.
+    pub fn estimate(
+        &self,
+        env: &CleaningEnvironment,
+        col: usize,
+        err: ErrorType,
+        current_f1: f64,
+        variants: &[PollutedVariant],
+    ) -> Result<Estimate, EnvError> {
+        assert!(!variants.is_empty(), "need at least one polluted variant");
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(variants.len() + 1);
+        points.push((0.0, current_f1));
+        let mut flagged_train = Vec::new();
+        let mut flagged_test = Vec::new();
+        for v in variants {
+            debug_assert_eq!((v.col, v.err), (col, err));
+            let f1 = env.evaluate_frames(&v.train, &v.test)?;
+            points.push((v.steps as f64, f1));
+            if v.steps == 1 {
+                // Union of first-step rows across combinations = the set of
+                // entries whose pollution informed this estimate.
+                for &r in &v.flagged_train {
+                    if !flagged_train.contains(&r) {
+                        flagged_train.push(r);
+                    }
+                }
+                for &r in &v.flagged_test {
+                    if !flagged_test.contains(&r) {
+                        flagged_test.push(r);
+                    }
+                }
+            }
+        }
+
+        let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+        let mut blr = BayesianLinearRegression::new(self.blr_config);
+        blr.fit(&xs, &ys)
+            .map_err(|e| EnvError::Invalid(format!("Bayesian regression failed: {e}")))?;
+        let pred = blr.predict(-1.0);
+        // F1 lives in [0, 1]; the linear extrapolation may leave it.
+        let raw = pred.mean.clamp(0.0, 1.0);
+        let corrected = if self.bias_correction {
+            (raw + self.bias(col, err)).clamp(0.0, 1.0)
+        } else {
+            raw
+        };
+        Ok(Estimate {
+            col,
+            err,
+            current_f1,
+            raw_predicted_f1: raw,
+            predicted_f1: corrected,
+            uncertainty: pred.uncertainty(),
+            points,
+            flagged_train,
+            flagged_test,
+        })
+    }
+
+    /// Mean observed discrepancy (actual − raw prediction) for a candidate.
+    pub fn bias(&self, col: usize, err: ErrorType) -> f64 {
+        self.discrepancies.get(&(col, err)).map_or(0.0, RunningStats::mean)
+    }
+
+    /// Record an observed outcome so future predictions for this candidate
+    /// are corrected (§3.3: the Estimator adjusts even when the Recommender
+    /// reverts the step).
+    pub fn record_outcome(&mut self, col: usize, err: ErrorType, raw_predicted: f64, actual: f64) {
+        self.discrepancies
+            .entry((col, err))
+            .or_default()
+            .push(actual - raw_predicted);
+    }
+
+    /// Number of recorded outcomes (diagnostics).
+    pub fn n_outcomes(&self) -> usize {
+        self.discrepancies.values().map(|s| s.count() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polluter::Polluter;
+    use comet_frame::{train_test_split, SplitOptions};
+    use comet_jenga::{GroundTruth, PrePollutionPlan, Provenance, Scenario};
+    use comet_ml::{Algorithm, Metric, RandomSearch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn env(polluted: bool) -> CleaningEnvironment {
+        let mut rng = StdRng::seed_from_u64(99);
+        let df = comet_datasets::Dataset::Eeg.generate(Some(300), &mut rng);
+        let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+        let gt_train = GroundTruth::new(tt.train.clone());
+        let gt_test = GroundTruth::new(tt.test.clone());
+        let mut train = tt.train;
+        let mut test = tt.test;
+        let mut prov_train = Provenance::for_frame(&train);
+        let mut prov_test = Provenance::for_frame(&test);
+        if polluted {
+            let plan = PrePollutionPlan::explicit(
+                Scenario::SingleError(ErrorType::MissingValues),
+                vec![(0, 0.4)],
+            );
+            plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
+            plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
+        }
+        CleaningEnvironment::new(
+            train,
+            test,
+            gt_train,
+            gt_test,
+            prov_train,
+            prov_test,
+            Algorithm::Knn,
+            Metric::F1,
+            0.02,
+            RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            3,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn estimate_has_sane_shape() {
+        let env = env(true);
+        let current = env.evaluate().unwrap();
+        let polluter = Polluter::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let variants = polluter.variants(&env, 0, ErrorType::MissingValues, &mut rng).unwrap();
+        let est = Estimator::new(1, 0.95, true);
+        let e = est.estimate(&env, 0, ErrorType::MissingValues, current, &variants).unwrap();
+        assert_eq!(e.points.len(), 5); // 1 current + 2 steps × 2 combos
+        assert!((0.0..=1.0).contains(&e.predicted_f1));
+        assert!(e.uncertainty >= 0.0);
+        assert!(!e.flagged_train.is_empty());
+        assert!((e.gain() - (e.predicted_f1 - e.current_f1)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bias_correction_learns_from_outcomes() {
+        let mut est = Estimator::new(1, 0.95, true);
+        assert_eq!(est.bias(0, ErrorType::MissingValues), 0.0);
+        est.record_outcome(0, ErrorType::MissingValues, 0.8, 0.9);
+        est.record_outcome(0, ErrorType::MissingValues, 0.8, 0.7);
+        assert!(est.bias(0, ErrorType::MissingValues).abs() < 1e-12);
+        est.record_outcome(0, ErrorType::MissingValues, 0.5, 0.8);
+        assert!(est.bias(0, ErrorType::MissingValues) > 0.0);
+        // Other candidates unaffected.
+        assert_eq!(est.bias(1, ErrorType::MissingValues), 0.0);
+        assert_eq!(est.n_outcomes(), 3);
+    }
+
+    #[test]
+    fn correction_applied_to_prediction() {
+        let env = env(true);
+        let current = env.evaluate().unwrap();
+        let polluter = Polluter::new(2, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let variants = polluter.variants(&env, 0, ErrorType::MissingValues, &mut rng).unwrap();
+
+        let mut est = Estimator::new(1, 0.95, true);
+        let before = est.estimate(&env, 0, ErrorType::MissingValues, current, &variants).unwrap();
+        // Teach a constant +0.05 bias.
+        est.record_outcome(0, ErrorType::MissingValues, 0.0, 0.05);
+        let after = est.estimate(&env, 0, ErrorType::MissingValues, current, &variants).unwrap();
+        assert!((after.predicted_f1 - (before.raw_predicted_f1 + 0.05)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_correction_is_identity() {
+        let mut est = Estimator::new(1, 0.95, false);
+        est.record_outcome(0, ErrorType::Scaling, 0.0, 0.3);
+        let env = env(true);
+        let current = env.evaluate().unwrap();
+        let polluter = Polluter::new(1, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let variants = polluter.variants(&env, 0, ErrorType::MissingValues, &mut rng).unwrap();
+        let e = est.estimate(&env, 0, ErrorType::MissingValues, current, &variants).unwrap();
+        assert_eq!(e.predicted_f1, e.raw_predicted_f1);
+    }
+
+    #[test]
+    fn predictions_stay_in_unit_interval() {
+        // Extreme synthetic points would extrapolate out of [0,1]; the
+        // estimate must clamp.
+        let env = env(false);
+        let polluter = Polluter::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let variants = polluter.variants(&env, 0, ErrorType::GaussianNoise, &mut rng).unwrap();
+        let mut est = Estimator::new(1, 0.95, true);
+        est.record_outcome(0, ErrorType::GaussianNoise, 0.0, 1.0); // +1 bias
+        let current = env.evaluate().unwrap();
+        let e = est.estimate(&env, 0, ErrorType::GaussianNoise, current, &variants).unwrap();
+        assert!(e.predicted_f1 <= 1.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # comet-core — the COMET cleaning-recommendation engine
+//!
+//! Implements the system of *"Step-by-Step Data Cleaning Recommendations to
+//! Improve ML Prediction Accuracy"* (EDBT 2025): given a dirty dataset, a
+//! target ML algorithm, and a cleaning budget, COMET recommends — one
+//! cleaning step at a time — which feature (and error type) to clean next
+//! so the model's F1 improves the most per unit of cleaning cost.
+//!
+//! Architecture (paper Figure 2):
+//!
+//! * [`Polluter`] (§3.1) — injects *additional* errors into each candidate
+//!   feature at +1 and +2 pollution steps, several random cell combinations
+//!   per level, never needing to know which cells are truly dirty,
+//! * [`Estimator`] (§3.2) — trains the target model on every polluted
+//!   variant, fits a Bayesian linear regression through the (pollution
+//!   level → F1) points, and extrapolates one step *backwards* to predict
+//!   the F1 after cleaning, with a credible-interval uncertainty; a
+//!   per-feature bias correction learns from observed discrepancies (§3.3),
+//! * [`Recommender`] (§3.3) — keeps positive-gain candidates, ranks them by
+//!   `(gain − uncertainty) / cost` (Eq. 4), reverts cleaning steps that
+//!   *decreased* F1 into a cleaning buffer, and falls back to the
+//!   historically best feature when no candidate looks positive,
+//! * [`CleaningSession`] — the outer loop tying the modules to a simulated
+//!   Cleaner ([`CleaningEnvironment`]) under a [`Budget`] with per-error
+//!   [`CostModel`]s (§4.2),
+//! * [`CleaningTrace`] — per-step records (predicted vs actual F1, costs,
+//!   reverts, fallbacks) from which every figure of the paper is derived.
+
+mod budget;
+mod config;
+mod cost;
+mod env;
+mod estimator;
+mod polluter;
+mod recommender;
+mod report;
+mod session;
+mod trace;
+
+pub use budget::Budget;
+pub use config::CometConfig;
+pub use cost::{CostModel, CostPolicy};
+pub use env::{CleaningEnvironment, EnvError, ModelSpec, StateSnapshot};
+pub use estimator::{Estimate, Estimator};
+pub use polluter::{PollutedVariant, Polluter};
+pub use recommender::{Candidate, Recommender};
+pub use session::{CleaningSession, SessionOutcome};
+pub use trace::{CleaningTrace, StepAction, StepRecord};

@@ -1,0 +1,234 @@
+//! The Polluter module (paper §3.1): incremental what-if pollution.
+
+use crate::config::CometConfig;
+use crate::env::{CleaningEnvironment, EnvError};
+use comet_frame::DataFrame;
+use comet_jenga::{inject, sample_rows, ErrorType};
+use rand::Rng;
+
+/// One additionally-polluted data state `d'_{f,ρ,c}`: the current data with
+/// `steps` extra pollution steps applied to feature `col` in combination
+/// `combination`.
+#[derive(Debug, Clone)]
+pub struct PollutedVariant {
+    /// Feature polluted.
+    pub col: usize,
+    /// Error type injected.
+    pub err: ErrorType,
+    /// Number of additional pollution steps (1-based).
+    pub steps: usize,
+    /// Which random cell combination this variant belongs to.
+    pub combination: usize,
+    /// The polluted training split.
+    pub train: DataFrame,
+    /// The polluted test split.
+    pub test: DataFrame,
+    /// Training rows polluted in the *first* step of this combination —
+    /// the entries handed to the Cleaner as a hint (§3.3).
+    pub flagged_train: Vec<usize>,
+    /// Test rows polluted in the first step.
+    pub flagged_test: Vec<usize>,
+}
+
+/// Generates the incrementally polluted variants for one candidate
+/// `(feature, error type)` pair.
+///
+/// The Polluter never consults ground truth: pollution rows are sampled
+/// uniformly over *all* rows, so it may overwrite already-dirty cells —
+/// exactly the §3.1 behaviour whose impact the paper bounds with the
+/// hypergeometric argument.
+#[derive(Debug, Clone, Copy)]
+pub struct Polluter {
+    steps: usize,
+    combinations: usize,
+}
+
+impl Polluter {
+    /// Build from a config (`pollution_steps`, `n_combinations`).
+    pub fn from_config(config: &CometConfig) -> Self {
+        Polluter { steps: config.pollution_steps, combinations: config.n_combinations }
+    }
+
+    /// Explicit constructor.
+    pub fn new(steps: usize, combinations: usize) -> Self {
+        assert!(steps >= 1, "need at least one pollution step");
+        assert!(combinations >= 1, "need at least one combination");
+        Polluter { steps, combinations }
+    }
+
+    /// Produce all variants for `(col, err)` starting from the environment's
+    /// current state: `combinations × steps` frames, where combination `c`
+    /// step `s` contains the first `s` pollution steps of combination `c`.
+    pub fn variants<R: Rng>(
+        &self,
+        env: &CleaningEnvironment,
+        col: usize,
+        err: ErrorType,
+        rng: &mut R,
+    ) -> Result<Vec<PollutedVariant>, EnvError> {
+        let mut out = Vec::with_capacity(self.steps * self.combinations);
+        for combination in 0..self.combinations {
+            let mut train = env.train().clone();
+            let mut test = env.test().clone();
+            let mut flagged_train = Vec::new();
+            let mut flagged_test = Vec::new();
+            for step in 1..=self.steps {
+                // Pollution is applied separately to train and test to
+                // prevent information leakage (§3.1).
+                let rows_tr = sample_rows(train.nrows(), env.step_train(), rng);
+                let rec_tr = inject(&mut train, col, &rows_tr, err, rng)?;
+                let rows_te = sample_rows(test.nrows(), env.step_test(), rng);
+                let rec_te = inject(&mut test, col, &rows_te, err, rng)?;
+                if step == 1 {
+                    flagged_train = rec_tr.rows();
+                    flagged_test = rec_te.rows();
+                }
+                out.push(PollutedVariant {
+                    col,
+                    err,
+                    steps: step,
+                    combination,
+                    train: train.clone(),
+                    test: test.clone(),
+                    flagged_train: flagged_train.clone(),
+                    flagged_test: flagged_test.clone(),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_frame::{train_test_split, SplitOptions};
+    use comet_jenga::{GroundTruth, Provenance};
+    use comet_ml::{Algorithm, Metric, RandomSearch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn env() -> CleaningEnvironment {
+        let mut rng = StdRng::seed_from_u64(42);
+        let df = comet_datasets::Dataset::Eeg.generate(Some(200), &mut rng);
+        let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+        CleaningEnvironment::new(
+            tt.train.clone(),
+            tt.test.clone(),
+            GroundTruth::new(tt.train.clone()),
+            GroundTruth::new(tt.test.clone()),
+            Provenance::for_frame(&tt.train),
+            Provenance::for_frame(&tt.test),
+            Algorithm::Knn,
+            Metric::F1,
+            0.02,
+            RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            1,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn produces_steps_times_combinations_variants() {
+        let env = env();
+        let polluter = Polluter::new(2, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let variants = polluter.variants(&env, 0, ErrorType::GaussianNoise, &mut rng).unwrap();
+        assert_eq!(variants.len(), 6);
+        for v in &variants {
+            assert_eq!(v.col, 0);
+            assert!(v.steps >= 1 && v.steps <= 2);
+            assert!(v.combination < 3);
+        }
+    }
+
+    #[test]
+    fn pollution_is_incremental_within_combination() {
+        let env = env();
+        let gt = GroundTruth::new(env.train().clone());
+        let polluter = Polluter::new(2, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let variants = polluter.variants(&env, 0, ErrorType::MissingValues, &mut rng).unwrap();
+        let d1 = gt.dirty_count(&variants[0].train, 0).unwrap();
+        let d2 = gt.dirty_count(&variants[1].train, 0).unwrap();
+        assert_eq!(d1, env.step_train());
+        // Step 2 adds another step's worth (minus possible overlap, which
+        // MissingValues avoids by skipping already-missing cells... it skips
+        // changing them, so overlap reduces the count).
+        assert!(d2 > d1 && d2 <= 2 * env.step_train());
+        // Step-1 dirt is contained in step-2 dirt.
+        let rows1 = gt.dirty_rows(&variants[0].train, 0).unwrap();
+        let rows2 = gt.dirty_rows(&variants[1].train, 0).unwrap();
+        for r in rows1 {
+            assert!(rows2.contains(&r));
+        }
+    }
+
+    #[test]
+    fn only_target_column_is_touched() {
+        let env = env();
+        let polluter = Polluter::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let variants = polluter.variants(&env, 3, ErrorType::GaussianNoise, &mut rng).unwrap();
+        for v in &variants {
+            for col in env.feature_cols() {
+                if col == 3 {
+                    continue;
+                }
+                assert_eq!(
+                    v.train.column(col).unwrap(),
+                    env.train().column(col).unwrap(),
+                    "column {col} must be untouched"
+                );
+            }
+            // Labels untouched.
+            assert_eq!(v.train.label_codes().unwrap(), env.train().label_codes().unwrap());
+        }
+    }
+
+    #[test]
+    fn environment_state_is_never_mutated() {
+        let env = env();
+        let before_train = env.train().clone();
+        let polluter = Polluter::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        polluter.variants(&env, 0, ErrorType::Scaling, &mut rng).unwrap();
+        assert_eq!(env.train(), &before_train);
+    }
+
+    #[test]
+    fn flagged_rows_are_step_one_rows() {
+        let env = env();
+        let gt = GroundTruth::new(env.train().clone());
+        let polluter = Polluter::new(2, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let variants = polluter.variants(&env, 0, ErrorType::MissingValues, &mut rng).unwrap();
+        let mut step1_rows = gt.dirty_rows(&variants[0].train, 0).unwrap();
+        step1_rows.sort_unstable();
+        let mut flagged = variants[0].flagged_train.clone();
+        flagged.sort_unstable();
+        assert_eq!(flagged, step1_rows);
+        // Step-2 variant carries the same flag (the Cleaner hint is the
+        // first step's rows).
+        assert_eq!(variants[0].flagged_train.len(), variants[1].flagged_train.len());
+    }
+
+    #[test]
+    fn combinations_differ() {
+        let env = env();
+        let polluter = Polluter::new(1, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let variants = polluter.variants(&env, 0, ErrorType::MissingValues, &mut rng).unwrap();
+        assert_ne!(
+            variants[0].flagged_train, variants[1].flagged_train,
+            "different combinations should pollute different cells"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_steps_rejected() {
+        Polluter::new(0, 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Trace export and human-readable session summaries.
+
+use crate::trace::{CleaningTrace, StepAction};
+use comet_frame::DataFrame;
+
+impl StepAction {
+    /// Stable label for CSV/reporting.
+    pub fn label(self) -> &'static str {
+        match self {
+            StepAction::Accepted => "accepted",
+            StepAction::Reverted => "reverted",
+            StepAction::BufferApplied => "buffer_applied",
+            StepAction::Fallback => "fallback",
+        }
+    }
+}
+
+impl CleaningTrace {
+    /// Render the trace as CSV (one row per attempted step). `frame`
+    /// resolves feature indices to column names where possible.
+    pub fn to_csv(&self, frame: Option<&DataFrame>) -> String {
+        let mut out = String::from(
+            "iteration,feature,error_type,action,cost,budget_spent,\
+             predicted_f1,raw_predicted_f1,actual_f1,cleaned_cells\n",
+        );
+        for r in &self.records {
+            let feature = frame
+                .and_then(|df| df.column(r.col).ok().map(|c| c.name().to_string()))
+                .unwrap_or_else(|| {
+                    if r.col == usize::MAX {
+                        "<records>".to_string() // record-wise strategies (AC)
+                    } else {
+                        format!("#{}", r.col)
+                    }
+                });
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                r.iteration,
+                feature,
+                r.err.abbrev(),
+                r.action.label(),
+                r.cost,
+                r.budget_spent,
+                r.predicted_f1.map(|p| p.to_string()).unwrap_or_default(),
+                r.raw_predicted_f1.map(|p| p.to_string()).unwrap_or_default(),
+                r.actual_f1,
+                r.cleaned_cells,
+            ));
+        }
+        out
+    }
+
+    /// Multi-line human-readable summary of the run.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "F1 {:.4} -> {:.4} ({:+.2} pt) over {:.1} budget units\n",
+            self.initial_f1,
+            self.final_f1,
+            100.0 * (self.final_f1 - self.initial_f1),
+            self.total_spent(),
+        ));
+        if let Some(clean) = self.fully_clean_f1 {
+            out.push_str(&format!("fully clean reference: {clean:.4}\n"));
+        }
+        out.push_str(&format!(
+            "steps: {} accepted, {} reverted, {} buffer re-applied, {} fallback\n",
+            self.count_action(StepAction::Accepted),
+            self.count_action(StepAction::Reverted),
+            self.count_action(StepAction::BufferApplied),
+            self.count_action(StepAction::Fallback),
+        ));
+        if let Some(mae) = self.prediction_mae() {
+            out.push_str(&format!("prediction MAE: {mae:.4}\n"));
+        }
+        if let Some(rt) = self.mean_iteration_runtime() {
+            out.push_str(&format!(
+                "mean recommendation runtime: {:.1} ms over {} iterations\n",
+                rt.as_secs_f64() * 1e3,
+                self.iteration_runtimes.len(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::StepRecord;
+    use comet_jenga::ErrorType;
+    use std::time::Duration;
+
+    fn trace() -> CleaningTrace {
+        CleaningTrace {
+            records: vec![
+                StepRecord {
+                    iteration: 0,
+                    col: 1,
+                    err: ErrorType::MissingValues,
+                    action: StepAction::Accepted,
+                    cost: 1.0,
+                    budget_spent: 1.0,
+                    predicted_f1: Some(0.8),
+                    raw_predicted_f1: Some(0.79),
+                    actual_f1: 0.82,
+                    cleaned_cells: 5,
+                },
+                StepRecord {
+                    iteration: 1,
+                    col: usize::MAX,
+                    err: ErrorType::Scaling,
+                    action: StepAction::Fallback,
+                    cost: 1.0,
+                    budget_spent: 2.0,
+                    predicted_f1: None,
+                    raw_predicted_f1: None,
+                    actual_f1: 0.81,
+                    cleaned_cells: 3,
+                },
+            ],
+            f1_curve: vec![(1.0, 0.82), (2.0, 0.81)],
+            initial_f1: 0.8,
+            final_f1: 0.81,
+            fully_clean_f1: Some(0.85),
+            iteration_runtimes: vec![Duration::from_millis(12)],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = trace().to_csv(None);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("iteration,feature,error_type"));
+        assert!(lines[1].contains("#1,MV,accepted,1,1,0.8,0.79,0.82,5"));
+        assert!(lines[2].contains("<records>,S,fallback"));
+    }
+
+    #[test]
+    fn csv_resolves_feature_names() {
+        let x = comet_frame::Column::numeric("age", vec![1.0]);
+        let income = comet_frame::Column::numeric("income", vec![2.0]);
+        let df = comet_frame::DataFrame::new(vec![x, income], None).unwrap();
+        let csv = trace().to_csv(Some(&df));
+        assert!(csv.contains(",income,MV,"), "{csv}");
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let s = trace().summary();
+        assert!(s.contains("0.8000 -> 0.8100"));
+        assert!(s.contains("1 accepted"));
+        assert!(s.contains("1 fallback"));
+        assert!(s.contains("prediction MAE"));
+        assert!(s.contains("12.0 ms"));
+        assert!(s.contains("fully clean reference: 0.8500"));
+    }
+
+    #[test]
+    fn action_labels_are_stable() {
+        assert_eq!(StepAction::Accepted.label(), "accepted");
+        assert_eq!(StepAction::BufferApplied.label(), "buffer_applied");
+    }
+}

@@ -1,0 +1,644 @@
+//! The COMET outer loop: iterate Polluter → Estimator → Recommender →
+//! (simulated) Cleaner until the budget is spent or the data is clean.
+
+use crate::budget::Budget;
+use crate::config::CometConfig;
+use crate::env::{CleaningEnvironment, EnvError};
+use crate::estimator::Estimator;
+use crate::polluter::Polluter;
+use crate::recommender::Recommender;
+use crate::trace::{CleaningTrace, StepAction, StepRecord};
+use comet_jenga::ErrorType;
+use rand::Rng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A configured COMET run over a fixed set of candidate error types
+/// (single-error scenario: one type; multi-error: all four).
+#[derive(Debug, Clone)]
+pub struct CleaningSession {
+    config: CometConfig,
+    errors: Vec<ErrorType>,
+}
+
+/// The result of a session.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The full step-by-step trace.
+    pub trace: CleaningTrace,
+}
+
+impl CleaningSession {
+    /// Build a session. Panics on an invalid config or empty error set.
+    pub fn new(config: CometConfig, errors: Vec<ErrorType>) -> Self {
+        config.validate().expect("valid config");
+        assert!(!errors.is_empty(), "need at least one candidate error type");
+        CleaningSession { config, errors }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CometConfig {
+        &self.config
+    }
+
+    /// Run COMET against the environment until the budget is exhausted, the
+    /// data is fully clean, or no affordable action remains.
+    pub fn run<R: Rng>(
+        &self,
+        env: &mut CleaningEnvironment,
+        rng: &mut R,
+    ) -> Result<SessionOutcome, EnvError> {
+        let mut budget = Budget::new(self.config.budget);
+        let polluter = Polluter::from_config(&self.config);
+        let mut estimator = Estimator::new(
+            self.config.blr_degree,
+            self.config.interval,
+            self.config.bias_correction,
+        );
+        let mut recommender = Recommender::new(self.config.use_uncertainty);
+        let mut steps_done: HashMap<(usize, ErrorType), usize> = HashMap::new();
+
+        let mut trace = CleaningTrace {
+            initial_f1: env.evaluate()?,
+            fully_clean_f1: Some(env.fully_cleaned_f1()?),
+            ..CleaningTrace::default()
+        };
+        let mut current_f1 = trace.initial_f1;
+
+        for iteration in 0..10_000usize {
+            if budget.exhausted() {
+                break;
+            }
+            let dirty_pairs = env.candidate_pairs(&self.errors);
+            if dirty_pairs.is_empty() {
+                break;
+            }
+
+            // --- Produce the recommendation (the RQ6-timed phase). ---
+            let started = Instant::now();
+            let mut estimates = Vec::with_capacity(dirty_pairs.len());
+            let mut costs = Vec::with_capacity(dirty_pairs.len());
+            for &(col, err) in &dirty_pairs {
+                let variants = polluter.variants(env, col, err, rng)?;
+                let estimate = estimator.estimate(env, col, err, current_f1, &variants)?;
+                let done = steps_done.get(&(col, err)).copied().unwrap_or(0);
+                costs.push(self.config.costs.next_cost(err, done));
+                estimates.push(estimate);
+            }
+            let ranked = recommender.rank(estimates, &costs);
+            trace.iteration_runtimes.push(started.elapsed());
+
+            // --- Execute recommendations until one sticks. ---
+            let mut progressed = false;
+
+            // Batched mode (future-work extension, §6): clean the top-k
+            // candidates together, evaluate once, accept or revert the
+            // whole batch. Falls through to the step-by-step path when
+            // fewer than two fresh candidates are available.
+            if self.config.batch_size > 1 {
+                let mut selected: Vec<&crate::recommender::Candidate> = Vec::new();
+                let mut planned_cost = 0.0;
+                for cand in &ranked {
+                    if selected.len() == self.config.batch_size {
+                        break;
+                    }
+                    let (col, err) = (cand.estimate.col, cand.estimate.err);
+                    if recommender.buffer_contains(col, err) {
+                        continue; // buffered states are handled one by one
+                    }
+                    if budget.can_afford(planned_cost + cand.cost) {
+                        planned_cost += cand.cost;
+                        selected.push(cand);
+                    }
+                }
+                if selected.len() > 1 {
+                    let mut pre_snaps = Vec::with_capacity(selected.len());
+                    for cand in &selected {
+                        pre_snaps.push(env.snapshot(cand.estimate.col)?);
+                    }
+                    let mut cleaned_counts = Vec::with_capacity(selected.len());
+                    let mut any_cleaned = false;
+                    for cand in &selected {
+                        let (col, err) = (cand.estimate.col, cand.estimate.err);
+                        let (ctr, cte) = env.clean_step(
+                            col,
+                            err,
+                            &cand.estimate.flagged_train,
+                            &cand.estimate.flagged_test,
+                            rng,
+                        )?;
+                        cleaned_counts.push(ctr + cte);
+                        any_cleaned |= ctr + cte > 0;
+                    }
+                    if any_cleaned {
+                        for cand in &selected {
+                            budget.try_spend(cand.cost);
+                            *steps_done
+                                .entry((cand.estimate.col, cand.estimate.err))
+                                .or_default() += 1;
+                        }
+                        let f1 = env.evaluate()?;
+                        for cand in &selected {
+                            estimator.record_outcome(
+                                cand.estimate.col,
+                                cand.estimate.err,
+                                cand.estimate.raw_predicted_f1,
+                                f1,
+                            );
+                            recommender.record_post_clean_f1(
+                                cand.estimate.col,
+                                cand.estimate.err,
+                                f1,
+                            );
+                        }
+                        let keep =
+                            f1 >= current_f1 - 1e-12 || !self.config.revert_on_decrease;
+                        if keep {
+                            current_f1 = f1;
+                        } else {
+                            // Buffer each cleaned column, then revert all.
+                            for cand in selected.iter() {
+                                let cleaned_state = env.snapshot(cand.estimate.col)?;
+                                recommender.buffer_store(
+                                    cand.estimate.col,
+                                    cand.estimate.err,
+                                    cleaned_state,
+                                );
+                            }
+                            for pre in &pre_snaps {
+                                env.restore(pre)?;
+                            }
+                        }
+                        for (i, cand) in selected.iter().enumerate() {
+                            trace.records.push(StepRecord {
+                                iteration,
+                                col: cand.estimate.col,
+                                err: cand.estimate.err,
+                                action: if keep {
+                                    StepAction::Accepted
+                                } else {
+                                    StepAction::Reverted
+                                },
+                                cost: cand.cost,
+                                budget_spent: budget.spent(),
+                                predicted_f1: Some(cand.estimate.predicted_f1),
+                                raw_predicted_f1: Some(cand.estimate.raw_predicted_f1),
+                                actual_f1: f1,
+                                cleaned_cells: cleaned_counts[i],
+                            });
+                        }
+                        trace.f1_curve.push((budget.spent(), current_f1));
+                        if keep {
+                            progressed = true;
+                        }
+                    }
+                }
+            }
+
+            for cand in &ranked {
+                if progressed {
+                    break;
+                }
+                let (col, err) = (cand.estimate.col, cand.estimate.err);
+
+                // A buffered cleaned state re-applies for free (§3.3).
+                if recommender.buffer_contains(col, err) {
+                    let pre = env.snapshot(col)?;
+                    let buffered =
+                        recommender.buffer_take(col, err).expect("checked contains");
+                    env.restore(&buffered)?;
+                    let f1 = env.evaluate()?;
+                    if f1 >= current_f1 - 1e-12 {
+                        current_f1 = f1;
+                        recommender.record_post_clean_f1(col, err, f1);
+                        trace.records.push(StepRecord {
+                            iteration,
+                            col,
+                            err,
+                            action: StepAction::BufferApplied,
+                            cost: 0.0,
+                            budget_spent: budget.spent(),
+                            predicted_f1: Some(cand.estimate.predicted_f1),
+                            raw_predicted_f1: Some(cand.estimate.raw_predicted_f1),
+                            actual_f1: f1,
+                            cleaned_cells: 0,
+                        });
+                        trace.f1_curve.push((budget.spent(), f1));
+                        progressed = true;
+                        break;
+                    }
+                    env.restore(&pre)?;
+                    recommender.buffer_store(col, err, buffered);
+                    continue;
+                }
+
+                if !budget.can_afford(cand.cost) {
+                    continue;
+                }
+                let pre = env.snapshot(col)?;
+                let (ctr, cte) = env.clean_step(
+                    col,
+                    err,
+                    &cand.estimate.flagged_train,
+                    &cand.estimate.flagged_test,
+                    rng,
+                )?;
+                if ctr + cte == 0 {
+                    continue;
+                }
+                budget.try_spend(cand.cost);
+                *steps_done.entry((col, err)).or_default() += 1;
+                let f1 = env.evaluate()?;
+                estimator.record_outcome(col, err, cand.estimate.raw_predicted_f1, f1);
+                recommender.record_post_clean_f1(col, err, f1);
+
+                if f1 >= current_f1 - 1e-12 || !self.config.revert_on_decrease {
+                    current_f1 = f1;
+                    trace.records.push(StepRecord {
+                        iteration,
+                        col,
+                        err,
+                        action: StepAction::Accepted,
+                        cost: cand.cost,
+                        budget_spent: budget.spent(),
+                        predicted_f1: Some(cand.estimate.predicted_f1),
+                        raw_predicted_f1: Some(cand.estimate.raw_predicted_f1),
+                        actual_f1: f1,
+                        cleaned_cells: ctr + cte,
+                    });
+                    trace.f1_curve.push((budget.spent(), f1));
+                    progressed = true;
+                    break;
+                }
+
+                // Revert, but keep the paid work in the cleaning buffer.
+                let cleaned_state = env.snapshot(col)?;
+                env.restore(&pre)?;
+                recommender.buffer_store(col, err, cleaned_state);
+                trace.records.push(StepRecord {
+                    iteration,
+                    col,
+                    err,
+                    action: StepAction::Reverted,
+                    cost: cand.cost,
+                    budget_spent: budget.spent(),
+                    predicted_f1: Some(cand.estimate.predicted_f1),
+                    raw_predicted_f1: Some(cand.estimate.raw_predicted_f1),
+                    actual_f1: f1,
+                    cleaned_cells: ctr + cte,
+                });
+                trace.f1_curve.push((budget.spent(), current_f1));
+            }
+
+            // --- Fallback (§3.3, step E). ---
+            // When no candidate is predicted to improve (or all ranked ones
+            // were reverted), the fallback commits to cleaning the candidate
+            // with the historically best post-cleaning F1 and *keeps* the
+            // result even if F1 temporarily dips — the paper's own Figure 7
+            // shows COMET's trajectory fluctuating exactly this way. This
+            // also guarantees progress: every fallback step reduces dirt.
+            if !progressed && self.config.fallback {
+                let dirty_now = env.candidate_pairs(&self.errors);
+                if let Some((col, err)) = recommender.fallback(&dirty_now) {
+                    if let Some(buffered) = recommender.buffer_take(col, err) {
+                        env.restore(&buffered)?;
+                        let f1 = env.evaluate()?;
+                        current_f1 = f1;
+                        recommender.record_post_clean_f1(col, err, f1);
+                        trace.records.push(StepRecord {
+                            iteration,
+                            col,
+                            err,
+                            action: StepAction::Fallback,
+                            cost: 0.0,
+                            budget_spent: budget.spent(),
+                            predicted_f1: None,
+                            raw_predicted_f1: None,
+                            actual_f1: f1,
+                            cleaned_cells: 0,
+                        });
+                        trace.f1_curve.push((budget.spent(), f1));
+                        progressed = true;
+                    } else {
+                        let done = steps_done.get(&(col, err)).copied().unwrap_or(0);
+                        let cost = self.config.costs.next_cost(err, done);
+                        if budget.can_afford(cost) {
+                            let (ctr, cte) = env.clean_step(col, err, &[], &[], rng)?;
+                            if ctr + cte > 0 {
+                                budget.try_spend(cost);
+                                *steps_done.entry((col, err)).or_default() += 1;
+                                let f1 = env.evaluate()?;
+                                current_f1 = f1;
+                                recommender.record_post_clean_f1(col, err, f1);
+                                trace.records.push(StepRecord {
+                                    iteration,
+                                    col,
+                                    err,
+                                    action: StepAction::Fallback,
+                                    cost,
+                                    budget_spent: budget.spent(),
+                                    predicted_f1: None,
+                                    raw_predicted_f1: None,
+                                    actual_f1: f1,
+                                    cleaned_cells: ctr + cte,
+                                });
+                                trace.f1_curve.push((budget.spent(), f1));
+                                progressed = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+
+        trace.final_f1 = current_f1;
+        Ok(SessionOutcome { trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_frame::{train_test_split, SplitOptions};
+    use comet_jenga::{GroundTruth, PrePollutionPlan, Provenance, Scenario};
+    use comet_ml::{Algorithm, Metric, RandomSearch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_env(
+        seed: u64,
+        rows: usize,
+        levels: Vec<(usize, f64)>,
+        algorithm: Algorithm,
+    ) -> CleaningEnvironment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let df = comet_datasets::Dataset::Eeg.generate(Some(rows), &mut rng);
+        let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+        let gt_train = GroundTruth::new(tt.train.clone());
+        let gt_test = GroundTruth::new(tt.test.clone());
+        let mut train = tt.train;
+        let mut test = tt.test;
+        let mut prov_train = Provenance::for_frame(&train);
+        let mut prov_test = Provenance::for_frame(&test);
+        let plan = PrePollutionPlan::explicit(
+            Scenario::SingleError(ErrorType::MissingValues),
+            levels,
+        );
+        plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
+        plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
+        CleaningEnvironment::new(
+            train,
+            test,
+            gt_train,
+            gt_test,
+            prov_train,
+            prov_test,
+            algorithm,
+            Metric::F1,
+            0.02,
+            RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            11,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    fn quick_config(budget: f64) -> CometConfig {
+        CometConfig {
+            budget,
+            n_combinations: 1,
+            search: RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            ..CometConfig::default()
+        }
+    }
+
+    #[test]
+    fn session_runs_and_respects_budget() {
+        let mut env = build_env(1, 240, vec![(0, 0.3), (1, 0.2)], Algorithm::Knn);
+        let session = CleaningSession::new(quick_config(6.0), vec![ErrorType::MissingValues]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = session.run(&mut env, &mut rng).unwrap();
+        let trace = &outcome.trace;
+        assert!(trace.total_spent() <= 6.0 + 1e-9);
+        assert!(!trace.records.is_empty());
+        // Budget spent is non-decreasing across records.
+        let mut prev = 0.0;
+        for r in &trace.records {
+            assert!(r.budget_spent >= prev - 1e-12);
+            prev = r.budget_spent;
+        }
+        assert!((0.0..=1.0).contains(&trace.final_f1));
+        assert!(!trace.iteration_runtimes.is_empty());
+    }
+
+    #[test]
+    fn ample_budget_fully_cleans() {
+        let mut env = build_env(2, 200, vec![(0, 0.25)], Algorithm::Knn);
+        let session =
+            CleaningSession::new(quick_config(1_000.0), vec![ErrorType::MissingValues]);
+        let mut rng = StdRng::seed_from_u64(1);
+        session.run(&mut env, &mut rng).unwrap();
+        // With an effectively unlimited budget the fallback keeps cleaning
+        // until no candidate pair remains (the dataset is marked clean).
+        assert!(env.candidate_pairs(&[ErrorType::MissingValues]).is_empty());
+        assert!(env.is_fully_clean().unwrap());
+    }
+
+    #[test]
+    fn cleaning_improves_f1_on_average() {
+        // Across a few seeds, COMET cleaning should help on heavily polluted
+        // data. Individual runs may dip slightly (Figure 7 in the paper shows
+        // exactly such fluctuations); the mean must improve.
+        let mut total = 0.0;
+        let mut worst = f64::INFINITY;
+        for seed in 0..3 {
+            // Pollute every feature: cleaning must then matter regardless of
+            // which features carry the planted signal.
+            let levels: Vec<(usize, f64)> = (0..14).map(|c| (c, 0.35)).collect();
+            let mut env = build_env(seed, 300, levels, Algorithm::Knn);
+            let session =
+                CleaningSession::new(quick_config(30.0), vec![ErrorType::MissingValues]);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = session.run(&mut env, &mut rng).unwrap();
+            let delta = outcome.trace.final_f1 - outcome.trace.initial_f1;
+            total += delta;
+            worst = worst.min(delta);
+        }
+        assert!(total > 0.0, "mean improvement {total}");
+        assert!(worst > -0.05, "worst-case regression {worst} too large");
+    }
+
+    #[test]
+    fn trace_actions_are_consistent() {
+        let mut env = build_env(3, 240, vec![(0, 0.3), (5, 0.3)], Algorithm::Knn);
+        let session = CleaningSession::new(quick_config(15.0), vec![ErrorType::MissingValues]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = session.run(&mut env, &mut rng).unwrap();
+        for r in &outcome.trace.records {
+            match r.action {
+                StepAction::Accepted => {
+                    assert!(r.predicted_f1.is_some());
+                    assert!(r.cleaned_cells > 0);
+                }
+                StepAction::Reverted => {
+                    assert!(r.cleaned_cells > 0);
+                }
+                StepAction::BufferApplied => {
+                    assert_eq!(r.cost, 0.0);
+                }
+                StepAction::Fallback => {}
+            }
+        }
+        // The curve is keyed by non-decreasing budget.
+        let mut prev = 0.0;
+        for &(b, f1) in &outcome.trace.f1_curve {
+            assert!(b >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&f1));
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn ablations_run() {
+        for (unc, bias, revert, fallback) in
+            [(false, true, true, true), (true, false, true, true), (true, true, false, false)]
+        {
+            let mut env = build_env(4, 200, vec![(0, 0.3)], Algorithm::Knn);
+            let config = CometConfig {
+                use_uncertainty: unc,
+                bias_correction: bias,
+                revert_on_decrease: revert,
+                fallback,
+                ..quick_config(8.0)
+            };
+            let session = CleaningSession::new(config, vec![ErrorType::MissingValues]);
+            let mut rng = StdRng::seed_from_u64(3);
+            let outcome = session.run(&mut env, &mut rng).unwrap();
+            assert!(outcome.trace.total_spent() <= 8.0 + 1e-9);
+            if !revert {
+                assert_eq!(outcome.trace.count_action(StepAction::Reverted), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_error_scenario_runs_with_paper_costs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let df = comet_datasets::Dataset::Cmc.generate(Some(240), &mut rng);
+        let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+        let gt_train = GroundTruth::new(tt.train.clone());
+        let gt_test = GroundTruth::new(tt.test.clone());
+        let mut train = tt.train;
+        let mut test = tt.test;
+        let mut prov_train = Provenance::for_frame(&train);
+        let mut prov_test = Provenance::for_frame(&test);
+        let plan = PrePollutionPlan::sample(&train, Scenario::MultiError, 0.15, 0.4, &mut rng)
+            .unwrap();
+        plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
+        plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
+        let mut env = CleaningEnvironment::new(
+            train,
+            test,
+            gt_train,
+            gt_test,
+            prov_train,
+            prov_test,
+            Algorithm::Knn,
+            Metric::F1,
+            0.02,
+            RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            5,
+            &mut rng,
+        )
+        .unwrap();
+        let config = CometConfig {
+            costs: crate::cost::CostPolicy::paper_multi(),
+            budget: 10.0,
+            n_combinations: 1,
+            ..CometConfig::default()
+        };
+        let session = CleaningSession::new(config, ErrorType::ALL.to_vec());
+        let outcome = session.run(&mut env, &mut rng).unwrap();
+        assert!(outcome.trace.total_spent() <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate error type")]
+    fn empty_error_set_rejected() {
+        CleaningSession::new(CometConfig::default(), vec![]);
+    }
+
+    fn build_env_with_step(
+        seed: u64,
+        rows: usize,
+        levels: Vec<(usize, f64)>,
+        algorithm: Algorithm,
+        step_frac: f64,
+    ) -> CleaningEnvironment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let df = comet_datasets::Dataset::Eeg.generate(Some(rows), &mut rng);
+        let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+        let gt_train = GroundTruth::new(tt.train.clone());
+        let gt_test = GroundTruth::new(tt.test.clone());
+        let mut train = tt.train;
+        let mut test = tt.test;
+        let mut prov_train = Provenance::for_frame(&train);
+        let mut prov_test = Provenance::for_frame(&test);
+        let plan = PrePollutionPlan::explicit(
+            Scenario::SingleError(ErrorType::MissingValues),
+            levels,
+        );
+        plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
+        plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
+        CleaningEnvironment::new(
+            train,
+            test,
+            gt_train,
+            gt_test,
+            prov_train,
+            prov_test,
+            algorithm,
+            Metric::F1,
+            step_frac,
+            RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            11,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batched_recommendations_clean_multiple_features_per_iteration() {
+        // Heavy pollution + large cleaning steps so several candidates have
+        // clearly positive predicted gains at once.
+        let levels: Vec<(usize, f64)> = (0..14).map(|c| (c, 0.5)).collect();
+        let mut env = build_env_with_step(21, 300, levels, Algorithm::Knn, 0.08);
+        let config = CometConfig { batch_size: 3, ..quick_config(12.0) };
+        let session = CleaningSession::new(config, vec![ErrorType::MissingValues]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = session.run(&mut env, &mut rng).unwrap();
+        let trace = &outcome.trace;
+        assert!(trace.total_spent() <= 12.0 + 1e-9);
+        // At least one iteration should have produced several records with
+        // the same iteration index and identical post-batch F1.
+        let mut by_iteration: std::collections::HashMap<usize, Vec<&StepRecord>> =
+            std::collections::HashMap::new();
+        for r in &trace.records {
+            by_iteration.entry(r.iteration).or_default().push(r);
+        }
+        let batched = by_iteration.values().any(|rs| {
+            rs.len() > 1 && rs.iter().all(|r| r.actual_f1 == rs[0].actual_f1)
+        });
+        assert!(batched, "expected at least one multi-feature batch");
+    }
+
+    #[test]
+    fn batch_size_zero_rejected() {
+        let config = CometConfig { batch_size: 0, ..CometConfig::default() };
+        assert!(config.validate().is_err());
+    }
+}

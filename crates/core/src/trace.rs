@@ -1,0 +1,186 @@
+//! Cleaning traces: everything the evaluation section plots is derived from
+//! these records.
+
+use comet_jenga::ErrorType;
+use std::time::Duration;
+
+/// What happened in one attempted cleaning step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepAction {
+    /// Cleaning improved (or held) F1 and was kept.
+    Accepted,
+    /// Cleaning decreased F1 and was reverted into the cleaning buffer.
+    Reverted,
+    /// A previously buffered cleaned state was re-applied (free).
+    BufferApplied,
+    /// The fallback strategy cleaned this candidate (kept regardless).
+    Fallback,
+}
+
+/// One attempted cleaning step.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Outer-loop iteration this attempt belongs to.
+    pub iteration: usize,
+    /// Feature column cleaned.
+    pub col: usize,
+    /// Error type cleaned.
+    pub err: ErrorType,
+    /// Outcome.
+    pub action: StepAction,
+    /// Cost charged for this attempt.
+    pub cost: f64,
+    /// Cumulative budget spent *after* this attempt.
+    pub budget_spent: f64,
+    /// The Estimator's (bias-corrected) predicted F1, if a prediction drove
+    /// this step (fallback steps may have none).
+    pub predicted_f1: Option<f64>,
+    /// Raw (uncorrected) prediction, for bias-correction diagnostics.
+    pub raw_predicted_f1: Option<f64>,
+    /// F1 measured after the cleaning attempt (before any revert).
+    pub actual_f1: f64,
+    /// Cells cleaned (train + test).
+    pub cleaned_cells: usize,
+}
+
+/// Full record of a cleaning run.
+#[derive(Debug, Clone, Default)]
+pub struct CleaningTrace {
+    /// All attempted steps in order.
+    pub records: Vec<StepRecord>,
+    /// `(budget spent, F1 of the kept state)` after every attempt — the
+    /// paper's F1-per-budget curves.
+    pub f1_curve: Vec<(f64, f64)>,
+    /// F1 of the initial dirty state (budget 0).
+    pub initial_f1: f64,
+    /// F1 of the final kept state.
+    pub final_f1: f64,
+    /// F1 of the fully cleaned dataset (the "cleaned" line of Figure 7).
+    pub fully_clean_f1: Option<f64>,
+    /// Wall-clock time per outer-loop iteration (RQ 6).
+    pub iteration_runtimes: Vec<Duration>,
+}
+
+impl CleaningTrace {
+    /// F1 of the kept state after spending at most `budget` units (step
+    /// function through the curve; `initial_f1` before any spend).
+    pub fn f1_at_budget(&self, budget: f64) -> f64 {
+        let mut f1 = self.initial_f1;
+        for &(spent, value) in &self.f1_curve {
+            if spent <= budget + 1e-9 {
+                f1 = value;
+            } else {
+                break;
+            }
+        }
+        f1
+    }
+
+    /// Sample the curve at integer budgets `0..=max` (figure series).
+    pub fn f1_series(&self, max_budget: usize) -> Vec<f64> {
+        (0..=max_budget).map(|b| self.f1_at_budget(b as f64)).collect()
+    }
+
+    /// Mean absolute error between predicted and measured F1 over all steps
+    /// that carried a prediction (RQ 5). `None` if no step did.
+    pub fn prediction_mae(&self) -> Option<f64> {
+        let pairs: Vec<(f64, f64)> = self
+            .records
+            .iter()
+            .filter_map(|r| r.predicted_f1.map(|p| (p, r.actual_f1)))
+            .collect();
+        if pairs.is_empty() {
+            return None;
+        }
+        Some(pairs.iter().map(|(p, a)| (p - a).abs()).sum::<f64>() / pairs.len() as f64)
+    }
+
+    /// Total budget spent.
+    pub fn total_spent(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.budget_spent)
+    }
+
+    /// Count of records with a given action.
+    pub fn count_action(&self, action: StepAction) -> usize {
+        self.records.iter().filter(|r| r.action == action).count()
+    }
+
+    /// Mean iteration runtime (RQ 6).
+    pub fn mean_iteration_runtime(&self) -> Option<Duration> {
+        if self.iteration_runtimes.is_empty() {
+            return None;
+        }
+        let total: Duration = self.iteration_runtimes.iter().sum();
+        Some(total / self.iteration_runtimes.len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(action: StepAction, cost: f64, spent: f64, pred: Option<f64>, actual: f64) -> StepRecord {
+        StepRecord {
+            iteration: 0,
+            col: 0,
+            err: ErrorType::MissingValues,
+            action,
+            cost,
+            budget_spent: spent,
+            predicted_f1: pred,
+            raw_predicted_f1: pred,
+            actual_f1: actual,
+            cleaned_cells: 1,
+        }
+    }
+
+    #[test]
+    fn f1_at_budget_steps_through_curve() {
+        let trace = CleaningTrace {
+            initial_f1: 0.5,
+            final_f1: 0.8,
+            f1_curve: vec![(1.0, 0.6), (3.0, 0.7), (5.0, 0.8)],
+            ..CleaningTrace::default()
+        };
+        assert_eq!(trace.f1_at_budget(0.0), 0.5);
+        assert_eq!(trace.f1_at_budget(1.0), 0.6);
+        assert_eq!(trace.f1_at_budget(2.0), 0.6);
+        assert_eq!(trace.f1_at_budget(4.9), 0.7);
+        assert_eq!(trace.f1_at_budget(50.0), 0.8);
+        assert_eq!(trace.f1_series(3), vec![0.5, 0.6, 0.6, 0.7]);
+    }
+
+    #[test]
+    fn prediction_mae_over_predicted_steps() {
+        let trace = CleaningTrace {
+            records: vec![
+                record(StepAction::Accepted, 1.0, 1.0, Some(0.7), 0.8),
+                record(StepAction::Reverted, 1.0, 2.0, Some(0.9), 0.6),
+                record(StepAction::Fallback, 1.0, 3.0, None, 0.65),
+            ],
+            ..CleaningTrace::default()
+        };
+        // (|0.7-0.8| + |0.9-0.6|) / 2 = 0.2.
+        assert!((trace.prediction_mae().unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(trace.total_spent(), 3.0);
+        assert_eq!(trace.count_action(StepAction::Reverted), 1);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let trace = CleaningTrace::default();
+        assert_eq!(trace.prediction_mae(), None);
+        assert_eq!(trace.total_spent(), 0.0);
+        assert_eq!(trace.mean_iteration_runtime(), None);
+        assert_eq!(trace.f1_at_budget(10.0), 0.0);
+    }
+
+    #[test]
+    fn mean_runtime() {
+        let trace = CleaningTrace {
+            iteration_runtimes: vec![Duration::from_millis(10), Duration::from_millis(30)],
+            ..CleaningTrace::default()
+        };
+        assert_eq!(trace.mean_iteration_runtime(), Some(Duration::from_millis(20)));
+    }
+}

@@ -1,0 +1,28 @@
+//! # comet-datasets — synthetic analogs of the paper's evaluation datasets
+//!
+//! The paper evaluates COMET on seven public datasets (Table 1): four
+//! pre-polluted ones (CMC, Churn, EEG, South-German-Credit) and three
+//! CleanML datasets shipped with paired dirty/clean versions (Airbnb,
+//! Credit, Titanic). Those files cannot be redistributed or downloaded
+//! here, so this crate generates **synthetic analogs with identical
+//! schemas** — same row count, numeric/categorical feature split, and class
+//! count — and a *planted*, heterogeneous feature→label signal:
+//!
+//! * each feature carries a different signal strength, so cleaning order
+//!   matters (the property COMET exploits),
+//! * numeric features are class-conditional Gaussians; categorical features
+//!   are class-conditional multinomials,
+//! * a fraction of features is pure noise (cleaning them is wasted budget —
+//!   exactly the trap the RR baseline falls into).
+//!
+//! For the CleanML trio, [`Dataset::generate_cleanml_pair`] additionally
+//! derives a dirty version carrying the paper's documented error types
+//! (Airbnb: scaling; Credit: scaling & missing values; Titanic: missing
+//! values) together with full per-cell provenance, mirroring the benchmark's
+//! paired dirty/clean files.
+
+mod generator;
+mod registry;
+
+pub use generator::{CleanMlPair, GeneratorConfig};
+pub use registry::{Dataset, DatasetSpec};

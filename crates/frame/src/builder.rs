@@ -1,0 +1,211 @@
+//! Row-oriented frame construction.
+
+use crate::{Cell, Column, DataFrame, FieldMeta, FrameError, Result, Role, Schema};
+
+/// Incrementally builds a [`DataFrame`] row by row against a fixed schema.
+///
+/// Used by dataset generators and the CSV reader: declare the schema first,
+/// then push rows of [`Cell`]s. Categorical dictionaries must be declared up
+/// front so codes are stable across builds with different row orders.
+#[derive(Debug, Clone)]
+pub struct DataFrameBuilder {
+    schema: Schema,
+    /// Per-column accumulated cells.
+    cells: Vec<Vec<Cell>>,
+    /// Per-column dictionaries (empty for numeric columns).
+    dictionaries: Vec<Vec<String>>,
+}
+
+impl DataFrameBuilder {
+    /// Start a builder for `schema`. `dictionaries[i]` must be non-empty for
+    /// every categorical column `i` and empty for numeric columns.
+    pub fn new(schema: Schema, dictionaries: Vec<Vec<String>>) -> Result<Self> {
+        if dictionaries.len() != schema.len() {
+            return Err(FrameError::InvalidArgument(format!(
+                "expected {} dictionaries, got {}",
+                schema.len(),
+                dictionaries.len()
+            )));
+        }
+        for (i, field) in schema.fields().iter().enumerate() {
+            let dict_len = dictionaries[i].len();
+            match field.kind {
+                crate::ColumnKind::Categorical if dict_len == 0 => {
+                    return Err(FrameError::InvalidArgument(format!(
+                        "categorical column {:?} needs a dictionary",
+                        field.name
+                    )))
+                }
+                crate::ColumnKind::Numeric if dict_len != 0 => {
+                    return Err(FrameError::InvalidArgument(format!(
+                        "numeric column {:?} must not have a dictionary",
+                        field.name
+                    )))
+                }
+                _ => {}
+            }
+        }
+        let cells = vec![Vec::new(); schema.len()];
+        Ok(DataFrameBuilder { schema, cells, dictionaries })
+    }
+
+    /// Append one row. The row length must match the schema and each cell's
+    /// kind must match its column.
+    pub fn push_row(&mut self, row: &[Cell]) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(FrameError::InvalidArgument(format!(
+                "row has {} cells, schema has {} columns",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        for (i, &cell) in row.iter().enumerate() {
+            let field = self.schema.field(i)?;
+            let ok = match (field.kind, cell) {
+                (_, Cell::Missing) => true,
+                (crate::ColumnKind::Numeric, Cell::Num(_)) => true,
+                (crate::ColumnKind::Categorical, Cell::Cat(code)) => {
+                    (code as usize) < self.dictionaries[i].len()
+                }
+                _ => false,
+            };
+            if !ok {
+                return Err(FrameError::TypeMismatch {
+                    column: field.name.clone(),
+                    expected: field.kind.name(),
+                    got: cell.kind_name(),
+                });
+            }
+        }
+        for (i, &cell) in row.iter().enumerate() {
+            self.cells[i].push(cell);
+        }
+        Ok(())
+    }
+
+    /// Number of rows accumulated so far.
+    pub fn nrows(&self) -> usize {
+        self.cells.first().map_or(0, Vec::len)
+    }
+
+    /// Finish, producing the frame. Fails on zero rows.
+    pub fn finish(self) -> Result<DataFrame> {
+        if self.nrows() == 0 {
+            return Err(FrameError::Empty);
+        }
+        let mut columns = Vec::with_capacity(self.schema.len());
+        let label_name = self
+            .schema
+            .label_index()
+            .map(|i| self.schema.fields()[i].name.clone());
+        for (i, field) in self.schema.fields().iter().enumerate() {
+            columns.push(build_column(field, &self.cells[i], &self.dictionaries[i])?);
+        }
+        DataFrame::new(columns, label_name.as_deref())
+    }
+
+    /// The builder's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+fn build_column(field: &FieldMeta, cells: &[Cell], dict: &[String]) -> Result<Column> {
+    match field.kind {
+        crate::ColumnKind::Numeric => {
+            let values: Vec<Option<f64>> = cells.iter().map(|c| c.as_num()).collect();
+            Ok(Column::numeric_opt(field.name.clone(), values))
+        }
+        crate::ColumnKind::Categorical => {
+            let codes: Vec<Option<u32>> = cells.iter().map(|c| c.as_cat()).collect();
+            Column::categorical_opt(field.name.clone(), codes, dict.to_vec())
+        }
+    }
+}
+
+/// Convenience: schema + dictionaries for the common "numeric features with a
+/// categorical label" case.
+pub fn numeric_schema(features: &[&str], label: &str, classes: &[&str]) -> (Schema, Vec<Vec<String>>) {
+    let mut fields: Vec<FieldMeta> = features.iter().map(|f| FieldMeta::numeric(*f)).collect();
+    fields.push(FieldMeta { name: label.into(), kind: crate::ColumnKind::Categorical, role: Role::Label });
+    let mut dicts: Vec<Vec<String>> = vec![Vec::new(); features.len()];
+    dicts.push(classes.iter().map(|c| c.to_string()).collect());
+    (Schema::new(fields).expect("valid schema"), dicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColumnKind;
+
+    fn builder() -> DataFrameBuilder {
+        let schema = Schema::new(vec![
+            FieldMeta::numeric("x"),
+            FieldMeta::categorical("c"),
+            FieldMeta::label("y"),
+        ])
+        .unwrap();
+        let dicts = vec![
+            vec![],
+            vec!["a".into(), "b".into()],
+            vec!["no".into(), "yes".into()],
+        ];
+        DataFrameBuilder::new(schema, dicts).unwrap()
+    }
+
+    #[test]
+    fn builds_frame_row_by_row() {
+        let mut b = builder();
+        b.push_row(&[Cell::Num(1.0), Cell::Cat(0), Cell::Cat(1)]).unwrap();
+        b.push_row(&[Cell::Missing, Cell::Cat(1), Cell::Cat(0)]).unwrap();
+        assert_eq!(b.nrows(), 2);
+        let df = b.finish().unwrap();
+        assert_eq!(df.nrows(), 2);
+        assert_eq!(df.label_codes().unwrap(), vec![1, 0]);
+        assert!(df.get(1, 0).unwrap().is_missing());
+        assert_eq!(df.column_by_name("c").unwrap().cardinality(), 2);
+    }
+
+    #[test]
+    fn wrong_row_length_rejected() {
+        let mut b = builder();
+        assert!(b.push_row(&[Cell::Num(1.0)]).is_err());
+    }
+
+    #[test]
+    fn wrong_cell_kind_rejected() {
+        let mut b = builder();
+        let err = b.push_row(&[Cell::Cat(0), Cell::Cat(0), Cell::Cat(0)]).unwrap_err();
+        assert!(matches!(err, FrameError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn out_of_dictionary_code_rejected() {
+        let mut b = builder();
+        let err = b.push_row(&[Cell::Num(1.0), Cell::Cat(5), Cell::Cat(0)]).unwrap_err();
+        assert!(matches!(err, FrameError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_finish_rejected() {
+        assert_eq!(builder().finish().unwrap_err(), FrameError::Empty);
+    }
+
+    #[test]
+    fn dictionary_arity_validated() {
+        let schema = Schema::new(vec![FieldMeta::numeric("x")]).unwrap();
+        assert!(DataFrameBuilder::new(schema.clone(), vec![]).is_err());
+        assert!(DataFrameBuilder::new(schema, vec![vec!["oops".into()]]).is_err());
+        let cat_schema = Schema::new(vec![FieldMeta::categorical("c")]).unwrap();
+        assert!(DataFrameBuilder::new(cat_schema, vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn numeric_schema_helper() {
+        let (schema, dicts) = numeric_schema(&["f1", "f2"], "y", &["neg", "pos"]);
+        assert_eq!(schema.len(), 3);
+        assert_eq!(schema.label_index(), Some(2));
+        assert_eq!(schema.fields()[0].kind, ColumnKind::Numeric);
+        assert_eq!(dicts[2], vec!["neg".to_string(), "pos".to_string()]);
+    }
+}

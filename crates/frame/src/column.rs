@@ -1,0 +1,423 @@
+//! Typed columns with an explicit validity mask.
+
+use crate::{ColumnKind, FrameError, Result};
+
+/// A single cell value, as read from or written into a column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cell {
+    /// Missing value (the validity mask is authoritative, not NaN).
+    Missing,
+    /// Numeric value.
+    Num(f64),
+    /// Categorical code into the column's dictionary.
+    Cat(u32),
+}
+
+impl Cell {
+    /// Kind name for error reporting.
+    pub fn kind_name(self) -> &'static str {
+        match self {
+            Cell::Missing => "missing",
+            Cell::Num(_) => "numeric",
+            Cell::Cat(_) => "categorical",
+        }
+    }
+
+    /// True if this cell is missing.
+    pub fn is_missing(self) -> bool {
+        matches!(self, Cell::Missing)
+    }
+
+    /// Numeric payload, if any.
+    pub fn as_num(self) -> Option<f64> {
+        match self {
+            Cell::Num(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Categorical payload, if any.
+    pub fn as_cat(self) -> Option<u32> {
+        match self {
+            Cell::Cat(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// The typed payload of a column. Slots for missing rows hold a neutral
+/// filler (0.0 / code 0) and are masked out by [`Column::valid`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// `f64` payload.
+    Numeric(Vec<f64>),
+    /// Dictionary codes. Every valid code must index into the dictionary.
+    Categorical(Vec<u32>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Numeric(v) => v.len(),
+            ColumnData::Categorical(v) => v.len(),
+        }
+    }
+}
+
+/// One named, typed column with a validity mask and (for categoricals) a
+/// dictionary mapping codes to category names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+    valid: Vec<bool>,
+    /// Dictionary for categorical columns; empty for numeric columns.
+    categories: Vec<String>,
+}
+
+impl Column {
+    /// Build a numeric column where every value is valid.
+    pub fn numeric(name: impl Into<String>, values: Vec<f64>) -> Self {
+        let valid = vec![true; values.len()];
+        Column { name: name.into(), data: ColumnData::Numeric(values), valid, categories: Vec::new() }
+    }
+
+    /// Build a numeric column from optional values (None = missing).
+    pub fn numeric_opt(name: impl Into<String>, values: Vec<Option<f64>>) -> Self {
+        let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
+        let data: Vec<f64> = values.into_iter().map(|v| v.unwrap_or(0.0)).collect();
+        Column { name: name.into(), data: ColumnData::Numeric(data), valid, categories: Vec::new() }
+    }
+
+    /// Build a categorical column from codes and a dictionary. Codes must
+    /// index into the dictionary.
+    pub fn categorical(
+        name: impl Into<String>,
+        codes: Vec<u32>,
+        categories: Vec<String>,
+    ) -> Result<Self> {
+        let name = name.into();
+        for &code in &codes {
+            if code as usize >= categories.len() {
+                return Err(FrameError::UnknownCategory { column: name, code });
+            }
+        }
+        let valid = vec![true; codes.len()];
+        Ok(Column { name, data: ColumnData::Categorical(codes), valid, categories })
+    }
+
+    /// Build a categorical column from optional codes (None = missing).
+    pub fn categorical_opt(
+        name: impl Into<String>,
+        codes: Vec<Option<u32>>,
+        categories: Vec<String>,
+    ) -> Result<Self> {
+        let name = name.into();
+        for code in codes.iter().flatten() {
+            if *code as usize >= categories.len() {
+                return Err(FrameError::UnknownCategory { column: name, code: *code });
+            }
+        }
+        let valid: Vec<bool> = codes.iter().map(Option::is_some).collect();
+        let data: Vec<u32> = codes.into_iter().map(|c| c.unwrap_or(0)).collect();
+        Ok(Column { name, data: ColumnData::Categorical(data), valid, categories })
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage kind of this column.
+    pub fn kind(&self) -> ColumnKind {
+        match self.data {
+            ColumnData::Numeric(_) => ColumnKind::Numeric,
+            ColumnData::Categorical(_) => ColumnKind::Categorical,
+        }
+    }
+
+    /// The raw typed payload.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Validity mask: `true` means present, `false` means missing.
+    pub fn valid(&self) -> &[bool] {
+        &self.valid
+    }
+
+    /// Dictionary (empty for numeric columns).
+    pub fn categories(&self) -> &[String] {
+        &self.categories
+    }
+
+    /// Number of categories in the dictionary (0 for numeric columns).
+    pub fn cardinality(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Number of missing cells.
+    pub fn missing_count(&self) -> usize {
+        self.valid.iter().filter(|v| !**v).count()
+    }
+
+    /// Read the cell at `row`.
+    pub fn get(&self, row: usize) -> Result<Cell> {
+        if row >= self.len() {
+            return Err(FrameError::RowOutOfBounds { row, nrows: self.len() });
+        }
+        if !self.valid[row] {
+            return Ok(Cell::Missing);
+        }
+        Ok(match &self.data {
+            ColumnData::Numeric(v) => Cell::Num(v[row]),
+            ColumnData::Categorical(v) => Cell::Cat(v[row]),
+        })
+    }
+
+    /// Write the cell at `row`, enforcing the column's kind. Writing
+    /// [`Cell::Missing`] clears the validity bit; writing a value sets it.
+    pub fn set(&mut self, row: usize, cell: Cell) -> Result<()> {
+        if row >= self.len() {
+            return Err(FrameError::RowOutOfBounds { row, nrows: self.len() });
+        }
+        match (&mut self.data, cell) {
+            (_, Cell::Missing) => {
+                self.valid[row] = false;
+            }
+            (ColumnData::Numeric(v), Cell::Num(x)) => {
+                v[row] = x;
+                self.valid[row] = true;
+            }
+            (ColumnData::Categorical(v), Cell::Cat(code)) => {
+                if code as usize >= self.categories.len() {
+                    return Err(FrameError::UnknownCategory { column: self.name.clone(), code });
+                }
+                v[row] = code;
+                self.valid[row] = true;
+            }
+            (_, cell) => {
+                return Err(FrameError::TypeMismatch {
+                    column: self.name.clone(),
+                    expected: self.kind().name(),
+                    got: cell.kind_name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Numeric value at `row` if present and the column is numeric.
+    pub fn num(&self, row: usize) -> Option<f64> {
+        match (&self.data, self.valid.get(row)) {
+            (ColumnData::Numeric(v), Some(true)) => Some(v[row]),
+            _ => None,
+        }
+    }
+
+    /// Categorical code at `row` if present and the column is categorical.
+    pub fn cat(&self, row: usize) -> Option<u32> {
+        match (&self.data, self.valid.get(row)) {
+            (ColumnData::Categorical(v), Some(true)) => Some(v[row]),
+            _ => None,
+        }
+    }
+
+    /// Iterate all cells in row order.
+    pub fn iter(&self) -> impl Iterator<Item = Cell> + '_ {
+        (0..self.len()).map(move |row| self.get(row).expect("in-bounds row"))
+    }
+
+    /// Build a new column containing only the given rows, in order.
+    /// Duplicated and re-ordered indices are allowed (used by bootstrap
+    /// sampling and splits).
+    pub fn take(&self, rows: &[usize]) -> Result<Column> {
+        let mut out = self.clone();
+        match (&mut out.data, &self.data) {
+            (ColumnData::Numeric(dst), ColumnData::Numeric(src)) => {
+                dst.clear();
+                dst.reserve(rows.len());
+                for &r in rows {
+                    if r >= src.len() {
+                        return Err(FrameError::RowOutOfBounds { row: r, nrows: src.len() });
+                    }
+                    dst.push(src[r]);
+                }
+            }
+            (ColumnData::Categorical(dst), ColumnData::Categorical(src)) => {
+                dst.clear();
+                dst.reserve(rows.len());
+                for &r in rows {
+                    if r >= src.len() {
+                        return Err(FrameError::RowOutOfBounds { row: r, nrows: src.len() });
+                    }
+                    dst.push(src[r]);
+                }
+            }
+            _ => unreachable!("clone preserves data kind"),
+        }
+        out.valid = rows.iter().map(|&r| self.valid[r]).collect();
+        Ok(out)
+    }
+
+    /// Rename the column (used when deriving feature matrices).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Display string for a cell (category name, numeric literal, or empty
+    /// string for missing) — the CSV writer's cell format.
+    pub fn display(&self, row: usize) -> Result<String> {
+        Ok(match self.get(row)? {
+            Cell::Missing => String::new(),
+            Cell::Num(v) => format_float(v),
+            Cell::Cat(code) => self.categories[code as usize].clone(),
+        })
+    }
+}
+
+/// Format a float so that CSV round-trips losslessly (shortest repr).
+pub(crate) fn format_float(v: f64) -> String {
+    let mut s = format!("{v}");
+    // Ensure a decimal point or exponent so the reader infers numeric.
+    if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+        s.push_str(".0");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat_col() -> Column {
+        Column::categorical(
+            "color",
+            vec![0, 1, 2, 1],
+            vec!["red".into(), "green".into(), "blue".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn numeric_get_set_roundtrip() {
+        let mut c = Column::numeric("x", vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.get(1).unwrap(), Cell::Num(2.0));
+        c.set(1, Cell::Num(9.5)).unwrap();
+        assert_eq!(c.get(1).unwrap(), Cell::Num(9.5));
+        assert_eq!(c.num(1), Some(9.5));
+        assert_eq!(c.cat(1), None);
+    }
+
+    #[test]
+    fn missing_via_mask_not_nan() {
+        let mut c = Column::numeric("x", vec![1.0, 2.0]);
+        c.set(0, Cell::Missing).unwrap();
+        assert_eq!(c.get(0).unwrap(), Cell::Missing);
+        assert_eq!(c.missing_count(), 1);
+        // Restoring a value clears the missing bit.
+        c.set(0, Cell::Num(7.0)).unwrap();
+        assert_eq!(c.missing_count(), 0);
+        assert_eq!(c.get(0).unwrap(), Cell::Num(7.0));
+    }
+
+    #[test]
+    fn numeric_opt_builder() {
+        let c = Column::numeric_opt("x", vec![Some(1.0), None, Some(3.0)]);
+        assert_eq!(c.missing_count(), 1);
+        assert!(c.get(1).unwrap().is_missing());
+    }
+
+    #[test]
+    fn categorical_roundtrip_and_dictionary_bounds() {
+        let mut c = cat_col();
+        assert_eq!(c.get(2).unwrap(), Cell::Cat(2));
+        assert_eq!(c.cardinality(), 3);
+        c.set(0, Cell::Cat(2)).unwrap();
+        assert_eq!(c.cat(0), Some(2));
+        let err = c.set(0, Cell::Cat(3)).unwrap_err();
+        assert!(matches!(err, FrameError::UnknownCategory { code: 3, .. }));
+    }
+
+    #[test]
+    fn invalid_code_in_constructor() {
+        let err = Column::categorical("c", vec![5], vec!["only".into()]).unwrap_err();
+        assert!(matches!(err, FrameError::UnknownCategory { code: 5, .. }));
+        let err =
+            Column::categorical_opt("c", vec![Some(9)], vec!["only".into()]).unwrap_err();
+        assert!(matches!(err, FrameError::UnknownCategory { code: 9, .. }));
+    }
+
+    #[test]
+    fn type_mismatch_on_set() {
+        let mut c = Column::numeric("x", vec![1.0]);
+        let err = c.set(0, Cell::Cat(0)).unwrap_err();
+        assert!(matches!(err, FrameError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_get_set() {
+        let mut c = Column::numeric("x", vec![1.0]);
+        assert!(c.get(1).is_err());
+        assert!(c.set(1, Cell::Num(0.0)).is_err());
+    }
+
+    #[test]
+    fn take_reorders_and_duplicates() {
+        let c = Column::numeric_opt("x", vec![Some(1.0), None, Some(3.0)]);
+        let t = c.take(&[2, 0, 0, 1]).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(0).unwrap(), Cell::Num(3.0));
+        assert_eq!(t.get(1).unwrap(), Cell::Num(1.0));
+        assert_eq!(t.get(2).unwrap(), Cell::Num(1.0));
+        assert!(t.get(3).unwrap().is_missing());
+        assert!(c.take(&[99]).is_err());
+    }
+
+    #[test]
+    fn take_preserves_dictionary() {
+        let c = cat_col();
+        let t = c.take(&[3, 2]).unwrap();
+        assert_eq!(t.categories(), c.categories());
+        assert_eq!(t.cat(0), Some(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut c = cat_col();
+        assert_eq!(c.display(0).unwrap(), "red");
+        c.set(0, Cell::Missing).unwrap();
+        assert_eq!(c.display(0).unwrap(), "");
+        let n = Column::numeric("x", vec![2.0, 2.5]);
+        assert_eq!(n.display(0).unwrap(), "2.0");
+        assert_eq!(n.display(1).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn iter_yields_all_cells() {
+        let c = Column::numeric_opt("x", vec![Some(1.0), None]);
+        let cells: Vec<Cell> = c.iter().collect();
+        assert_eq!(cells, vec![Cell::Num(1.0), Cell::Missing]);
+    }
+
+    #[test]
+    fn cell_accessors() {
+        assert!(Cell::Missing.is_missing());
+        assert_eq!(Cell::Num(2.0).as_num(), Some(2.0));
+        assert_eq!(Cell::Num(2.0).as_cat(), None);
+        assert_eq!(Cell::Cat(1).as_cat(), Some(1));
+        assert_eq!(Cell::Cat(1).as_num(), None);
+        assert_eq!(Cell::Missing.kind_name(), "missing");
+    }
+}

@@ -1,0 +1,278 @@
+//! Minimal CSV reader/writer with schema inference.
+//!
+//! Supports the subset of RFC 4180 the datasets need: comma separation,
+//! double-quote quoting with `""` escapes, a header row, and empty fields as
+//! missing values. Column kinds are inferred: a column whose every non-empty
+//! field parses as `f64` is numeric, otherwise categorical (dictionary built
+//! in first-appearance order so round-trips are stable).
+
+use crate::{Column, DataFrame, FrameError, Result};
+use std::fs;
+use std::path::Path;
+
+/// Read a CSV file into a frame. `label` names the label column, if any.
+pub fn read_csv(path: impl AsRef<Path>, label: Option<&str>) -> Result<DataFrame> {
+    let text = fs::read_to_string(path)?;
+    read_csv_str(&text, label)
+}
+
+/// Read CSV text into a frame.
+pub fn read_csv_str(text: &str, label: Option<&str>) -> Result<DataFrame> {
+    let mut records = parse_records(text)?;
+    if records.is_empty() {
+        return Err(FrameError::Empty);
+    }
+    let header = records.remove(0);
+    if records.is_empty() {
+        return Err(FrameError::Empty);
+    }
+    let ncols = header.len();
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != ncols {
+            return Err(FrameError::Csv {
+                line: i + 2,
+                message: format!("expected {ncols} fields, got {}", rec.len()),
+            });
+        }
+    }
+
+    let mut columns = Vec::with_capacity(ncols);
+    for (c, name) in header.iter().enumerate() {
+        let fields: Vec<&str> = records.iter().map(|r| r[c].as_str()).collect();
+        columns.push(infer_column(name, &fields)?);
+    }
+    DataFrame::new(columns, label)
+}
+
+/// Write a frame to a CSV file.
+pub fn write_csv(df: &DataFrame, path: impl AsRef<Path>) -> Result<()> {
+    fs::write(path, write_csv_string(df)?)?;
+    Ok(())
+}
+
+/// Render a frame as CSV text.
+pub fn write_csv_string(df: &DataFrame) -> Result<String> {
+    let mut out = String::new();
+    let header: Vec<String> =
+        df.columns().iter().map(|c| quote_field(c.name())).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in 0..df.nrows() {
+        for (c, col) in df.columns().iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            out.push_str(&quote_field(&col.display(row)?));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn quote_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Split CSV text into records of unquoted fields.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                _ => field.push(ch),
+            }
+        } else {
+            match ch {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(FrameError::Csv {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv { line, message: "unterminated quoted field".into() });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Infer a typed column from string fields. Empty fields are missing.
+fn infer_column(name: &str, fields: &[&str]) -> Result<Column> {
+    let all_numeric = fields
+        .iter()
+        .filter(|f| !f.is_empty())
+        .all(|f| f.trim().parse::<f64>().is_ok());
+    let any_value = fields.iter().any(|f| !f.is_empty());
+
+    if all_numeric && any_value {
+        let values: Vec<Option<f64>> = fields
+            .iter()
+            .map(|f| if f.is_empty() { None } else { f.trim().parse::<f64>().ok() })
+            .collect();
+        Ok(Column::numeric_opt(name, values))
+    } else {
+        let mut dict: Vec<String> = Vec::new();
+        let mut codes: Vec<Option<u32>> = Vec::with_capacity(fields.len());
+        for f in fields {
+            if f.is_empty() {
+                codes.push(None);
+                continue;
+            }
+            let code = match dict.iter().position(|d| d == f) {
+                Some(i) => i as u32,
+                None => {
+                    dict.push((*f).to_string());
+                    (dict.len() - 1) as u32
+                }
+            };
+            codes.push(Some(code));
+        }
+        if dict.is_empty() {
+            // Entirely empty column: keep it numeric & fully missing.
+            return Ok(Column::numeric_opt(name, vec![None; fields.len()]));
+        }
+        Column::categorical_opt(name, codes, dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "age,job,y\n25.0,tech,no\n40.0,admin,yes\n,tech,no\n";
+
+    #[test]
+    fn reads_with_inference() {
+        let df = read_csv_str(SAMPLE, Some("y")).unwrap();
+        assert_eq!(df.nrows(), 3);
+        assert_eq!(df.ncols(), 3);
+        assert_eq!(df.column_by_name("age").unwrap().kind(), crate::ColumnKind::Numeric);
+        assert_eq!(df.column_by_name("job").unwrap().kind(), crate::ColumnKind::Categorical);
+        assert!(df.get(2, 0).unwrap().is_missing());
+        assert_eq!(df.label_codes().unwrap(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_frame() {
+        let df = read_csv_str(SAMPLE, Some("y")).unwrap();
+        let text = write_csv_string(&df).unwrap();
+        let df2 = read_csv_str(&text, Some("y")).unwrap();
+        assert_eq!(df, df2);
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let text = "name,y\n\"a,b\",x\n\"say \"\"hi\"\"\",x\n";
+        let df = read_csv_str(text, None).unwrap();
+        let col = df.column_by_name("name").unwrap();
+        assert_eq!(col.display(0).unwrap(), "a,b");
+        assert_eq!(col.display(1).unwrap(), "say \"hi\"");
+        // Round-trip through the writer.
+        let df2 = read_csv_str(&write_csv_string(&df).unwrap(), None).unwrap();
+        assert_eq!(df, df2);
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let df = read_csv_str("a,y\r\n1.0,x\r\n2.0,z\r\n", None).unwrap();
+        assert_eq!(df.nrows(), 2);
+        assert_eq!(df.column(0).unwrap().num(1), Some(2.0));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = read_csv_str("a,b\n1.0\n", None).unwrap_err();
+        assert!(matches!(err, FrameError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let err = read_csv_str("a\n\"oops\n", None).unwrap_err();
+        assert!(matches!(err, FrameError::Csv { .. }));
+    }
+
+    #[test]
+    fn quote_inside_unquoted_field_rejected() {
+        let err = read_csv_str("a\nab\"c\n", None).unwrap_err();
+        assert!(matches!(err, FrameError::Csv { .. }));
+    }
+
+    #[test]
+    fn header_only_is_empty() {
+        assert!(read_csv_str("a,b\n", None).is_err());
+        assert!(read_csv_str("", None).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let df = read_csv_str(SAMPLE, Some("y")).unwrap();
+        let dir = std::env::temp_dir().join("comet_frame_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        write_csv(&df, &path).unwrap();
+        let df2 = read_csv(&path, Some("y")).unwrap();
+        assert_eq!(df, df2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn all_empty_column_is_numeric_missing() {
+        let df = read_csv_str("a,b\n,1.0\n,2.0\n", None).unwrap();
+        let a = df.column_by_name("a").unwrap();
+        assert_eq!(a.kind(), crate::ColumnKind::Numeric);
+        assert_eq!(a.missing_count(), 2);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let df = read_csv_str("a\n1.0\n2.0", None).unwrap();
+        assert_eq!(df.nrows(), 2);
+    }
+
+    #[test]
+    fn mixed_column_becomes_categorical() {
+        let df = read_csv_str("a\n1.0\nx\n", None).unwrap();
+        assert_eq!(df.column(0).unwrap().kind(), crate::ColumnKind::Categorical);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for frame operations.
+
+use std::fmt;
+
+/// Errors raised by frame construction, access, and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A column name was not found in the schema.
+    UnknownColumn(String),
+    /// A row index was out of bounds.
+    RowOutOfBounds { row: usize, nrows: usize },
+    /// A column index was out of bounds.
+    ColumnOutOfBounds { col: usize, ncols: usize },
+    /// Columns passed to a frame had differing lengths.
+    LengthMismatch { expected: usize, got: usize, column: String },
+    /// A value of the wrong kind was written into a typed column.
+    TypeMismatch { column: String, expected: &'static str, got: &'static str },
+    /// A categorical code was not present in the column dictionary.
+    UnknownCategory { column: String, code: u32 },
+    /// A duplicate column name was supplied.
+    DuplicateColumn(String),
+    /// The frame has no label column but one was required.
+    NoLabel,
+    /// CSV parsing failed.
+    Csv { line: usize, message: String },
+    /// An I/O error occurred (message-only so the error stays `Clone`/`Eq`).
+    Io(String),
+    /// An operation required a non-empty frame.
+    Empty,
+    /// Invalid argument (e.g. split fraction outside (0, 1)).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::UnknownColumn(name) => write!(f, "unknown column: {name:?}"),
+            FrameError::RowOutOfBounds { row, nrows } => {
+                write!(f, "row index {row} out of bounds for frame with {nrows} rows")
+            }
+            FrameError::ColumnOutOfBounds { col, ncols } => {
+                write!(f, "column index {col} out of bounds for frame with {ncols} columns")
+            }
+            FrameError::LengthMismatch { expected, got, column } => write!(
+                f,
+                "column {column:?} has length {got}, expected {expected}"
+            ),
+            FrameError::TypeMismatch { column, expected, got } => write!(
+                f,
+                "type mismatch on column {column:?}: expected {expected}, got {got}"
+            ),
+            FrameError::UnknownCategory { column, code } => {
+                write!(f, "category code {code} not in dictionary of column {column:?}")
+            }
+            FrameError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+            FrameError::NoLabel => write!(f, "frame has no label column"),
+            FrameError::Csv { line, message } => write!(f, "CSV error on line {line}: {message}"),
+            FrameError::Io(msg) => write!(f, "I/O error: {msg}"),
+            FrameError::Empty => write!(f, "operation requires a non-empty frame"),
+            FrameError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(err: std::io::Error) -> Self {
+        FrameError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let cases: Vec<(FrameError, &str)> = vec![
+            (FrameError::UnknownColumn("age".into()), "age"),
+            (FrameError::RowOutOfBounds { row: 9, nrows: 3 }, "row index 9"),
+            (FrameError::ColumnOutOfBounds { col: 4, ncols: 2 }, "column index 4"),
+            (
+                FrameError::LengthMismatch { expected: 10, got: 9, column: "x".into() },
+                "length 9",
+            ),
+            (
+                FrameError::TypeMismatch { column: "x".into(), expected: "numeric", got: "categorical" },
+                "type mismatch",
+            ),
+            (FrameError::UnknownCategory { column: "c".into(), code: 7 }, "code 7"),
+            (FrameError::DuplicateColumn("dup".into()), "dup"),
+            (FrameError::NoLabel, "label"),
+            (FrameError::Csv { line: 3, message: "bad".into() }, "line 3"),
+            (FrameError::Io("gone".into()), "gone"),
+            (FrameError::Empty, "non-empty"),
+            (FrameError::InvalidArgument("frac".into()), "frac"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let err: FrameError = io.into();
+        assert!(matches!(err, FrameError::Io(_)));
+        assert!(err.to_string().contains("missing file"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # comet-frame — columnar dataset substrate
+//!
+//! A small, dependency-free, typed columnar data frame built for the COMET
+//! reproduction. The paper's reference implementation sits on top of pandas;
+//! this crate provides the subset of functionality COMET actually needs, with
+//! explicit missing-value tracking (a first-class error type in the paper):
+//!
+//! * typed columns — [`ColumnData::Numeric`] (`f64`) and
+//!   [`ColumnData::Categorical`] (dictionary-encoded `u32` codes),
+//! * a per-cell validity mask (missing values are *not* encoded as NaN),
+//! * a schema with feature/label roles,
+//! * cell-level reads/writes (the Polluter and Cleaner mutate single cells),
+//! * CSV round-trips and (stratified) train/test splitting,
+//! * per-column summary statistics.
+//!
+//! The frame is column-major: every mutation COMET performs is column-local
+//! (pollute feature `f`, clean feature `f`), so columns are independently
+//! cloneable snapshots — cheap state save/restore is what the Recommender's
+//! revert logic relies on.
+
+mod builder;
+mod column;
+mod csv;
+mod error;
+mod frame;
+mod ops;
+mod schema;
+mod split;
+mod stats;
+
+pub use builder::{numeric_schema, DataFrameBuilder};
+pub use column::{Cell, Column, ColumnData};
+pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string};
+pub use error::FrameError;
+pub use frame::DataFrame;
+pub use schema::{ColumnKind, FieldMeta, Role, Schema};
+pub use split::{train_test_split, SplitOptions, TrainTest};
+pub use stats::{ColumnSummary, NumericSummary};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FrameError>;

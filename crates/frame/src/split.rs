@@ -1,0 +1,197 @@
+//! Train/test splitting.
+
+use crate::{DataFrame, FrameError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Options controlling [`train_test_split`].
+#[derive(Debug, Clone, Copy)]
+pub struct SplitOptions {
+    /// Fraction of rows assigned to the test split, in (0, 1).
+    pub test_fraction: f64,
+    /// Stratify by label so both splits keep the class distribution.
+    pub stratify: bool,
+}
+
+impl Default for SplitOptions {
+    fn default() -> Self {
+        // The paper uses standard hold-out evaluation; 80/20 stratified is
+        // the conventional scikit-learn default workflow.
+        SplitOptions { test_fraction: 0.2, stratify: true }
+    }
+}
+
+/// The result of a split.
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// Training split.
+    pub train: DataFrame,
+    /// Test split.
+    pub test: DataFrame,
+    /// Original row indices of the training rows.
+    pub train_rows: Vec<usize>,
+    /// Original row indices of the test rows.
+    pub test_rows: Vec<usize>,
+}
+
+/// Split `df` into train and test frames.
+///
+/// With `stratify`, rows are grouped by label code and each group is split
+/// independently so class balance is preserved — important for F1 stability
+/// on the imbalanced datasets (Churn, Credit).
+pub fn train_test_split<R: Rng>(
+    df: &DataFrame,
+    options: SplitOptions,
+    rng: &mut R,
+) -> Result<TrainTest> {
+    if !(options.test_fraction > 0.0 && options.test_fraction < 1.0) {
+        return Err(FrameError::InvalidArgument(format!(
+            "test_fraction must be in (0,1), got {}",
+            options.test_fraction
+        )));
+    }
+    let n = df.nrows();
+    if n < 2 {
+        return Err(FrameError::InvalidArgument("need at least 2 rows to split".into()));
+    }
+
+    let mut test_rows: Vec<usize>;
+    let mut train_rows: Vec<usize>;
+
+    if options.stratify {
+        let codes = df.label_codes()?;
+        let n_classes = codes.iter().copied().max().map_or(1, |m| m as usize + 1);
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+        for (row, &code) in codes.iter().enumerate() {
+            groups[code as usize].push(row);
+        }
+        test_rows = Vec::new();
+        train_rows = Vec::new();
+        for group in &mut groups {
+            group.shuffle(rng);
+            // Round per group; tiny groups keep at least one training row.
+            let mut take = (group.len() as f64 * options.test_fraction).round() as usize;
+            take = take.min(group.len().saturating_sub(1));
+            test_rows.extend_from_slice(&group[..take]);
+            train_rows.extend_from_slice(&group[take..]);
+        }
+    } else {
+        let mut rows: Vec<usize> = (0..n).collect();
+        rows.shuffle(rng);
+        let take = ((n as f64 * options.test_fraction).round() as usize).clamp(1, n - 1);
+        test_rows = rows[..take].to_vec();
+        train_rows = rows[take..].to_vec();
+    }
+
+    // Deterministic within-split order: sort back to original row order so
+    // downstream cell indices are stable regardless of shuffle internals.
+    train_rows.sort_unstable();
+    test_rows.sort_unstable();
+
+    if train_rows.is_empty() || test_rows.is_empty() {
+        return Err(FrameError::InvalidArgument(
+            "split produced an empty train or test set".into(),
+        ));
+    }
+
+    Ok(TrainTest {
+        train: df.take(&train_rows)?,
+        test: df.take(&test_rows)?,
+        train_rows,
+        test_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Column;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frame(n: usize) -> DataFrame {
+        let x = Column::numeric("x", (0..n).map(|i| i as f64).collect());
+        let y = Column::categorical(
+            "y",
+            (0..n).map(|i| (i % 2) as u32).collect(),
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        DataFrame::new(vec![x, y], Some("y")).unwrap()
+    }
+
+    #[test]
+    fn partitions_rows_exactly() {
+        let df = frame(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+        assert_eq!(tt.train_rows.len() + tt.test_rows.len(), 100);
+        let mut all: Vec<usize> = tt.train_rows.iter().chain(&tt.test_rows).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        assert_eq!(tt.train.nrows(), tt.train_rows.len());
+        assert_eq!(tt.test.nrows(), tt.test_rows.len());
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_balance() {
+        let df = frame(200);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tt = train_test_split(
+            &df,
+            SplitOptions { test_fraction: 0.25, stratify: true },
+            &mut rng,
+        )
+        .unwrap();
+        let test_codes = tt.test.label_codes().unwrap();
+        let ones = test_codes.iter().filter(|&&c| c == 1).count();
+        assert_eq!(test_codes.len(), 50);
+        assert_eq!(ones, 25);
+    }
+
+    #[test]
+    fn unstratified_split_sizes() {
+        let df = frame(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tt = train_test_split(
+            &df,
+            SplitOptions { test_fraction: 0.3, stratify: false },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(tt.test.nrows(), 3);
+        assert_eq!(tt.train.nrows(), 7);
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let df = frame(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        for frac in [0.0, 1.0, -0.5, 2.0] {
+            let err = train_test_split(
+                &df,
+                SplitOptions { test_fraction: frac, stratify: false },
+                &mut rng,
+            );
+            assert!(err.is_err(), "fraction {frac} should be rejected");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let df = frame(50);
+        let a = train_test_split(&df, SplitOptions::default(), &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = train_test_split(&df, SplitOptions::default(), &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a.train_rows, b.train_rows);
+        assert_eq!(a.test_rows, b.test_rows);
+    }
+
+    #[test]
+    fn tiny_frame_rejected() {
+        let df = frame(2).take(&[0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(train_test_split(&df, SplitOptions::default(), &mut rng).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-column summary statistics.
+
+use crate::{Column, ColumnData, DataFrame, Result};
+
+/// Summary of a numeric column over its *valid* cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericSummary {
+    /// Number of valid cells.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 when count < 2).
+    pub std: f64,
+    /// Minimum valid value.
+    pub min: f64,
+    /// Maximum valid value.
+    pub max: f64,
+}
+
+/// Summary of any column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSummary {
+    /// Numeric column statistics.
+    Numeric(NumericSummary),
+    /// Categorical column: per-code counts over valid cells and the index of
+    /// the most frequent code (the mode), if any cell is valid.
+    Categorical { counts: Vec<usize>, mode: Option<u32> },
+}
+
+impl Column {
+    /// Compute this column's summary.
+    pub fn summary(&self) -> ColumnSummary {
+        match self.data() {
+            ColumnData::Numeric(values) => {
+                let mut count = 0usize;
+                let mut mean = 0.0f64;
+                let mut m2 = 0.0f64;
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                for (i, &v) in values.iter().enumerate() {
+                    if !self.valid()[i] {
+                        continue;
+                    }
+                    count += 1;
+                    // Welford's online algorithm: numerically stable even for
+                    // large, offset-heavy columns (e.g. scaled-by-1000 errors).
+                    let delta = v - mean;
+                    mean += delta / count as f64;
+                    m2 += delta * (v - mean);
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+                let std = if count >= 2 { (m2 / (count as f64 - 1.0)).sqrt() } else { 0.0 };
+                if count == 0 {
+                    mean = 0.0;
+                    min = 0.0;
+                    max = 0.0;
+                }
+                ColumnSummary::Numeric(NumericSummary { count, mean, std, min, max })
+            }
+            ColumnData::Categorical(codes) => {
+                let mut counts = vec![0usize; self.cardinality()];
+                for (i, &code) in codes.iter().enumerate() {
+                    if self.valid()[i] {
+                        counts[code as usize] += 1;
+                    }
+                }
+                let mode = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(i, _)| i as u32);
+                ColumnSummary::Categorical { counts, mode }
+            }
+        }
+    }
+
+    /// Mean of valid cells (numeric columns only).
+    pub fn mean(&self) -> Option<f64> {
+        match self.summary() {
+            ColumnSummary::Numeric(s) if s.count > 0 => Some(s.mean),
+            _ => None,
+        }
+    }
+
+    /// Sample standard deviation of valid cells (numeric columns only).
+    pub fn std(&self) -> Option<f64> {
+        match self.summary() {
+            ColumnSummary::Numeric(s) if s.count > 0 => Some(s.std),
+            _ => None,
+        }
+    }
+
+    /// Most frequent valid code (categorical columns only).
+    pub fn mode(&self) -> Option<u32> {
+        match self.summary() {
+            ColumnSummary::Categorical { mode, .. } => mode,
+            _ => None,
+        }
+    }
+}
+
+impl DataFrame {
+    /// Summaries for every column, in schema order.
+    pub fn describe(&self) -> Result<Vec<(String, ColumnSummary)>> {
+        Ok(self
+            .columns()
+            .iter()
+            .map(|c| (c.name().to_string(), c.summary()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cell;
+
+    #[test]
+    fn numeric_summary_basic() {
+        let c = Column::numeric("x", vec![1.0, 2.0, 3.0, 4.0]);
+        match c.summary() {
+            ColumnSummary::Numeric(s) => {
+                assert_eq!(s.count, 4);
+                assert!((s.mean - 2.5).abs() < 1e-12);
+                assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+                assert_eq!(s.min, 1.0);
+                assert_eq!(s.max, 4.0);
+            }
+            _ => panic!("expected numeric summary"),
+        }
+    }
+
+    #[test]
+    fn numeric_summary_skips_missing() {
+        let mut c = Column::numeric("x", vec![1.0, 100.0, 3.0]);
+        c.set(1, Cell::Missing).unwrap();
+        match c.summary() {
+            ColumnSummary::Numeric(s) => {
+                assert_eq!(s.count, 2);
+                assert!((s.mean - 2.0).abs() < 1e-12);
+                assert_eq!(s.max, 3.0);
+            }
+            _ => panic!(),
+        }
+        assert_eq!(c.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn all_missing_numeric() {
+        let c = Column::numeric_opt("x", vec![None, None]);
+        match c.summary() {
+            ColumnSummary::Numeric(s) => {
+                assert_eq!(s.count, 0);
+                assert_eq!(s.mean, 0.0);
+            }
+            _ => panic!(),
+        }
+        assert_eq!(c.mean(), None);
+        assert_eq!(c.std(), None);
+    }
+
+    #[test]
+    fn single_value_std_is_zero() {
+        let c = Column::numeric("x", vec![5.0]);
+        assert_eq!(c.std(), Some(0.0));
+    }
+
+    #[test]
+    fn categorical_counts_and_mode() {
+        let mut c = Column::categorical(
+            "c",
+            vec![0, 1, 1, 2, 1],
+            vec!["a".into(), "b".into(), "c".into()],
+        )
+        .unwrap();
+        assert_eq!(c.mode(), Some(1));
+        c.set(1, Cell::Missing).unwrap();
+        match c.summary() {
+            ColumnSummary::Categorical { counts, mode } => {
+                assert_eq!(counts, vec![1, 2, 1]);
+                assert_eq!(mode, Some(1));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn all_missing_categorical_has_no_mode() {
+        let c = Column::categorical_opt("c", vec![None, None], vec!["a".into()]).unwrap();
+        assert_eq!(c.mode(), None);
+    }
+
+    #[test]
+    fn mode_of_numeric_is_none() {
+        let c = Column::numeric("x", vec![1.0]);
+        assert_eq!(c.mode(), None);
+        let cat = Column::categorical("c", vec![0], vec!["a".into()]).unwrap();
+        assert_eq!(cat.mean(), None);
+    }
+
+    #[test]
+    fn describe_covers_all_columns() {
+        let x = Column::numeric("x", vec![1.0, 2.0]);
+        let y = Column::categorical("y", vec![0, 1], vec!["n".into(), "p".into()]).unwrap();
+        let df = DataFrame::new(vec![x, y], Some("y")).unwrap();
+        let d = df.describe().unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, "x");
+        assert_eq!(d[1].0, "y");
+    }
+
+    #[test]
+    fn welford_is_stable_under_large_offsets() {
+        let base = 1.0e9;
+        let c = Column::numeric("x", (0..1000).map(|i| base + (i % 7) as f64).collect());
+        let std = c.std().unwrap();
+        assert!(std > 1.9 && std < 2.1, "std {std} should be ~2");
+    }
+}

@@ -1,0 +1,127 @@
+//! The four error types of paper §3.4.
+
+use comet_frame::ColumnKind;
+use std::fmt;
+
+/// A data error type COMET can pollute with and recommend cleaning for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ErrorType {
+    /// Empty / placeholder entries (§3.4 "Missing values").
+    MissingValues,
+    /// Additive zero-mean Gaussian noise with σ ∈ \[1, 5\] (§3.4).
+    GaussianNoise,
+    /// Category swapped for a different category of the same feature (§3.4).
+    CategoricalShift,
+    /// Value multiplied by 10, 100, or 1000 — unit-conversion errors (§3.4).
+    Scaling,
+}
+
+impl ErrorType {
+    /// All error types, in the paper's presentation order.
+    pub const ALL: [ErrorType; 4] = [
+        ErrorType::MissingValues,
+        ErrorType::GaussianNoise,
+        ErrorType::CategoricalShift,
+        ErrorType::Scaling,
+    ];
+
+    /// Whether this error type can occur in a column of the given kind.
+    /// Gaussian noise and scaling need numbers; categorical shift needs
+    /// categories; missing values can hit anything.
+    pub fn applicable(self, kind: ColumnKind) -> bool {
+        match self {
+            ErrorType::MissingValues => true,
+            ErrorType::GaussianNoise | ErrorType::Scaling => kind == ColumnKind::Numeric,
+            ErrorType::CategoricalShift => kind == ColumnKind::Categorical,
+        }
+    }
+
+    /// Error types applicable to the given column kind.
+    pub fn applicable_to(kind: ColumnKind) -> Vec<ErrorType> {
+        Self::ALL.into_iter().filter(|e| e.applicable(kind)).collect()
+    }
+
+    /// The paper's abbreviation (MV, GN, CS, S) as used in Figures 10–12.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ErrorType::MissingValues => "MV",
+            ErrorType::GaussianNoise => "GN",
+            ErrorType::CategoricalShift => "CS",
+            ErrorType::Scaling => "S",
+        }
+    }
+
+    /// Parse an abbreviation or full name (case-insensitive).
+    pub fn parse(s: &str) -> Option<ErrorType> {
+        match s.to_ascii_lowercase().as_str() {
+            "mv" | "missing" | "missing_values" | "missing-values" => {
+                Some(ErrorType::MissingValues)
+            }
+            "gn" | "gaussian" | "gaussian_noise" | "gaussian-noise" | "noise" => {
+                Some(ErrorType::GaussianNoise)
+            }
+            "cs" | "categorical" | "categorical_shift" | "categorical-shift" | "shift" => {
+                Some(ErrorType::CategoricalShift)
+            }
+            "s" | "scaling" | "scale" => Some(ErrorType::Scaling),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorType::MissingValues => "missing values",
+            ErrorType::GaussianNoise => "Gaussian noise",
+            ErrorType::CategoricalShift => "categorical shift",
+            ErrorType::Scaling => "scaling",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applicability_matrix() {
+        use ColumnKind::*;
+        assert!(ErrorType::MissingValues.applicable(Numeric));
+        assert!(ErrorType::MissingValues.applicable(Categorical));
+        assert!(ErrorType::GaussianNoise.applicable(Numeric));
+        assert!(!ErrorType::GaussianNoise.applicable(Categorical));
+        assert!(ErrorType::Scaling.applicable(Numeric));
+        assert!(!ErrorType::Scaling.applicable(Categorical));
+        assert!(!ErrorType::CategoricalShift.applicable(Numeric));
+        assert!(ErrorType::CategoricalShift.applicable(Categorical));
+    }
+
+    #[test]
+    fn applicable_to_lists() {
+        assert_eq!(
+            ErrorType::applicable_to(ColumnKind::Numeric),
+            vec![ErrorType::MissingValues, ErrorType::GaussianNoise, ErrorType::Scaling]
+        );
+        assert_eq!(
+            ErrorType::applicable_to(ColumnKind::Categorical),
+            vec![ErrorType::MissingValues, ErrorType::CategoricalShift]
+        );
+    }
+
+    #[test]
+    fn abbreviations_roundtrip_through_parse() {
+        for e in ErrorType::ALL {
+            assert_eq!(ErrorType::parse(e.abbrev()), Some(e));
+        }
+        assert_eq!(ErrorType::parse("gaussian_noise"), Some(ErrorType::GaussianNoise));
+        assert_eq!(ErrorType::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ErrorType::MissingValues.to_string(), "missing values");
+        assert_eq!(ErrorType::Scaling.to_string(), "scaling");
+    }
+}

@@ -1,0 +1,301 @@
+//! Pollution primitives: corrupt chosen cells of one feature column.
+
+use crate::util::sample_normal;
+use crate::ErrorType;
+use comet_frame::{Cell, DataFrame, FrameError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// What one [`inject`] call changed: for every touched row, the previous
+/// cell value. Rows whose value was left identical (e.g. a categorical shift
+/// in a single-category column has nowhere to shift to) are *not* listed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionRecord {
+    /// Column that was polluted.
+    pub col: usize,
+    /// Error type injected.
+    pub error_type: ErrorType,
+    /// `(row, previous_cell)` for every changed cell.
+    pub changed: Vec<(usize, Cell)>,
+}
+
+impl InjectionRecord {
+    /// Rows that were actually modified.
+    pub fn rows(&self) -> Vec<usize> {
+        self.changed.iter().map(|&(r, _)| r).collect()
+    }
+
+    /// Undo this injection (restores previous cell values).
+    pub fn revert(&self, df: &mut DataFrame) -> Result<()> {
+        for &(row, prev) in &self.changed {
+            df.set(row, self.col, prev)?;
+        }
+        Ok(())
+    }
+}
+
+/// Sample `k` distinct row indices from `0..n` uniformly (partial
+/// Fisher–Yates). `k` is clamped to `n`.
+pub fn sample_rows<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let k = k.min(n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Inject `error_type` into the given `rows` of feature column `col`.
+///
+/// Follows paper §3.4:
+/// * **Missing values** — replace with a placeholder (our explicit missing),
+/// * **Gaussian noise** — add `N(0, σ²)` with σ drawn uniformly from \[1, 5\]
+///   once per call,
+/// * **Categorical shift** — swap the category for a uniformly chosen
+///   *different* category of the same column,
+/// * **Scaling** — multiply by 10, 100, or 1000 (chosen per row).
+///
+/// Cells that are already missing are skipped for value-modifying error
+/// types (there is no value to perturb); `MissingValues` skips cells that
+/// are already missing (no change). The returned record lists exactly the
+/// cells that changed, enabling precise reverts.
+pub fn inject<R: Rng + ?Sized>(
+    df: &mut DataFrame,
+    col: usize,
+    rows: &[usize],
+    error_type: ErrorType,
+    rng: &mut R,
+) -> Result<InjectionRecord> {
+    let column = df.column(col)?;
+    let kind = column.kind();
+    if !error_type.applicable(kind) {
+        return Err(FrameError::InvalidArgument(format!(
+            "error type {error_type} is not applicable to {} column {:?}",
+            kind.name(),
+            column.name()
+        )));
+    }
+    if df.label_index().ok() == Some(col) {
+        return Err(FrameError::InvalidArgument(
+            "labels are never polluted (paper §4.1)".into(),
+        ));
+    }
+
+    let mut changed = Vec::with_capacity(rows.len());
+    match error_type {
+        ErrorType::MissingValues => {
+            for &row in rows {
+                let prev = df.get(row, col)?;
+                if prev.is_missing() {
+                    continue;
+                }
+                df.set(row, col, Cell::Missing)?;
+                changed.push((row, prev));
+            }
+        }
+        ErrorType::GaussianNoise => {
+            let sigma = rng.gen_range(1.0..=5.0);
+            for &row in rows {
+                let prev = df.get(row, col)?;
+                let Some(v) = prev.as_num() else { continue };
+                let noisy = v + sigma * sample_normal(rng);
+                df.set(row, col, Cell::Num(noisy))?;
+                changed.push((row, prev));
+            }
+        }
+        ErrorType::Scaling => {
+            const FACTORS: [f64; 3] = [10.0, 100.0, 1000.0];
+            for &row in rows {
+                let prev = df.get(row, col)?;
+                let Some(v) = prev.as_num() else { continue };
+                let factor = *FACTORS.choose(rng).expect("non-empty");
+                df.set(row, col, Cell::Num(v * factor))?;
+                changed.push((row, prev));
+            }
+        }
+        ErrorType::CategoricalShift => {
+            let cardinality = df.column(col)?.cardinality() as u32;
+            if cardinality < 2 {
+                // Nothing to shift to; report zero changes.
+                return Ok(InjectionRecord { col, error_type, changed });
+            }
+            for &row in rows {
+                let prev = df.get(row, col)?;
+                let Some(code) = prev.as_cat() else { continue };
+                // Uniform over the other categories.
+                let mut new_code = rng.gen_range(0..cardinality - 1);
+                if new_code >= code {
+                    new_code += 1;
+                }
+                df.set(row, col, Cell::Cat(new_code))?;
+                changed.push((row, prev));
+            }
+        }
+    }
+    Ok(InjectionRecord { col, error_type, changed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_frame::Column;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frame() -> DataFrame {
+        let x = Column::numeric("x", (0..100).map(|i| i as f64).collect());
+        let c = Column::categorical(
+            "c",
+            (0..100).map(|i| (i % 3) as u32).collect(),
+            vec!["a".into(), "b".into(), "d".into()],
+        )
+        .unwrap();
+        let y = Column::categorical(
+            "y",
+            (0..100).map(|i| (i % 2) as u32).collect(),
+            vec!["n".into(), "p".into()],
+        )
+        .unwrap();
+        DataFrame::new(vec![x, c, y], Some("y")).unwrap()
+    }
+
+    #[test]
+    fn sample_rows_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows = sample_rows(50, 20, &mut rng);
+        assert_eq!(rows.len(), 20);
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "rows must be distinct");
+        assert!(rows.iter().all(|&r| r < 50));
+        // k > n clamps.
+        assert_eq!(sample_rows(5, 99, &mut rng).len(), 5);
+        assert!(sample_rows(0, 3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn missing_values_injection() {
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows = vec![0, 5, 9];
+        let rec = inject(&mut df, 0, &rows, ErrorType::MissingValues, &mut rng).unwrap();
+        assert_eq!(rec.changed.len(), 3);
+        for &r in &rows {
+            assert!(df.get(r, 0).unwrap().is_missing());
+        }
+        // Untouched rows unchanged.
+        assert_eq!(df.get(1, 0).unwrap(), Cell::Num(1.0));
+        // Re-injecting the same rows changes nothing.
+        let rec2 = inject(&mut df, 0, &rows, ErrorType::MissingValues, &mut rng).unwrap();
+        assert!(rec2.changed.is_empty());
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs_values() {
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows: Vec<usize> = (0..50).collect();
+        let rec = inject(&mut df, 0, &rows, ErrorType::GaussianNoise, &mut rng).unwrap();
+        assert_eq!(rec.changed.len(), 50);
+        let mut total_shift = 0.0;
+        for &(row, prev) in &rec.changed {
+            let now = df.get(row, 0).unwrap().as_num().unwrap();
+            let before = prev.as_num().unwrap();
+            total_shift += (now - before).abs();
+        }
+        assert!(total_shift > 0.0, "noise must move values");
+    }
+
+    #[test]
+    fn scaling_multiplies_by_power_of_ten() {
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(4);
+        let rows = vec![1, 2, 3];
+        inject(&mut df, 0, &rows, ErrorType::Scaling, &mut rng).unwrap();
+        for &r in &rows {
+            let v = df.get(r, 0).unwrap().as_num().unwrap();
+            let ratio = v / r as f64;
+            assert!(
+                [10.0, 100.0, 1000.0].iter().any(|f| (ratio - f).abs() < 1e-9),
+                "ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn categorical_shift_changes_category() {
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<usize> = (0..30).collect();
+        let before: Vec<u32> = rows.iter().map(|&r| df.get(r, 1).unwrap().as_cat().unwrap()).collect();
+        let rec = inject(&mut df, 1, &rows, ErrorType::CategoricalShift, &mut rng).unwrap();
+        assert_eq!(rec.changed.len(), 30);
+        for (i, &r) in rows.iter().enumerate() {
+            let now = df.get(r, 1).unwrap().as_cat().unwrap();
+            assert_ne!(now, before[i], "shift must pick a different category");
+            assert!(now < 3);
+        }
+    }
+
+    #[test]
+    fn categorical_shift_single_category_is_noop() {
+        let c = Column::categorical("c", vec![0, 0, 0], vec!["only".into()]).unwrap();
+        let y = Column::categorical("y", vec![0, 1, 0], vec!["n".into(), "p".into()]).unwrap();
+        let mut df = DataFrame::new(vec![c, y], Some("y")).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let rec = inject(&mut df, 0, &[0, 1, 2], ErrorType::CategoricalShift, &mut rng).unwrap();
+        assert!(rec.changed.is_empty());
+    }
+
+    #[test]
+    fn value_errors_skip_missing_cells() {
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(7);
+        df.set(0, 0, Cell::Missing).unwrap();
+        let rec = inject(&mut df, 0, &[0], ErrorType::GaussianNoise, &mut rng).unwrap();
+        assert!(rec.changed.is_empty());
+        assert!(df.get(0, 0).unwrap().is_missing());
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(inject(&mut df, 1, &[0], ErrorType::GaussianNoise, &mut rng).is_err());
+        assert!(inject(&mut df, 0, &[0], ErrorType::CategoricalShift, &mut rng).is_err());
+        assert!(inject(&mut df, 1, &[0], ErrorType::Scaling, &mut rng).is_err());
+    }
+
+    #[test]
+    fn label_pollution_rejected() {
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(9);
+        let err = inject(&mut df, 2, &[0], ErrorType::MissingValues, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("never polluted"));
+    }
+
+    #[test]
+    fn revert_restores_exactly() {
+        let mut df = frame();
+        let original = df.clone();
+        let mut rng = StdRng::seed_from_u64(10);
+        let rows = sample_rows(100, 40, &mut rng);
+        let rec = inject(&mut df, 0, &rows, ErrorType::GaussianNoise, &mut rng).unwrap();
+        assert_ne!(df, original);
+        rec.revert(&mut df).unwrap();
+        assert_eq!(df, original);
+    }
+
+    #[test]
+    fn record_rows_lists_changed_rows() {
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(11);
+        let rec = inject(&mut df, 0, &[3, 8], ErrorType::MissingValues, &mut rng).unwrap();
+        assert_eq!(rec.rows(), vec![3, 8]);
+        assert_eq!(rec.col, 0);
+        assert_eq!(rec.error_type, ErrorType::MissingValues);
+    }
+}

@@ -1,0 +1,307 @@
+//! Pre-pollution settings (paper §4.1).
+//!
+//! To establish a ground truth on datasets without paired dirty/clean
+//! versions, the paper *pre-pollutes* clean data: each feature receives a
+//! pollution level sampled from an exponential distribution ("to ensure a
+//! wide-ranging representation of pollution level distribution"), under one
+//! of two scenarios — a single error type for the whole dataset, or a
+//! random applicable error type per pollution step of each feature.
+
+use crate::{inject, sample_rows, ErrorType, Provenance};
+use comet_frame::{DataFrame, FrameError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which error types the pre-pollution uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// One error type across all (applicable) features — §5.2/§5.3 setting.
+    SingleError(ErrorType),
+    /// A random applicable error type per pollution step — §5.1 setting.
+    MultiError,
+}
+
+/// A sampled pre-pollution setting: per-feature target pollution levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrePollutionPlan {
+    /// The scenario this plan was sampled for.
+    pub scenario: Scenario,
+    /// `(feature column index, pollution level in [0, 1])`, one entry per
+    /// feature the scenario can pollute.
+    pub levels: Vec<(usize, f64)>,
+}
+
+impl PrePollutionPlan {
+    /// Sample a plan for `df`. Pollution levels are `Exp(mean_level)`
+    /// clamped to `[0, max_level]`; features the scenario's error types
+    /// cannot apply to are skipped.
+    pub fn sample<R: Rng + ?Sized>(
+        df: &DataFrame,
+        scenario: Scenario,
+        mean_level: f64,
+        max_level: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&max_level) || mean_level <= 0.0 {
+            return Err(FrameError::InvalidArgument(format!(
+                "mean_level {mean_level} / max_level {max_level} out of range"
+            )));
+        }
+        let mut levels = Vec::new();
+        for col in df.feature_indices() {
+            let kind = df.column(col)?.kind();
+            let applicable = match scenario {
+                Scenario::SingleError(err) => err.applicable(kind),
+                Scenario::MultiError => !ErrorType::applicable_to(kind).is_empty(),
+            };
+            if !applicable {
+                continue;
+            }
+            // Inverse-CDF sampling of Exp(1/mean): −mean·ln(U).
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            let level = (-mean_level * u.ln()).min(max_level);
+            levels.push((col, level));
+        }
+        Ok(PrePollutionPlan { scenario, levels })
+    }
+
+    /// Construct a plan with explicit levels (for tests and CleanML-style
+    /// datasets with known dirt).
+    pub fn explicit(scenario: Scenario, levels: Vec<(usize, f64)>) -> Self {
+        PrePollutionPlan { scenario, levels }
+    }
+
+    /// Apply the plan to `df`, recording per-cell provenance.
+    ///
+    /// * Single-error: one injection of `round(level · nrows)` cells.
+    /// * Multi-error: the level is consumed in steps of `step_frac` of the
+    ///   rows; each step injects a uniformly chosen error type applicable to
+    ///   the feature (§4.1: "we randomly select an error type for each
+    ///   pollution step of a feature during pre-pollution").
+    pub fn apply<R: Rng + ?Sized>(
+        &self,
+        df: &mut DataFrame,
+        step_frac: f64,
+        provenance: &mut Provenance,
+        rng: &mut R,
+    ) -> Result<()> {
+        if !(step_frac > 0.0 && step_frac <= 1.0) {
+            return Err(FrameError::InvalidArgument(format!(
+                "step_frac must be in (0,1], got {step_frac}"
+            )));
+        }
+        let n = df.nrows();
+        for &(col, level) in &self.levels {
+            let cells = (level * n as f64).round() as usize;
+            if cells == 0 {
+                continue;
+            }
+            match self.scenario {
+                Scenario::SingleError(err) => {
+                    let rows = sample_rows(n, cells, rng);
+                    let rec = inject(df, col, &rows, err, rng)?;
+                    for (row, _) in rec.changed {
+                        provenance.record(col, row, err);
+                    }
+                }
+                Scenario::MultiError => {
+                    let kind = df.column(col)?.kind();
+                    let candidates = ErrorType::applicable_to(kind);
+                    let step = ((step_frac * n as f64).round() as usize).max(1);
+                    let mut remaining = cells;
+                    while remaining > 0 {
+                        let batch = remaining.min(step);
+                        let err = *candidates.choose(rng).expect("non-empty candidates");
+                        let rows = sample_rows(n, batch, rng);
+                        let rec = inject(df, col, &rows, err, rng)?;
+                        for (row, _) in rec.changed {
+                            provenance.record(col, row, err);
+                        }
+                        remaining -= batch;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Mean pollution level across planned features (0 if none).
+    pub fn mean_level(&self) -> f64 {
+        if self.levels.is_empty() {
+            return 0.0;
+        }
+        self.levels.iter().map(|&(_, l)| l).sum::<f64>() / self.levels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_frame::{Column, ColumnKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frame() -> DataFrame {
+        let x = Column::numeric("x", (0..200).map(|i| i as f64).collect());
+        let z = Column::numeric("z", (0..200).map(|i| (i * 2) as f64).collect());
+        let c = Column::categorical(
+            "c",
+            (0..200).map(|i| (i % 4) as u32).collect(),
+            vec!["a".into(), "b".into(), "d".into(), "e".into()],
+        )
+        .unwrap();
+        let y = Column::categorical(
+            "y",
+            (0..200).map(|i| (i % 2) as u32).collect(),
+            vec!["n".into(), "p".into()],
+        )
+        .unwrap();
+        DataFrame::new(vec![x, z, c, y], Some("y")).unwrap()
+    }
+
+    #[test]
+    fn sample_skips_inapplicable_features() {
+        let df = frame();
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = PrePollutionPlan::sample(
+            &df,
+            Scenario::SingleError(ErrorType::GaussianNoise),
+            0.1,
+            0.5,
+            &mut rng,
+        )
+        .unwrap();
+        // Only the two numeric features qualify for Gaussian noise.
+        let cols: Vec<usize> = plan.levels.iter().map(|&(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 1]);
+        for &(_, level) in &plan.levels {
+            assert!((0.0..=0.5).contains(&level));
+        }
+    }
+
+    #[test]
+    fn multi_error_covers_all_features() {
+        let df = frame();
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan =
+            PrePollutionPlan::sample(&df, Scenario::MultiError, 0.1, 0.5, &mut rng).unwrap();
+        assert_eq!(plan.levels.len(), 3); // label excluded
+    }
+
+    #[test]
+    fn apply_single_error_hits_requested_fraction() {
+        let mut df = frame();
+        let gt = crate::GroundTruth::new(df.clone());
+        let mut prov = Provenance::for_frame(&df);
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = PrePollutionPlan::explicit(
+            Scenario::SingleError(ErrorType::MissingValues),
+            vec![(0, 0.10), (2, 0.25)],
+        );
+        plan.apply(&mut df, 0.01, &mut prov, &mut rng).unwrap();
+        assert_eq!(gt.dirty_count(&df, 0).unwrap(), 20);
+        assert_eq!(gt.dirty_count(&df, 2).unwrap(), 50);
+        assert_eq!(gt.dirty_count(&df, 1).unwrap(), 0);
+        assert_eq!(prov.count(0), 20);
+        assert_eq!(prov.rows_with(0, Some(ErrorType::MissingValues)).len(), 20);
+    }
+
+    #[test]
+    fn apply_multi_error_uses_applicable_types_only() {
+        let mut df = frame();
+        let mut prov = Provenance::for_frame(&df);
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = PrePollutionPlan::explicit(
+            Scenario::MultiError,
+            vec![(0, 0.30), (2, 0.30)],
+        );
+        plan.apply(&mut df, 0.01, &mut prov, &mut rng).unwrap();
+        // Numeric column: never categorical shift.
+        for e in prov.error_types_in(0) {
+            assert!(e.applicable(ColumnKind::Numeric));
+        }
+        // Categorical column: only MV / CS.
+        for e in prov.error_types_in(2) {
+            assert!(e.applicable(ColumnKind::Categorical));
+        }
+        assert!(prov.error_types_in(0).len() >= 2, "multi-error should mix types");
+    }
+
+    #[test]
+    fn overlap_keeps_effective_level_close() {
+        // Because steps sample rows independently, some pollution lands on
+        // already-dirty cells; the *effective* dirt is slightly below the
+        // target but must stay in the right ballpark (paper §3.1 argument).
+        let mut df = frame();
+        let gt = crate::GroundTruth::new(df.clone());
+        let mut prov = Provenance::for_frame(&df);
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = PrePollutionPlan::explicit(
+            Scenario::MultiError,
+            vec![(0, 0.40)],
+        );
+        plan.apply(&mut df, 0.05, &mut prov, &mut rng).unwrap();
+        let dirty = gt.dirty_count(&df, 0).unwrap();
+        assert!(dirty > 50 && dirty <= 80, "dirty {dirty} for target 80");
+    }
+
+    #[test]
+    fn zero_level_is_noop() {
+        let mut df = frame();
+        let clean = df.clone();
+        let mut prov = Provenance::for_frame(&df);
+        let mut rng = StdRng::seed_from_u64(6);
+        let plan = PrePollutionPlan::explicit(
+            Scenario::SingleError(ErrorType::MissingValues),
+            vec![(0, 0.0)],
+        );
+        plan.apply(&mut df, 0.01, &mut prov, &mut rng).unwrap();
+        assert_eq!(df, clean);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let df = frame();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(PrePollutionPlan::sample(&df, Scenario::MultiError, 0.0, 0.5, &mut rng).is_err());
+        assert!(PrePollutionPlan::sample(&df, Scenario::MultiError, 0.1, 1.5, &mut rng).is_err());
+        let plan = PrePollutionPlan::explicit(Scenario::MultiError, vec![(0, 0.1)]);
+        let mut prov = Provenance::for_frame(&df);
+        let mut df2 = df.clone();
+        assert!(plan.apply(&mut df2, 0.0, &mut prov, &mut rng).is_err());
+    }
+
+    #[test]
+    fn mean_level_helper() {
+        let plan = PrePollutionPlan::explicit(
+            Scenario::MultiError,
+            vec![(0, 0.2), (1, 0.4)],
+        );
+        assert!((plan.mean_level() - 0.3).abs() < 1e-12);
+        let empty = PrePollutionPlan::explicit(Scenario::MultiError, vec![]);
+        assert_eq!(empty.mean_level(), 0.0);
+    }
+
+    #[test]
+    fn exponential_levels_are_skewed() {
+        // With mean 0.1 and cap 1.0, most levels are small but a few exceed
+        // the mean — a sanity check of the exponential shape.
+        let df = frame();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut below = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            let plan =
+                PrePollutionPlan::sample(&df, Scenario::MultiError, 0.1, 1.0, &mut rng).unwrap();
+            for &(_, l) in &plan.levels {
+                total += 1;
+                if l < 0.1 {
+                    below += 1;
+                }
+            }
+        }
+        let frac = below as f64 / total as f64;
+        // P(Exp(mean=0.1) < 0.1) = 1 − e⁻¹ ≈ 0.632.
+        assert!((frac - 0.632).abs() < 0.05, "fraction below mean: {frac}");
+    }
+}

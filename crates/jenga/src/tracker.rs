@@ -1,0 +1,328 @@
+//! Ground-truth tracking and per-cell error provenance.
+//!
+//! COMET itself never sees this information (paper §3: "At no point does
+//! COMET require information about the actual pollution level … nor which
+//! entries are actually erroneous"). The *simulation harness* needs it to
+//! play the role of the Cleaner: restore `k` dirty cells of a feature, and
+//! in the multi-error scenario know which error type polluted each cell so
+//! the correct cost model is charged (§4.2).
+
+use crate::ErrorType;
+use comet_frame::{DataFrame, FrameError, Result};
+use rand::Rng;
+
+/// The clean reference version of a (train or test) frame.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    clean: DataFrame,
+}
+
+impl GroundTruth {
+    /// Capture the clean state. Call before any pollution is applied.
+    pub fn new(clean: DataFrame) -> Self {
+        GroundTruth { clean }
+    }
+
+    /// The clean frame.
+    pub fn clean(&self) -> &DataFrame {
+        &self.clean
+    }
+
+    /// Rows of feature `col` whose value in `dirty` differs from clean.
+    pub fn dirty_rows(&self, dirty: &DataFrame, col: usize) -> Result<Vec<usize>> {
+        let a = dirty.column(col)?;
+        let b = self.clean.column(col)?;
+        if a.len() != b.len() {
+            return Err(FrameError::LengthMismatch {
+                expected: b.len(),
+                got: a.len(),
+                column: a.name().to_string(),
+            });
+        }
+        let mut rows = Vec::new();
+        for row in 0..a.len() {
+            if !cells_eq(a.get(row)?, b.get(row)?) {
+                rows.push(row);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Number of dirty cells in feature `col`.
+    pub fn dirty_count(&self, dirty: &DataFrame, col: usize) -> Result<usize> {
+        Ok(self.dirty_rows(dirty, col)?.len())
+    }
+
+    /// Total dirty cells across all feature columns.
+    pub fn total_dirty(&self, dirty: &DataFrame) -> Result<usize> {
+        let mut total = 0;
+        for col in dirty.feature_indices() {
+            total += self.dirty_count(dirty, col)?;
+        }
+        Ok(total)
+    }
+
+    /// True when every feature cell matches ground truth.
+    pub fn is_fully_clean(&self, dirty: &DataFrame) -> Result<bool> {
+        Ok(self.total_dirty(dirty)? == 0)
+    }
+
+    /// Restore the given rows of feature `col` to their clean values.
+    /// Returns the rows that actually changed.
+    pub fn restore(&self, dirty: &mut DataFrame, col: usize, rows: &[usize]) -> Result<Vec<usize>> {
+        let mut restored = Vec::new();
+        for &row in rows {
+            let clean_cell = self.clean.get(row, col)?;
+            if !cells_eq(dirty.get(row, col)?, clean_cell) {
+                dirty.set(row, col, clean_cell)?;
+                restored.push(row);
+            }
+        }
+        Ok(restored)
+    }
+
+    /// Simulate one cleaning step on feature `col`: restore up to `k` dirty
+    /// cells. Cells listed in `preferred` are cleaned first (the paper's
+    /// Cleaner first cleans the entries the Polluter flagged, §3.3); the
+    /// remainder is drawn uniformly from the other dirty cells.
+    ///
+    /// Returns the rows restored (may be fewer than `k` if less dirt
+    /// remains).
+    pub fn clean_step<R: Rng + ?Sized>(
+        &self,
+        dirty: &mut DataFrame,
+        col: usize,
+        k: usize,
+        preferred: &[usize],
+        rng: &mut R,
+    ) -> Result<Vec<usize>> {
+        let dirty_rows = self.dirty_rows(dirty, col)?;
+        if dirty_rows.is_empty() || k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        for &p in preferred {
+            if chosen.len() == k {
+                break;
+            }
+            if dirty_rows.binary_search(&p).is_ok() && !chosen.contains(&p) {
+                chosen.push(p);
+            }
+        }
+        if chosen.len() < k {
+            // Uniform fill from the remaining dirty rows.
+            let mut rest: Vec<usize> =
+                dirty_rows.iter().copied().filter(|r| !chosen.contains(r)).collect();
+            let need = (k - chosen.len()).min(rest.len());
+            for i in 0..need {
+                let j = rng.gen_range(i..rest.len());
+                rest.swap(i, j);
+                chosen.push(rest[i]);
+            }
+        }
+        self.restore(dirty, col, &chosen)
+    }
+}
+
+fn cells_eq(a: comet_frame::Cell, b: comet_frame::Cell) -> bool {
+    use comet_frame::Cell;
+    match (a, b) {
+        (Cell::Missing, Cell::Missing) => true,
+        (Cell::Num(x), Cell::Num(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-12 * scale
+        }
+        (Cell::Cat(x), Cell::Cat(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Per-cell record of which error type polluted a cell, per column.
+///
+/// `None` means the cell is clean (or its dirt has unknown provenance, e.g.
+/// pre-existing errors in CleanML datasets before we re-derive them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    cells: Vec<Vec<Option<ErrorType>>>,
+}
+
+impl Provenance {
+    /// Empty provenance for a frame with `ncols` columns of `nrows` rows.
+    pub fn new(ncols: usize, nrows: usize) -> Self {
+        Provenance { cells: vec![vec![None; nrows]; ncols] }
+    }
+
+    /// Build provenance sized for a frame.
+    pub fn for_frame(df: &DataFrame) -> Self {
+        Self::new(df.ncols(), df.nrows())
+    }
+
+    /// Record that `(col, row)` was polluted with `err`. Later pollution of
+    /// the same cell overwrites the provenance (the last error dominates the
+    /// observable value).
+    pub fn record(&mut self, col: usize, row: usize, err: ErrorType) {
+        self.cells[col][row] = Some(err);
+    }
+
+    /// Mark `(col, row)` clean.
+    pub fn clear(&mut self, col: usize, row: usize) {
+        self.cells[col][row] = None;
+    }
+
+    /// Provenance of a single cell.
+    pub fn get(&self, col: usize, row: usize) -> Option<ErrorType> {
+        self.cells[col][row]
+    }
+
+    /// Rows of `col` polluted with `err` (or with *any* error if `None`).
+    pub fn rows_with(&self, col: usize, err: Option<ErrorType>) -> Vec<usize> {
+        self.cells[col]
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| match err {
+                Some(want) => **e == Some(want),
+                None => e.is_some(),
+            })
+            .map(|(row, _)| row)
+            .collect()
+    }
+
+    /// Distinct error types present in `col`.
+    pub fn error_types_in(&self, col: usize) -> Vec<ErrorType> {
+        let mut seen = Vec::new();
+        for e in self.cells[col].iter().flatten() {
+            if !seen.contains(e) {
+                seen.push(*e);
+            }
+        }
+        seen.sort_unstable();
+        seen
+    }
+
+    /// Number of polluted cells in `col`.
+    pub fn count(&self, col: usize) -> usize {
+        self.cells[col].iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The full provenance vector of a column (snapshot support).
+    pub fn column(&self, col: usize) -> &[Option<ErrorType>] {
+        &self.cells[col]
+    }
+
+    /// Replace the full provenance vector of a column (revert support).
+    /// Panics on length mismatch.
+    pub fn set_column(&mut self, col: usize, cells: Vec<Option<ErrorType>>) {
+        assert_eq!(cells.len(), self.cells[col].len(), "provenance length mismatch");
+        self.cells[col] = cells;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject;
+    use comet_frame::{Cell, Column};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frame() -> DataFrame {
+        let x = Column::numeric("x", (0..50).map(|i| i as f64).collect());
+        let y = Column::categorical(
+            "y",
+            (0..50).map(|i| (i % 2) as u32).collect(),
+            vec!["n".into(), "p".into()],
+        )
+        .unwrap();
+        DataFrame::new(vec![x, y], Some("y")).unwrap()
+    }
+
+    #[test]
+    fn dirty_rows_tracks_injection() {
+        let mut df = frame();
+        let gt = GroundTruth::new(df.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        inject(&mut df, 0, &[3, 7, 11], ErrorType::MissingValues, &mut rng).unwrap();
+        assert_eq!(gt.dirty_rows(&df, 0).unwrap(), vec![3, 7, 11]);
+        assert_eq!(gt.dirty_count(&df, 0).unwrap(), 3);
+        assert_eq!(gt.total_dirty(&df).unwrap(), 3);
+        assert!(!gt.is_fully_clean(&df).unwrap());
+    }
+
+    #[test]
+    fn restore_brings_back_exact_values() {
+        let mut df = frame();
+        let gt = GroundTruth::new(df.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        inject(&mut df, 0, &[1, 2], ErrorType::GaussianNoise, &mut rng).unwrap();
+        let restored = gt.restore(&mut df, 0, &[1, 2, 5]).unwrap();
+        assert_eq!(restored, vec![1, 2]);
+        assert!(gt.is_fully_clean(&df).unwrap());
+        assert_eq!(df.get(1, 0).unwrap(), Cell::Num(1.0));
+    }
+
+    #[test]
+    fn clean_step_prefers_flagged_rows() {
+        let mut df = frame();
+        let gt = GroundTruth::new(df.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        inject(&mut df, 0, &[0, 1, 2, 3, 4, 5], ErrorType::MissingValues, &mut rng).unwrap();
+        let cleaned = gt.clean_step(&mut df, 0, 2, &[4, 5], &mut rng).unwrap();
+        assert_eq!(cleaned, vec![4, 5]);
+        assert_eq!(gt.dirty_rows(&df, 0).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn clean_step_fills_from_random_dirty() {
+        let mut df = frame();
+        let gt = GroundTruth::new(df.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        inject(&mut df, 0, &[0, 1, 2, 3], ErrorType::MissingValues, &mut rng).unwrap();
+        // Preferred row 10 is clean → ignored; 3 cells still get cleaned.
+        let cleaned = gt.clean_step(&mut df, 0, 3, &[10], &mut rng).unwrap();
+        assert_eq!(cleaned.len(), 3);
+        assert_eq!(gt.dirty_count(&df, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn clean_step_exhausts_dirt() {
+        let mut df = frame();
+        let gt = GroundTruth::new(df.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        inject(&mut df, 0, &[7], ErrorType::MissingValues, &mut rng).unwrap();
+        let cleaned = gt.clean_step(&mut df, 0, 10, &[], &mut rng).unwrap();
+        assert_eq!(cleaned, vec![7]);
+        assert!(gt.is_fully_clean(&df).unwrap());
+        // Cleaning a clean column is a no-op.
+        let cleaned = gt.clean_step(&mut df, 0, 10, &[], &mut rng).unwrap();
+        assert!(cleaned.is_empty());
+    }
+
+    #[test]
+    fn provenance_record_query_clear() {
+        let df = frame();
+        let mut prov = Provenance::for_frame(&df);
+        prov.record(0, 3, ErrorType::GaussianNoise);
+        prov.record(0, 9, ErrorType::Scaling);
+        prov.record(0, 9, ErrorType::MissingValues); // overwrite
+        assert_eq!(prov.get(0, 3), Some(ErrorType::GaussianNoise));
+        assert_eq!(prov.get(0, 9), Some(ErrorType::MissingValues));
+        assert_eq!(prov.rows_with(0, Some(ErrorType::GaussianNoise)), vec![3]);
+        assert_eq!(prov.rows_with(0, None), vec![3, 9]);
+        assert_eq!(
+            prov.error_types_in(0),
+            vec![ErrorType::MissingValues, ErrorType::GaussianNoise]
+        );
+        assert_eq!(prov.count(0), 2);
+        prov.clear(0, 3);
+        assert_eq!(prov.count(0), 1);
+        assert_eq!(prov.get(0, 3), None);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let df = frame();
+        let gt = GroundTruth::new(df.clone());
+        let small = df.take(&[0, 1]).unwrap();
+        assert!(gt.dirty_rows(&small, 0).is_err());
+    }
+}

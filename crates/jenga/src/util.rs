@@ -1,0 +1,56 @@
+//! Random-sampling utilities shared by the injectors.
+
+use rand::Rng;
+
+/// Sample a standard-normal variate via the Box–Muller transform.
+///
+/// Implemented in-house so the workspace needs only the `rand` core crate
+/// (no `rand_distr`).
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Rejection-free polar-less form; u1 ∈ (0, 1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = sample_normal(&mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn tail_mass_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let beyond_2 = (0..n).filter(|_| sample_normal(&mut rng).abs() > 2.0).count();
+        let frac = beyond_2 as f64 / n as f64;
+        // P(|Z| > 2) ≈ 0.0455.
+        assert!((frac - 0.0455).abs() < 0.005, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn values_are_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(sample_normal(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Algorithm registry: the paper's six ML algorithms behind one enum, with
+//! the random hyperparameter search spaces of §4.4.
+
+use crate::dtree::{DecisionTreeClassifier, DtParams};
+use crate::forest::{RandomForestClassifier, RfParams};
+use crate::gbm::{GbmParams, GradientBoostingClassifier};
+use crate::knn::{KnnClassifier, KnnParams};
+use crate::linear::{
+    LinearRegressionClassifier, LinearSvm, LirParams, LogisticRegression, LorParams, SvmParams,
+};
+use crate::mlp::{MlpClassifier, MlpParams};
+use crate::nb::{NaiveBayesClassifier, NbParams};
+use crate::model::Classifier;
+use rand::Rng;
+use std::fmt;
+
+/// The ML algorithms evaluated in the paper: SVM, KNN, MLP, GB with the
+/// FIR/RR/CL baselines; SVM ("AC-SVM"), LOR, LIR with ActiveClean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Algorithm {
+    /// Linear support vector machine.
+    Svm,
+    /// k-nearest neighbors.
+    Knn,
+    /// Multi-layer perceptron.
+    Mlp,
+    /// Gradient boosting.
+    Gb,
+    /// Logistic regression (LOR).
+    LogReg,
+    /// Linear regression classifier (LIR).
+    LinReg,
+    /// Decision tree (extension beyond the paper's suite).
+    Dt,
+    /// Random forest (extension beyond the paper's suite).
+    Rf,
+    /// Gaussian naive Bayes (extension beyond the paper's suite).
+    Nb,
+}
+
+impl Algorithm {
+    /// All algorithms, including the extensions beyond the paper's suite.
+    pub const ALL: [Algorithm; 9] = [
+        Algorithm::Svm,
+        Algorithm::Knn,
+        Algorithm::Mlp,
+        Algorithm::Gb,
+        Algorithm::LogReg,
+        Algorithm::LinReg,
+        Algorithm::Dt,
+        Algorithm::Rf,
+        Algorithm::Nb,
+    ];
+
+    /// The four algorithms compared against FIR/RR/CL (§4.4).
+    pub const COMET_SUITE: [Algorithm; 4] =
+        [Algorithm::Svm, Algorithm::Knn, Algorithm::Mlp, Algorithm::Gb];
+
+    /// The three convex-loss algorithms ActiveClean supports (§4.5).
+    pub const ACTIVECLEAN_SUITE: [Algorithm; 3] =
+        [Algorithm::Svm, Algorithm::LogReg, Algorithm::LinReg];
+
+    /// Short name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Svm => "SVM",
+            Algorithm::Knn => "KNN",
+            Algorithm::Mlp => "MLP",
+            Algorithm::Gb => "GB",
+            Algorithm::LogReg => "LOR",
+            Algorithm::LinReg => "LIR",
+            Algorithm::Dt => "DT",
+            Algorithm::Rf => "RF",
+            Algorithm::Nb => "NB",
+        }
+    }
+
+    /// Parse a (case-insensitive) name.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s.to_ascii_lowercase().as_str() {
+            "svm" | "acsvm" | "ac-svm" => Some(Algorithm::Svm),
+            "knn" => Some(Algorithm::Knn),
+            "mlp" => Some(Algorithm::Mlp),
+            "gb" | "gbm" => Some(Algorithm::Gb),
+            "lor" | "logreg" | "logistic" => Some(Algorithm::LogReg),
+            "lir" | "linreg" | "linear" => Some(Algorithm::LinReg),
+            "dt" | "tree" | "decisiontree" => Some(Algorithm::Dt),
+            "rf" | "forest" | "randomforest" => Some(Algorithm::Rf),
+            "nb" | "naivebayes" | "bayes" => Some(Algorithm::Nb),
+            _ => None,
+        }
+    }
+
+    /// Whether ActiveClean's convex-loss machinery supports this algorithm.
+    pub fn is_convex_linear(self) -> bool {
+        matches!(self, Algorithm::Svm | Algorithm::LogReg | Algorithm::LinReg)
+    }
+
+    /// Default hyperparameters.
+    pub fn default_params(self) -> HyperParams {
+        match self {
+            Algorithm::Svm => HyperParams::Svm(SvmParams::default()),
+            Algorithm::Knn => HyperParams::Knn(KnnParams::default()),
+            Algorithm::Mlp => HyperParams::Mlp(MlpParams::default()),
+            Algorithm::Gb => HyperParams::Gb(GbmParams::default()),
+            Algorithm::LogReg => HyperParams::LogReg(LorParams::default()),
+            Algorithm::LinReg => HyperParams::LinReg(LirParams::default()),
+            Algorithm::Dt => HyperParams::Dt(DtParams::default()),
+            Algorithm::Rf => HyperParams::Rf(RfParams::default()),
+            Algorithm::Nb => HyperParams::Nb(NbParams::default()),
+        }
+    }
+
+    /// Sample hyperparameters from the random-search space (§4.4).
+    pub fn sample_params<R: Rng + ?Sized>(self, rng: &mut R) -> HyperParams {
+        let log_uniform = |rng: &mut R, lo: f64, hi: f64| -> f64 {
+            (rng.gen::<f64>() * (hi.ln() - lo.ln()) + lo.ln()).exp()
+        };
+        match self {
+            Algorithm::Svm => HyperParams::Svm(SvmParams {
+                l2: log_uniform(rng, 1e-5, 1e-2),
+                epochs: *[20, 40, 60].get(rng.gen_range(0..3)).expect("in range"),
+                learning_rate: log_uniform(rng, 0.02, 0.5),
+            }),
+            Algorithm::Knn => {
+                const KS: [usize; 7] = [1, 3, 5, 7, 9, 11, 15];
+                HyperParams::Knn(KnnParams { k: KS[rng.gen_range(0..KS.len())] })
+            }
+            Algorithm::Mlp => HyperParams::Mlp(MlpParams {
+                hidden: [16, 32, 64][rng.gen_range(0..3)],
+                epochs: [40, 60, 80][rng.gen_range(0..3)],
+                learning_rate: log_uniform(rng, 0.01, 0.1),
+                ..MlpParams::default()
+            }),
+            Algorithm::Gb => HyperParams::Gb(GbmParams {
+                n_rounds: [20, 30, 50][rng.gen_range(0..3)],
+                learning_rate: [0.05, 0.1, 0.2, 0.3][rng.gen_range(0..4)],
+                max_depth: [2, 3, 4][rng.gen_range(0..3)],
+                min_leaf: 5,
+            }),
+            Algorithm::LogReg => HyperParams::LogReg(LorParams {
+                l2: log_uniform(rng, 1e-5, 1e-2),
+                epochs: [20, 40, 60][rng.gen_range(0..3)],
+                learning_rate: log_uniform(rng, 0.02, 0.5),
+            }),
+            Algorithm::LinReg => HyperParams::LinReg(LirParams {
+                l2: log_uniform(rng, 1e-5, 1e-2),
+                epochs: [20, 40, 60][rng.gen_range(0..3)],
+                learning_rate: log_uniform(rng, 0.01, 0.2),
+            }),
+            Algorithm::Dt => HyperParams::Dt(DtParams {
+                max_depth: [3, 5, 8, 12][rng.gen_range(0..4)],
+                min_leaf: [1, 2, 5][rng.gen_range(0..3)],
+                max_features: None,
+            }),
+            Algorithm::Rf => HyperParams::Rf(RfParams {
+                n_trees: [10, 25, 50][rng.gen_range(0..3)],
+                max_depth: [4, 8, 12][rng.gen_range(0..3)],
+                min_leaf: [1, 2, 5][rng.gen_range(0..3)],
+            }),
+            Algorithm::Nb => HyperParams::Nb(NbParams {
+                var_smoothing: log_uniform(rng, 1e-10, 1e-6),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete hyperparameter assignment for one algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HyperParams {
+    /// SVM parameters.
+    Svm(SvmParams),
+    /// KNN parameters.
+    Knn(KnnParams),
+    /// MLP parameters.
+    Mlp(MlpParams),
+    /// Gradient-boosting parameters.
+    Gb(GbmParams),
+    /// Logistic-regression parameters.
+    LogReg(LorParams),
+    /// Linear-regression parameters.
+    LinReg(LirParams),
+    /// Decision-tree parameters.
+    Dt(DtParams),
+    /// Random-forest parameters.
+    Rf(RfParams),
+    /// Naive-Bayes parameters.
+    Nb(NbParams),
+}
+
+impl HyperParams {
+    /// Which algorithm these parameters belong to.
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            HyperParams::Svm(_) => Algorithm::Svm,
+            HyperParams::Knn(_) => Algorithm::Knn,
+            HyperParams::Mlp(_) => Algorithm::Mlp,
+            HyperParams::Gb(_) => Algorithm::Gb,
+            HyperParams::LogReg(_) => Algorithm::LogReg,
+            HyperParams::LinReg(_) => Algorithm::LinReg,
+            HyperParams::Dt(_) => Algorithm::Dt,
+            HyperParams::Rf(_) => Algorithm::Rf,
+            HyperParams::Nb(_) => Algorithm::Nb,
+        }
+    }
+
+    /// Instantiate an unfitted classifier.
+    pub fn build(&self) -> Box<dyn Classifier> {
+        match *self {
+            HyperParams::Svm(p) => Box::new(LinearSvm::new(p)),
+            HyperParams::Knn(p) => Box::new(KnnClassifier::new(p)),
+            HyperParams::Mlp(p) => Box::new(MlpClassifier::new(p)),
+            HyperParams::Gb(p) => Box::new(GradientBoostingClassifier::new(p)),
+            HyperParams::LogReg(p) => Box::new(LogisticRegression::new(p)),
+            HyperParams::LinReg(p) => Box::new(LinearRegressionClassifier::new(p)),
+            HyperParams::Dt(p) => Box::new(DecisionTreeClassifier::new(p)),
+            HyperParams::Rf(p) => Box::new(RandomForestClassifier::new(p)),
+            HyperParams::Nb(p) => Box::new(NaiveBayesClassifier::new(p)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_roundtrip() {
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(a.name()), Some(a));
+        }
+        assert_eq!(Algorithm::parse("ac-svm"), Some(Algorithm::Svm));
+        assert_eq!(Algorithm::parse("zzz"), None);
+    }
+
+    #[test]
+    fn suites_match_paper() {
+        assert!(Algorithm::COMET_SUITE.contains(&Algorithm::Mlp));
+        assert!(!Algorithm::COMET_SUITE.contains(&Algorithm::LinReg));
+        for a in Algorithm::ACTIVECLEAN_SUITE {
+            assert!(a.is_convex_linear());
+        }
+        assert!(!Algorithm::Knn.is_convex_linear());
+    }
+
+    #[test]
+    fn every_algorithm_builds_and_fits() {
+        let x = Matrix::from_vecs(&[
+            vec![0.0, 1.0],
+            vec![0.1, 0.9],
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![0.05, 1.1],
+            vec![1.1, -0.1],
+        ]);
+        let y = vec![0, 0, 1, 1, 0, 1];
+        for algo in Algorithm::ALL {
+            let mut model = algo.default_params().build();
+            let mut rng = StdRng::seed_from_u64(0);
+            model.fit(&x, &y, 2, &mut rng);
+            let pred = model.predict(&x);
+            assert_eq!(pred.len(), 6);
+            assert!(pred.iter().all(|&p| p < 2), "{algo} produced invalid codes");
+        }
+    }
+
+    #[test]
+    fn sampled_params_are_in_space() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            for algo in Algorithm::ALL {
+                let hp = algo.sample_params(&mut rng);
+                assert_eq!(hp.algorithm(), algo);
+                match hp {
+                    HyperParams::Svm(p) => {
+                        assert!(p.l2 >= 1e-5 && p.l2 <= 1e-2);
+                        assert!([20, 40, 60].contains(&p.epochs));
+                    }
+                    HyperParams::Knn(p) => assert!([1, 3, 5, 7, 9, 11, 15].contains(&p.k)),
+                    HyperParams::Mlp(p) => assert!([16, 32, 64].contains(&p.hidden)),
+                    HyperParams::Gb(p) => assert!([2, 3, 4].contains(&p.max_depth)),
+                    HyperParams::LogReg(p) => assert!(p.learning_rate > 0.0),
+                    HyperParams::LinReg(p) => assert!(p.learning_rate > 0.0),
+                    HyperParams::Dt(p) => assert!(p.max_depth >= 3),
+                    HyperParams::Rf(p) => assert!(p.n_trees >= 10),
+                    HyperParams::Nb(p) => assert!(p.var_smoothing > 0.0),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Algorithm::Gb.to_string(), "GB");
+    }
+}

@@ -1,0 +1,149 @@
+//! k-fold cross-validation utilities.
+
+use crate::algorithm::HyperParams;
+use crate::metrics::Metric;
+use crate::Matrix;
+use rand::Rng;
+
+/// Row-index folds for k-fold cross-validation.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Split `n` rows into `k` shuffled folds of near-equal size.
+    pub fn new<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Self {
+        assert!(k >= 2, "need at least 2 folds");
+        assert!(n >= k, "need at least one row per fold");
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut folds: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+        for (i, row) in order.into_iter().enumerate() {
+            folds[i % k].push(row);
+        }
+        folds.iter_mut().for_each(|f| f.sort_unstable());
+        KFold { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// `(train_rows, validation_rows)` for fold `i`.
+    pub fn split(&self, i: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(i < self.folds.len(), "fold out of range");
+        let val = self.folds[i].clone();
+        let train: Vec<usize> = self
+            .folds
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        (train, val)
+    }
+}
+
+/// Mean k-fold cross-validation score of a hyperparameter assignment.
+pub fn cross_val_score<R: Rng>(
+    params: &HyperParams,
+    x: &Matrix,
+    y: &[u32],
+    n_classes: usize,
+    k: usize,
+    metric: Metric,
+    rng: &mut R,
+) -> f64 {
+    assert_eq!(x.nrows(), y.len(), "rows and labels must align");
+    let folds = KFold::new(x.nrows(), k, rng);
+    let mut total = 0.0;
+    for i in 0..folds.k() {
+        let (train_rows, val_rows) = folds.split(i);
+        let xtr = x.take_rows(&train_rows);
+        let ytr: Vec<u32> = train_rows.iter().map(|&r| y[r]).collect();
+        let xval = x.take_rows(&val_rows);
+        let yval: Vec<u32> = val_rows.iter().map(|&r| y[r]).collect();
+        let mut model = params.build();
+        model.fit(&xtr, &ytr, n_classes, rng);
+        total += metric.eval(&yval, &model.predict(&xval), n_classes);
+    }
+    total / folds.k() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Algorithm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn folds_partition_rows() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let kf = KFold::new(23, 5, &mut rng);
+        assert_eq!(kf.k(), 5);
+        let mut all: Vec<usize> = Vec::new();
+        for i in 0..5 {
+            let (train, val) = kf.split(i);
+            assert_eq!(train.len() + val.len(), 23);
+            // Disjoint.
+            for v in &val {
+                assert!(!train.contains(v));
+            }
+            all.extend(val);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>(), "validation folds partition rows");
+    }
+
+    #[test]
+    fn fold_sizes_near_equal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kf = KFold::new(10, 3, &mut rng);
+        let sizes: Vec<usize> = (0..3).map(|i| kf.split(i).1.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn cross_val_scores_separable_data_high() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            let c = i % 2;
+            rows.push(vec![if c == 0 { -1.0 } else { 1.0 } + ((i * 7) % 13) as f64 / 26.0]);
+            labels.push(c as u32);
+        }
+        let x = Matrix::from_vecs(&rows);
+        let mut rng = StdRng::seed_from_u64(2);
+        let score = cross_val_score(
+            &Algorithm::Knn.default_params(),
+            &x,
+            &labels,
+            2,
+            5,
+            Metric::Accuracy,
+            &mut rng,
+        );
+        assert!(score > 0.9, "CV score {score}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn one_fold_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        KFold::new(10, 1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per fold")]
+    fn too_many_folds_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        KFold::new(3, 5, &mut rng);
+    }
+}

@@ -1,0 +1,278 @@
+//! Featurization: frame → numeric design matrix.
+//!
+//! Pipeline (fitted on training data only, then applied to both splits —
+//! the paper's Polluter keeps train and test separate to avoid leakage,
+//! and so must the preprocessing):
+//!
+//! 1. numeric features: impute missing with the training mean, then
+//!    standardize with training mean/std,
+//! 2. categorical features: impute missing with the training mode, then
+//!    one-hot encode over the column's full dictionary.
+//!
+//! Imputation-then-standardization means a missing numeric value maps to
+//! exactly `0.0` — information is lost (which is why missing-value pollution
+//! hurts accuracy) but training never crashes.
+
+use crate::Matrix;
+use comet_frame::{ColumnKind, DataFrame, FrameError, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+enum FeatSpec {
+    Numeric { col: usize, mean: f64, std: f64 },
+    Categorical { col: usize, cardinality: usize, mode: u32 },
+}
+
+/// Maps one original feature column to a range of output matrix columns —
+/// needed by Shapley grouping (perturb all one-hot columns of a feature
+/// together).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureGroup {
+    /// Original frame column index.
+    pub col: usize,
+    /// First output column.
+    pub start: usize,
+    /// One-past-last output column.
+    pub end: usize,
+}
+
+/// Fitted featurization pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Featurizer {
+    specs: Vec<FeatSpec>,
+    groups: Vec<FeatureGroup>,
+    out_dim: usize,
+}
+
+impl Featurizer {
+    /// Fit on the training frame: record means/stds/modes/cardinalities.
+    pub fn fit(train: &DataFrame) -> Result<Self> {
+        let mut specs = Vec::new();
+        let mut groups = Vec::new();
+        let mut out = 0usize;
+        for col in train.feature_indices() {
+            let column = train.column(col)?;
+            match column.kind() {
+                ColumnKind::Numeric => {
+                    let mean = column.mean().unwrap_or(0.0);
+                    let mut std = column.std().unwrap_or(1.0);
+                    if std < 1e-12 {
+                        std = 1.0; // constant column: center only
+                    }
+                    specs.push(FeatSpec::Numeric { col, mean, std });
+                    groups.push(FeatureGroup { col, start: out, end: out + 1 });
+                    out += 1;
+                }
+                ColumnKind::Categorical => {
+                    let cardinality = column.cardinality();
+                    if cardinality == 0 {
+                        return Err(FrameError::InvalidArgument(format!(
+                            "categorical column {:?} has an empty dictionary",
+                            column.name()
+                        )));
+                    }
+                    let mode = column.mode().unwrap_or(0);
+                    specs.push(FeatSpec::Categorical { col, cardinality, mode });
+                    groups.push(FeatureGroup { col, start: out, end: out + cardinality });
+                    out += cardinality;
+                }
+            }
+        }
+        if out == 0 {
+            return Err(FrameError::InvalidArgument("frame has no features".into()));
+        }
+        Ok(Featurizer { specs, groups, out_dim: out })
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Original-feature → output-column grouping.
+    pub fn groups(&self) -> &[FeatureGroup] {
+        &self.groups
+    }
+
+    /// Transform a frame (train or test) into a design matrix. The frame
+    /// must have the same schema as the fitting frame.
+    pub fn transform(&self, df: &DataFrame) -> Result<Matrix> {
+        let n = df.nrows();
+        let mut m = Matrix::zeros(n, self.out_dim);
+        let mut offset = 0usize;
+        for spec in &self.specs {
+            match *spec {
+                FeatSpec::Numeric { col, mean, std } => {
+                    let column = df.column(col)?;
+                    if column.kind() != ColumnKind::Numeric {
+                        return Err(FrameError::TypeMismatch {
+                            column: column.name().to_string(),
+                            expected: "numeric",
+                            got: column.kind().name(),
+                        });
+                    }
+                    for row in 0..n {
+                        // Missing → mean-impute → standardized 0. Non-finite
+                        // values (overflowed scaling errors) are clamped.
+                        let v = column.num(row).unwrap_or(mean);
+                        let z = (v - mean) / std;
+                        m.set(row, offset, z.clamp(-1e9, 1e9));
+                    }
+                    offset += 1;
+                }
+                FeatSpec::Categorical { col, cardinality, mode } => {
+                    let column = df.column(col)?;
+                    if column.kind() != ColumnKind::Categorical {
+                        return Err(FrameError::TypeMismatch {
+                            column: column.name().to_string(),
+                            expected: "categorical",
+                            got: column.kind().name(),
+                        });
+                    }
+                    if column.cardinality() != cardinality {
+                        return Err(FrameError::InvalidArgument(format!(
+                            "column {:?} cardinality changed ({} → {})",
+                            column.name(),
+                            cardinality,
+                            column.cardinality()
+                        )));
+                    }
+                    for row in 0..n {
+                        let code = column.cat(row).unwrap_or(mode) as usize;
+                        m.set(row, offset + code, 1.0);
+                    }
+                    offset += cardinality;
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Fit on `train` and transform both splits — the common call.
+    pub fn fit_transform(train: &DataFrame, test: &DataFrame) -> Result<(Featurizer, Matrix, Matrix)> {
+        let f = Featurizer::fit(train)?;
+        let xtr = f.transform(train)?;
+        let xte = f.transform(test)?;
+        Ok((f, xtr, xte))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_frame::{Cell, Column};
+
+    fn frame() -> DataFrame {
+        let x = Column::numeric("x", vec![1.0, 2.0, 3.0, 4.0]);
+        let c = Column::categorical(
+            "c",
+            vec![0, 1, 1, 2],
+            vec!["a".into(), "b".into(), "d".into()],
+        )
+        .unwrap();
+        let y = Column::categorical("y", vec![0, 1, 0, 1], vec!["n".into(), "p".into()]).unwrap();
+        DataFrame::new(vec![x, c, y], Some("y")).unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_groups() {
+        let df = frame();
+        let f = Featurizer::fit(&df).unwrap();
+        assert_eq!(f.dim(), 4); // 1 numeric + 3 one-hot
+        assert_eq!(
+            f.groups(),
+            &[
+                FeatureGroup { col: 0, start: 0, end: 1 },
+                FeatureGroup { col: 1, start: 1, end: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn standardization_uses_train_stats() {
+        let df = frame();
+        let f = Featurizer::fit(&df).unwrap();
+        let m = f.transform(&df).unwrap();
+        // Column 0 standardized: mean 2.5, std = sqrt(5/3).
+        let std = (5.0f64 / 3.0).sqrt();
+        assert!((m.get(0, 0) - (1.0 - 2.5) / std).abs() < 1e-12);
+        // Standardized column has mean ~0.
+        let mean: f64 = (0..4).map(|i| m.get(i, 0)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let df = frame();
+        let f = Featurizer::fit(&df).unwrap();
+        let m = f.transform(&df).unwrap();
+        // Row 0 has category 0 → [1,0,0]; row 3 category 2 → [0,0,1].
+        assert_eq!(&m.row(0)[1..4], &[1.0, 0.0, 0.0]);
+        assert_eq!(&m.row(3)[1..4], &[0.0, 0.0, 1.0]);
+        // Exactly one hot per row.
+        for i in 0..4 {
+            let s: f64 = m.row(i)[1..4].iter().sum();
+            assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn missing_numeric_maps_to_zero() {
+        let mut df = frame();
+        df.set(0, 0, Cell::Missing).unwrap();
+        let clean = frame();
+        let f = Featurizer::fit(&clean).unwrap();
+        let m = f.transform(&df).unwrap();
+        assert_eq!(m.get(0, 0), 0.0, "mean-imputed missing standardizes to 0");
+    }
+
+    #[test]
+    fn missing_categorical_maps_to_mode() {
+        let mut df = frame();
+        df.set(0, 1, Cell::Missing).unwrap();
+        let f = Featurizer::fit(&frame()).unwrap();
+        let m = f.transform(&df).unwrap();
+        // Mode of c is code 1 ("b").
+        assert_eq!(&m.row(0)[1..4], &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let x = Column::numeric("x", vec![5.0, 5.0, 5.0]);
+        let y = Column::categorical("y", vec![0, 1, 0], vec!["n".into(), "p".into()]).unwrap();
+        let df = DataFrame::new(vec![x, y], Some("y")).unwrap();
+        let f = Featurizer::fit(&df).unwrap();
+        let m = f.transform(&df).unwrap();
+        for i in 0..3 {
+            assert_eq!(m.get(i, 0), 0.0);
+            assert!(m.get(i, 0).is_finite());
+        }
+    }
+
+    #[test]
+    fn test_split_transformed_with_train_stats() {
+        let train = frame();
+        let test = frame().take(&[0, 1]).unwrap();
+        let (f, xtr, xte) = Featurizer::fit_transform(&train, &test).unwrap();
+        assert_eq!(xtr.nrows(), 4);
+        assert_eq!(xte.nrows(), 2);
+        assert_eq!(xte.row(0), xtr.row(0), "same row, same stats → same output");
+        assert_eq!(f.dim(), 4);
+    }
+
+    #[test]
+    fn extreme_values_are_clamped() {
+        let mut df = frame();
+        df.set(0, 0, Cell::Num(1e300)).unwrap();
+        let f = Featurizer::fit(&frame()).unwrap();
+        let m = f.transform(&df).unwrap();
+        assert!(m.get(0, 0).is_finite());
+        assert!(m.get(0, 0) <= 1e9);
+    }
+
+    #[test]
+    fn no_features_rejected() {
+        let y = Column::categorical("y", vec![0, 1], vec!["n".into(), "p".into()]).unwrap();
+        let df = DataFrame::new(vec![y], Some("y")).unwrap();
+        assert!(Featurizer::fit(&df).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Random forest classifier: bagged [`DecisionTreeClassifier`]s with
+//! per-split feature subsampling (Breiman 2001). An extension beyond the
+//! paper's algorithm suite.
+
+use crate::dtree::{DecisionTreeClassifier, DtParams};
+use crate::model::Classifier;
+use crate::Matrix;
+use rand::RngCore;
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RfParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_leaf: usize,
+}
+
+impl Default for RfParams {
+    fn default() -> Self {
+        RfParams { n_trees: 25, max_depth: 8, min_leaf: 2 }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForestClassifier {
+    params: RfParams,
+    n_classes: usize,
+    trees: Vec<DecisionTreeClassifier>,
+}
+
+impl RandomForestClassifier {
+    /// Build with hyperparameters.
+    pub fn new(params: RfParams) -> Self {
+        assert!(params.n_trees >= 1, "need at least one tree");
+        RandomForestClassifier { params, n_classes: 0, trees: Vec::new() }
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees_fitted(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Default for RandomForestClassifier {
+    fn default() -> Self {
+        Self::new(RfParams::default())
+    }
+}
+
+impl Classifier for RandomForestClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize, rng: &mut dyn RngCore) {
+        assert_eq!(x.nrows(), y.len(), "rows and labels must align");
+        assert!(x.nrows() > 0, "cannot fit on empty data");
+        self.n_classes = n_classes.max(2);
+        self.trees.clear();
+        let n = x.nrows();
+        // √d features per split, the classification default.
+        let max_features = ((x.ncols() as f64).sqrt().ceil() as usize).max(1);
+        let tree_params = DtParams {
+            max_depth: self.params.max_depth,
+            min_leaf: self.params.min_leaf,
+            max_features: Some(max_features),
+        };
+        for _ in 0..self.params.n_trees {
+            // Bootstrap sample.
+            let rows: Vec<usize> =
+                (0..n).map(|_| (rng.next_u64() as usize) % n).collect();
+            let xb = x.take_rows(&rows);
+            let yb: Vec<u32> = rows.iter().map(|&r| y[r]).collect();
+            let mut tree = DecisionTreeClassifier::new(tree_params);
+            tree.fit(&xb, &yb, self.n_classes, rng);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u32 {
+        assert!(!self.trees.is_empty(), "predict called before fit");
+        let mut votes = vec![0usize; self.n_classes];
+        for tree in &self.trees {
+            votes[tree.predict_row(row) as usize] += 1;
+        }
+        let mut best = 0usize;
+        for (c, &v) in votes.iter().enumerate().skip(1) {
+            if v > votes[best] {
+                best = c;
+            }
+        }
+        best as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn noisy_blobs() -> (Matrix, Vec<u32>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..240 {
+            let c = i % 2;
+            let offset = if c == 0 { -1.0 } else { 1.0 };
+            let j1 = ((i * 31) % 37) as f64 / 37.0 - 0.5;
+            let j2 = ((i * 17) % 23) as f64 / 23.0 - 0.5;
+            rows.push(vec![offset + j1, j2, j1 * j2]);
+            labels.push(c as u32);
+        }
+        (Matrix::from_vecs(&rows), labels)
+    }
+
+    #[test]
+    fn learns_and_votes() {
+        let (x, y) = noisy_blobs();
+        let mut rf = RandomForestClassifier::new(RfParams {
+            n_trees: 15,
+            max_depth: 6,
+            min_leaf: 2,
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        rf.fit(&x, &y, 2, &mut rng);
+        assert_eq!(rf.n_trees_fitted(), 15);
+        let acc = crate::metrics::accuracy(&y, &rf.predict(&x));
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let (x, y) = noisy_blobs();
+        let mut rf = RandomForestClassifier::new(RfParams {
+            n_trees: 1,
+            ..RfParams::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        rf.fit(&x, &y, 2, &mut rng);
+        assert!(rf.predict(&x).iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = noisy_blobs();
+        let run = |seed| {
+            let mut rf = RandomForestClassifier::default();
+            let mut rng = StdRng::seed_from_u64(seed);
+            rf.fit(&x, &y, 2, &mut rng);
+            rf.predict(&x)
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        RandomForestClassifier::new(RfParams { n_trees: 0, ..RfParams::default() });
+    }
+}

@@ -1,0 +1,176 @@
+//! k-nearest-neighbors classifier (brute force, Euclidean distance).
+//!
+//! The paper's KNN (§4.4). Operates on the standardized feature matrix the
+//! [`crate::Featurizer`] produces, so Euclidean distance is meaningful
+//! across mixed numeric/one-hot features.
+
+use crate::model::Classifier;
+use crate::Matrix;
+use rand::RngCore;
+
+/// KNN hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnnParams {
+    /// Number of neighbors.
+    pub k: usize,
+}
+
+impl Default for KnnParams {
+    fn default() -> Self {
+        KnnParams { k: 5 }
+    }
+}
+
+/// Brute-force KNN. `fit` memorizes the training set; `predict_row` scans
+/// all training rows, keeps the `k` nearest, and majority-votes (ties break
+/// toward the smaller class code, matching scikit-learn's behaviour for
+/// `uniform` weights).
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    params: KnnParams,
+    train_x: Option<Matrix>,
+    train_y: Vec<u32>,
+    n_classes: usize,
+}
+
+impl KnnClassifier {
+    /// Build with hyperparameters.
+    pub fn new(params: KnnParams) -> Self {
+        assert!(params.k > 0, "k must be at least 1");
+        KnnClassifier { params, train_x: None, train_y: Vec::new(), n_classes: 0 }
+    }
+
+    /// The effective `k` (clamped to the training-set size at predict time).
+    pub fn k(&self) -> usize {
+        self.params.k
+    }
+}
+
+impl Default for KnnClassifier {
+    fn default() -> Self {
+        Self::new(KnnParams::default())
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize, _rng: &mut dyn RngCore) {
+        assert_eq!(x.nrows(), y.len(), "rows and labels must align");
+        assert!(x.nrows() > 0, "cannot fit on empty data");
+        self.train_x = Some(x.clone());
+        self.train_y = y.to_vec();
+        self.n_classes = n_classes.max(1);
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u32 {
+        let x = self.train_x.as_ref().expect("predict called before fit");
+        let k = self.params.k.min(x.nrows());
+        // Bounded max-heap replacement: keep the k smallest distances in a
+        // simple vec (k is small; O(n·k) beats allocating a heap per query).
+        let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        for i in 0..x.nrows() {
+            let d = Matrix::row_distance(row, x.row(i));
+            if best.len() < k {
+                best.push((d, self.train_y[i]));
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            } else if d < best[k - 1].0 {
+                best[k - 1] = (d, self.train_y[i]);
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            }
+        }
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, label) in &best {
+            votes[label as usize] += 1;
+        }
+        let mut winner = 0usize;
+        for (c, &v) in votes.iter().enumerate().skip(1) {
+            if v > votes[winner] {
+                winner = c;
+            }
+        }
+        winner as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid() -> (Matrix, Vec<u32>) {
+        // Two tight clusters.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let c = i % 2;
+            let base = if c == 0 { 0.0 } else { 10.0 };
+            rows.push(vec![base + (i / 2) as f64 * 0.01, base]);
+            labels.push(c as u32);
+        }
+        (Matrix::from_vecs(&rows), labels)
+    }
+
+    #[test]
+    fn classifies_clusters_perfectly() {
+        let (x, y) = grid();
+        let mut knn = KnnClassifier::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        knn.fit(&x, &y, 2, &mut rng);
+        assert_eq!(knn.predict(&x), y);
+        assert_eq!(knn.predict_row(&[0.5, 0.5]), 0);
+        assert_eq!(knn.predict_row(&[9.5, 9.5]), 1);
+    }
+
+    #[test]
+    fn k_one_memorizes() {
+        let x = Matrix::from_vecs(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let y = vec![0, 1, 0];
+        let mut knn = KnnClassifier::new(KnnParams { k: 1 });
+        let mut rng = StdRng::seed_from_u64(0);
+        knn.fit(&x, &y, 2, &mut rng);
+        assert_eq!(knn.predict(&x), y);
+    }
+
+    #[test]
+    fn k_larger_than_train_clamps() {
+        let x = Matrix::from_vecs(&[vec![0.0], vec![1.0]]);
+        let y = vec![0, 0];
+        let mut knn = KnnClassifier::new(KnnParams { k: 99 });
+        let mut rng = StdRng::seed_from_u64(0);
+        knn.fit(&x, &y, 2, &mut rng);
+        assert_eq!(knn.predict_row(&[5.0]), 0);
+    }
+
+    #[test]
+    fn majority_vote_with_k3() {
+        let x = Matrix::from_vecs(&[vec![0.0], vec![0.1], vec![0.2], vec![5.0]]);
+        let y = vec![1, 1, 0, 0];
+        let mut knn = KnnClassifier::new(KnnParams { k: 3 });
+        let mut rng = StdRng::seed_from_u64(0);
+        knn.fit(&x, &y, 2, &mut rng);
+        // Neighbors of 0.05: {0.0:1, 0.1:1, 0.2:0} → majority 1.
+        assert_eq!(knn.predict_row(&[0.05]), 1);
+    }
+
+    #[test]
+    fn tie_breaks_to_lower_class() {
+        let x = Matrix::from_vecs(&[vec![0.0], vec![1.0]]);
+        let y = vec![1, 0];
+        let mut knn = KnnClassifier::new(KnnParams { k: 2 });
+        let mut rng = StdRng::seed_from_u64(0);
+        knn.fit(&x, &y, 2, &mut rng);
+        assert_eq!(knn.predict_row(&[0.5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        KnnClassifier::default().predict_row(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_rejected() {
+        KnnClassifier::new(KnnParams { k: 0 });
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal dense row-major matrix.
+
+/// Dense row-major `f64` matrix. Rows are observations, columns features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Matrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Build from row-major data. Panics if `data.len() != nrows * ncols`.
+    pub fn from_rows(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "data length must be nrows*ncols");
+        Matrix { nrows, ncols, data }
+    }
+
+    /// Build from a slice of row vectors (all must share a length).
+    pub fn from_vecs(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Mutable row access.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Element access.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.ncols + j]
+    }
+
+    /// Element write.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.ncols + j] = v;
+    }
+
+    /// Iterate rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.ncols.max(1)).take(self.nrows)
+    }
+
+    /// New matrix with only the given rows (order-preserving, duplicates OK).
+    pub fn take_rows(&self, rows: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(rows.len() * self.ncols);
+        for &r in rows {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix { nrows: rows.len(), ncols: self.ncols, data }
+    }
+
+    /// Euclidean distance between two rows of (possibly different) matrices.
+    pub fn row_distance(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        m.row_mut(0)[0] = -1.0;
+        assert_eq!(m.get(0, 0), -1.0);
+    }
+
+    #[test]
+    fn from_rows_and_vecs_agree() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vecs(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "nrows*ncols")]
+    fn bad_length_panics() {
+        Matrix::from_rows(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        Matrix::from_vecs(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn rows_iterator() {
+        let m = Matrix::from_vecs(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let rows: Vec<&[f64]> = m.rows().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn take_rows_duplicates_and_reorders() {
+        let m = Matrix::from_vecs(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let t = m.take_rows(&[2, 0, 2]);
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.row(0), &[3.0]);
+        assert_eq!(t.row(2), &[3.0]);
+    }
+
+    #[test]
+    fn distance() {
+        assert_eq!(Matrix::row_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(Matrix::row_distance(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Classification metrics. The paper reports F1 (binary) and, for the
+//! three-class CMC dataset, we use macro-F1 — the standard multi-class
+//! generalization scikit-learn would apply.
+
+/// Which prediction-accuracy metric to optimize/report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Binary F1 for 2 classes (positive class = 1), macro-F1 otherwise.
+    F1,
+    /// Plain accuracy.
+    Accuracy,
+}
+
+impl Metric {
+    /// Evaluate the metric.
+    pub fn eval(self, y_true: &[u32], y_pred: &[u32], n_classes: usize) -> f64 {
+        match self {
+            Metric::Accuracy => accuracy(y_true, y_pred),
+            Metric::F1 => {
+                if n_classes == 2 {
+                    f1_binary(y_true, y_pred, 1)
+                } else {
+                    f1_macro(y_true, y_pred, n_classes)
+                }
+            }
+        }
+    }
+}
+
+/// Fraction of correct predictions.
+pub fn accuracy(y_true: &[u32], y_pred: &[u32]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let correct = y_true.iter().zip(y_pred).filter(|(a, b)| a == b).count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// Confusion matrix `c[true][pred]`, row-major `n_classes × n_classes`.
+pub fn confusion_matrix(y_true: &[u32], y_pred: &[u32], n_classes: usize) -> Vec<usize> {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mut m = vec![0usize; n_classes * n_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        assert!((t as usize) < n_classes && (p as usize) < n_classes, "label out of range");
+        m[t as usize * n_classes + p as usize] += 1;
+    }
+    m
+}
+
+/// F1 for one class treated as positive. Returns 0 when precision+recall
+/// are both undefined (scikit-learn's `zero_division=0` convention).
+pub fn f1_binary(y_true: &[u32], y_pred: &[u32], positive: u32) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fne = 0usize;
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        match (t == positive, p == positive) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fne += 1,
+            (false, false) => {}
+        }
+    }
+    if 2 * tp + fp + fne == 0 {
+        return 0.0;
+    }
+    2.0 * tp as f64 / (2 * tp + fp + fne) as f64
+}
+
+/// Unweighted mean of per-class F1 scores.
+pub fn f1_macro(y_true: &[u32], y_pred: &[u32], n_classes: usize) -> f64 {
+    assert!(n_classes > 0, "need at least one class");
+    let total: f64 = (0..n_classes as u32).map(|c| f1_binary(y_true, y_pred, c)).sum();
+    total / n_classes as f64
+}
+
+/// Precision for one class treated as positive (`tp / (tp + fp)`; 0 when no
+/// positive prediction exists).
+pub fn precision(y_true: &[u32], y_pred: &[u32], positive: u32) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let tp = y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|&(&t, &p)| t == positive && p == positive)
+        .count();
+    let predicted = y_pred.iter().filter(|&&p| p == positive).count();
+    if predicted == 0 {
+        0.0
+    } else {
+        tp as f64 / predicted as f64
+    }
+}
+
+/// Recall for one class treated as positive (`tp / (tp + fn)`; 0 when the
+/// class is absent from the labels).
+pub fn recall(y_true: &[u32], y_pred: &[u32], positive: u32) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let tp = y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|&(&t, &p)| t == positive && p == positive)
+        .count();
+    let actual = y_true.iter().filter(|&&t| t == positive).count();
+    if actual == 0 {
+        0.0
+    } else {
+        tp as f64 / actual as f64
+    }
+}
+
+/// Balanced accuracy: unweighted mean of per-class recalls (classes absent
+/// from the labels are skipped).
+pub fn balanced_accuracy(y_true: &[u32], y_pred: &[u32], n_classes: usize) -> f64 {
+    assert!(n_classes > 0, "need at least one class");
+    let mut total = 0.0;
+    let mut present = 0usize;
+    for c in 0..n_classes as u32 {
+        if y_true.contains(&c) {
+            total += recall(y_true, y_pred, c);
+            present += 1;
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        total / present as f64
+    }
+}
+
+/// Area under the ROC curve for binary labels, from real-valued scores of
+/// the positive class (Mann–Whitney formulation: the probability a random
+/// positive outscores a random negative, ties counting ½).
+///
+/// Returns 0.5 when one class is absent (no ranking information).
+pub fn roc_auc(y_true: &[u32], scores: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), scores.len(), "length mismatch");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    // Rank with tie-averaging.
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let n_pos = y_true.iter().filter(|&&t| t == 1).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let rank_sum: f64 = y_true
+        .iter()
+        .zip(&ranks)
+        .filter(|&(&t, _)| t == 1)
+        .map(|(_, &r)| r)
+        .sum();
+    (rank_sum - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1, 1], &[1, 0, 0, 1]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn f1_perfect_and_worst() {
+        assert_eq!(f1_binary(&[1, 0, 1], &[1, 0, 1], 1), 1.0);
+        assert_eq!(f1_binary(&[1, 1, 1], &[0, 0, 0], 1), 0.0);
+        // No positives anywhere → 0 by convention.
+        assert_eq!(f1_binary(&[0, 0], &[0, 0], 1), 0.0);
+    }
+
+    #[test]
+    fn f1_hand_computed() {
+        // tp=2, fp=1, fn=1 → precision 2/3, recall 2/3, F1 = 2/3.
+        let y_true = [1, 1, 1, 0, 0];
+        let y_pred = [1, 1, 0, 1, 0];
+        let f1 = f1_binary(&y_true, &y_pred, 1);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_averages_classes() {
+        // Three classes; class 2 never predicted.
+        let y_true = [0, 0, 1, 1, 2, 2];
+        let y_pred = [0, 0, 1, 0, 1, 1];
+        // class0: tp=2, fp=1, fn=0 → 0.8; class1: tp=1, fp=2, fn=1 → 0.4;
+        // class2: tp=0 → 0. macro = 0.4.
+        let f1 = f1_macro(&y_true, &y_pred, 3);
+        assert!((f1 - 0.4).abs() < 1e-12, "{f1}");
+    }
+
+    #[test]
+    fn metric_dispatch() {
+        let y_true = [1, 1, 0, 0];
+        let y_pred = [1, 0, 0, 0];
+        assert_eq!(Metric::Accuracy.eval(&y_true, &y_pred, 2), 0.75);
+        // binary F1: tp=1, fp=0, fn=1 → 2/3.
+        assert!((Metric::F1.eval(&y_true, &y_pred, 2) - 2.0 / 3.0).abs() < 1e-12);
+        // With n_classes=3 the same data routes to macro.
+        let macro_f1 = Metric::F1.eval(&y_true, &y_pred, 3);
+        assert!(macro_f1 > 0.0 && macro_f1 < 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_layout() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 1], 2);
+        assert_eq!(m, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        accuracy(&[1], &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        confusion_matrix(&[5], &[0], 2);
+    }
+
+    #[test]
+    fn precision_recall_hand_computed() {
+        // tp=2, fp=1, fn=1.
+        let y_true = [1, 1, 1, 0, 0];
+        let y_pred = [1, 1, 0, 1, 0];
+        assert!((precision(&y_true, &y_pred, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall(&y_true, &y_pred, 1) - 2.0 / 3.0).abs() < 1e-12);
+        // No positive predictions → precision 0; class absent → recall 0.
+        assert_eq!(precision(&[0, 0], &[0, 0], 1), 0.0);
+        assert_eq!(recall(&[0, 0], &[0, 1], 1), 0.0);
+    }
+
+    #[test]
+    fn balanced_accuracy_weights_classes_equally() {
+        // Class 0: 3 of 3 correct; class 1: 0 of 1 correct → (1 + 0)/2.
+        let y_true = [0, 0, 0, 1];
+        let y_pred = [0, 0, 0, 0];
+        assert!((balanced_accuracy(&y_true, &y_pred, 2) - 0.5).abs() < 1e-12);
+        // Plain accuracy would be 0.75 — balanced accuracy resists imbalance.
+        assert_eq!(accuracy(&y_true, &y_pred), 0.75);
+        // Absent classes are skipped.
+        assert_eq!(balanced_accuracy(&[0, 0], &[0, 0], 3), 1.0);
+    }
+
+    #[test]
+    fn roc_auc_perfect_and_random() {
+        let y = [0, 0, 1, 1];
+        assert_eq!(roc_auc(&y, &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(roc_auc(&y, &[0.9, 0.8, 0.2, 0.1]), 0.0);
+        // All scores equal → ties give 0.5.
+        assert_eq!(roc_auc(&y, &[0.5, 0.5, 0.5, 0.5]), 0.5);
+        // One class absent → 0.5 by convention.
+        assert_eq!(roc_auc(&[1, 1], &[0.2, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn roc_auc_hand_computed() {
+        // Scores: pos {0.9, 0.4}, neg {0.5, 0.3}. Pairs won: (0.9>0.5),
+        // (0.9>0.3), (0.4<0.5 lose), (0.4>0.3) → 3/4.
+        let y = [1, 0, 1, 0];
+        let s = [0.9, 0.5, 0.4, 0.3];
+        assert!((roc_auc(&y, &s) - 0.75).abs() < 1e-12);
+    }
+}

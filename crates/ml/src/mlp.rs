@@ -1,0 +1,295 @@
+//! Multi-layer perceptron — the paper's MLP model (§4.4).
+//!
+//! One hidden layer, ReLU activation, softmax output, cross-entropy loss,
+//! mini-batch SGD with classical momentum, He initialization.
+
+use crate::model::{argmax, softmax, Classifier};
+use crate::Matrix;
+use rand::RngCore;
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpParams {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 weight decay.
+    pub l2: f64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams {
+            hidden: 32,
+            epochs: 60,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            batch_size: 32,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A one-hidden-layer MLP classifier.
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    params: MlpParams,
+    n_classes: usize,
+    dim: usize,
+    /// Hidden weights `hidden × dim` (row-major) and biases.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    /// Output weights `n_classes × hidden` and biases.
+    w2: Vec<f64>,
+    b2: Vec<f64>,
+}
+
+impl MlpClassifier {
+    /// Build with hyperparameters.
+    pub fn new(params: MlpParams) -> Self {
+        assert!(params.hidden > 0, "hidden width must be positive");
+        assert!(params.batch_size > 0, "batch size must be positive");
+        MlpClassifier {
+            params,
+            n_classes: 0,
+            dim: 0,
+            w1: Vec::new(),
+            b1: Vec::new(),
+            w2: Vec::new(),
+            b2: Vec::new(),
+        }
+    }
+
+    fn forward(&self, row: &[f64], hidden_out: &mut Vec<f64>) -> Vec<f64> {
+        let h = self.params.hidden;
+        hidden_out.clear();
+        hidden_out.reserve(h);
+        for j in 0..h {
+            let mut a = self.b1[j];
+            let w = &self.w1[j * self.dim..(j + 1) * self.dim];
+            for (wi, xi) in w.iter().zip(row) {
+                a += wi * xi;
+            }
+            hidden_out.push(a.max(0.0)); // ReLU
+        }
+        let mut scores = Vec::with_capacity(self.n_classes);
+        for c in 0..self.n_classes {
+            let mut s = self.b2[c];
+            let w = &self.w2[c * h..(c + 1) * h];
+            for (wi, hi) in w.iter().zip(hidden_out.iter()) {
+                s += wi * hi;
+            }
+            scores.push(s);
+        }
+        scores
+    }
+}
+
+impl Default for MlpClassifier {
+    fn default() -> Self {
+        Self::new(MlpParams::default())
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize, rng: &mut dyn RngCore) {
+        assert_eq!(x.nrows(), y.len(), "rows and labels must align");
+        assert!(x.nrows() > 0, "cannot fit on empty data");
+        let d = x.ncols();
+        let h = self.params.hidden;
+        let k = n_classes.max(2);
+        self.dim = d;
+        self.n_classes = k;
+
+        // He-uniform init: U(−√(6/fan_in), +√(6/fan_in)).
+        let mut uniform = |scale: f64| {
+            let u = (rng.next_u64() as f64) / (u64::MAX as f64);
+            (2.0 * u - 1.0) * scale
+        };
+        let s1 = (6.0 / d as f64).sqrt();
+        self.w1 = (0..h * d).map(|_| uniform(s1)).collect();
+        self.b1 = vec![0.0; h];
+        let s2 = (6.0 / h as f64).sqrt();
+        self.w2 = (0..k * h).map(|_| uniform(s2)).collect();
+        self.b2 = vec![0.0; k];
+
+        // Momentum buffers.
+        let mut vw1 = vec![0.0; h * d];
+        let mut vb1 = vec![0.0; h];
+        let mut vw2 = vec![0.0; k * h];
+        let mut vb2 = vec![0.0; k];
+
+        let n = x.nrows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut hidden = Vec::with_capacity(h);
+
+        // Gradient accumulators per batch.
+        let mut gw1 = vec![0.0; h * d];
+        let mut gb1 = vec![0.0; h];
+        let mut gw2 = vec![0.0; k * h];
+        let mut gb2 = vec![0.0; k];
+
+        for _ in 0..self.params.epochs {
+            for i in (1..n).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            for batch in order.chunks(self.params.batch_size) {
+                gw1.iter_mut().for_each(|g| *g = 0.0);
+                gb1.iter_mut().for_each(|g| *g = 0.0);
+                gw2.iter_mut().for_each(|g| *g = 0.0);
+                gb2.iter_mut().for_each(|g| *g = 0.0);
+
+                for &i in batch {
+                    let row = x.row(i);
+                    let mut p = self.forward(row, &mut hidden);
+                    softmax(&mut p);
+                    // Output delta: p − onehot(y).
+                    p[y[i] as usize] -= 1.0;
+                    for c in 0..k {
+                        let delta = p[c];
+                        gb2[c] += delta;
+                        let gw = &mut gw2[c * h..(c + 1) * h];
+                        for (g, hi) in gw.iter_mut().zip(&hidden) {
+                            *g += delta * hi;
+                        }
+                    }
+                    // Hidden delta through ReLU.
+                    for j in 0..h {
+                        if hidden[j] <= 0.0 {
+                            continue;
+                        }
+                        let mut delta = 0.0;
+                        #[allow(clippy::needless_range_loop)]
+                        for c in 0..k {
+                            delta += p[c] * self.w2[c * h + j];
+                        }
+                        gb1[j] += delta;
+                        let gw = &mut gw1[j * d..(j + 1) * d];
+                        for (g, xi) in gw.iter_mut().zip(row) {
+                            *g += delta * xi;
+                        }
+                    }
+                }
+
+                let scale = 1.0 / batch.len() as f64;
+                let lr = self.params.learning_rate;
+                let mu = self.params.momentum;
+                let l2 = self.params.l2;
+                let update = |w: &mut [f64], v: &mut [f64], g: &[f64]| {
+                    for ((wi, vi), gi) in w.iter_mut().zip(v.iter_mut()).zip(g) {
+                        *vi = mu * *vi - lr * (gi * scale + l2 * *wi);
+                        *wi += *vi;
+                    }
+                };
+                update(&mut self.w1, &mut vw1, &gw1);
+                update(&mut self.b1, &mut vb1, &gb1);
+                update(&mut self.w2, &mut vw2, &gw2);
+                update(&mut self.b2, &mut vb2, &gb2);
+            }
+        }
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u32 {
+        assert!(!self.w1.is_empty(), "predict called before fit");
+        let mut hidden = Vec::new();
+        argmax(&self.forward(row, &mut hidden))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_data() -> (Matrix, Vec<u32>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let a = (i / 2) % 2;
+            let b = i % 2;
+            let jitter = ((i * 11) % 19) as f64 / 190.0;
+            rows.push(vec![a as f64 + jitter, b as f64 - jitter]);
+            labels.push(((a + b) % 2) as u32);
+        }
+        (Matrix::from_vecs(&rows), labels)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut mlp = MlpClassifier::new(MlpParams { hidden: 16, epochs: 120, ..MlpParams::default() });
+        let mut rng = StdRng::seed_from_u64(0);
+        mlp.fit(&x, &y, 2, &mut rng);
+        let acc = crate::metrics::accuracy(&y, &mlp.predict(&x));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_linear_boundary() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..150 {
+            let v = i as f64 / 150.0 - 0.5;
+            rows.push(vec![v, -v * 0.3]);
+            labels.push(if v > 0.0 { 1 } else { 0 });
+        }
+        let x = Matrix::from_vecs(&rows);
+        let mut mlp = MlpClassifier::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        mlp.fit(&x, &labels, 2, &mut rng);
+        let acc = crate::metrics::accuracy(&labels, &mlp.predict(&x));
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn three_classes() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..240 {
+            let c = i % 3;
+            let center = [(-3.0, 0.0), (3.0, 0.0), (0.0, 3.0)][c];
+            let j = ((i * 7) % 11) as f64 / 11.0 - 0.5;
+            rows.push(vec![center.0 + j, center.1 + j * 0.5]);
+            labels.push(c as u32);
+        }
+        let x = Matrix::from_vecs(&rows);
+        let mut mlp = MlpClassifier::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        mlp.fit(&x, &labels, 3, &mut rng);
+        let acc = crate::metrics::accuracy(&labels, &mlp.predict(&x));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = xor_data();
+        let run = |seed: u64| {
+            let mut mlp = MlpClassifier::default();
+            let mut rng = StdRng::seed_from_u64(seed);
+            mlp.fit(&x, &y, 2, &mut rng);
+            mlp.predict(&x)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        MlpClassifier::default().predict_row(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_hidden_rejected() {
+        MlpClassifier::new(MlpParams { hidden: 0, ..MlpParams::default() });
+    }
+}

@@ -1,0 +1,86 @@
+//! The model-agnostic classifier interface COMET trains and evaluates.
+
+use crate::Matrix;
+use rand::RngCore;
+
+/// A trainable multi-class classifier.
+///
+/// All learners take an explicit RNG so every experiment is reproducible,
+/// and `n_classes` explicitly (labels are `0..n_classes` codes; a polluted
+/// training split may lack some class entirely and the model must still
+/// produce valid codes).
+pub trait Classifier: Send {
+    /// Train on a design matrix and label codes.
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize, rng: &mut dyn RngCore);
+
+    /// Predict the class of a single featurized row.
+    fn predict_row(&self, row: &[f64]) -> u32;
+
+    /// Predict all rows.
+    fn predict(&self, x: &Matrix) -> Vec<u32> {
+        (0..x.nrows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+}
+
+/// Numerically stable softmax (in place).
+pub(crate) fn softmax(scores: &mut [f64]) {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut total = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        total += *s;
+    }
+    if total > 0.0 {
+        for s in scores.iter_mut() {
+            *s /= total;
+        }
+    } else {
+        let uniform = 1.0 / scores.len() as f64;
+        scores.iter_mut().for_each(|s| *s = uniform);
+    }
+}
+
+/// Argmax with lowest-index tie-breaking.
+pub(crate) fn argmax(scores: &[f64]) -> u32 {
+    let mut best = 0usize;
+    for (i, &s) in scores.iter().enumerate().skip(1) {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut s = vec![1.0, 2.0, 3.0];
+        softmax(&mut s);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_scores() {
+        let mut s = vec![1000.0, 1001.0];
+        softmax(&mut s);
+        assert!(s.iter().all(|v| v.is_finite()));
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_degenerate_input() {
+        let mut s = vec![f64::NEG_INFINITY, f64::NEG_INFINITY];
+        softmax(&mut s);
+        assert_eq!(s, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn argmax_ties_break_low() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Gaussian naive Bayes classifier — an extension beyond the paper's
+//! algorithm suite. Operates on the featurized matrix (one-hot columns are
+//! treated as Gaussians too, the common practical shortcut).
+
+use crate::model::Classifier;
+use crate::Matrix;
+use rand::RngCore;
+
+/// Naive-Bayes hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NbParams {
+    /// Variance smoothing added to every per-class variance (relative to
+    /// the largest feature variance), preventing zero-variance collapse.
+    pub var_smoothing: f64,
+}
+
+impl Default for NbParams {
+    fn default() -> Self {
+        NbParams { var_smoothing: 1e-9 }
+    }
+}
+
+/// A fitted Gaussian naive-Bayes model.
+#[derive(Debug, Clone)]
+pub struct NaiveBayesClassifier {
+    params: NbParams,
+    n_classes: usize,
+    dim: usize,
+    /// Log class priors.
+    log_prior: Vec<f64>,
+    /// Per-class feature means, row-major `n_classes × dim`.
+    means: Vec<f64>,
+    /// Per-class feature variances (smoothed).
+    vars: Vec<f64>,
+}
+
+impl NaiveBayesClassifier {
+    /// Build with hyperparameters.
+    pub fn new(params: NbParams) -> Self {
+        NaiveBayesClassifier {
+            params,
+            n_classes: 0,
+            dim: 0,
+            log_prior: Vec::new(),
+            means: Vec::new(),
+            vars: Vec::new(),
+        }
+    }
+}
+
+impl Default for NaiveBayesClassifier {
+    fn default() -> Self {
+        Self::new(NbParams::default())
+    }
+}
+
+impl Classifier for NaiveBayesClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize, _rng: &mut dyn RngCore) {
+        assert_eq!(x.nrows(), y.len(), "rows and labels must align");
+        assert!(x.nrows() > 0, "cannot fit on empty data");
+        let k = n_classes.max(2);
+        let d = x.ncols();
+        self.n_classes = k;
+        self.dim = d;
+
+        let mut counts = vec![0usize; k];
+        self.means = vec![0.0; k * d];
+        self.vars = vec![0.0; k * d];
+        for (i, &label) in y.iter().enumerate() {
+            let c = label as usize;
+            counts[c] += 1;
+            for (j, &v) in x.row(i).iter().enumerate() {
+                self.means[c * d + j] += v;
+            }
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                for j in 0..d {
+                    self.means[c * d + j] /= count as f64;
+                }
+            }
+        }
+        let mut max_var = 0.0f64;
+        for (i, &label) in y.iter().enumerate() {
+            let c = label as usize;
+            for (j, &v) in x.row(i).iter().enumerate() {
+                let delta = v - self.means[c * d + j];
+                self.vars[c * d + j] += delta * delta;
+            }
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            for j in 0..d {
+                if count > 0 {
+                    self.vars[c * d + j] /= count as f64;
+                }
+                max_var = max_var.max(self.vars[c * d + j]);
+            }
+        }
+        let smoothing = self.params.var_smoothing * max_var.max(1.0);
+        self.vars.iter_mut().for_each(|v| *v += smoothing.max(1e-12));
+
+        // Laplace-smoothed priors keep absent classes representable.
+        let total = y.len() as f64 + k as f64;
+        self.log_prior =
+            counts.iter().map(|&c| ((c as f64 + 1.0) / total).ln()).collect();
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u32 {
+        assert!(self.n_classes > 0, "predict called before fit");
+        let d = self.dim;
+        let mut best = (0u32, f64::NEG_INFINITY);
+        for c in 0..self.n_classes {
+            let mut log_p = self.log_prior[c];
+            for (j, &v) in row.iter().enumerate() {
+                let mean = self.means[c * d + j];
+                let var = self.vars[c * d + j];
+                log_p -= 0.5 * ((2.0 * std::f64::consts::PI * var).ln()
+                    + (v - mean) * (v - mean) / var);
+            }
+            if log_p > best.1 {
+                best = (c as u32, log_p);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs() -> (Matrix, Vec<u32>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let c = i % 2;
+            let offset = if c == 0 { -2.0 } else { 2.0 };
+            let j = ((i * 29) % 31) as f64 / 31.0 - 0.5;
+            rows.push(vec![offset + j, j]);
+            labels.push(c as u32);
+        }
+        (Matrix::from_vecs(&rows), labels)
+    }
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let (x, y) = blobs();
+        let mut nb = NaiveBayesClassifier::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        nb.fit(&x, &y, 2, &mut rng);
+        let acc = crate::metrics::accuracy(&y, &nb.predict(&x));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn constant_feature_does_not_crash() {
+        let x = Matrix::from_vecs(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 0.1], vec![1.0, 0.9]]);
+        let y = vec![0, 1, 0, 1];
+        let mut nb = NaiveBayesClassifier::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        nb.fit(&x, &y, 2, &mut rng);
+        let preds = nb.predict(&x);
+        assert!(preds.iter().all(|&p| p < 2));
+        assert_eq!(preds, y, "the informative feature still separates");
+    }
+
+    #[test]
+    fn absent_class_gets_prior_only() {
+        let x = Matrix::from_vecs(&[vec![0.0], vec![0.1], vec![0.2]]);
+        let y = vec![0, 0, 0];
+        let mut nb = NaiveBayesClassifier::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        nb.fit(&x, &y, 3, &mut rng);
+        assert_eq!(nb.predict_row(&[0.05]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        NaiveBayesClassifier::default().predict_row(&[0.0]);
+    }
+}

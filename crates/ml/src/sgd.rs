@@ -1,0 +1,385 @@
+//! Generic linear model trained by SGD, with per-sample gradient access.
+//!
+//! One engine serves three paper models — SVM (hinge), logistic regression
+//! (softmax cross-entropy), and linear regression on one-hot targets
+//! (squared loss) — and exposes exactly the hooks ActiveClean needs:
+//! per-record gradients for record selection and incremental SGD updates
+//! after partial cleaning (Krishnan et al., VLDB 2016).
+
+use crate::model::{argmax, softmax};
+use crate::Matrix;
+use rand::RngCore;
+
+/// Convex loss of a one-vs-rest / softmax linear model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Hinge loss, one-vs-rest (linear SVM).
+    Hinge,
+    /// Softmax cross-entropy (logistic regression).
+    Logistic,
+    /// Squared loss on one-hot targets (linear regression classifier).
+    Squared,
+}
+
+/// SGD hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdParams {
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+}
+
+impl Default for SgdParams {
+    fn default() -> Self {
+        SgdParams { learning_rate: 0.1, l2: 1e-4, epochs: 40 }
+    }
+}
+
+/// A linear model with one weight row per class (bias folded in as the last
+/// weight), trained by SGD on a convex loss.
+#[derive(Debug, Clone)]
+pub struct Glm {
+    loss: Loss,
+    params: SgdParams,
+    n_classes: usize,
+    dim: usize,
+    /// Row-major `n_classes × (dim + 1)`; last column is the bias.
+    weights: Vec<f64>,
+}
+
+impl Glm {
+    /// New zero-initialized model (weights are allocated at first fit).
+    pub fn new(loss: Loss, params: SgdParams) -> Self {
+        Glm { loss, params, n_classes: 0, dim: 0, weights: Vec::new() }
+    }
+
+    /// The loss function.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+
+    /// Number of classes (0 before fitting).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Input dimensionality (0 before fitting).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Flat weights (`n_classes × (dim+1)`), bias last per row.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Reset weights to zero for `dim` inputs and `n_classes` outputs.
+    pub fn reset(&mut self, dim: usize, n_classes: usize) {
+        self.dim = dim;
+        self.n_classes = n_classes.max(1);
+        self.weights = vec![0.0; self.n_classes * (dim + 1)];
+    }
+
+    /// Raw per-class scores for a row.
+    pub fn scores(&self, row: &[f64]) -> Vec<f64> {
+        let stride = self.dim + 1;
+        let mut out = Vec::with_capacity(self.n_classes);
+        for c in 0..self.n_classes {
+            let w = &self.weights[c * stride..(c + 1) * stride];
+            let mut s = w[self.dim]; // bias
+            for (wi, xi) in w[..self.dim].iter().zip(row) {
+                s += wi * xi;
+            }
+            out.push(s);
+        }
+        out
+    }
+
+    /// Class-probability estimates (softmax over scores; for hinge/squared
+    /// losses this is a calibration-free convenience).
+    pub fn proba(&self, row: &[f64]) -> Vec<f64> {
+        let mut s = self.scores(row);
+        softmax(&mut s);
+        s
+    }
+
+    /// Per-sample loss gradient, flattened like `weights`. Does not include
+    /// the L2 term (ActiveClean's selection uses the data-dependent part).
+    pub fn grad_sample(&self, row: &[f64], y: u32) -> Vec<f64> {
+        let stride = self.dim + 1;
+        let mut grad = vec![0.0; self.n_classes * stride];
+        let scores = self.scores(row);
+        match self.loss {
+            Loss::Hinge => {
+                for c in 0..self.n_classes {
+                    let t = if y as usize == c { 1.0 } else { -1.0 };
+                    if t * scores[c] < 1.0 {
+                        let g = &mut grad[c * stride..(c + 1) * stride];
+                        for (gi, xi) in g[..self.dim].iter_mut().zip(row) {
+                            *gi = -t * xi;
+                        }
+                        g[self.dim] = -t;
+                    }
+                }
+            }
+            Loss::Logistic => {
+                let mut p = scores;
+                softmax(&mut p);
+                for c in 0..self.n_classes {
+                    let e = p[c] - if y as usize == c { 1.0 } else { 0.0 };
+                    let g = &mut grad[c * stride..(c + 1) * stride];
+                    for (gi, xi) in g[..self.dim].iter_mut().zip(row) {
+                        *gi = e * xi;
+                    }
+                    g[self.dim] = e;
+                }
+            }
+            Loss::Squared => {
+                for c in 0..self.n_classes {
+                    let e = scores[c] - if y as usize == c { 1.0 } else { 0.0 };
+                    let g = &mut grad[c * stride..(c + 1) * stride];
+                    for (gi, xi) in g[..self.dim].iter_mut().zip(row) {
+                        *gi = e * xi;
+                    }
+                    g[self.dim] = e;
+                }
+            }
+        }
+        grad
+    }
+
+    /// Euclidean norm of the per-sample gradient — ActiveClean's record
+    /// priority.
+    pub fn grad_norm(&self, row: &[f64], y: u32) -> f64 {
+        self.grad_sample(row, y).iter().map(|g| g * g).sum::<f64>().sqrt()
+    }
+
+    /// One SGD step on a single sample with the given learning rate
+    /// (includes L2 shrinkage).
+    pub fn sgd_step(&mut self, row: &[f64], y: u32, lr: f64) {
+        let grad = self.grad_sample(row, y);
+        let l2 = self.params.l2;
+        for (w, g) in self.weights.iter_mut().zip(&grad) {
+            *w -= lr * (g + l2 * *w);
+        }
+    }
+
+    /// Full SGD training: `epochs` shuffled passes with a `1/(1+t)` decayed
+    /// learning rate.
+    pub fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize, rng: &mut dyn RngCore) {
+        assert_eq!(x.nrows(), y.len(), "rows and labels must align");
+        assert!(x.nrows() > 0, "cannot fit on empty data");
+        self.reset(x.ncols(), n_classes);
+        let n = x.nrows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t = 0usize;
+        for _ in 0..self.params.epochs {
+            // Fisher–Yates shuffle with the dyn RNG.
+            for i in (1..n).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            for &i in &order {
+                t += 1;
+                let lr = self.params.learning_rate / (1.0 + 0.01 * t as f64);
+                self.sgd_step(x.row(i), y[i], lr);
+            }
+        }
+    }
+
+    /// Predict a single row (argmax score).
+    pub fn predict_row(&self, row: &[f64]) -> u32 {
+        argmax(&self.scores(row))
+    }
+
+    /// Mean loss over a dataset (training diagnostics, AC convergence).
+    pub fn mean_loss(&self, x: &Matrix, y: &[u32]) -> f64 {
+        let n = x.nrows();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for i in 0..n {
+            let scores = self.scores(x.row(i));
+            total += match self.loss {
+                Loss::Hinge => (0..self.n_classes)
+                    .map(|c| {
+                        let t = if y[i] as usize == c { 1.0 } else { -1.0 };
+                        (1.0 - t * scores[c]).max(0.0)
+                    })
+                    .sum::<f64>(),
+                Loss::Logistic => {
+                    let mut p = scores;
+                    softmax(&mut p);
+                    -(p[y[i] as usize].max(1e-12)).ln()
+                }
+                Loss::Squared => (0..self.n_classes)
+                    .map(|c| {
+                        let target = if y[i] as usize == c { 1.0 } else { 0.0 };
+                        0.5 * (scores[c] - target).powi(2)
+                    })
+                    .sum::<f64>(),
+            };
+        }
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Linearly separable 2-class data: class = sign of first coordinate.
+    fn separable(n: usize) -> (Matrix, Vec<u32>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let x0 = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let x1 = ((i * 7) % 11) as f64 / 11.0 - 0.5;
+            rows.push(vec![x0 + 0.1 * x1, x1]);
+            labels.push(if x0 > 0.0 { 1 } else { 0 });
+        }
+        (Matrix::from_vecs(&rows), labels)
+    }
+
+    fn train_and_score(loss: Loss) -> f64 {
+        let (x, y) = separable(200);
+        let mut glm = Glm::new(loss, SgdParams::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        glm.fit(&x, &y, 2, &mut rng);
+        let preds: Vec<u32> = (0..x.nrows()).map(|i| glm.predict_row(x.row(i))).collect();
+        crate::metrics::accuracy(&y, &preds)
+    }
+
+    #[test]
+    fn all_losses_learn_separable_data() {
+        for loss in [Loss::Hinge, Loss::Logistic, Loss::Squared] {
+            let acc = train_and_score(loss);
+            assert!(acc > 0.95, "{loss:?} accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn three_class_softmax() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..300 {
+            let c = i % 3;
+            let center = [(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)][c];
+            let jitter = ((i * 13) % 7) as f64 / 7.0 - 0.5;
+            rows.push(vec![center.0 + jitter, center.1 - jitter]);
+            labels.push(c as u32);
+        }
+        let x = Matrix::from_vecs(&rows);
+        let mut glm = Glm::new(Loss::Logistic, SgdParams::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        glm.fit(&x, &labels, 3, &mut rng);
+        let preds: Vec<u32> = (0..x.nrows()).map(|i| glm.predict_row(x.row(i))).collect();
+        assert!(crate::metrics::accuracy(&labels, &preds) > 0.95);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (x, y) = separable(10);
+        for loss in [Loss::Hinge, Loss::Logistic, Loss::Squared] {
+            let mut glm = Glm::new(loss, SgdParams::default());
+            glm.reset(2, 2);
+            // Non-trivial weights.
+            for (i, w) in glm.weights.iter_mut().enumerate() {
+                *w = 0.1 * (i as f64 - 2.5);
+            }
+            let row = x.row(3);
+            let label = y[3];
+            let grad = glm.grad_sample(row, label);
+            let eps = 1e-6;
+            #[allow(clippy::needless_range_loop)]
+            for k in 0..glm.weights.len() {
+                let mut plus = glm.clone();
+                plus.weights[k] += eps;
+                let mut minus = glm.clone();
+                minus.weights[k] -= eps;
+                let x1 = Matrix::from_vecs(&[row.to_vec()]);
+                let fd = (plus.mean_loss(&x1, &[label]) - minus.mean_loss(&x1, &[label]))
+                    / (2.0 * eps);
+                // Hinge is non-smooth at the margin; skip near-kink points.
+                if loss == Loss::Hinge {
+                    let scores = glm.scores(row);
+                    let near_kink = (0..2).any(|c| {
+                        let t = if label as usize == c { 1.0 } else { -1.0 };
+                        (t * scores[c] - 1.0).abs() < 1e-4
+                    });
+                    if near_kink {
+                        continue;
+                    }
+                }
+                assert!(
+                    (grad[k] - fd).abs() < 1e-4,
+                    "{loss:?} weight {k}: analytic {} vs fd {fd}",
+                    grad[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_norm_zero_for_confident_hinge() {
+        let mut glm = Glm::new(Loss::Hinge, SgdParams::default());
+        glm.reset(1, 2);
+        // Class-1 weight strongly positive, class-0 strongly negative.
+        glm.weights = vec![-10.0, 0.0, 10.0, 0.0];
+        // x = 1, y = 1: both margins ≥ 1 → zero gradient.
+        assert_eq!(glm.grad_norm(&[1.0], 1), 0.0);
+        // Misclassified point has positive gradient norm.
+        assert!(glm.grad_norm(&[1.0], 0) > 0.0);
+    }
+
+    #[test]
+    fn sgd_step_reduces_loss() {
+        let (x, y) = separable(50);
+        let mut glm = Glm::new(Loss::Logistic, SgdParams::default());
+        glm.reset(2, 2);
+        let before = glm.mean_loss(&x, &y);
+        for (i, &label) in y.iter().enumerate().take(50) {
+            glm.sgd_step(x.row(i), label, 0.1);
+        }
+        assert!(glm.mean_loss(&x, &y) < before);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = separable(60);
+        let fit = |seed: u64| {
+            let mut glm = Glm::new(Loss::Logistic, SgdParams::default());
+            let mut rng = StdRng::seed_from_u64(seed);
+            glm.fit(&x, &y, 2, &mut rng);
+            glm.weights.clone()
+        };
+        assert_eq!(fit(5), fit(5));
+        assert_ne!(fit(5), fit(6));
+    }
+
+    #[test]
+    fn proba_is_distribution() {
+        let (x, y) = separable(40);
+        let mut glm = Glm::new(Loss::Logistic, SgdParams::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        glm.fit(&x, &y, 2, &mut rng);
+        let p = glm.proba(x.row(0));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        let x = Matrix::zeros(0, 2);
+        let mut glm = Glm::new(Loss::Logistic, SgdParams::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        glm.fit(&x, &[], 2, &mut rng);
+    }
+}

@@ -1,0 +1,260 @@
+//! Sampling-based permutation Shapley values — the stand-in for SHAP
+//! (Lundberg & Lee, 2017) that powers the FIR baseline (paper §4.5).
+//!
+//! The value function of a feature coalition `S` is the model's metric on a
+//! copy of the evaluation matrix where every feature *not* in `S` is masked
+//! to its background (training-mean) value. Shapley values are estimated by
+//! Monte-Carlo over permutations: walk each permutation, unmask features one
+//! at a time, and credit each feature its marginal metric gain.
+
+use crate::featurize::FeatureGroup;
+use crate::metrics::Metric;
+use crate::model::Classifier;
+use crate::Matrix;
+use rand::Rng;
+
+/// Configuration for the Shapley estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapleyConfig {
+    /// Number of sampled permutations. More → lower variance; the estimator
+    /// is unbiased for any count ≥ 1.
+    pub n_permutations: usize,
+    /// Metric defining the coalition value.
+    pub metric: Metric,
+}
+
+impl Default for ShapleyConfig {
+    fn default() -> Self {
+        ShapleyConfig { n_permutations: 8, metric: Metric::F1 }
+    }
+}
+
+/// Per-column means of a matrix — the masking background.
+pub fn column_means(x: &Matrix) -> Vec<f64> {
+    let mut means = vec![0.0; x.ncols()];
+    if x.nrows() == 0 {
+        return means;
+    }
+    for row in x.rows() {
+        for (m, v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    let n = x.nrows() as f64;
+    means.iter_mut().for_each(|m| *m /= n);
+    means
+}
+
+/// Estimate Shapley importances of the original features (as grouped by the
+/// featurizer) for a *fitted* model evaluated on `(x, y)`.
+///
+/// Returns one value per group, in group order. The sum of values equals
+/// `v(all features) − v(no features)` per permutation (exactly), hence also
+/// in expectation.
+#[allow(clippy::too_many_arguments)]
+pub fn shapley_importance<R: Rng + ?Sized>(
+    model: &dyn Classifier,
+    x: &Matrix,
+    y: &[u32],
+    n_classes: usize,
+    groups: &[FeatureGroup],
+    background: &[f64],
+    config: ShapleyConfig,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert_eq!(x.nrows(), y.len(), "rows and labels must align");
+    assert_eq!(background.len(), x.ncols(), "background must cover all columns");
+    assert!(config.n_permutations > 0, "need at least one permutation");
+    assert!(!groups.is_empty(), "need at least one feature group");
+
+    let n = x.nrows();
+    let mut contributions = vec![0.0; groups.len()];
+    let mut perm: Vec<usize> = (0..groups.len()).collect();
+
+    // Fully-masked matrix (all columns at background).
+    let mut masked = Matrix::zeros(n, x.ncols());
+    for i in 0..n {
+        masked.row_mut(i).copy_from_slice(background);
+    }
+    let empty_value = {
+        let preds = model.predict(&masked);
+        config.metric.eval(y, &preds, n_classes)
+    };
+
+    let mut work = masked.clone();
+    for _ in 0..config.n_permutations {
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        // Reset to fully masked.
+        for i in 0..n {
+            work.row_mut(i).copy_from_slice(masked.row(i));
+        }
+        let mut prev = empty_value;
+        for &g in &perm {
+            let group = &groups[g];
+            for i in 0..n {
+                let src = &x.row(i)[group.start..group.end];
+                work.row_mut(i)[group.start..group.end].copy_from_slice(src);
+            }
+            let preds = model.predict(&work);
+            let value = config.metric.eval(y, &preds, n_classes);
+            contributions[g] += value - prev;
+            prev = value;
+        }
+    }
+    contributions
+        .iter()
+        .map(|c| c / config.n_permutations as f64)
+        .collect()
+}
+
+/// Rank group indices by descending Shapley importance.
+pub fn rank_by_importance(importances: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..importances.len()).collect();
+    order.sort_by(|&a, &b| {
+        importances[b]
+            .partial_cmp(&importances[a])
+            .expect("finite importances")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::{KnnClassifier, KnnParams};
+    use crate::model::Classifier;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Label depends only on feature 0; features 1 and 2 are noise.
+    fn dataset() -> (Matrix, Vec<u32>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..120 {
+            let c = i % 2;
+            let signal = if c == 0 { -1.0 } else { 1.0 };
+            let noise1 = ((i * 31) % 17) as f64 / 17.0 - 0.5;
+            let noise2 = ((i * 7) % 13) as f64 / 13.0 - 0.5;
+            rows.push(vec![signal, noise1, noise2]);
+            labels.push(c as u32);
+        }
+        (Matrix::from_vecs(&rows), labels)
+    }
+
+    fn groups3() -> Vec<FeatureGroup> {
+        (0..3).map(|c| FeatureGroup { col: c, start: c, end: c + 1 }).collect()
+    }
+
+    #[test]
+    fn signal_feature_dominates() {
+        let (x, y) = dataset();
+        let mut knn = KnnClassifier::new(KnnParams { k: 3 });
+        let mut rng = StdRng::seed_from_u64(0);
+        knn.fit(&x, &y, 2, &mut rng);
+        let bg = column_means(&x);
+        let imp = shapley_importance(
+            &knn,
+            &x,
+            &y,
+            2,
+            &groups3(),
+            &bg,
+            ShapleyConfig { n_permutations: 6, metric: Metric::Accuracy },
+            &mut rng,
+        );
+        assert!(imp[0] > imp[1], "signal {} vs noise {}", imp[0], imp[1]);
+        assert!(imp[0] > imp[2]);
+        assert!(imp[0] > 0.3);
+    }
+
+    #[test]
+    fn efficiency_property() {
+        // Σ shapley = v(full) − v(empty), exactly, for any permutation count.
+        let (x, y) = dataset();
+        let mut knn = KnnClassifier::new(KnnParams { k: 3 });
+        let mut rng = StdRng::seed_from_u64(1);
+        knn.fit(&x, &y, 2, &mut rng);
+        let bg = column_means(&x);
+        let cfg = ShapleyConfig { n_permutations: 3, metric: Metric::Accuracy };
+        let imp = shapley_importance(&knn, &x, &y, 2, &groups3(), &bg, cfg, &mut rng);
+
+        let full = Metric::Accuracy.eval(&y, &knn.predict(&x), 2);
+        let mut masked = Matrix::zeros(x.nrows(), 3);
+        for i in 0..x.nrows() {
+            masked.row_mut(i).copy_from_slice(&bg);
+        }
+        let empty = Metric::Accuracy.eval(&y, &knn.predict(&masked), 2);
+        let total: f64 = imp.iter().sum();
+        assert!((total - (full - empty)).abs() < 1e-9, "{total} vs {}", full - empty);
+    }
+
+    #[test]
+    fn column_means_computed() {
+        let m = Matrix::from_vecs(&[vec![1.0, 10.0], vec![3.0, 30.0]]);
+        assert_eq!(column_means(&m), vec![2.0, 20.0]);
+        assert_eq!(column_means(&Matrix::zeros(0, 2)), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn ranking_descends_with_stable_ties() {
+        assert_eq!(rank_by_importance(&[0.1, 0.9, 0.5]), vec![1, 2, 0]);
+        assert_eq!(rank_by_importance(&[0.5, 0.5]), vec![0, 1]);
+    }
+
+    #[test]
+    fn multi_column_groups_move_together() {
+        // Group 0 covers columns 0..2; both carry the signal jointly.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..80 {
+            let c = (i % 2) as f64;
+            rows.push(vec![c, 1.0 - c, 0.0]);
+            labels.push(c as u32);
+        }
+        let x = Matrix::from_vecs(&rows);
+        let y = labels;
+        let mut knn = KnnClassifier::new(KnnParams { k: 1 });
+        let mut rng = StdRng::seed_from_u64(2);
+        knn.fit(&x, &y, 2, &mut rng);
+        let groups = vec![
+            FeatureGroup { col: 0, start: 0, end: 2 },
+            FeatureGroup { col: 1, start: 2, end: 3 },
+        ];
+        let bg = column_means(&x);
+        let imp = shapley_importance(
+            &knn,
+            &x,
+            &y,
+            2,
+            &groups,
+            &bg,
+            ShapleyConfig { n_permutations: 4, metric: Metric::Accuracy },
+            &mut rng,
+        );
+        assert!(imp[0] > imp[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one permutation")]
+    fn zero_permutations_rejected() {
+        let (x, y) = dataset();
+        let mut knn = KnnClassifier::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        knn.fit(&x, &y, 2, &mut rng);
+        let bg = column_means(&x);
+        shapley_importance(
+            &knn,
+            &x,
+            &y,
+            2,
+            &groups3(),
+            &bg,
+            ShapleyConfig { n_permutations: 0, metric: Metric::F1 },
+            &mut rng,
+        );
+    }
+}

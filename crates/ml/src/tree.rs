@@ -1,0 +1,303 @@
+//! CART regression tree — the base learner for gradient boosting.
+//!
+//! Exact greedy split search: at each node every feature's values are
+//! sorted and all midpoints between distinct consecutive values are scored
+//! by variance reduction (equivalently, maximizing Σ²/n over children).
+
+use crate::Matrix;
+
+/// Tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Maximum depth (0 = a single leaf).
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 3, min_leaf: 5 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    params: TreeParams,
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fit a tree on `(x, targets)`; `leaf_value` maps the target values in
+    /// a leaf to the leaf's prediction (gradient boosting passes Friedman's
+    /// Newton-step formula; plain regression passes the mean).
+    pub fn fit<F>(x: &Matrix, targets: &[f64], params: TreeParams, leaf_value: F) -> Self
+    where
+        F: Fn(&[f64]) -> f64,
+    {
+        assert_eq!(x.nrows(), targets.len(), "rows and targets must align");
+        assert!(x.nrows() > 0, "cannot fit on empty data");
+        let mut tree = RegressionTree { params, nodes: Vec::new() };
+        let rows: Vec<usize> = (0..x.nrows()).collect();
+        tree.grow(x, targets, rows, 0, &leaf_value);
+        tree
+    }
+
+    /// Convenience: fit with mean-valued leaves (plain regression tree).
+    pub fn fit_mean(x: &Matrix, targets: &[f64], params: TreeParams) -> Self {
+        Self::fit(x, targets, params, |vals| {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        })
+    }
+
+    fn grow<F>(
+        &mut self,
+        x: &Matrix,
+        targets: &[f64],
+        rows: Vec<usize>,
+        depth: usize,
+        leaf_value: &F,
+    ) -> usize
+    where
+        F: Fn(&[f64]) -> f64,
+    {
+        let make_leaf = |tree: &mut Self, rows: &[usize]| {
+            let vals: Vec<f64> = rows.iter().map(|&r| targets[r]).collect();
+            let v = leaf_value(&vals);
+            tree.nodes.push(Node::Leaf { value: if v.is_finite() { v } else { 0.0 } });
+            tree.nodes.len() - 1
+        };
+
+        if depth >= self.params.max_depth || rows.len() < 2 * self.params.min_leaf {
+            return make_leaf(self, &rows);
+        }
+        // Pure node: nothing left to explain.
+        let first = targets[rows[0]];
+        if rows.iter().all(|&r| targets[r] == first) {
+            return make_leaf(self, &rows);
+        }
+        let Some((feature, threshold)) = self.best_split(x, targets, &rows) else {
+            return make_leaf(self, &rows);
+        };
+
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&r| x.get(r, feature) <= threshold);
+        if left_rows.len() < self.params.min_leaf || right_rows.len() < self.params.min_leaf {
+            return make_leaf(self, &rows);
+        }
+
+        // Reserve this node's slot before recursing so child indices are
+        // stable.
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: 0.0 });
+        let left = self.grow(x, targets, left_rows, depth + 1, leaf_value);
+        let right = self.grow(x, targets, right_rows, depth + 1, leaf_value);
+        self.nodes[idx] = Node::Split { feature, threshold, left, right };
+        idx
+    }
+
+    /// Best (feature, threshold) by variance reduction, or None if no valid
+    /// split exists (e.g. all feature values identical).
+    fn best_split(&self, x: &Matrix, targets: &[f64], rows: &[usize]) -> Option<(usize, f64)> {
+        let n = rows.len();
+        let total_sum: f64 = rows.iter().map(|&r| targets[r]).sum();
+        let parent_score = total_sum * total_sum / n as f64;
+        let min_leaf = self.params.min_leaf;
+
+        // (gain, balance, feature, threshold); gain ties prefer balance.
+        let mut best: Option<(f64, usize, usize, f64)> = None;
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        for feature in 0..x.ncols() {
+            order.clear();
+            order.extend_from_slice(rows);
+            order.sort_by(|&a, &b| {
+                x.get(a, feature)
+                    .partial_cmp(&x.get(b, feature))
+                    .expect("finite features")
+            });
+            let mut left_sum = 0.0;
+            for i in 0..n - 1 {
+                left_sum += targets[order[i]];
+                let nl = i + 1;
+                let nr = n - nl;
+                if nl < min_leaf || nr < min_leaf {
+                    continue;
+                }
+                let v_here = x.get(order[i], feature);
+                let v_next = x.get(order[i + 1], feature);
+                if v_here == v_next {
+                    continue; // cannot split between equal values
+                }
+                let right_sum = total_sum - left_sum;
+                let score =
+                    left_sum * left_sum / nl as f64 + right_sum * right_sum / nr as f64;
+                let gain = score - parent_score;
+                // Zero-gain splits are allowed (like scikit-learn): balanced
+                // XOR-style interactions have no first-level gain but become
+                // separable one level down. max_depth bounds the recursion;
+                // gain ties prefer the most balanced split so zero-gain
+                // plateaus cut at the natural boundary.
+                let balance = nl.min(nr);
+                let better = match best {
+                    None => gain > -1e-12,
+                    Some((g, b, _, _)) => {
+                        gain > g + 1e-12 || ((gain - g).abs() <= 1e-12 && balance > b)
+                    }
+                };
+                if better && gain > -1e-12 {
+                    best = Some((gain, balance, feature, 0.5 * (v_here + v_next)));
+                }
+            }
+        }
+        best.map(|(_, _, f, t)| (f, t))
+    }
+
+    /// Predict one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predict all rows.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.nrows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (diagnostics).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + walk(nodes, *left).max(walk(nodes, *right))
+                }
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        // y = 1 for x > 0.5 else 0 — one split suffices.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let x = Matrix::from_vecs(&rows);
+        let tree = RegressionTree::fit_mean(&x, &targets, TreeParams { max_depth: 2, min_leaf: 1 });
+        for (r, &t) in rows.iter().zip(&targets) {
+            assert_eq!(tree.predict_row(r), t);
+        }
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn depth_zero_is_global_mean() {
+        let x = Matrix::from_vecs(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let targets = vec![1.0, 2.0, 3.0, 4.0];
+        let tree = RegressionTree::fit_mean(&x, &targets, TreeParams { max_depth: 0, min_leaf: 1 });
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict_row(&[9.0]), 2.5);
+    }
+
+    #[test]
+    fn min_leaf_prevents_tiny_splits() {
+        let x = Matrix::from_vecs(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let targets = vec![0.0, 0.0, 0.0, 10.0];
+        // min_leaf 3 forbids isolating the outlier (1-row leaf).
+        let tree = RegressionTree::fit_mean(&x, &targets, TreeParams { max_depth: 5, min_leaf: 3 });
+        assert_eq!(tree.n_nodes(), 1, "no legal split should exist");
+    }
+
+    #[test]
+    fn constant_features_make_a_leaf() {
+        let x = Matrix::from_vecs(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]);
+        let targets = vec![0.0, 1.0, 0.0, 1.0];
+        let tree = RegressionTree::fit_mean(&x, &targets, TreeParams::default());
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict_row(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn picks_the_informative_feature() {
+        // Feature 1 is pure noise; feature 0 determines the target.
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..60 {
+            let signal = if i % 2 == 0 { 0.0 } else { 1.0 };
+            rows.push(vec![signal, ((i * 7) % 13) as f64]);
+            targets.push(signal * 2.0);
+        }
+        let x = Matrix::from_vecs(&rows);
+        let tree = RegressionTree::fit_mean(&x, &targets, TreeParams { max_depth: 1, min_leaf: 5 });
+        match &tree.nodes[0] {
+            Node::Split { feature, .. } => assert_eq!(*feature, 0),
+            Node::Leaf { .. } => panic!("expected a split"),
+        }
+    }
+
+    #[test]
+    fn deeper_trees_fit_xor() {
+        // XOR needs depth 2.
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..5 {
+                    rows.push(vec![a as f64, b as f64]);
+                    targets.push(((a + b) % 2) as f64);
+                }
+            }
+        }
+        let x = Matrix::from_vecs(&rows);
+        let shallow = RegressionTree::fit_mean(&x, &targets, TreeParams { max_depth: 1, min_leaf: 1 });
+        let deep = RegressionTree::fit_mean(&x, &targets, TreeParams { max_depth: 2, min_leaf: 1 });
+        let sse = |t: &RegressionTree| -> f64 {
+            rows.iter()
+                .zip(&targets)
+                .map(|(r, &y)| (t.predict_row(r) - y).powi(2))
+                .sum()
+        };
+        assert!(sse(&deep) < 1e-12, "deep tree must solve XOR");
+        assert!(sse(&shallow) > 1.0, "depth-1 tree cannot solve XOR");
+    }
+
+    #[test]
+    fn custom_leaf_value_applied() {
+        let x = Matrix::from_vecs(&[vec![0.0], vec![1.0]]);
+        let targets = vec![2.0, 4.0];
+        let tree = RegressionTree::fit(&x, &targets, TreeParams { max_depth: 0, min_leaf: 1 }, |v| {
+            v.iter().product()
+        });
+        assert_eq!(tree.predict_row(&[0.0]), 8.0);
+    }
+
+    #[test]
+    fn non_finite_leaf_guard() {
+        let x = Matrix::from_vecs(&[vec![0.0]]);
+        let tree = RegressionTree::fit(&x, &[1.0], TreeParams::default(), |_| f64::NAN);
+        assert_eq!(tree.predict_row(&[0.0]), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Churn triage under a real-world-style cleaning budget.
+//!
+//! ```text
+//! cargo run --release --example churn_triage
+//! ```
+//!
+//! Scenario from the paper's introduction: a telco's churn dataset has
+//! accumulated *mixed* errors — missing values, category mix-ups, noisy and
+//! mis-scaled numbers — and the data team can afford only a limited amount
+//! of expert cleaning time. Different error types cost differently to fix
+//! (§4.2): imputing a whole column of missing values is a one-shot setup
+//! cost, hunting ever-subtler Gaussian noise gets linearly more expensive.
+//!
+//! We run COMET and a naive random strategy on identical copies of the mess
+//! and compare what each achieves with the same 15-unit budget.
+
+use comet::baselines::{RandomCleaner, StrategyConfig};
+use comet::core::{CleaningEnvironment, CleaningSession, CometConfig, CostPolicy};
+use comet::datasets::Dataset;
+use comet::frame::{train_test_split, SplitOptions};
+use comet::jenga::{ErrorType, GroundTruth, PrePollutionPlan, Provenance, Scenario};
+use comet::ml::{Algorithm, Metric, RandomSearch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BUDGET: f64 = 15.0;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // The Telco-churn analog: 16 categorical + 3 numeric features.
+    let df = Dataset::Churn.generate(Some(700), &mut rng);
+    let tt = train_test_split(&df, SplitOptions::default(), &mut rng).expect("split");
+    let gt_train = GroundTruth::new(tt.train.clone());
+    let gt_test = GroundTruth::new(tt.test.clone());
+
+    // Multi-error pre-pollution: every pollution step picks a random error
+    // type applicable to the feature (paper §4.1, second scenario).
+    let mut train = tt.train;
+    let mut test = tt.test;
+    let mut prov_train = Provenance::for_frame(&train);
+    let mut prov_test = Provenance::for_frame(&test);
+    let plan = PrePollutionPlan::sample(&train, Scenario::MultiError, 0.3, 0.5, &mut rng)
+        .expect("plan");
+    plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).expect("pollute train");
+    plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).expect("pollute test");
+    println!(
+        "pre-pollution: {} features polluted, mean level {:.1} %",
+        plan.levels.len(),
+        100.0 * plan.mean_level()
+    );
+
+    let env = CleaningEnvironment::new(
+        train,
+        test,
+        gt_train,
+        gt_test,
+        prov_train,
+        prov_test,
+        Algorithm::Svm,
+        Metric::F1,
+        0.01,
+        RandomSearch::default(),
+        7,
+        &mut rng,
+    )
+    .expect("environment");
+    println!("dirty F1: {:.4}\n", env.evaluate().expect("evaluate"));
+
+    // The paper's multi-error cost model: MV one-shot (2 then free), GN
+    // linear (1, +1 per step), CS/S constant 1.
+    let costs = CostPolicy::paper_multi();
+
+    // --- COMET ---
+    let config = CometConfig { budget: BUDGET, costs, ..CometConfig::default() };
+    let session = CleaningSession::new(config, ErrorType::ALL.to_vec());
+    let mut comet_env = env.clone();
+    let outcome = session.run(&mut comet_env, &mut rng).expect("COMET session");
+    let comet = outcome.trace;
+
+    println!("COMET's cleaning order (feature, error type, cost):");
+    for r in comet.records.iter().take(12) {
+        let name = env
+            .train()
+            .column(r.col)
+            .map(|c| c.name().to_string())
+            .unwrap_or_else(|_| format!("#{}", r.col));
+        println!(
+            "  {name:>8} {:>2}  cost {:>3.1}  F1 {:.4} ({:?})",
+            r.err.abbrev(),
+            r.cost,
+            r.actual_f1,
+            r.action
+        );
+    }
+
+    // --- Random triage for comparison, averaged over 3 runs ---
+    let strategy_config = StrategyConfig { budget: BUDGET, costs };
+    let traces = RandomCleaner
+        .run_repeated(&env, &ErrorType::ALL, &strategy_config, 3, &mut rng)
+        .expect("RR runs");
+    let rr_final =
+        traces.iter().map(|t| t.final_f1).sum::<f64>() / traces.len() as f64;
+
+    println!("\nwith a budget of {BUDGET} units:");
+    println!("  COMET : F1 {:.4} -> {:.4}", comet.initial_f1, comet.final_f1);
+    println!("  random: F1 {:.4} -> {:.4} (mean of 3 runs)", comet.initial_f1, rr_final);
+    println!(
+        "  advantage: {:+.2} percentage points",
+        100.0 * (comet.final_f1 - rr_final)
+    );
+    // Also compare the whole F1-per-budget trajectory, which is less noisy
+    // than the endpoint alone.
+    let max_b = BUDGET as usize;
+    let comet_curve = comet.f1_series(max_b);
+    let rr_curve: Vec<f64> = (0..=max_b)
+        .map(|b| {
+            traces.iter().map(|t| t.f1_at_budget(b as f64)).sum::<f64>()
+                / traces.len() as f64
+        })
+        .collect();
+    let mean_adv: f64 = comet_curve
+        .iter()
+        .zip(&rr_curve)
+        .map(|(c, r)| c - r)
+        .sum::<f64>()
+        / comet_curve.len() as f64;
+    println!("  mean advantage over the whole budget: {:+.2} pt", 100.0 * mean_adv);
+    println!();
+    println!("(Churn is the paper's flattest dataset — §5.2 reports a dirty-vs-clean");
+    println!(" gap of only ~1.5 pt there, so small advantages are the expected shape.)");
+}

@@ -1,0 +1,349 @@
+//! `comet` — command-line interface to the COMET toolkit.
+//!
+//! ```text
+//! comet pollute   --input data.csv --label y --error mv --level 0.2 --output dirty.csv
+//! comet evaluate  --input data.csv --label y --algo knn
+//! comet recommend --dirty dirty.csv --clean clean.csv --label y --algo knn --budget 10
+//! ```
+//!
+//! * `pollute` injects one error type at a given level into every applicable
+//!   feature — handy for building test fixtures.
+//! * `evaluate` splits a CSV, tunes the chosen model, and reports F1.
+//! * `recommend` runs a full COMET session against a dirty/clean CSV pair
+//!   (the clean file is the simulated Cleaner's ground truth) and prints
+//!   the step-by-step cleaning recommendations plus a summary; the trace is
+//!   optionally written as CSV via `--trace out.csv`.
+
+use comet::core::{CleaningEnvironment, CleaningSession, CometConfig};
+use comet::frame::{read_csv, train_test_split, write_csv, DataFrame, SplitOptions};
+use comet::jenga::{inject, sample_rows, ErrorType, GroundTruth, Provenance};
+use comet::ml::{Algorithm, Metric, RandomSearch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  comet pollute   --input FILE --label COL --error mv|gn|cs|s --level FRAC --output FILE [--seed N]
+  comet evaluate  --input FILE --label COL [--algo NAME] [--seed N]
+  comet recommend --dirty FILE --clean FILE --label COL [--algo NAME] [--budget N]
+                  [--step FRAC] [--batch N] [--trace FILE] [--seed N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "pollute" => cmd_pollute(rest),
+        "evaluate" => cmd_evaluate(rest),
+        "recommend" => cmd_recommend(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Parse `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(key) = iter.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {key:?}"));
+        };
+        let value = iter.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn seed_of(flags: &HashMap<String, String>) -> Result<u64, String> {
+    flags
+        .get("seed")
+        .map_or(Ok(42), |s| s.parse().map_err(|e| format!("--seed: {e}")))
+}
+
+fn algo_of(flags: &HashMap<String, String>) -> Result<Algorithm, String> {
+    match flags.get("algo") {
+        None => Ok(Algorithm::Knn),
+        Some(name) => {
+            Algorithm::parse(name).ok_or_else(|| format!("unknown algorithm {name:?}"))
+        }
+    }
+}
+
+fn cmd_pollute(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let input = required(&flags, "input")?;
+    let label = required(&flags, "label")?;
+    let output = required(&flags, "output")?;
+    let error = ErrorType::parse(required(&flags, "error")?)
+        .ok_or("unknown error type (use mv|gn|cs|s)")?;
+    let level: f64 = required(&flags, "level")?
+        .parse()
+        .map_err(|e| format!("--level: {e}"))?;
+    if !(0.0..=1.0).contains(&level) {
+        return Err("--level must be in [0, 1]".into());
+    }
+    let mut rng = StdRng::seed_from_u64(seed_of(&flags)?);
+
+    let mut df = read_csv(input, Some(label)).map_err(|e| e.to_string())?;
+    let n = df.nrows();
+    let cells = (level * n as f64).round() as usize;
+    let mut touched = 0usize;
+    for col in df.feature_indices() {
+        let kind = df.column(col).map_err(|e| e.to_string())?.kind();
+        if !error.applicable(kind) {
+            continue;
+        }
+        let rows = sample_rows(n, cells, &mut rng);
+        let rec = inject(&mut df, col, &rows, error, &mut rng).map_err(|e| e.to_string())?;
+        touched += rec.changed.len();
+    }
+    write_csv(&df, output).map_err(|e| e.to_string())?;
+    println!("polluted {touched} cells with {error}; wrote {output}");
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let input = required(&flags, "input")?;
+    let label = required(&flags, "label")?;
+    let algorithm = algo_of(&flags)?;
+    let mut rng = StdRng::seed_from_u64(seed_of(&flags)?);
+
+    let df = read_csv(input, Some(label)).map_err(|e| e.to_string())?;
+    let tt = train_test_split(&df, SplitOptions::default(), &mut rng)
+        .map_err(|e| e.to_string())?;
+    let env = build_env(tt.train, tt.test, None, algorithm, 0.01, &mut rng)?;
+    let f1 = env.evaluate().map_err(|e| e.to_string())?;
+    println!(
+        "{algorithm} on {input}: F1 {f1:.4} ({} train / {} test rows, {} features)",
+        env.train().nrows(),
+        env.test().nrows(),
+        env.feature_cols().len()
+    );
+    Ok(())
+}
+
+fn cmd_recommend(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let dirty_path = required(&flags, "dirty")?;
+    let clean_path = required(&flags, "clean")?;
+    let label = required(&flags, "label")?;
+    let algorithm = algo_of(&flags)?;
+    let budget: f64 = flags
+        .get("budget")
+        .map_or(Ok(20.0), |s| s.parse().map_err(|e| format!("--budget: {e}")))?;
+    let step: f64 = flags
+        .get("step")
+        .map_or(Ok(0.01), |s| s.parse().map_err(|e| format!("--step: {e}")))?;
+    let batch: usize = flags
+        .get("batch")
+        .map_or(Ok(1), |s| s.parse().map_err(|e| format!("--batch: {e}")))?;
+    let mut rng = StdRng::seed_from_u64(seed_of(&flags)?);
+
+    let dirty = read_csv(dirty_path, Some(label)).map_err(|e| e.to_string())?;
+    let clean = read_csv(clean_path, Some(label)).map_err(|e| e.to_string())?;
+    if dirty.nrows() != clean.nrows() || dirty.ncols() != clean.ncols() {
+        return Err("dirty and clean files must have identical shapes".into());
+    }
+
+    // One split drives both versions.
+    let tt = train_test_split(&clean, SplitOptions::default(), &mut rng)
+        .map_err(|e| e.to_string())?;
+    let dirty_train = dirty.take(&tt.train_rows).map_err(|e| e.to_string())?;
+    let dirty_test = dirty.take(&tt.test_rows).map_err(|e| e.to_string())?;
+    let clean_train = tt.train;
+    let clean_test = tt.test;
+
+    let mut env = build_env(
+        dirty_train,
+        dirty_test,
+        Some((clean_train, clean_test)),
+        algorithm,
+        step,
+        &mut rng,
+    )?;
+    // Which error types does the dirt look like? Run with all four; the
+    // provenance derived from the diff uses MissingValues for empty cells
+    // and Scaling/GaussianNoise/CategoricalShift heuristically.
+    let errors = ErrorType::ALL.to_vec();
+
+    println!("dirty F1: {:.4}", env.evaluate().map_err(|e| e.to_string())?);
+    let config = CometConfig { budget, step_frac: step, batch_size: batch, ..CometConfig::default() };
+    let session = CleaningSession::new(config, errors);
+    let outcome = session.run(&mut env, &mut rng).map_err(|e| e.to_string())?;
+    let trace = outcome.trace;
+
+    for r in &trace.records {
+        let feature = env
+            .train()
+            .column(r.col)
+            .map(|c| c.name().to_string())
+            .unwrap_or_else(|_| format!("#{}", r.col));
+        println!(
+            "  [{:>3}] {feature:<16} {:<4} cost {:>4.1}  F1 {:.4}  {}",
+            r.iteration,
+            r.err.abbrev(),
+            r.cost,
+            r.actual_f1,
+            r.action.label(),
+        );
+    }
+    print!("{}", trace.summary());
+    if let Some(path) = flags.get("trace") {
+        std::fs::write(path, trace.to_csv(Some(env.train()))).map_err(|e| e.to_string())?;
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
+
+/// Assemble a [`CleaningEnvironment`]. With no clean reference, the data is
+/// treated as its own ground truth (evaluate-only use).
+fn build_env(
+    dirty_train: DataFrame,
+    dirty_test: DataFrame,
+    clean: Option<(DataFrame, DataFrame)>,
+    algorithm: Algorithm,
+    step: f64,
+    rng: &mut StdRng,
+) -> Result<CleaningEnvironment, String> {
+    let (clean_train, clean_test) = match clean {
+        Some(pair) => pair,
+        None => (dirty_train.clone(), dirty_test.clone()),
+    };
+    let gt_train = GroundTruth::new(clean_train);
+    let gt_test = GroundTruth::new(clean_test);
+    // Derive provenance from the dirty/clean diff: empty cells are missing
+    // values; changed categoricals are shifts; changed numerics with a
+    // power-of-ten ratio are scaling, otherwise noise.
+    let prov_train = derive_provenance(&dirty_train, &gt_train)?;
+    let prov_test = derive_provenance(&dirty_test, &gt_test)?;
+    CleaningEnvironment::new(
+        dirty_train,
+        dirty_test,
+        gt_train,
+        gt_test,
+        prov_train,
+        prov_test,
+        algorithm,
+        Metric::F1,
+        step,
+        RandomSearch::default(),
+        7,
+        rng,
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Classify each dirty cell's apparent error type from the dirty/clean diff.
+#[allow(clippy::result_large_err)]
+fn derive_provenance(dirty: &DataFrame, gt: &GroundTruth) -> Result<Provenance, String> {
+    use comet::frame::Cell;
+    let mut prov = Provenance::for_frame(dirty);
+    for col in dirty.feature_indices() {
+        let rows = gt.dirty_rows(dirty, col).map_err(|e| e.to_string())?;
+        for row in rows {
+            let dirty_cell = dirty.get(row, col).map_err(|e| e.to_string())?;
+            let clean_cell = gt.clean().get(row, col).map_err(|e| e.to_string())?;
+            let err = match (dirty_cell, clean_cell) {
+                (Cell::Missing, _) => ErrorType::MissingValues,
+                (Cell::Cat(_), _) => ErrorType::CategoricalShift,
+                (Cell::Num(d), Cell::Num(c)) if c != 0.0 => {
+                    let ratio = d / c;
+                    let is_pow10 = [10.0, 100.0, 1000.0, 0.1, 0.01, 0.001]
+                        .iter()
+                        .any(|f| (ratio - f).abs() < 1e-9);
+                    if is_pow10 {
+                        ErrorType::Scaling
+                    } else {
+                        ErrorType::GaussianNoise
+                    }
+                }
+                _ => ErrorType::GaussianNoise,
+            };
+            prov.record(col, row, err);
+        }
+    }
+    Ok(prov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Result<HashMap<String, String>, String> {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parse_flags_pairs() {
+        let f = flags(&["--input", "a.csv", "--label", "y"]).unwrap();
+        assert_eq!(f.get("input").unwrap(), "a.csv");
+        assert_eq!(required(&f, "label").unwrap(), "y");
+        assert!(required(&f, "missing").is_err());
+    }
+
+    #[test]
+    fn parse_flags_rejects_bad_shapes() {
+        assert!(flags(&["input", "a.csv"]).is_err(), "missing --");
+        assert!(flags(&["--input"]).is_err(), "dangling flag");
+    }
+
+    #[test]
+    fn seed_and_algo_defaults() {
+        let f = flags(&[]).unwrap();
+        assert_eq!(seed_of(&f).unwrap(), 42);
+        assert_eq!(algo_of(&f).unwrap(), Algorithm::Knn);
+        let f = flags(&["--seed", "7", "--algo", "gb"]).unwrap();
+        assert_eq!(seed_of(&f).unwrap(), 7);
+        assert_eq!(algo_of(&f).unwrap(), Algorithm::Gb);
+        let f = flags(&["--algo", "alexnet"]).unwrap();
+        assert!(algo_of(&f).is_err());
+        let f = flags(&["--seed", "NaN"]).unwrap();
+        assert!(seed_of(&f).is_err());
+    }
+
+    #[test]
+    fn provenance_derivation_classifies_errors() {
+        use comet::frame::{Cell, Column};
+        let x = Column::numeric("x", vec![1.0, 2.0, 3.0, 4.0]);
+        let c = Column::categorical("c", vec![0, 1, 0, 1], vec!["a".into(), "b".into()])
+            .unwrap();
+        let y = Column::categorical("y", vec![0, 1, 0, 1], vec!["n".into(), "p".into()])
+            .unwrap();
+        let clean = DataFrame::new(vec![x, c, y], Some("y")).unwrap();
+        let mut dirty = clean.clone();
+        dirty.set(0, 0, Cell::Missing).unwrap(); // MV
+        dirty.set(1, 0, Cell::Num(200.0)).unwrap(); // ×100 → scaling
+        dirty.set(2, 0, Cell::Num(3.7)).unwrap(); // noise
+        dirty.set(3, 1, Cell::Cat(0)).unwrap(); // shift
+        let gt = GroundTruth::new(clean);
+        let prov = derive_provenance(&dirty, &gt).unwrap();
+        assert_eq!(prov.get(0, 0), Some(ErrorType::MissingValues));
+        assert_eq!(prov.get(0, 1), Some(ErrorType::Scaling));
+        assert_eq!(prov.get(0, 2), Some(ErrorType::GaussianNoise));
+        assert_eq!(prov.get(1, 3), Some(ErrorType::CategoricalShift));
+        assert_eq!(prov.get(0, 3), None);
+    }
+}

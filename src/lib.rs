@@ -1,0 +1,27 @@
+//! # comet — façade crate
+//!
+//! Re-exports the public API of the COMET workspace: the data frame
+//! substrate, error-injection framework, ML library, Bayesian statistics,
+//! dataset generators, the COMET cleaning-recommendation engine, and the
+//! baselines it is evaluated against.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use comet_baselines as baselines;
+pub use comet_bayes as bayes;
+pub use comet_core as core;
+pub use comet_datasets as datasets;
+pub use comet_frame as frame;
+pub use comet_jenga as jenga;
+pub use comet_ml as ml;
+
+/// Commonly used items, importable as `use comet::prelude::*`.
+pub mod prelude {
+    pub use comet_core::{
+        CleaningSession, CometConfig, CostModel, CostPolicy, SessionOutcome,
+    };
+    pub use comet_datasets::{Dataset, DatasetSpec};
+    pub use comet_frame::{DataFrame, SplitOptions};
+    pub use comet_jenga::{ErrorType, PrePollutionPlan};
+    pub use comet_ml::{Algorithm, Metric};
+}
