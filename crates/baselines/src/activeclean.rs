@@ -14,9 +14,7 @@
 //! cleaning step, only to recover").
 
 use crate::strategy::StrategyConfig;
-use comet_core::{
-    Budget, CleaningEnvironment, CleaningTrace, EnvError, StepAction, StepRecord,
-};
+use comet_core::{Budget, CleaningEnvironment, CleaningTrace, EnvError, StepAction, StepRecord};
 use comet_jenga::ErrorType;
 use comet_ml::sgd::{Glm, Loss, SgdParams};
 use comet_ml::{Algorithm, Featurizer};

@@ -58,10 +58,7 @@ impl FeatureImportanceCleaner {
         );
         // Map group order back to original column indices.
         let group_order = rank_by_importance(&importances);
-        Ok(group_order
-            .into_iter()
-            .map(|g| featurizer.groups()[g].col)
-            .collect())
+        Ok(group_order.into_iter().map(|g| featurizer.groups()[g].col).collect())
     }
 
     /// Run FIR to completion (budget or clean).
@@ -88,8 +85,8 @@ impl FeatureImportanceCleaner {
                         if c != col {
                             continue;
                         }
-                        let count = _env.dirty_train_rows(c, e).len()
-                            + _env.dirty_test_rows(c, e).len();
+                        let count =
+                            _env.dirty_train_rows(c, e).len() + _env.dirty_test_rows(c, e).len();
                         if count > best_count {
                             best_count = count;
                             best = Some((c, e));

@@ -52,8 +52,8 @@ impl RandomCleaner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategy::test_support::small_env;
     use crate::average_traces;
+    use crate::strategy::test_support::small_env;
     use comet_ml::Algorithm;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -64,8 +64,8 @@ mod tests {
         let before = env.total_dirty().unwrap();
         let config = StrategyConfig { budget: 10.0, ..StrategyConfig::default() };
         let mut rng = StdRng::seed_from_u64(0);
-        let trace = RandomCleaner.run(&mut env, &[ErrorType::MissingValues], &config, &mut rng)
-            .unwrap();
+        let trace =
+            RandomCleaner.run(&mut env, &[ErrorType::MissingValues], &config, &mut rng).unwrap();
         assert!(trace.total_spent() <= 10.0 + 1e-9);
         assert!(!trace.records.is_empty());
         assert!(env.total_dirty().unwrap() < before);

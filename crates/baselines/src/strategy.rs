@@ -79,8 +79,16 @@ where
                     let d = steps_done.get(&(c, e)).copied().unwrap_or(0);
                     let cost = config.costs.next_cost(e, d);
                     clean_and_record(
-                        env, c, e, cost, iteration, &mut budget, &mut steps_done, &mut trace,
-                        &mut current_f1, rng,
+                        env,
+                        c,
+                        e,
+                        cost,
+                        iteration,
+                        &mut budget,
+                        &mut steps_done,
+                        &mut trace,
+                        &mut current_f1,
+                        rng,
                     )?;
                     continue;
                 }
@@ -88,8 +96,16 @@ where
             }
         }
         clean_and_record(
-            env, col, err, cost, iteration, &mut budget, &mut steps_done, &mut trace,
-            &mut current_f1, rng,
+            env,
+            col,
+            err,
+            cost,
+            iteration,
+            &mut budget,
+            &mut steps_done,
+            &mut trace,
+            &mut current_f1,
+            rng,
         )?;
     }
     trace.final_f1 = current_f1;
@@ -157,7 +173,11 @@ pub(crate) mod test_support {
     use rand::SeedableRng;
 
     /// A small pre-polluted EEG environment used across baseline tests.
-    pub fn small_env(seed: u64, levels: Vec<(usize, f64)>, algorithm: Algorithm) -> CleaningEnvironment {
+    pub fn small_env(
+        seed: u64,
+        levels: Vec<(usize, f64)>,
+        algorithm: Algorithm,
+    ) -> CleaningEnvironment {
         let mut rng = StdRng::seed_from_u64(seed);
         let df = comet_datasets::Dataset::Eeg.generate(Some(240), &mut rng);
         let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
@@ -167,10 +187,8 @@ pub(crate) mod test_support {
         let mut test = tt.test;
         let mut prov_train = Provenance::for_frame(&train);
         let mut prov_test = Provenance::for_frame(&test);
-        let plan = PrePollutionPlan::explicit(
-            Scenario::SingleError(ErrorType::MissingValues),
-            levels,
-        );
+        let plan =
+            PrePollutionPlan::explicit(Scenario::SingleError(ErrorType::MissingValues), levels);
         plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
         plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
         CleaningEnvironment::new(

@@ -239,10 +239,8 @@ mod tests {
     fn quadratic_basis_captures_curvature() {
         let xs: Vec<f64> = (0..30).map(|i| i as f64 / 30.0).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| 1.0 - 0.3 * x - 0.5 * x * x).collect();
-        let mut blr = BayesianLinearRegression::new(BlrConfig {
-            degree: 2,
-            ..BlrConfig::default()
-        });
+        let mut blr =
+            BayesianLinearRegression::new(BlrConfig { degree: 2, ..BlrConfig::default() });
         blr.fit(&xs, &ys).unwrap();
         let p = blr.predict(0.8);
         let want = 1.0 - 0.3 * 0.8 - 0.5 * 0.64;
@@ -280,9 +278,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "equal length")]
     fn mismatched_inputs_panic() {
-        BayesianLinearRegression::new(BlrConfig::default())
-            .fit(&[0.0, 1.0], &[0.0])
-            .unwrap();
+        BayesianLinearRegression::new(BlrConfig::default()).fit(&[0.0, 1.0], &[0.0]).unwrap();
     }
 
     #[test]

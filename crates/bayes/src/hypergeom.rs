@@ -41,8 +41,7 @@ impl Hypergeometric {
         if k < self.min_k() || k > self.max_k() {
             return 0.0;
         }
-        (ln_choose(self.successes, k)
-            + ln_choose(self.population - self.successes, self.draws - k)
+        (ln_choose(self.successes, k) + ln_choose(self.population - self.successes, self.draws - k)
             - ln_choose(self.population, self.draws))
         .exp()
     }

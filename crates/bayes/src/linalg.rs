@@ -150,10 +150,7 @@ mod tests {
 
     #[test]
     fn rejects_dimension_mismatch() {
-        assert_eq!(
-            cholesky_solve(&[1.0], 2, &[1.0, 2.0]),
-            Err(CholeskyError::DimensionMismatch)
-        );
+        assert_eq!(cholesky_solve(&[1.0], 2, &[1.0, 2.0]), Err(CholeskyError::DimensionMismatch));
         assert_eq!(
             cholesky_solve(&[1.0, 0.0, 0.0, 1.0], 2, &[1.0]),
             Err(CholeskyError::DimensionMismatch)
@@ -179,9 +176,7 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CholeskyError::NotPositiveDefinite { pivot: 1 }
-            .to_string()
-            .contains("pivot 1"));
+        assert!(CholeskyError::NotPositiveDefinite { pivot: 1 }.to_string().contains("pivot 1"));
         assert!(CholeskyError::DimensionMismatch.to_string().contains("mismatch"));
     }
 }

@@ -52,12 +52,7 @@ impl Ols {
     /// Predict at `x`. Panics if unfitted.
     pub fn predict(&self, x: f64) -> f64 {
         let w = self.weights.as_ref().expect("predict called before fit");
-        self.basis
-            .expand(x)
-            .iter()
-            .zip(w)
-            .map(|(phi, wi)| phi * wi)
-            .sum()
+        self.basis.expand(x).iter().zip(w).map(|(phi, wi)| phi * wi).sum()
     }
 }
 

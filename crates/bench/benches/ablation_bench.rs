@@ -64,8 +64,7 @@ fn bench_session_variants(c: &mut Criterion) {
             b.iter_batched(
                 || (env.clone(), StdRng::seed_from_u64(3)),
                 |(mut env, mut rng)| {
-                    let session =
-                        CleaningSession::new(config, vec![ErrorType::MissingValues]);
+                    let session = CleaningSession::new(config, vec![ErrorType::MissingValues]);
                     black_box(session.run(&mut env, &mut rng).unwrap());
                 },
                 BatchSize::SmallInput,

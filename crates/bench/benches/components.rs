@@ -136,13 +136,9 @@ fn bench_comet_estimate(c: &mut Criterion) {
     c.bench_function("comet/estimate_one_candidate", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(10);
-            let variants = polluter
-                .variants(&env, 0, ErrorType::GaussianNoise, &mut rng)
-                .unwrap();
+            let variants = polluter.variants(&env, 0, ErrorType::GaussianNoise, &mut rng).unwrap();
             black_box(
-                estimator
-                    .estimate(&env, 0, ErrorType::GaussianNoise, current, &variants)
-                    .unwrap(),
+                estimator.estimate(&env, 0, ErrorType::GaussianNoise, current, &variants).unwrap(),
             );
         })
     });

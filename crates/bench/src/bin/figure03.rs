@@ -16,9 +16,7 @@ fn main() {
     let opts = ExperimentOpts::from_env();
     let algorithm = opts.algorithm_or(Algorithm::Svm);
     let baselines = [Strategy::Fir, Strategy::Rr, Strategy::Cl];
-    println!(
-        "Figure 3: COMET vs FIR/RR/CL, multi-error + diverse cost functions, {algorithm}\n"
-    );
+    println!("Figure 3: COMET vs FIR/RR/CL, multi-error + diverse cost functions, {algorithm}\n");
     for dataset in Dataset::PREPOLLUTED {
         let name = format!(
             "figure03_{}_{}",

@@ -15,10 +15,7 @@ use comet_ml::Algorithm;
 fn main() {
     let opts = ExperimentOpts::from_env();
     let algorithm = opts.algorithm_or(Algorithm::LinReg);
-    assert!(
-        algorithm.is_convex_linear(),
-        "ActiveClean supports SVM/LOR/LIR only (paper §4.5)"
-    );
+    assert!(algorithm.is_convex_linear(), "ActiveClean supports SVM/LOR/LIR only (paper §4.5)");
     println!("Figure 4: COMET vs AC, multi-error + diverse cost functions, {algorithm}\n");
     for dataset in Dataset::PREPOLLUTED {
         let name = format!(

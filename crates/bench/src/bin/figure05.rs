@@ -21,9 +21,7 @@ fn main() {
     for err in ErrorType::ALL {
         for dataset in Dataset::PREPOLLUTED {
             if !applicable(dataset, err) {
-                println!(
-                    "-- {dataset} has no features for {err}; skipped (paper §4.3) --\n"
-                );
+                println!("-- {dataset} has no features for {err}; skipped (paper §4.3) --\n");
                 continue;
             }
             let name = format!(

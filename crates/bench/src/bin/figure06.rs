@@ -14,12 +14,8 @@ fn main() {
     let baselines = [Strategy::Fir, Strategy::Rr, Strategy::Cl];
     println!("Figure 6: COMET vs FIR/RR/CL on CleanML datasets, {algorithm}\n");
     for dataset in Dataset::CLEANML {
-        let errors: Vec<String> = dataset
-            .spec()
-            .cleanml_errors
-            .iter()
-            .map(|e| e.abbrev().to_lowercase())
-            .collect();
+        let errors: Vec<String> =
+            dataset.spec().cleanml_errors.iter().map(|e| e.abbrev().to_lowercase()).collect();
         let name = format!(
             "figure06_{}_{}_{}",
             algorithm.name().to_lowercase(),

@@ -24,14 +24,8 @@ fn main() {
     let max_budget = opts.budget.round() as usize;
 
     println!("Figure 7: cleaning trajectory, {dataset} / {err} / {algorithm}\n");
-    let setup = build_prepolluted_env(
-        dataset,
-        algorithm,
-        Scenario::SingleError(err),
-        0,
-        &opts,
-    )
-    .expect("environment");
+    let setup = build_prepolluted_env(dataset, algorithm, Scenario::SingleError(err), 0, &opts)
+        .expect("environment");
 
     let mut table = SeriesTable::over_budget(
         format!("figure07_{}", algorithm.name().to_lowercase()),

@@ -14,10 +14,7 @@ use comet_ml::Algorithm;
 fn main() {
     let opts = ExperimentOpts::from_env();
     let algorithm = opts.algorithm_or(Algorithm::Svm);
-    assert!(
-        algorithm.is_convex_linear(),
-        "ActiveClean supports SVM/LOR/LIR only (paper §4.5)"
-    );
+    assert!(algorithm.is_convex_linear(), "ActiveClean supports SVM/LOR/LIR only (paper §4.5)");
     println!("Figure 8: COMET vs AC per error type, {algorithm}\n");
     for err in ErrorType::ALL {
         for dataset in Dataset::PREPOLLUTED {

@@ -9,18 +9,11 @@ use comet_ml::Algorithm;
 fn main() {
     let opts = ExperimentOpts::from_env();
     let algorithm = opts.algorithm_or(Algorithm::Svm);
-    assert!(
-        algorithm.is_convex_linear(),
-        "ActiveClean supports SVM/LOR/LIR only (paper §4.5)"
-    );
+    assert!(algorithm.is_convex_linear(), "ActiveClean supports SVM/LOR/LIR only (paper §4.5)");
     println!("Figure 9: COMET vs AC on CleanML datasets, {algorithm}\n");
     for dataset in Dataset::CLEANML {
-        let errors: Vec<String> = dataset
-            .spec()
-            .cleanml_errors
-            .iter()
-            .map(|e| e.abbrev().to_lowercase())
-            .collect();
+        let errors: Vec<String> =
+            dataset.spec().cleanml_errors.iter().map(|e| e.abbrev().to_lowercase()).collect();
         let name = format!(
             "figure09_{}_{}_{}",
             algorithm.name().to_lowercase(),

@@ -12,8 +12,8 @@
 //! representative datasets to keep the runtime reasonable.
 
 use comet_bench::{
-    advantage, applicable, f1_series, figures::build_setup, figures::grid_datasets,
-    mean_series, run_strategy, ExperimentOpts, MatrixTable, Source, Strategy,
+    advantage, applicable, f1_series, figures::build_setup, figures::grid_datasets, mean_series,
+    run_strategy, ExperimentOpts, MatrixTable, Source, Strategy,
 };
 use comet_core::CostPolicy;
 use comet_jenga::{ErrorType, Scenario};
@@ -46,7 +46,13 @@ fn main() {
         for &baseline in &[Strategy::Fir, Strategy::Rr, Strategy::Cl] {
             let mut advantages: Vec<f64> = Vec::new();
             collect_advantages(
-                &mut advantages, algorithm, baseline, &datasets, costs, max_budget, &opts,
+                &mut advantages,
+                algorithm,
+                baseline,
+                &datasets,
+                costs,
+                max_budget,
+                &opts,
             );
             if !advantages.is_empty() {
                 let mean = advantages.iter().sum::<f64>() / advantages.len() as f64;
@@ -59,7 +65,13 @@ fn main() {
     for &algorithm in &ac_suite {
         let mut advantages: Vec<f64> = Vec::new();
         collect_advantages(
-            &mut advantages, algorithm, Strategy::Ac, &datasets, costs, max_budget, &opts,
+            &mut advantages,
+            algorithm,
+            Strategy::Ac,
+            &datasets,
+            costs,
+            max_budget,
+            &opts,
         );
         if !advantages.is_empty() {
             let mean = advantages.iter().sum::<f64>() / advantages.len() as f64;
@@ -80,7 +92,13 @@ fn main() {
             let mut advantages: Vec<f64> = Vec::new();
             for &algorithm in &comet_suite {
                 collect_single_error_advantages(
-                    &mut advantages, algorithm, baseline, err, &datasets, costs, max_budget,
+                    &mut advantages,
+                    algorithm,
+                    baseline,
+                    err,
+                    &datasets,
+                    costs,
+                    max_budget,
                     &opts,
                 );
             }

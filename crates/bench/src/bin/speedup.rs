@@ -1,0 +1,186 @@
+//! Speedup benchmark of the parallel estimation engine (threads + shared
+//! evaluation cache), emitting `BENCH_parallel.json` so the perf trajectory
+//! is tracked from PR to PR.
+//!
+//! **Workload.** For each `(dataset, seed)` cell the bin executes the same
+//! seeded multi-candidate cleaning session `RERUNS` times on clones of one
+//! prepared environment — the shape of every real consumer of the engine:
+//! the figure binaries re-run identical seeded sessions when regenerated,
+//! the strategy grid clones one base per strategy and repetition, and the
+//! determinism tests replay sessions verbatim.
+//!
+//! **Modes.** `sequential` replays the pre-PR engine: one worker thread and
+//! a cache cleared before every run, so each re-run pays the full
+//! O(candidates × variants) retraining bill. `parallel` is the shipped
+//! engine: `--threads` workers (default 4) fanning out candidates and
+//! variants, plus the content-keyed evaluation cache left warm across
+//! re-runs, so repeat evaluations of identical states skip retraining.
+//! Wall-clock is measured over all re-runs per mode; both modes must
+//! produce content-identical traces (checked and recorded).
+
+use comet_bench::{build_prepolluted_env, comet_config, ExperimentOpts};
+use comet_core::{CleaningEnvironment, CleaningSession, CleaningTrace, CostPolicy};
+use comet_datasets::Dataset;
+use comet_jenga::Scenario;
+use comet_ml::Algorithm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Re-runs of the identical seeded session per mode.
+const RERUNS: usize = 3;
+
+struct Cell {
+    dataset: String,
+    setting: usize,
+    seq_ms: f64,
+    par_ms: f64,
+    speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    deterministic: bool,
+}
+
+fn run_once(base: &CleaningEnvironment, session: &CleaningSession, seed: u64) -> CleaningTrace {
+    let mut env = base.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    session.run(&mut env, &mut rng).expect("session run").trace
+}
+
+/// Time `RERUNS` replays of the session at a given thread count. With
+/// `warm_cache` the shared evaluation cache persists across re-runs (the
+/// engine's behavior); without it the cache is wiped before every run
+/// (the pre-PR cost model).
+fn measure(
+    base: &CleaningEnvironment,
+    session: &CleaningSession,
+    seed: u64,
+    threads: usize,
+    warm_cache: bool,
+) -> (f64, Vec<CleaningTrace>) {
+    base.clear_eval_cache();
+    comet_par::with_threads(threads, || {
+        let start = Instant::now();
+        let traces = (0..RERUNS)
+            .map(|_| {
+                if !warm_cache {
+                    base.clear_eval_cache();
+                }
+                run_once(base, session, seed)
+            })
+            .collect();
+        (start.elapsed().as_secs_f64() * 1e3, traces)
+    })
+}
+
+fn json_cell(c: &Cell) -> String {
+    format!(
+        "    {{\"dataset\": \"{}\", \"setting\": {}, \"seq_ms\": {:.1}, \"par_ms\": {:.1}, \
+         \"speedup\": {:.2}, \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"cache_hit_rate\": {:.3}, \"deterministic\": {}}}",
+        c.dataset,
+        c.setting,
+        c.seq_ms,
+        c.par_ms,
+        c.speedup,
+        c.cache_hits,
+        c.cache_misses,
+        c.cache_hit_rate,
+        c.deterministic,
+    )
+}
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let par_threads = opts.threads.unwrap_or(4);
+    let n_seeds = opts.settings;
+    let algorithm = opts.algorithm_or(Algorithm::Knn);
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "speedup: sequential (1 thread, cold cache) vs parallel ({par_threads} threads, warm \
+         cache), {RERUNS} re-runs per mode, host parallelism {host}\n"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for dataset in [Dataset::Eeg, Dataset::Churn] {
+        for setting in 0..n_seeds {
+            let setup = build_prepolluted_env(
+                dataset,
+                algorithm,
+                Scenario::SingleError(comet_jenga::ErrorType::MissingValues),
+                setting,
+                &opts,
+            )
+            .unwrap_or_else(|e| panic!("{dataset}: {e}"));
+            let session = CleaningSession::new(
+                comet_config(&opts, CostPolicy::constant()),
+                setup.errors.clone(),
+            );
+            let seed = opts.child_seed("speedup", setting as u64);
+
+            let (seq_ms, seq_traces) = measure(&setup.env, &session, seed, 1, false);
+            let (par_ms, par_traces) = measure(&setup.env, &session, seed, par_threads, true);
+            let stats = setup.env.cache_stats();
+            let deterministic =
+                seq_traces.iter().chain(&par_traces).all(|t| t.content_eq(&seq_traces[0]));
+
+            let cell = Cell {
+                dataset: dataset.spec().name.to_lowercase().replace('-', ""),
+                setting,
+                seq_ms,
+                par_ms,
+                speedup: seq_ms / par_ms,
+                cache_hits: stats.hits,
+                cache_misses: stats.misses,
+                cache_hit_rate: stats.hit_rate(),
+                deterministic,
+            };
+            println!(
+                "{:>8} setting {}: seq {:>8.1} ms  par {:>8.1} ms  speedup {:.2}x  hit rate \
+                 {:.1}%  deterministic {}",
+                cell.dataset,
+                setting,
+                cell.seq_ms,
+                cell.par_ms,
+                cell.speedup,
+                100.0 * cell.cache_hit_rate,
+                cell.deterministic,
+            );
+            cells.push(cell);
+        }
+    }
+
+    let mean = |f: fn(&Cell) -> f64| cells.iter().map(f).sum::<f64>() / cells.len() as f64;
+    let mean_speedup = mean(|c| c.speedup);
+    let min_speedup = cells.iter().map(|c| c.speedup).fold(f64::INFINITY, f64::min);
+    let mean_hit_rate = mean(|c| c.cache_hit_rate);
+    let all_deterministic = cells.iter().all(|c| c.deterministic);
+
+    let rows = cells.iter().map(json_cell).collect::<Vec<_>>().join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_estimation_engine\",\n  \"workload\": \"{RERUNS} re-runs \
+         of a seeded {algorithm} cleaning session per cell (sequential = 1 thread + cold cache \
+         per run, parallel = {par_threads} threads + shared warm cache)\",\n  \
+         \"host_parallelism\": {host},\n  \"threads_sequential\": 1,\n  \
+         \"threads_parallel\": {par_threads},\n  \"reruns_per_mode\": {RERUNS},\n  \
+         \"rows\": {rows_opt},\n  \"budget\": {budget},\n  \"results\": [\n{rows}\n  ],\n  \
+         \"summary\": {{\"mean_speedup\": {mean_speedup:.2}, \"min_speedup\": {min_speedup:.2}, \
+         \"mean_cache_hit_rate\": {mean_hit_rate:.3}, \"all_deterministic\": \
+         {all_deterministic}}}\n}}\n",
+        rows_opt = opts.rows.map_or("null".into(), |r| r.to_string()),
+        budget = opts.budget,
+    );
+    std::fs::create_dir_all(&opts.out_dir).expect("create output directory");
+    let path = format!("{}/BENCH_parallel.json", opts.out_dir);
+    std::fs::write(&path, &json).expect("write BENCH_parallel.json");
+    println!(
+        "\nmean speedup {mean_speedup:.2}x (min {min_speedup:.2}x), mean cache hit rate \
+         {:.1}%, all deterministic: {all_deterministic}\nwrote {path}",
+        100.0 * mean_hit_rate,
+    );
+    if !all_deterministic {
+        eprintln!("ERROR: parallel traces diverged from sequential ones");
+        std::process::exit(1);
+    }
+}

@@ -15,7 +15,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
     println!("== Table 1: Overview of our used datasets ==");
-    println!("{:<12}{:>9}{:>8}{:>8}{:>9}{:>12}", "Name", "# Rows", "# Cat.", "# Num.", "# Class", "errors");
+    println!(
+        "{:<12}{:>9}{:>8}{:>8}{:>9}{:>12}",
+        "Name", "# Rows", "# Cat.", "# Num.", "# Class", "errors"
+    );
     let mut csv = String::from("name,rows,categorical,numeric,classes,cleanml_errors\n");
     for dataset in Dataset::ALL {
         let spec = dataset.spec();

@@ -52,30 +52,42 @@ pub fn dataset_advantage_table(
     let mut comet_all: Vec<Vec<f64>> = Vec::with_capacity(opts.settings);
     let mut adv_all: Vec<Vec<Vec<f64>>> = vec![Vec::new(); baselines.len()];
 
-    for setting in 0..opts.settings {
-        let setup = build_setup(source, dataset, algorithm, setting, opts)?;
-        let comet_traces = run_strategy(
-            Strategy::Comet,
-            &setup.env,
-            &setup.errors,
-            costs,
-            opts,
-            opts.child_seed(&format!("{name}-comet"), setting as u64),
-        )?;
-        let comet = f1_series(&comet_traces, max_budget);
-        for (i, &baseline) in baselines.iter().enumerate() {
-            let traces = run_strategy(
-                baseline,
+    // Settings are independent repetitions with their own derived seeds, so
+    // they fan out across workers; results come back in setting order, so
+    // the averaged series match the sequential run exactly.
+    type SettingSeries = (Vec<f64>, Vec<Vec<f64>>);
+    let per_setting: Vec<Result<SettingSeries, EnvError>> =
+        comet_par::par_map((0..opts.settings).collect(), |setting| {
+            let setup = build_setup(source, dataset, algorithm, setting, opts)?;
+            let comet_traces = run_strategy(
+                Strategy::Comet,
                 &setup.env,
                 &setup.errors,
                 costs,
                 opts,
-                opts.child_seed(&format!("{name}-{}", baseline.label()), setting as u64),
+                opts.child_seed(&format!("{name}-comet"), setting as u64),
             )?;
-            let series = f1_series(&traces, max_budget);
-            adv_all[i].push(advantage(&comet, &series));
-        }
+            let comet = f1_series(&comet_traces, max_budget);
+            let mut advs = Vec::with_capacity(baselines.len());
+            for &baseline in baselines {
+                let traces = run_strategy(
+                    baseline,
+                    &setup.env,
+                    &setup.errors,
+                    costs,
+                    opts,
+                    opts.child_seed(&format!("{name}-{}", baseline.label()), setting as u64),
+                )?;
+                advs.push(advantage(&comet, &f1_series(&traces, max_budget)));
+            }
+            Ok((comet, advs))
+        });
+    for result in per_setting {
+        let (comet, advs) = result?;
         comet_all.push(comet);
+        for (i, adv) in advs.into_iter().enumerate() {
+            adv_all[i].push(adv);
+        }
     }
 
     let mut table = SeriesTable::over_budget(name, max_budget);
@@ -96,18 +108,21 @@ pub fn comet_traces_for_cell(
     costs: CostPolicy,
     opts: &ExperimentOpts,
 ) -> Result<Vec<CleaningTrace>, EnvError> {
+    let per_setting: Vec<Result<Vec<CleaningTrace>, EnvError>> =
+        comet_par::par_map((0..opts.settings).collect(), |setting| {
+            let setup = build_setup(source, dataset, algorithm, setting, opts)?;
+            run_strategy(
+                Strategy::Comet,
+                &setup.env,
+                &setup.errors,
+                costs,
+                opts,
+                opts.child_seed(tag, setting as u64),
+            )
+        });
     let mut traces = Vec::with_capacity(opts.settings);
-    for setting in 0..opts.settings {
-        let setup = build_setup(source, dataset, algorithm, setting, opts)?;
-        let mut runs = run_strategy(
-            Strategy::Comet,
-            &setup.env,
-            &setup.errors,
-            costs,
-            opts,
-            opts.child_seed(tag, setting as u64),
-        )?;
-        traces.append(&mut runs);
+    for runs in per_setting {
+        traces.append(&mut runs?);
     }
     Ok(traces)
 }

@@ -25,6 +25,9 @@ pub struct ExperimentOpts {
     pub out_dir: String,
     /// Quick mode (reduced scale)?
     pub quick: bool,
+    /// Worker-thread override for the parallel engine (`None` = the
+    /// `COMET_THREADS` env var, falling back to the machine's parallelism).
+    pub threads: Option<usize>,
 }
 
 impl Default for ExperimentOpts {
@@ -48,6 +51,7 @@ impl ExperimentOpts {
             rr_repetitions: 3,
             out_dir: "bench_results".into(),
             quick: true,
+            threads: None,
         }
     }
 
@@ -65,6 +69,7 @@ impl ExperimentOpts {
             rr_repetitions: 5,
             out_dir: "bench_results".into(),
             quick: false,
+            threads: None,
         }
     }
 
@@ -76,54 +81,54 @@ impl ExperimentOpts {
         let mut explicit_budget = None;
         let mut explicit_settings = None;
         while let Some(arg) = iter.next() {
-            let mut value_of = |name: &str| {
-                iter.next().ok_or_else(|| format!("{name} needs a value"))
-            };
+            let mut value_of =
+                |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
             match arg.as_str() {
                 "--quick" => {}
                 "--full" => {
                     let out = opts.out_dir.clone();
                     let seed = opts.seed;
+                    let threads = opts.threads;
                     opts = ExperimentOpts::full();
                     opts.out_dir = out;
                     opts.seed = seed;
+                    opts.threads = threads;
                 }
                 "--seed" => {
-                    opts.seed = value_of("--seed")?
-                        .parse()
-                        .map_err(|e| format!("--seed: {e}"))?;
+                    opts.seed = value_of("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
                 }
                 "--rows" => {
-                    explicit_rows = Some(
-                        value_of("--rows")?.parse().map_err(|e| format!("--rows: {e}"))?,
-                    );
+                    explicit_rows =
+                        Some(value_of("--rows")?.parse().map_err(|e| format!("--rows: {e}"))?);
                 }
                 "--budget" => {
-                    explicit_budget = Some(
-                        value_of("--budget")?
-                            .parse()
-                            .map_err(|e| format!("--budget: {e}"))?,
-                    );
+                    explicit_budget =
+                        Some(value_of("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?);
                 }
                 "--settings" => {
                     explicit_settings = Some(
-                        value_of("--settings")?
-                            .parse()
-                            .map_err(|e| format!("--settings: {e}"))?,
+                        value_of("--settings")?.parse().map_err(|e| format!("--settings: {e}"))?,
                     );
                 }
                 "--algo" => {
                     let name = value_of("--algo")?;
-                    opts.algo = Some(
-                        Algorithm::parse(&name).ok_or(format!("unknown algorithm {name:?}"))?,
-                    );
+                    opts.algo =
+                        Some(Algorithm::parse(&name).ok_or(format!("unknown algorithm {name:?}"))?);
                 }
                 "--out" => {
                     opts.out_dir = value_of("--out")?;
                 }
+                "--threads" => {
+                    let n: usize =
+                        value_of("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    opts.threads = Some(n);
+                }
                 "--help" | "-h" => {
                     return Err("usage: [--quick|--full] [--seed N] [--rows N] [--budget N] \
-                                [--settings N] [--algo NAME] [--out DIR]"
+                                [--settings N] [--algo NAME] [--out DIR] [--threads N]"
                         .into());
                 }
                 other => return Err(format!("unknown argument {other:?}")),
@@ -142,13 +147,27 @@ impl ExperimentOpts {
     }
 
     /// Parse the process arguments, exiting with the usage string on error.
+    /// A `--threads` override is applied to the parallel engine immediately,
+    /// so every experiment binary honours it without extra wiring.
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
-            Ok(opts) => opts,
+            Ok(opts) => {
+                opts.apply_threads();
+                opts
+            }
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
             }
+        }
+    }
+
+    /// Install the `--threads` override (if any) as the process-global
+    /// worker count. A `None` leaves the `COMET_THREADS` env var (or the
+    /// machine default) in charge.
+    pub fn apply_threads(&self) {
+        if self.threads.is_some() {
+            comet_par::set_global_threads(self.threads);
         }
     }
 
@@ -220,6 +239,16 @@ mod tests {
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--algo", "alexnet"]).is_err());
         assert!(parse(&["--help"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "many"]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_survives_full() {
+        assert_eq!(parse(&[]).unwrap().threads, None);
+        assert_eq!(parse(&["--threads", "4"]).unwrap().threads, Some(4));
+        // Like --seed and --out, the override survives a later --full.
+        assert_eq!(parse(&["--threads", "2", "--full"]).unwrap().threads, Some(2));
     }
 
     #[test]

@@ -51,10 +51,7 @@ impl SeriesTable {
 
     /// Column by label.
     pub fn get(&self, label: &str) -> Option<&[f64]> {
-        self.columns
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|(_, s)| s.as_slice())
+        self.columns.iter().find(|(l, _)| l == label).map(|(_, s)| s.as_slice())
     }
 
     /// Render as an aligned text table.

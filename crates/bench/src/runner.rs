@@ -153,17 +153,12 @@ mod tests {
             &opts,
         )
         .unwrap();
-        for strategy in [Strategy::Comet, Strategy::Rr, Strategy::Fir, Strategy::Cl, Strategy::Oracle]
+        for strategy in
+            [Strategy::Comet, Strategy::Rr, Strategy::Fir, Strategy::Cl, Strategy::Oracle]
         {
-            let traces = run_strategy(
-                strategy,
-                &setup.env,
-                &setup.errors,
-                CostPolicy::constant(),
-                &opts,
-                1,
-            )
-            .unwrap();
+            let traces =
+                run_strategy(strategy, &setup.env, &setup.errors, CostPolicy::constant(), &opts, 1)
+                    .unwrap();
             let expected = if strategy == Strategy::Rr { 2 } else { 1 };
             assert_eq!(traces.len(), expected, "{strategy:?}");
             for t in &traces {

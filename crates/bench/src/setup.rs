@@ -163,11 +163,7 @@ mod tests {
     use super::*;
 
     fn tiny_opts() -> ExperimentOpts {
-        ExperimentOpts {
-            rows: Some(150),
-            search_samples: 1,
-            ..ExperimentOpts::quick()
-        }
+        ExperimentOpts { rows: Some(150), search_samples: 1, ..ExperimentOpts::quick() }
     }
 
     #[test]

@@ -38,9 +38,7 @@ impl CostModel {
                     rest
                 }
             }
-            CostModel::Linear { initial, increment } => {
-                initial + increment * steps_done as f64
-            }
+            CostModel::Linear { initial, increment } => initial + increment * steps_done as f64,
         }
     }
 

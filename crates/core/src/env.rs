@@ -16,7 +16,9 @@ use comet_jenga::{ErrorType, GroundTruth, Provenance};
 use comet_ml::{Algorithm, Featurizer, HyperParams, Metric, RandomSearch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Errors from environment operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +68,98 @@ pub struct StateSnapshot {
     prov_test: Vec<Option<ErrorType>>,
 }
 
+/// Hit/miss/size counters of the evaluation cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Evaluations answered from the cache.
+    pub hits: u64,
+    /// Evaluations that had to train a model.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Entries kept before the evaluation cache is cleared wholesale. Each
+/// entry is two u64 keys + one f64, so the cap bounds memory at ~1.5 MiB.
+const EVAL_CACHE_CAP: usize = 65_536;
+
+/// Memoized `(train, test) -> score` evaluations, keyed by frame content
+/// fingerprints. Interior-mutable so `evaluate_frames` can stay `&self`
+/// (and therefore usable from worker threads); `Mutex` rather than
+/// `RefCell` keeps [`CleaningEnvironment`] `Sync`. The `Arc` makes the
+/// cache *shared between clones* of an environment: the bench grid clones
+/// one prepared base per strategy and repetition, and every clone trains
+/// the identical model, so evaluations of content-identical states are
+/// interchangeable across the whole family.
+#[derive(Debug, Default)]
+struct EvalCache {
+    inner: Arc<Mutex<EvalCacheInner>>,
+}
+
+#[derive(Debug, Default)]
+struct EvalCacheInner {
+    map: HashMap<(u64, u64), f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EvalCache {
+    fn lookup(&self, key: (u64, u64)) -> Option<f64> {
+        let mut inner = self.inner.lock().expect("unpoisoned eval cache");
+        match inner.map.get(&key).copied() {
+            Some(score) => {
+                inner.hits += 1;
+                Some(score)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: (u64, u64), score: f64) {
+        let mut inner = self.inner.lock().expect("unpoisoned eval cache");
+        if inner.map.len() >= EVAL_CACHE_CAP {
+            inner.map.clear();
+        }
+        inner.map.insert(key, score);
+    }
+
+    fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("unpoisoned eval cache");
+        CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.map.len() }
+    }
+
+    fn clear(&self) {
+        let mut inner = self.inner.lock().expect("unpoisoned eval cache");
+        inner.map.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
+impl Clone for EvalCache {
+    /// Clones share one cache: entries are keyed by frame *content* and
+    /// the clone trains the identical model, so a score computed by any
+    /// member of the clone family answers the same lookup in all of them.
+    fn clone(&self) -> Self {
+        EvalCache { inner: Arc::clone(&self.inner) }
+    }
+}
+
 /// The simulated world: dirty data + hidden ground truth + a fixed model.
 #[derive(Debug, Clone)]
 pub struct CleaningEnvironment {
@@ -81,6 +175,7 @@ pub struct CleaningEnvironment {
     step_train: usize,
     step_test: usize,
     eval_seed: u64,
+    eval_cache: EvalCache,
 }
 
 impl CleaningEnvironment {
@@ -133,6 +228,7 @@ impl CleaningEnvironment {
             step_train,
             step_test,
             eval_seed,
+            eval_cache: EvalCache::default(),
         })
     }
 
@@ -177,8 +273,15 @@ impl CleaningEnvironment {
     }
 
     /// Train and evaluate the model on arbitrary frames (used by the
-    /// Polluter's what-if variants). Deterministic given the data.
+    /// Polluter's what-if variants). Deterministic given the data, which
+    /// makes the result memoizable: repeat evaluations of content-identical
+    /// frame pairs are answered from a fingerprint-keyed cache. Takes
+    /// `&self`, so worker threads can evaluate candidates concurrently.
     pub fn evaluate_frames(&self, train: &DataFrame, test: &DataFrame) -> Result<f64, EnvError> {
+        let key = (train.fingerprint(), test.fingerprint());
+        if let Some(score) = self.eval_cache.lookup(key) {
+            return Ok(score);
+        }
         let featurizer = Featurizer::fit(train)?;
         let xtr = featurizer.transform(train)?;
         let xte = featurizer.transform(test)?;
@@ -187,7 +290,21 @@ impl CleaningEnvironment {
         let mut model = self.model.params.build();
         let mut rng = StdRng::seed_from_u64(self.eval_seed);
         model.fit(&xtr, &ytr, self.n_classes, &mut rng);
-        Ok(self.metric.eval(&yte, &model.predict(&xte), self.n_classes))
+        let score = self.metric.eval(&yte, &model.predict(&xte), self.n_classes);
+        self.eval_cache.insert(key, score);
+        Ok(score)
+    }
+
+    /// Evaluation-cache counters (hits, misses, live entries).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.eval_cache.stats()
+    }
+
+    /// Drop all cached evaluations and reset the counters (benchmarks use
+    /// this to compare cold against warm runs). The cache is shared with
+    /// every clone of this environment, so clearing affects all of them.
+    pub fn clear_eval_cache(&self) {
+        self.eval_cache.clear();
     }
 
     /// Evaluate the model on the current state.
@@ -208,8 +325,7 @@ impl CleaningEnvironment {
     /// True while feature `col` still carries `err`-type dirt in either
     /// split — the simulated Cleaner's "not yet marked clean" signal.
     pub fn pair_dirty(&self, col: usize, err: ErrorType) -> bool {
-        !self.dirty_train_rows(col, err).is_empty()
-            || !self.dirty_test_rows(col, err).is_empty()
+        !self.dirty_train_rows(col, err).is_empty() || !self.dirty_test_rows(col, err).is_empty()
     }
 
     /// All `(feature, error type)` pairs still dirty, restricted to the
@@ -325,10 +441,7 @@ impl CleaningEnvironment {
     /// Ground-truth dirty rows per split for a column, regardless of error
     /// type (used by the Oracle and by record-wise strategies).
     pub fn gt_dirty_rows(&self, col: usize) -> Result<(Vec<usize>, Vec<usize>), EnvError> {
-        Ok((
-            self.gt_train.dirty_rows(&self.train, col)?,
-            self.gt_test.dirty_rows(&self.test, col)?,
-        ))
+        Ok((self.gt_train.dirty_rows(&self.train, col)?, self.gt_test.dirty_rows(&self.test, col)?))
     }
 }
 
@@ -435,6 +548,49 @@ mod tests {
     }
 
     #[test]
+    fn repeat_evaluation_hits_cache() {
+        let env = make_env(2);
+        assert_eq!(env.cache_stats(), CacheStats::default());
+        let a = env.evaluate().unwrap();
+        let stats = env.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+        let b = env.evaluate().unwrap();
+        assert_eq!(a, b);
+        let stats = env.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_invalidated_by_data_change() {
+        let mut env = make_env(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        env.evaluate().unwrap();
+        env.clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng).unwrap();
+        env.evaluate().unwrap();
+        // Different content fingerprint, so the second evaluation must miss.
+        let stats = env.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+    }
+
+    #[test]
+    fn cloned_environment_shares_warm_cache() {
+        let env = make_env(2);
+        let a = env.evaluate().unwrap();
+        let clone = env.clone();
+        let b = clone.evaluate().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(clone.cache_stats().hits, 1);
+        // The cache is shared both ways: entries computed by the clone are
+        // visible to the original, and clearing clears the whole family.
+        let original_stats = env.cache_stats();
+        assert_eq!(original_stats.hits, 1);
+        env.clear_eval_cache();
+        assert_eq!(env.cache_stats(), CacheStats::default());
+        assert_eq!(clone.cache_stats().entries, 0);
+    }
+
+    #[test]
     fn candidate_pairs_track_dirt() {
         let env = make_env(3);
         let pairs = env.candidate_pairs(&[ErrorType::MissingValues]);
@@ -450,9 +606,7 @@ mod tests {
         let mut env = make_env(4);
         let mut rng = StdRng::seed_from_u64(0);
         let before = env.total_dirty().unwrap();
-        let (ctr, cte) = env
-            .clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng)
-            .unwrap();
+        let (ctr, cte) = env.clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng).unwrap();
         assert!(ctr > 0 && ctr <= env.step_train());
         assert!(cte <= env.step_test());
         let after = env.total_dirty().unwrap();

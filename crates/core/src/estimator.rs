@@ -60,7 +60,9 @@ impl Estimator {
 
     /// Step 1 + Step 2 (Eqs. 2–3): evaluate every polluted variant, regress
     /// F1 on pollution steps, and predict the F1 one *cleaning* step away
-    /// (x = −1) with uncertainty.
+    /// (x = −1) with uncertainty. Variant evaluations are independent model
+    /// fits, so they fan out across worker threads; results are collected
+    /// in variant order, keeping the regression points deterministic.
     pub fn estimate(
         &self,
         env: &CleaningEnvironment,
@@ -70,13 +72,16 @@ impl Estimator {
         variants: &[PollutedVariant],
     ) -> Result<Estimate, EnvError> {
         assert!(!variants.is_empty(), "need at least one polluted variant");
+        let scores: Vec<Result<f64, EnvError>> = comet_par::par_map_indexed(variants.len(), |i| {
+            env.evaluate_frames(&variants[i].train, &variants[i].test)
+        });
         let mut points: Vec<(f64, f64)> = Vec::with_capacity(variants.len() + 1);
         points.push((0.0, current_f1));
         let mut flagged_train = Vec::new();
         let mut flagged_test = Vec::new();
-        for v in variants {
+        for (v, score) in variants.iter().zip(scores) {
             debug_assert_eq!((v.col, v.err), (col, err));
-            let f1 = env.evaluate_frames(&v.train, &v.test)?;
+            let f1 = score?;
             points.push((v.steps as f64, f1));
             if v.steps == 1 {
                 // Union of first-step rows across combinations = the set of
@@ -102,11 +107,8 @@ impl Estimator {
         let pred = blr.predict(-1.0);
         // F1 lives in [0, 1]; the linear extrapolation may leave it.
         let raw = pred.mean.clamp(0.0, 1.0);
-        let corrected = if self.bias_correction {
-            (raw + self.bias(col, err)).clamp(0.0, 1.0)
-        } else {
-            raw
-        };
+        let corrected =
+            if self.bias_correction { (raw + self.bias(col, err)).clamp(0.0, 1.0) } else { raw };
         Ok(Estimate {
             col,
             err,
@@ -129,10 +131,7 @@ impl Estimator {
     /// are corrected (§3.3: the Estimator adjusts even when the Recommender
     /// reverts the step).
     pub fn record_outcome(&mut self, col: usize, err: ErrorType, raw_predicted: f64, actual: f64) {
-        self.discrepancies
-            .entry((col, err))
-            .or_default()
-            .push(actual - raw_predicted);
+        self.discrepancies.entry((col, err)).or_default().push(actual - raw_predicted);
     }
 
     /// Number of recorded outcomes (diagnostics).

@@ -40,7 +40,7 @@ mod trace;
 pub use budget::Budget;
 pub use config::CometConfig;
 pub use cost::{CostModel, CostPolicy};
-pub use env::{CleaningEnvironment, EnvError, ModelSpec, StateSnapshot};
+pub use env::{CacheStats, CleaningEnvironment, EnvError, ModelSpec, StateSnapshot};
 pub use estimator::{Estimate, Estimator};
 pub use polluter::{PollutedVariant, Polluter};
 pub use recommender::{Candidate, Recommender};

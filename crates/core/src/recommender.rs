@@ -56,11 +56,16 @@ impl Recommender {
                 Candidate { estimate, cost, score }
             })
             .collect();
+        // `total_cmp` over a NaN-sanitized key, not `partial_cmp(..)
+        // .expect(..)`: a degenerate regression (e.g. zero-variance points)
+        // can produce a NaN score, and ranking must not panic mid-session.
+        // NaN maps to -∞ so such candidates sink to the end of the list
+        // (in `total_cmp`'s raw order +NaN would rank *above* +∞).
+        let sort_key = |c: &Candidate| if c.score.is_nan() { f64::NEG_INFINITY } else { c.score };
         out.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("finite scores")
-                .then_with(|| (a.estimate.col, a.estimate.err).cmp(&(b.estimate.col, b.estimate.err)))
+            sort_key(b).total_cmp(&sort_key(a)).then_with(|| {
+                (a.estimate.col, a.estimate.err).cmp(&(b.estimate.col, b.estimate.err))
+            })
         });
         out
     }
@@ -105,11 +110,7 @@ impl Recommender {
             .iter()
             .copied()
             .filter(|key| self.post_clean_f1.contains_key(key))
-            .max_by(|a, b| {
-                self.post_clean_f1[a]
-                    .partial_cmp(&self.post_clean_f1[b])
-                    .expect("finite F1")
-            })
+            .max_by(|a, b| self.post_clean_f1[a].total_cmp(&self.post_clean_f1[b]))
             .or_else(|| dirty.first().copied())
     }
 }
@@ -170,6 +171,43 @@ mod tests {
         let ests = vec![estimate(0, 0.1, 0.09), estimate(1, 0.08, 0.0)];
         let ranked = r.rank(ests, &[1.0, 1.0]);
         assert_eq!(ranked[0].estimate.col, 1);
+    }
+
+    #[test]
+    fn rank_survives_nan_scores_and_sinks_them() {
+        // Regression: a NaN score (degenerate regression output) used to
+        // panic the `partial_cmp(..).expect(..)` comparator mid-session.
+        let r = Recommender::new(true);
+        let mut poisoned = estimate(0, 0.1, 0.0);
+        poisoned.predicted_f1 = f64::NAN; // gain() = NaN > 0.0 is false…
+        let ests = vec![poisoned, estimate(1, 0.05, 0.0), estimate(2, 0.2, 0.0)];
+        let ranked = r.rank(ests, &[1.0, 1.0, 1.0]);
+        // …so the NaN-gain candidate is filtered; the rest rank normally.
+        let cols: Vec<usize> = ranked.iter().map(|c| c.estimate.col).collect();
+        assert_eq!(cols, vec![2, 1]);
+
+        // A NaN *uncertainty* passes the gain filter but must sort last,
+        // never first, and never panic.
+        let mut nan_unc = estimate(3, 0.9, 0.0);
+        nan_unc.uncertainty = f64::NAN;
+        let ests = vec![nan_unc, estimate(1, 0.05, 0.0), estimate(2, 0.2, 0.0)];
+        let ranked = r.rank(ests, &[1.0, 1.0, 1.0]);
+        let cols: Vec<usize> = ranked.iter().map(|c| c.estimate.col).collect();
+        assert_eq!(cols, vec![2, 1, 3]);
+        assert!(ranked[2].score.is_nan());
+    }
+
+    #[test]
+    fn fallback_survives_nan_history() {
+        let mut r = Recommender::new(true);
+        let dirty = vec![(0, ErrorType::MissingValues), (1, ErrorType::MissingValues)];
+        r.record_post_clean_f1(0, ErrorType::MissingValues, f64::NAN);
+        r.record_post_clean_f1(1, ErrorType::MissingValues, 0.4);
+        // Must not panic; NaN history ranks above finite in total order is
+        // acceptable — the invariant is a deterministic, panic-free pick.
+        let pick = r.fallback(&dirty);
+        assert!(pick.is_some());
+        assert_eq!(r.fallback(&dirty), pick);
     }
 
     #[test]

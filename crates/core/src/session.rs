@@ -4,14 +4,29 @@
 use crate::budget::Budget;
 use crate::config::CometConfig;
 use crate::env::{CleaningEnvironment, EnvError};
-use crate::estimator::Estimator;
+use crate::estimator::{Estimate, Estimator};
 use crate::polluter::Polluter;
 use crate::recommender::Recommender;
 use crate::trace::{CleaningTrace, StepAction, StepRecord};
 use comet_jenga::ErrorType;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Derive the private rng seed of one candidate's what-if pollution from
+/// the session seed and the candidate's identity (FxHash-style mixing).
+/// Giving every `(col, err, iteration)` its own stream — instead of letting
+/// candidates share the session rng — is what makes the parallel candidate
+/// fan-out produce traces bit-identical to a sequential run.
+fn candidate_seed(session_seed: u64, col: usize, err: ErrorType, iteration: usize) -> u64 {
+    const M: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h = session_seed;
+    for w in [col as u64, err as u64, iteration as u64] {
+        h = (h.rotate_left(5) ^ w).wrapping_mul(M);
+    }
+    h
+}
 
 /// A configured COMET run over a fixed set of candidate error types
 /// (single-error scenario: one type; multi-error: all four).
@@ -65,6 +80,11 @@ impl CleaningSession {
         };
         let mut current_f1 = trace.initial_f1;
 
+        // All candidate randomness derives from this one draw (see
+        // [`candidate_seed`]); the caller's rng is then only consumed by the
+        // strictly sequential cleaning steps.
+        let session_seed: u64 = rng.next_u64();
+
         for iteration in 0..10_000usize {
             if budget.exhausted() {
                 break;
@@ -75,16 +95,31 @@ impl CleaningSession {
             }
 
             // --- Produce the recommendation (the RQ6-timed phase). ---
+            // Candidates are independent given their derived seeds, so the
+            // pollute → estimate pipeline fans out across worker threads.
+            // `par_map` returns results in `dirty_pairs` order, making the
+            // ranking input — and hence the whole trace — independent of
+            // the thread count.
             let started = Instant::now();
-            let mut estimates = Vec::with_capacity(dirty_pairs.len());
-            let mut costs = Vec::with_capacity(dirty_pairs.len());
-            for &(col, err) in &dirty_pairs {
-                let variants = polluter.variants(env, col, err, rng)?;
-                let estimate = estimator.estimate(env, col, err, current_f1, &variants)?;
-                let done = steps_done.get(&(col, err)).copied().unwrap_or(0);
-                costs.push(self.config.costs.next_cost(err, done));
-                estimates.push(estimate);
-            }
+            let estimates: Vec<Estimate> = {
+                let env_ref: &CleaningEnvironment = env;
+                let estimator_ref = &estimator;
+                comet_par::par_map(dirty_pairs.clone(), |(col, err)| {
+                    let seed = candidate_seed(session_seed, col, err, iteration);
+                    let mut cand_rng = StdRng::seed_from_u64(seed);
+                    let variants = polluter.variants(env_ref, col, err, &mut cand_rng)?;
+                    estimator_ref.estimate(env_ref, col, err, current_f1, &variants)
+                })
+                .into_iter()
+                .collect::<Result<_, EnvError>>()?
+            };
+            let costs: Vec<f64> = dirty_pairs
+                .iter()
+                .map(|&(col, err)| {
+                    let done = steps_done.get(&(col, err)).copied().unwrap_or(0);
+                    self.config.costs.next_cost(err, done)
+                })
+                .collect();
             let ranked = recommender.rank(estimates, &costs);
             trace.iteration_runtimes.push(started.elapsed());
 
@@ -151,8 +186,7 @@ impl CleaningSession {
                                 f1,
                             );
                         }
-                        let keep =
-                            f1 >= current_f1 - 1e-12 || !self.config.revert_on_decrease;
+                        let keep = f1 >= current_f1 - 1e-12 || !self.config.revert_on_decrease;
                         if keep {
                             current_f1 = f1;
                         } else {
@@ -204,8 +238,7 @@ impl CleaningSession {
                 // A buffered cleaned state re-applies for free (§3.3).
                 if recommender.buffer_contains(col, err) {
                     let pre = env.snapshot(col)?;
-                    let buffered =
-                        recommender.buffer_take(col, err).expect("checked contains");
+                    let buffered = recommender.buffer_take(col, err).expect("checked contains");
                     env.restore(&buffered)?;
                     let f1 = env.evaluate()?;
                     if f1 >= current_f1 - 1e-12 {
@@ -384,10 +417,8 @@ mod tests {
         let mut test = tt.test;
         let mut prov_train = Provenance::for_frame(&train);
         let mut prov_test = Provenance::for_frame(&test);
-        let plan = PrePollutionPlan::explicit(
-            Scenario::SingleError(ErrorType::MissingValues),
-            levels,
-        );
+        let plan =
+            PrePollutionPlan::explicit(Scenario::SingleError(ErrorType::MissingValues), levels);
         plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
         plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
         CleaningEnvironment::new(
@@ -438,8 +469,7 @@ mod tests {
     #[test]
     fn ample_budget_fully_cleans() {
         let mut env = build_env(2, 200, vec![(0, 0.25)], Algorithm::Knn);
-        let session =
-            CleaningSession::new(quick_config(1_000.0), vec![ErrorType::MissingValues]);
+        let session = CleaningSession::new(quick_config(1_000.0), vec![ErrorType::MissingValues]);
         let mut rng = StdRng::seed_from_u64(1);
         session.run(&mut env, &mut rng).unwrap();
         // With an effectively unlimited budget the fallback keeps cleaning
@@ -460,8 +490,7 @@ mod tests {
             // which features carry the planted signal.
             let levels: Vec<(usize, f64)> = (0..14).map(|c| (c, 0.35)).collect();
             let mut env = build_env(seed, 300, levels, Algorithm::Knn);
-            let session =
-                CleaningSession::new(quick_config(30.0), vec![ErrorType::MissingValues]);
+            let session = CleaningSession::new(quick_config(30.0), vec![ErrorType::MissingValues]);
             let mut rng = StdRng::seed_from_u64(seed);
             let outcome = session.run(&mut env, &mut rng).unwrap();
             let delta = outcome.trace.final_f1 - outcome.trace.initial_f1;
@@ -536,8 +565,8 @@ mod tests {
         let mut test = tt.test;
         let mut prov_train = Provenance::for_frame(&train);
         let mut prov_test = Provenance::for_frame(&test);
-        let plan = PrePollutionPlan::sample(&train, Scenario::MultiError, 0.15, 0.4, &mut rng)
-            .unwrap();
+        let plan =
+            PrePollutionPlan::sample(&train, Scenario::MultiError, 0.15, 0.4, &mut rng).unwrap();
         plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
         plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
         let mut env = CleaningEnvironment::new(
@@ -588,10 +617,8 @@ mod tests {
         let mut test = tt.test;
         let mut prov_train = Provenance::for_frame(&train);
         let mut prov_test = Provenance::for_frame(&test);
-        let plan = PrePollutionPlan::explicit(
-            Scenario::SingleError(ErrorType::MissingValues),
-            levels,
-        );
+        let plan =
+            PrePollutionPlan::explicit(Scenario::SingleError(ErrorType::MissingValues), levels);
         plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
         plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
         CleaningEnvironment::new(
@@ -630,9 +657,9 @@ mod tests {
         for r in &trace.records {
             by_iteration.entry(r.iteration).or_default().push(r);
         }
-        let batched = by_iteration.values().any(|rs| {
-            rs.len() > 1 && rs.iter().all(|r| r.actual_f1 == rs[0].actual_f1)
-        });
+        let batched = by_iteration
+            .values()
+            .any(|rs| rs.len() > 1 && rs.iter().all(|r| r.actual_f1 == rs[0].actual_f1));
         assert!(batched, "expected at least one multi-feature batch");
     }
 
@@ -640,5 +667,56 @@ mod tests {
     fn batch_size_zero_rejected() {
         let config = CometConfig { batch_size: 0, ..CometConfig::default() };
         assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn parallel_trace_bit_identical_to_sequential() {
+        // The determinism contract of the parallel engine: one thread and
+        // four threads must produce content-identical traces from the same
+        // seed. Candidate rng streams derive from the session seed, and
+        // par_map returns results in input order, so nothing the session
+        // records may depend on scheduling.
+        let env0 = build_env(31, 240, vec![(0, 0.3), (1, 0.25), (2, 0.2)], Algorithm::Knn);
+        let session = CleaningSession::new(quick_config(10.0), vec![ErrorType::MissingValues]);
+        let run_with = |threads: usize| {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let mut rng = StdRng::seed_from_u64(77);
+            comet_par::with_threads(threads, || session.run(&mut env, &mut rng).unwrap())
+        };
+        let sequential = run_with(1);
+        let parallel = run_with(4);
+        assert!(
+            sequential.trace.content_eq(&parallel.trace),
+            "threads must not change the trace:\nseq: {:?}\npar: {:?}",
+            sequential.trace.records,
+            parallel.trace.records,
+        );
+        assert!(!sequential.trace.records.is_empty(), "trivial traces prove nothing");
+    }
+
+    #[test]
+    fn warm_cache_does_not_change_the_trace() {
+        // Cached evaluations are bit-identical to recomputed ones, so a
+        // session starting with a pre-warmed cache must produce the same
+        // trace as one starting cold.
+        let env0 = build_env(32, 200, vec![(0, 0.3), (1, 0.2)], Algorithm::Knn);
+        let session = CleaningSession::new(quick_config(8.0), vec![ErrorType::MissingValues]);
+
+        let mut cold_env = env0.clone();
+        cold_env.clear_eval_cache();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cold = session.run(&mut cold_env, &mut rng).unwrap();
+
+        // Warm env0's cache (evaluate is &self; clones share the entries —
+        // the cold run above already contributed to the same shared cache).
+        env0.evaluate().unwrap();
+        env0.fully_cleaned_f1().unwrap();
+        let mut warm_env = env0.clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        let warm = session.run(&mut warm_env, &mut rng).unwrap();
+
+        assert!(warm_env.cache_stats().hits > 0, "warm run must actually hit the cache");
+        assert!(cold.trace.content_eq(&warm.trace));
     }
 }

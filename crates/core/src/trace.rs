@@ -18,7 +18,7 @@ pub enum StepAction {
 }
 
 /// One attempted cleaning step.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepRecord {
     /// Outer-loop iteration this attempt belongs to.
     pub iteration: usize,
@@ -84,11 +84,8 @@ impl CleaningTrace {
     /// Mean absolute error between predicted and measured F1 over all steps
     /// that carried a prediction (RQ 5). `None` if no step did.
     pub fn prediction_mae(&self) -> Option<f64> {
-        let pairs: Vec<(f64, f64)> = self
-            .records
-            .iter()
-            .filter_map(|r| r.predicted_f1.map(|p| (p, r.actual_f1)))
-            .collect();
+        let pairs: Vec<(f64, f64)> =
+            self.records.iter().filter_map(|r| r.predicted_f1.map(|p| (p, r.actual_f1))).collect();
         if pairs.is_empty() {
             return None;
         }
@@ -105,6 +102,19 @@ impl CleaningTrace {
         self.records.iter().filter(|r| r.action == action).count()
     }
 
+    /// Bit-exact equality of everything the session *decided* — records,
+    /// curve, and F1 values — ignoring `iteration_runtimes`, which is
+    /// wall-clock measurement and legitimately differs between runs. This
+    /// is the determinism contract the parallel engine is tested against:
+    /// the same seed must produce `content_eq` traces at any thread count.
+    pub fn content_eq(&self, other: &CleaningTrace) -> bool {
+        self.records == other.records
+            && self.f1_curve == other.f1_curve
+            && self.initial_f1 == other.initial_f1
+            && self.final_f1 == other.final_f1
+            && self.fully_clean_f1 == other.fully_clean_f1
+    }
+
     /// Mean iteration runtime (RQ 6).
     pub fn mean_iteration_runtime(&self) -> Option<Duration> {
         if self.iteration_runtimes.is_empty() {
@@ -119,7 +129,13 @@ impl CleaningTrace {
 mod tests {
     use super::*;
 
-    fn record(action: StepAction, cost: f64, spent: f64, pred: Option<f64>, actual: f64) -> StepRecord {
+    fn record(
+        action: StepAction,
+        cost: f64,
+        spent: f64,
+        pred: Option<f64>,
+        actual: f64,
+    ) -> StepRecord {
         StepRecord {
             iteration: 0,
             col: 0,

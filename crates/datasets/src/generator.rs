@@ -67,8 +67,7 @@ impl GeneratorConfig {
         // This guarantees heterogeneous feature importance (cleaning *order*
         // matters) while keeping accuracy below 1.0.
         let n_feats = spec.n_numeric + spec.n_categorical;
-        let mut strengths: Vec<f64> =
-            (0..n_feats).map(|i| 1.7 * 0.72f64.powi(i as i32)).collect();
+        let mut strengths: Vec<f64> = (0..n_feats).map(|i| 1.7 * 0.72f64.powi(i as i32)).collect();
         let informative = ((n_feats as f64) * 0.7).ceil() as usize;
         for s in strengths.iter_mut().skip(informative.max(1)) {
             *s = 0.0;
@@ -79,9 +78,8 @@ impl GeneratorConfig {
             strengths.swap(i, j);
         }
         let mut strengths = strengths.into_iter();
-        let mut strength = move |_rng: &mut StdRng| -> f64 {
-            strengths.next().expect("one strength per feature")
-        };
+        let mut strength =
+            move |_rng: &mut StdRng| -> f64 { strengths.next().expect("one strength per feature") };
 
         let numeric = (0..spec.n_numeric)
             .map(|_| {
@@ -90,9 +88,8 @@ impl GeneratorConfig {
                 // orientation per feature (the flip must be shared by all
                 // classes or the separation collapses).
                 let flip = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-                let directions: Vec<f64> = (0..k)
-                    .map(|c| flip * (c as f64 - (k as f64 - 1.0) / 2.0))
-                    .collect();
+                let directions: Vec<f64> =
+                    (0..k).map(|c| flip * (c as f64 - (k as f64 - 1.0) / 2.0)).collect();
                 NumericSpec {
                     strength: s,
                     base: rng.gen_range(-2.0..2.0),
@@ -154,7 +151,8 @@ impl GeneratorConfig {
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> DataFrame {
         let (schema, dicts) = self.schema();
         let mut builder = DataFrameBuilder::new(schema, dicts).expect("valid builder");
-        let mut row: Vec<Cell> = Vec::with_capacity(self.numeric.len() + self.categorical.len() + 1);
+        let mut row: Vec<Cell> =
+            Vec::with_capacity(self.numeric.len() + self.categorical.len() + 1);
         for _ in 0..self.rows {
             // Draw the class.
             let u: f64 = rng.gen();
@@ -257,9 +255,9 @@ pub struct CleanMlPair {
 mod tests {
     use super::*;
     use crate::Dataset;
+    use comet_frame::{train_test_split, SplitOptions};
     use comet_jenga::GroundTruth;
     use comet_ml::{metrics, Classifier, Featurizer, KnnClassifier, KnnParams};
-    use comet_frame::{train_test_split, SplitOptions};
 
     #[test]
     fn generator_is_identity_stable() {
@@ -284,9 +282,10 @@ mod tests {
         let mut knn = KnnClassifier::new(KnnParams { k: 5 });
         knn.fit(&xtr, &ytr, 2, &mut rng);
         let acc = metrics::accuracy(&yte, &knn.predict(&xte));
-        let majority = yte.iter().filter(|&&y| y == 0).count().max(
-            yte.iter().filter(|&&y| y == 1).count(),
-        ) as f64 / yte.len() as f64;
+        let majority =
+            yte.iter().filter(|&&y| y == 0).count().max(yte.iter().filter(|&&y| y == 1).count())
+                as f64
+                / yte.len() as f64;
         assert!(acc > majority + 0.1, "accuracy {acc} vs majority {majority}");
     }
 

@@ -94,10 +94,7 @@ impl DataFrameBuilder {
             return Err(FrameError::Empty);
         }
         let mut columns = Vec::with_capacity(self.schema.len());
-        let label_name = self
-            .schema
-            .label_index()
-            .map(|i| self.schema.fields()[i].name.clone());
+        let label_name = self.schema.label_index().map(|i| self.schema.fields()[i].name.clone());
         for (i, field) in self.schema.fields().iter().enumerate() {
             columns.push(build_column(field, &self.cells[i], &self.dictionaries[i])?);
         }
@@ -125,9 +122,17 @@ fn build_column(field: &FieldMeta, cells: &[Cell], dict: &[String]) -> Result<Co
 
 /// Convenience: schema + dictionaries for the common "numeric features with a
 /// categorical label" case.
-pub fn numeric_schema(features: &[&str], label: &str, classes: &[&str]) -> (Schema, Vec<Vec<String>>) {
+pub fn numeric_schema(
+    features: &[&str],
+    label: &str,
+    classes: &[&str],
+) -> (Schema, Vec<Vec<String>>) {
     let mut fields: Vec<FieldMeta> = features.iter().map(|f| FieldMeta::numeric(*f)).collect();
-    fields.push(FieldMeta { name: label.into(), kind: crate::ColumnKind::Categorical, role: Role::Label });
+    fields.push(FieldMeta {
+        name: label.into(),
+        kind: crate::ColumnKind::Categorical,
+        role: Role::Label,
+    });
     let mut dicts: Vec<Vec<String>> = vec![Vec::new(); features.len()];
     dicts.push(classes.iter().map(|c| c.to_string()).collect());
     (Schema::new(fields).expect("valid schema"), dicts)
@@ -145,11 +150,7 @@ mod tests {
             FieldMeta::label("y"),
         ])
         .unwrap();
-        let dicts = vec![
-            vec![],
-            vec!["a".into(), "b".into()],
-            vec!["no".into(), "yes".into()],
-        ];
+        let dicts = vec![vec![], vec!["a".into(), "b".into()], vec!["no".into(), "yes".into()]];
         DataFrameBuilder::new(schema, dicts).unwrap()
     }
 

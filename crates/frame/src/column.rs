@@ -79,7 +79,12 @@ impl Column {
     /// Build a numeric column where every value is valid.
     pub fn numeric(name: impl Into<String>, values: Vec<f64>) -> Self {
         let valid = vec![true; values.len()];
-        Column { name: name.into(), data: ColumnData::Numeric(values), valid, categories: Vec::new() }
+        Column {
+            name: name.into(),
+            data: ColumnData::Numeric(values),
+            valid,
+            categories: Vec::new(),
+        }
     }
 
     /// Build a numeric column from optional values (None = missing).
@@ -354,8 +359,7 @@ mod tests {
     fn invalid_code_in_constructor() {
         let err = Column::categorical("c", vec![5], vec!["only".into()]).unwrap_err();
         assert!(matches!(err, FrameError::UnknownCategory { code: 5, .. }));
-        let err =
-            Column::categorical_opt("c", vec![Some(9)], vec!["only".into()]).unwrap_err();
+        let err = Column::categorical_opt("c", vec![Some(9)], vec!["only".into()]).unwrap_err();
         assert!(matches!(err, FrameError::UnknownCategory { code: 9, .. }));
     }
 

@@ -53,8 +53,7 @@ pub fn write_csv(df: &DataFrame, path: impl AsRef<Path>) -> Result<()> {
 /// Render a frame as CSV text.
 pub fn write_csv_string(df: &DataFrame) -> Result<String> {
     let mut out = String::new();
-    let header: Vec<String> =
-        df.columns().iter().map(|c| quote_field(c.name())).collect();
+    let header: Vec<String> = df.columns().iter().map(|c| quote_field(c.name())).collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in 0..df.nrows() {
@@ -139,10 +138,8 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
 
 /// Infer a typed column from string fields. Empty fields are missing.
 fn infer_column(name: &str, fields: &[&str]) -> Result<Column> {
-    let all_numeric = fields
-        .iter()
-        .filter(|f| !f.is_empty())
-        .all(|f| f.trim().parse::<f64>().is_ok());
+    let all_numeric =
+        fields.iter().filter(|f| !f.is_empty()).all(|f| f.trim().parse::<f64>().is_ok());
     let any_value = fields.iter().any(|f| !f.is_empty());
 
     if all_numeric && any_value {

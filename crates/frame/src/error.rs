@@ -41,14 +41,12 @@ impl fmt::Display for FrameError {
             FrameError::ColumnOutOfBounds { col, ncols } => {
                 write!(f, "column index {col} out of bounds for frame with {ncols} columns")
             }
-            FrameError::LengthMismatch { expected, got, column } => write!(
-                f,
-                "column {column:?} has length {got}, expected {expected}"
-            ),
-            FrameError::TypeMismatch { column, expected, got } => write!(
-                f,
-                "type mismatch on column {column:?}: expected {expected}, got {got}"
-            ),
+            FrameError::LengthMismatch { expected, got, column } => {
+                write!(f, "column {column:?} has length {got}, expected {expected}")
+            }
+            FrameError::TypeMismatch { column, expected, got } => {
+                write!(f, "type mismatch on column {column:?}: expected {expected}, got {got}")
+            }
             FrameError::UnknownCategory { column, code } => {
                 write!(f, "category code {code} not in dictionary of column {column:?}")
             }
@@ -80,12 +78,13 @@ mod tests {
             (FrameError::UnknownColumn("age".into()), "age"),
             (FrameError::RowOutOfBounds { row: 9, nrows: 3 }, "row index 9"),
             (FrameError::ColumnOutOfBounds { col: 4, ncols: 2 }, "column index 4"),
+            (FrameError::LengthMismatch { expected: 10, got: 9, column: "x".into() }, "length 9"),
             (
-                FrameError::LengthMismatch { expected: 10, got: 9, column: "x".into() },
-                "length 9",
-            ),
-            (
-                FrameError::TypeMismatch { column: "x".into(), expected: "numeric", got: "categorical" },
+                FrameError::TypeMismatch {
+                    column: "x".into(),
+                    expected: "numeric",
+                    got: "categorical",
+                },
                 "type mismatch",
             ),
             (FrameError::UnknownCategory { column: "c".into(), code: 7 }, "code 7"),

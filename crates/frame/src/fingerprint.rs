@@ -1,0 +1,153 @@
+//! Cheap 64-bit content fingerprints for columns and frames.
+//!
+//! The evaluation cache in `comet-core` keys cached model scores by the
+//! *content* of the (train, test) frame pair. These fingerprints use the
+//! FxHash mixing function (rotate-xor-multiply) over the raw column
+//! payloads — not cryptographic, but fast (one multiply per word) and
+//! sensitive to any single-cell change: value bits, validity flips,
+//! dictionary edits, column renames, and column order all alter the hash.
+
+use crate::{Column, ColumnData, DataFrame};
+
+/// FxHash multiply constant (64-bit golden-ratio derivative).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+fn mix_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    hash = mix(hash, bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        hash = mix(hash, u64::from_le_bytes(word));
+    }
+    hash
+}
+
+/// Pack the validity mask into 64-bit words and mix them in. Packing keeps
+/// the per-row cost at one shift/or, far below hashing a bool per row.
+fn mix_validity(mut hash: u64, valid: &[bool]) -> u64 {
+    hash = mix(hash, valid.len() as u64);
+    let mut word = 0u64;
+    let mut bits = 0u32;
+    for &v in valid {
+        word = (word << 1) | v as u64;
+        bits += 1;
+        if bits == 64 {
+            hash = mix(hash, word);
+            word = 0;
+            bits = 0;
+        }
+    }
+    if bits > 0 {
+        hash = mix(hash, word);
+    }
+    hash
+}
+
+impl Column {
+    /// 64-bit content fingerprint covering name, kind, payload, validity
+    /// mask, and (for categoricals) the dictionary.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = mix_bytes(SEED, self.name().as_bytes());
+        match self.data() {
+            ColumnData::Numeric(values) => {
+                hash = mix(hash, 1);
+                for &v in values {
+                    hash = mix(hash, v.to_bits());
+                }
+            }
+            ColumnData::Categorical(codes) => {
+                hash = mix(hash, 2);
+                for &c in codes {
+                    hash = mix(hash, c as u64);
+                }
+                for cat in self.categories() {
+                    hash = mix_bytes(hash, cat.as_bytes());
+                }
+            }
+        }
+        mix_validity(hash, self.valid())
+    }
+}
+
+impl DataFrame {
+    /// 64-bit content fingerprint of the whole frame: every column's
+    /// fingerprint folded in order, plus shape and label position.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = mix(SEED, self.nrows() as u64);
+        hash = mix(hash, self.ncols() as u64);
+        hash = mix(hash, self.schema().label_index().map_or(u64::MAX, |i| i as u64));
+        for column in self.columns() {
+            hash = mix(hash, column.fingerprint());
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cell, Column, DataFrame};
+
+    fn frame() -> DataFrame {
+        DataFrame::new(
+            vec![
+                Column::numeric("x", vec![1.0, 2.0, 3.0]),
+                Column::numeric_opt("y", vec![Some(0.5), None, Some(1.5)]),
+                Column::categorical("label", vec![0, 1, 0], vec!["no".into(), "yes".into()])
+                    .unwrap(),
+            ],
+            Some("label"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        assert_eq!(frame().fingerprint(), frame().fingerprint());
+    }
+
+    #[test]
+    fn single_cell_change_alters_fingerprint() {
+        let base = frame().fingerprint();
+        let mut f = frame();
+        f.set(1, 0, Cell::Num(2.0000001)).unwrap();
+        assert_ne!(f.fingerprint(), base);
+    }
+
+    #[test]
+    fn validity_flip_alters_fingerprint() {
+        let base = frame().fingerprint();
+        let mut f = frame();
+        // Same neutral filler value, only the mask changes.
+        f.set(0, 1, Cell::Missing).unwrap();
+        assert_ne!(f.fingerprint(), base);
+    }
+
+    #[test]
+    fn column_name_and_order_matter() {
+        let a = Column::numeric("a", vec![1.0, 2.0]);
+        let b = Column::numeric("b", vec![1.0, 2.0]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let ab = DataFrame::new(vec![a.clone(), b.clone()], None).unwrap();
+        let ba = DataFrame::new(vec![b, a], None).unwrap();
+        assert_ne!(ab.fingerprint(), ba.fingerprint());
+    }
+
+    #[test]
+    fn negative_zero_distinct_from_positive_zero() {
+        let pos = Column::numeric("x", vec![0.0]);
+        let neg = Column::numeric("x", vec![-0.0]);
+        assert_ne!(pos.fingerprint(), neg.fingerprint());
+    }
+
+    #[test]
+    fn dictionary_edit_alters_fingerprint() {
+        let a = Column::categorical("c", vec![0], vec!["x".into(), "y".into()]).unwrap();
+        let b = Column::categorical("c", vec![0], vec!["x".into(), "z".into()]).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -141,9 +141,7 @@ impl DataFrame {
                 Cell::Cat(code) => out.push(code),
                 Cell::Num(v) => out.push(v as u32),
                 Cell::Missing => {
-                    return Err(FrameError::InvalidArgument(format!(
-                        "label missing in row {row}"
-                    )))
+                    return Err(FrameError::InvalidArgument(format!("label missing in row {row}")))
                 }
             }
         }
@@ -178,10 +176,7 @@ impl DataFrame {
 
     /// Total number of missing cells across feature columns.
     pub fn missing_cells(&self) -> usize {
-        self.feature_indices()
-            .into_iter()
-            .map(|i| self.columns[i].missing_count())
-            .sum()
+        self.feature_indices().into_iter().map(|i| self.columns[i].missing_count()).sum()
     }
 
     /// Count cells in feature column `col` that differ from the same column
@@ -226,12 +221,8 @@ mod tests {
 
     fn sample() -> DataFrame {
         let age = Column::numeric("age", vec![25.0, 40.0, 31.0, 58.0]);
-        let job = Column::categorical(
-            "job",
-            vec![0, 1, 0, 1],
-            vec!["tech".into(), "admin".into()],
-        )
-        .unwrap();
+        let job = Column::categorical("job", vec![0, 1, 0, 1], vec!["tech".into(), "admin".into()])
+            .unwrap();
         let label =
             Column::categorical("y", vec![0, 1, 1, 0], vec!["no".into(), "yes".into()]).unwrap();
         DataFrame::new(vec![age, job, label], Some("y")).unwrap()

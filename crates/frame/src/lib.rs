@@ -11,7 +11,9 @@
 //! * a schema with feature/label roles,
 //! * cell-level reads/writes (the Polluter and Cleaner mutate single cells),
 //! * CSV round-trips and (stratified) train/test splitting,
-//! * per-column summary statistics.
+//! * per-column summary statistics,
+//! * cheap 64-bit content fingerprints ([`Column::fingerprint`],
+//!   [`DataFrame::fingerprint`]) keying `comet-core`'s evaluation cache.
 //!
 //! The frame is column-major: every mutation COMET performs is column-local
 //! (pollute feature `f`, clean feature `f`), so columns are independently
@@ -22,6 +24,7 @@ mod builder;
 mod column;
 mod csv;
 mod error;
+mod fingerprint;
 mod frame;
 mod ops;
 mod schema;

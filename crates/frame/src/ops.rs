@@ -74,10 +74,7 @@ impl DataFrame {
             }
             columns.push(concat_columns(a, b)?);
         }
-        let label_name = self
-            .label_index()
-            .ok()
-            .map(|i| self.schema().fields()[i].name.clone());
+        let label_name = self.label_index().ok().map(|i| self.schema().fields()[i].name.clone());
         DataFrame::new(columns, label_name.as_deref())
     }
 
@@ -88,12 +85,8 @@ impl DataFrame {
         let col = self.column_by_name(name)?;
         match col.summary() {
             crate::ColumnSummary::Categorical { counts, .. } => {
-                let mut out: Vec<(String, usize)> = col
-                    .categories()
-                    .iter()
-                    .cloned()
-                    .zip(counts)
-                    .collect();
+                let mut out: Vec<(String, usize)> =
+                    col.categories().iter().cloned().zip(counts).collect();
                 out.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
                 Ok(out)
             }
@@ -154,9 +147,8 @@ fn extend_column(col: Column, cells: &[Cell]) -> Result<Column> {
             Ok(Column::numeric_opt(name, values))
         }
         ColumnData::Categorical(_) => {
-            let mut codes: Vec<Option<u32>> = (0..col.len())
-                .map(|r| col.get(r).expect("in bounds").as_cat())
-                .collect();
+            let mut codes: Vec<Option<u32>> =
+                (0..col.len()).map(|r| col.get(r).expect("in bounds").as_cat()).collect();
             for cell in cells {
                 codes.push(cell.as_cat());
             }

@@ -137,12 +137,9 @@ mod tests {
     fn stratified_split_preserves_class_balance() {
         let df = frame(200);
         let mut rng = StdRng::seed_from_u64(1);
-        let tt = train_test_split(
-            &df,
-            SplitOptions { test_fraction: 0.25, stratify: true },
-            &mut rng,
-        )
-        .unwrap();
+        let tt =
+            train_test_split(&df, SplitOptions { test_fraction: 0.25, stratify: true }, &mut rng)
+                .unwrap();
         let test_codes = tt.test.label_codes().unwrap();
         let ones = test_codes.iter().filter(|&&c| c == 1).count();
         assert_eq!(test_codes.len(), 50);
@@ -153,12 +150,9 @@ mod tests {
     fn unstratified_split_sizes() {
         let df = frame(10);
         let mut rng = StdRng::seed_from_u64(2);
-        let tt = train_test_split(
-            &df,
-            SplitOptions { test_fraction: 0.3, stratify: false },
-            &mut rng,
-        )
-        .unwrap();
+        let tt =
+            train_test_split(&df, SplitOptions { test_fraction: 0.3, stratify: false }, &mut rng)
+                .unwrap();
         assert_eq!(tt.test.nrows(), 3);
         assert_eq!(tt.train.nrows(), 7);
     }
@@ -180,10 +174,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let df = frame(50);
-        let a = train_test_split(&df, SplitOptions::default(), &mut StdRng::seed_from_u64(9))
-            .unwrap();
-        let b = train_test_split(&df, SplitOptions::default(), &mut StdRng::seed_from_u64(9))
-            .unwrap();
+        let a =
+            train_test_split(&df, SplitOptions::default(), &mut StdRng::seed_from_u64(9)).unwrap();
+        let b =
+            train_test_split(&df, SplitOptions::default(), &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a.train_rows, b.train_rows);
         assert_eq!(a.test_rows, b.test_rows);
     }

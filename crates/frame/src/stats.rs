@@ -104,11 +104,7 @@ impl Column {
 impl DataFrame {
     /// Summaries for every column, in schema order.
     pub fn describe(&self) -> Result<Vec<(String, ColumnSummary)>> {
-        Ok(self
-            .columns()
-            .iter()
-            .map(|c| (c.name().to_string(), c.summary()))
-            .collect())
+        Ok(self.columns().iter().map(|c| (c.name().to_string(), c.summary())).collect())
     }
 }
 
@@ -169,12 +165,9 @@ mod tests {
 
     #[test]
     fn categorical_counts_and_mode() {
-        let mut c = Column::categorical(
-            "c",
-            vec![0, 1, 1, 2, 1],
-            vec!["a".into(), "b".into(), "c".into()],
-        )
-        .unwrap();
+        let mut c =
+            Column::categorical("c", vec![0, 1, 1, 2, 1], vec!["a".into(), "b".into(), "c".into()])
+                .unwrap();
         assert_eq!(c.mode(), Some(1));
         c.set(1, Cell::Missing).unwrap();
         match c.summary() {

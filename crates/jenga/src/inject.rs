@@ -78,9 +78,7 @@ pub fn inject<R: Rng + ?Sized>(
         )));
     }
     if df.label_index().ok() == Some(col) {
-        return Err(FrameError::InvalidArgument(
-            "labels are never polluted (paper §4.1)".into(),
-        ));
+        return Err(FrameError::InvalidArgument("labels are never polluted (paper §4.1)".into()));
     }
 
     let mut changed = Vec::with_capacity(rows.len());
@@ -230,7 +228,8 @@ mod tests {
         let mut df = frame();
         let mut rng = StdRng::seed_from_u64(5);
         let rows: Vec<usize> = (0..30).collect();
-        let before: Vec<u32> = rows.iter().map(|&r| df.get(r, 1).unwrap().as_cat().unwrap()).collect();
+        let before: Vec<u32> =
+            rows.iter().map(|&r| df.get(r, 1).unwrap().as_cat().unwrap()).collect();
         let rec = inject(&mut df, 1, &rows, ErrorType::CategoricalShift, &mut rng).unwrap();
         assert_eq!(rec.changed.len(), 30);
         for (i, &r) in rows.iter().enumerate() {

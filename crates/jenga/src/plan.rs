@@ -183,8 +183,7 @@ mod tests {
     fn multi_error_covers_all_features() {
         let df = frame();
         let mut rng = StdRng::seed_from_u64(2);
-        let plan =
-            PrePollutionPlan::sample(&df, Scenario::MultiError, 0.1, 0.5, &mut rng).unwrap();
+        let plan = PrePollutionPlan::sample(&df, Scenario::MultiError, 0.1, 0.5, &mut rng).unwrap();
         assert_eq!(plan.levels.len(), 3); // label excluded
     }
 
@@ -211,10 +210,7 @@ mod tests {
         let mut df = frame();
         let mut prov = Provenance::for_frame(&df);
         let mut rng = StdRng::seed_from_u64(4);
-        let plan = PrePollutionPlan::explicit(
-            Scenario::MultiError,
-            vec![(0, 0.30), (2, 0.30)],
-        );
+        let plan = PrePollutionPlan::explicit(Scenario::MultiError, vec![(0, 0.30), (2, 0.30)]);
         plan.apply(&mut df, 0.01, &mut prov, &mut rng).unwrap();
         // Numeric column: never categorical shift.
         for e in prov.error_types_in(0) {
@@ -236,10 +232,7 @@ mod tests {
         let gt = crate::GroundTruth::new(df.clone());
         let mut prov = Provenance::for_frame(&df);
         let mut rng = StdRng::seed_from_u64(5);
-        let plan = PrePollutionPlan::explicit(
-            Scenario::MultiError,
-            vec![(0, 0.40)],
-        );
+        let plan = PrePollutionPlan::explicit(Scenario::MultiError, vec![(0, 0.40)]);
         plan.apply(&mut df, 0.05, &mut prov, &mut rng).unwrap();
         let dirty = gt.dirty_count(&df, 0).unwrap();
         assert!(dirty > 50 && dirty <= 80, "dirty {dirty} for target 80");
@@ -273,10 +266,7 @@ mod tests {
 
     #[test]
     fn mean_level_helper() {
-        let plan = PrePollutionPlan::explicit(
-            Scenario::MultiError,
-            vec![(0, 0.2), (1, 0.4)],
-        );
+        let plan = PrePollutionPlan::explicit(Scenario::MultiError, vec![(0, 0.2), (1, 0.4)]);
         assert!((plan.mean_level() - 0.3).abs() < 1e-12);
         let empty = PrePollutionPlan::explicit(Scenario::MultiError, vec![]);
         assert_eq!(empty.mean_level(), 0.0);

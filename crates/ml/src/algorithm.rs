@@ -9,8 +9,8 @@ use crate::linear::{
     LinearRegressionClassifier, LinearSvm, LirParams, LogisticRegression, LorParams, SvmParams,
 };
 use crate::mlp::{MlpClassifier, MlpParams};
-use crate::nb::{NaiveBayesClassifier, NbParams};
 use crate::model::Classifier;
+use crate::nb::{NaiveBayesClassifier, NbParams};
 use rand::Rng;
 use std::fmt;
 
@@ -119,7 +119,7 @@ impl Algorithm {
         match self {
             Algorithm::Svm => HyperParams::Svm(SvmParams {
                 l2: log_uniform(rng, 1e-5, 1e-2),
-                epochs: *[20, 40, 60].get(rng.gen_range(0..3)).expect("in range"),
+                epochs: *[20, 40, 60].get(rng.gen_range(0..3usize)).expect("in range"),
                 learning_rate: log_uniform(rng, 0.02, 0.5),
             }),
             Algorithm::Knn => {
@@ -127,40 +127,40 @@ impl Algorithm {
                 HyperParams::Knn(KnnParams { k: KS[rng.gen_range(0..KS.len())] })
             }
             Algorithm::Mlp => HyperParams::Mlp(MlpParams {
-                hidden: [16, 32, 64][rng.gen_range(0..3)],
-                epochs: [40, 60, 80][rng.gen_range(0..3)],
+                hidden: [16, 32, 64][rng.gen_range(0..3usize)],
+                epochs: [40, 60, 80][rng.gen_range(0..3usize)],
                 learning_rate: log_uniform(rng, 0.01, 0.1),
                 ..MlpParams::default()
             }),
             Algorithm::Gb => HyperParams::Gb(GbmParams {
-                n_rounds: [20, 30, 50][rng.gen_range(0..3)],
-                learning_rate: [0.05, 0.1, 0.2, 0.3][rng.gen_range(0..4)],
-                max_depth: [2, 3, 4][rng.gen_range(0..3)],
+                n_rounds: [20, 30, 50][rng.gen_range(0..3usize)],
+                learning_rate: [0.05, 0.1, 0.2, 0.3][rng.gen_range(0..4usize)],
+                max_depth: [2, 3, 4][rng.gen_range(0..3usize)],
                 min_leaf: 5,
             }),
             Algorithm::LogReg => HyperParams::LogReg(LorParams {
                 l2: log_uniform(rng, 1e-5, 1e-2),
-                epochs: [20, 40, 60][rng.gen_range(0..3)],
+                epochs: [20, 40, 60][rng.gen_range(0..3usize)],
                 learning_rate: log_uniform(rng, 0.02, 0.5),
             }),
             Algorithm::LinReg => HyperParams::LinReg(LirParams {
                 l2: log_uniform(rng, 1e-5, 1e-2),
-                epochs: [20, 40, 60][rng.gen_range(0..3)],
+                epochs: [20, 40, 60][rng.gen_range(0..3usize)],
                 learning_rate: log_uniform(rng, 0.01, 0.2),
             }),
             Algorithm::Dt => HyperParams::Dt(DtParams {
-                max_depth: [3, 5, 8, 12][rng.gen_range(0..4)],
-                min_leaf: [1, 2, 5][rng.gen_range(0..3)],
+                max_depth: [3, 5, 8, 12][rng.gen_range(0..4usize)],
+                min_leaf: [1, 2, 5][rng.gen_range(0..3usize)],
                 max_features: None,
             }),
             Algorithm::Rf => HyperParams::Rf(RfParams {
-                n_trees: [10, 25, 50][rng.gen_range(0..3)],
-                max_depth: [4, 8, 12][rng.gen_range(0..3)],
-                min_leaf: [1, 2, 5][rng.gen_range(0..3)],
+                n_trees: [10, 25, 50][rng.gen_range(0..3usize)],
+                max_depth: [4, 8, 12][rng.gen_range(0..3usize)],
+                min_leaf: [1, 2, 5][rng.gen_range(0..3usize)],
             }),
-            Algorithm::Nb => HyperParams::Nb(NbParams {
-                var_smoothing: log_uniform(rng, 1e-10, 1e-6),
-            }),
+            Algorithm::Nb => {
+                HyperParams::Nb(NbParams { var_smoothing: log_uniform(rng, 1e-10, 1e-6) })
+            }
         }
     }
 }

@@ -148,11 +148,8 @@ impl DecisionTreeClassifier {
                 if v_here == v_next {
                     continue;
                 }
-                let right_counts: Vec<usize> = counts
-                    .iter()
-                    .zip(&left_counts)
-                    .map(|(&t, &l)| t - l)
-                    .collect();
+                let right_counts: Vec<usize> =
+                    counts.iter().zip(&left_counts).map(|(&t, &l)| t - l).collect();
                 let weighted = (nl as f64 * Self::gini(&left_counts)
                     + nr as f64 * Self::gini(&right_counts))
                     / n as f64;
@@ -244,11 +241,8 @@ mod tests {
     #[test]
     fn solves_xor() {
         let (x, y) = xor_data();
-        let mut dt = DecisionTreeClassifier::new(DtParams {
-            max_depth: 3,
-            min_leaf: 1,
-            max_features: None,
-        });
+        let mut dt =
+            DecisionTreeClassifier::new(DtParams { max_depth: 3, min_leaf: 1, max_features: None });
         let mut rng = StdRng::seed_from_u64(0);
         dt.fit(&x, &y, 2, &mut rng);
         let acc = crate::metrics::accuracy(&y, &dt.predict(&x));
@@ -258,11 +252,8 @@ mod tests {
     #[test]
     fn depth_limit_respected() {
         let (x, y) = xor_data();
-        let mut dt = DecisionTreeClassifier::new(DtParams {
-            max_depth: 0,
-            min_leaf: 1,
-            max_features: None,
-        });
+        let mut dt =
+            DecisionTreeClassifier::new(DtParams { max_depth: 0, min_leaf: 1, max_features: None });
         let mut rng = StdRng::seed_from_u64(1);
         dt.fit(&x, &y, 2, &mut rng);
         assert_eq!(dt.n_nodes(), 1, "depth 0 yields the majority leaf");

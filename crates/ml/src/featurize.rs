@@ -148,7 +148,10 @@ impl Featurizer {
     }
 
     /// Fit on `train` and transform both splits — the common call.
-    pub fn fit_transform(train: &DataFrame, test: &DataFrame) -> Result<(Featurizer, Matrix, Matrix)> {
+    pub fn fit_transform(
+        train: &DataFrame,
+        test: &DataFrame,
+    ) -> Result<(Featurizer, Matrix, Matrix)> {
         let f = Featurizer::fit(train)?;
         let xtr = f.transform(train)?;
         let xte = f.transform(test)?;
@@ -163,12 +166,9 @@ mod tests {
 
     fn frame() -> DataFrame {
         let x = Column::numeric("x", vec![1.0, 2.0, 3.0, 4.0]);
-        let c = Column::categorical(
-            "c",
-            vec![0, 1, 1, 2],
-            vec!["a".into(), "b".into(), "d".into()],
-        )
-        .unwrap();
+        let c =
+            Column::categorical("c", vec![0, 1, 1, 2], vec!["a".into(), "b".into(), "d".into()])
+                .unwrap();
         let y = Column::categorical("y", vec![0, 1, 0, 1], vec!["n".into(), "p".into()]).unwrap();
         DataFrame::new(vec![x, c, y], Some("y")).unwrap()
     }
@@ -180,10 +180,7 @@ mod tests {
         assert_eq!(f.dim(), 4); // 1 numeric + 3 one-hot
         assert_eq!(
             f.groups(),
-            &[
-                FeatureGroup { col: 0, start: 0, end: 1 },
-                FeatureGroup { col: 1, start: 1, end: 4 },
-            ]
+            &[FeatureGroup { col: 0, start: 0, end: 1 }, FeatureGroup { col: 1, start: 1, end: 4 },]
         );
     }
 

@@ -67,8 +67,7 @@ impl Classifier for RandomForestClassifier {
         };
         for _ in 0..self.params.n_trees {
             // Bootstrap sample.
-            let rows: Vec<usize> =
-                (0..n).map(|_| (rng.next_u64() as usize) % n).collect();
+            let rows: Vec<usize> = (0..n).map(|_| (rng.next_u64() as usize) % n).collect();
             let xb = x.take_rows(&rows);
             let yb: Vec<u32> = rows.iter().map(|&r| y[r]).collect();
             let mut tree = DecisionTreeClassifier::new(tree_params);
@@ -116,11 +115,8 @@ mod tests {
     #[test]
     fn learns_and_votes() {
         let (x, y) = noisy_blobs();
-        let mut rf = RandomForestClassifier::new(RfParams {
-            n_trees: 15,
-            max_depth: 6,
-            min_leaf: 2,
-        });
+        let mut rf =
+            RandomForestClassifier::new(RfParams { n_trees: 15, max_depth: 6, min_leaf: 2 });
         let mut rng = StdRng::seed_from_u64(0);
         rf.fit(&x, &y, 2, &mut rng);
         assert_eq!(rf.n_trees_fitted(), 15);
@@ -131,10 +127,7 @@ mod tests {
     #[test]
     fn single_tree_forest_works() {
         let (x, y) = noisy_blobs();
-        let mut rf = RandomForestClassifier::new(RfParams {
-            n_trees: 1,
-            ..RfParams::default()
-        });
+        let mut rf = RandomForestClassifier::new(RfParams { n_trees: 1, ..RfParams::default() });
         let mut rng = StdRng::seed_from_u64(1);
         rf.fit(&x, &y, 2, &mut rng);
         assert!(rf.predict(&x).iter().all(|&p| p < 2));

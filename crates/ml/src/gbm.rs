@@ -84,7 +84,8 @@ impl Classifier for GradientBoostingClassifier {
         let total: f64 = counts.iter().sum();
         self.base = counts.iter().map(|c| (c / total).ln()).collect();
 
-        let tree_params = TreeParams { max_depth: self.params.max_depth, min_leaf: self.params.min_leaf };
+        let tree_params =
+            TreeParams { max_depth: self.params.max_depth, min_leaf: self.params.min_leaf };
         // Current raw scores per (row, class).
         let mut f = vec![0.0f64; n * k];
         for row in 0..n {
@@ -113,8 +114,7 @@ impl Classifier for GradientBoostingClassifier {
                     }
                 });
                 for row in 0..n {
-                    f[row * k + class] +=
-                        self.params.learning_rate * tree.predict_row(x.row(row));
+                    f[row * k + class] += self.params.learning_rate * tree.predict_row(x.row(row));
                 }
                 self.trees.push(tree);
             }

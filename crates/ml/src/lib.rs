@@ -30,10 +30,10 @@ mod forest;
 mod gbm;
 mod knn;
 mod linear;
+mod matrix;
 pub mod metrics;
 mod mlp;
 mod model;
-mod matrix;
 mod nb;
 pub mod sgd;
 pub mod shapley;

@@ -80,11 +80,7 @@ pub fn f1_macro(y_true: &[u32], y_pred: &[u32], n_classes: usize) -> f64 {
 /// positive prediction exists).
 pub fn precision(y_true: &[u32], y_pred: &[u32], positive: u32) -> f64 {
     assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
-    let tp = y_true
-        .iter()
-        .zip(y_pred)
-        .filter(|&(&t, &p)| t == positive && p == positive)
-        .count();
+    let tp = y_true.iter().zip(y_pred).filter(|&(&t, &p)| t == positive && p == positive).count();
     let predicted = y_pred.iter().filter(|&&p| p == positive).count();
     if predicted == 0 {
         0.0
@@ -97,11 +93,7 @@ pub fn precision(y_true: &[u32], y_pred: &[u32], positive: u32) -> f64 {
 /// class is absent from the labels).
 pub fn recall(y_true: &[u32], y_pred: &[u32], positive: u32) -> f64 {
     assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
-    let tp = y_true
-        .iter()
-        .zip(y_pred)
-        .filter(|&(&t, &p)| t == positive && p == positive)
-        .count();
+    let tp = y_true.iter().zip(y_pred).filter(|&(&t, &p)| t == positive && p == positive).count();
     let actual = y_true.iter().filter(|&&t| t == positive).count();
     if actual == 0 {
         0.0
@@ -157,12 +149,7 @@ pub fn roc_auc(y_true: &[u32], scores: &[f64]) -> f64 {
     if n_pos == 0 || n_neg == 0 {
         return 0.5;
     }
-    let rank_sum: f64 = y_true
-        .iter()
-        .zip(&ranks)
-        .filter(|&(&t, _)| t == 1)
-        .map(|(_, &r)| r)
-        .sum();
+    let rank_sum: f64 = y_true.iter().zip(&ranks).filter(|&(&t, _)| t == 1).map(|(_, &r)| r).sum();
     (rank_sum - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
 }
 

@@ -226,7 +226,8 @@ mod tests {
     #[test]
     fn learns_xor() {
         let (x, y) = xor_data();
-        let mut mlp = MlpClassifier::new(MlpParams { hidden: 16, epochs: 120, ..MlpParams::default() });
+        let mut mlp =
+            MlpClassifier::new(MlpParams { hidden: 16, epochs: 120, ..MlpParams::default() });
         let mut rng = StdRng::seed_from_u64(0);
         mlp.fit(&x, &y, 2, &mut rng);
         let acc = crate::metrics::accuracy(&y, &mlp.predict(&x));

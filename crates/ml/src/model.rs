@@ -9,7 +9,7 @@ use rand::RngCore;
 /// and `n_classes` explicitly (labels are `0..n_classes` codes; a polluted
 /// training split may lack some class entirely and the model must still
 /// produce valid codes).
-pub trait Classifier: Send {
+pub trait Classifier: Send + Sync {
     /// Train on a design matrix and label codes.
     fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize, rng: &mut dyn RngCore);
 

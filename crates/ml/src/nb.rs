@@ -101,8 +101,7 @@ impl Classifier for NaiveBayesClassifier {
 
         // Laplace-smoothed priors keep absent classes representable.
         let total = y.len() as f64 + k as f64;
-        self.log_prior =
-            counts.iter().map(|&c| ((c as f64 + 1.0) / total).ln()).collect();
+        self.log_prior = counts.iter().map(|&c| ((c as f64 + 1.0) / total).ln()).collect();
     }
 
     fn predict_row(&self, row: &[f64]) -> u32 {
@@ -114,8 +113,8 @@ impl Classifier for NaiveBayesClassifier {
             for (j, &v) in row.iter().enumerate() {
                 let mean = self.means[c * d + j];
                 let var = self.vars[c * d + j];
-                log_p -= 0.5 * ((2.0 * std::f64::consts::PI * var).ln()
-                    + (v - mean) * (v - mean) / var);
+                log_p -=
+                    0.5 * ((2.0 * std::f64::consts::PI * var).ln() + (v - mean) * (v - mean) / var);
             }
             if log_p > best.1 {
                 best = (c as u32, log_p);
@@ -156,7 +155,8 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_crash() {
-        let x = Matrix::from_vecs(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 0.1], vec![1.0, 0.9]]);
+        let x =
+            Matrix::from_vecs(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 0.1], vec![1.0, 0.9]]);
         let y = vec![0, 1, 0, 1];
         let mut nb = NaiveBayesClassifier::default();
         let mut rng = StdRng::seed_from_u64(1);

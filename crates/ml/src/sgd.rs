@@ -304,8 +304,8 @@ mod tests {
                 let mut minus = glm.clone();
                 minus.weights[k] -= eps;
                 let x1 = Matrix::from_vecs(&[row.to_vec()]);
-                let fd = (plus.mean_loss(&x1, &[label]) - minus.mean_loss(&x1, &[label]))
-                    / (2.0 * eps);
+                let fd =
+                    (plus.mean_loss(&x1, &[label]) - minus.mean_loss(&x1, &[label])) / (2.0 * eps);
                 // Hinge is non-smooth at the margin; skip near-kink points.
                 if loss == Loss::Hinge {
                     let scores = glm.scores(row);

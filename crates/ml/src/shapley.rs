@@ -68,8 +68,6 @@ pub fn shapley_importance<R: Rng + ?Sized>(
     assert!(!groups.is_empty(), "need at least one feature group");
 
     let n = x.nrows();
-    let mut contributions = vec![0.0; groups.len()];
-    let mut perm: Vec<usize> = (0..groups.len()).collect();
 
     // Fully-masked matrix (all columns at background).
     let mut masked = Matrix::zeros(n, x.ncols());
@@ -81,16 +79,24 @@ pub fn shapley_importance<R: Rng + ?Sized>(
         config.metric.eval(y, &preds, n_classes)
     };
 
-    let mut work = masked.clone();
-    for _ in 0..config.n_permutations {
-        for i in (1..perm.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            perm.swap(i, j);
-        }
-        // Reset to fully masked.
-        for i in 0..n {
-            work.row_mut(i).copy_from_slice(masked.row(i));
-        }
+    // Draw all permutations up front (identical rng consumption to the
+    // sequential walk), then evaluate the walks in parallel. Each walk is
+    // independent; contributions are folded in permutation order so the
+    // float sums are bit-identical at any thread count.
+    let mut perm: Vec<usize> = (0..groups.len()).collect();
+    let permutations: Vec<Vec<usize>> = (0..config.n_permutations)
+        .map(|_| {
+            for i in (1..perm.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            perm.clone()
+        })
+        .collect();
+
+    let walks = comet_par::par_map(permutations, |perm| {
+        let mut work = masked.clone();
+        let mut deltas = vec![0.0; groups.len()];
         let mut prev = empty_value;
         for &g in &perm {
             let group = &groups[g];
@@ -100,24 +106,25 @@ pub fn shapley_importance<R: Rng + ?Sized>(
             }
             let preds = model.predict(&work);
             let value = config.metric.eval(y, &preds, n_classes);
-            contributions[g] += value - prev;
+            deltas[g] = value - prev;
             prev = value;
         }
+        deltas
+    });
+    let mut contributions = vec![0.0; groups.len()];
+    for deltas in walks {
+        for (c, d) in contributions.iter_mut().zip(deltas) {
+            *c += d;
+        }
     }
-    contributions
-        .iter()
-        .map(|c| c / config.n_permutations as f64)
-        .collect()
+    contributions.iter().map(|c| c / config.n_permutations as f64).collect()
 }
 
 /// Rank group indices by descending Shapley importance.
 pub fn rank_by_importance(importances: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..importances.len()).collect();
     order.sort_by(|&a, &b| {
-        importances[b]
-            .partial_cmp(&importances[a])
-            .expect("finite importances")
-            .then(a.cmp(&b))
+        importances[b].partial_cmp(&importances[a]).expect("finite importances").then(a.cmp(&b))
     });
     order
 }

@@ -52,9 +52,7 @@ impl RegressionTree {
 
     /// Convenience: fit with mean-valued leaves (plain regression tree).
     pub fn fit_mean(x: &Matrix, targets: &[f64], params: TreeParams) -> Self {
-        Self::fit(x, targets, params, |vals| {
-            vals.iter().sum::<f64>() / vals.len() as f64
-        })
+        Self::fit(x, targets, params, |vals| vals.iter().sum::<f64>() / vals.len() as f64)
     }
 
     fn grow<F>(
@@ -118,9 +116,7 @@ impl RegressionTree {
             order.clear();
             order.extend_from_slice(rows);
             order.sort_by(|&a, &b| {
-                x.get(a, feature)
-                    .partial_cmp(&x.get(b, feature))
-                    .expect("finite features")
+                x.get(a, feature).partial_cmp(&x.get(b, feature)).expect("finite features")
             });
             let mut left_sum = 0.0;
             for i in 0..n - 1 {
@@ -136,8 +132,7 @@ impl RegressionTree {
                     continue; // cannot split between equal values
                 }
                 let right_sum = total_sum - left_sum;
-                let score =
-                    left_sum * left_sum / nl as f64 + right_sum * right_sum / nr as f64;
+                let score = left_sum * left_sum / nl as f64 + right_sum * right_sum / nr as f64;
                 let gain = score - parent_score;
                 // Zero-gain splits are allowed (like scikit-learn): balanced
                 // XOR-style interactions have no first-level gain but become
@@ -187,9 +182,7 @@ impl RegressionTree {
         fn walk(nodes: &[Node], idx: usize) -> usize {
             match &nodes[idx] {
                 Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => {
-                    1 + walk(nodes, *left).max(walk(nodes, *right))
-                }
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
             }
         }
         walk(&self.nodes, 0)
@@ -272,13 +265,11 @@ mod tests {
             }
         }
         let x = Matrix::from_vecs(&rows);
-        let shallow = RegressionTree::fit_mean(&x, &targets, TreeParams { max_depth: 1, min_leaf: 1 });
+        let shallow =
+            RegressionTree::fit_mean(&x, &targets, TreeParams { max_depth: 1, min_leaf: 1 });
         let deep = RegressionTree::fit_mean(&x, &targets, TreeParams { max_depth: 2, min_leaf: 1 });
         let sse = |t: &RegressionTree| -> f64 {
-            rows.iter()
-                .zip(&targets)
-                .map(|(r, &y)| (t.predict_row(r) - y).powi(2))
-                .sum()
+            rows.iter().zip(&targets).map(|(r, &y)| (t.predict_row(r) - y).powi(2)).sum()
         };
         assert!(sse(&deep) < 1e-12, "deep tree must solve XOR");
         assert!(sse(&shallow) > 1.0, "depth-1 tree cannot solve XOR");
@@ -288,9 +279,10 @@ mod tests {
     fn custom_leaf_value_applied() {
         let x = Matrix::from_vecs(&[vec![0.0], vec![1.0]]);
         let targets = vec![2.0, 4.0];
-        let tree = RegressionTree::fit(&x, &targets, TreeParams { max_depth: 0, min_leaf: 1 }, |v| {
-            v.iter().product()
-        });
+        let tree =
+            RegressionTree::fit(&x, &targets, TreeParams { max_depth: 0, min_leaf: 1 }, |v| {
+                v.iter().product()
+            });
         assert_eq!(tree.predict_row(&[0.0]), 8.0);
     }
 

@@ -5,7 +5,8 @@ use crate::algorithm::{Algorithm, HyperParams};
 use crate::metrics::Metric;
 use crate::model::Classifier;
 use crate::Matrix;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Random-search configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,13 +75,22 @@ impl RandomSearch {
         let x_val = x.take_rows(val_rows);
         let y_val: Vec<u32> = val_rows.iter().map(|&r| y[r]).collect();
 
-        let mut best: Option<(HyperParams, f64)> = None;
-        for _ in 0..self.n_samples {
-            let params = algorithm.sample_params(rng);
+        // Draw every trial's hyperparameters and fit seed sequentially from
+        // the caller's rng, then fit/score the trials in parallel with
+        // per-trial rng streams. The winner is the first maximum in draw
+        // order, so the result is identical at any thread count.
+        let trials: Vec<(HyperParams, u64)> =
+            (0..self.n_samples).map(|_| (algorithm.sample_params(rng), rng.next_u64())).collect();
+        let scored = comet_par::par_map(trials, |(params, fit_seed)| {
+            let mut trial_rng = StdRng::seed_from_u64(fit_seed);
             let mut model = params.build();
-            model.fit(&x_train, &y_train, n_classes, rng);
+            model.fit(&x_train, &y_train, n_classes, &mut trial_rng);
             let preds = model.predict(&x_val);
             let score = self.metric.eval(&y_val, &preds, n_classes);
+            (params, score)
+        });
+        let mut best: Option<(HyperParams, f64)> = None;
+        for (params, score) in scored {
             if best.as_ref().is_none_or(|(_, s)| score > *s) {
                 best = Some((params, score));
             }

@@ -1,0 +1,319 @@
+//! # comet-par — deterministic data parallelism
+//!
+//! A small rayon-style fan-out built on `std::thread::scope` (the build
+//! environment is offline, so rayon itself is unavailable). Design goals,
+//! in priority order:
+//!
+//! 1. **Determinism**: [`par_map`] returns results in input order, so a
+//!    caller that derives any randomness *before* fanning out produces
+//!    bit-identical output at any thread count.
+//! 2. **Bounded threads**: a global worker-slot budget caps the *total*
+//!    number of live workers across nested fan-outs at the configured
+//!    thread count (an inner `par_map` inside a worker degrades to
+//!    sequential when no slots are free, instead of oversubscribing).
+//! 3. **Zero dependencies**: plain `std` only.
+//!
+//! Thread-count resolution, highest priority first:
+//!
+//! 1. a scoped override installed by [`with_threads`] (inherited by
+//!    workers for the duration of their fan-out),
+//! 2. a process-wide override set by [`set_global_threads`] (CLI
+//!    `--threads` flags),
+//! 3. the `COMET_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Unset sentinel for the global override.
+const UNSET: usize = usize::MAX;
+
+/// Process-wide thread-count override (0 or UNSET = unset).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// Workers currently spawned by every in-flight [`par_map`] in the
+/// process; bounds nested fan-out.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`] / worker inheritance.
+    static LOCAL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Set (or with `None` clear) the process-wide thread-count override.
+/// `Some(1)` forces every subsequent [`par_map`] sequential.
+pub fn set_global_threads(threads: Option<usize>) {
+    GLOBAL_THREADS.store(threads.map_or(UNSET, |t| t.max(1)), Ordering::SeqCst);
+}
+
+/// Run `f` with the calling thread's thread count forced to `threads`.
+/// Restores the previous override afterwards; nests correctly.
+pub fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let previous = LOCAL_THREADS.with(|c| c.replace(Some(threads.max(1))));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The thread count [`par_map`] targets on this thread right now.
+pub fn max_threads() -> usize {
+    if let Some(t) = LOCAL_THREADS.with(Cell::get) {
+        return t.max(1);
+    }
+    let global = GLOBAL_THREADS.load(Ordering::SeqCst);
+    if global != UNSET && global != 0 {
+        return global;
+    }
+    if let Ok(value) = std::env::var("COMET_THREADS") {
+        if let Ok(t) = value.trim().parse::<usize>() {
+            if t >= 1 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Try to reserve up to `wanted` extra worker slots from the global
+/// budget `cap`. Returns how many were actually reserved.
+fn reserve_workers(wanted: usize, cap: usize) -> usize {
+    if wanted == 0 {
+        return 0;
+    }
+    let mut current = ACTIVE_WORKERS.load(Ordering::SeqCst);
+    loop {
+        let free = cap.saturating_sub(current + 1); // +1: the caller itself
+        let take = wanted.min(free);
+        if take == 0 {
+            return 0;
+        }
+        match ACTIVE_WORKERS.compare_exchange(
+            current,
+            current + take,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return take,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+fn release_workers(count: usize) {
+    if count > 0 {
+        ACTIVE_WORKERS.fetch_sub(count, Ordering::SeqCst);
+    }
+}
+
+/// Map `f` over `items` in parallel, returning outputs **in input order**.
+///
+/// The calling thread participates as a worker, so `par_map` at one thread
+/// (or with an exhausted slot budget, or on short inputs) is exactly a
+/// sequential `map` on the current thread — same outputs, same order.
+/// Work is pulled item-at-a-time from a shared counter, so uneven item
+/// costs balance across workers. A panic in `f` propagates to the caller.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n.max(1));
+    if n <= 1 || threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let extra = reserve_workers(threads - 1, max_threads());
+    if extra == 0 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let results = &results;
+    let next = &next;
+    let inherited = max_threads();
+
+    let drain = move || loop {
+        let i = next.fetch_add(1, Ordering::SeqCst);
+        if i >= n {
+            break;
+        }
+        let item = slots[i].lock().expect("unpoisoned slot").take().expect("each slot taken once");
+        let out = f(item);
+        *results[i].lock().expect("unpoisoned result") = Some(out);
+    };
+
+    // Release the reserved slots even if a worker panic unwinds the scope.
+    struct SlotGuard(usize);
+    impl Drop for SlotGuard {
+        fn drop(&mut self) {
+            release_workers(self.0);
+        }
+    }
+    let _slots_guard = SlotGuard(extra);
+
+    std::thread::scope(|scope| {
+        for _ in 0..extra {
+            scope.spawn(move || {
+                // Workers inherit the caller's effective thread count so a
+                // scoped `with_threads` governs nested fan-outs too.
+                with_threads(inherited, drain);
+            });
+        }
+        drain();
+    });
+
+    results
+        .iter()
+        .map(|slot| slot.lock().expect("unpoisoned result").take().expect("all items processed"))
+        .collect()
+}
+
+/// [`par_map`] over `0..len`, for callers that index shared state instead
+/// of moving items.
+pub fn par_map_indexed<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map((0..len).collect(), f)
+}
+
+/// Fold [`par_map`] results in input order (deterministic reduction).
+pub fn par_map_reduce<T, U, A, F, G>(items: Vec<T>, init: A, f: F, fold: G) -> A
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+    G: FnMut(A, U) -> A,
+{
+    par_map(items, f).into_iter().fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = with_threads(4, || par_map((0..100).collect::<Vec<i64>>(), |x| x * x));
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<usize> = (0..57).collect();
+        let seq = with_threads(1, || par_map(items.clone(), |x| x.wrapping_mul(0x9E3779B9)));
+        let par = with_threads(8, || par_map(items, |x| x.wrapping_mul(0x9E3779B9)));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+        assert_eq!(par_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        let main_thread = std::thread::current().id();
+        let saw_other = AtomicBool::new(false);
+        with_threads(4, || {
+            par_map((0..64).collect::<Vec<usize>>(), |x| {
+                if std::thread::current().id() != main_thread {
+                    saw_other.store(true, Ordering::SeqCst);
+                }
+                // Enough work that the spawned workers win some items.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                x
+            })
+        });
+        assert!(saw_other.load(Ordering::SeqCst), "expected some items off the main thread");
+    }
+
+    #[test]
+    fn one_thread_stays_on_caller() {
+        let main_thread = std::thread::current().id();
+        with_threads(1, || {
+            par_map((0..16).collect::<Vec<usize>>(), |x| {
+                assert_eq!(std::thread::current().id(), main_thread);
+                x
+            })
+        });
+    }
+
+    #[test]
+    fn nested_fanout_respects_budget() {
+        // Outer uses the budget; inner calls degrade gracefully and still
+        // produce correct, ordered output.
+        let out = with_threads(2, || {
+            par_map((0..8).collect::<Vec<usize>>(), |outer| {
+                let inner = par_map((0..8).collect::<Vec<usize>>(), move |i| outer * 8 + i);
+                inner.iter().sum::<usize>()
+            })
+        });
+        let expected: Vec<usize> = (0..8).map(|o: usize| (0..8).map(|i| o * 8 + i).sum()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn with_threads_restores_previous_value() {
+        // All assertions nest inside a local override so concurrent tests
+        // touching the global override cannot interfere.
+        with_threads(3, || {
+            assert_eq!(max_threads(), 3);
+            with_threads(5, || assert_eq!(max_threads(), 5));
+            assert_eq!(max_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn local_override_wins_over_global() {
+        // The global override is process-wide shared state; only observe it
+        // from under a local override to stay race-free with other tests.
+        with_threads(6, || {
+            set_global_threads(Some(2));
+            assert_eq!(max_threads(), 6);
+            set_global_threads(None);
+        });
+    }
+
+    #[test]
+    fn indexed_and_reduce_helpers() {
+        let doubled = with_threads(4, || par_map_indexed(10, |i| i * 2));
+        assert_eq!(doubled, (0..10).map(|i| i * 2).collect::<Vec<usize>>());
+        let total =
+            par_map_reduce((1..=10).collect::<Vec<u64>>(), 0u64, |x| x * x, |acc, v| acc + v);
+        assert_eq!(total, 385);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map((0..32).collect::<Vec<usize>>(), |x| {
+                    if x == 17 {
+                        panic!("boom");
+                    }
+                    x
+                })
+            })
+        });
+        assert!(result.is_err());
+        // The slot guard must have released the budget despite the panic:
+        // a fresh fan-out still parallelizes (returns correct results).
+        let out = with_threads(4, || par_map((0..8).collect::<Vec<usize>>(), |x| x + 1));
+        assert_eq!(out, (1..9).collect::<Vec<usize>>());
+    }
+}

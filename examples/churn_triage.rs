@@ -40,8 +40,8 @@ fn main() {
     let mut test = tt.test;
     let mut prov_train = Provenance::for_frame(&train);
     let mut prov_test = Provenance::for_frame(&test);
-    let plan = PrePollutionPlan::sample(&train, Scenario::MultiError, 0.3, 0.5, &mut rng)
-        .expect("plan");
+    let plan =
+        PrePollutionPlan::sample(&train, Scenario::MultiError, 0.3, 0.5, &mut rng).expect("plan");
     plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).expect("pollute train");
     plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).expect("pollute test");
     println!(
@@ -99,31 +99,20 @@ fn main() {
     let traces = RandomCleaner
         .run_repeated(&env, &ErrorType::ALL, &strategy_config, 3, &mut rng)
         .expect("RR runs");
-    let rr_final =
-        traces.iter().map(|t| t.final_f1).sum::<f64>() / traces.len() as f64;
+    let rr_final = traces.iter().map(|t| t.final_f1).sum::<f64>() / traces.len() as f64;
 
     println!("\nwith a budget of {BUDGET} units:");
     println!("  COMET : F1 {:.4} -> {:.4}", comet.initial_f1, comet.final_f1);
     println!("  random: F1 {:.4} -> {:.4} (mean of 3 runs)", comet.initial_f1, rr_final);
-    println!(
-        "  advantage: {:+.2} percentage points",
-        100.0 * (comet.final_f1 - rr_final)
-    );
+    println!("  advantage: {:+.2} percentage points", 100.0 * (comet.final_f1 - rr_final));
     // Also compare the whole F1-per-budget trajectory, which is less noisy
     // than the endpoint alone.
     let max_b = BUDGET as usize;
     let comet_curve = comet.f1_series(max_b);
     let rr_curve: Vec<f64> = (0..=max_b)
-        .map(|b| {
-            traces.iter().map(|t| t.f1_at_budget(b as f64)).sum::<f64>()
-                / traces.len() as f64
-        })
+        .map(|b| traces.iter().map(|t| t.f1_at_budget(b as f64)).sum::<f64>() / traces.len() as f64)
         .collect();
-    let mean_adv: f64 = comet_curve
-        .iter()
-        .zip(&rr_curve)
-        .map(|(c, r)| c - r)
-        .sum::<f64>()
+    let mean_adv: f64 = comet_curve.iter().zip(&rr_curve).map(|(c, r)| c - r).sum::<f64>()
         / comet_curve.len() as f64;
     println!("  mean advantage over the whole budget: {:+.2} pt", 100.0 * mean_adv);
     println!();

@@ -30,9 +30,7 @@ fn main() {
     println!(
         "Titanic: {} rows, {} dirty cells",
         pair.clean.nrows(),
-        GroundTruth::new(pair.clean.clone())
-            .total_dirty(&pair.dirty)
-            .expect("dirt count"),
+        GroundTruth::new(pair.clean.clone()).total_dirty(&pair.dirty).expect("dirt count"),
     );
 
     // One split applied to both versions (labels are never polluted, so the
@@ -101,8 +99,5 @@ fn main() {
         let f = fir_trace.f1_at_budget(b as f64);
         println!("{b:>8}{c:>10.4}{f:>10.4}{:>11.2}pt", 100.0 * (c - f));
     }
-    println!(
-        "\nfully clean F1 would be {:.4}",
-        comet.fully_clean_f1.unwrap_or(f64::NAN)
-    );
+    println!("\nfully clean F1 would be {:.4}", comet.fully_clean_f1.unwrap_or(f64::NAN));
 }

@@ -12,9 +12,7 @@
 //! * driving the Polluter/Estimator directly to get one-off "what should I
 //!   clean next?" advice without running a full budgeted session.
 
-use comet::core::{
-    CleaningEnvironment, CometConfig, CostModel, CostPolicy, Estimator, Polluter,
-};
+use comet::core::{CleaningEnvironment, CometConfig, CostModel, CostPolicy, Estimator, Polluter};
 use comet::frame::{read_csv_str, train_test_split, ColumnSummary, SplitOptions};
 use comet::jenga::{ErrorType, GroundTruth, Provenance};
 use comet::ml::{Algorithm, Metric, RandomSearch};
@@ -89,8 +87,8 @@ fn main() {
     }
 
     let mut rng_split = StdRng::seed_from_u64(1);
-    let tt_clean = train_test_split(&clean, SplitOptions::default(), &mut rng_split)
-        .expect("split");
+    let tt_clean =
+        train_test_split(&clean, SplitOptions::default(), &mut rng_split).expect("split");
     let dirty_train = df.take(&tt_clean.train_rows).expect("take");
     let dirty_test = df.take(&tt_clean.test_rows).expect("take");
 
@@ -146,12 +144,9 @@ fn main() {
     let estimator = Estimator::new(config.blr_degree, config.interval, true);
     println!("\nwhat-if analysis for the income column:");
     for err in [ErrorType::MissingValues, ErrorType::Scaling] {
-        let variants = polluter
-            .variants(&env, income, err, &mut rng)
-            .expect("variants");
-        let estimate = estimator
-            .estimate(&env, income, err, current_f1, &variants)
-            .expect("estimate");
+        let variants = polluter.variants(&env, income, err, &mut rng).expect("variants");
+        let estimate =
+            estimator.estimate(&env, income, err, current_f1, &variants).expect("estimate");
         let cost = costs.next_cost(err, 0);
         println!(
             "  cleaning one step of {:<15} predicted F1 {:.4} (±{:.4}), cost {:.1} -> score {:+.4}",

@@ -38,12 +38,8 @@ fn main() {
     let mut test = tt.test;
     let mut prov_train = Provenance::for_frame(&train);
     let mut prov_test = Provenance::for_frame(&test);
-    let levels: Vec<(usize, f64)> =
-        train.feature_indices().into_iter().map(|c| (c, 0.4)).collect();
-    let plan = PrePollutionPlan::explicit(
-        Scenario::SingleError(ErrorType::MissingValues),
-        levels,
-    );
+    let levels: Vec<(usize, f64)> = train.feature_indices().into_iter().map(|c| (c, 0.4)).collect();
+    let plan = PrePollutionPlan::explicit(Scenario::SingleError(ErrorType::MissingValues), levels);
     plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).expect("pollute train");
     plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).expect("pollute test");
 
@@ -85,10 +81,7 @@ fn main() {
             "  [{}] clean {feature} ({}): predicted F1 {} -> actual {:.4}  {:?}",
             record.iteration,
             record.err.abbrev(),
-            record
-                .predicted_f1
-                .map(|p| format!("{p:.4}"))
-                .unwrap_or_else(|| "-".into()),
+            record.predicted_f1.map(|p| format!("{p:.4}")).unwrap_or_else(|| "-".into()),
             record.actual_f1,
             record.action,
         );

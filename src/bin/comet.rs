@@ -70,24 +70,17 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
-    flags
-        .get(name)
-        .map(String::as_str)
-        .ok_or_else(|| format!("missing required flag --{name}"))
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing required flag --{name}"))
 }
 
 fn seed_of(flags: &HashMap<String, String>) -> Result<u64, String> {
-    flags
-        .get("seed")
-        .map_or(Ok(42), |s| s.parse().map_err(|e| format!("--seed: {e}")))
+    flags.get("seed").map_or(Ok(42), |s| s.parse().map_err(|e| format!("--seed: {e}")))
 }
 
 fn algo_of(flags: &HashMap<String, String>) -> Result<Algorithm, String> {
     match flags.get("algo") {
         None => Ok(Algorithm::Knn),
-        Some(name) => {
-            Algorithm::parse(name).ok_or_else(|| format!("unknown algorithm {name:?}"))
-        }
+        Some(name) => Algorithm::parse(name).ok_or_else(|| format!("unknown algorithm {name:?}")),
     }
 }
 
@@ -98,9 +91,7 @@ fn cmd_pollute(args: &[String]) -> Result<(), String> {
     let output = required(&flags, "output")?;
     let error = ErrorType::parse(required(&flags, "error")?)
         .ok_or("unknown error type (use mv|gn|cs|s)")?;
-    let level: f64 = required(&flags, "level")?
-        .parse()
-        .map_err(|e| format!("--level: {e}"))?;
+    let level: f64 = required(&flags, "level")?.parse().map_err(|e| format!("--level: {e}"))?;
     if !(0.0..=1.0).contains(&level) {
         return Err("--level must be in [0, 1]".into());
     }
@@ -132,8 +123,7 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed_of(&flags)?);
 
     let df = read_csv(input, Some(label)).map_err(|e| e.to_string())?;
-    let tt = train_test_split(&df, SplitOptions::default(), &mut rng)
-        .map_err(|e| e.to_string())?;
+    let tt = train_test_split(&df, SplitOptions::default(), &mut rng).map_err(|e| e.to_string())?;
     let env = build_env(tt.train, tt.test, None, algorithm, 0.01, &mut rng)?;
     let f1 = env.evaluate().map_err(|e| e.to_string())?;
     println!(
@@ -154,12 +144,10 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     let budget: f64 = flags
         .get("budget")
         .map_or(Ok(20.0), |s| s.parse().map_err(|e| format!("--budget: {e}")))?;
-    let step: f64 = flags
-        .get("step")
-        .map_or(Ok(0.01), |s| s.parse().map_err(|e| format!("--step: {e}")))?;
-    let batch: usize = flags
-        .get("batch")
-        .map_or(Ok(1), |s| s.parse().map_err(|e| format!("--batch: {e}")))?;
+    let step: f64 =
+        flags.get("step").map_or(Ok(0.01), |s| s.parse().map_err(|e| format!("--step: {e}")))?;
+    let batch: usize =
+        flags.get("batch").map_or(Ok(1), |s| s.parse().map_err(|e| format!("--batch: {e}")))?;
     let mut rng = StdRng::seed_from_u64(seed_of(&flags)?);
 
     let dirty = read_csv(dirty_path, Some(label)).map_err(|e| e.to_string())?;
@@ -169,8 +157,8 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     }
 
     // One split drives both versions.
-    let tt = train_test_split(&clean, SplitOptions::default(), &mut rng)
-        .map_err(|e| e.to_string())?;
+    let tt =
+        train_test_split(&clean, SplitOptions::default(), &mut rng).map_err(|e| e.to_string())?;
     let dirty_train = dirty.take(&tt.train_rows).map_err(|e| e.to_string())?;
     let dirty_test = dirty.take(&tt.test_rows).map_err(|e| e.to_string())?;
     let clean_train = tt.train;
@@ -190,7 +178,8 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     let errors = ErrorType::ALL.to_vec();
 
     println!("dirty F1: {:.4}", env.evaluate().map_err(|e| e.to_string())?);
-    let config = CometConfig { budget, step_frac: step, batch_size: batch, ..CometConfig::default() };
+    let config =
+        CometConfig { budget, step_frac: step, batch_size: batch, ..CometConfig::default() };
     let session = CleaningSession::new(config, errors);
     let outcome = session.run(&mut env, &mut rng).map_err(|e| e.to_string())?;
     let trace = outcome.trace;
@@ -328,10 +317,8 @@ mod tests {
     fn provenance_derivation_classifies_errors() {
         use comet::frame::{Cell, Column};
         let x = Column::numeric("x", vec![1.0, 2.0, 3.0, 4.0]);
-        let c = Column::categorical("c", vec![0, 1, 0, 1], vec!["a".into(), "b".into()])
-            .unwrap();
-        let y = Column::categorical("y", vec![0, 1, 0, 1], vec!["n".into(), "p".into()])
-            .unwrap();
+        let c = Column::categorical("c", vec![0, 1, 0, 1], vec!["a".into(), "b".into()]).unwrap();
+        let y = Column::categorical("y", vec![0, 1, 0, 1], vec!["n".into(), "p".into()]).unwrap();
         let clean = DataFrame::new(vec![x, c, y], Some("y")).unwrap();
         let mut dirty = clean.clone();
         dirty.set(0, 0, Cell::Missing).unwrap(); // MV

@@ -14,12 +14,11 @@ pub use comet_datasets as datasets;
 pub use comet_frame as frame;
 pub use comet_jenga as jenga;
 pub use comet_ml as ml;
+pub use comet_par as par;
 
 /// Commonly used items, importable as `use comet::prelude::*`.
 pub mod prelude {
-    pub use comet_core::{
-        CleaningSession, CometConfig, CostModel, CostPolicy, SessionOutcome,
-    };
+    pub use comet_core::{CleaningSession, CometConfig, CostModel, CostPolicy, SessionOutcome};
     pub use comet_datasets::{Dataset, DatasetSpec};
     pub use comet_frame::{DataFrame, SplitOptions};
     pub use comet_jenga::{ErrorType, PrePollutionPlan};

@@ -42,8 +42,19 @@ fn pollute_then_evaluate_then_recommend() {
     // pollute
     let out = comet()
         .args([
-            "pollute", "--input", clean.to_str().unwrap(), "--label", "y", "--error", "mv",
-            "--level", "0.3", "--output", dirty.to_str().unwrap(), "--seed", "5",
+            "pollute",
+            "--input",
+            clean.to_str().unwrap(),
+            "--label",
+            "y",
+            "--error",
+            "mv",
+            "--level",
+            "0.3",
+            "--output",
+            dirty.to_str().unwrap(),
+            "--seed",
+            "5",
         ])
         .output()
         .unwrap();
@@ -65,9 +76,21 @@ fn pollute_then_evaluate_then_recommend() {
     // recommend with a tiny budget, writing the trace CSV.
     let out = comet()
         .args([
-            "recommend", "--dirty", dirty.to_str().unwrap(), "--clean", clean.to_str().unwrap(),
-            "--label", "y", "--budget", "4", "--step", "0.03",
-            "--trace", trace.to_str().unwrap(), "--seed", "5",
+            "recommend",
+            "--dirty",
+            dirty.to_str().unwrap(),
+            "--clean",
+            clean.to_str().unwrap(),
+            "--label",
+            "y",
+            "--budget",
+            "4",
+            "--step",
+            "0.03",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--seed",
+            "5",
         ])
         .output()
         .unwrap();
@@ -105,8 +128,13 @@ fn recommend_rejects_shape_mismatch() {
     fs::write(&b, "x,y\n1.0,no\n2.0,yes\n").unwrap();
     let out = comet()
         .args([
-            "recommend", "--dirty", a.to_str().unwrap(), "--clean", b.to_str().unwrap(),
-            "--label", "y",
+            "recommend",
+            "--dirty",
+            a.to_str().unwrap(),
+            "--clean",
+            b.to_str().unwrap(),
+            "--label",
+            "y",
         ])
         .output()
         .unwrap();

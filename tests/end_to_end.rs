@@ -2,9 +2,7 @@
 //! generation through pollution, tuning, cleaning sessions and baselines.
 
 use comet::baselines::{ActiveClean, Oracle, RandomCleaner, StrategyConfig};
-use comet::core::{
-    CleaningEnvironment, CleaningSession, CometConfig, CostPolicy, StepAction,
-};
+use comet::core::{CleaningEnvironment, CleaningSession, CometConfig, CostPolicy, StepAction};
 use comet::datasets::Dataset;
 use comet::frame::{train_test_split, SplitOptions};
 use comet::jenga::{ErrorType, GroundTruth, PrePollutionPlan, Provenance, Scenario};
@@ -61,11 +59,7 @@ fn comet_full_pipeline_single_error() {
     assert!(initial_dirty > 0);
 
     let session = CleaningSession::new(
-        CometConfig {
-            budget: 8.0,
-            n_combinations: 1,
-            ..CometConfig::default()
-        },
+        CometConfig { budget: 8.0, n_combinations: 1, ..CometConfig::default() },
         vec![ErrorType::MissingValues],
     );
     let mut rng = StdRng::seed_from_u64(2);
@@ -142,10 +136,8 @@ fn comet_vs_random_on_concentrated_dirt() {
         let mut prov_test = Provenance::for_frame(&test);
         // Pollute every feature moderately.
         let levels: Vec<(usize, f64)> = (0..14).map(|c| (c, 0.3)).collect();
-        let plan = PrePollutionPlan::explicit(
-            Scenario::SingleError(ErrorType::MissingValues),
-            levels,
-        );
+        let plan =
+            PrePollutionPlan::explicit(Scenario::SingleError(ErrorType::MissingValues), levels);
         plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
         plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
         let env = CleaningEnvironment::new(
@@ -176,18 +168,12 @@ fn comet_vs_random_on_concentrated_dirt() {
         let traces = RandomCleaner
             .run_repeated(&env, &[ErrorType::MissingValues], &config, 2, &mut rng)
             .unwrap();
-        let mean: f64 = traces
-            .iter()
-            .map(|t| t.f1_series(10).iter().sum::<f64>())
-            .sum::<f64>()
+        let mean: f64 = traces.iter().map(|t| t.f1_series(10).iter().sum::<f64>()).sum::<f64>()
             / traces.len() as f64;
         rr_score += mean;
     }
     // COMET must not lose to random by more than evaluation noise.
-    assert!(
-        comet_score >= rr_score - 0.4,
-        "COMET {comet_score:.3} vs RR {rr_score:.3}"
-    );
+    assert!(comet_score >= rr_score - 0.4, "COMET {comet_score:.3} vs RR {rr_score:.3}");
 }
 
 #[test]
@@ -203,9 +189,8 @@ fn oracle_and_activeclean_share_environment_semantics() {
     let mut rng = StdRng::seed_from_u64(8);
 
     let mut oracle_env = env.clone();
-    let oracle_trace = Oracle
-        .run(&mut oracle_env, &[ErrorType::GaussianNoise], &config, &mut rng)
-        .unwrap();
+    let oracle_trace =
+        Oracle.run(&mut oracle_env, &[ErrorType::GaussianNoise], &config, &mut rng).unwrap();
     let mut ac_env = env.clone();
     let ac_trace = ActiveClean::default()
         .run(&mut ac_env, &[ErrorType::GaussianNoise], &config, &mut rng)

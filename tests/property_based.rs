@@ -295,3 +295,50 @@ mod core_properties {
         }
     }
 }
+
+mod fingerprint_props {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Mutating any single cell — value, validity bit, or categorical
+        /// code — changes the frame fingerprint, and undoing the mutation
+        /// restores it bit-for-bit. This is the soundness condition of the
+        /// evaluation cache: distinct data states must not share a key.
+        #[test]
+        fn fingerprint_tracks_single_cell_mutations(
+            values in prop::collection::vec(-1e3f64..1e3, 20..60),
+            cats in prop::collection::vec(0u8..3, 60),
+            labels in prop::collection::vec(0u8..2, 60),
+            pick in 0.0f64..1.0,
+            delta in 1.0f64..100.0,
+        ) {
+            let n = values.len();
+            let df0 = frame(&values, &cats[..n], &labels[..n]);
+            let base = df0.fingerprint();
+            prop_assert_eq!(df0.fingerprint(), base, "fingerprint must be deterministic");
+
+            let row = ((pick * n as f64) as usize).min(n - 1);
+
+            // Numeric value mutation, then exact restore.
+            let mut df = df0.clone();
+            let old = df.column(0).unwrap().num(row).unwrap();
+            df.set(row, 0, Cell::Num(old + delta)).unwrap();
+            prop_assert_ne!(df.fingerprint(), base);
+            df.set(row, 0, Cell::Num(old)).unwrap();
+            prop_assert_eq!(df.fingerprint(), base);
+
+            // Validity flip alone (payload slot untouched).
+            let mut df = df0.clone();
+            df.set(row, 0, Cell::Missing).unwrap();
+            prop_assert_ne!(df.fingerprint(), base);
+
+            // Categorical code mutation.
+            let mut df = df0.clone();
+            let old_code = df.column(1).unwrap().cat(row).unwrap();
+            df.set(row, 1, Cell::Cat((old_code + 1) % 3)).unwrap();
+            prop_assert_ne!(df.fingerprint(), base);
+        }
+    }
+}
