@@ -121,10 +121,12 @@ impl EvalCache {
         match inner.map.get(&key).copied() {
             Some(score) => {
                 inner.hits += 1;
+                comet_obs::counter_add("eval_cache.hits", 1);
                 Some(score)
             }
             None => {
                 inner.misses += 1;
+                comet_obs::counter_add("eval_cache.misses", 1);
                 None
             }
         }
@@ -136,6 +138,7 @@ impl EvalCache {
             inner.map.clear();
         }
         inner.map.insert(key, score);
+        comet_obs::gauge_set("eval_cache.entries", inner.map.len() as f64);
     }
 
     fn stats(&self) -> CacheStats {
@@ -148,6 +151,7 @@ impl EvalCache {
         inner.map.clear();
         inner.hits = 0;
         inner.misses = 0;
+        comet_obs::gauge_set("eval_cache.entries", 0.0);
     }
 }
 

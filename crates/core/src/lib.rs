@@ -31,6 +31,7 @@ mod config;
 mod cost;
 mod env;
 mod estimator;
+mod metrics;
 mod polluter;
 mod recommender;
 mod report;
@@ -42,6 +43,7 @@ pub use config::CometConfig;
 pub use cost::{CostModel, CostPolicy};
 pub use env::{CacheStats, CleaningEnvironment, EnvError, ModelSpec, StateSnapshot};
 pub use estimator::{Estimate, Estimator};
+pub use metrics::{IterationMetrics, PhaseNanos, RunMetrics, PHASES};
 pub use polluter::{PollutedVariant, Polluter};
 pub use recommender::{Candidate, Recommender};
 pub use session::{CleaningSession, SessionOutcome};

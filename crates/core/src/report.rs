@@ -1,5 +1,6 @@
 //! Trace export and human-readable session summaries.
 
+use crate::metrics::RunMetrics;
 use crate::trace::{CleaningTrace, StepAction};
 use comet_frame::DataFrame;
 
@@ -84,9 +85,55 @@ impl CleaningTrace {
     }
 }
 
+impl RunMetrics {
+    /// The "MetricsReport" section: a Figure-12-style per-module runtime
+    /// breakdown plus cache and pool utilization, rendered from a
+    /// metrics-enabled run.
+    pub fn report(&self) -> String {
+        let totals = self.phase_totals();
+        let denom = totals.total().max(1) as f64;
+        let mut out = String::from("== metrics report ==\n");
+        out.push_str(&format!("iterations: {}\n", self.iterations.len()));
+        out.push_str("phase breakdown (pollute/estimate are aggregate worker time):\n");
+        for (name, nanos) in totals.named() {
+            out.push_str(&format!(
+                "  {name:<10} {:>9.3} s  ({:>5.1}%)\n",
+                nanos as f64 / 1e9,
+                100.0 * nanos as f64 / denom,
+            ));
+        }
+        let (hits, misses) = self.cache_totals();
+        let lookups = hits + misses;
+        let rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+        out.push_str(&format!(
+            "eval cache: {hits} hits / {misses} misses ({:.1}% hit rate)\n",
+            100.0 * rate,
+        ));
+        if let Some(peak) = self.registry.gauge("par.peak_workers") {
+            out.push_str(&format!("peak extra workers: {peak:.0}\n"));
+        }
+        let fanouts = self.registry.counter("par.fanouts");
+        if fanouts > 0 {
+            out.push_str(&format!(
+                "parallel fan-outs: {fanouts} ({} sequential)\n",
+                self.registry.counter("par.sequential_fallbacks"),
+            ));
+        }
+        let trials = self.registry.counter("tune.trials");
+        if trials > 0 {
+            out.push_str(&format!(
+                "hyperparameter trials: {trials} over {} searches\n",
+                self.registry.counter("tune.searches"),
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::{IterationMetrics, PhaseNanos};
     use crate::trace::StepRecord;
     use comet_jenga::ErrorType;
     use std::time::Duration;
@@ -161,5 +208,39 @@ mod tests {
     fn action_labels_are_stable() {
         assert_eq!(StepAction::Accepted.label(), "accepted");
         assert_eq!(StepAction::BufferApplied.label(), "buffer_applied");
+    }
+
+    #[test]
+    fn metrics_report_mentions_phases_and_cache() {
+        let metrics = RunMetrics {
+            iterations: vec![IterationMetrics {
+                iteration: 0,
+                candidates: 2,
+                records: 1,
+                cache_hits: 3,
+                cache_misses: 1,
+                budget_spent: 1.0,
+                f1: 0.8,
+                phases: PhaseNanos {
+                    pollute: 2_000_000_000,
+                    estimate: 1_000_000_000,
+                    rank: 500_000,
+                    clean_step: 20_000_000,
+                    evaluate: 900_000_000,
+                    fallback: 0,
+                },
+            }],
+            initial_f1: 0.7,
+            final_f1: 0.8,
+            budget_spent: 1.0,
+            registry: comet_obs::Snapshot::default(),
+        };
+        let s = metrics.report();
+        assert!(s.contains("metrics report"));
+        assert!(s.contains("iterations: 1"));
+        for phase in crate::metrics::PHASES {
+            assert!(s.contains(phase), "missing {phase} in {s}");
+        }
+        assert!(s.contains("3 hits / 1 misses (75.0% hit rate)"));
     }
 }

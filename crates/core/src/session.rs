@@ -5,6 +5,7 @@ use crate::budget::Budget;
 use crate::config::CometConfig;
 use crate::env::{CleaningEnvironment, EnvError};
 use crate::estimator::{Estimate, Estimator};
+use crate::metrics::{IterationMetrics, PhaseNanos, RunMetrics};
 use crate::polluter::Polluter;
 use crate::recommender::Recommender;
 use crate::trace::{CleaningTrace, StepAction, StepRecord};
@@ -12,7 +13,8 @@ use comet_jenga::ErrorType;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Derive the private rng seed of one candidate's what-if pollution from
 /// the session seed and the candidate's identity (FxHash-style mixing).
@@ -28,6 +30,20 @@ fn candidate_seed(session_seed: u64, col: usize, err: ErrorType, iteration: usiz
     h
 }
 
+/// Run `f`, adding its elapsed nanoseconds to `acc` when `on`. The
+/// accumulators are per-iteration `AtomicU64`s so the same helper serves
+/// the sequential phases and the pollute/estimate work inside the
+/// parallel candidate fan-out (where workers add concurrently).
+fn timed<T>(on: bool, acc: &AtomicU64, f: impl FnOnce() -> T) -> T {
+    if !on {
+        return f();
+    }
+    let started = Instant::now();
+    let out = f();
+    acc.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
 /// A configured COMET run over a fixed set of candidate error types
 /// (single-error scenario: one type; multi-error: all four).
 #[derive(Debug, Clone)]
@@ -41,6 +57,9 @@ pub struct CleaningSession {
 pub struct SessionOutcome {
     /// The full step-by-step trace.
     pub trace: CleaningTrace,
+    /// Per-iteration phase timings and counters, collected only while
+    /// `comet_obs` recording is enabled; `None` on bare runs.
+    pub metrics: Option<RunMetrics>,
 }
 
 impl CleaningSession {
@@ -85,14 +104,33 @@ impl CleaningSession {
         // strictly sequential cleaning steps.
         let session_seed: u64 = rng.next_u64();
 
+        // Metrics are collected only while `comet_obs` recording is on;
+        // nothing below may branch on collected values, so instrumented
+        // runs stay bit-identical to bare ones.
+        let metrics_on = comet_obs::enabled();
+        let mut run_metrics = if metrics_on { Some(RunMetrics::default()) } else { None };
+
         for iteration in 0..10_000usize {
-            if budget.exhausted() {
+            // An exhausted budget still admits zero-cost productive
+            // actions: buffered re-applications and free follow-up steps
+            // under `OneShot { rest: 0.0 }` cost models. Breaking outright
+            // here starved those (the free-step starvation bug).
+            if budget.exhausted() && !self.free_action_available(env, &recommender, &steps_done) {
                 break;
             }
             let dirty_pairs = env.candidate_pairs(&self.errors);
             if dirty_pairs.is_empty() {
                 break;
             }
+            let cache_before = env.cache_stats();
+            let records_before = trace.records.len();
+            let candidates = dirty_pairs.len();
+            let pollute_nanos = AtomicU64::new(0);
+            let estimate_nanos = AtomicU64::new(0);
+            let rank_nanos = AtomicU64::new(0);
+            let clean_step_nanos = AtomicU64::new(0);
+            let evaluate_nanos = AtomicU64::new(0);
+            let fallback_nanos = AtomicU64::new(0);
 
             // --- Produce the recommendation (the RQ6-timed phase). ---
             // Candidates are independent given their derived seeds, so the
@@ -104,11 +142,20 @@ impl CleaningSession {
             let estimates: Vec<Estimate> = {
                 let env_ref: &CleaningEnvironment = env;
                 let estimator_ref = &estimator;
+                let pollute_acc = &pollute_nanos;
+                let estimate_acc = &estimate_nanos;
                 comet_par::par_map(dirty_pairs.clone(), |(col, err)| {
                     let seed = candidate_seed(session_seed, col, err, iteration);
                     let mut cand_rng = StdRng::seed_from_u64(seed);
-                    let variants = polluter.variants(env_ref, col, err, &mut cand_rng)?;
-                    estimator_ref.estimate(env_ref, col, err, current_f1, &variants)
+                    // Workers add into shared accumulators, so these two
+                    // phases measure aggregate worker time (they can
+                    // exceed the iteration's wall clock).
+                    let variants = timed(metrics_on, pollute_acc, || {
+                        polluter.variants(env_ref, col, err, &mut cand_rng)
+                    })?;
+                    timed(metrics_on, estimate_acc, || {
+                        estimator_ref.estimate(env_ref, col, err, current_f1, &variants)
+                    })
                 })
                 .into_iter()
                 .collect::<Result<_, EnvError>>()?
@@ -120,7 +167,7 @@ impl CleaningSession {
                     self.config.costs.next_cost(err, done)
                 })
                 .collect();
-            let ranked = recommender.rank(estimates, &costs);
+            let ranked = timed(metrics_on, &rank_nanos, || recommender.rank(estimates, &costs));
             trace.iteration_runtimes.push(started.elapsed());
 
             // --- Execute recommendations until one sticks. ---
@@ -155,25 +202,38 @@ impl CleaningSession {
                     let mut any_cleaned = false;
                     for cand in &selected {
                         let (col, err) = (cand.estimate.col, cand.estimate.err);
-                        let (ctr, cte) = env.clean_step(
-                            col,
-                            err,
-                            &cand.estimate.flagged_train,
-                            &cand.estimate.flagged_test,
-                            rng,
-                        )?;
+                        let (ctr, cte) = timed(metrics_on, &clean_step_nanos, || {
+                            env.clean_step(
+                                col,
+                                err,
+                                &cand.estimate.flagged_train,
+                                &cand.estimate.flagged_test,
+                                rng,
+                            )
+                        })?;
                         cleaned_counts.push(ctr + cte);
                         any_cleaned |= ctr + cte > 0;
                     }
                     if any_cleaned {
-                        for cand in &selected {
+                        // Charge, count, and learn from only the members
+                        // that actually cleaned cells — parity with the
+                        // step-by-step path's zero-cell skip. A member
+                        // whose pair was already clean did no work and
+                        // must not consume budget or produce a record.
+                        for (i, cand) in selected.iter().enumerate() {
+                            if cleaned_counts[i] == 0 {
+                                continue;
+                            }
                             budget.try_spend(cand.cost);
                             *steps_done
                                 .entry((cand.estimate.col, cand.estimate.err))
                                 .or_default() += 1;
                         }
-                        let f1 = env.evaluate()?;
-                        for cand in &selected {
+                        let f1 = timed(metrics_on, &evaluate_nanos, || env.evaluate())?;
+                        for (i, cand) in selected.iter().enumerate() {
+                            if cleaned_counts[i] == 0 {
+                                continue;
+                            }
                             estimator.record_outcome(
                                 cand.estimate.col,
                                 cand.estimate.err,
@@ -190,8 +250,13 @@ impl CleaningSession {
                         if keep {
                             current_f1 = f1;
                         } else {
-                            // Buffer each cleaned column, then revert all.
-                            for cand in selected.iter() {
+                            // Buffer each cleaned column (zero-cell
+                            // members have nothing to buffer), then
+                            // revert all.
+                            for (i, cand) in selected.iter().enumerate() {
+                                if cleaned_counts[i] == 0 {
+                                    continue;
+                                }
                                 let cleaned_state = env.snapshot(cand.estimate.col)?;
                                 recommender.buffer_store(
                                     cand.estimate.col,
@@ -204,6 +269,9 @@ impl CleaningSession {
                             }
                         }
                         for (i, cand) in selected.iter().enumerate() {
+                            if cleaned_counts[i] == 0 {
+                                continue;
+                            }
                             trace.records.push(StepRecord {
                                 iteration,
                                 col: cand.estimate.col,
@@ -240,7 +308,7 @@ impl CleaningSession {
                     let pre = env.snapshot(col)?;
                     let buffered = recommender.buffer_take(col, err).expect("checked contains");
                     env.restore(&buffered)?;
-                    let f1 = env.evaluate()?;
+                    let f1 = timed(metrics_on, &evaluate_nanos, || env.evaluate())?;
                     if f1 >= current_f1 - 1e-12 {
                         current_f1 = f1;
                         recommender.record_post_clean_f1(col, err, f1);
@@ -269,19 +337,21 @@ impl CleaningSession {
                     continue;
                 }
                 let pre = env.snapshot(col)?;
-                let (ctr, cte) = env.clean_step(
-                    col,
-                    err,
-                    &cand.estimate.flagged_train,
-                    &cand.estimate.flagged_test,
-                    rng,
-                )?;
+                let (ctr, cte) = timed(metrics_on, &clean_step_nanos, || {
+                    env.clean_step(
+                        col,
+                        err,
+                        &cand.estimate.flagged_train,
+                        &cand.estimate.flagged_test,
+                        rng,
+                    )
+                })?;
                 if ctr + cte == 0 {
                     continue;
                 }
                 budget.try_spend(cand.cost);
                 *steps_done.entry((col, err)).or_default() += 1;
-                let f1 = env.evaluate()?;
+                let f1 = timed(metrics_on, &evaluate_nanos, || env.evaluate())?;
                 estimator.record_outcome(col, err, cand.estimate.raw_predicted_f1, f1);
                 recommender.record_post_clean_f1(col, err, f1);
 
@@ -331,6 +401,10 @@ impl CleaningSession {
             // shows COMET's trajectory fluctuating exactly this way. This
             // also guarantees progress: every fallback step reduces dirt.
             if !progressed && self.config.fallback {
+                // Timed as one block (including its cleaning and
+                // evaluation) so the inner calls are not double-counted
+                // into the clean_step/evaluate phases.
+                let fallback_started = if metrics_on { Some(Instant::now()) } else { None };
                 let dirty_now = env.candidate_pairs(&self.errors);
                 if let Some((col, err)) = recommender.fallback(&dirty_now) {
                     if let Some(buffered) = recommender.buffer_take(col, err) {
@@ -381,6 +455,60 @@ impl CleaningSession {
                         }
                     }
                 }
+                if let Some(t) = fallback_started {
+                    fallback_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            }
+
+            if let Some(rm) = run_metrics.as_mut() {
+                let phases = PhaseNanos {
+                    pollute: pollute_nanos.into_inner(),
+                    estimate: estimate_nanos.into_inner(),
+                    rank: rank_nanos.into_inner(),
+                    clean_step: clean_step_nanos.into_inner(),
+                    evaluate: evaluate_nanos.into_inner(),
+                    fallback: fallback_nanos.into_inner(),
+                };
+                comet_obs::counter_add("session.iterations", 1);
+                comet_obs::observe_duration(
+                    "session.phase.pollute",
+                    Duration::from_nanos(phases.pollute),
+                );
+                comet_obs::observe_duration(
+                    "session.phase.estimate",
+                    Duration::from_nanos(phases.estimate),
+                );
+                comet_obs::observe_duration(
+                    "session.phase.rank",
+                    Duration::from_nanos(phases.rank),
+                );
+                comet_obs::observe_duration(
+                    "session.phase.clean_step",
+                    Duration::from_nanos(phases.clean_step),
+                );
+                comet_obs::observe_duration(
+                    "session.phase.evaluate",
+                    Duration::from_nanos(phases.evaluate),
+                );
+                comet_obs::observe_duration(
+                    "session.phase.fallback",
+                    Duration::from_nanos(phases.fallback),
+                );
+                let cache_now = env.cache_stats();
+                let it = IterationMetrics {
+                    iteration,
+                    candidates,
+                    records: trace.records.len() - records_before,
+                    cache_hits: cache_now.hits - cache_before.hits,
+                    cache_misses: cache_now.misses - cache_before.misses,
+                    budget_spent: budget.spent(),
+                    f1: current_f1,
+                    phases,
+                };
+                if comet_obs::journal::has_sink() {
+                    comet_obs::journal::emit(&it.to_json_line());
+                }
+                rm.iterations.push(it);
             }
 
             if !progressed {
@@ -389,7 +517,33 @@ impl CleaningSession {
         }
 
         trace.final_f1 = current_f1;
-        Ok(SessionOutcome { trace })
+        let metrics = run_metrics.map(|mut rm| {
+            rm.initial_f1 = trace.initial_f1;
+            rm.final_f1 = trace.final_f1;
+            rm.budget_spent = budget.spent();
+            rm.registry = comet_obs::snapshot();
+            rm
+        });
+        Ok(SessionOutcome { trace, metrics })
+    }
+
+    /// True while an exhausted budget still leaves a zero-cost productive
+    /// action on the table: a buffered cleaned state waiting to re-apply,
+    /// or a dirty pair whose next step is free under the cost policy
+    /// (`OneShot { rest: 0.0 }` follow-ups in `CostPolicy::paper_multi`).
+    fn free_action_available(
+        &self,
+        env: &CleaningEnvironment,
+        recommender: &Recommender,
+        steps_done: &HashMap<(usize, ErrorType), usize>,
+    ) -> bool {
+        if recommender.buffer_len() > 0 {
+            return true;
+        }
+        env.candidate_pairs(&self.errors).into_iter().any(|(col, err)| {
+            let done = steps_done.get(&(col, err)).copied().unwrap_or(0);
+            self.config.costs.next_cost(err, done) == 0.0
+        })
     }
 }
 
@@ -669,6 +823,139 @@ mod tests {
         assert!(config.validate().is_err());
     }
 
+    /// The batch accounting invariant: the budget actually spent must equal
+    /// the summed cost of the records that cleaned at least one cell.
+    fn assert_budget_matches_cleaning_records(trace: &CleaningTrace) {
+        let cleaned_cost: f64 =
+            trace.records.iter().filter(|r| r.cleaned_cells > 0).map(|r| r.cost).sum();
+        assert!(
+            (trace.total_spent() - cleaned_cost).abs() < 1e-9,
+            "spent {} != {} = sum of costs over cleaning records",
+            trace.total_spent(),
+            cleaned_cost,
+        );
+        for r in &trace.records {
+            if r.cleaned_cells == 0 {
+                assert_eq!(r.cost, 0.0, "zero-cell record must not carry a cost: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_budget_equals_cost_of_cleaning_records() {
+        let levels: Vec<(usize, f64)> = (0..14).map(|c| (c, 0.5)).collect();
+        let mut env = build_env_with_step(21, 300, levels, Algorithm::Knn, 0.08);
+        let config = CometConfig { batch_size: 3, ..quick_config(12.0) };
+        let session = CleaningSession::new(config, vec![ErrorType::MissingValues]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = session.run(&mut env, &mut rng).unwrap();
+        assert!(!outcome.trace.records.is_empty());
+        assert_budget_matches_cleaning_records(&outcome.trace);
+    }
+
+    #[test]
+    fn batch_member_cleaning_zero_cells_is_not_charged() {
+        // Unit-level proof of the zero-cell rule the batch path now shares
+        // with the step-by-step path: cleaning an already-clean pair does
+        // no work, so it must report zero cells (and hence never be
+        // charged by the session).
+        let mut env = build_env(4, 200, vec![(0, 0.3)], Algorithm::Knn);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut guard = 0;
+        while env.pair_dirty(0, ErrorType::MissingValues) {
+            env.clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng).unwrap();
+            guard += 1;
+            assert!(guard < 500, "cleaning must terminate");
+        }
+        let (ctr, cte) = env.clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng).unwrap();
+        assert_eq!((ctr, cte), (0, 0));
+    }
+
+    #[test]
+    fn multi_error_batch_with_shared_column_keeps_budget_invariant() {
+        // The same column dirty under two error types: batch mode may
+        // select both pairs in one batch (snapshot/buffer interaction) and
+        // the accounting invariant must survive it, under the paper's
+        // multi-error cost policy.
+        let mut rng = StdRng::seed_from_u64(19);
+        let df = comet_datasets::Dataset::Eeg.generate(Some(300), &mut rng);
+        let tt = train_test_split(&df, SplitOptions::default(), &mut rng).unwrap();
+        let gt_train = GroundTruth::new(tt.train.clone());
+        let gt_test = GroundTruth::new(tt.test.clone());
+        let mut train = tt.train;
+        let mut test = tt.test;
+        let mut prov_train = Provenance::for_frame(&train);
+        let mut prov_test = Provenance::for_frame(&test);
+        for (scenario, levels) in [
+            (Scenario::SingleError(ErrorType::MissingValues), vec![(0, 0.3), (1, 0.25)]),
+            (Scenario::SingleError(ErrorType::GaussianNoise), vec![(0, 0.25), (2, 0.2)]),
+        ] {
+            let plan = PrePollutionPlan::explicit(scenario, levels);
+            plan.apply(&mut train, 0.01, &mut prov_train, &mut rng).unwrap();
+            plan.apply(&mut test, 0.01, &mut prov_test, &mut rng).unwrap();
+        }
+        let mut env = CleaningEnvironment::new(
+            train,
+            test,
+            gt_train,
+            gt_test,
+            prov_train,
+            prov_test,
+            Algorithm::Knn,
+            Metric::F1,
+            0.05,
+            RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            5,
+            &mut rng,
+        )
+        .unwrap();
+        // Column 0 must really carry both error types.
+        assert!(env.pair_dirty(0, ErrorType::MissingValues));
+        assert!(env.pair_dirty(0, ErrorType::GaussianNoise));
+        let config = CometConfig {
+            costs: crate::cost::CostPolicy::paper_multi(),
+            batch_size: 3,
+            ..quick_config(10.0)
+        };
+        let session = CleaningSession::new(config, ErrorType::ALL.to_vec());
+        let outcome = session.run(&mut env, &mut rng).unwrap();
+        assert!(outcome.trace.total_spent() <= 10.0 + 1e-9);
+        assert!(!outcome.trace.records.is_empty());
+        assert_budget_matches_cleaning_records(&outcome.trace);
+    }
+
+    #[test]
+    fn free_steps_continue_after_budget_exhaustion() {
+        // paper-multi missing values cost 2 for the first step and 0 after:
+        // with a budget of exactly 2, the first step exhausts the budget but
+        // every follow-up is free, so the session must keep cleaning until
+        // the column is spotless instead of stopping after one step.
+        let mut env = build_env(2, 200, vec![(0, 0.25)], Algorithm::Knn);
+        let config = CometConfig {
+            costs: crate::cost::CostPolicy::new(
+                crate::cost::CostModel::OneShot { first: 2.0, rest: 0.0 },
+                crate::cost::CostModel::Linear { initial: 1.0, increment: 1.0 },
+                crate::cost::CostModel::Constant(1.0),
+                crate::cost::CostModel::Constant(1.0),
+            ),
+            ..quick_config(2.0)
+        };
+        let session = CleaningSession::new(config, vec![ErrorType::MissingValues]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = session.run(&mut env, &mut rng).unwrap();
+        let trace = &outcome.trace;
+        assert!(trace.total_spent() <= 2.0 + 1e-9);
+        let free_after_exhaustion =
+            trace.records.iter().filter(|r| r.cost == 0.0 && r.budget_spent >= 2.0 - 1e-9).count();
+        assert!(
+            free_after_exhaustion > 0,
+            "free follow-up steps must run after the budget is spent: {:?}",
+            trace.records,
+        );
+        assert!(env.is_fully_clean().unwrap(), "free steps should finish the column");
+        assert_budget_matches_cleaning_records(trace);
+    }
+
     #[test]
     fn parallel_trace_bit_identical_to_sequential() {
         // The determinism contract of the parallel engine: one thread and
@@ -693,6 +980,71 @@ mod tests {
             parallel.trace.records,
         );
         assert!(!sequential.trace.records.is_empty(), "trivial traces prove nothing");
+    }
+
+    /// The `comet_obs` enable flag is process-global; tests that flip it
+    /// serialize here so concurrent test threads cannot observe each
+    /// other's windows.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn metrics_enabled_does_not_change_the_trace() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let env0 = build_env(31, 240, vec![(0, 0.3), (1, 0.25)], Algorithm::Knn);
+        let session = CleaningSession::new(quick_config(8.0), vec![ErrorType::MissingValues]);
+        let run = |env0: &CleaningEnvironment| {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let mut rng = StdRng::seed_from_u64(77);
+            session.run(&mut env, &mut rng).unwrap()
+        };
+
+        comet_obs::set_enabled(false);
+        let bare = run(&env0);
+        assert!(bare.metrics.is_none(), "bare runs collect nothing");
+
+        comet_obs::set_enabled(true);
+        comet_obs::reset();
+        let instrumented = run(&env0);
+        comet_obs::set_enabled(false);
+
+        assert!(
+            bare.trace.content_eq(&instrumented.trace),
+            "metrics may only observe, never change the trace",
+        );
+        let metrics = instrumented.metrics.expect("instrumented runs collect metrics");
+        assert_eq!(metrics.iterations.len(), instrumented.trace.iteration_runtimes.len());
+        assert!(metrics.phase_totals().total() > 0, "phases must register time");
+        let (hits, misses) = metrics.cache_totals();
+        assert!(hits + misses > 0, "evaluations must hit the cache counters");
+        assert!(metrics.registry.counter("session.iterations") > 0);
+        assert!(metrics.registry.counter("eval_cache.misses") > 0);
+        assert_eq!(metrics.initial_f1, instrumented.trace.initial_f1);
+        assert_eq!(metrics.final_f1, instrumented.trace.final_f1);
+    }
+
+    #[test]
+    fn parallel_trace_bit_identical_with_metrics_enabled() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        comet_obs::set_enabled(true);
+        comet_obs::reset();
+        let env0 = build_env(31, 240, vec![(0, 0.3), (1, 0.25), (2, 0.2)], Algorithm::Knn);
+        let session = CleaningSession::new(quick_config(10.0), vec![ErrorType::MissingValues]);
+        let run_with = |threads: usize| {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let mut rng = StdRng::seed_from_u64(77);
+            comet_par::with_threads(threads, || session.run(&mut env, &mut rng).unwrap())
+        };
+        let sequential = run_with(1);
+        let parallel = run_with(4);
+        comet_obs::set_enabled(false);
+        assert!(
+            sequential.trace.content_eq(&parallel.trace),
+            "metrics-enabled runs must stay thread-count independent",
+        );
+        assert!(!sequential.trace.records.is_empty(), "trivial traces prove nothing");
+        assert!(sequential.metrics.is_some() && parallel.metrics.is_some());
     }
 
     #[test]

@@ -128,14 +128,21 @@ pub fn balanced_accuracy(y_true: &[u32], y_pred: &[u32], n_classes: usize) -> f6
 /// Returns 0.5 when one class is absent (no ranking information).
 pub fn roc_auc(y_true: &[u32], scores: &[f64]) -> f64 {
     assert_eq!(y_true.len(), scores.len(), "length mismatch");
+    // `total_cmp` over a NaN-sanitized key, not `partial_cmp(..).expect(..)`:
+    // a degenerate model (all-equal features, zero-variance fit) can emit a
+    // NaN score, and computing a metric must not panic mid-session. NaN maps
+    // to -∞ — "no confidence in the positive class" — so such entries rank
+    // below every real score, the same convention `Recommender::rank` uses.
+    let key = |i: usize| if scores[i].is_nan() { f64::NEG_INFINITY } else { scores[i] };
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
-    // Rank with tie-averaging.
+    order.sort_by(|&a, &b| key(a).total_cmp(&key(b)));
+    // Rank with tie-averaging (over the sanitized key, so NaNs tie with
+    // each other instead of comparing unequal to themselves).
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {
         let mut j = i;
-        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+        while j + 1 < order.len() && key(order[j + 1]) == key(order[i]) {
             j += 1;
         }
         let avg_rank = (i + j) as f64 / 2.0 + 1.0;
@@ -255,6 +262,23 @@ mod tests {
         assert_eq!(roc_auc(&y, &[0.5, 0.5, 0.5, 0.5]), 0.5);
         // One class absent → 0.5 by convention.
         assert_eq!(roc_auc(&[1, 1], &[0.2, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn roc_auc_nan_scores_do_not_panic() {
+        // Regression: a single NaN score used to panic the
+        // `partial_cmp(..).expect("finite scores")` sort mid-session.
+        let y = [0, 0, 1, 1];
+        let auc = roc_auc(&y, &[0.1, f64::NAN, 0.8, 0.9]);
+        assert!((0.0..=1.0).contains(&auc), "auc {auc}");
+        // NaN ranks below every real score: here the NaN sits on a negative,
+        // so the ranking is still perfect.
+        assert_eq!(auc, 1.0);
+        // NaN on a positive ranks that positive below both negatives:
+        // pairs won = (0.9 beats both negatives) = 2 of 4 → 0.5.
+        assert_eq!(roc_auc(&y, &[0.1, 0.2, f64::NAN, 0.9]), 0.5);
+        // All-NaN scores carry no ranking information → ties everywhere.
+        assert_eq!(roc_auc(&y, &[f64::NAN; 4]), 0.5);
     }
 
     #[test]

@@ -55,12 +55,15 @@ impl RandomSearch {
         assert!(x.nrows() > 0, "cannot tune on empty data");
         let n = x.nrows();
 
+        comet_obs::counter_add("tune.searches", 1);
         if n < 5 || self.n_samples == 0 {
+            comet_obs::counter_add("tune.degenerate", 1);
             let params = algorithm.default_params();
             let mut model = params.build();
             model.fit(x, y, n_classes, rng);
             return TunedModel { params, val_score: f64::NAN, model };
         }
+        comet_obs::counter_add("tune.trials", self.n_samples as u64);
 
         // Shuffled split.
         let mut order: Vec<usize> = (0..n).collect();

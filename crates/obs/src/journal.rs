@@ -1,0 +1,107 @@
+//! The JSONL run journal: a process-global line sink that instrumented
+//! code (the cleaning session, the CLI) streams one JSON record per line
+//! into. With no sink installed, [`emit`] is a cheap no-op, so emitting
+//! code does not need to know whether anyone is listening.
+
+use std::io::Write;
+use std::sync::{LazyLock, Mutex};
+
+static SINK: LazyLock<Mutex<Option<Box<dyn Write + Send>>>> = LazyLock::new(|| Mutex::new(None));
+
+/// Install (or with `None` remove) the journal sink. Removing drops the
+/// previous writer, flushing buffered output. Returns whether a previous
+/// sink was replaced.
+pub fn set_sink(sink: Option<Box<dyn Write + Send>>) -> bool {
+    let mut slot = SINK.lock().expect("unpoisoned journal sink");
+    if let Some(mut old) = slot.take() {
+        let _ = old.flush();
+        *slot = sink;
+        return true;
+    }
+    *slot = sink;
+    false
+}
+
+/// Whether a sink is currently installed.
+pub fn has_sink() -> bool {
+    SINK.lock().expect("unpoisoned journal sink").is_some()
+}
+
+/// Write one journal line (a newline is appended) and flush, so records
+/// stream out as the run progresses. Returns `false` when no sink is
+/// installed or the write failed; journal I/O must never abort a run.
+pub fn emit(line: &str) -> bool {
+    let mut slot = SINK.lock().expect("unpoisoned journal sink");
+    let Some(sink) = slot.as_mut() else {
+        return false;
+    };
+    let ok = sink
+        .write_all(line.as_bytes())
+        .and_then(|()| sink.write_all(b"\n"))
+        .and_then(|()| sink.flush())
+        .is_ok();
+    if !ok {
+        // A broken sink (closed pipe, full disk) is dropped so later emits
+        // become cheap no-ops instead of failing repeatedly.
+        *slot = None;
+    }
+    ok
+}
+
+/// A `Write` implementation collecting into a shared byte buffer — lets
+/// tests install an in-memory journal sink and read it back after a run.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer(std::sync::Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        SharedBuffer::default()
+    }
+
+    /// Copy of the collected bytes as UTF-8 text.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("unpoisoned shared buffer")).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("unpoisoned shared buffer").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Journal state is process-global; serialize the tests touching it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn emit_without_sink_is_noop() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_sink(None);
+        assert!(!has_sink());
+        assert!(!emit("{\"dropped\":true}"));
+    }
+
+    #[test]
+    fn emit_streams_lines_to_sink() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let buffer = SharedBuffer::new();
+        set_sink(Some(Box::new(buffer.clone())));
+        assert!(has_sink());
+        assert!(emit("{\"a\":1}"));
+        assert!(emit("{\"b\":2}"));
+        set_sink(None);
+        assert_eq!(buffer.contents(), "{\"a\":1}\n{\"b\":2}\n");
+        assert!(!emit("{\"after\":3}"));
+        assert_eq!(buffer.contents(), "{\"a\":1}\n{\"b\":2}\n", "no writes after removal");
+    }
+}

@@ -1,0 +1,383 @@
+//! Minimal JSON support for the run journal: an append-only object
+//! writer and a small recursive-descent parser (used by tests and the CI
+//! journal validator — the build environment has no serde).
+
+use std::fmt::Write as _;
+
+/// Incremental `{...}` builder. Field order is insertion order; values go
+/// in pre-encoded via the typed `field_*` methods.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        write_escaped(&mut self.buf, name);
+        self.buf.push(':');
+    }
+
+    /// Add an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Add a float field. Non-finite values (which JSON cannot represent)
+    /// are encoded as `null`.
+    pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add a string field (escaped).
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        write_escaped(&mut self.buf, value);
+        self
+    }
+
+    /// Add a pre-encoded JSON value (nested object/array) verbatim.
+    pub fn field_raw(&mut self, name: &str, encoded: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(encoded);
+        self
+    }
+
+    /// Close the object and return the encoded text.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Encode a `[..]` of floats (non-finite → `null`).
+pub fn array_f64(values: &[f64]) -> String {
+    let items: Vec<String> = values
+        .iter()
+        .map(|v| if v.is_finite() { v.to_string() } else { "null".to_string() })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Encode a `[..]` of unsigned integers.
+pub fn array_u64(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn write_escaped(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also produced for non-finite floats on the writer side).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, fields in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document. Errors carry the byte offset of the problem.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>().map(JsonValue::Num).map_err(|e| format!("bad number at byte {start}: {e}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences included).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string".to_string())?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_parseable_output() {
+        let mut inner = JsonObject::new();
+        inner.field_u64("count", 3);
+        let mut obj = JsonObject::new();
+        obj.field_str("type", "iteration")
+            .field_u64("n", 42)
+            .field_f64("f1", 0.875)
+            .field_f64("nan", f64::NAN)
+            .field_raw("nested", &inner.finish())
+            .field_raw("xs", &array_f64(&[1.0, 2.5]));
+        let text = obj.finish();
+        let value = parse(&text).unwrap();
+        assert_eq!(value.get("type").unwrap().as_str(), Some("iteration"));
+        assert_eq!(value.get("n").unwrap().as_f64(), Some(42.0));
+        assert_eq!(value.get("f1").unwrap().as_f64(), Some(0.875));
+        assert_eq!(value.get("nan"), Some(&JsonValue::Null));
+        assert_eq!(value.get("nested").unwrap().get("count").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            value.get("xs"),
+            Some(&JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.5)]))
+        );
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let mut obj = JsonObject::new();
+        obj.field_str("text", "a\"b\\c\nd\te\u{1}");
+        let parsed = parse(&obj.finish()).unwrap();
+        assert_eq!(parsed.get("text").unwrap().as_str(), Some("a\"b\\c\nd\te\u{1}"));
+    }
+
+    #[test]
+    fn parses_standard_documents() {
+        let v = parse(r#"{"a": [1, -2.5, 1e3], "b": {"c": true, "d": null}, "e": "x"}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(-2.5),
+                JsonValue::Num(1000.0)
+            ]))
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&JsonValue::Null));
+        assert_eq!(parse("[]").unwrap(), JsonValue::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), JsonValue::Obj(vec![]));
+        assert_eq!(parse(" 3.5 ").unwrap(), JsonValue::Num(3.5));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "{\"a\":}", "[1,]", "tru", "\"unterminated", "{} extra", "{'a':1}"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let mut obj = JsonObject::new();
+        obj.field_str("s", "héllo → 世界");
+        let parsed = parse(&obj.finish()).unwrap();
+        assert_eq!(parsed.get("s").unwrap().as_str(), Some("héllo → 世界"));
+        assert_eq!(parse(r#""A""#).unwrap(), JsonValue::Str("A".into()));
+    }
+}

@@ -11,7 +11,9 @@
 //!    number of live workers across nested fan-outs at the configured
 //!    thread count (an inner `par_map` inside a worker degrades to
 //!    sequential when no slots are free, instead of oversubscribing).
-//! 3. **Zero dependencies**: plain `std` only.
+//! 3. **No external dependencies**: plain `std`, plus the equally
+//!    dependency-free `comet-obs` for worker-slot utilization metrics
+//!    (`par.*` counters/gauges, recorded only while metrics are enabled).
 //!
 //! Thread-count resolution, highest priority first:
 //!
@@ -107,7 +109,10 @@ fn reserve_workers(wanted: usize, cap: usize) -> usize {
 
 fn release_workers(count: usize) {
     if count > 0 {
-        ACTIVE_WORKERS.fetch_sub(count, Ordering::SeqCst);
+        let previous = ACTIVE_WORKERS.fetch_sub(count, Ordering::SeqCst);
+        if comet_obs::enabled() {
+            comet_obs::gauge_set("par.active_workers", previous.saturating_sub(count) as f64);
+        }
     }
 }
 
@@ -130,6 +135,21 @@ where
         return items.into_iter().map(f).collect();
     }
     let extra = reserve_workers(threads - 1, max_threads());
+    if comet_obs::enabled() {
+        // Worker-slot utilization: how often fan-outs run, how many extra
+        // workers they win from the slot budget, and the concurrency
+        // high-water mark. `sequential_fallbacks` counts fan-outs that
+        // wanted workers but found the budget exhausted (nested fan-out).
+        comet_obs::counter_add("par.fanouts", 1);
+        if extra == 0 {
+            comet_obs::counter_add("par.sequential_fallbacks", 1);
+        } else {
+            comet_obs::counter_add("par.workers_spawned", extra as u64);
+            let active = ACTIVE_WORKERS.load(Ordering::SeqCst) as f64;
+            comet_obs::gauge_set("par.active_workers", active);
+            comet_obs::gauge_max("par.peak_workers", active);
+        }
+    }
     if extra == 0 {
         return items.into_iter().map(f).collect();
     }
@@ -296,6 +316,40 @@ mod tests {
         let total =
             par_map_reduce((1..=10).collect::<Vec<u64>>(), 0u64, |x| x * x, |acc, v| acc + v);
         assert_eq!(total, 385);
+    }
+
+    /// The obs enable flag is process-global; the two metrics tests take
+    /// this lock so one cannot observe the other's enabled window.
+    static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn utilization_metrics_recorded_when_enabled() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        // Other tests in this binary may fan out concurrently and also
+        // record, so assert growth rather than exact values.
+        comet_obs::reset();
+        comet_obs::set_enabled(true);
+        with_threads(4, || {
+            par_map((0..64).collect::<Vec<usize>>(), |x| {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                x
+            })
+        });
+        comet_obs::set_enabled(false);
+        let snap = comet_obs::snapshot();
+        assert!(snap.counter("par.fanouts") >= 1);
+        assert!(snap.counter("par.workers_spawned") >= 1);
+        assert!(snap.gauge("par.peak_workers").unwrap_or(0.0) >= 1.0);
+    }
+
+    #[test]
+    fn metrics_disabled_records_nothing_from_fanout() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        // The default state: fan-outs must not touch the registry.
+        let before = comet_obs::snapshot().counter("par.fanouts");
+        with_threads(4, || par_map((0..32).collect::<Vec<usize>>(), |x| x * 2));
+        let after = comet_obs::snapshot().counter("par.fanouts");
+        assert_eq!(before, after);
     }
 
     #[test]

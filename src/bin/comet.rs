@@ -12,7 +12,10 @@
 //! * `recommend` runs a full COMET session against a dirty/clean CSV pair
 //!   (the clean file is the simulated Cleaner's ground truth) and prints
 //!   the step-by-step cleaning recommendations plus a summary; the trace is
-//!   optionally written as CSV via `--trace out.csv`.
+//!   optionally written as CSV via `--trace out.csv`, and `--metrics-out
+//!   run.jsonl` enables the `comet-obs` registry for the run and streams a
+//!   JSONL journal (one record per iteration with per-phase durations and
+//!   counters, one summary record at exit) plus a metrics report.
 
 use comet::core::{CleaningEnvironment, CleaningSession, CometConfig};
 use comet::frame::{read_csv, train_test_split, write_csv, DataFrame, SplitOptions};
@@ -28,7 +31,7 @@ usage:
   comet pollute   --input FILE --label COL --error mv|gn|cs|s --level FRAC --output FILE [--seed N]
   comet evaluate  --input FILE --label COL [--algo NAME] [--seed N]
   comet recommend --dirty FILE --clean FILE --label COL [--algo NAME] [--budget N]
-                  [--step FRAC] [--batch N] [--trace FILE] [--seed N]";
+                  [--step FRAC] [--batch N] [--trace FILE] [--metrics-out FILE] [--seed N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -177,11 +180,31 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     // and Scaling/GaussianNoise/CategoricalShift heuristically.
     let errors = ErrorType::ALL.to_vec();
 
+    // `--metrics-out` turns on the observability registry for this run and
+    // streams the JSONL journal to the given path while the session runs.
+    let metrics_out = flags.get("metrics-out");
+    if let Some(path) = metrics_out {
+        let file = std::fs::File::create(path).map_err(|e| format!("--metrics-out: {e}"))?;
+        comet::obs::reset();
+        comet::obs::set_enabled(true);
+        comet::obs::journal::set_sink(Some(Box::new(std::io::BufWriter::new(file))));
+    }
+
     println!("dirty F1: {:.4}", env.evaluate().map_err(|e| e.to_string())?);
     let config =
         CometConfig { budget, step_frac: step, batch_size: batch, ..CometConfig::default() };
     let session = CleaningSession::new(config, errors);
     let outcome = session.run(&mut env, &mut rng).map_err(|e| e.to_string())?;
+
+    if let Some(path) = metrics_out {
+        if let Some(metrics) = &outcome.metrics {
+            comet::obs::journal::emit(&metrics.summary_json());
+            print!("{}", metrics.report());
+        }
+        comet::obs::journal::set_sink(None);
+        comet::obs::set_enabled(false);
+        println!("metrics journal written to {path}");
+    }
     let trace = outcome.trace;
 
     for r in &trace.records {

@@ -14,6 +14,7 @@ pub use comet_datasets as datasets;
 pub use comet_frame as frame;
 pub use comet_jenga as jenga;
 pub use comet_ml as ml;
+pub use comet_obs as obs;
 pub use comet_par as par;
 
 /// Commonly used items, importable as `use comet::prelude::*`.

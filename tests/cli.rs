@@ -102,6 +102,62 @@ fn pollute_then_evaluate_then_recommend() {
     assert!(trace_text.starts_with("iteration,feature,error_type"));
     assert!(trace_text.lines().count() >= 2, "trace must contain steps");
 
+    // Same run again with --metrics-out: the journal must be valid JSONL
+    // and the trace byte-identical (metrics only observe).
+    let trace2 = dir.join("trace_metrics.csv");
+    let journal = dir.join("run.jsonl");
+    let out = comet()
+        .args([
+            "recommend",
+            "--dirty",
+            dirty.to_str().unwrap(),
+            "--clean",
+            clean.to_str().unwrap(),
+            "--label",
+            "y",
+            "--budget",
+            "4",
+            "--step",
+            "0.03",
+            "--trace",
+            trace2.to_str().unwrap(),
+            "--metrics-out",
+            journal.to_str().unwrap(),
+            "--seed",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "recommend failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("metrics report"), "{stdout}");
+    assert!(stdout.contains("metrics journal written"), "{stdout}");
+    assert_eq!(
+        trace_text,
+        fs::read_to_string(&trace2).unwrap(),
+        "metrics must not change the trace",
+    );
+
+    let journal_text = fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = journal_text.lines().collect();
+    assert!(lines.len() >= 2, "journal needs iteration records and a summary:\n{journal_text}");
+    for (i, line) in lines.iter().enumerate() {
+        let value = comet::obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("journal line {i} must parse ({e}): {line}"));
+        let kind = value.get("kind").and_then(|k| k.as_str()).map(str::to_string);
+        if i + 1 < lines.len() {
+            assert_eq!(kind.as_deref(), Some("iteration"), "line {i}: {line}");
+            let phases = value.get("phases").expect("iteration records carry phases");
+            for phase in comet::core::PHASES {
+                assert!(phases.get(phase).is_some(), "line {i} missing phase {phase}");
+            }
+        } else {
+            assert_eq!(kind.as_deref(), Some("summary"), "last line: {line}");
+            assert!(value.get("phase_totals").is_some());
+            assert!(value.get("registry").is_some());
+        }
+    }
+
     fs::remove_dir_all(dir).ok();
 }
 
