@@ -9,9 +9,49 @@
 //! next cleaning step *plus* a credible interval whose width becomes the
 //! uncertainty penalty `U(f)` in the Recommender score (paper Eq. 4).
 
-use crate::linalg::{cholesky_solve, spd_inverse, CholeskyError};
+use crate::linalg::{cholesky_factor, cholesky_solve, spd_inverse, CholeskyError};
 use crate::poly::PolynomialBasis;
 use crate::student_t::StudentT;
+use std::fmt;
+
+/// Condition-number estimate above which a fit is declared [`BlrError::Degenerate`].
+const CONDITION_LIMIT: f64 = 1e12;
+
+/// Failure of a Bayesian regression fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BlrError {
+    /// The regularized precision matrix `V₀⁻¹ + XᵀX` failed to factor.
+    Cholesky(CholeskyError),
+    /// The design is numerically near-singular: the condition estimate of
+    /// the precision matrix exceeds [`CONDITION_LIMIT`], so the posterior
+    /// would be dominated by floating-point noise (NaN-adjacent).
+    Degenerate {
+        /// The offending condition estimate.
+        condition: f64,
+    },
+    /// An observation was NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for BlrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlrError::Cholesky(e) => write!(f, "precision factorization failed: {e}"),
+            BlrError::Degenerate { condition } => {
+                write!(f, "near-singular design: condition estimate {condition:.3e} > 1e12")
+            }
+            BlrError::NonFinite => write!(f, "non-finite observation in regression input"),
+        }
+    }
+}
+
+impl std::error::Error for BlrError {}
+
+impl From<CholeskyError> for BlrError {
+    fn from(e: CholeskyError) -> Self {
+        BlrError::Cholesky(e)
+    }
+}
 
 /// Hyperparameters of the Normal–Inverse-Gamma prior.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,9 +136,17 @@ impl BayesianLinearRegression {
 
     /// Fit the posterior from paired observations. Requires at least one
     /// point; with fewer points than basis dimensions the prior regularizes.
-    pub fn fit(&mut self, xs: &[f64], ys: &[f64]) -> Result<&Posterior, CholeskyError> {
+    ///
+    /// Fails with [`BlrError::NonFinite`] on NaN/∞ inputs and with
+    /// [`BlrError::Degenerate`] when the regularized precision matrix is so
+    /// ill-conditioned that the posterior would be numerical noise (e.g. a
+    /// constant design column under an effectively flat prior).
+    pub fn fit(&mut self, xs: &[f64], ys: &[f64]) -> Result<&Posterior, BlrError> {
         assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
         assert!(!xs.is_empty(), "need at least one observation");
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return Err(BlrError::NonFinite);
+        }
         let d = self.basis.dim();
         let n = xs.len();
 
@@ -119,6 +167,24 @@ impl BayesianLinearRegression {
                 }
             }
             yty += y * y;
+        }
+
+        // Condition estimate from the Cholesky factor's diagonal: for
+        // `L Lᵀ = A`, `(max lᵢᵢ / min lᵢᵢ)²` lower-bounds `cond₂(A)`. A huge
+        // value means XᵀX is rank-deficient beyond what the prior can
+        // regularize — solving would amplify rounding noise into the
+        // posterior, so the fit is rejected instead.
+        let factor = cholesky_factor(&precision, d)?;
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for i in 0..d {
+            let pivot = factor[i * d + i];
+            lo = lo.min(pivot);
+            hi = hi.max(pivot);
+        }
+        let condition = (hi / lo) * (hi / lo);
+        if !condition.is_finite() || condition > CONDITION_LIMIT {
+            return Err(BlrError::Degenerate { condition });
         }
 
         // mₙ = Vₙ Xᵀy  (prior mean is zero).
@@ -279,6 +345,44 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn mismatched_inputs_panic() {
         BayesianLinearRegression::new(BlrConfig::default()).fit(&[0.0, 1.0], &[0.0]).unwrap();
+    }
+
+    #[test]
+    fn constant_column_under_flat_prior_is_degenerate() {
+        // A constant design (every observation at x = 2) makes XᵀX rank-1;
+        // with an effectively flat prior the regularizer no longer hides
+        // that, so the fit must refuse rather than emit a noise posterior.
+        let xs = [2.0; 8];
+        let ys = [0.5, 0.6, 0.4, 0.55, 0.5, 0.45, 0.6, 0.5];
+        let mut blr =
+            BayesianLinearRegression::new(BlrConfig { prior_scale: 1e12, ..BlrConfig::default() });
+        match blr.fit(&xs, &ys) {
+            Err(BlrError::Degenerate { condition }) => {
+                assert!(condition > 1e12, "condition estimate {condition} too small")
+            }
+            other => panic!("expected Degenerate, got {other:?}"),
+        }
+        assert!(blr.posterior().is_none(), "a rejected fit must not leave a posterior");
+        // The default prior regularizes the same design into a valid (if
+        // heavily shrunk) posterior — degeneracy is about conditioning, not
+        // about constant inputs per se.
+        let mut regularized = BayesianLinearRegression::new(BlrConfig::default());
+        assert!(regularized.fit(&xs, &ys).is_ok());
+    }
+
+    #[test]
+    fn non_finite_observations_rejected() {
+        let mut blr = BayesianLinearRegression::new(BlrConfig::default());
+        assert_eq!(blr.fit(&[0.0, f64::NAN], &[0.1, 0.2]), Err(BlrError::NonFinite));
+        assert_eq!(blr.fit(&[0.0, 1.0], &[0.1, f64::INFINITY]), Err(BlrError::NonFinite));
+    }
+
+    #[test]
+    fn blr_error_display_is_informative() {
+        assert!(BlrError::Degenerate { condition: 5e13 }.to_string().contains("near-singular"));
+        assert!(BlrError::NonFinite.to_string().contains("non-finite"));
+        let wrapped = BlrError::from(CholeskyError::NotPositiveDefinite { pivot: 0 });
+        assert!(wrapped.to_string().contains("factorization failed"));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::opts::ExperimentOpts;
 use crate::report::SeriesTable;
 use crate::runner::{advantage, f1_series, mean_series, run_strategy, Strategy};
 use crate::setup::{build_cleanml_env, build_prepolluted_env, EnvSetup};
-use comet_core::{CleaningTrace, CostPolicy, EnvError};
+use comet_core::{CleaningTrace, CometError, CostPolicy, EnvError};
 use comet_datasets::Dataset;
 use comet_jenga::Scenario;
 use comet_ml::Algorithm;
@@ -46,7 +46,7 @@ pub fn dataset_advantage_table(
     baselines: &[Strategy],
     costs: CostPolicy,
     opts: &ExperimentOpts,
-) -> Result<SeriesTable, EnvError> {
+) -> Result<SeriesTable, CometError> {
     let name = name.into();
     let max_budget = opts.budget.round() as usize;
     let mut comet_all: Vec<Vec<f64>> = Vec::with_capacity(opts.settings);
@@ -56,7 +56,7 @@ pub fn dataset_advantage_table(
     // they fan out across workers; results come back in setting order, so
     // the averaged series match the sequential run exactly.
     type SettingSeries = (Vec<f64>, Vec<Vec<f64>>);
-    let per_setting: Vec<Result<SettingSeries, EnvError>> =
+    let per_setting: Vec<Result<SettingSeries, CometError>> =
         comet_par::par_map((0..opts.settings).collect(), |setting| {
             let setup = build_setup(source, dataset, algorithm, setting, opts)?;
             let comet_traces = run_strategy(
@@ -107,8 +107,8 @@ pub fn comet_traces_for_cell(
     algorithm: Algorithm,
     costs: CostPolicy,
     opts: &ExperimentOpts,
-) -> Result<Vec<CleaningTrace>, EnvError> {
-    let per_setting: Vec<Result<Vec<CleaningTrace>, EnvError>> =
+) -> Result<Vec<CleaningTrace>, CometError> {
+    let per_setting: Vec<Result<Vec<CleaningTrace>, CometError>> =
         comet_par::par_map((0..opts.settings).collect(), |setting| {
             let setup = build_setup(source, dataset, algorithm, setting, opts)?;
             run_strategy(

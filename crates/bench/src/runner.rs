@@ -7,7 +7,7 @@ use comet_baselines::{
     StrategyConfig,
 };
 use comet_core::{
-    CleaningEnvironment, CleaningSession, CleaningTrace, CometConfig, CostPolicy, EnvError,
+    CleaningEnvironment, CleaningSession, CleaningTrace, CometConfig, CometError, CostPolicy,
 };
 use comet_jenga::ErrorType;
 use rand::rngs::StdRng;
@@ -63,7 +63,7 @@ pub fn run_strategy(
     costs: CostPolicy,
     opts: &ExperimentOpts,
     seed: u64,
-) -> Result<Vec<CleaningTrace>, EnvError> {
+) -> Result<Vec<CleaningTrace>, CometError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let config = StrategyConfig { budget: opts.budget, costs };
     match strategy {
@@ -73,7 +73,7 @@ pub fn run_strategy(
             Ok(vec![session.run(&mut env, &mut rng)?.trace])
         }
         Strategy::Rr => {
-            RandomCleaner.run_repeated(base, errors, &config, opts.rr_repetitions, &mut rng)
+            Ok(RandomCleaner.run_repeated(base, errors, &config, opts.rr_repetitions, &mut rng)?)
         }
         Strategy::Fir => {
             let mut env = base.clone();

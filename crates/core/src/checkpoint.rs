@@ -1,0 +1,483 @@
+//! Session checkpoint/resume.
+//!
+//! While a session runs with a [`CheckpointSpec`], it appends one JSONL
+//! record per outer-loop iteration (flushed per line, so a killed process
+//! loses at most the line it was writing). A resumed session replays from
+//! iteration 0 with the evaluation cache preloaded from the checkpoint —
+//! replayed iterations answer every model evaluation from cache, and the
+//! warm-cache determinism property makes the replay bit-identical to the
+//! interrupted run. Each replayed iteration is verified against its stored
+//! record (trace fingerprint, budget, rng draw count); any divergence is a
+//! [`CometError::Checkpoint`], never a silently different result.
+//!
+//! All `u64` identities (seeds, fingerprints) are serialized as 16-digit
+//! hex *strings*: the journal's JSON parser reads numbers as `f64`, which
+//! only carries 53 bits.
+
+use crate::config::CometConfig;
+use crate::error::CometError;
+use crate::trace::CleaningTrace;
+use comet_jenga::ErrorType;
+use comet_obs::json::{self, JsonObject, JsonValue};
+use rand::RngCore;
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Where a session persists its progress, and whether to resume from an
+/// existing file first.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Checkpoint file (JSONL, rewritten on every run).
+    pub path: PathBuf,
+    /// Load the file and resume the interrupted run it records.
+    pub resume: bool,
+}
+
+fn mix(h: u64, w: u64) -> u64 {
+    const M: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    (h.rotate_left(5) ^ w).wrapping_mul(M)
+}
+
+fn mix_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = mix(h, b as u64);
+    }
+    h
+}
+
+/// Fingerprint of everything that must match for a checkpoint to be
+/// resumable: the full config and the candidate error set.
+pub(crate) fn config_fingerprint(config: &CometConfig, errors: &[ErrorType]) -> u64 {
+    mix_bytes(0xC0_FF_EE, format!("{config:?}|{errors:?}").as_bytes())
+}
+
+/// Fingerprint of every decision the trace has accumulated so far —
+/// records, failures, and the F1 curve, bit-exact (f64s hashed by their
+/// bit patterns). Divergence detection during resume replay.
+pub(crate) fn trace_fingerprint(trace: &CleaningTrace) -> u64 {
+    let mut h = 0x7_2A_CEu64;
+    for r in &trace.records {
+        h = mix(h, r.iteration as u64);
+        h = mix(h, r.col as u64);
+        h = mix(h, r.err as u64);
+        h = mix_bytes(h, format!("{:?}", r.action).as_bytes());
+        h = mix(h, r.cost.to_bits());
+        h = mix(h, r.budget_spent.to_bits());
+        h = mix(h, r.predicted_f1.map_or(u64::MAX, f64::to_bits));
+        h = mix(h, r.raw_predicted_f1.map_or(u64::MAX, f64::to_bits));
+        h = mix(h, r.actual_f1.to_bits());
+        h = mix(h, r.cleaned_cells as u64);
+    }
+    for f in &trace.failures {
+        h = mix(h, f.iteration as u64);
+        h = mix(h, f.col as u64);
+        h = mix(h, f.err as u64);
+        h = mix_bytes(h, f.reason.as_bytes());
+        h = mix(h, f.retries as u64);
+    }
+    for &(spent, f1) in &trace.f1_curve {
+        h = mix(h, spent.to_bits());
+        h = mix(h, f1.to_bits());
+    }
+    h
+}
+
+pub(crate) fn hex_u64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+pub(crate) fn parse_hex(s: &str) -> Result<u64, CometError> {
+    u64::from_str_radix(s, 16)
+        .map_err(|e| CometError::Checkpoint(format!("bad hex value {s:?}: {e}")))
+}
+
+/// An rng adapter that counts draws. The per-iteration draw count goes
+/// into the checkpoint, giving resume verification a cheap view of the
+/// session's sequential randomness consumption.
+pub(crate) struct CountingRng<'a, R: RngCore> {
+    inner: &'a mut R,
+    draws: u64,
+}
+
+impl<'a, R: RngCore> CountingRng<'a, R> {
+    pub fn new(inner: &'a mut R) -> Self {
+        CountingRng { inner, draws: 0 }
+    }
+
+    /// Draws consumed so far (each `next_u32`/`next_u64`/`fill_bytes`
+    /// call counts as one).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+impl<R: RngCore> RngCore for CountingRng<'_, R> {
+    fn next_u32(&mut self) -> u32 {
+        self.draws += 1;
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.draws += 1;
+        self.inner.fill_bytes(dest);
+    }
+}
+
+/// One iteration's stored verification record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct IterationCheckpoint {
+    pub iteration: usize,
+    /// Cumulative budget spent after this iteration.
+    pub budget_spent: f64,
+    /// Cumulative sequential rng draws after this iteration.
+    pub rng_draws: u64,
+    /// Total trace records after this iteration.
+    pub records: usize,
+    /// [`trace_fingerprint`] after this iteration.
+    pub trace_fp: u64,
+}
+
+/// Everything a checkpoint file holds.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CheckpointData {
+    pub session_seed: u64,
+    pub config_fp: u64,
+    pub budget_total: f64,
+    /// Union of all persisted evaluation-cache entries, in file order.
+    pub cache: Vec<(u64, u64, f64)>,
+    pub iterations: Vec<IterationCheckpoint>,
+}
+
+fn cache_array(entries: &[(u64, u64, f64)]) -> String {
+    let items: Vec<String> = entries
+        .iter()
+        .map(|&(a, b, score)| format!("[\"{}\",\"{}\",{score}]", hex_u64(a), hex_u64(b)))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Appends checkpoint records, one flushed JSONL line each. Tracks which
+/// cache entries are already persisted so every entry is written once.
+pub(crate) struct CheckpointWriter {
+    out: BufWriter<File>,
+    seen: HashSet<(u64, u64)>,
+}
+
+impl CheckpointWriter {
+    /// Create (truncate) the checkpoint file and write its header.
+    pub fn create(
+        path: &Path,
+        session_seed: u64,
+        config_fp: u64,
+        budget_total: f64,
+    ) -> Result<Self, CometError> {
+        let file = File::create(path).map_err(|e| {
+            CometError::Checkpoint(format!("cannot create {}: {e}", path.display()))
+        })?;
+        let mut writer = CheckpointWriter { out: BufWriter::new(file), seen: HashSet::new() };
+        let mut obj = JsonObject::new();
+        obj.field_str("kind", "checkpoint_header")
+            .field_u64("version", 1)
+            .field_str("session_seed", &hex_u64(session_seed))
+            .field_str("config_fp", &hex_u64(config_fp))
+            .field_f64("budget_total", budget_total);
+        writer.write_line(&obj.finish())?;
+        Ok(writer)
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), CometError> {
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|_| self.out.write_all(b"\n"))
+            .and_then(|_| self.out.flush())
+            .map_err(|e| CometError::Checkpoint(format!("write failed: {e}")))
+    }
+
+    fn fresh(&mut self, entries: &[(u64, u64, f64)]) -> Vec<(u64, u64, f64)> {
+        entries.iter().copied().filter(|&(a, b, _)| self.seen.insert((a, b))).collect()
+    }
+
+    /// Persist cache entries outside any iteration (resume writes the
+    /// preloaded entries up front so the rewritten file stays
+    /// self-contained).
+    pub fn write_cache(&mut self, entries: &[(u64, u64, f64)]) -> Result<(), CometError> {
+        let fresh = self.fresh(entries);
+        let mut obj = JsonObject::new();
+        obj.field_str("kind", "checkpoint_cache").field_raw("entries", &cache_array(&fresh));
+        self.write_line(&obj.finish())
+    }
+
+    /// Persist one completed iteration plus the cache entries it added.
+    pub fn write_iteration(
+        &mut self,
+        record: &IterationCheckpoint,
+        cache_entries: &[(u64, u64, f64)],
+    ) -> Result<(), CometError> {
+        let fresh = self.fresh(cache_entries);
+        let mut obj = JsonObject::new();
+        obj.field_str("kind", "checkpoint_iteration")
+            .field_u64("iteration", record.iteration as u64)
+            .field_f64("budget_spent", record.budget_spent)
+            .field_u64("rng_draws", record.rng_draws)
+            .field_u64("records", record.records as u64)
+            .field_str("trace_fp", &hex_u64(record.trace_fp))
+            .field_raw("cache", &cache_array(&fresh));
+        self.write_line(&obj.finish())
+    }
+}
+
+fn get_f64(value: &JsonValue, key: &str) -> Result<f64, CometError> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| CometError::Checkpoint(format!("missing numeric field {key:?}")))
+}
+
+fn get_hex(value: &JsonValue, key: &str) -> Result<u64, CometError> {
+    let s = value
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| CometError::Checkpoint(format!("missing hex field {key:?}")))?;
+    parse_hex(s)
+}
+
+fn parse_cache(value: &JsonValue) -> Result<Vec<(u64, u64, f64)>, CometError> {
+    let JsonValue::Arr(items) = value else {
+        return Err(CometError::Checkpoint("cache field is not an array".into()));
+    };
+    let mut entries = Vec::with_capacity(items.len());
+    for item in items {
+        let JsonValue::Arr(triple) = item else {
+            return Err(CometError::Checkpoint("cache entry is not an array".into()));
+        };
+        let [a, b, score] = triple.as_slice() else {
+            return Err(CometError::Checkpoint("cache entry is not a triple".into()));
+        };
+        let bad = || CometError::Checkpoint("malformed cache entry".into());
+        entries.push((
+            parse_hex(a.as_str().ok_or_else(bad)?)?,
+            parse_hex(b.as_str().ok_or_else(bad)?)?,
+            score.as_f64().ok_or_else(bad)?,
+        ));
+    }
+    Ok(entries)
+}
+
+/// Load a checkpoint file. An unparseable line — the tail a killed writer
+/// left behind — ends the load at everything before it; a missing or
+/// malformed header is an error.
+pub(crate) fn load(path: &Path) -> Result<CheckpointData, CometError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CometError::Checkpoint(format!("cannot read {}: {e}", path.display())))?;
+    let mut data = CheckpointData::default();
+    let mut has_header = false;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(value) = json::parse(line) else {
+            break; // truncated tail of a killed run
+        };
+        match value.get("kind").and_then(JsonValue::as_str) {
+            Some("checkpoint_header") => {
+                data.session_seed = get_hex(&value, "session_seed")?;
+                data.config_fp = get_hex(&value, "config_fp")?;
+                data.budget_total = get_f64(&value, "budget_total")?;
+                has_header = true;
+            }
+            Some("checkpoint_cache") => {
+                let entries = value
+                    .get("entries")
+                    .ok_or_else(|| CometError::Checkpoint("cache record without entries".into()))?;
+                data.cache.extend(parse_cache(entries)?);
+            }
+            Some("checkpoint_iteration") => {
+                data.iterations.push(IterationCheckpoint {
+                    iteration: get_f64(&value, "iteration")? as usize,
+                    budget_spent: get_f64(&value, "budget_spent")?,
+                    rng_draws: get_f64(&value, "rng_draws")? as u64,
+                    records: get_f64(&value, "records")? as usize,
+                    trace_fp: get_hex(&value, "trace_fp")?,
+                });
+                if let Some(cache) = value.get("cache") {
+                    data.cache.extend(parse_cache(cache)?);
+                }
+            }
+            other => {
+                return Err(CometError::Checkpoint(format!("unknown record kind {other:?}")));
+            }
+        }
+    }
+    if !has_header {
+        return Err(CometError::Checkpoint(format!("{} has no checkpoint header", path.display())));
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{FailureRecord, StepAction, StepRecord};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("comet_checkpoint_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn writer_loader_roundtrip() {
+        let path = temp_path("roundtrip.jsonl");
+        let mut w =
+            CheckpointWriter::create(&path, 0xDEAD_BEEF_CAFE_F00D, 0xFFFF_0000_1234_5678, 50.0)
+                .unwrap();
+        w.write_cache(&[(1, 2, 0.5)]).unwrap();
+        w.write_iteration(
+            &IterationCheckpoint {
+                iteration: 0,
+                budget_spent: 1.5,
+                rng_draws: 3,
+                records: 1,
+                trace_fp: 0xABCD,
+            },
+            &[(1, 2, 0.5), (u64::MAX, 3, 0.7125)], // (1,2) already persisted
+        )
+        .unwrap();
+        let data = load(&path).unwrap();
+        assert_eq!(data.session_seed, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(data.config_fp, 0xFFFF_0000_1234_5678);
+        assert_eq!(data.budget_total, 50.0);
+        assert_eq!(data.cache, vec![(1, 2, 0.5), (u64::MAX, 3, 0.7125)]);
+        assert_eq!(data.iterations.len(), 1);
+        assert_eq!(
+            data.iterations[0],
+            IterationCheckpoint {
+                iteration: 0,
+                budget_spent: 1.5,
+                rng_draws: 3,
+                records: 1,
+                trace_fp: 0xABCD,
+            }
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated_missing_header_is_not() {
+        let path = temp_path("truncated.jsonl");
+        let mut w = CheckpointWriter::create(&path, 7, 8, 10.0).unwrap();
+        w.write_iteration(
+            &IterationCheckpoint {
+                iteration: 0,
+                budget_spent: 1.0,
+                rng_draws: 1,
+                records: 1,
+                trace_fp: 9,
+            },
+            &[],
+        )
+        .unwrap();
+        drop(w);
+        // Simulate a kill mid-write: append half a record.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"kind\":\"checkpoint_iter");
+        std::fs::write(&path, &text).unwrap();
+        let data = load(&path).unwrap();
+        assert_eq!(data.iterations.len(), 1);
+
+        let headerless = temp_path("headerless.jsonl");
+        std::fs::write(&headerless, "{\"kind\":\"checkpoint_cache\",\"entries\":[]}\n").unwrap();
+        assert!(matches!(load(&headerless), Err(CometError::Checkpoint(_))));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(headerless).ok();
+    }
+
+    #[test]
+    fn hex_roundtrips_full_u64_range() {
+        for v in [0u64, 1, u64::MAX, 0x8000_0000_0000_0000, (1 << 53) + 1] {
+            assert_eq!(parse_hex(&hex_u64(v)).unwrap(), v);
+        }
+        assert!(parse_hex("not-hex").is_err());
+    }
+
+    #[test]
+    fn counting_rng_counts_and_passes_through() {
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let mut counted = CountingRng::new(&mut b);
+        assert_eq!(counted.draws(), 0);
+        let xs: Vec<u64> = (0..5).map(|_| counted.next_u64()).collect();
+        let _ = counted.gen_range(0..100usize);
+        assert_eq!(counted.draws(), 6);
+        let expect: Vec<u64> = (0..5).map(|_| a.next_u64()).collect();
+        assert_eq!(xs, expect, "counting must not perturb the stream");
+    }
+
+    #[test]
+    fn trace_fingerprint_sees_every_decision_field() {
+        let base = CleaningTrace {
+            records: vec![StepRecord {
+                iteration: 0,
+                col: 1,
+                err: ErrorType::MissingValues,
+                action: StepAction::Accepted,
+                cost: 1.0,
+                budget_spent: 1.0,
+                predicted_f1: Some(0.8),
+                raw_predicted_f1: Some(0.79),
+                actual_f1: 0.81,
+                cleaned_cells: 3,
+            }],
+            f1_curve: vec![(1.0, 0.81)],
+            initial_f1: 0.7,
+            final_f1: 0.81,
+            fully_clean_f1: Some(0.9),
+            ..CleaningTrace::default()
+        };
+        let fp = trace_fingerprint(&base);
+        assert_eq!(fp, trace_fingerprint(&base.clone()));
+
+        let mut action = base.clone();
+        action.records[0].action = StepAction::Reverted;
+        assert_ne!(fp, trace_fingerprint(&action));
+
+        let mut failed = base.clone();
+        failed.failures.push(FailureRecord {
+            iteration: 0,
+            col: 2,
+            err: ErrorType::Scaling,
+            reason: "panic: injected".into(),
+            retries: 1,
+        });
+        assert_ne!(fp, trace_fingerprint(&failed));
+
+        let mut curve = base.clone();
+        curve.f1_curve[0].1 = 0.82;
+        assert_ne!(fp, trace_fingerprint(&curve));
+
+        // Runtimes are measurement, not decisions.
+        let mut timed = base.clone();
+        timed.iteration_runtimes.push(std::time::Duration::from_millis(1));
+        assert_eq!(fp, trace_fingerprint(&timed));
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_config_and_errors() {
+        let c = CometConfig::default();
+        let errs = vec![ErrorType::MissingValues];
+        let fp = config_fingerprint(&c, &errs);
+        assert_eq!(fp, config_fingerprint(&c, &errs));
+        let other = CometConfig { budget: 49.0, ..c };
+        assert_ne!(fp, config_fingerprint(&other, &errs));
+        assert_ne!(fp, config_fingerprint(&c, &[ErrorType::MissingValues, ErrorType::Scaling]));
+    }
+}

@@ -39,6 +39,10 @@ pub struct CometConfig {
     /// paper's future-work extension, §6; 1 = the paper's step-by-step
     /// behaviour). Batches are accepted or reverted as a unit.
     pub batch_size: usize,
+    /// How many times a failed candidate evaluation (panic, NaN loss,
+    /// estimator error) is retried before the candidate is recorded as
+    /// failed and skipped for the iteration.
+    pub max_retries: usize,
 }
 
 impl Default for CometConfig {
@@ -59,6 +63,7 @@ impl Default for CometConfig {
             revert_on_decrease: true,
             fallback: true,
             batch_size: 1,
+            max_retries: 1,
         }
     }
 }
@@ -105,6 +110,7 @@ mod tests {
         assert_eq!(c.pollution_steps, 2);
         assert_eq!(c.budget, 50.0);
         assert_eq!(c.search.n_samples, 10);
+        assert_eq!(c.max_retries, 1);
         assert!(c.use_uncertainty && c.bias_correction && c.revert_on_decrease && c.fallback);
         assert!(c.validate().is_ok());
     }

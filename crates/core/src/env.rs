@@ -153,6 +153,22 @@ impl EvalCache {
         inner.misses = 0;
         comet_obs::gauge_set("eval_cache.entries", 0.0);
     }
+
+    fn export(&self) -> Vec<(u64, u64, f64)> {
+        let inner = self.inner.lock().expect("unpoisoned eval cache");
+        let mut entries: Vec<(u64, u64, f64)> =
+            inner.map.iter().map(|(&(a, b), &score)| (a, b, score)).collect();
+        entries.sort_by_key(|&(a, b, _)| (a, b));
+        entries
+    }
+
+    fn preload(&self, entries: &[(u64, u64, f64)]) {
+        let mut inner = self.inner.lock().expect("unpoisoned eval cache");
+        for &(a, b, score) in entries {
+            inner.map.insert((a, b), score);
+        }
+        comet_obs::gauge_set("eval_cache.entries", inner.map.len() as f64);
+    }
 }
 
 impl Clone for EvalCache {
@@ -309,6 +325,20 @@ impl CleaningEnvironment {
     /// every clone of this environment, so clearing affects all of them.
     pub fn clear_eval_cache(&self) {
         self.eval_cache.clear();
+    }
+
+    /// All cached `(train fingerprint, test fingerprint, score)` entries,
+    /// sorted by key — the stable form checkpoints persist.
+    pub fn export_cache_entries(&self) -> Vec<(u64, u64, f64)> {
+        self.eval_cache.export()
+    }
+
+    /// Seed the evaluation cache with previously exported entries
+    /// (checkpoint resume: replayed iterations answer from cache instead of
+    /// retraining, which is what makes resume cheap *and* bit-identical —
+    /// the warm-cache determinism property).
+    pub fn preload_cache(&self, entries: &[(u64, u64, f64)]) {
+        self.eval_cache.preload(entries);
     }
 
     /// Evaluate the model on the current state.
@@ -592,6 +622,30 @@ mod tests {
         env.clear_eval_cache();
         assert_eq!(env.cache_stats(), CacheStats::default());
         assert_eq!(clone.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn cache_export_preload_roundtrip() {
+        let env = make_env(3);
+        env.evaluate().unwrap();
+        let exported = env.export_cache_entries();
+        assert_eq!(exported.len(), 1);
+        let sorted = {
+            let mut s = exported.clone();
+            s.sort_by_key(|&(a, b, _)| (a, b));
+            s
+        };
+        assert_eq!(exported, sorted, "export must be key-sorted");
+
+        // A fresh environment preloaded with the export answers the same
+        // evaluation from cache — no new miss.
+        let fresh = make_env(3);
+        fresh.preload_cache(&exported);
+        let before = fresh.cache_stats();
+        assert_eq!((before.hits, before.misses, before.entries), (0, 0, 1));
+        assert_eq!(fresh.evaluate().unwrap(), env.evaluate().unwrap());
+        let after = fresh.cache_stats();
+        assert_eq!((after.hits, after.misses), (1, 0));
     }
 
     #[test]

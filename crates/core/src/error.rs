@@ -1,0 +1,75 @@
+//! The workspace-wide error taxonomy for session-level operations.
+//!
+//! Module-local errors stay where they are ([`EnvError`] for environment
+//! operations, `FrameError` for frames, `BlrError` for regression fits);
+//! `CometError` is the umbrella the session loop and its callers (CLI,
+//! bench runners) speak, so one `?` chain carries every failure mode with
+//! its context intact instead of panicking mid-run.
+
+use crate::env::EnvError;
+use comet_frame::FrameError;
+use std::fmt;
+
+/// Any failure a COMET session (or its driver) can surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CometError {
+    /// A cleaning-environment operation failed (evaluation, snapshot,
+    /// cleaning step).
+    Env(EnvError),
+    /// A frame operation outside the environment failed (I/O, CSV).
+    Frame(FrameError),
+    /// A checkpoint file could not be read, written, or reconciled with
+    /// the current run (divergent replay, incompatible config).
+    Checkpoint(String),
+    /// Invalid input or configuration.
+    Invalid(String),
+}
+
+impl fmt::Display for CometError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CometError::Env(e) => write!(f, "environment error: {e}"),
+            CometError::Frame(e) => write!(f, "frame error: {e}"),
+            CometError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            CometError::Invalid(msg) => write!(f, "invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CometError {}
+
+impl From<EnvError> for CometError {
+    fn from(e: EnvError) -> Self {
+        CometError::Env(e)
+    }
+}
+
+impl From<FrameError> for CometError {
+    fn from(e: FrameError) -> Self {
+        CometError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let env: CometError = EnvError::Invalid("bad step".into()).into();
+        assert!(env.to_string().contains("bad step"));
+        let frame: CometError = FrameError::Empty.into();
+        assert!(frame.to_string().contains("non-empty"));
+        let ckpt = CometError::Checkpoint("diverged at iteration 3".into());
+        assert!(ckpt.to_string().contains("iteration 3"));
+        assert!(CometError::Invalid("nope".into()).to_string().contains("nope"));
+    }
+
+    #[test]
+    fn frame_errors_convert_through_env_and_directly() {
+        let via_env: CometError = EnvError::from(FrameError::NoLabel).into();
+        assert!(matches!(via_env, CometError::Env(EnvError::Frame(FrameError::NoLabel))));
+        let direct: CometError = FrameError::NoLabel.into();
+        assert!(matches!(direct, CometError::Frame(FrameError::NoLabel)));
+    }
+}

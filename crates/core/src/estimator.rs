@@ -3,7 +3,7 @@
 
 use crate::env::{CleaningEnvironment, EnvError};
 use crate::polluter::PollutedVariant;
-use comet_bayes::{BayesianLinearRegression, BlrConfig, RunningStats};
+use comet_bayes::{BayesianLinearRegression, BlrConfig, Ols, RunningStats};
 use comet_jenga::ErrorType;
 use std::collections::HashMap;
 
@@ -101,12 +101,9 @@ impl Estimator {
 
         let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
         let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
-        let mut blr = BayesianLinearRegression::new(self.blr_config);
-        blr.fit(&xs, &ys)
-            .map_err(|e| EnvError::Invalid(format!("Bayesian regression failed: {e}")))?;
-        let pred = blr.predict(-1.0);
+        let (mean, uncertainty) = self.backward_prediction(&xs, &ys)?;
         // F1 lives in [0, 1]; the linear extrapolation may leave it.
-        let raw = pred.mean.clamp(0.0, 1.0);
+        let raw = mean.clamp(0.0, 1.0);
         let corrected =
             if self.bias_correction { (raw + self.bias(col, err)).clamp(0.0, 1.0) } else { raw };
         Ok(Estimate {
@@ -115,11 +112,43 @@ impl Estimator {
             current_f1,
             raw_predicted_f1: raw,
             predicted_f1: corrected,
-            uncertainty: pred.uncertainty(),
+            uncertainty,
             points,
             flagged_train,
             flagged_test,
         })
+    }
+
+    /// Predict F1 one cleaning step away (x = −1): Bayesian regression when
+    /// the fit is well-conditioned, otherwise a degraded-mode ridge OLS
+    /// fallback (point estimate, uncertainty from the observed F1 spread)
+    /// so a near-singular design degrades the estimate instead of failing
+    /// the candidate. Degraded fits bump `fault.degraded_estimates`.
+    fn backward_prediction(&self, xs: &[f64], ys: &[f64]) -> Result<(f64, f64), EnvError> {
+        let mut blr = BayesianLinearRegression::new(self.blr_config);
+        let blr_err = match blr.fit(xs, ys) {
+            Ok(_) => {
+                let pred = blr.predict(-1.0);
+                return Ok((pred.mean, pred.uncertainty()));
+            }
+            Err(e) => e,
+        };
+        comet_obs::counter_add("fault.degraded_estimates", 1);
+        let mut ols = Ols::new(self.blr_config.degree);
+        ols.fit(xs, ys).map_err(|ols_err| {
+            EnvError::Invalid(format!(
+                "Bayesian regression failed ({blr_err}) and OLS fallback failed ({ols_err})"
+            ))
+        })?;
+        let mean = ols.predict(-1.0);
+        // OLS carries no posterior; use the observed response spread as a
+        // conservative stand-in (floored so the score penalty stays real).
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &y in ys {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        Ok((mean, (hi - lo).max(1e-6)))
     }
 
     /// Mean observed discrepancy (actual − raw prediction) for a candidate.
@@ -242,6 +271,33 @@ mod tests {
         let variants = polluter.variants(&env, 0, ErrorType::MissingValues, &mut rng).unwrap();
         let e = est.estimate(&env, 0, ErrorType::MissingValues, current, &variants).unwrap();
         assert_eq!(e.predicted_f1, e.raw_predicted_f1);
+    }
+
+    #[test]
+    fn degenerate_design_falls_back_to_ols() {
+        use comet_bayes::BlrConfig;
+        // A flat prior over a constant-x design makes the BLR precision
+        // near-singular; the degraded path must still produce a finite
+        // point estimate with a spread-based uncertainty.
+        let est = Estimator {
+            blr_config: BlrConfig { degree: 1, prior_scale: 1e12, ..BlrConfig::default() },
+            bias_correction: false,
+            discrepancies: HashMap::new(),
+        };
+        let xs = [2.0; 8];
+        let ys = [0.50, 0.55, 0.60, 0.52, 0.58, 0.54, 0.56, 0.53];
+        let (mean, uncertainty) = est.backward_prediction(&xs, &ys).unwrap();
+        assert!(mean.is_finite());
+        assert!((uncertainty - 0.10).abs() < 1e-12, "spread-based uncertainty, got {uncertainty}");
+
+        // A well-conditioned design still takes the Bayesian path and
+        // reports a posterior (not spread-based) uncertainty.
+        let healthy = Estimator::new(1, 0.95, false);
+        let xs2 = [0.0, 1.0, 2.0, 3.0];
+        let ys2 = [0.9, 0.8, 0.7, 0.6];
+        let (mean2, unc2) = healthy.backward_prediction(&xs2, &ys2).unwrap();
+        assert!((mean2 - 1.0).abs() < 0.05, "x=-1 extrapolation of a clean line, got {mean2}");
+        assert!(unc2 > 0.0);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Deterministic fault injection for the session loop.
+//!
+//! A [`FaultPlan`] forces specific candidate evaluations to fail —
+//! panicking mid-training, emitting a NaN loss, or erroring out of the
+//! estimator — at chosen `(iteration, col, err)` coordinates. The plan is
+//! consulted from inside the candidate closure, so injected faults travel
+//! the exact production failure paths (`par_map_catch`, retry, failure
+//! records) rather than a test-only shortcut. Injection is deterministic:
+//! a coordinate is evaluated by exactly one worker per attempt, and the
+//! per-coordinate attempt counter makes transient faults (recover on
+//! retry) as reproducible as permanent ones.
+
+use comet_jenga::ErrorType;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// What kind of failure to force on a candidate evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the candidate's training/estimation closure (caught by
+    /// `par_map_catch`, never unwinding the session).
+    TrainingPanic,
+    /// Poison the candidate's predicted F1 with NaN (exercises the
+    /// session's finiteness validation).
+    NanLoss,
+    /// Make the estimator return an error for this candidate.
+    EstimatorFailure,
+}
+
+/// One planned fault at a specific candidate coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Outer-loop iteration the fault fires in.
+    pub iteration: usize,
+    /// Feature column of the targeted candidate.
+    pub col: usize,
+    /// Error type of the targeted candidate.
+    pub err: ErrorType,
+    /// Failure mode.
+    pub kind: FaultKind,
+    /// How many evaluation attempts (first try + retries) the fault
+    /// poisons before the candidate recovers; `u32::MAX` is permanent.
+    pub attempts: u32,
+}
+
+/// A deterministic set of injected faults plus per-coordinate attempt
+/// counters. Shared read-mostly across worker threads.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+    hits: Mutex<HashMap<(usize, usize, ErrorType), u32>>,
+}
+
+impl FaultPlan {
+    /// Build a plan from explicit fault specs.
+    pub fn new(specs: Vec<FaultSpec>) -> Self {
+        FaultPlan { specs, hits: Mutex::new(HashMap::new()) }
+    }
+
+    /// Sample `n` transient faults (one poisoned attempt each) over the
+    /// given candidate coordinates, deterministically from `rng` — the
+    /// session-seeded entry point the fault-injection suite uses.
+    pub fn sample<R: Rng>(
+        n: usize,
+        iterations: usize,
+        cols: &[usize],
+        errors: &[ErrorType],
+        rng: &mut R,
+    ) -> Self {
+        assert!(!cols.is_empty() && !errors.is_empty(), "need candidate coordinates");
+        assert!(iterations > 0, "need at least one iteration");
+        const KINDS: [FaultKind; 3] =
+            [FaultKind::TrainingPanic, FaultKind::NanLoss, FaultKind::EstimatorFailure];
+        let specs = (0..n)
+            .map(|_| FaultSpec {
+                iteration: rng.gen_range(0..iterations),
+                col: cols[rng.gen_range(0..cols.len())],
+                err: errors[rng.gen_range(0..errors.len())],
+                kind: KINDS[rng.gen_range(0..KINDS.len())],
+                attempts: 1,
+            })
+            .collect();
+        FaultPlan::new(specs)
+    }
+
+    /// The planned faults.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Check whether a fault fires for this evaluation attempt of
+    /// `(iteration, col, err)`. Every call counts as one attempt at that
+    /// coordinate; the fault fires while the attempt count is below the
+    /// spec's `attempts`, so a transient fault clears after its quota and
+    /// the retry succeeds. Fired faults bump the `fault.injected` counter.
+    pub fn arm(&self, iteration: usize, col: usize, err: ErrorType) -> Option<FaultKind> {
+        let spec =
+            self.specs.iter().find(|s| s.iteration == iteration && s.col == col && s.err == err)?;
+        let mut hits = self.hits.lock().expect("unpoisoned fault counters");
+        let count = hits.entry((iteration, col, err)).or_insert(0);
+        *count += 1;
+        if *count <= spec.attempts {
+            comet_obs::counter_add("fault.injected", 1);
+            Some(spec.kind)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transient_fault_clears_after_its_attempt_quota() {
+        let plan = FaultPlan::new(vec![FaultSpec {
+            iteration: 2,
+            col: 1,
+            err: ErrorType::MissingValues,
+            kind: FaultKind::NanLoss,
+            attempts: 2,
+        }]);
+        // Wrong coordinates never fire (and don't consume attempts).
+        assert_eq!(plan.arm(0, 1, ErrorType::MissingValues), None);
+        assert_eq!(plan.arm(2, 0, ErrorType::MissingValues), None);
+        assert_eq!(plan.arm(2, 1, ErrorType::GaussianNoise), None);
+        // First two attempts poisoned, third recovers.
+        assert_eq!(plan.arm(2, 1, ErrorType::MissingValues), Some(FaultKind::NanLoss));
+        assert_eq!(plan.arm(2, 1, ErrorType::MissingValues), Some(FaultKind::NanLoss));
+        assert_eq!(plan.arm(2, 1, ErrorType::MissingValues), None);
+    }
+
+    #[test]
+    fn permanent_fault_never_clears() {
+        let plan = FaultPlan::new(vec![FaultSpec {
+            iteration: 0,
+            col: 0,
+            err: ErrorType::Scaling,
+            kind: FaultKind::TrainingPanic,
+            attempts: u32::MAX,
+        }]);
+        for _ in 0..100 {
+            assert_eq!(plan.arm(0, 0, ErrorType::Scaling), Some(FaultKind::TrainingPanic));
+        }
+    }
+
+    #[test]
+    fn sampled_plan_is_seed_deterministic() {
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            FaultPlan::sample(5, 4, &[0, 1, 2], &ErrorType::ALL, &mut rng).specs().to_vec()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10), "different seeds should differ");
+        for spec in draw(9) {
+            assert!(spec.iteration < 4);
+            assert!(spec.col < 3);
+            assert_eq!(spec.attempts, 1);
+        }
+    }
+}

@@ -25,12 +25,20 @@
 //!   [`CostModel`]s (§4.2),
 //! * [`CleaningTrace`] — per-step records (predicted vs actual F1, costs,
 //!   reverts, fallbacks) from which every figure of the paper is derived.
+//!
+//! Fault tolerance (DESIGN.md §9): candidate failures are isolated and
+//! retried ([`FaultPlan`] injects them deterministically for testing),
+//! errors surface through the [`CometError`] taxonomy, and sessions can
+//! checkpoint/resume via [`CheckpointSpec`].
 
 mod budget;
+mod checkpoint;
 mod config;
 mod cost;
 mod env;
+mod error;
 mod estimator;
+mod faults;
 mod metrics;
 mod polluter;
 mod recommender;
@@ -39,12 +47,15 @@ mod session;
 mod trace;
 
 pub use budget::Budget;
+pub use checkpoint::CheckpointSpec;
 pub use config::CometConfig;
 pub use cost::{CostModel, CostPolicy};
 pub use env::{CacheStats, CleaningEnvironment, EnvError, ModelSpec, StateSnapshot};
+pub use error::CometError;
 pub use estimator::{Estimate, Estimator};
+pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use metrics::{IterationMetrics, PhaseNanos, RunMetrics, PHASES};
 pub use polluter::{PollutedVariant, Polluter};
 pub use recommender::{Candidate, Recommender};
 pub use session::{CleaningSession, SessionOutcome};
-pub use trace::{CleaningTrace, StepAction, StepRecord};
+pub use trace::{CleaningTrace, FailureRecord, StepAction, StepRecord};

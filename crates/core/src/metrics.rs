@@ -89,6 +89,9 @@ pub struct IterationMetrics {
     pub budget_spent: f64,
     /// Current (accepted) F1 after this iteration.
     pub f1: f64,
+    /// Candidate evaluations that failed out (after retries) this
+    /// iteration and were skipped.
+    pub failures: usize,
     /// Per-phase timings.
     pub phases: PhaseNanos,
 }
@@ -105,6 +108,7 @@ impl IterationMetrics {
         obj.field_u64("cache_misses", self.cache_misses);
         obj.field_f64("budget_spent", self.budget_spent);
         obj.field_f64("f1", self.f1);
+        obj.field_u64("failures", self.failures as u64);
         obj.field_raw("phases", &self.phases.to_json());
         obj.finish()
     }
@@ -178,6 +182,7 @@ mod tests {
                     cache_misses: 5,
                     budget_spent: 1.0,
                     f1: 0.8,
+                    failures: 1,
                     phases: PhaseNanos {
                         pollute: 1_000,
                         estimate: 2_000,
@@ -195,6 +200,7 @@ mod tests {
                     cache_misses: 1,
                     budget_spent: 2.0,
                     f1: 0.82,
+                    failures: 0,
                     phases: PhaseNanos { fallback: 7_000, ..PhaseNanos::default() },
                 },
             ],
@@ -221,6 +227,7 @@ mod tests {
         let value = json::parse(&line).expect("journal line must parse");
         assert_eq!(value.get("kind").and_then(|v| v.as_str()), Some("iteration"));
         assert_eq!(value.get("candidates").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(value.get("failures").and_then(|v| v.as_f64()), Some(1.0));
         let phases = value.get("phases").expect("phases object");
         for name in PHASES {
             assert!(phases.get(name).is_some(), "missing phase key {name}");

@@ -166,6 +166,7 @@ mod tests {
                     cleaned_cells: 3,
                 },
             ],
+            failures: vec![],
             f1_curve: vec![(1.0, 0.82), (2.0, 0.81)],
             initial_f1: 0.8,
             final_f1: 0.81,
@@ -221,6 +222,7 @@ mod tests {
                 cache_misses: 1,
                 budget_spent: 1.0,
                 f1: 0.8,
+                failures: 0,
                 phases: PhaseNanos {
                     pollute: 2_000_000_000,
                     estimate: 1_000_000_000,

@@ -2,18 +2,22 @@
 //! (simulated) Cleaner until the budget is spent or the data is clean.
 
 use crate::budget::Budget;
+use crate::checkpoint::{self, CheckpointSpec, CheckpointWriter, CountingRng, IterationCheckpoint};
 use crate::config::CometConfig;
 use crate::env::{CleaningEnvironment, EnvError};
+use crate::error::CometError;
 use crate::estimator::{Estimate, Estimator};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::metrics::{IterationMetrics, PhaseNanos, RunMetrics};
 use crate::polluter::Polluter;
 use crate::recommender::Recommender;
-use crate::trace::{CleaningTrace, StepAction, StepRecord};
+use crate::trace::{CleaningTrace, FailureRecord, StepAction, StepRecord};
 use comet_jenga::ErrorType;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Derive the private rng seed of one candidate's what-if pollution from
@@ -50,6 +54,27 @@ fn timed<T>(on: bool, acc: &AtomicU64, f: impl FnOnce() -> T) -> T {
 pub struct CleaningSession {
     config: CometConfig,
     errors: Vec<ErrorType>,
+    faults: Option<Arc<FaultPlan>>,
+    checkpoint: Option<CheckpointSpec>,
+}
+
+/// How one candidate evaluation attempt ended: a usable estimate, or a
+/// failure reason (panic message, estimator error, non-finite output).
+fn classify(outcome: Result<Result<Estimate, EnvError>, String>) -> Result<Estimate, String> {
+    match outcome {
+        Ok(Ok(est)) => {
+            if est.raw_predicted_f1.is_finite()
+                && est.predicted_f1.is_finite()
+                && est.uncertainty.is_finite()
+            {
+                Ok(est)
+            } else {
+                Err("non-finite estimate (NaN loss)".to_string())
+            }
+        }
+        Ok(Err(e)) => Err(format!("estimator failure: {e}")),
+        Err(panic) => Err(format!("panic: {panic}")),
+    }
 }
 
 /// The result of a session.
@@ -67,7 +92,20 @@ impl CleaningSession {
     pub fn new(config: CometConfig, errors: Vec<ErrorType>) -> Self {
         config.validate().expect("valid config");
         assert!(!errors.is_empty(), "need at least one candidate error type");
-        CleaningSession { config, errors }
+        CleaningSession { config, errors, faults: None, checkpoint: None }
+    }
+
+    /// Inject a deterministic [`FaultPlan`] into candidate evaluations
+    /// (testing and chaos drills; production sessions carry none).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Persist (and optionally resume from) a checkpoint file.
+    pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.checkpoint = Some(spec);
+        self
     }
 
     /// The configuration.
@@ -77,11 +115,19 @@ impl CleaningSession {
 
     /// Run COMET against the environment until the budget is exhausted, the
     /// data is fully clean, or no affordable action remains.
+    ///
+    /// Candidate evaluations are failure-isolated: a panicking, erroring,
+    /// or NaN-producing candidate is retried up to `config.max_retries`
+    /// times and then recorded in `trace.failures` and skipped — one bad
+    /// candidate never kills the session.
     pub fn run<R: Rng>(
         &self,
         env: &mut CleaningEnvironment,
         rng: &mut R,
-    ) -> Result<SessionOutcome, EnvError> {
+    ) -> Result<SessionOutcome, CometError> {
+        // Count sequential rng draws so checkpoints can verify a resumed
+        // replay consumes randomness identically.
+        let rng = &mut CountingRng::new(rng);
         let mut budget = Budget::new(self.config.budget);
         let polluter = Polluter::from_config(&self.config);
         let mut estimator = Estimator::new(
@@ -92,17 +138,61 @@ impl CleaningSession {
         let mut recommender = Recommender::new(self.config.use_uncertainty);
         let mut steps_done: HashMap<(usize, ErrorType), usize> = HashMap::new();
 
+        // All candidate randomness derives from this one draw (see
+        // [`candidate_seed`]); the caller's rng is then only consumed by the
+        // strictly sequential cleaning steps. Drawn before the first model
+        // evaluation so a resume can verify seed identity up front.
+        let session_seed: u64 = rng.next_u64();
+
+        // Checkpointing: on resume, load the interrupted run's cache and
+        // per-iteration records first — the preloaded cache is what makes
+        // the replay below both cheap and bit-identical (the warm-cache
+        // determinism property) — then rewrite the file from scratch.
+        let config_fp = checkpoint::config_fingerprint(&self.config, &self.errors);
+        let mut resume_data = None;
+        let mut writer = match &self.checkpoint {
+            Some(spec) => {
+                if spec.resume {
+                    let data = checkpoint::load(&spec.path)?;
+                    if data.session_seed != session_seed {
+                        return Err(CometError::Checkpoint(format!(
+                            "checkpoint was recorded under session seed {:016x}, resumed with {:016x}",
+                            data.session_seed, session_seed
+                        )));
+                    }
+                    if data.config_fp != config_fp {
+                        return Err(CometError::Checkpoint(
+                            "checkpoint config does not match this session".into(),
+                        ));
+                    }
+                    env.preload_cache(&data.cache);
+                    let mut w = CheckpointWriter::create(
+                        &spec.path,
+                        session_seed,
+                        config_fp,
+                        self.config.budget,
+                    )?;
+                    w.write_cache(&data.cache)?;
+                    resume_data = Some(data);
+                    Some(w)
+                } else {
+                    Some(CheckpointWriter::create(
+                        &spec.path,
+                        session_seed,
+                        config_fp,
+                        self.config.budget,
+                    )?)
+                }
+            }
+            None => None,
+        };
+
         let mut trace = CleaningTrace {
             initial_f1: env.evaluate()?,
             fully_clean_f1: Some(env.fully_cleaned_f1()?),
             ..CleaningTrace::default()
         };
         let mut current_f1 = trace.initial_f1;
-
-        // All candidate randomness derives from this one draw (see
-        // [`candidate_seed`]); the caller's rng is then only consumed by the
-        // strictly sequential cleaning steps.
-        let session_seed: u64 = rng.next_u64();
 
         // Metrics are collected only while `comet_obs` recording is on;
         // nothing below may branch on collected values, so instrumented
@@ -139,32 +229,86 @@ impl CleaningSession {
             // ranking input — and hence the whole trace — independent of
             // the thread count.
             let started = Instant::now();
-            let estimates: Vec<Estimate> = {
+            let (estimates, iteration_failures): (Vec<Estimate>, Vec<FailureRecord>) = {
                 let env_ref: &CleaningEnvironment = env;
                 let estimator_ref = &estimator;
                 let pollute_acc = &pollute_nanos;
                 let estimate_acc = &estimate_nanos;
-                comet_par::par_map(dirty_pairs.clone(), |(col, err)| {
-                    let seed = candidate_seed(session_seed, col, err, iteration);
-                    let mut cand_rng = StdRng::seed_from_u64(seed);
-                    // Workers add into shared accumulators, so these two
-                    // phases measure aggregate worker time (they can
-                    // exceed the iteration's wall clock).
-                    let variants = timed(metrics_on, pollute_acc, || {
-                        polluter.variants(env_ref, col, err, &mut cand_rng)
-                    })?;
-                    timed(metrics_on, estimate_acc, || {
-                        estimator_ref.estimate(env_ref, col, err, current_f1, &variants)
-                    })
-                })
-                .into_iter()
-                .collect::<Result<_, EnvError>>()?
+                let faults = self.faults.as_deref();
+                let eval_candidate =
+                    |(col, err): (usize, ErrorType)| -> Result<Estimate, EnvError> {
+                        let fault = faults.and_then(|p| p.arm(iteration, col, err));
+                        if fault == Some(FaultKind::EstimatorFailure) {
+                            return Err(EnvError::Invalid(format!(
+                                "injected fault: estimator failure at candidate ({col}, {err:?})"
+                            )));
+                        }
+                        if fault == Some(FaultKind::TrainingPanic) {
+                            panic!(
+                                "injected fault: training panic at iteration {iteration} \
+                             candidate ({col}, {err:?})"
+                            );
+                        }
+                        let seed = candidate_seed(session_seed, col, err, iteration);
+                        let mut cand_rng = StdRng::seed_from_u64(seed);
+                        // Workers add into shared accumulators, so these two
+                        // phases measure aggregate worker time (they can
+                        // exceed the iteration's wall clock).
+                        let variants = timed(metrics_on, pollute_acc, || {
+                            polluter.variants(env_ref, col, err, &mut cand_rng)
+                        })?;
+                        let mut est = timed(metrics_on, estimate_acc, || {
+                            estimator_ref.estimate(env_ref, col, err, current_f1, &variants)
+                        })?;
+                        if fault == Some(FaultKind::NanLoss) {
+                            est.raw_predicted_f1 = f64::NAN;
+                            est.predicted_f1 = f64::NAN;
+                        }
+                        Ok(est)
+                    };
+                // Panics are caught per candidate inside the fan-out
+                // (`par_map_catch`): a failed candidate becomes an `Err`
+                // slot in input order instead of killing the session.
+                let attempts = comet_par::par_map_catch(dirty_pairs.clone(), eval_candidate);
+                let mut estimates = Vec::with_capacity(dirty_pairs.len());
+                let mut failures = Vec::new();
+                for (outcome, &(col, err)) in attempts.into_iter().zip(dirty_pairs.iter()) {
+                    let mut result = classify(outcome);
+                    let mut retries = 0u32;
+                    // Failed candidates retry sequentially, in input order,
+                    // re-deriving the same candidate seed — retries stay
+                    // deterministic and thread-count independent.
+                    while result.is_err() && (retries as usize) < self.config.max_retries {
+                        retries += 1;
+                        comet_obs::counter_add("fault.retries", 1);
+                        let attempt = comet_par::par_map_catch(vec![(col, err)], eval_candidate)
+                            .pop()
+                            .expect("one item in, one result out");
+                        result = classify(attempt);
+                        if result.is_ok() {
+                            comet_obs::counter_add("fault.recovered", 1);
+                        }
+                    }
+                    match result {
+                        Ok(est) => estimates.push(est),
+                        Err(reason) => {
+                            comet_obs::counter_add("fault.candidate_failures", 1);
+                            failures.push(FailureRecord { iteration, col, err, reason, retries });
+                        }
+                    }
+                }
+                (estimates, failures)
             };
-            let costs: Vec<f64> = dirty_pairs
+            let failures_this_iteration = iteration_failures.len();
+            trace.failures.extend(iteration_failures);
+            // Costs pair with `estimates` by index in `rank`, so they are
+            // built from the surviving estimates, not from `dirty_pairs`
+            // (failed candidates are absent).
+            let costs: Vec<f64> = estimates
                 .iter()
-                .map(|&(col, err)| {
-                    let done = steps_done.get(&(col, err)).copied().unwrap_or(0);
-                    self.config.costs.next_cost(err, done)
+                .map(|est| {
+                    let done = steps_done.get(&(est.col, est.err)).copied().unwrap_or(0);
+                    self.config.costs.next_cost(est.err, done)
                 })
                 .collect();
             let ranked = timed(metrics_on, &rank_nanos, || recommender.rank(estimates, &costs));
@@ -503,12 +647,37 @@ impl CleaningSession {
                     cache_misses: cache_now.misses - cache_before.misses,
                     budget_spent: budget.spent(),
                     f1: current_f1,
+                    failures: failures_this_iteration,
                     phases,
                 };
                 if comet_obs::journal::has_sink() {
                     comet_obs::journal::emit(&it.to_json_line());
                 }
                 rm.iterations.push(it);
+            }
+
+            // Checkpoint the completed iteration; on resume, first verify
+            // the replay reproduced the stored run exactly.
+            if writer.is_some() {
+                let record = IterationCheckpoint {
+                    iteration,
+                    budget_spent: budget.spent(),
+                    rng_draws: rng.draws(),
+                    records: trace.records.len(),
+                    trace_fp: checkpoint::trace_fingerprint(&trace),
+                };
+                if let Some(stored) = resume_data.as_ref().and_then(|d| d.iterations.get(iteration))
+                {
+                    if *stored != record {
+                        return Err(CometError::Checkpoint(format!(
+                            "resume diverged at iteration {iteration}: \
+                             checkpoint {stored:?}, replay {record:?}"
+                        )));
+                    }
+                }
+                if let Some(w) = writer.as_mut() {
+                    w.write_iteration(&record, &env.export_cache_entries())?;
+                }
             }
 
             if !progressed {
@@ -1045,6 +1214,229 @@ mod tests {
         );
         assert!(!sequential.trace.records.is_empty(), "trivial traces prove nothing");
         assert!(sequential.metrics.is_some() && parallel.metrics.is_some());
+    }
+
+    use crate::faults::{FaultKind, FaultSpec};
+
+    /// Three permanent faults (panic, NaN loss, estimator error) plus one
+    /// transient panic that recovers on retry — the fault-injection suite's
+    /// standard plan over `build_env` column coordinates.
+    fn standard_fault_plan() -> FaultPlan {
+        let mv = ErrorType::MissingValues;
+        FaultPlan::new(vec![
+            FaultSpec {
+                iteration: 0,
+                col: 0,
+                err: mv,
+                kind: FaultKind::TrainingPanic,
+                attempts: u32::MAX,
+            },
+            FaultSpec {
+                iteration: 0,
+                col: 1,
+                err: mv,
+                kind: FaultKind::NanLoss,
+                attempts: u32::MAX,
+            },
+            FaultSpec {
+                iteration: 0,
+                col: 2,
+                err: mv,
+                kind: FaultKind::EstimatorFailure,
+                attempts: u32::MAX,
+            },
+            FaultSpec {
+                iteration: 1,
+                col: 0,
+                err: mv,
+                kind: FaultKind::TrainingPanic,
+                attempts: 1,
+            },
+        ])
+    }
+
+    #[test]
+    fn session_survives_injected_faults_with_budget_invariant() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        comet_obs::set_enabled(true);
+        comet_obs::reset();
+        let mut env = build_env(31, 240, vec![(0, 0.3), (1, 0.25), (2, 0.2)], Algorithm::Knn);
+        let session = CleaningSession::new(quick_config(10.0), vec![ErrorType::MissingValues])
+            .with_faults(standard_fault_plan());
+        let mut rng = StdRng::seed_from_u64(77);
+        let outcome = session.run(&mut env, &mut rng).unwrap();
+        comet_obs::set_enabled(false);
+        let trace = &outcome.trace;
+
+        // The session completed despite three permanently failing
+        // candidates, and the accounting invariant held throughout.
+        assert!(!trace.records.is_empty(), "session must keep cleaning around failures");
+        assert_budget_matches_cleaning_records(trace);
+
+        // All three iteration-0 failures are on record with their reasons.
+        let it0: Vec<&crate::trace::FailureRecord> =
+            trace.failures.iter().filter(|f| f.iteration == 0).collect();
+        assert_eq!(it0.len(), 3, "failures: {:?}", trace.failures);
+        let reason_of = |col: usize| &it0.iter().find(|f| f.col == col).unwrap().reason;
+        assert!(reason_of(0).contains("panic"), "{:?}", reason_of(0));
+        assert!(reason_of(1).contains("non-finite"), "{:?}", reason_of(1));
+        assert!(reason_of(2).contains("estimator failure"), "{:?}", reason_of(2));
+        for f in &it0 {
+            assert_eq!(f.retries, 1, "default max_retries spends one retry: {f:?}");
+        }
+        // The transient iteration-1 panic recovered and left no failure.
+        assert!(trace.failures.iter().all(|f| f.iteration == 0), "{:?}", trace.failures);
+
+        // fault.* counters saw it all.
+        let metrics = outcome.metrics.expect("obs enabled");
+        assert!(metrics.registry.counter("fault.injected") >= 7, "3 permanent × 2 + transient");
+        assert_eq!(metrics.registry.counter("fault.candidate_failures"), 3);
+        assert!(metrics.registry.counter("fault.retries") >= 4);
+        assert!(metrics.registry.counter("fault.recovered") >= 1);
+        let with_failures: usize = metrics.iterations.iter().map(|i| i.failures).sum();
+        assert_eq!(with_failures, 3);
+    }
+
+    #[test]
+    fn faulted_trace_is_thread_count_invariant() {
+        let env0 = build_env(31, 240, vec![(0, 0.3), (1, 0.25), (2, 0.2)], Algorithm::Knn);
+        let run_with = |threads: usize| {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let session = CleaningSession::new(quick_config(10.0), vec![ErrorType::MissingValues])
+                .with_faults(standard_fault_plan());
+            let mut rng = StdRng::seed_from_u64(77);
+            comet_par::with_threads(threads, || session.run(&mut env, &mut rng).unwrap())
+        };
+        let sequential = run_with(1);
+        let parallel = run_with(4);
+        assert!(
+            sequential.trace.content_eq(&parallel.trace),
+            "fault handling must not depend on scheduling:\nseq: {:?}\npar: {:?}",
+            sequential.trace.failures,
+            parallel.trace.failures,
+        );
+        assert!(!sequential.trace.failures.is_empty());
+        assert!(!sequential.trace.records.is_empty());
+    }
+
+    #[test]
+    fn zero_retries_fails_transient_faults_immediately() {
+        let mut env = build_env(31, 240, vec![(0, 0.3), (1, 0.25)], Algorithm::Knn);
+        let plan = FaultPlan::new(vec![FaultSpec {
+            iteration: 0,
+            col: 0,
+            err: ErrorType::MissingValues,
+            kind: FaultKind::TrainingPanic,
+            attempts: 1, // would recover on retry — but none are allowed
+        }]);
+        let config = CometConfig { max_retries: 0, ..quick_config(6.0) };
+        let session =
+            CleaningSession::new(config, vec![ErrorType::MissingValues]).with_faults(plan);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = session.run(&mut env, &mut rng).unwrap();
+        let failure = outcome
+            .trace
+            .failures
+            .iter()
+            .find(|f| f.iteration == 0 && f.col == 0)
+            .expect("transient fault must fail out without retries");
+        assert_eq!(failure.retries, 0);
+    }
+
+    fn ckpt_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("comet_session_ckpt_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical_across_thread_counts() {
+        let env0 = build_env(32, 200, vec![(0, 0.3), (1, 0.2)], Algorithm::Knn);
+        let full_path = ckpt_path("full.jsonl");
+        let cut_path = ckpt_path("cut.jsonl");
+
+        // Uninterrupted run, checkpointing as it goes.
+        let full = {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let session = CleaningSession::new(quick_config(8.0), vec![ErrorType::MissingValues])
+                .with_checkpoint(CheckpointSpec { path: full_path.clone(), resume: false });
+            let mut rng = StdRng::seed_from_u64(5);
+            comet_par::with_threads(1, || session.run(&mut env, &mut rng).unwrap())
+        };
+        assert!(full.trace.records.len() > 1, "need a multi-step run to cut in half");
+
+        // Simulate a kill partway through: keep the header, the first
+        // iteration record, and a truncated half-written line.
+        let text = std::fs::read_to_string(&full_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 2, "checkpoint must span several iterations: {text}");
+        let mut cut = lines[..2].join("\n");
+        cut.push_str("\n{\"kind\":\"checkpoint_itera");
+        std::fs::write(&cut_path, &cut).unwrap();
+
+        // Resume from the cut file at a different thread count.
+        let resumed = {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let session = CleaningSession::new(quick_config(8.0), vec![ErrorType::MissingValues])
+                .with_checkpoint(CheckpointSpec { path: cut_path.clone(), resume: true });
+            let mut rng = StdRng::seed_from_u64(5);
+            let outcome = comet_par::with_threads(4, || session.run(&mut env, &mut rng).unwrap());
+            assert!(env.cache_stats().hits > 0, "resume must replay from the preloaded cache");
+            outcome
+        };
+        assert!(
+            full.trace.content_eq(&resumed.trace),
+            "resumed trace must be bit-identical:\nfull: {:?}\nresumed: {:?}",
+            full.trace.records,
+            resumed.trace.records,
+        );
+
+        // The rewritten checkpoint equals the uninterrupted one, byte for
+        // byte, minus cache-entry bookkeeping order: compare the loaded
+        // verification records instead of raw bytes.
+        let a = crate::checkpoint::load(&full_path).unwrap();
+        let b = crate::checkpoint::load(&cut_path).unwrap();
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.session_seed, b.session_seed);
+        std::fs::remove_file(full_path).ok();
+        std::fs::remove_file(cut_path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_seed_and_config() {
+        let env0 = build_env(32, 200, vec![(0, 0.3)], Algorithm::Knn);
+        let path = ckpt_path("mismatch.jsonl");
+        {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let session = CleaningSession::new(quick_config(4.0), vec![ErrorType::MissingValues])
+                .with_checkpoint(CheckpointSpec { path: path.clone(), resume: false });
+            let mut rng = StdRng::seed_from_u64(5);
+            session.run(&mut env, &mut rng).unwrap();
+        }
+
+        // Wrong rng seed → different session seed → refuse to resume.
+        let mut env = env0.clone();
+        env.clear_eval_cache();
+        let session = CleaningSession::new(quick_config(4.0), vec![ErrorType::MissingValues])
+            .with_checkpoint(CheckpointSpec { path: path.clone(), resume: true });
+        let mut rng = StdRng::seed_from_u64(6);
+        let err = session.run(&mut env, &mut rng).unwrap_err();
+        assert!(matches!(err, CometError::Checkpoint(_)), "{err}");
+        assert!(err.to_string().contains("session seed"), "{err}");
+
+        // Wrong config → refuse to resume.
+        let mut env = env0.clone();
+        env.clear_eval_cache();
+        let session = CleaningSession::new(quick_config(5.0), vec![ErrorType::MissingValues])
+            .with_checkpoint(CheckpointSpec { path: path.clone(), resume: true });
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = session.run(&mut env, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("config"), "{err}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

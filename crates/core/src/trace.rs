@@ -43,11 +43,31 @@ pub struct StepRecord {
     pub cleaned_cells: usize,
 }
 
+/// A candidate evaluation that failed every attempt and was skipped for
+/// its iteration (fault tolerance: the session keeps going without it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureRecord {
+    /// Outer-loop iteration the candidate belonged to.
+    pub iteration: usize,
+    /// Feature column of the failed candidate.
+    pub col: usize,
+    /// Error type of the failed candidate.
+    pub err: ErrorType,
+    /// Why the final attempt failed (panic message, estimator error, or
+    /// non-finite estimate).
+    pub reason: String,
+    /// How many retries were spent (beyond the first attempt).
+    pub retries: u32,
+}
+
 /// Full record of a cleaning run.
 #[derive(Debug, Clone, Default)]
 pub struct CleaningTrace {
     /// All attempted steps in order.
     pub records: Vec<StepRecord>,
+    /// Candidate evaluations that failed out (after retries) and were
+    /// skipped, in discovery order.
+    pub failures: Vec<FailureRecord>,
     /// `(budget spent, F1 of the kept state)` after every attempt — the
     /// paper's F1-per-budget curves.
     pub f1_curve: Vec<(f64, f64)>,
@@ -109,6 +129,7 @@ impl CleaningTrace {
     /// the same seed must produce `content_eq` traces at any thread count.
     pub fn content_eq(&self, other: &CleaningTrace) -> bool {
         self.records == other.records
+            && self.failures == other.failures
             && self.f1_curve == other.f1_curve
             && self.initial_f1 == other.initial_f1
             && self.final_f1 == other.final_f1
@@ -189,6 +210,28 @@ mod tests {
         assert_eq!(trace.total_spent(), 0.0);
         assert_eq!(trace.mean_iteration_runtime(), None);
         assert_eq!(trace.f1_at_budget(10.0), 0.0);
+    }
+
+    #[test]
+    fn content_eq_distinguishes_failures() {
+        let base = CleaningTrace {
+            records: vec![record(StepAction::Accepted, 1.0, 1.0, Some(0.7), 0.8)],
+            ..CleaningTrace::default()
+        };
+        let mut with_failure = base.clone();
+        with_failure.failures.push(FailureRecord {
+            iteration: 0,
+            col: 2,
+            err: ErrorType::GaussianNoise,
+            reason: "panic: injected".into(),
+            retries: 1,
+        });
+        assert!(base.content_eq(&base.clone()));
+        assert!(!base.content_eq(&with_failure));
+        // Runtimes still don't participate.
+        let mut timed = base.clone();
+        timed.iteration_runtimes.push(Duration::from_millis(4));
+        assert!(base.content_eq(&timed));
     }
 
     #[test]

@@ -29,10 +29,7 @@ pub fn read_csv_str(text: &str, label: Option<&str>) -> Result<DataFrame> {
     let ncols = header.len();
     for (i, rec) in records.iter().enumerate() {
         if rec.len() != ncols {
-            return Err(FrameError::Csv {
-                line: i + 2,
-                message: format!("expected {ncols} fields, got {}", rec.len()),
-            });
+            return Err(FrameError::RaggedRow { line: i + 2, expected: ncols, got: rec.len() });
         }
     }
 
@@ -106,8 +103,9 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
             match ch {
                 '"' => {
                     if !field.is_empty() {
-                        return Err(FrameError::Csv {
+                        return Err(FrameError::MalformedCell {
                             line,
+                            column: record.len() + 1,
                             message: "quote inside unquoted field".into(),
                         });
                     }
@@ -220,7 +218,8 @@ mod tests {
     #[test]
     fn ragged_rows_rejected() {
         let err = read_csv_str("a,b\n1.0\n", None).unwrap_err();
-        assert!(matches!(err, FrameError::Csv { line: 2, .. }));
+        assert_eq!(err, FrameError::RaggedRow { line: 2, expected: 2, got: 1 });
+        assert!(err.to_string().contains("line 2"), "diagnostic must carry the line: {err}");
     }
 
     #[test]
@@ -232,7 +231,28 @@ mod tests {
     #[test]
     fn quote_inside_unquoted_field_rejected() {
         let err = read_csv_str("a\nab\"c\n", None).unwrap_err();
-        assert!(matches!(err, FrameError::Csv { .. }));
+        assert_eq!(
+            err,
+            FrameError::MalformedCell {
+                line: 2,
+                column: 1,
+                message: "quote inside unquoted field".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_cell_reports_field_index() {
+        // The bad quote sits in the third field of the second data row.
+        let err = read_csv_str("a,b,c\n1,2,3\n4,5,6\"7\n", None).unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::MalformedCell {
+                line: 3,
+                column: 3,
+                message: "quote inside unquoted field".into(),
+            }
+        );
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub enum FrameError {
     NoLabel,
     /// CSV parsing failed.
     Csv { line: usize, message: String },
+    /// A CSV data row had a different field count than the header.
+    RaggedRow { line: usize, expected: usize, got: usize },
+    /// A single CSV cell could not be parsed (1-based field index).
+    MalformedCell { line: usize, column: usize, message: String },
     /// An I/O error occurred (message-only so the error stays `Clone`/`Eq`).
     Io(String),
     /// An operation required a non-empty frame.
@@ -53,6 +57,12 @@ impl fmt::Display for FrameError {
             FrameError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
             FrameError::NoLabel => write!(f, "frame has no label column"),
             FrameError::Csv { line, message } => write!(f, "CSV error on line {line}: {message}"),
+            FrameError::RaggedRow { line, expected, got } => {
+                write!(f, "ragged CSV row on line {line}: expected {expected} fields, got {got}")
+            }
+            FrameError::MalformedCell { line, column, message } => {
+                write!(f, "malformed cell at line {line}, field {column}: {message}")
+            }
             FrameError::Io(msg) => write!(f, "I/O error: {msg}"),
             FrameError::Empty => write!(f, "operation requires a non-empty frame"),
             FrameError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -91,6 +101,11 @@ mod tests {
             (FrameError::DuplicateColumn("dup".into()), "dup"),
             (FrameError::NoLabel, "label"),
             (FrameError::Csv { line: 3, message: "bad".into() }, "line 3"),
+            (FrameError::RaggedRow { line: 4, expected: 5, got: 3 }, "expected 5 fields, got 3"),
+            (
+                FrameError::MalformedCell { line: 2, column: 1, message: "stray quote".into() },
+                "line 2, field 1",
+            ),
             (FrameError::Io("gone".into()), "gone"),
             (FrameError::Empty, "non-empty"),
             (FrameError::InvalidArgument("frac".into()), "frac"),

@@ -48,10 +48,25 @@ pub fn confusion_matrix(y_true: &[u32], y_pred: &[u32], n_classes: usize) -> Vec
     m
 }
 
+/// True when the ground truth collapsed to one class — a pathological
+/// pollution can wipe out a class entirely. The metrics below still return
+/// defined values there (never NaN), but the event is worth counting:
+/// `metrics.single_class` in the `comet_obs` registry.
+fn note_single_class(y_true: &[u32]) -> bool {
+    let single = !y_true.is_empty() && y_true.iter().all(|&t| t == y_true[0]);
+    if single {
+        comet_obs::counter_add("metrics.single_class", 1);
+    }
+    single
+}
+
 /// F1 for one class treated as positive. Returns 0 when precision+recall
-/// are both undefined (scikit-learn's `zero_division=0` convention).
+/// are both undefined (scikit-learn's `zero_division=0` convention), so the
+/// result is defined even for single-class ground truth (which additionally
+/// bumps the `metrics.single_class` counter).
 pub fn f1_binary(y_true: &[u32], y_pred: &[u32], positive: u32) -> f64 {
     assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    note_single_class(y_true);
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut fne = 0usize;
@@ -125,9 +140,11 @@ pub fn balanced_accuracy(y_true: &[u32], y_pred: &[u32], n_classes: usize) -> f6
 /// the positive class (Mann–Whitney formulation: the probability a random
 /// positive outscores a random negative, ties counting ½).
 ///
-/// Returns 0.5 when one class is absent (no ranking information).
+/// Returns 0.5 when one class is absent (no ranking information); that
+/// single-class case also bumps the `metrics.single_class` counter.
 pub fn roc_auc(y_true: &[u32], scores: &[f64]) -> f64 {
     assert_eq!(y_true.len(), scores.len(), "length mismatch");
+    note_single_class(y_true);
     // `total_cmp` over a NaN-sanitized key, not `partial_cmp(..).expect(..)`:
     // a degenerate model (all-equal features, zero-variance fit) can emit a
     // NaN score, and computing a metric must not panic mid-session. NaN maps
@@ -279,6 +296,25 @@ mod tests {
         assert_eq!(roc_auc(&y, &[0.1, 0.2, f64::NAN, 0.9]), 0.5);
         // All-NaN scores carry no ranking information → ties everywhere.
         assert_eq!(roc_auc(&y, &[f64::NAN; 4]), 0.5);
+    }
+
+    #[test]
+    fn single_class_ground_truth_is_defined_and_counted() {
+        // All-one-class ground truth: both metrics must return defined
+        // values (no NaN) and count the event while recording is on.
+        comet_obs::set_enabled(true);
+        let before = comet_obs::snapshot().counter("metrics.single_class");
+        let f1_all_pos = f1_binary(&[1, 1, 1], &[1, 0, 1], 1);
+        let f1_all_neg = f1_binary(&[0, 0, 0], &[1, 0, 1], 1);
+        let auc = roc_auc(&[1, 1, 1], &[0.2, 0.5, 0.9]);
+        let after = comet_obs::snapshot().counter("metrics.single_class");
+        comet_obs::set_enabled(false);
+        assert!(f1_all_pos.is_finite() && (0.0..=1.0).contains(&f1_all_pos));
+        assert_eq!(f1_all_neg, 0.0);
+        assert_eq!(auc, 0.5);
+        // Concurrent tests may also bump the counter, so assert growth by
+        // at least the three single-class calls above.
+        assert!(after >= before + 3, "counter {before} -> {after}");
     }
 
     #[test]

@@ -199,6 +199,44 @@ where
         .collect()
 }
 
+/// Workers currently spawned by in-flight fan-outs across the process.
+/// Zero whenever no [`par_map`] is running; exposed so tests can prove
+/// panics never leak worker-slot budget.
+pub fn active_workers() -> usize {
+    ACTIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// Render a `catch_unwind` payload as a one-line reason string.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`par_map`], but a panic in `f` becomes `Err(reason)` for that item
+/// instead of unwinding through the pool.
+///
+/// The panic is caught *inside* the worker closure, so it never crosses a
+/// slot mutex (no poisoning) and the fan-out's worker-slot budget is
+/// released exactly as on the success path. Output order and the
+/// sequential-at-one-thread degradation are inherited from [`par_map`]:
+/// the Ok/Err partition is a pure function of the inputs, not of the
+/// thread count or scheduling.
+pub fn par_map_catch<T, U, F>(items: Vec<T>, f: F) -> Vec<Result<U, String>>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    par_map(items, move |t| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(t))).map_err(panic_message)
+    })
+}
+
 /// [`par_map`] over `0..len`, for callers that index shared state instead
 /// of moving items.
 pub fn par_map_indexed<U, F>(len: usize, f: F) -> Vec<U>
@@ -350,6 +388,87 @@ mod tests {
         with_threads(4, || par_map((0..32).collect::<Vec<usize>>(), |x| x * 2));
         let after = comet_obs::snapshot().counter("par.fanouts");
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn catch_turns_panics_into_item_errors() {
+        let out = with_threads(4, || {
+            par_map_catch((0..32).collect::<Vec<usize>>(), |x| {
+                if x % 5 == 0 {
+                    panic!("multiple of five: {x}");
+                }
+                x * 10
+            })
+        });
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            if i % 5 == 0 {
+                let reason = r.as_ref().unwrap_err();
+                assert!(reason.contains("multiple of five"), "reason was {reason:?}");
+            } else {
+                assert_eq!(*r, Ok(i * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn catch_handles_non_string_payloads() {
+        let out = par_map_catch(vec![0u8], |_| -> u8 { std::panic::panic_any(42i32) });
+        assert_eq!(out, vec![Err("non-string panic payload".to_string())]);
+    }
+
+    #[test]
+    fn catch_does_not_leak_worker_slots() {
+        // Each fan-out reserves up to 3 extra slots at 4 threads; if a
+        // caught panic leaked its reservation, 64 panicking fan-outs would
+        // pin ACTIVE_WORKERS near 192. Concurrent tests in this binary may
+        // hold a handful of slots of their own, hence the loose bound.
+        for _ in 0..64 {
+            with_threads(4, || {
+                par_map_catch((0..8).collect::<Vec<usize>>(), |x| {
+                    if x % 2 == 0 {
+                        panic!("boom");
+                    }
+                    x
+                })
+            });
+        }
+        assert!(active_workers() <= 16, "leaked worker slots: {}", active_workers());
+        // And the budget is still usable: a fresh fan-out parallelizes.
+        let out = with_threads(4, || par_map((0..8).collect::<Vec<usize>>(), |x| x + 1));
+        assert_eq!(out, (1..9).collect::<Vec<usize>>());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+        #[test]
+        fn catch_partition_is_thread_count_invariant(
+            values in proptest::prop::collection::vec(0i64..1_000, 1..40),
+            modulus in 2i64..7,
+        ) {
+            let run = |threads: usize| {
+                with_threads(threads, || {
+                    par_map_catch(values.clone(), |v| {
+                        if v % modulus == 0 {
+                            panic!("injected: {v} divisible by {modulus}");
+                        }
+                        v.wrapping_mul(3)
+                    })
+                })
+            };
+            let t1 = run(1);
+            let t2 = run(2);
+            let t8 = run(8);
+            proptest::prop_assert_eq!(&t1, &t2);
+            proptest::prop_assert_eq!(&t1, &t8);
+            for (i, r) in t1.iter().enumerate() {
+                match r {
+                    Ok(out) => proptest::prop_assert_eq!(*out, values[i].wrapping_mul(3)),
+                    Err(reason) => proptest::prop_assert!(reason.contains("injected")),
+                }
+            }
+            proptest::prop_assert!(active_workers() <= 16, "leaked slots: {}", active_workers());
+        }
     }
 
     #[test]

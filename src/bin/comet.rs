@@ -16,8 +16,11 @@
 //!   run.jsonl` enables the `comet-obs` registry for the run and streams a
 //!   JSONL journal (one record per iteration with per-phase durations and
 //!   counters, one summary record at exit) plus a metrics report.
+//!   `--checkpoint ckpt.jsonl` records a resumable checkpoint every
+//!   iteration; add `--resume` to continue a killed run bit-identically,
+//!   and `--max-retries N` to tune candidate-failure retries (DESIGN.md §9).
 
-use comet::core::{CleaningEnvironment, CleaningSession, CometConfig};
+use comet::core::{CheckpointSpec, CleaningEnvironment, CleaningSession, CometConfig};
 use comet::frame::{read_csv, train_test_split, write_csv, DataFrame, SplitOptions};
 use comet::jenga::{inject, sample_rows, ErrorType, GroundTruth, Provenance};
 use comet::ml::{Algorithm, Metric, RandomSearch};
@@ -31,7 +34,8 @@ usage:
   comet pollute   --input FILE --label COL --error mv|gn|cs|s --level FRAC --output FILE [--seed N]
   comet evaluate  --input FILE --label COL [--algo NAME] [--seed N]
   comet recommend --dirty FILE --clean FILE --label COL [--algo NAME] [--budget N]
-                  [--step FRAC] [--batch N] [--trace FILE] [--metrics-out FILE] [--seed N]";
+                  [--step FRAC] [--batch N] [--max-retries N] [--trace FILE]
+                  [--checkpoint FILE [--resume]] [--metrics-out FILE] [--seed N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,7 +62,10 @@ fn main() -> ExitCode {
     }
 }
 
-/// Parse `--key value` pairs.
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["resume"];
+
+/// Parse `--key value` pairs (and valueless [`BOOL_FLAGS`]).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut iter = args.iter();
@@ -66,6 +73,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, got {key:?}"));
         };
+        if BOOL_FLAGS.contains(&name) {
+            out.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = iter.next().ok_or_else(|| format!("--{name} needs a value"))?;
         out.insert(name.to_string(), value.clone());
     }
@@ -100,7 +111,7 @@ fn cmd_pollute(args: &[String]) -> Result<(), String> {
     }
     let mut rng = StdRng::seed_from_u64(seed_of(&flags)?);
 
-    let mut df = read_csv(input, Some(label)).map_err(|e| e.to_string())?;
+    let mut df = read_csv(input, Some(label)).map_err(|e| format!("{input}: {e}"))?;
     let n = df.nrows();
     let cells = (level * n as f64).round() as usize;
     let mut touched = 0usize;
@@ -125,7 +136,7 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     let algorithm = algo_of(&flags)?;
     let mut rng = StdRng::seed_from_u64(seed_of(&flags)?);
 
-    let df = read_csv(input, Some(label)).map_err(|e| e.to_string())?;
+    let df = read_csv(input, Some(label)).map_err(|e| format!("{input}: {e}"))?;
     let tt = train_test_split(&df, SplitOptions::default(), &mut rng).map_err(|e| e.to_string())?;
     let env = build_env(tt.train, tt.test, None, algorithm, 0.01, &mut rng)?;
     let f1 = env.evaluate().map_err(|e| e.to_string())?;
@@ -151,10 +162,20 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
         flags.get("step").map_or(Ok(0.01), |s| s.parse().map_err(|e| format!("--step: {e}")))?;
     let batch: usize =
         flags.get("batch").map_or(Ok(1), |s| s.parse().map_err(|e| format!("--batch: {e}")))?;
+    let max_retries: usize = flags.get("max-retries").map_or_else(
+        || Ok(CometConfig::default().max_retries),
+        |s| s.parse().map_err(|e| format!("--max-retries: {e}")),
+    )?;
+    let resume = flags.contains_key("resume");
+    let checkpoint =
+        flags.get("checkpoint").map(|path| CheckpointSpec { path: path.into(), resume });
+    if resume && checkpoint.is_none() {
+        return Err("--resume requires --checkpoint FILE".into());
+    }
     let mut rng = StdRng::seed_from_u64(seed_of(&flags)?);
 
-    let dirty = read_csv(dirty_path, Some(label)).map_err(|e| e.to_string())?;
-    let clean = read_csv(clean_path, Some(label)).map_err(|e| e.to_string())?;
+    let dirty = read_csv(dirty_path, Some(label)).map_err(|e| format!("{dirty_path}: {e}"))?;
+    let clean = read_csv(clean_path, Some(label)).map_err(|e| format!("{clean_path}: {e}"))?;
     if dirty.nrows() != clean.nrows() || dirty.ncols() != clean.ncols() {
         return Err("dirty and clean files must have identical shapes".into());
     }
@@ -191,9 +212,17 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     }
 
     println!("dirty F1: {:.4}", env.evaluate().map_err(|e| e.to_string())?);
-    let config =
-        CometConfig { budget, step_frac: step, batch_size: batch, ..CometConfig::default() };
-    let session = CleaningSession::new(config, errors);
+    let config = CometConfig {
+        budget,
+        step_frac: step,
+        batch_size: batch,
+        max_retries,
+        ..CometConfig::default()
+    };
+    let mut session = CleaningSession::new(config, errors);
+    if let Some(spec) = checkpoint {
+        session = session.with_checkpoint(spec);
+    }
     let outcome = session.run(&mut env, &mut rng).map_err(|e| e.to_string())?;
 
     if let Some(path) = metrics_out {
@@ -220,6 +249,16 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
             r.cost,
             r.actual_f1,
             r.action.label(),
+        );
+    }
+    for f in &trace.failures {
+        println!(
+            "  [{:>3}] candidate (#{}, {}) failed after {} retries: {}",
+            f.iteration,
+            f.col,
+            f.err.abbrev(),
+            f.retries,
+            f.reason,
         );
     }
     print!("{}", trace.summary());
@@ -320,6 +359,15 @@ mod tests {
     fn parse_flags_rejects_bad_shapes() {
         assert!(flags(&["input", "a.csv"]).is_err(), "missing --");
         assert!(flags(&["--input"]).is_err(), "dangling flag");
+    }
+
+    #[test]
+    fn resume_is_a_valueless_flag() {
+        let f = flags(&["--resume", "--trace", "t.csv"]).unwrap();
+        assert_eq!(f.get("resume").unwrap(), "true");
+        assert_eq!(f.get("trace").unwrap(), "t.csv");
+        let f = flags(&["--resume"]).unwrap();
+        assert!(f.contains_key("resume"));
     }
 
     #[test]
