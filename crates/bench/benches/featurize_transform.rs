@@ -1,0 +1,59 @@
+//! Criterion bench for the featurization hot path: full fit + transform
+//! versus the column-block cache, both from scratch and in the warm
+//! steady state the session loop lives in (one column mutated per
+//! candidate, every other block answered from cache).
+
+use comet_datasets::Dataset;
+use comet_frame::Cell;
+use comet_ml::{FeatureCache, Featurizer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_transform(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let df = Dataset::Churn.generate(Some(1_000), &mut rng);
+    let mut group = c.benchmark_group("featurize_transform");
+    group.sample_size(30);
+
+    group.bench_function("uncached/fit_transform", |b| {
+        b.iter(|| {
+            let f = Featurizer::fit(black_box(&df)).unwrap();
+            black_box(f.transform(&df).unwrap());
+        })
+    });
+
+    // Warm cache, identical frame: every block splices from cache.
+    let cache = FeatureCache::new();
+    let fitted = Featurizer::fit_cached(&df, &cache).unwrap();
+    let warm = fitted.transform_with(&df, Some(&cache), Vec::new()).unwrap();
+    let mut buf = warm.into_buffer();
+    group.bench_function("cached/warm_identical", |b| {
+        b.iter(|| {
+            let f = Featurizer::fit_cached(black_box(&df), &cache).unwrap();
+            let m = f.transform_with(&df, Some(&cache), std::mem::take(&mut buf)).unwrap();
+            black_box(&m);
+            buf = m.into_buffer();
+        })
+    });
+
+    // The session-loop shape: one column dirty per candidate. The mutated
+    // column's block misses; the rest hit.
+    let mut dirty = df.clone();
+    let v = dirty.column(0).unwrap().num(0).unwrap_or(0.0);
+    dirty.set(0, 0, Cell::Num(v + 1.0)).unwrap();
+    group.bench_function("cached/one_column_dirty", |b| {
+        b.iter(|| {
+            let f = Featurizer::fit_cached(black_box(&dirty), &cache).unwrap();
+            let m = f.transform_with(&dirty, Some(&cache), std::mem::take(&mut buf)).unwrap();
+            black_box(&m);
+            buf = m.into_buffer();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

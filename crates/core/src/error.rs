@@ -8,6 +8,7 @@
 
 use crate::env::EnvError;
 use comet_frame::FrameError;
+use comet_ml::MatrixShapeError;
 use std::fmt;
 
 /// Any failure a COMET session (or its driver) can surface.
@@ -50,6 +51,14 @@ impl From<FrameError> for CometError {
     }
 }
 
+impl From<MatrixShapeError> for CometError {
+    /// Malformed design-matrix input (`Matrix::try_from_vecs`) is a caller
+    /// mistake, so it lands in `Invalid` rather than growing a variant.
+    fn from(e: MatrixShapeError) -> Self {
+        CometError::Invalid(format!("matrix shape: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,6 +72,18 @@ mod tests {
         let ckpt = CometError::Checkpoint("diverged at iteration 3".into());
         assert!(ckpt.to_string().contains("iteration 3"));
         assert!(CometError::Invalid("nope".into()).to_string().contains("nope"));
+    }
+
+    #[test]
+    fn matrix_shape_errors_become_typed_invalid() {
+        let build = |rows: &[Vec<f64>]| -> Result<comet_ml::Matrix, CometError> {
+            Ok(comet_ml::Matrix::try_from_vecs(rows)?)
+        };
+        let empty = build(&[]).unwrap_err();
+        assert!(matches!(&empty, CometError::Invalid(msg) if msg.contains("empty")));
+        let ragged = build(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(&ragged, CometError::Invalid(msg) if msg.contains("row 1")));
+        assert!(build(&[vec![1.0], vec![2.0]]).is_ok());
     }
 
     #[test]

@@ -72,9 +72,24 @@ impl Estimator {
         variants: &[PollutedVariant],
     ) -> Result<Estimate, EnvError> {
         assert!(!variants.is_empty(), "need at least one polluted variant");
-        let scores: Vec<Result<f64, EnvError>> = comet_par::par_map_indexed(variants.len(), |i| {
-            env.evaluate_frames(&variants[i].train, &variants[i].test)
-        });
+        // Per-worker state batches the variant-evaluation tally: one
+        // registry update when the worker's batch drops, not one per item.
+        struct EvalTally(u64);
+        impl Drop for EvalTally {
+            fn drop(&mut self) {
+                if self.0 > 0 {
+                    comet_obs::counter_add("estimator.variant_evals", self.0);
+                }
+            }
+        }
+        let scores: Vec<Result<f64, EnvError>> = comet_par::par_map_with(
+            (0..variants.len()).collect(),
+            || EvalTally(0),
+            |tally, i| {
+                tally.0 += 1;
+                env.evaluate_frames(&variants[i].train, &variants[i].test)
+            },
+        );
         let mut points: Vec<(f64, f64)> = Vec::with_capacity(variants.len() + 1);
         points.push((0.0, current_f1));
         let mut flagged_train = Vec::new();
@@ -298,6 +313,52 @@ mod tests {
         let (mean2, unc2) = healthy.backward_prediction(&xs2, &ys2).unwrap();
         assert!((mean2 - 1.0).abs() < 0.05, "x=-1 extrapolation of a clean line, got {mean2}");
         assert!(unc2 > 0.0);
+    }
+
+    /// One environment for the thread-invariance proptest: construction
+    /// (tuning included) costs more than every case combined.
+    fn shared_env() -> &'static CleaningEnvironment {
+        static ENV: std::sync::OnceLock<CleaningEnvironment> = std::sync::OnceLock::new();
+        ENV.get_or_init(|| env(true))
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(6))]
+        #[test]
+        fn estimates_are_thread_count_invariant(seed in 0u64..1_000) {
+            // The full hot path — polluted variants, cached featurization,
+            // blocked kernels, model fits fanned out over workers — must
+            // give bit-identical regression points at 1, 2, and 8 threads.
+            // Caches are wiped per run so every score is recomputed, not
+            // replayed.
+            let env = shared_env();
+            let polluter = Polluter::new(2, 1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let variants =
+                polluter.variants(env, 0, ErrorType::MissingValues, &mut rng).unwrap();
+            let est = Estimator::new(1, 0.95, false);
+            let current = env.evaluate().unwrap();
+            let run = |threads: usize| {
+                env.clear_eval_cache();
+                env.clear_feature_cache();
+                comet_par::with_threads(threads, || {
+                    est.estimate(env, 0, ErrorType::MissingValues, current, &variants)
+                        .unwrap()
+                        .points
+                })
+            };
+            let p1 = run(1);
+            let p2 = run(2);
+            let p8 = run(8);
+            proptest::prop_assert_eq!(p1.len(), p2.len());
+            proptest::prop_assert_eq!(p1.len(), p8.len());
+            for ((a, b), c) in p1.iter().zip(&p2).zip(&p8) {
+                proptest::prop_assert_eq!(a.0.to_bits(), b.0.to_bits());
+                proptest::prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+                proptest::prop_assert_eq!(a.0.to_bits(), c.0.to_bits());
+                proptest::prop_assert_eq!(a.1.to_bits(), c.1.to_bits());
+            }
+        }
     }
 
     #[test]

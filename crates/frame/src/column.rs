@@ -1,4 +1,12 @@
 //! Typed columns with an explicit validity mask.
+//!
+//! Storage is `Arc`-backed and copy-on-write: cloning a column (and thus
+//! snapshotting or duplicating a frame) is O(1) reference bumps, and the
+//! first mutation through [`Column::set`] un-shares only the touched
+//! buffers. The cleaning session leans on this — every candidate pollution
+//! snapshots a column and every polluter variant clones both frames.
+
+use std::sync::{Arc, OnceLock};
 
 use crate::{ColumnKind, FrameError, Result};
 
@@ -64,34 +72,68 @@ impl ColumnData {
     }
 }
 
+/// Memoized content fingerprint. Cloning carries the computed value over
+/// (clones share content, so they share the fingerprint); any mutation
+/// resets the slot. Excluded from equality — it is a cache, not content.
+#[derive(Debug, Default)]
+pub(crate) struct FpCache(OnceLock<u64>);
+
+impl Clone for FpCache {
+    fn clone(&self) -> Self {
+        let slot = OnceLock::new();
+        if let Some(v) = self.0.get() {
+            let _ = slot.set(*v);
+        }
+        FpCache(slot)
+    }
+}
+
 /// One named, typed column with a validity mask and (for categoricals) a
 /// dictionary mapping codes to category names.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Column {
-    name: String,
-    data: ColumnData,
-    valid: Vec<bool>,
+    name: Arc<str>,
+    data: Arc<ColumnData>,
+    valid: Arc<Vec<bool>>,
     /// Dictionary for categorical columns; empty for numeric columns.
-    categories: Vec<String>,
+    categories: Arc<Vec<String>>,
+    fp: FpCache,
+}
+
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        // Shared storage (the common case after an O(1) snapshot) short-
+        // circuits without scanning the payload.
+        self.name == other.name
+            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
+            && (Arc::ptr_eq(&self.valid, &other.valid) || self.valid == other.valid)
+            && (Arc::ptr_eq(&self.categories, &other.categories)
+                || self.categories == other.categories)
+    }
 }
 
 impl Column {
+    fn build(name: Arc<str>, data: ColumnData, valid: Vec<bool>, categories: Vec<String>) -> Self {
+        Column {
+            name,
+            data: Arc::new(data),
+            valid: Arc::new(valid),
+            categories: Arc::new(categories),
+            fp: FpCache::default(),
+        }
+    }
+
     /// Build a numeric column where every value is valid.
     pub fn numeric(name: impl Into<String>, values: Vec<f64>) -> Self {
         let valid = vec![true; values.len()];
-        Column {
-            name: name.into(),
-            data: ColumnData::Numeric(values),
-            valid,
-            categories: Vec::new(),
-        }
+        Column::build(name.into().into(), ColumnData::Numeric(values), valid, Vec::new())
     }
 
     /// Build a numeric column from optional values (None = missing).
     pub fn numeric_opt(name: impl Into<String>, values: Vec<Option<f64>>) -> Self {
         let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
         let data: Vec<f64> = values.into_iter().map(|v| v.unwrap_or(0.0)).collect();
-        Column { name: name.into(), data: ColumnData::Numeric(data), valid, categories: Vec::new() }
+        Column::build(name.into().into(), ColumnData::Numeric(data), valid, Vec::new())
     }
 
     /// Build a categorical column from codes and a dictionary. Codes must
@@ -108,7 +150,7 @@ impl Column {
             }
         }
         let valid = vec![true; codes.len()];
-        Ok(Column { name, data: ColumnData::Categorical(codes), valid, categories })
+        Ok(Column::build(name.into(), ColumnData::Categorical(codes), valid, categories))
     }
 
     /// Build a categorical column from optional codes (None = missing).
@@ -125,7 +167,7 @@ impl Column {
         }
         let valid: Vec<bool> = codes.iter().map(Option::is_some).collect();
         let data: Vec<u32> = codes.into_iter().map(|c| c.unwrap_or(0)).collect();
-        Ok(Column { name, data: ColumnData::Categorical(data), valid, categories })
+        Ok(Column::build(name.into(), ColumnData::Categorical(data), valid, categories))
     }
 
     /// Column name.
@@ -145,7 +187,7 @@ impl Column {
 
     /// Storage kind of this column.
     pub fn kind(&self) -> ColumnKind {
-        match self.data {
+        match *self.data {
             ColumnData::Numeric(_) => ColumnKind::Numeric,
             ColumnData::Categorical(_) => ColumnKind::Categorical,
         }
@@ -184,7 +226,7 @@ impl Column {
         if !self.valid[row] {
             return Ok(Cell::Missing);
         }
-        Ok(match &self.data {
+        Ok(match &*self.data {
             ColumnData::Numeric(v) => Cell::Num(v[row]),
             ColumnData::Categorical(v) => Cell::Cat(v[row]),
         })
@@ -192,39 +234,50 @@ impl Column {
 
     /// Write the cell at `row`, enforcing the column's kind. Writing
     /// [`Cell::Missing`] clears the validity bit; writing a value sets it.
+    /// The first write to shared storage un-shares it (copy-on-write).
     pub fn set(&mut self, row: usize, cell: Cell) -> Result<()> {
         if row >= self.len() {
             return Err(FrameError::RowOutOfBounds { row, nrows: self.len() });
         }
-        match (&mut self.data, cell) {
+        match (&*self.data, cell) {
             (_, Cell::Missing) => {
-                self.valid[row] = false;
+                Arc::make_mut(&mut self.valid)[row] = false;
             }
-            (ColumnData::Numeric(v), Cell::Num(x)) => {
-                v[row] = x;
-                self.valid[row] = true;
-            }
-            (ColumnData::Categorical(v), Cell::Cat(code)) => {
-                if code as usize >= self.categories.len() {
-                    return Err(FrameError::UnknownCategory { column: self.name.clone(), code });
+            (ColumnData::Numeric(_), Cell::Num(x)) => {
+                match Arc::make_mut(&mut self.data) {
+                    ColumnData::Numeric(v) => v[row] = x,
+                    ColumnData::Categorical(_) => unreachable!("kind checked above"),
                 }
-                v[row] = code;
-                self.valid[row] = true;
+                Arc::make_mut(&mut self.valid)[row] = true;
+            }
+            (ColumnData::Categorical(_), Cell::Cat(code)) => {
+                if code as usize >= self.categories.len() {
+                    return Err(FrameError::UnknownCategory {
+                        column: self.name.as_ref().to_owned(),
+                        code,
+                    });
+                }
+                match Arc::make_mut(&mut self.data) {
+                    ColumnData::Categorical(v) => v[row] = code,
+                    ColumnData::Numeric(_) => unreachable!("kind checked above"),
+                }
+                Arc::make_mut(&mut self.valid)[row] = true;
             }
             (_, cell) => {
                 return Err(FrameError::TypeMismatch {
-                    column: self.name.clone(),
+                    column: self.name.as_ref().to_owned(),
                     expected: self.kind().name(),
                     got: cell.kind_name(),
                 })
             }
         }
+        self.fp = FpCache::default();
         Ok(())
     }
 
     /// Numeric value at `row` if present and the column is numeric.
     pub fn num(&self, row: usize) -> Option<f64> {
-        match (&self.data, self.valid.get(row)) {
+        match (&*self.data, self.valid.get(row)) {
             (ColumnData::Numeric(v), Some(true)) => Some(v[row]),
             _ => None,
         }
@@ -232,7 +285,7 @@ impl Column {
 
     /// Categorical code at `row` if present and the column is categorical.
     pub fn cat(&self, row: usize) -> Option<u32> {
-        match (&self.data, self.valid.get(row)) {
+        match (&*self.data, self.valid.get(row)) {
             (ColumnData::Categorical(v), Some(true)) => Some(v[row]),
             _ => None,
         }
@@ -247,38 +300,43 @@ impl Column {
     /// Duplicated and re-ordered indices are allowed (used by bootstrap
     /// sampling and splits).
     pub fn take(&self, rows: &[usize]) -> Result<Column> {
-        let mut out = self.clone();
-        match (&mut out.data, &self.data) {
-            (ColumnData::Numeric(dst), ColumnData::Numeric(src)) => {
-                dst.clear();
-                dst.reserve(rows.len());
-                for &r in rows {
-                    if r >= src.len() {
-                        return Err(FrameError::RowOutOfBounds { row: r, nrows: src.len() });
-                    }
-                    dst.push(src[r]);
-                }
-            }
-            (ColumnData::Categorical(dst), ColumnData::Categorical(src)) => {
-                dst.clear();
-                dst.reserve(rows.len());
-                for &r in rows {
-                    if r >= src.len() {
-                        return Err(FrameError::RowOutOfBounds { row: r, nrows: src.len() });
-                    }
-                    dst.push(src[r]);
-                }
-            }
-            _ => unreachable!("clone preserves data kind"),
+        let nrows = self.len();
+        if let Some(&bad) = rows.iter().find(|&&r| r >= nrows) {
+            return Err(FrameError::RowOutOfBounds { row: bad, nrows });
         }
-        out.valid = rows.iter().map(|&r| self.valid[r]).collect();
-        Ok(out)
+        let data = match &*self.data {
+            ColumnData::Numeric(src) => ColumnData::Numeric(rows.iter().map(|&r| src[r]).collect()),
+            ColumnData::Categorical(src) => {
+                ColumnData::Categorical(rows.iter().map(|&r| src[r]).collect())
+            }
+        };
+        let valid = rows.iter().map(|&r| self.valid[r]).collect();
+        Ok(Column {
+            name: self.name.clone(),
+            data: Arc::new(data),
+            valid: Arc::new(valid),
+            categories: self.categories.clone(),
+            fp: FpCache::default(),
+        })
     }
 
     /// Rename the column (used when deriving feature matrices).
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
-        self.name = name.into();
+        self.name = name.into().into();
+        self.fp = FpCache::default();
         self
+    }
+
+    /// True when `self` and `other` share the same payload storage (an O(1)
+    /// copy-on-write clone that has not diverged). Diagnostic for tests and
+    /// snapshot-cost assertions.
+    pub fn shares_storage_with(&self, other: &Column) -> bool {
+        Arc::ptr_eq(&self.data, &other.data) && Arc::ptr_eq(&self.valid, &other.valid)
+    }
+
+    /// Memoization slot for the content fingerprint (see `fingerprint.rs`).
+    pub(crate) fn fp_slot(&self) -> &OnceLock<u64> {
+        &self.fp.0
     }
 
     /// Display string for a cell (category name, numeric literal, or empty
@@ -413,6 +471,40 @@ mod tests {
         let c = Column::numeric_opt("x", vec![Some(1.0), None]);
         let cells: Vec<Cell> = c.iter().collect();
         assert_eq!(cells, vec![Cell::Num(1.0), Cell::Missing]);
+    }
+
+    #[test]
+    fn clone_is_shared_until_mutation() {
+        let a = Column::numeric_opt("x", vec![Some(1.0), None, Some(3.0)]);
+        let mut b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        b.set(0, Cell::Num(9.0)).unwrap();
+        assert!(!a.shares_storage_with(&b));
+        // The original is untouched by writes through the clone.
+        assert_eq!(a.get(0).unwrap(), Cell::Num(1.0));
+        assert_eq!(b.get(0).unwrap(), Cell::Num(9.0));
+        assert!(a.get(1).unwrap().is_missing() && b.get(1).unwrap().is_missing());
+    }
+
+    #[test]
+    fn missing_write_unshares_only_the_mask() {
+        let a = cat_col();
+        let mut b = a.clone();
+        b.set(2, Cell::Missing).unwrap();
+        assert_eq!(a.missing_count(), 0);
+        assert_eq!(b.missing_count(), 1);
+        assert_eq!(a.cat(2), Some(2));
+    }
+
+    #[test]
+    fn equality_ignores_sharing() {
+        let a = Column::numeric("x", vec![1.0, 2.0]);
+        let shared = a.clone();
+        let rebuilt = Column::numeric("x", vec![1.0, 2.0]);
+        assert!(a.shares_storage_with(&shared));
+        assert!(!a.shares_storage_with(&rebuilt));
+        assert_eq!(a, shared);
+        assert_eq!(a, rebuilt);
     }
 
     #[test]

@@ -50,8 +50,15 @@ fn mix_validity(mut hash: u64, valid: &[bool]) -> u64 {
 
 impl Column {
     /// 64-bit content fingerprint covering name, kind, payload, validity
-    /// mask, and (for categoricals) the dictionary.
+    /// mask, and (for categoricals) the dictionary. Memoized per column:
+    /// the O(rows) scan runs once and the value rides along on clones until
+    /// a mutation resets it, so re-fingerprinting a frame where a candidate
+    /// touched one column only re-scans that column.
     pub fn fingerprint(&self) -> u64 {
+        *self.fp_slot().get_or_init(|| self.fingerprint_uncached())
+    }
+
+    fn fingerprint_uncached(&self) -> u64 {
         let mut hash = mix_bytes(SEED, self.name().as_bytes());
         match self.data() {
             ColumnData::Numeric(values) => {
@@ -142,6 +149,23 @@ mod tests {
         let pos = Column::numeric("x", vec![0.0]);
         let neg = Column::numeric("x", vec![-0.0]);
         assert_ne!(pos.fingerprint(), neg.fingerprint());
+    }
+
+    #[test]
+    fn memoized_fingerprint_tracks_mutation_cycles() {
+        let mut c = Column::numeric("x", vec![1.0, 2.0, 3.0]);
+        let base = c.fingerprint();
+        let clone = c.clone();
+        // Clones share the memoized value and the content.
+        assert_eq!(clone.fingerprint(), base);
+        c.set(1, Cell::Num(9.0)).unwrap();
+        let mutated = c.fingerprint();
+        assert_ne!(mutated, base);
+        // Restoring the original value restores the original fingerprint
+        // (content-addressed, not identity-addressed).
+        c.set(1, Cell::Num(2.0)).unwrap();
+        assert_eq!(c.fingerprint(), base);
+        assert_eq!(clone.fingerprint(), base);
     }
 
     #[test]

@@ -13,13 +13,163 @@
 //! exactly `0.0` — information is lost (which is why missing-value pollution
 //! hurts accuracy) but training never crashes.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use crate::Matrix;
-use comet_frame::{ColumnKind, DataFrame, FrameError, Result};
+use comet_frame::{Column, ColumnKind, DataFrame, FrameError, Result};
 
 #[derive(Debug, Clone, PartialEq)]
 enum FeatSpec {
     Numeric { col: usize, mean: f64, std: f64 },
     Categorical { col: usize, cardinality: usize, mode: u32 },
+}
+
+impl FeatSpec {
+    /// Number of output columns this spec produces.
+    fn width(&self) -> usize {
+        match *self {
+            FeatSpec::Numeric { .. } => 1,
+            FeatSpec::Categorical { cardinality, .. } => cardinality,
+        }
+    }
+
+    /// Key describing the *transformation parameters* (not the source
+    /// column): blocks are cached per (params, input-content) pair, so a
+    /// refitted featurizer with identical stats still hits.
+    fn params_key(&self) -> u64 {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        fn mix(hash: u64, word: u64) -> u64 {
+            (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+        }
+        match *self {
+            FeatSpec::Numeric { mean, std, .. } => {
+                mix(mix(mix(SEED, 1), mean.to_bits()), std.to_bits())
+            }
+            FeatSpec::Categorical { cardinality, mode, .. } => {
+                mix(mix(mix(SEED, 2), cardinality as u64), mode as u64)
+            }
+        }
+    }
+}
+
+/// Per-column fitted statistics, independent of column position — what the
+/// [`FeatureCache`] memoizes so `fit` stops re-scanning unchanged columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SpecStats {
+    Numeric { mean: f64, std: f64 },
+    Categorical { cardinality: usize, mode: u32 },
+}
+
+/// Hit/miss/occupancy snapshot of a [`FeatureCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeatureCacheStats {
+    /// Cached per-column fitted stats.
+    pub spec_entries: usize,
+    /// Cached transformed blocks.
+    pub block_entries: usize,
+    /// Block lookups answered from cache.
+    pub block_hits: u64,
+    /// Block lookups that had to transform.
+    pub block_misses: u64,
+}
+
+#[derive(Debug, Default)]
+struct FeatureCacheInner {
+    /// Column content fingerprint → fitted stats.
+    stats: HashMap<u64, SpecStats>,
+    /// (spec params key, column content fingerprint) → dense transformed
+    /// block, row-major `nrows × spec.width()`.
+    blocks: HashMap<(u64, u64), Arc<Vec<f64>>>,
+    block_hits: u64,
+    block_misses: u64,
+}
+
+/// Bounds before a wholesale clear: a spec entry is a few words, a block is
+/// `nrows × width` floats, so blocks get the tighter cap.
+const SPEC_CACHE_CAP: usize = 65_536;
+const BLOCK_CACHE_CAP: usize = 4_096;
+
+/// Column-block featurization cache.
+///
+/// A candidate pollution mutates exactly one column, yet the pre-cache hot
+/// path re-fitted the featurizer and re-transformed *every* column of both
+/// splits per candidate. This cache keys each column's fitted stats and its
+/// transformed output block by the column's content fingerprint
+/// (`comet-frame::fingerprint`, memoized per column), so only the dirty
+/// column's block is recomputed and the clean columns' blocks are spliced
+/// from cache into the reused output buffer.
+///
+/// Clones share storage (the cleaning environment clones per worker), and
+/// all methods take `&self`; compute happens outside the short lock-held
+/// sections. Counters: `featurize.block_hits` / `featurize.block_misses`.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureCache {
+    inner: Arc<Mutex<FeatureCacheInner>>,
+}
+
+impl FeatureCache {
+    /// New empty cache.
+    pub fn new() -> Self {
+        FeatureCache::default()
+    }
+
+    /// Drop every entry (counters survive; they describe the process run).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("unpoisoned feature cache");
+        inner.stats.clear();
+        inner.blocks.clear();
+    }
+
+    /// Occupancy and hit/miss counters.
+    pub fn stats(&self) -> FeatureCacheStats {
+        let inner = self.inner.lock().expect("unpoisoned feature cache");
+        FeatureCacheStats {
+            spec_entries: inner.stats.len(),
+            block_entries: inner.blocks.len(),
+            block_hits: inner.block_hits,
+            block_misses: inner.block_misses,
+        }
+    }
+
+    fn lookup_stats(&self, fp: u64) -> Option<SpecStats> {
+        self.inner.lock().expect("unpoisoned feature cache").stats.get(&fp).copied()
+    }
+
+    fn insert_stats(&self, fp: u64, stats: SpecStats) {
+        let mut inner = self.inner.lock().expect("unpoisoned feature cache");
+        if inner.stats.len() >= SPEC_CACHE_CAP {
+            inner.stats.clear();
+        }
+        inner.stats.insert(fp, stats);
+    }
+
+    fn lookup_block(&self, key: (u64, u64)) -> Option<Arc<Vec<f64>>> {
+        let mut inner = self.inner.lock().expect("unpoisoned feature cache");
+        match inner.blocks.get(&key) {
+            Some(block) => {
+                let block = Arc::clone(block);
+                inner.block_hits += 1;
+                drop(inner);
+                comet_obs::counter_add("featurize.block_hits", 1);
+                Some(block)
+            }
+            None => {
+                inner.block_misses += 1;
+                drop(inner);
+                comet_obs::counter_add("featurize.block_misses", 1);
+                None
+            }
+        }
+    }
+
+    fn insert_block(&self, key: (u64, u64), block: Arc<Vec<f64>>) {
+        let mut inner = self.inner.lock().expect("unpoisoned feature cache");
+        if inner.blocks.len() >= BLOCK_CACHE_CAP {
+            inner.blocks.clear();
+        }
+        inner.blocks.insert(key, block);
+    }
 }
 
 /// Maps one original feature column to a range of output matrix columns —
@@ -43,34 +193,72 @@ pub struct Featurizer {
     out_dim: usize,
 }
 
+/// Fit one column's statistics (the O(rows) scan the cache avoids).
+fn column_stats(column: &Column) -> Result<SpecStats> {
+    match column.kind() {
+        ColumnKind::Numeric => {
+            let mean = column.mean().unwrap_or(0.0);
+            let mut std = column.std().unwrap_or(1.0);
+            if std < 1e-12 {
+                std = 1.0; // constant column: center only
+            }
+            Ok(SpecStats::Numeric { mean, std })
+        }
+        ColumnKind::Categorical => {
+            let cardinality = column.cardinality();
+            if cardinality == 0 {
+                return Err(FrameError::InvalidArgument(format!(
+                    "categorical column {:?} has an empty dictionary",
+                    column.name()
+                )));
+            }
+            let mode = column.mode().unwrap_or(0);
+            Ok(SpecStats::Categorical { cardinality, mode })
+        }
+    }
+}
+
 impl Featurizer {
     /// Fit on the training frame: record means/stds/modes/cardinalities.
     pub fn fit(train: &DataFrame) -> Result<Self> {
+        Featurizer::fit_impl(train, None)
+    }
+
+    /// [`Featurizer::fit`] memoizing per-column statistics in `cache`, so a
+    /// candidate that mutated one column only re-scans that column. Results
+    /// are bit-identical to an uncached fit (stats are a pure function of
+    /// column content, and the fingerprint covers all of it).
+    pub fn fit_cached(train: &DataFrame, cache: &FeatureCache) -> Result<Self> {
+        Featurizer::fit_impl(train, Some(cache))
+    }
+
+    fn fit_impl(train: &DataFrame, cache: Option<&FeatureCache>) -> Result<Self> {
         let mut specs = Vec::new();
         let mut groups = Vec::new();
         let mut out = 0usize;
         for col in train.feature_indices() {
             let column = train.column(col)?;
-            match column.kind() {
-                ColumnKind::Numeric => {
-                    let mean = column.mean().unwrap_or(0.0);
-                    let mut std = column.std().unwrap_or(1.0);
-                    if std < 1e-12 {
-                        std = 1.0; // constant column: center only
+            let stats = match cache {
+                Some(cache) => {
+                    let fp = column.fingerprint();
+                    match cache.lookup_stats(fp) {
+                        Some(stats) => stats,
+                        None => {
+                            let stats = column_stats(column)?;
+                            cache.insert_stats(fp, stats);
+                            stats
+                        }
                     }
+                }
+                None => column_stats(column)?,
+            };
+            match stats {
+                SpecStats::Numeric { mean, std } => {
                     specs.push(FeatSpec::Numeric { col, mean, std });
                     groups.push(FeatureGroup { col, start: out, end: out + 1 });
                     out += 1;
                 }
-                ColumnKind::Categorical => {
-                    let cardinality = column.cardinality();
-                    if cardinality == 0 {
-                        return Err(FrameError::InvalidArgument(format!(
-                            "categorical column {:?} has an empty dictionary",
-                            column.name()
-                        )));
-                    }
-                    let mode = column.mode().unwrap_or(0);
+                SpecStats::Categorical { cardinality, mode } => {
                     specs.push(FeatSpec::Categorical { col, cardinality, mode });
                     groups.push(FeatureGroup { col, start: out, end: out + cardinality });
                     out += cardinality;
@@ -93,55 +281,121 @@ impl Featurizer {
         &self.groups
     }
 
+    /// Check that `column` still matches `spec` (schema drift errors are
+    /// the same whether or not the block cache is in play).
+    fn validate(spec: &FeatSpec, column: &Column) -> Result<()> {
+        match *spec {
+            FeatSpec::Numeric { .. } => {
+                if column.kind() != ColumnKind::Numeric {
+                    return Err(FrameError::TypeMismatch {
+                        column: column.name().to_string(),
+                        expected: "numeric",
+                        got: column.kind().name(),
+                    });
+                }
+            }
+            FeatSpec::Categorical { cardinality, .. } => {
+                if column.kind() != ColumnKind::Categorical {
+                    return Err(FrameError::TypeMismatch {
+                        column: column.name().to_string(),
+                        expected: "categorical",
+                        got: column.kind().name(),
+                    });
+                }
+                if column.cardinality() != cardinality {
+                    return Err(FrameError::InvalidArgument(format!(
+                        "column {:?} cardinality changed ({} → {})",
+                        column.name(),
+                        cardinality,
+                        column.cardinality()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Transform one column into a dense row-major `n × width` block.
+    fn compute_block(spec: &FeatSpec, column: &Column, n: usize) -> Vec<f64> {
+        match *spec {
+            FeatSpec::Numeric { mean, std, .. } => {
+                let mut block = Vec::with_capacity(n);
+                for row in 0..n {
+                    // Missing → mean-impute → standardized 0. Non-finite
+                    // values (overflowed scaling errors) are clamped.
+                    let v = column.num(row).unwrap_or(mean);
+                    let z = (v - mean) / std;
+                    block.push(z.clamp(-1e9, 1e9));
+                }
+                block
+            }
+            FeatSpec::Categorical { cardinality, mode, .. } => {
+                let mut block = vec![0.0; n * cardinality];
+                for row in 0..n {
+                    let code = column.cat(row).unwrap_or(mode) as usize;
+                    block[row * cardinality + code] = 1.0;
+                }
+                block
+            }
+        }
+    }
+
     /// Transform a frame (train or test) into a design matrix. The frame
     /// must have the same schema as the fitting frame.
     pub fn transform(&self, df: &DataFrame) -> Result<Matrix> {
+        self.transform_with(df, None, Vec::new())
+    }
+
+    /// [`Featurizer::transform`] into a recycled buffer, optionally splicing
+    /// per-column blocks from `cache`. Only columns whose (params, content)
+    /// key misses are recomputed; output is bit-identical to an uncached
+    /// transform. The buffer's allocation is reused when large enough.
+    pub fn transform_with(
+        &self,
+        df: &DataFrame,
+        cache: Option<&FeatureCache>,
+        buf: Vec<f64>,
+    ) -> Result<Matrix> {
         let n = df.nrows();
-        let mut m = Matrix::zeros(n, self.out_dim);
-        let mut offset = 0usize;
-        for spec in &self.specs {
-            match *spec {
-                FeatSpec::Numeric { col, mean, std } => {
-                    let column = df.column(col)?;
-                    if column.kind() != ColumnKind::Numeric {
-                        return Err(FrameError::TypeMismatch {
-                            column: column.name().to_string(),
-                            expected: "numeric",
-                            got: column.kind().name(),
-                        });
-                    }
+        let d = self.out_dim;
+        let mut m = Matrix::from_buffer(n, d, buf);
+        let out = m.as_mut_slice();
+        for (spec, group) in self.specs.iter().zip(&self.groups) {
+            let column = df.column(group.col)?;
+            Featurizer::validate(spec, column)?;
+            let w = spec.width();
+            match cache {
+                Some(cache) => {
+                    let key = (spec.params_key(), column.fingerprint());
+                    let block = match cache.lookup_block(key) {
+                        Some(block) => block,
+                        None => {
+                            let block = Arc::new(Featurizer::compute_block(spec, column, n));
+                            cache.insert_block(key, Arc::clone(&block));
+                            block
+                        }
+                    };
+                    // Splice the dense block into its output column range.
                     for row in 0..n {
-                        // Missing → mean-impute → standardized 0. Non-finite
-                        // values (overflowed scaling errors) are clamped.
-                        let v = column.num(row).unwrap_or(mean);
-                        let z = (v - mean) / std;
-                        m.set(row, offset, z.clamp(-1e9, 1e9));
+                        out[row * d + group.start..row * d + group.end]
+                            .copy_from_slice(&block[row * w..(row + 1) * w]);
                     }
-                    offset += 1;
                 }
-                FeatSpec::Categorical { col, cardinality, mode } => {
-                    let column = df.column(col)?;
-                    if column.kind() != ColumnKind::Categorical {
-                        return Err(FrameError::TypeMismatch {
-                            column: column.name().to_string(),
-                            expected: "categorical",
-                            got: column.kind().name(),
-                        });
+                None => match *spec {
+                    FeatSpec::Numeric { mean, std, .. } => {
+                        for row in 0..n {
+                            let v = column.num(row).unwrap_or(mean);
+                            let z = (v - mean) / std;
+                            out[row * d + group.start] = z.clamp(-1e9, 1e9);
+                        }
                     }
-                    if column.cardinality() != cardinality {
-                        return Err(FrameError::InvalidArgument(format!(
-                            "column {:?} cardinality changed ({} → {})",
-                            column.name(),
-                            cardinality,
-                            column.cardinality()
-                        )));
+                    FeatSpec::Categorical { mode, .. } => {
+                        for row in 0..n {
+                            let code = column.cat(row).unwrap_or(mode) as usize;
+                            out[row * d + group.start + code] = 1.0;
+                        }
                     }
-                    for row in 0..n {
-                        let code = column.cat(row).unwrap_or(mode) as usize;
-                        m.set(row, offset + code, 1.0);
-                    }
-                    offset += cardinality;
-                }
+                },
             }
         }
         Ok(m)
@@ -267,9 +521,109 @@ mod tests {
     }
 
     #[test]
+    fn cached_fit_and_transform_match_uncached_bitwise() {
+        let cache = FeatureCache::new();
+        let mut df = frame();
+        for _ in 0..3 {
+            // Cold then warm passes over the same content.
+            let plain = Featurizer::fit(&df).unwrap();
+            let cached = Featurizer::fit_cached(&df, &cache).unwrap();
+            assert_eq!(plain, cached);
+            let m_plain = plain.transform(&df).unwrap();
+            let m_cached = cached.transform_with(&df, Some(&cache), Vec::new()).unwrap();
+            assert_eq!(m_plain, m_cached);
+            // Mutate one column and go again.
+            df.set(1, 0, Cell::Num(99.0)).unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.block_hits > 0, "repeat passes must hit: {stats:?}");
+        assert!(stats.block_entries > 0 && stats.spec_entries > 0);
+    }
+
+    #[test]
+    fn cache_reuses_clean_columns_after_single_column_mutation() {
+        let cache = FeatureCache::new();
+        let df = frame();
+        let f = Featurizer::fit_cached(&df, &cache).unwrap();
+        f.transform_with(&df, Some(&cache), Vec::new()).unwrap();
+        let misses_before = cache.stats().block_misses;
+        let mut polluted = df.clone();
+        polluted.set(0, 0, Cell::Missing).unwrap(); // dirty numeric col only
+        let f2 = Featurizer::fit_cached(&polluted, &cache).unwrap();
+        f2.transform_with(&polluted, Some(&cache), Vec::new()).unwrap();
+        let stats = cache.stats();
+        // Only the mutated column's block missed; the categorical column hit.
+        assert_eq!(stats.block_misses, misses_before + 1, "{stats:?}");
+    }
+
+    #[test]
+    fn cached_transform_reports_schema_errors_like_uncached() {
+        let cache = FeatureCache::new();
+        let df = frame();
+        let f = Featurizer::fit_cached(&df, &cache).unwrap();
+        // Swap the frames' columns: categorical where numeric was expected.
+        let c = Column::categorical("x", vec![0, 0, 0, 0], vec!["a".into()]).unwrap();
+        let k = Column::numeric("c", vec![0.0; 4]);
+        let y = Column::categorical("y", vec![0, 1, 0, 1], vec!["n".into(), "p".into()]).unwrap();
+        let swapped = DataFrame::new(vec![c, k, y], Some("y")).unwrap();
+        let plain = f.transform(&swapped).unwrap_err();
+        let cached = f.transform_with(&swapped, Some(&cache), Vec::new()).unwrap_err();
+        assert_eq!(format!("{plain}"), format!("{cached}"));
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let cache = FeatureCache::new();
+        let df = frame();
+        let f = Featurizer::fit_cached(&df, &cache).unwrap();
+        f.transform_with(&df, Some(&cache), Vec::new()).unwrap();
+        assert!(cache.stats().block_entries > 0);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!((stats.spec_entries, stats.block_entries), (0, 0));
+    }
+
+    #[test]
     fn no_features_rejected() {
         let y = Column::categorical("y", vec![0, 1], vec!["n".into(), "p".into()]).unwrap();
         let df = DataFrame::new(vec![y], Some("y")).unwrap();
         assert!(Featurizer::fit(&df).is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+        #[test]
+        fn cached_transform_bit_identical_across_pollute_restore(
+            ops in proptest::prop::collection::vec((0usize..4, 0usize..4), 1..10),
+        ) {
+            // One long-lived cache across an arbitrary pollute/restore
+            // sequence — the session-loop shape. After every mutation the
+            // cached fit + transform must match a fresh fit + transform
+            // bit for bit (restores revisit earlier fingerprints, so stale
+            // entries would surface here).
+            let cache = FeatureCache::new();
+            let base = frame();
+            let mut df = frame();
+            for &(row, op) in &ops {
+                match op {
+                    0 => df.set(row, 0, Cell::Missing).unwrap(),
+                    1 => df.set(row, 0, Cell::Num(row as f64 * 3.5 - 1.0)).unwrap(),
+                    2 => df.set(row, 1, Cell::Cat((row % 3) as u32)).unwrap(),
+                    _ => {
+                        // Restore both feature cells to ground truth.
+                        df.set(row, 0, base.column(0).unwrap().get(row).unwrap()).unwrap();
+                        df.set(row, 1, base.column(1).unwrap().get(row).unwrap()).unwrap();
+                    }
+                }
+                let fresh = Featurizer::fit(&df).unwrap();
+                let cached = Featurizer::fit_cached(&df, &cache).unwrap();
+                let a = fresh.transform(&df).unwrap();
+                let b = cached.transform_with(&df, Some(&cache), Vec::new()).unwrap();
+                proptest::prop_assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()));
+                for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                    proptest::prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
     }
 }

@@ -6,7 +6,7 @@
 
 use crate::model::{argmax, softmax, Classifier};
 use crate::tree::{RegressionTree, TreeParams};
-use crate::Matrix;
+use crate::{scratch, Matrix};
 use rand::RngCore;
 
 /// Gradient-boosting hyperparameters.
@@ -50,13 +50,13 @@ impl GradientBoostingClassifier {
         self.trees.len().checked_div(self.n_classes).unwrap_or(0)
     }
 
-    fn raw_scores(&self, row: &[f64]) -> Vec<f64> {
-        let mut scores = self.base.clone();
+    fn raw_scores_into(&self, row: &[f64], scores: &mut Vec<f64>) {
+        scores.clear();
+        scores.extend_from_slice(&self.base);
         for (i, tree) in self.trees.iter().enumerate() {
             let class = i % self.n_classes;
             scores[class] += self.params.learning_rate * tree.predict_row(row);
         }
-        scores
     }
 }
 
@@ -93,11 +93,13 @@ impl Classifier for GradientBoostingClassifier {
         }
 
         let mut residuals = vec![0.0f64; n];
+        let mut p = scratch::take(k);
         for _ in 0..self.params.n_rounds {
             for class in 0..k {
                 // p = softmax(f); residual = 1{y=c} − p_c.
                 for row in 0..n {
-                    let mut p = f[row * k..(row + 1) * k].to_vec();
+                    p.clear();
+                    p.extend_from_slice(&f[row * k..(row + 1) * k]);
                     softmax(&mut p);
                     let target = if y[row] as usize == class { 1.0 } else { 0.0 };
                     residuals[row] = target - p[class];
@@ -119,10 +121,24 @@ impl Classifier for GradientBoostingClassifier {
                 self.trees.push(tree);
             }
         }
+        scratch::put(p);
     }
 
     fn predict_row(&self, row: &[f64]) -> u32 {
-        argmax(&self.raw_scores(row))
+        let mut scores = Vec::with_capacity(self.n_classes);
+        self.raw_scores_into(row, &mut scores);
+        argmax(&scores)
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<u32> {
+        let mut scores = scratch::take(self.n_classes);
+        let mut out = Vec::with_capacity(x.nrows());
+        for row in x.rows() {
+            self.raw_scores_into(row, &mut scores);
+            out.push(argmax(&scores));
+        }
+        scratch::put(scores);
+        out
     }
 }
 

@@ -1,0 +1,262 @@
+//! Fixed-order, 4-way-unrolled linear-algebra kernels for the hot path.
+//!
+//! Every kernel accumulates in a *fixed* order — four independent lanes
+//! over the unrolled body, combined as `(l0 + l1) + (l2 + l3)` plus a
+//! sequential tail — so results are bit-identical run-to-run and across
+//! thread counts (each parallel worker runs the same serial kernel on the
+//! same slice). The unrolling exists to break the sequential-add dependency
+//! chain; the compiler can keep four accumulators in flight without being
+//! allowed to re-associate the sum itself (which `-ffast-math`-style
+//! vectorization would need, and which would break trace determinism).
+//!
+//! [`matmul`] additionally blocks over rows/columns so the working set of
+//! the inner loops stays cache-resident on large operands; the loop order
+//! (i-k-j with a unit-stride inner loop) is itself fixed, so blocking does
+//! not perturb each output cell's accumulation order relative to the
+//! unblocked i-k-j loop.
+
+/// Dot product with four fixed-order accumulator lanes.
+///
+/// Panics in debug builds if the slices differ in length; in release the
+/// shorter length governs.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut l0, mut l1, mut l2, mut l3) = (0.0, 0.0, 0.0, 0.0);
+    for (pa, pb) in ca.by_ref().zip(cb.by_ref()) {
+        l0 += pa[0] * pb[0];
+        l1 += pa[1] * pb[1];
+        l2 += pa[2] * pb[2];
+        l3 += pa[3] * pb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    ((l0 + l1) + (l2 + l3)) + tail
+}
+
+/// `y += alpha * x`, unrolled 4-wide. Element-wise, so no accumulation
+/// order is involved; the unroll only widens the store pipeline.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let mut cy = y.chunks_exact_mut(4);
+    let mut cx = x.chunks_exact(4);
+    for (py, px) in cy.by_ref().zip(cx.by_ref()) {
+        py[0] += alpha * px[0];
+        py[1] += alpha * px[1];
+        py[2] += alpha * px[2];
+        py[3] += alpha * px[3];
+    }
+    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * y + beta * x`, unrolled 4-wide (the SGD weight-decay +
+/// gradient step fused into one pass).
+#[inline]
+pub fn scale_axpy(alpha: f64, y: &mut [f64], beta: f64, x: &[f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let mut cy = y.chunks_exact_mut(4);
+    let mut cx = x.chunks_exact(4);
+    for (py, px) in cy.by_ref().zip(cx.by_ref()) {
+        py[0] = alpha * py[0] + beta * px[0];
+        py[1] = alpha * py[1] + beta * px[1];
+        py[2] = alpha * py[2] + beta * px[2];
+        py[3] = alpha * py[3] + beta * px[3];
+    }
+    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yi = alpha * *yi + beta * xi;
+    }
+}
+
+/// Squared Euclidean distance with four fixed-order lanes (k-NN's inner
+/// loop; callers take the square root once at the end if they need the
+/// metric itself).
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut l0, mut l1, mut l2, mut l3) = (0.0, 0.0, 0.0, 0.0);
+    for (pa, pb) in ca.by_ref().zip(cb.by_ref()) {
+        let d0 = pa[0] - pb[0];
+        let d1 = pa[1] - pb[1];
+        let d2 = pa[2] - pb[2];
+        let d3 = pa[3] - pb[3];
+        l0 += d0 * d0;
+        l1 += d1 * d1;
+        l2 += d2 * d2;
+        l3 += d3 * d3;
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        tail += d * d;
+    }
+    ((l0 + l1) + (l2 + l3)) + tail
+}
+
+/// Dense row-major matrix–vector product: `out[i] = dot(a_row_i, x)`.
+/// `a` holds `nrows * ncols` elements; rows stream through cache in order,
+/// so no extra blocking is needed for the matvec shape.
+#[inline]
+pub fn matvec(a: &[f64], nrows: usize, ncols: usize, x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), nrows * ncols);
+    debug_assert_eq!(x.len(), ncols);
+    debug_assert_eq!(out.len(), nrows);
+    if ncols == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (o, row) in out.iter_mut().zip(a.chunks_exact(ncols)) {
+        *o = dot(row, x);
+    }
+}
+
+/// [`matvec`] with a per-row bias added after the dot: `out[i] = dot(a_row_i,
+/// x) + bias[i]` — the linear-layer forward shape shared by the GLM and MLP.
+#[inline]
+pub fn matvec_bias(
+    a: &[f64],
+    nrows: usize,
+    ncols: usize,
+    x: &[f64],
+    bias: &[f64],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(bias.len(), nrows);
+    matvec(a, nrows, ncols, x, out);
+    for (o, b) in out.iter_mut().zip(bias) {
+        *o += b;
+    }
+}
+
+/// Block edge for [`matmul`]: 64 f64 columns = one 512-byte panel per row,
+/// keeping a `B × B` tile of `b` plus a row of `out` inside L1/L2.
+const MM_BLOCK: usize = 64;
+
+/// Dense row-major matrix product `out = a(m×k) * b(k×n)`, cache-blocked.
+///
+/// The accumulation order per output cell is the plain k-ascending order of
+/// the textbook i-k-j loop: blocking tiles the j (columns of `out`) and k
+/// dimensions, but each `out[i][j]` still receives its `a[i][k]*b[k][j]`
+/// terms with k strictly ascending, so the result is bit-identical to the
+/// unblocked loop and independent of the block size.
+pub fn matmul(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for j0 in (0..n).step_by(MM_BLOCK) {
+        let j1 = (j0 + MM_BLOCK).min(n);
+        for k0 in (0..k).step_by(MM_BLOCK) {
+            let k1 = (k0 + MM_BLOCK).min(k);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n + j0..i * n + j1];
+                for kk in k0..k1 {
+                    axpy(a_row[kk], &b[kk * n + j0..kk * n + j1], out_row);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    fn seq(n: usize, scale: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37 - 1.5) * scale).collect()
+    }
+
+    #[test]
+    fn dot_matches_naive_within_tolerance_and_is_deterministic() {
+        for n in [0, 1, 3, 4, 5, 8, 17, 100] {
+            let a = seq(n, 1.0);
+            let b = seq(n, -0.5);
+            let d = dot(&a, &b);
+            assert!((d - naive_dot(&a, &b)).abs() < 1e-9 * (n.max(1) as f64));
+            // Bitwise repeatable.
+            assert_eq!(d.to_bits(), dot(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale_axpy() {
+        for n in [0, 1, 4, 7, 9] {
+            let x = seq(n, 2.0);
+            let mut y = seq(n, 1.0);
+            let expect: Vec<f64> = y.iter().zip(&x).map(|(yi, xi)| yi + 0.5 * xi).collect();
+            axpy(0.5, &x, &mut y);
+            assert_eq!(y, expect);
+
+            let mut z = seq(n, 1.0);
+            let expect: Vec<f64> = z.iter().zip(&x).map(|(zi, xi)| 0.9 * zi - 0.1 * xi).collect();
+            scale_axpy(0.9, &mut z, -0.1, &x);
+            assert_eq!(z, expect);
+        }
+    }
+
+    #[test]
+    fn sq_dist_matches_naive() {
+        for n in [0, 1, 4, 6, 13] {
+            let a = seq(n, 1.0);
+            let b = seq(n, 0.25);
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            assert!((sq_dist(&a, &b) - naive).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matvec_and_bias() {
+        // 2x3 matrix times x.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = [1.0, 0.0, -1.0];
+        let mut out = [0.0; 2];
+        matvec(&a, 2, 3, &x, &mut out);
+        assert_eq!(out, [-2.0, -2.0]);
+        matvec_bias(&a, 2, 3, &x, &[10.0, 20.0], &mut out);
+        assert_eq!(out, [8.0, 18.0]);
+    }
+
+    #[test]
+    fn matvec_zero_cols() {
+        let mut out = [1.0; 3];
+        matvec(&[], 3, 0, &[], &mut out);
+        assert_eq!(out, [0.0; 3]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_bitwise() {
+        // Sizes straddling the block edge so every tiling branch runs.
+        for (m, k, n) in [(1, 1, 1), (3, 4, 5), (7, 65, 9), (65, 3, 70), (70, 70, 70)] {
+            let a = seq(m * k, 0.01);
+            let b = seq(k * n, -0.02);
+            let mut blocked = vec![0.0; m * n];
+            matmul(&a, m, k, &b, n, &mut blocked);
+            // Unblocked i-k-j reference with the same k-ascending order.
+            let mut naive = vec![0.0; m * n];
+            for i in 0..m {
+                for kk in 0..k {
+                    let aik = a[i * k + kk];
+                    for j in 0..n {
+                        naive[i * n + j] += aik * b[kk * n + j];
+                    }
+                }
+            }
+            for (x, y) in blocked.iter().zip(&naive) {
+                assert_eq!(x.to_bits(), y.to_bits(), "m={m} k={k} n={n}");
+            }
+        }
+    }
+}

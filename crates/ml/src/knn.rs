@@ -5,7 +5,7 @@
 //! across mixed numeric/one-hot features.
 
 use crate::model::Classifier;
-use crate::Matrix;
+use crate::{kernels, Matrix};
 use rand::RngCore;
 
 /// KNN hyperparameters.
@@ -44,6 +44,39 @@ impl KnnClassifier {
     pub fn k(&self) -> usize {
         self.params.k
     }
+
+    /// Scan all training rows keeping the `k` nearest in `best` (sorted
+    /// ascending by squared distance; sqrt is monotone, so ranking on the
+    /// squared metric picks the same neighbors without a sqrt per row),
+    /// then majority-vote into `votes`.
+    fn vote(&self, row: &[f64], best: &mut Vec<(f64, u32)>, votes: &mut Vec<usize>) -> u32 {
+        let x = self.train_x.as_ref().expect("predict called before fit");
+        let k = self.params.k.min(x.nrows());
+        best.clear();
+        for i in 0..x.nrows() {
+            let d = kernels::sq_dist(row, x.row(i));
+            if best.len() < k {
+                let at = best.partition_point(|&(bd, _)| bd <= d);
+                best.insert(at, (d, self.train_y[i]));
+            } else if d < best[k - 1].0 {
+                best.pop();
+                let at = best.partition_point(|&(bd, _)| bd <= d);
+                best.insert(at, (d, self.train_y[i]));
+            }
+        }
+        votes.clear();
+        votes.resize(self.n_classes, 0);
+        for &(_, label) in best.iter() {
+            votes[label as usize] += 1;
+        }
+        let mut winner = 0usize;
+        for (c, &v) in votes.iter().enumerate().skip(1) {
+            if v > votes[winner] {
+                winner = c;
+            }
+        }
+        winner as u32
+    }
 }
 
 impl Default for KnnClassifier {
@@ -62,32 +95,22 @@ impl Classifier for KnnClassifier {
     }
 
     fn predict_row(&self, row: &[f64]) -> u32 {
-        let x = self.train_x.as_ref().expect("predict called before fit");
-        let k = self.params.k.min(x.nrows());
-        // Bounded max-heap replacement: keep the k smallest distances in a
-        // simple vec (k is small; O(n·k) beats allocating a heap per query).
-        let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        let mut best = Vec::with_capacity(self.params.k + 1);
+        let mut votes = Vec::with_capacity(self.n_classes);
+        self.vote(row, &mut best, &mut votes)
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<u32> {
+        // One pair of buffers for the whole test set; the distance scan per
+        // row reuses them instead of allocating (the KNN workloads in the
+        // session loop predict a few thousand rows per candidate).
+        let mut best = Vec::with_capacity(self.params.k + 1);
+        let mut votes = Vec::with_capacity(self.n_classes);
+        let mut out = Vec::with_capacity(x.nrows());
         for i in 0..x.nrows() {
-            let d = Matrix::row_distance(row, x.row(i));
-            if best.len() < k {
-                best.push((d, self.train_y[i]));
-                best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
-            } else if d < best[k - 1].0 {
-                best[k - 1] = (d, self.train_y[i]);
-                best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
-            }
+            out.push(self.vote(x.row(i), &mut best, &mut votes));
         }
-        let mut votes = vec![0usize; self.n_classes];
-        for &(_, label) in &best {
-            votes[label as usize] += 1;
-        }
-        let mut winner = 0usize;
-        for (c, &v) in votes.iter().enumerate().skip(1) {
-            if v > votes[winner] {
-                winner = c;
-            }
-        }
-        winner as u32
+        out
     }
 }
 

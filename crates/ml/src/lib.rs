@@ -28,6 +28,7 @@ mod dtree;
 mod featurize;
 mod forest;
 mod gbm;
+pub mod kernels;
 mod knn;
 mod linear;
 mod matrix;
@@ -35,6 +36,7 @@ pub mod metrics;
 mod mlp;
 mod model;
 mod nb;
+pub mod scratch;
 pub mod sgd;
 pub mod shapley;
 mod tree;
@@ -43,14 +45,14 @@ mod tune;
 pub use algorithm::{Algorithm, HyperParams};
 pub use cv::{cross_val_score, KFold};
 pub use dtree::{DecisionTreeClassifier, DtParams};
-pub use featurize::{FeatureGroup, Featurizer};
+pub use featurize::{FeatureCache, FeatureCacheStats, FeatureGroup, Featurizer};
 pub use forest::{RandomForestClassifier, RfParams};
 pub use gbm::{GbmParams, GradientBoostingClassifier};
 pub use knn::{KnnClassifier, KnnParams};
 pub use linear::{
     LinearRegressionClassifier, LinearSvm, LirParams, LogisticRegression, LorParams, SvmParams,
 };
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixShapeError};
 pub use metrics::Metric;
 pub use mlp::{MlpClassifier, MlpParams};
 pub use model::Classifier;

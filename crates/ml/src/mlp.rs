@@ -4,7 +4,7 @@
 //! mini-batch SGD with classical momentum, He initialization.
 
 use crate::model::{argmax, softmax, Classifier};
-use crate::Matrix;
+use crate::{kernels, scratch, Matrix};
 use rand::RngCore;
 
 /// MLP hyperparameters.
@@ -67,28 +67,20 @@ impl MlpClassifier {
         }
     }
 
-    fn forward(&self, row: &[f64], hidden_out: &mut Vec<f64>) -> Vec<f64> {
+    /// Forward pass into caller-owned buffers: `hidden_out` receives the
+    /// ReLU activations, `scores_out` the raw class scores. Both linear
+    /// layers run through the fixed-order [`kernels::matvec_bias`].
+    fn forward_into(&self, row: &[f64], hidden_out: &mut Vec<f64>, scores_out: &mut Vec<f64>) {
         let h = self.params.hidden;
         hidden_out.clear();
-        hidden_out.reserve(h);
-        for j in 0..h {
-            let mut a = self.b1[j];
-            let w = &self.w1[j * self.dim..(j + 1) * self.dim];
-            for (wi, xi) in w.iter().zip(row) {
-                a += wi * xi;
-            }
-            hidden_out.push(a.max(0.0)); // ReLU
+        hidden_out.resize(h, 0.0);
+        kernels::matvec_bias(&self.w1, h, self.dim, row, &self.b1, hidden_out);
+        for a in hidden_out.iter_mut() {
+            *a = a.max(0.0); // ReLU
         }
-        let mut scores = Vec::with_capacity(self.n_classes);
-        for c in 0..self.n_classes {
-            let mut s = self.b2[c];
-            let w = &self.w2[c * h..(c + 1) * h];
-            for (wi, hi) in w.iter().zip(hidden_out.iter()) {
-                s += wi * hi;
-            }
-            scores.push(s);
-        }
-        scores
+        scores_out.clear();
+        scores_out.resize(self.n_classes, 0.0);
+        kernels::matvec_bias(&self.w2, self.n_classes, h, hidden_out, &self.b2, scores_out);
     }
 }
 
@@ -128,7 +120,8 @@ impl Classifier for MlpClassifier {
 
         let n = x.nrows();
         let mut order: Vec<usize> = (0..n).collect();
-        let mut hidden = Vec::with_capacity(h);
+        let mut hidden = scratch::take(h);
+        let mut p = scratch::take(k);
 
         // Gradient accumulators per batch.
         let mut gw1 = vec![0.0; h * d];
@@ -149,17 +142,14 @@ impl Classifier for MlpClassifier {
 
                 for &i in batch {
                     let row = x.row(i);
-                    let mut p = self.forward(row, &mut hidden);
+                    self.forward_into(row, &mut hidden, &mut p);
                     softmax(&mut p);
                     // Output delta: p − onehot(y).
                     p[y[i] as usize] -= 1.0;
                     for c in 0..k {
                         let delta = p[c];
                         gb2[c] += delta;
-                        let gw = &mut gw2[c * h..(c + 1) * h];
-                        for (g, hi) in gw.iter_mut().zip(&hidden) {
-                            *g += delta * hi;
-                        }
+                        kernels::axpy(delta, &hidden, &mut gw2[c * h..(c + 1) * h]);
                     }
                     // Hidden delta through ReLU.
                     for j in 0..h {
@@ -172,10 +162,7 @@ impl Classifier for MlpClassifier {
                             delta += p[c] * self.w2[c * h + j];
                         }
                         gb1[j] += delta;
-                        let gw = &mut gw1[j * d..(j + 1) * d];
-                        for (g, xi) in gw.iter_mut().zip(row) {
-                            *g += delta * xi;
-                        }
+                        kernels::axpy(delta, row, &mut gw1[j * d..(j + 1) * d]);
                     }
                 }
 
@@ -195,12 +182,30 @@ impl Classifier for MlpClassifier {
                 update(&mut self.b2, &mut vb2, &gb2);
             }
         }
+        scratch::put(hidden);
+        scratch::put(p);
     }
 
     fn predict_row(&self, row: &[f64]) -> u32 {
         assert!(!self.w1.is_empty(), "predict called before fit");
         let mut hidden = Vec::new();
-        argmax(&self.forward(row, &mut hidden))
+        let mut scores = Vec::new();
+        self.forward_into(row, &mut hidden, &mut scores);
+        argmax(&scores)
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<u32> {
+        assert!(!self.w1.is_empty(), "predict called before fit");
+        let mut hidden = scratch::take(self.params.hidden);
+        let mut scores = scratch::take(self.n_classes);
+        let mut out = Vec::with_capacity(x.nrows());
+        for row in x.rows() {
+            self.forward_into(row, &mut hidden, &mut scores);
+            out.push(argmax(&scores));
+        }
+        scratch::put(hidden);
+        scratch::put(scores);
+        out
     }
 }
 

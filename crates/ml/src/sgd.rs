@@ -7,7 +7,7 @@
 //! after partial cleaning (Krishnan et al., VLDB 2016).
 
 use crate::model::{argmax, softmax};
-use crate::Matrix;
+use crate::{kernels, scratch, Matrix};
 use rand::RngCore;
 
 /// Convex loss of a one-vs-rest / softmax linear model.
@@ -85,17 +85,20 @@ impl Glm {
 
     /// Raw per-class scores for a row.
     pub fn scores(&self, row: &[f64]) -> Vec<f64> {
-        let stride = self.dim + 1;
         let mut out = Vec::with_capacity(self.n_classes);
+        self.scores_into(row, &mut out);
+        out
+    }
+
+    /// [`Glm::scores`] into a reused buffer (cleared and refilled) — the
+    /// per-sample hot path avoids one allocation per call.
+    pub fn scores_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        let stride = self.dim + 1;
+        out.clear();
         for c in 0..self.n_classes {
             let w = &self.weights[c * stride..(c + 1) * stride];
-            let mut s = w[self.dim]; // bias
-            for (wi, xi) in w[..self.dim].iter().zip(row) {
-                s += wi * xi;
-            }
-            out.push(s);
+            out.push(kernels::dot(&w[..self.dim], row) + w[self.dim]);
         }
-        out
     }
 
     /// Class-probability estimates (softmax over scores; for hinge/squared
@@ -109,9 +112,25 @@ impl Glm {
     /// Per-sample loss gradient, flattened like `weights`. Does not include
     /// the L2 term (ActiveClean's selection uses the data-dependent part).
     pub fn grad_sample(&self, row: &[f64], y: u32) -> Vec<f64> {
+        let mut scores = Vec::new();
+        let mut grad = Vec::new();
+        self.grad_sample_into(row, y, &mut scores, &mut grad);
+        grad
+    }
+
+    /// [`Glm::grad_sample`] into reused buffers: `scores` is clobbered with
+    /// intermediate per-class scores, `grad` receives the gradient.
+    pub fn grad_sample_into(
+        &self,
+        row: &[f64],
+        y: u32,
+        scores: &mut Vec<f64>,
+        grad: &mut Vec<f64>,
+    ) {
         let stride = self.dim + 1;
-        let mut grad = vec![0.0; self.n_classes * stride];
-        let scores = self.scores(row);
+        grad.clear();
+        grad.resize(self.n_classes * stride, 0.0);
+        self.scores_into(row, scores);
         match self.loss {
             Loss::Hinge => {
                 for c in 0..self.n_classes {
@@ -126,10 +145,9 @@ impl Glm {
                 }
             }
             Loss::Logistic => {
-                let mut p = scores;
-                softmax(&mut p);
+                softmax(scores);
                 for c in 0..self.n_classes {
-                    let e = p[c] - if y as usize == c { 1.0 } else { 0.0 };
+                    let e = scores[c] - if y as usize == c { 1.0 } else { 0.0 };
                     let g = &mut grad[c * stride..(c + 1) * stride];
                     for (gi, xi) in g[..self.dim].iter_mut().zip(row) {
                         *gi = e * xi;
@@ -148,33 +166,50 @@ impl Glm {
                 }
             }
         }
-        grad
     }
 
     /// Euclidean norm of the per-sample gradient — ActiveClean's record
     /// priority.
     pub fn grad_norm(&self, row: &[f64], y: u32) -> f64 {
-        self.grad_sample(row, y).iter().map(|g| g * g).sum::<f64>().sqrt()
+        let g = self.grad_sample(row, y);
+        kernels::dot(&g, &g).sqrt()
     }
 
     /// One SGD step on a single sample with the given learning rate
     /// (includes L2 shrinkage).
     pub fn sgd_step(&mut self, row: &[f64], y: u32, lr: f64) {
-        let grad = self.grad_sample(row, y);
-        let l2 = self.params.l2;
-        for (w, g) in self.weights.iter_mut().zip(&grad) {
-            *w -= lr * (g + l2 * *w);
-        }
+        let mut scores = Vec::new();
+        let mut grad = Vec::new();
+        self.sgd_step_scratch(row, y, lr, &mut scores, &mut grad);
+    }
+
+    /// [`Glm::sgd_step`] with caller-owned scratch. The update fuses the L2
+    /// shrink and the gradient step into one [`kernels::scale_axpy`] pass:
+    /// `w = (1 - lr·l2)·w - lr·g`.
+    fn sgd_step_scratch(
+        &mut self,
+        row: &[f64],
+        y: u32,
+        lr: f64,
+        scores: &mut Vec<f64>,
+        grad: &mut Vec<f64>,
+    ) {
+        self.grad_sample_into(row, y, scores, grad);
+        let shrink = 1.0 - lr * self.params.l2;
+        kernels::scale_axpy(shrink, &mut self.weights, -lr, grad);
     }
 
     /// Full SGD training: `epochs` shuffled passes with a `1/(1+t)` decayed
-    /// learning rate.
+    /// learning rate. Per-sample scratch comes from the global pool, so a
+    /// steady-state tuning/evaluation loop performs no per-step allocation.
     pub fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize, rng: &mut dyn RngCore) {
         assert_eq!(x.nrows(), y.len(), "rows and labels must align");
         assert!(x.nrows() > 0, "cannot fit on empty data");
         self.reset(x.ncols(), n_classes);
         let n = x.nrows();
         let mut order: Vec<usize> = (0..n).collect();
+        let mut scores = scratch::take(self.n_classes);
+        let mut grad = scratch::take(self.weights.len());
         let mut t = 0usize;
         for _ in 0..self.params.epochs {
             // Fisher–Yates shuffle with the dyn RNG.
@@ -185,9 +220,11 @@ impl Glm {
             for &i in &order {
                 t += 1;
                 let lr = self.params.learning_rate / (1.0 + 0.01 * t as f64);
-                self.sgd_step(x.row(i), y[i], lr);
+                self.sgd_step_scratch(x.row(i), y[i], lr, &mut scores, &mut grad);
             }
         }
+        scratch::put(scores);
+        scratch::put(grad);
     }
 
     /// Predict a single row (argmax score).
@@ -201,9 +238,10 @@ impl Glm {
         if n == 0 {
             return 0.0;
         }
+        let mut scores = scratch::take(self.n_classes);
         let mut total = 0.0;
         for i in 0..n {
-            let scores = self.scores(x.row(i));
+            self.scores_into(x.row(i), &mut scores);
             total += match self.loss {
                 Loss::Hinge => (0..self.n_classes)
                     .map(|c| {
@@ -212,9 +250,8 @@ impl Glm {
                     })
                     .sum::<f64>(),
                 Loss::Logistic => {
-                    let mut p = scores;
-                    softmax(&mut p);
-                    -(p[y[i] as usize].max(1e-12)).ln()
+                    softmax(&mut scores);
+                    -(scores[y[i] as usize].max(1e-12)).ln()
                 }
                 Loss::Squared => (0..self.n_classes)
                     .map(|c| {
@@ -224,6 +261,7 @@ impl Glm {
                     .sum::<f64>(),
             };
         }
+        scratch::put(scores);
         total / n as f64
     }
 }

@@ -129,10 +129,32 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
+    par_map_with(items, || (), move |(), t| f(t))
+}
+
+/// [`par_map`] with per-worker state: each worker that processes at least
+/// one item builds private state with `init` (lazily, on its first item)
+/// and hands `f` a mutable reference to it alongside every item it drains.
+///
+/// The hook for scratch that should persist across the items one worker
+/// handles — batched counters, reusable buffers — without a lock per item.
+/// `init` runs at most once per worker (≤ thread count, exactly once when
+/// sequential). Output order and the sequential-at-one-thread degradation
+/// are [`par_map`]'s; for determinism, results must not depend on how items
+/// partition across workers, so treat the state as a cache or accumulator,
+/// never as an input that changes `f`'s output.
+pub fn par_map_with<T, S, U, I, F>(items: Vec<T>, init: I, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
     let n = items.len();
     let threads = max_threads().min(n.max(1));
     if n <= 1 || threads <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut state: Option<S> = None;
+        return items.into_iter().map(|t| f(state.get_or_insert_with(&init), t)).collect();
     }
     let extra = reserve_workers(threads - 1, max_threads());
     if comet_obs::enabled() {
@@ -151,26 +173,32 @@ where
         }
     }
     if extra == 0 {
-        return items.into_iter().map(f).collect();
+        let mut state: Option<S> = None;
+        return items.into_iter().map(|t| f(state.get_or_insert_with(&init), t)).collect();
     }
 
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let f = &f;
+    let init = &init;
     let slots = &slots;
     let results = &results;
     let next = &next;
     let inherited = max_threads();
 
-    let drain = move || loop {
-        let i = next.fetch_add(1, Ordering::SeqCst);
-        if i >= n {
-            break;
+    let drain = move || {
+        let mut state: Option<S> = None;
+        loop {
+            let i = next.fetch_add(1, Ordering::SeqCst);
+            if i >= n {
+                break;
+            }
+            let item =
+                slots[i].lock().expect("unpoisoned slot").take().expect("each slot taken once");
+            let out = f(state.get_or_insert_with(init), item);
+            *results[i].lock().expect("unpoisoned result") = Some(out);
         }
-        let item = slots[i].lock().expect("unpoisoned slot").take().expect("each slot taken once");
-        let out = f(item);
-        *results[i].lock().expect("unpoisoned result") = Some(out);
     };
 
     // Release the reserved slots even if a worker panic unwinds the scope.
@@ -345,6 +373,53 @@ mod tests {
             assert_eq!(max_threads(), 6);
             set_global_threads(None);
         });
+    }
+
+    #[test]
+    fn with_state_initializes_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let out = with_threads(4, || {
+            par_map_with(
+                (0..64).collect::<Vec<usize>>(),
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    0usize // per-worker item tally
+                },
+                |tally, x| {
+                    *tally += 1;
+                    x * 3
+                },
+            )
+        });
+        assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<usize>>());
+        let calls = inits.load(Ordering::SeqCst);
+        assert!((1..=4).contains(&calls), "init ran {calls} times for 4 threads");
+    }
+
+    #[test]
+    fn with_state_sequential_shares_one_state() {
+        // At one thread the single state threads through every item in
+        // order, so the tally equals the item index.
+        let out = with_threads(1, || {
+            par_map_with(
+                (0..10).collect::<Vec<usize>>(),
+                || 0usize,
+                |seen, x| {
+                    let pos = *seen;
+                    *seen += 1;
+                    (x, pos)
+                },
+            )
+        });
+        assert_eq!(out, (0..10).map(|x| (x, x)).collect::<Vec<(usize, usize)>>());
+    }
+
+    #[test]
+    fn with_state_skips_init_on_empty_input() {
+        let inits = AtomicUsize::new(0);
+        let out = par_map_with(Vec::<u8>::new(), || inits.fetch_add(1, Ordering::SeqCst), |_, x| x);
+        assert_eq!(out, Vec::<u8>::new());
+        assert_eq!(inits.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -35,7 +35,8 @@ usage:
   comet evaluate  --input FILE --label COL [--algo NAME] [--seed N]
   comet recommend --dirty FILE --clean FILE --label COL [--algo NAME] [--budget N]
                   [--step FRAC] [--batch N] [--max-retries N] [--trace FILE]
-                  [--checkpoint FILE [--resume]] [--metrics-out FILE] [--seed N]";
+                  [--checkpoint FILE [--resume]] [--metrics-out FILE]
+                  [--no-feature-cache] [--seed N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,7 +64,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["resume"];
+const BOOL_FLAGS: &[&str] = &["resume", "no-feature-cache"];
 
 /// Parse `--key value` pairs (and valueless [`BOOL_FLAGS`]).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -196,6 +197,12 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
         step,
         &mut rng,
     )?;
+    // `--no-feature-cache` reverts evaluation to full re-featurization per
+    // candidate — the pre-cache behaviour, kept as an escape hatch and for
+    // timing comparisons. Scores are identical either way.
+    if flags.contains_key("no-feature-cache") {
+        env.set_feature_caching(false);
+    }
     // Which error types does the dirt look like? Run with all four; the
     // provenance derived from the diff uses MissingValues for empty cells
     // and Scaling/GaussianNoise/CategoricalShift heuristically.
