@@ -19,7 +19,7 @@ use comet_jenga::ErrorType;
 use comet_ml::sgd::{Glm, Loss, SgdParams};
 use comet_ml::{Algorithm, Featurizer};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// ActiveClean hyperparameters.
@@ -70,7 +70,7 @@ impl ActiveClean {
     ) -> Result<CleaningTrace, EnvError> {
         let loss = Self::loss_for(env.model().algorithm)?;
         let mut budget = Budget::new(config.budget);
-        let mut steps_done: HashMap<ErrorType, usize> = HashMap::new();
+        let mut steps_done: BTreeMap<ErrorType, usize> = BTreeMap::new();
 
         let mut trace = CleaningTrace {
             initial_f1: env.evaluate()?,
@@ -112,6 +112,7 @@ impl ActiveClean {
                 break;
             }
 
+            // comet-lint: allow(D3) — observability: iteration runtime for reports; never feeds a trace decision
             let started = Instant::now();
             // Gradient-weighted sampling of the next batch of records.
             let featurizer = Featurizer::fit(env.train())?;
@@ -119,6 +120,7 @@ impl ActiveClean {
             let y = env.train().label_codes()?;
             let batch_train = weighted_sample(
                 &dirty_train,
+                // comet-lint: allow(D2) — epsilon clamp: `max(1e-9)` maps a NaN gradient norm to the floor, deterministically
                 |&r| glm.grad_norm(x.row(r), y[r]).max(1e-9),
                 env.step_train().min(dirty_train.len()),
                 rng,
@@ -257,7 +259,7 @@ impl ActiveClean {
         batch_train: &[usize],
         batch_test: &[usize],
         config: &StrategyConfig,
-        steps_done: &HashMap<ErrorType, usize>,
+        steps_done: &BTreeMap<ErrorType, usize>,
     ) -> f64 {
         let mut weighted = 0.0;
         let mut total = 0usize;

@@ -13,7 +13,7 @@ use comet_core::{
 };
 use comet_jenga::ErrorType;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// The COMET-Light baseline.
@@ -47,7 +47,7 @@ impl CometLight {
             false, // one-shot estimation: nothing to bias-correct against
         );
         let mut recommender = Recommender::new(self.comet.use_uncertainty);
-        let mut steps_done: HashMap<(usize, ErrorType), usize> = HashMap::new();
+        let mut steps_done: BTreeMap<(usize, ErrorType), usize> = BTreeMap::new();
 
         let mut trace = CleaningTrace {
             initial_f1: env.evaluate()?,
@@ -57,6 +57,7 @@ impl CometLight {
         let mut current_f1 = trace.initial_f1;
 
         // --- The single estimation pass (this is what makes CL "light"). ---
+        // comet-lint: allow(D3) — observability: iteration runtime for reports; never feeds a trace decision
         let started = Instant::now();
         let pairs = env.candidate_pairs(errors);
         let mut ranking: Vec<((usize, ErrorType), f64)> = Vec::with_capacity(pairs.len());
@@ -67,7 +68,11 @@ impl CometLight {
             let score = recommender.score(&estimate, cost);
             ranking.push(((col, err), score));
         }
-        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        // `total_cmp` over a NaN-sanitized key (D2): a degenerate estimate
+        // can score NaN, which must sink to the end, not panic the sort.
+        // The sort is stable, so tied scores keep candidate-pair order.
+        let key = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
+        ranking.sort_by(|a, b| key(b.1).total_cmp(&key(a.1)));
         let order: Vec<(usize, ErrorType)> = ranking.into_iter().map(|(p, _)| p).collect();
         trace.iteration_runtimes.push(started.elapsed());
 
@@ -84,9 +89,9 @@ impl CometLight {
 
             for &(col, err) in order.iter().filter(|p| dirty.contains(p)) {
                 // Buffered (previously reverted) state re-applies for free.
-                if recommender.buffer_contains(col, err) {
+                // (`buffer_take` is its own existence check — no unwrap.)
+                if let Some(buffered) = recommender.buffer_take(col, err) {
                     let pre = env.snapshot(col)?;
-                    let buffered = recommender.buffer_take(col, err).expect("contains");
                     env.restore(&buffered)?;
                     let f1 = env.evaluate()?;
                     if f1 >= current_f1 - 1e-12 {

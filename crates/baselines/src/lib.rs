@@ -17,6 +17,8 @@
 //! * [`Oracle`] — the local optimum of §4.5: actually tries every candidate
 //!   step and keeps the best gain/cost (upper bound).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 mod activeclean;
 mod cl;
 mod fir;

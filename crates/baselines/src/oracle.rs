@@ -36,6 +36,7 @@ impl Oracle {
                     let candidate = if ctr + cte > 0 {
                         let f1 = env.evaluate()?;
                         let done = steps_done.get(&(col, err)).copied().unwrap_or(0);
+                        // comet-lint: allow(D2) — epsilon clamp on a validated positive cost, same as Recommender::score
                         let cost = config.costs.next_cost(err, done).max(1e-6);
                         Some(((col, err), (f1 - current) / cost))
                     } else {

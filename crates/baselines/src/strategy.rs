@@ -6,7 +6,7 @@ use comet_core::{
 };
 use comet_jenga::ErrorType;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Budget and cost setup shared by all strategies in one experiment.
@@ -40,12 +40,12 @@ where
         &mut CleaningEnvironment,
         &[(usize, ErrorType)],
         &StrategyConfig,
-        &HashMap<(usize, ErrorType), usize>,
+        &BTreeMap<(usize, ErrorType), usize>,
         &mut R,
     ) -> Result<Option<(usize, ErrorType)>, EnvError>,
 {
     let mut budget = Budget::new(config.budget);
-    let mut steps_done: HashMap<(usize, ErrorType), usize> = HashMap::new();
+    let mut steps_done: BTreeMap<(usize, ErrorType), usize> = BTreeMap::new();
     let mut trace = CleaningTrace {
         initial_f1: env.evaluate()?,
         fully_clean_f1: Some(env.fully_cleaned_f1()?),
@@ -61,6 +61,7 @@ where
         if dirty.is_empty() {
             break;
         }
+        // comet-lint: allow(D3) — observability: iteration runtime for reports; never feeds a trace decision
         let started = Instant::now();
         let Some((col, err)) = pick(env, &dirty, config, &steps_done, rng)? else {
             break;
@@ -120,7 +121,7 @@ fn clean_and_record<R: Rng>(
     cost: f64,
     iteration: usize,
     budget: &mut Budget,
-    steps_done: &mut HashMap<(usize, ErrorType), usize>,
+    steps_done: &mut BTreeMap<(usize, ErrorType), usize>,
     trace: &mut CleaningTrace,
     current_f1: &mut f64,
     rng: &mut R,

@@ -200,6 +200,7 @@ impl BayesianLinearRegression {
             }
         }
         let a = self.config.a0 + n as f64 / 2.0;
+        // comet-lint: allow(D2) — positivity floor for the inverse-gamma rate parameter
         let b = (self.config.b0 + 0.5 * (yty - quad)).max(self.config.b0 * 1e-6).max(1e-12);
 
         self.posterior = Some(Posterior { mean, cov_scale, a, b, n });

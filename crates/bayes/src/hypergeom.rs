@@ -55,6 +55,7 @@ impl Hypergeometric {
         for i in self.min_k()..=k {
             total += self.pmf(i);
         }
+        // comet-lint: allow(D2) — CDF clamp to 1.0 over a finite pmf sum
         total.min(1.0)
     }
 

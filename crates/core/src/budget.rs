@@ -26,6 +26,7 @@ impl Budget {
 
     /// Units remaining.
     pub fn remaining(&self) -> f64 {
+        // comet-lint: allow(D2) — clamp-to-zero on a finite budget difference, not a score comparison
         (self.total - self.spent).max(0.0)
     }
 

@@ -20,7 +20,7 @@ use crate::trace::CleaningTrace;
 use comet_jenga::ErrorType;
 use comet_obs::json::{self, JsonObject, JsonValue};
 use rand::RngCore;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
@@ -167,7 +167,7 @@ fn cache_array(entries: &[(u64, u64, f64)]) -> String {
 /// cache entries are already persisted so every entry is written once.
 pub(crate) struct CheckpointWriter {
     out: BufWriter<File>,
-    seen: HashSet<(u64, u64)>,
+    seen: BTreeSet<(u64, u64)>,
 }
 
 impl CheckpointWriter {
@@ -181,7 +181,7 @@ impl CheckpointWriter {
         let file = File::create(path).map_err(|e| {
             CometError::Checkpoint(format!("cannot create {}: {e}", path.display()))
         })?;
-        let mut writer = CheckpointWriter { out: BufWriter::new(file), seen: HashSet::new() };
+        let mut writer = CheckpointWriter { out: BufWriter::new(file), seen: BTreeSet::new() };
         let mut obj = JsonObject::new();
         obj.field_str("kind", "checkpoint_header")
             .field_u64("version", 1)

@@ -113,6 +113,7 @@ struct EvalCache {
 
 #[derive(Debug, Default)]
 struct EvalCacheInner {
+    // comet-lint: allow(D1) — lookup-only memo keyed by content hash; `export` sorts before emitting
     map: HashMap<(u64, u64), f64>,
     hits: u64,
     misses: u64,
@@ -120,7 +121,7 @@ struct EvalCacheInner {
 
 impl EvalCache {
     fn lookup(&self, key: (u64, u64)) -> Option<f64> {
-        let mut inner = self.inner.lock().expect("unpoisoned eval cache");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         match inner.map.get(&key).copied() {
             Some(score) => {
                 inner.hits += 1;
@@ -136,7 +137,7 @@ impl EvalCache {
     }
 
     fn insert(&self, key: (u64, u64), score: f64) {
-        let mut inner = self.inner.lock().expect("unpoisoned eval cache");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if inner.map.len() >= EVAL_CACHE_CAP {
             inner.map.clear();
         }
@@ -145,12 +146,12 @@ impl EvalCache {
     }
 
     fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("unpoisoned eval cache");
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.map.len() }
     }
 
     fn clear(&self) {
-        let mut inner = self.inner.lock().expect("unpoisoned eval cache");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.map.clear();
         inner.hits = 0;
         inner.misses = 0;
@@ -158,7 +159,7 @@ impl EvalCache {
     }
 
     fn export(&self) -> Vec<(u64, u64, f64)> {
-        let inner = self.inner.lock().expect("unpoisoned eval cache");
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut entries: Vec<(u64, u64, f64)> =
             inner.map.iter().map(|(&(a, b), &score)| (a, b, score)).collect();
         entries.sort_by_key(|&(a, b, _)| (a, b));
@@ -166,7 +167,7 @@ impl EvalCache {
     }
 
     fn preload(&self, entries: &[(u64, u64, f64)]) {
-        let mut inner = self.inner.lock().expect("unpoisoned eval cache");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for &(a, b, score) in entries {
             inner.map.insert((a, b), score);
         }

@@ -5,7 +5,7 @@ use crate::env::{CleaningEnvironment, EnvError};
 use crate::polluter::PollutedVariant;
 use comet_bayes::{BayesianLinearRegression, BlrConfig, Ols, RunningStats};
 use comet_jenga::ErrorType;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The Estimator's output for one `(feature, error type)` candidate.
 #[derive(Debug, Clone)]
@@ -44,7 +44,7 @@ pub struct Estimator {
     blr_config: BlrConfig,
     bias_correction: bool,
     /// Observed (actual − raw predicted) discrepancies per candidate pair.
-    discrepancies: HashMap<(usize, ErrorType), RunningStats>,
+    discrepancies: BTreeMap<(usize, ErrorType), RunningStats>,
 }
 
 impl Estimator {
@@ -54,7 +54,7 @@ impl Estimator {
         Estimator {
             blr_config: BlrConfig { degree, interval, ..BlrConfig::default() },
             bias_correction,
-            discrepancies: HashMap::new(),
+            discrepancies: BTreeMap::new(),
         }
     }
 
@@ -163,6 +163,7 @@ impl Estimator {
             lo = lo.min(y);
             hi = hi.max(y);
         }
+        // comet-lint: allow(D2) — epsilon floor on an interval width scanned from finite samples
         Ok((mean, (hi - lo).max(1e-6)))
     }
 
@@ -297,7 +298,7 @@ mod tests {
         let est = Estimator {
             blr_config: BlrConfig { degree: 1, prior_scale: 1e12, ..BlrConfig::default() },
             bias_correction: false,
-            discrepancies: HashMap::new(),
+            discrepancies: BTreeMap::new(),
         };
         let xs = [2.0; 8];
         let ys = [0.50, 0.55, 0.60, 0.52, 0.58, 0.54, 0.56, 0.53];

@@ -12,7 +12,7 @@
 
 use comet_jenga::ErrorType;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// What kind of failure to force on a candidate evaluation.
@@ -49,13 +49,13 @@ pub struct FaultSpec {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     specs: Vec<FaultSpec>,
-    hits: Mutex<HashMap<(usize, usize, ErrorType), u32>>,
+    hits: Mutex<BTreeMap<(usize, usize, ErrorType), u32>>,
 }
 
 impl FaultPlan {
     /// Build a plan from explicit fault specs.
     pub fn new(specs: Vec<FaultSpec>) -> Self {
-        FaultPlan { specs, hits: Mutex::new(HashMap::new()) }
+        FaultPlan { specs, hits: Mutex::new(BTreeMap::new()) }
     }
 
     /// Sample `n` transient faults (one poisoned attempt each) over the
@@ -97,7 +97,7 @@ impl FaultPlan {
     pub fn arm(&self, iteration: usize, col: usize, err: ErrorType) -> Option<FaultKind> {
         let spec =
             self.specs.iter().find(|s| s.iteration == iteration && s.col == col && s.err == err)?;
-        let mut hits = self.hits.lock().expect("unpoisoned fault counters");
+        let mut hits = self.hits.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let count = hits.entry((iteration, col, err)).or_insert(0);
         *count += 1;
         if *count <= spec.attempts {

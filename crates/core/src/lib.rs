@@ -31,6 +31,8 @@
 //! errors surface through the [`CometError`] taxonomy, and sessions can
 //! checkpoint/resume via [`CheckpointSpec`].
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 mod budget;
 mod checkpoint;
 mod config;

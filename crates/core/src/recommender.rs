@@ -3,7 +3,7 @@
 use crate::env::StateSnapshot;
 use crate::estimator::Estimate;
 use comet_jenga::ErrorType;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A scored cleaning candidate.
 #[derive(Debug, Clone)]
@@ -24,9 +24,9 @@ pub struct Recommender {
     use_uncertainty: bool,
     /// Reverted cleaning results, keyed by candidate; re-applying is free
     /// because the cleaning work was already paid for.
-    buffer: HashMap<(usize, ErrorType), StateSnapshot>,
+    buffer: BTreeMap<(usize, ErrorType), StateSnapshot>,
     /// Best F1 ever observed right after cleaning a candidate.
-    post_clean_f1: HashMap<(usize, ErrorType), f64>,
+    post_clean_f1: BTreeMap<(usize, ErrorType), f64>,
 }
 
 impl Recommender {
@@ -40,6 +40,7 @@ impl Recommender {
     /// cleaning of a positive-gain feature ranks very high.
     pub fn score(&self, estimate: &Estimate, cost: f64) -> f64 {
         let penalty = if self.use_uncertainty { estimate.uncertainty } else { 0.0 };
+        // comet-lint: allow(D2) — epsilon clamp on a validated positive cost, not a score comparison
         (estimate.gain() - penalty) / cost.max(1e-6)
     }
 

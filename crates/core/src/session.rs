@@ -15,7 +15,7 @@ use crate::trace::{CleaningTrace, FailureRecord, StepAction, StepRecord};
 use comet_jenga::ErrorType;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -25,6 +25,14 @@ use std::time::{Duration, Instant};
 /// Giving every `(col, err, iteration)` its own stream — instead of letting
 /// candidates share the session rng — is what makes the parallel candidate
 /// fan-out produce traces bit-identical to a sequential run.
+/// Fault injection's `TrainingPanic` arm: a *real* panic, thrown on purpose
+/// so tests prove `par_map_catch` contains worker unwinds.
+#[allow(clippy::panic)]
+fn injected_training_panic(iteration: usize, col: usize, err: ErrorType) -> ! {
+    // comet-lint: allow(D4) — deliberate: fault injection must produce a real panic for par_map_catch to contain
+    panic!("injected fault: training panic at iteration {iteration} candidate ({col}, {err:?})");
+}
+
 fn candidate_seed(session_seed: u64, col: usize, err: ErrorType, iteration: usize) -> u64 {
     const M: u64 = 0x51_7c_c1_b7_27_22_0a_95;
     let mut h = session_seed;
@@ -42,6 +50,7 @@ fn timed<T>(on: bool, acc: &AtomicU64, f: impl FnOnce() -> T) -> T {
     if !on {
         return f();
     }
+    // comet-lint: allow(D3) — observability: metrics phase timing; never feeds a trace decision
     let started = Instant::now();
     let out = f();
     acc.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -90,6 +99,8 @@ pub struct SessionOutcome {
 impl CleaningSession {
     /// Build a session. Panics on an invalid config or empty error set.
     pub fn new(config: CometConfig, errors: Vec<ErrorType>) -> Self {
+        #[allow(clippy::expect_used)]
+        // comet-lint: allow(D4) — documented constructor contract: invalid config is a caller bug, not a runtime failure
         config.validate().expect("valid config");
         assert!(!errors.is_empty(), "need at least one candidate error type");
         CleaningSession { config, errors, faults: None, checkpoint: None }
@@ -136,7 +147,7 @@ impl CleaningSession {
             self.config.bias_correction,
         );
         let mut recommender = Recommender::new(self.config.use_uncertainty);
-        let mut steps_done: HashMap<(usize, ErrorType), usize> = HashMap::new();
+        let mut steps_done: BTreeMap<(usize, ErrorType), usize> = BTreeMap::new();
 
         // All candidate randomness derives from this one draw (see
         // [`candidate_seed`]); the caller's rng is then only consumed by the
@@ -228,6 +239,7 @@ impl CleaningSession {
             // `par_map` returns results in `dirty_pairs` order, making the
             // ranking input — and hence the whole trace — independent of
             // the thread count.
+            // comet-lint: allow(D3) — observability: iteration runtime for reports; never feeds a trace decision
             let started = Instant::now();
             let (estimates, iteration_failures): (Vec<Estimate>, Vec<FailureRecord>) = {
                 let env_ref: &CleaningEnvironment = env;
@@ -244,10 +256,7 @@ impl CleaningSession {
                             )));
                         }
                         if fault == Some(FaultKind::TrainingPanic) {
-                            panic!(
-                                "injected fault: training panic at iteration {iteration} \
-                             candidate ({col}, {err:?})"
-                            );
+                            injected_training_panic(iteration, col, err);
                         }
                         let seed = candidate_seed(session_seed, col, err, iteration);
                         let mut cand_rng = StdRng::seed_from_u64(seed);
@@ -281,8 +290,10 @@ impl CleaningSession {
                     while result.is_err() && (retries as usize) < self.config.max_retries {
                         retries += 1;
                         comet_obs::counter_add("fault.retries", 1);
+                        #[allow(clippy::expect_used)]
                         let attempt = comet_par::par_map_catch(vec![(col, err)], eval_candidate)
                             .pop()
+                            // comet-lint: allow(D4) — par_map_catch's one-in/one-out contract is proptested in comet-par
                             .expect("one item in, one result out");
                         result = classify(attempt);
                         if result.is_ok() {
@@ -448,9 +459,9 @@ impl CleaningSession {
                 let (col, err) = (cand.estimate.col, cand.estimate.err);
 
                 // A buffered cleaned state re-applies for free (§3.3).
-                if recommender.buffer_contains(col, err) {
+                // (`buffer_take` is its own existence check — no unwrap.)
+                if let Some(buffered) = recommender.buffer_take(col, err) {
                     let pre = env.snapshot(col)?;
-                    let buffered = recommender.buffer_take(col, err).expect("checked contains");
                     env.restore(&buffered)?;
                     let f1 = timed(metrics_on, &evaluate_nanos, || env.evaluate())?;
                     if f1 >= current_f1 - 1e-12 {
@@ -548,6 +559,7 @@ impl CleaningSession {
                 // Timed as one block (including its cleaning and
                 // evaluation) so the inner calls are not double-counted
                 // into the clean_step/evaluate phases.
+                // comet-lint: allow(D3) — observability: metrics phase timing; never feeds a trace decision
                 let fallback_started = if metrics_on { Some(Instant::now()) } else { None };
                 let dirty_now = env.candidate_pairs(&self.errors);
                 if let Some((col, err)) = recommender.fallback(&dirty_now) {
@@ -704,7 +716,7 @@ impl CleaningSession {
         &self,
         env: &CleaningEnvironment,
         recommender: &Recommender,
-        steps_done: &HashMap<(usize, ErrorType), usize>,
+        steps_done: &BTreeMap<(usize, ErrorType), usize>,
     ) -> bool {
         if recommender.buffer_len() > 0 {
             return true;

@@ -121,12 +121,13 @@ fn build_column(field: &FieldMeta, cells: &[Cell], dict: &[String]) -> Result<Co
 }
 
 /// Convenience: schema + dictionaries for the common "numeric features with a
-/// categorical label" case.
+/// categorical label" case. Errors if the names collide or a dictionary is
+/// malformed, same as [`Schema::new`].
 pub fn numeric_schema(
     features: &[&str],
     label: &str,
     classes: &[&str],
-) -> (Schema, Vec<Vec<String>>) {
+) -> Result<(Schema, Vec<Vec<String>>)> {
     let mut fields: Vec<FieldMeta> = features.iter().map(|f| FieldMeta::numeric(*f)).collect();
     fields.push(FieldMeta {
         name: label.into(),
@@ -135,7 +136,7 @@ pub fn numeric_schema(
     });
     let mut dicts: Vec<Vec<String>> = vec![Vec::new(); features.len()];
     dicts.push(classes.iter().map(|c| c.to_string()).collect());
-    (Schema::new(fields).expect("valid schema"), dicts)
+    Ok((Schema::new(fields)?, dicts))
 }
 
 #[cfg(test)]
@@ -203,7 +204,7 @@ mod tests {
 
     #[test]
     fn numeric_schema_helper() {
-        let (schema, dicts) = numeric_schema(&["f1", "f2"], "y", &["neg", "pos"]);
+        let (schema, dicts) = numeric_schema(&["f1", "f2"], "y", &["neg", "pos"]).unwrap();
         assert_eq!(schema.len(), 3);
         assert_eq!(schema.label_index(), Some(2));
         assert_eq!(schema.fields()[0].kind, ColumnKind::Numeric);

@@ -244,9 +244,8 @@ impl Column {
                 Arc::make_mut(&mut self.valid)[row] = false;
             }
             (ColumnData::Numeric(_), Cell::Num(x)) => {
-                match Arc::make_mut(&mut self.data) {
-                    ColumnData::Numeric(v) => v[row] = x,
-                    ColumnData::Categorical(_) => unreachable!("kind checked above"),
+                if let ColumnData::Numeric(v) = Arc::make_mut(&mut self.data) {
+                    v[row] = x;
                 }
                 Arc::make_mut(&mut self.valid)[row] = true;
             }
@@ -257,9 +256,8 @@ impl Column {
                         code,
                     });
                 }
-                match Arc::make_mut(&mut self.data) {
-                    ColumnData::Categorical(v) => v[row] = code,
-                    ColumnData::Numeric(_) => unreachable!("kind checked above"),
+                if let ColumnData::Categorical(v) = Arc::make_mut(&mut self.data) {
+                    v[row] = code;
                 }
                 Arc::make_mut(&mut self.valid)[row] = true;
             }
@@ -293,7 +291,7 @@ impl Column {
 
     /// Iterate all cells in row order.
     pub fn iter(&self) -> impl Iterator<Item = Cell> + '_ {
-        (0..self.len()).map(move |row| self.get(row).expect("in-bounds row"))
+        (0..self.len()).map(move |row| self.get(row).unwrap_or(Cell::Missing))
     }
 
     /// Build a new column containing only the given rows, in order.

@@ -207,6 +207,7 @@ pub(crate) fn cells_equal(a: Cell, b: Cell) -> bool {
     match (a, b) {
         (Cell::Missing, Cell::Missing) => true,
         (Cell::Num(x), Cell::Num(y)) => {
+            // comet-lint: allow(D2) — tolerance scale over abs values; NaN cells compare unequal earlier
             let scale = x.abs().max(y.abs()).max(1.0);
             (x - y).abs() <= 1e-12 * scale
         }

@@ -20,6 +20,8 @@
 //! cloneable snapshots — cheap state save/restore is what the Recommender's
 //! revert logic relies on.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 mod builder;
 mod column;
 mod csv;

@@ -116,17 +116,12 @@ impl DataFrame {
 }
 
 fn concat_columns(a: &Column, b: &Column) -> Result<Column> {
-    let mut rows_a: Vec<usize> = (0..a.len()).collect();
-    let rows_b: Vec<usize> = (0..b.len()).collect();
+    let rows_a: Vec<usize> = (0..a.len()).collect();
     // Build via take + manual append using the cell API.
-    let mut out = a.take(&{
-        rows_a.extend(std::iter::repeat_n(0, 0));
-        rows_a
-    })?;
+    let out = a.take(&rows_a)?;
     // Grow by taking b's cells one at a time (simple and type-safe).
-    let b_cells: Vec<Cell> = rows_b.iter().map(|&r| b.get(r).expect("in bounds")).collect();
-    out = extend_column(out, &b_cells)?;
-    Ok(out)
+    let b_cells: Vec<Cell> = (0..b.len()).map(|r| b.get(r)).collect::<Result<_>>()?;
+    extend_column(out, &b_cells)
 }
 
 /// Append cells to a column by rebuilding its storage.
@@ -136,8 +131,8 @@ fn extend_column(col: Column, cells: &[Cell]) -> Result<Column> {
     match col.data() {
         ColumnData::Numeric(_) => {
             let mut values: Vec<Option<f64>> = (0..col.len())
-                .map(|r| match col.get(r).expect("in bounds") {
-                    Cell::Num(v) => Some(v),
+                .map(|r| match col.get(r) {
+                    Ok(Cell::Num(v)) => Some(v),
                     _ => None,
                 })
                 .collect();
@@ -148,7 +143,7 @@ fn extend_column(col: Column, cells: &[Cell]) -> Result<Column> {
         }
         ColumnData::Categorical(_) => {
             let mut codes: Vec<Option<u32>> =
-                (0..col.len()).map(|r| col.get(r).expect("in bounds").as_cat()).collect();
+                (0..col.len()).map(|r| col.get(r).ok().and_then(|c| c.as_cat())).collect();
             for cell in cells {
                 codes.push(cell.as_cat());
             }

@@ -1,0 +1,13 @@
+// D1 true negative: ordered collections only; use-statements alone are exempt.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn tally(xs: &[(u32, u32)]) -> usize {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for &(k, v) in xs {
+        *counts.entry(k).or_insert(0) += v;
+        seen.insert(k);
+    }
+    counts.len() + seen.len()
+}

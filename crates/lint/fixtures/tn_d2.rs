@@ -1,0 +1,10 @@
+// D2 true negative: total order + explicit NaN sanitization.
+pub fn rank(scores: &mut Vec<(usize, f64)>) {
+    let key = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
+    scores.sort_by(|a, b| key(b.1).total_cmp(&key(a.1)));
+}
+
+pub fn larger(a: u32, b: u32) -> u32 {
+    // Integer max is total — not score-like, must not fire.
+    a.max(b)
+}

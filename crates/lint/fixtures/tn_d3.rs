@@ -1,0 +1,8 @@
+// D3 true negative: all randomness flows from an injected seeded RNG.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}

@@ -1,0 +1,13 @@
+// D4 true negative: errors propagate instead of panicking; test code is free.
+pub fn first(xs: &[u32]) -> Result<u32, String> {
+    xs.first().copied().ok_or_else(|| "empty input".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [1u32, 2];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+// D6 true negative: reductions route through the fixed-order kernels.
+use crate::kernels;
+
+pub fn total(xs: &[f64]) -> f64 {
+    kernels::sum(xs)
+}
+
+pub fn count(xs: &[u64]) -> u64 {
+    // Integer sums are exact regardless of order — must not fire.
+    xs.iter().sum::<u64>()
+}

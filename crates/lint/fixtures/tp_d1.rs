@@ -1,0 +1,13 @@
+// D1 true positive: HashMap/HashSet named in a trace-affecting crate body.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(xs: &[(u32, u32)]) -> usize {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &(k, v) in xs {
+        *counts.entry(k).or_insert(0) += v;
+        seen.insert(k);
+    }
+    counts.len() + seen.len()
+}

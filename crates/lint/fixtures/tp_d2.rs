@@ -1,0 +1,8 @@
+// D2 true positives: NaN-unsafe comparisons on score-like values.
+pub fn rank(scores: &mut Vec<(usize, f64)>) {
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+}
+
+pub fn best(scores: &[f64]) -> f64 {
+    scores.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}

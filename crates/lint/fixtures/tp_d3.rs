@@ -1,0 +1,12 @@
+// D3 true positives: entropy and wall-clock outside comet-obs/bench.
+use std::time::Instant;
+
+pub fn timed() -> std::time::Duration {
+    let started = Instant::now();
+    started.elapsed()
+}
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}

@@ -1,0 +1,14 @@
+// D4 true positives: panicking escape hatches in library code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).expect("at least two elements")
+}
+
+pub fn never(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}

@@ -1,0 +1,4 @@
+// D5 true positive: an unsafe block with no SAFETY justification.
+pub fn read_first(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) }
+}

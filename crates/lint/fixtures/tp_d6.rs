@@ -1,0 +1,8 @@
+// D6 true positives: raw float reductions in a hot-path crate.
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn accumulate(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, x| acc + x)
+}

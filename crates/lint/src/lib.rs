@@ -1,0 +1,130 @@
+//! `comet-lint`: a workspace static-analysis pass enforcing COMET's
+//! determinism, NaN-safety, and error-handling invariants at the source
+//! level (DESIGN.md §11 catalogues the invariants and which rule guards
+//! each one).
+//!
+//! The pipeline: walk every workspace crate's sources → lex each file
+//! with the hand-rolled comment/string-aware [`lexer`] → match the
+//! [`rules`] catalogue (D1–D6) over the token stream → drop findings
+//! suppressed by `// comet-lint: allow(..)` pragmas or inside test
+//! regions → reconcile what remains against the checked-in `lint.toml`
+//! burn-down allowlist ([`config`]). Anything left is a violation and
+//! the binary exits nonzero.
+//!
+//! Dependency-free by design: no `syn`, no proc macros, no crates.io.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::{evaluate, Allowlist, Evaluation};
+use rules::{scan_file, FileContext, Finding};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The result of linting a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Pragma- and test-region-filtered findings, in path order.
+    pub findings: Vec<Finding>,
+    /// Allowlist reconciliation (errors + allowed counts).
+    pub evaluation: Evaluation,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// Clean means zero errors after allowlist reconciliation.
+    pub fn is_clean(&self) -> bool {
+        self.evaluation.errors.is_empty()
+    }
+}
+
+/// Collect the workspace's Rust sources under `root`, repo-relative and
+/// sorted: each crate's `src/`, `tests/`, and `benches/`, plus the root
+/// crate's `src/`, `tests/`, and `examples/`. Fixture trees (anything
+/// outside those directories, e.g. `crates/lint/fixtures/`) are not
+/// workspace sources and are skipped.
+pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let crate_dirs = list_dir(&crates_dir)?.into_iter().filter(|p| p.is_dir());
+    for crate_dir in crate_dirs {
+        for sub in ["src", "tests", "benches"] {
+            collect_rs(&crate_dir.join(sub), &mut files);
+        }
+    }
+    for sub in ["src", "tests", "examples"] {
+        collect_rs(&root.join(sub), &mut files);
+    }
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .map(|p| p.strip_prefix(root).map(Path::to_path_buf).unwrap_or(p))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn list_dir(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Build the [`FileContext`] for a repo-relative path.
+pub fn file_context(rel: &Path) -> FileContext {
+    let path =
+        rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/");
+    let crate_name = path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("comet")
+        .to_string();
+    FileContext { path, crate_name }
+}
+
+/// Lint the workspace at `root` against `allow`.
+pub fn lint_workspace(root: &Path, allow: &Allowlist) -> Result<Report, String> {
+    let sources = workspace_sources(root)?;
+    let mut findings = Vec::new();
+    let mut files = 0usize;
+    for rel in &sources {
+        let ctx = file_context(rel);
+        let abs = root.join(rel);
+        let src = fs::read(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
+        findings.extend(scan_file(&ctx, &src));
+        files += 1;
+    }
+    let evaluation = evaluate(&findings, allow);
+    Ok(Report { findings, evaluation, files })
+}
+
+/// Load and parse the allowlist at `path`; a missing file is an empty
+/// allowlist (useful for fixture-driven tests).
+pub fn load_allowlist(path: &Path) -> Result<Allowlist, String> {
+    if !path.exists() {
+        return Ok(Allowlist::default());
+    }
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    config::parse_allowlist(&text)
+}

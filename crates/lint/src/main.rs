@@ -1,0 +1,86 @@
+//! The `comet-lint` CLI: `cargo run -p comet-lint --release` from the
+//! workspace root. Exit code 0 means the workspace satisfies every rule
+//! (given `lint.toml`); 1 means violations; 2 means the linter itself
+//! could not run (bad arguments, unreadable files, malformed allowlist).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: comet-lint [--root DIR] [--config FILE] [--list] [--print-baseline]
+
+  --root DIR         workspace root to scan (default: .)
+  --config FILE      allowlist path (default: <root>/lint.toml)
+  --list             print every finding, including allowlisted ones
+  --print-baseline   print [[allow]] entries for all current findings
+                     (the starting point for a new lint.toml baseline)";
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    list: bool,
+    print_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { root: PathBuf::from("."), config: None, list: false, print_baseline: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => args.root = it.next().ok_or("--root needs a value")?.into(),
+            "--config" => args.config = Some(it.next().ok_or("--config needs a value")?.into()),
+            "--list" => args.list = true,
+            "--print-baseline" => args.print_baseline = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if !args.root.join("Cargo.toml").exists() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml); pass --root",
+            args.root.display()
+        ));
+    }
+    let config_path = args.config.clone().unwrap_or_else(|| args.root.join("lint.toml"));
+    let allow = comet_lint::load_allowlist(&config_path)?;
+    let report = comet_lint::lint_workspace(&args.root, &allow)?;
+
+    if args.print_baseline {
+        print!("{}", comet_lint::config::render_baseline(&report.findings));
+        return Ok(true);
+    }
+    if args.list {
+        for f in &report.findings {
+            println!("{f}");
+        }
+    }
+    for err in &report.evaluation.errors {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "comet-lint: {} files scanned, {} findings ({} allowlisted, burn-down total {}), {} error(s)",
+        report.files,
+        report.findings.len(),
+        report.evaluation.allowed,
+        allow.burn_down_total(),
+        report.evaluation.errors.len()
+    );
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! The COMET rule catalogue (D1–D6) and the per-file scan driver.
+//!
+//! Rules operate on the token stream from [`crate::lexer`], so nothing in
+//! a comment or string literal can trigger them, plus two side tables:
+//! `// comet-lint: allow(..)` pragmas harvested from comments, and
+//! test-region token ranges (`#[cfg(test)]` modules, `#[test]` functions)
+//! where determinism and error-handling rules do not apply.
+
+use crate::lexer::{lex, Comment, Tok, Token};
+use std::fmt;
+
+/// The six COMET invariant rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No `HashMap`/`HashSet` in trace-affecting crates: iteration order
+    /// is seeded per-process, so any iteration (now or added later) can
+    /// silently reorder trace-affecting work. Use `BTreeMap`/`BTreeSet`,
+    /// or sort before iterating and carry a pragma.
+    D1,
+    /// No `partial_cmp` sorts or `f64::max`/`f64::min` on score-like
+    /// values: NaN either panics the comparator or silently drops out of
+    /// the reduction. Use `total_cmp` or the NaN-sanitized helpers.
+    D2,
+    /// No entropy or wall-clock sources outside `comet-obs` and bench
+    /// binaries: all randomness must derive from the session seed.
+    D3,
+    /// No `.unwrap()`/`.expect()`/`panic!` in non-test library code: use
+    /// the `CometError` taxonomy.
+    D4,
+    /// Every `unsafe` must carry a `// SAFETY:` comment.
+    D5,
+    /// No raw `sum::<f64>()`/`.fold(0.0, ..)` float reductions in the
+    /// `comet-ml`/`comet-bayes` hot paths: accumulation order is part of
+    /// the trace contract, so route through the fixed-order `kernels`
+    /// primitives.
+    D6,
+}
+
+pub const ALL_RULES: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6];
+
+impl Rule {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::D5 => "D5",
+            Rule::D6 => "D6",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "D1" | "d1" => Some(Rule::D1),
+            "D2" | "d2" => Some(Rule::D2),
+            "D3" | "d3" => Some(Rule::D3),
+            "D4" | "d4" => Some(Rule::D4),
+            "D5" | "d5" => Some(Rule::D5),
+            "D6" | "d6" => Some(Rule::D6),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One diagnostic: `file:line:col: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: {}: {}", self.file, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// What the scanner needs to know about a file beyond its bytes.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Repo-relative path with forward slashes (diagnostic + allowlist key).
+    pub path: String,
+    /// Workspace crate directory name (`core`, `ml`, …; `comet` for the
+    /// root crate).
+    pub crate_name: String,
+}
+
+/// Crates whose source participates in producing the cleaning trace: any
+/// order-of-iteration or NaN-comparison slip here changes recommendations.
+const TRACE_AFFECTING: [&str; 6] = ["core", "ml", "bayes", "jenga", "baselines", "frame"];
+
+/// Crates allowed to read wall clocks / entropy: the observability layer,
+/// the timing shim, and bench binaries measure time *by design*.
+const TIMING_EXEMPT: [&str; 3] = ["obs", "criterion", "bench"];
+
+/// Crates whose float reductions sit on the evaluation hot path and must
+/// use the fixed-order `kernels` primitives.
+const HOT_PATH: [&str; 2] = ["ml", "bayes"];
+
+impl FileContext {
+    fn trace_affecting(&self) -> bool {
+        TRACE_AFFECTING.contains(&self.crate_name.as_str())
+    }
+
+    fn timing_exempt(&self) -> bool {
+        TIMING_EXEMPT.contains(&self.crate_name.as_str())
+    }
+
+    fn hot_path(&self) -> bool {
+        HOT_PATH.contains(&self.crate_name.as_str()) && !self.path.ends_with("kernels.rs")
+    }
+
+    /// Test-ish files: integration tests, benches, examples.
+    fn is_test_file(&self) -> bool {
+        self.path.split('/').any(|c| c == "tests" || c == "benches" || c == "examples")
+    }
+
+    /// Binary targets (`src/bin/*`, `main.rs`).
+    fn is_bin(&self) -> bool {
+        self.path.contains("/src/bin/") || self.path.ends_with("main.rs")
+    }
+
+    /// Non-test library code: where D4 (typed errors) applies.
+    fn is_library(&self) -> bool {
+        !self.is_test_file() && !self.is_bin()
+    }
+}
+
+/// Scan one file's source and return its (pragma- and test-region-
+/// filtered) findings.
+pub fn scan_file(ctx: &FileContext, src: &[u8]) -> Vec<Finding> {
+    let lexed = lex(src);
+    let pragmas = collect_pragmas(&lexed.comments);
+    let (whole_file_test, test_ranges) = test_regions(&lexed.tokens);
+    let matcher = Matcher { ctx, ts: &lexed.tokens, comments: &lexed.comments };
+    let mut findings = Vec::new();
+    for (k, raw) in matcher.scan() {
+        let in_test = whole_file_test
+            || ctx.is_test_file()
+            || test_ranges.iter().any(|&(a, b)| k >= a && k <= b);
+        // D5 (`SAFETY:` comments) holds even in test code — unsafe is
+        // unsafe wherever it compiles. Every other rule guards the
+        // production trace and stands down inside tests.
+        if in_test && raw.rule != Rule::D5 {
+            continue;
+        }
+        if pragmas.iter().any(|p| p.suppresses(raw.rule, raw.line)) {
+            continue;
+        }
+        findings.push(raw);
+    }
+    findings
+}
+
+/// A `// comet-lint: allow(D1, D4)` pragma: suppresses those rules on the
+/// comment's own lines and on the first line after it.
+#[derive(Debug)]
+struct Pragma {
+    rules: Vec<Rule>,
+    all: bool,
+    first_line: u32,
+    last_line: u32,
+}
+
+impl Pragma {
+    fn suppresses(&self, rule: Rule, line: u32) -> bool {
+        (self.all || self.rules.contains(&rule))
+            && line >= self.first_line
+            && line <= self.last_line + 1
+    }
+}
+
+fn collect_pragmas(comments: &[Comment]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("comet-lint:") else { continue };
+        let rest = &c.text[at + "comet-lint:".len()..];
+        let Some(open) = rest.find("allow(") else { continue };
+        let args = &rest[open + "allow(".len()..];
+        let Some(close) = args.find(')') else { continue };
+        let mut rules = Vec::new();
+        let mut all = false;
+        for part in args[..close].split(',') {
+            let part = part.trim();
+            if part.eq_ignore_ascii_case("all") {
+                all = true;
+            } else if let Some(r) = Rule::parse(part) {
+                rules.push(r);
+            }
+        }
+        if all || !rules.is_empty() {
+            out.push(Pragma { rules, all, first_line: c.line, last_line: c.end_line });
+        }
+    }
+    out
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` / `#[test]` / `#[bench]`
+/// items, plus whether a `#![cfg(test)]` inner attribute marks the whole
+/// file as test code.
+fn test_regions(ts: &[Token]) -> (bool, Vec<(usize, usize)>) {
+    let mut ranges = Vec::new();
+    let mut whole_file = false;
+    let mut k = 0;
+    while k < ts.len() {
+        if !is_punct(ts, k, b'#') {
+            k += 1;
+            continue;
+        }
+        let inner = is_punct(ts, k + 1, b'!');
+        let open = if inner { k + 2 } else { k + 1 };
+        if !is_punct(ts, open, b'[') {
+            k += 1;
+            continue;
+        }
+        let Some(close) = matching(ts, open, b'[', b']') else {
+            k += 1;
+            continue;
+        };
+        if !attr_is_test(&ts[open..=close]) {
+            k = close + 1;
+            continue;
+        }
+        if inner {
+            whole_file = true;
+            k = close + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut at = close + 1;
+        while is_punct(ts, at, b'#') && is_punct(ts, at + 1, b'[') {
+            match matching(ts, at + 1, b'[', b']') {
+                Some(c) => at = c + 1,
+                None => break,
+            }
+        }
+        // The item body is the first brace block before a `;` (a `;`
+        // first means a body-less item like `mod tests;` — nothing to
+        // mark in this file).
+        let mut body_open = None;
+        let mut j = at;
+        while j < ts.len() {
+            match ts[j].tok {
+                Tok::Punct(b'{') => {
+                    body_open = Some(j);
+                    break;
+                }
+                Tok::Punct(b';') => break,
+                _ => j += 1,
+            }
+        }
+        if let Some(bo) = body_open {
+            if let Some(bc) = matching(ts, bo, b'{', b'}') {
+                ranges.push((k, bc));
+                k = bc + 1;
+                continue;
+            }
+            // Unterminated body: conservatively treat the rest of the
+            // file as part of the test item.
+            ranges.push((k, ts.len().saturating_sub(1)));
+            break;
+        }
+        k = close + 1;
+    }
+    (whole_file, ranges)
+}
+
+/// Does an attribute token slice (`[` .. `]`) gate on `test`?
+/// `#[test]`, `#[bench]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]` do;
+/// `#[cfg(not(test))]` does not (it is the *non*-test configuration).
+fn attr_is_test(attr: &[Token]) -> bool {
+    let mut saw_test = false;
+    for t in attr {
+        if let Tok::Ident(id) = &t.tok {
+            match id.as_str() {
+                "not" => return false,
+                "test" | "bench" => saw_test = true,
+                _ => {}
+            }
+        }
+    }
+    saw_test
+}
+
+fn is_punct(ts: &[Token], k: usize, b: u8) -> bool {
+    matches!(ts.get(k), Some(t) if t.tok == Tok::Punct(b))
+}
+
+fn ident_at(ts: &[Token], k: usize) -> Option<&str> {
+    match ts.get(k) {
+        Some(Token { tok: Tok::Ident(s), .. }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_float_at(ts: &[Token], k: usize) -> bool {
+    matches!(ts.get(k), Some(Token { tok: Tok::Number { is_float: true }, .. }))
+}
+
+/// Find the index of the token closing the bracket opened at `open`.
+fn matching(ts: &[Token], open: usize, ob: u8, cb: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in ts.iter().enumerate().skip(open) {
+        if t.tok == Tok::Punct(ob) {
+            depth += 1;
+        } else if t.tok == Tok::Punct(cb) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+struct Matcher<'a> {
+    ctx: &'a FileContext,
+    ts: &'a [Token],
+    comments: &'a [Comment],
+}
+
+impl Matcher<'_> {
+    /// Run every applicable rule; returns `(token index, finding)` pairs
+    /// *before* pragma/test-region filtering.
+    fn scan(&self) -> Vec<(usize, Finding)> {
+        let mut out = Vec::new();
+        let mut in_use = false; // inside a `use …;` declaration
+        for k in 0..self.ts.len() {
+            if ident_at(self.ts, k) == Some("use") {
+                in_use = true;
+            } else if is_punct(self.ts, k, b';') {
+                in_use = false;
+            }
+            self.d1(k, in_use, &mut out);
+            self.d2(k, &mut out);
+            self.d3(k, &mut out);
+            self.d4(k, &mut out);
+            self.d5(k, &mut out);
+            self.d6(k, &mut out);
+        }
+        out
+    }
+
+    fn emit(&self, out: &mut Vec<(usize, Finding)>, k: usize, rule: Rule, message: String) {
+        let t = &self.ts[k];
+        out.push((
+            k,
+            Finding { rule, file: self.ctx.path.clone(), line: t.line, col: t.col, message },
+        ));
+    }
+
+    fn d1(&self, k: usize, in_use: bool, out: &mut Vec<(usize, Finding)>) {
+        if !self.ctx.trace_affecting() || in_use {
+            return;
+        }
+        if let Some(id @ ("HashMap" | "HashSet")) = ident_at(self.ts, k) {
+            self.emit(
+                out,
+                k,
+                Rule::D1,
+                format!(
+                    "`{id}` in a trace-affecting crate: iteration order is seeded \
+                     per-process; use `BTree{}` or sort before iterating",
+                    &id[4..]
+                ),
+            );
+        }
+    }
+
+    fn d2(&self, k: usize, out: &mut Vec<(usize, Finding)>) {
+        if !self.ctx.trace_affecting() {
+            return;
+        }
+        let ts = self.ts;
+        if ident_at(ts, k) == Some("partial_cmp") {
+            self.emit(
+                out,
+                k,
+                Rule::D2,
+                "`partial_cmp` on floats panics or mis-sorts on NaN; use `total_cmp` \
+                 over a NaN-sanitized key"
+                    .into(),
+            );
+            return;
+        }
+        if ident_at(ts, k) == Some("f64") && is_punct(ts, k + 1, b':') && is_punct(ts, k + 2, b':')
+        {
+            if let Some(m @ ("max" | "min")) = ident_at(ts, k + 3) {
+                self.emit(
+                    out,
+                    k,
+                    Rule::D2,
+                    format!(
+                        "`f64::{m}` silently drops NaN out of reductions; use a \
+                         `total_cmp` fold or the NaN-sanitized helpers"
+                    ),
+                );
+                return;
+            }
+        }
+        if is_punct(ts, k, b'.') && is_punct(ts, k + 2, b'(') {
+            if let Some(m @ ("max" | "min")) = ident_at(ts, k + 1) {
+                if is_float_at(ts, k + 3) || ident_at(ts, k + 3) == Some("f64") {
+                    self.emit(
+                        out,
+                        k + 1,
+                        Rule::D2,
+                        format!(
+                            "float `.{m}(..)` ignores a NaN receiver; use `total_cmp` \
+                             or the NaN-sanitized helpers"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn d3(&self, k: usize, out: &mut Vec<(usize, Finding)>) {
+        if self.ctx.timing_exempt() {
+            return;
+        }
+        let ts = self.ts;
+        if let Some(id @ ("thread_rng" | "from_entropy" | "OsRng" | "getrandom" | "SystemTime")) =
+            ident_at(ts, k)
+        {
+            self.emit(
+                out,
+                k,
+                Rule::D3,
+                format!(
+                    "`{id}` is an entropy/wall-clock source; all randomness must \
+                     derive from the session seed (comet-obs and bench binaries only)"
+                ),
+            );
+            return;
+        }
+        if ident_at(ts, k) == Some("Instant")
+            && is_punct(ts, k + 1, b':')
+            && is_punct(ts, k + 2, b':')
+            && ident_at(ts, k + 3) == Some("now")
+        {
+            self.emit(
+                out,
+                k,
+                Rule::D3,
+                "`Instant::now` reads the wall clock; timing belongs to comet-obs \
+                 and bench binaries (pragma observability spans that never feed \
+                 trace decisions)"
+                    .into(),
+            );
+        }
+    }
+
+    fn d4(&self, k: usize, out: &mut Vec<(usize, Finding)>) {
+        if !self.ctx.is_library() {
+            return;
+        }
+        let ts = self.ts;
+        if is_punct(ts, k, b'.') && is_punct(ts, k + 2, b'(') {
+            if let Some(m @ ("unwrap" | "expect")) = ident_at(ts, k + 1) {
+                self.emit(
+                    out,
+                    k + 1,
+                    Rule::D4,
+                    format!("`.{m}(..)` in library code panics the session; return a `CometError`"),
+                );
+                return;
+            }
+        }
+        if let Some(id @ ("panic" | "unreachable" | "todo" | "unimplemented")) = ident_at(ts, k) {
+            if is_punct(ts, k + 1, b'!') {
+                self.emit(
+                    out,
+                    k,
+                    Rule::D4,
+                    format!("`{id}!` in library code aborts the session; return a `CometError`"),
+                );
+            }
+        }
+    }
+
+    fn d5(&self, k: usize, out: &mut Vec<(usize, Finding)>) {
+        if ident_at(self.ts, k) != Some("unsafe") {
+            return;
+        }
+        let line = self.ts[k].line;
+        let documented = self
+            .comments
+            .iter()
+            .any(|c| c.text.contains("SAFETY:") && c.end_line <= line && c.end_line + 3 >= line);
+        if !documented {
+            self.emit(
+                out,
+                k,
+                Rule::D5,
+                "`unsafe` without a `// SAFETY:` comment on the preceding lines".into(),
+            );
+        }
+    }
+
+    fn d6(&self, k: usize, out: &mut Vec<(usize, Finding)>) {
+        if !self.ctx.hot_path() {
+            return;
+        }
+        let ts = self.ts;
+        if ident_at(ts, k) == Some("sum")
+            && is_punct(ts, k + 1, b':')
+            && is_punct(ts, k + 2, b':')
+            && is_punct(ts, k + 3, b'<')
+            && ident_at(ts, k + 4) == Some("f64")
+        {
+            self.emit(
+                out,
+                k,
+                Rule::D6,
+                "raw `sum::<f64>()` reduction in a hot-path crate; accumulation order \
+                 is part of the trace contract — use the fixed-order `kernels` primitives"
+                    .into(),
+            );
+            return;
+        }
+        if is_punct(ts, k, b'.')
+            && ident_at(ts, k + 1) == Some("fold")
+            && is_punct(ts, k + 2, b'(')
+            && (is_float_at(ts, k + 3) || ident_at(ts, k + 3) == Some("f64"))
+        {
+            self.emit(
+                out,
+                k + 1,
+                Rule::D6,
+                "raw float `.fold(..)` reduction in a hot-path crate; use the \
+                 fixed-order `kernels` primitives"
+                    .into(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str) -> FileContext {
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|p| p.split('/').next())
+            .unwrap_or("comet")
+            .to_string();
+        FileContext { path: path.to_string(), crate_name }
+    }
+
+    fn rules_found(path: &str, src: &str) -> Vec<Rule> {
+        scan_file(&ctx(path), src.as_bytes()).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn use_declarations_are_not_d1_findings() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }";
+        let found = rules_found("crates/core/src/x.rs", src);
+        assert_eq!(found, vec![Rule::D1, Rule::D1]);
+    }
+
+    #[test]
+    fn non_trace_crates_skip_d1_d2_d6() {
+        let src = "fn f() { let m = HashMap::new(); a.partial_cmp(b); x.iter().sum::<f64>(); }";
+        assert!(rules_found("crates/obs/src/x.rs", src).is_empty());
+        assert_eq!(rules_found("crates/core/src/x.rs", src).len(), 2); // D1 + D2; D6 is ml/bayes only
+    }
+
+    #[test]
+    fn test_regions_stand_down_except_d5() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); unsafe { y(); } }\n}";
+        let found = rules_found("crates/core/src/x.rs", src);
+        assert_eq!(found, vec![Rule::D5]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }";
+        assert_eq!(rules_found("crates/core/src/x.rs", src), vec![Rule::D4]);
+    }
+
+    #[test]
+    fn pragmas_suppress_next_line_only() {
+        let src = "fn f() {\n    // comet-lint: allow(D4)\n    x.unwrap();\n    y.unwrap();\n}";
+        let found = scan_file(&ctx("crates/core/src/x.rs"), src.as_bytes());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 4);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_d5() {
+        let ok = "// SAFETY: the slice is checked above.\nunsafe { f(); }";
+        assert!(rules_found("crates/ml/src/x.rs", ok).is_empty());
+        let bad = "unsafe { f(); }";
+        assert_eq!(rules_found("crates/ml/src/x.rs", bad), vec![Rule::D5]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_d4() {
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 0); x.unwrap_or_default(); }";
+        assert!(rules_found("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_path_segments_are_not_d4() {
+        let src = "fn f() { std::panic::catch_unwind(|| 1); }";
+        assert!(rules_found("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! The lexer and the full scan pipeline must be total: arbitrary byte soup
+//! (including invalid UTF-8, unterminated literals, and stray quotes) must
+//! never panic, and token/comment positions must stay in bounds.
+
+use comet_lint::lexer::lex;
+use comet_lint::rules::{scan_file, FileContext};
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(bytes in proptest::prop::collection::vec(0u8..=255u8, 0..512)) {
+        let lexed = lex(&bytes);
+        let nlines = bytes.iter().filter(|&&b| b == b'\n').count() as u32 + 1;
+        for t in &lexed.tokens {
+            proptest::prop_assert!(t.line >= 1 && t.line <= nlines, "token line {} of {nlines}", t.line);
+            proptest::prop_assert!(t.col >= 1);
+        }
+        for c in &lexed.comments {
+            proptest::prop_assert!(c.line >= 1 && c.end_line <= nlines);
+        }
+    }
+
+    #[test]
+    fn scan_never_panics_on_arbitrary_bytes(bytes in proptest::prop::collection::vec(0u8..=255u8, 0..512)) {
+        let ctx = FileContext {
+            path: "crates/ml/src/soup.rs".to_string(),
+            crate_name: "ml".to_string(),
+        };
+        let findings = scan_file(&ctx, &bytes);
+        for f in &findings {
+            proptest::prop_assert!(f.line >= 1);
+        }
+    }
+
+    #[test]
+    fn lexer_never_panics_on_quote_heavy_soup(
+        bytes in proptest::prop::collection::vec(0u8..=8u8, 0..256),
+    ) {
+        // Map a narrow byte range onto the trickiest characters so raw
+        // strings, chars, lifetimes and comments collide constantly.
+        let tricky: &[u8] = b"\"'r#b/*\n\\";
+        let src: Vec<u8> = bytes.iter().map(|&b| tricky[b as usize % tricky.len()]).collect();
+        let _ = lex(&src);
+    }
+}

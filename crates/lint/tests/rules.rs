@@ -1,0 +1,209 @@
+//! Fixture-driven true-positive / true-negative coverage for every rule,
+//! pragma and allowlist handling, and the workspace burn-down ratchet.
+
+use comet_lint::config::{evaluate, parse_allowlist};
+use comet_lint::rules::{scan_file, FileContext, Finding, Rule};
+use std::path::Path;
+
+/// The checked-in `lint.toml` burn-down total. Lowering it (migrating debt
+/// to `CometError`) means updating this constant in the same change; CI
+/// fails if the allowlist grows OR silently shrinks without review.
+const EXPECTED_BURN_DOWN: usize = 20;
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Scan a fixture as if it lived at `crates/<crate_name>/src/fixture.rs`.
+fn scan(name: &str, crate_name: &str) -> Vec<Finding> {
+    let ctx = FileContext {
+        path: format!("crates/{crate_name}/src/fixture.rs"),
+        crate_name: crate_name.to_string(),
+    };
+    scan_file(&ctx, &fixture(name))
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// --- true positives: each rule fires on its dedicated fixture ---
+
+#[test]
+fn d1_fires_on_hash_collections_in_trace_affecting_crate() {
+    let found = scan("tp_d1.rs", "core");
+    assert!(rules_of(&found).contains(&Rule::D1), "{found:?}");
+    // Both the HashMap and the HashSet body mentions fire; uses are exempt.
+    assert!(found.iter().filter(|f| f.rule == Rule::D1).count() >= 2, "{found:?}");
+}
+
+#[test]
+fn d2_fires_on_partial_cmp_and_f64_max() {
+    let found = scan("tp_d2.rs", "ml");
+    assert!(found.iter().filter(|f| f.rule == Rule::D2).count() >= 2, "{found:?}");
+}
+
+#[test]
+fn d3_fires_on_instant_and_thread_rng() {
+    let found = scan("tp_d3.rs", "core");
+    assert!(found.iter().filter(|f| f.rule == Rule::D3).count() >= 2, "{found:?}");
+}
+
+#[test]
+fn d4_fires_on_unwrap_expect_and_panic() {
+    let found = scan("tp_d4.rs", "core");
+    assert!(found.iter().filter(|f| f.rule == Rule::D4).count() >= 3, "{found:?}");
+}
+
+#[test]
+fn d5_fires_on_unjustified_unsafe() {
+    let found = scan("tp_d5.rs", "ml");
+    assert!(rules_of(&found).contains(&Rule::D5), "{found:?}");
+}
+
+#[test]
+fn d6_fires_on_raw_float_reductions_in_hot_path() {
+    let found = scan("tp_d6.rs", "ml");
+    assert!(found.iter().filter(|f| f.rule == Rule::D6).count() >= 2, "{found:?}");
+}
+
+// --- true negatives: the clean twin of each fixture stays clean ---
+
+#[test]
+fn clean_fixtures_produce_no_findings() {
+    for name in ["tn_d1.rs", "tn_d2.rs", "tn_d3.rs", "tn_d5.rs", "tn_d6.rs"] {
+        let found = scan(name, "ml");
+        assert!(found.is_empty(), "{name}: {found:?}");
+    }
+    // tn_d4.rs keeps an unwrap inside #[cfg(test)], which is exempt.
+    let found = scan("tn_d4.rs", "core");
+    assert!(found.is_empty(), "tn_d4.rs: {found:?}");
+}
+
+// --- scoping: the same source is clean outside a rule's scope ---
+
+#[test]
+fn d1_ignores_hash_collections_outside_trace_affecting_crates() {
+    let found = scan("tp_d1.rs", "obs");
+    assert!(!rules_of(&found).contains(&Rule::D1), "{found:?}");
+}
+
+#[test]
+fn d3_allows_timing_in_obs() {
+    let found = scan("tp_d3.rs", "obs");
+    assert!(!rules_of(&found).contains(&Rule::D3), "{found:?}");
+}
+
+#[test]
+fn d4_skips_test_and_bench_files() {
+    let ctx = FileContext {
+        path: "crates/core/tests/fixture.rs".to_string(),
+        crate_name: "core".to_string(),
+    };
+    let found = scan_file(&ctx, &fixture("tp_d4.rs"));
+    assert!(!rules_of(&found).contains(&Rule::D4), "{found:?}");
+}
+
+#[test]
+fn d6_only_applies_to_hot_path_crates() {
+    let found = scan("tp_d6.rs", "core");
+    assert!(!rules_of(&found).contains(&Rule::D6), "{found:?}");
+}
+
+// --- pragmas ---
+
+#[test]
+fn pragma_suppresses_next_line_for_named_rule() {
+    let src = b"pub fn f(xs: &[u32]) -> u32 {\n    // comet-lint: allow(D4) \xe2\x80\x94 reason\n    *xs.first().unwrap()\n}\n";
+    let ctx = FileContext { path: "crates/core/src/x.rs".into(), crate_name: "core".into() };
+    assert!(scan_file(&ctx, src).is_empty());
+}
+
+#[test]
+fn pragma_for_other_rule_does_not_suppress() {
+    let src = b"pub fn f(xs: &[u32]) -> u32 {\n    // comet-lint: allow(D2) \xe2\x80\x94 wrong rule\n    *xs.first().unwrap()\n}\n";
+    let ctx = FileContext { path: "crates/core/src/x.rs".into(), crate_name: "core".into() };
+    let found = scan_file(&ctx, src);
+    assert!(rules_of(&found).contains(&Rule::D4), "{found:?}");
+}
+
+#[test]
+fn pragma_does_not_leak_past_the_next_line() {
+    let src = b"pub fn f(xs: &[u32]) -> u32 {\n    // comet-lint: allow(D4) \xe2\x80\x94 only the next line\n    let a = *xs.first().unwrap();\n    a + *xs.get(1).unwrap()\n}\n";
+    let ctx = FileContext { path: "crates/core/src/x.rs".into(), crate_name: "core".into() };
+    let found = scan_file(&ctx, src);
+    assert_eq!(found.iter().filter(|f| f.rule == Rule::D4).count(), 1, "{found:?}");
+}
+
+// --- allowlist reconciliation ---
+
+#[test]
+fn allowlist_absorbs_exact_count_and_flags_growth() {
+    let findings = scan("tp_d5.rs", "ml");
+    let n = findings.len();
+    let exact = parse_allowlist(&format!(
+        "[[allow]]\nrule = \"D5\"\nfile = \"crates/ml/src/fixture.rs\"\ncount = {n}\nreason = \"debt\"\n"
+    ))
+    .unwrap();
+    let eval = evaluate(&findings, &exact);
+    assert!(eval.errors.is_empty(), "{:?}", eval.errors);
+    assert_eq!(eval.allowed, n);
+
+    let tight = parse_allowlist(
+        "[[allow]]\nrule = \"D5\"\nfile = \"crates/ml/src/fixture.rs\"\ncount = 0\nreason = \"debt\"\n",
+    )
+    .unwrap();
+    assert!(!evaluate(&findings, &tight).errors.is_empty());
+}
+
+#[test]
+fn stale_allowlist_entries_force_a_ratchet_down() {
+    let findings = scan("tp_d5.rs", "ml");
+    let n = findings.len();
+    let slack = parse_allowlist(&format!(
+        "[[allow]]\nrule = \"D5\"\nfile = \"crates/ml/src/fixture.rs\"\ncount = {}\nreason = \"debt\"\n",
+        n + 3
+    ))
+    .unwrap();
+    let eval = evaluate(&findings, &slack);
+    assert!(
+        eval.errors.iter().any(|e| e.contains("stale")),
+        "expected a stale-entry error: {:?}",
+        eval.errors
+    );
+}
+
+// --- the repository itself ---
+
+fn repo_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+#[test]
+fn workspace_is_clean_under_checked_in_allowlist() {
+    let root = repo_root();
+    let allow = comet_lint::load_allowlist(&root.join("lint.toml")).unwrap();
+    let report = comet_lint::lint_workspace(&root, &allow).unwrap();
+    assert!(report.is_clean(), "workspace lint errors: {:#?}", report.evaluation.errors);
+    assert!(report.files > 50, "suspiciously few files scanned: {}", report.files);
+}
+
+#[test]
+fn burn_down_total_is_ratcheted() {
+    let root = repo_root();
+    let allow = comet_lint::load_allowlist(&root.join("lint.toml")).unwrap();
+    assert_eq!(
+        allow.burn_down_total(),
+        EXPECTED_BURN_DOWN,
+        "lint.toml burn-down changed; if it went DOWN, update EXPECTED_BURN_DOWN \
+         (good!), if it went UP, fix the new violation instead of allowlisting it"
+    );
+    for entry in &allow.entries {
+        assert!(
+            !entry.reason.trim().is_empty(),
+            "allowlist entry for {} has no reason",
+            entry.file
+        );
+    }
+}

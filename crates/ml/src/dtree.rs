@@ -76,6 +76,7 @@ impl DecisionTreeClassifier {
             return 0.0;
         }
         let n = n as f64;
+        // comet-lint: allow(D6) — gini impurity over <= n_classes counts in fixed class order
         1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
     }
 
@@ -132,9 +133,9 @@ impl DecisionTreeClassifier {
         let mut order = rows.clone();
         let mut left_counts = vec![0usize; self.n_classes];
         for &feature in &features {
-            order.sort_by(|&a, &b| {
-                x.get(a, feature).partial_cmp(&x.get(b, feature)).expect("finite features")
-            });
+            // `total_cmp`: a NaN feature (dirty numeric cell) must sort
+            // deterministically instead of panicking mid-fit (D2).
+            order.sort_by(|&a, &b| x.get(a, feature).total_cmp(&x.get(b, feature)));
             left_counts.iter_mut().for_each(|c| *c = 0);
             for i in 0..n - 1 {
                 left_counts[y[order[i]] as usize] += 1;

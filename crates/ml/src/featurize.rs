@@ -77,9 +77,11 @@ pub struct FeatureCacheStats {
 #[derive(Debug, Default)]
 struct FeatureCacheInner {
     /// Column content fingerprint → fitted stats.
+    // comet-lint: allow(D1) — lookup-only memo; never iterated, so order cannot leak into a trace
     stats: HashMap<u64, SpecStats>,
     /// (spec params key, column content fingerprint) → dense transformed
     /// block, row-major `nrows × spec.width()`.
+    // comet-lint: allow(D1) — lookup-only memo; eviction clears wholesale rather than iterating
     blocks: HashMap<(u64, u64), Arc<Vec<f64>>>,
     block_hits: u64,
     block_misses: u64,
@@ -116,14 +118,14 @@ impl FeatureCache {
 
     /// Drop every entry (counters survive; they describe the process run).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("unpoisoned feature cache");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.stats.clear();
         inner.blocks.clear();
     }
 
     /// Occupancy and hit/miss counters.
     pub fn stats(&self) -> FeatureCacheStats {
-        let inner = self.inner.lock().expect("unpoisoned feature cache");
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         FeatureCacheStats {
             spec_entries: inner.stats.len(),
             block_entries: inner.blocks.len(),
@@ -133,11 +135,11 @@ impl FeatureCache {
     }
 
     fn lookup_stats(&self, fp: u64) -> Option<SpecStats> {
-        self.inner.lock().expect("unpoisoned feature cache").stats.get(&fp).copied()
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats.get(&fp).copied()
     }
 
     fn insert_stats(&self, fp: u64, stats: SpecStats) {
-        let mut inner = self.inner.lock().expect("unpoisoned feature cache");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if inner.stats.len() >= SPEC_CACHE_CAP {
             inner.stats.clear();
         }
@@ -145,7 +147,7 @@ impl FeatureCache {
     }
 
     fn lookup_block(&self, key: (u64, u64)) -> Option<Arc<Vec<f64>>> {
-        let mut inner = self.inner.lock().expect("unpoisoned feature cache");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         match inner.blocks.get(&key) {
             Some(block) => {
                 let block = Arc::clone(block);
@@ -164,7 +166,7 @@ impl FeatureCache {
     }
 
     fn insert_block(&self, key: (u64, u64), block: Arc<Vec<f64>>) {
-        let mut inner = self.inner.lock().expect("unpoisoned feature cache");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if inner.blocks.len() >= BLOCK_CACHE_CAP {
             inner.blocks.clear();
         }

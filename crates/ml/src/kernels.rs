@@ -167,6 +167,26 @@ pub fn matmul(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64
     }
 }
 
+/// NaN-safe maximum over a slice in fixed left-to-right order.
+///
+/// NaN entries are sanitized to `-∞` ("no information") so they can never
+/// poison or win the reduction — unlike `f64::max`, which silently drops
+/// NaN from whichever side it lands on, and unlike raw `total_cmp`, which
+/// would rank `+NaN` above `+∞`. Returns `-∞` for an empty or all-NaN
+/// slice. This is the D2-sanctioned way to take a max over score-like
+/// values.
+#[inline]
+pub fn max_sanitized(xs: &[f64]) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    for &x in xs {
+        let x = if x.is_nan() { f64::NEG_INFINITY } else { x };
+        if x > best {
+            best = x;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +197,16 @@ mod tests {
 
     fn seq(n: usize, scale: f64) -> Vec<f64> {
         (0..n).map(|i| (i as f64 * 0.37 - 1.5) * scale).collect()
+    }
+
+    #[test]
+    fn max_sanitized_ignores_nan_and_handles_empty() {
+        assert_eq!(max_sanitized(&[1.0, 3.0, 2.0]), 3.0);
+        assert_eq!(max_sanitized(&[1.0, f64::NAN, 2.0]), 2.0);
+        assert_eq!(max_sanitized(&[f64::NAN; 3]), f64::NEG_INFINITY);
+        assert_eq!(max_sanitized(&[]), f64::NEG_INFINITY);
+        // NaN must not outrank +∞ the way raw `total_cmp` would let it.
+        assert_eq!(max_sanitized(&[f64::INFINITY, f64::NAN]), f64::INFINITY);
     }
 
     #[test]

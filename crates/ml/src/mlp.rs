@@ -76,6 +76,7 @@ impl MlpClassifier {
         hidden_out.resize(h, 0.0);
         kernels::matvec_bias(&self.w1, h, self.dim, row, &self.b1, hidden_out);
         for a in hidden_out.iter_mut() {
+            // comet-lint: allow(D2) — ReLU hinge on a finite activation; max(0) is the definition
             *a = a.max(0.0); // ReLU
         }
         scores_out.clear();

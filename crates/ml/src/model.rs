@@ -24,7 +24,7 @@ pub trait Classifier: Send + Sync {
 
 /// Numerically stable softmax (in place).
 pub(crate) fn softmax(scores: &mut [f64]) {
-    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max = crate::kernels::max_sanitized(scores);
     let mut total = 0.0;
     for s in scores.iter_mut() {
         *s = (*s - max).exp();

@@ -96,7 +96,9 @@ impl Classifier for NaiveBayesClassifier {
                 max_var = max_var.max(self.vars[c * d + j]);
             }
         }
+        // comet-lint: allow(D2) — smoothing scale clamp over non-negative variances
         let smoothing = self.params.var_smoothing * max_var.max(1.0);
+        // comet-lint: allow(D2) — epsilon floor keeps Gaussian variances strictly positive
         self.vars.iter_mut().for_each(|v| *v += smoothing.max(1e-12));
 
         // Laplace-smoothed priors keep absent classes representable.

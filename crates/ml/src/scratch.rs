@@ -27,7 +27,7 @@ static POOL: Mutex<Vec<Vec<f64>>> = Mutex::new(Vec::new());
 /// Falls back to a fresh allocation when the pool is empty.
 pub fn take(len: usize) -> Vec<f64> {
     let candidate = {
-        let mut pool = POOL.lock().expect("unpoisoned scratch pool");
+        let mut pool = POOL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         pool.pop()
     };
     match candidate {
@@ -55,7 +55,7 @@ pub fn put(buf: Vec<f64>) {
     if buf.capacity() == 0 {
         return;
     }
-    let mut pool = POOL.lock().expect("unpoisoned scratch pool");
+    let mut pool = POOL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     if pool.len() >= POOL_CAP {
         return; // drop: pool full
     }
@@ -75,12 +75,12 @@ pub fn put_matrix(m: Matrix) {
 
 /// Number of buffers currently pooled (diagnostics/tests).
 pub fn pooled() -> usize {
-    POOL.lock().expect("unpoisoned scratch pool").len()
+    POOL.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
 }
 
 /// Drop every pooled buffer (tests and cold-path benchmarks).
 pub fn clear() {
-    POOL.lock().expect("unpoisoned scratch pool").clear();
+    POOL.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
 }
 
 #[cfg(test)]

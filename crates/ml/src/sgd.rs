@@ -246,11 +246,14 @@ impl Glm {
                 Loss::Hinge => (0..self.n_classes)
                     .map(|c| {
                         let t = if y[i] as usize == c { 1.0 } else { -1.0 };
+                        // comet-lint: allow(D2) — hinge-loss clamp at zero; margins are finite by construction
                         (1.0 - t * scores[c]).max(0.0)
                     })
+                    // comet-lint: allow(D6) — per-class hinge sum, <= n_classes terms in fixed class order
                     .sum::<f64>(),
                 Loss::Logistic => {
                     softmax(&mut scores);
+                    // comet-lint: allow(D2) — log-argument floor on a softmax probability in [0, 1]
                     -(scores[y[i] as usize].max(1e-12)).ln()
                 }
                 Loss::Squared => (0..self.n_classes)
@@ -258,6 +261,7 @@ impl Glm {
                         let target = if y[i] as usize == c { 1.0 } else { 0.0 };
                         0.5 * (scores[c] - target).powi(2)
                     })
+                    // comet-lint: allow(D6) — per-class squared-error sum, <= n_classes terms in fixed class order
                     .sum::<f64>(),
             };
         }

@@ -123,9 +123,17 @@ pub fn shapley_importance<R: Rng + ?Sized>(
 /// Rank group indices by descending Shapley importance.
 pub fn rank_by_importance(importances: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..importances.len()).collect();
-    order.sort_by(|&a, &b| {
-        importances[b].partial_cmp(&importances[a]).expect("finite importances").then(a.cmp(&b))
-    });
+    // `total_cmp` over a NaN-sanitized key: a degenerate metric can emit a
+    // NaN importance, and ranking must neither panic nor let NaN outrank
+    // real contributions (D2). Ties break on index for determinism.
+    let key = |i: usize| {
+        if importances[i].is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            importances[i]
+        }
+    };
+    order.sort_by(|&a, &b| key(b).total_cmp(&key(a)).then(a.cmp(&b)));
     order
 }
 

@@ -52,6 +52,7 @@ impl RegressionTree {
 
     /// Convenience: fit with mean-valued leaves (plain regression tree).
     pub fn fit_mean(x: &Matrix, targets: &[f64], params: TreeParams) -> Self {
+        // comet-lint: allow(D6) — leaf mean over in-node targets; order fixed by row order
         Self::fit(x, targets, params, |vals| vals.iter().sum::<f64>() / vals.len() as f64)
     }
 
@@ -115,9 +116,9 @@ impl RegressionTree {
         for feature in 0..x.ncols() {
             order.clear();
             order.extend_from_slice(rows);
-            order.sort_by(|&a, &b| {
-                x.get(a, feature).partial_cmp(&x.get(b, feature)).expect("finite features")
-            });
+            // `total_cmp`: a NaN feature (dirty numeric cell) must sort
+            // deterministically instead of panicking mid-fit (D2).
+            order.sort_by(|&a, &b| x.get(a, feature).total_cmp(&x.get(b, feature)));
             let mut left_sum = 0.0;
             for i in 0..n - 1 {
                 left_sum += targets[order[i]];

@@ -12,7 +12,7 @@ static SINK: LazyLock<Mutex<Option<Box<dyn Write + Send>>>> = LazyLock::new(|| M
 /// previous writer, flushing buffered output. Returns whether a previous
 /// sink was replaced.
 pub fn set_sink(sink: Option<Box<dyn Write + Send>>) -> bool {
-    let mut slot = SINK.lock().expect("unpoisoned journal sink");
+    let mut slot = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(mut old) = slot.take() {
         let _ = old.flush();
         *slot = sink;
@@ -24,14 +24,14 @@ pub fn set_sink(sink: Option<Box<dyn Write + Send>>) -> bool {
 
 /// Whether a sink is currently installed.
 pub fn has_sink() -> bool {
-    SINK.lock().expect("unpoisoned journal sink").is_some()
+    SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_some()
 }
 
 /// Write one journal line (a newline is appended) and flush, so records
 /// stream out as the run progresses. Returns `false` when no sink is
 /// installed or the write failed; journal I/O must never abort a run.
 pub fn emit(line: &str) -> bool {
-    let mut slot = SINK.lock().expect("unpoisoned journal sink");
+    let mut slot = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let Some(sink) = slot.as_mut() else {
         return false;
     };
@@ -61,13 +61,14 @@ impl SharedBuffer {
 
     /// Copy of the collected bytes as UTF-8 text.
     pub fn contents(&self) -> String {
-        String::from_utf8_lossy(&self.0.lock().expect("unpoisoned shared buffer")).into_owned()
+        String::from_utf8_lossy(&self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+            .into_owned()
     }
 }
 
 impl Write for SharedBuffer {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().expect("unpoisoned shared buffer").extend_from_slice(buf);
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).extend_from_slice(buf);
         Ok(buf.len())
     }
 

@@ -23,6 +23,8 @@
 //! crates and worker threads; [`reset`] restores a clean slate between
 //! runs (the CLI resets before each `--metrics-out` session).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod journal;
 pub mod json;
 
@@ -101,7 +103,7 @@ pub fn counter_add(name: &'static str, delta: u64) {
     if !enabled() {
         return;
     }
-    let mut reg = REGISTRY.lock().expect("unpoisoned registry");
+    let mut reg = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     *reg.counters.entry(name).or_insert(0) += delta;
 }
 
@@ -110,7 +112,7 @@ pub fn gauge_set(name: &'static str, value: f64) {
     if !enabled() {
         return;
     }
-    let mut reg = REGISTRY.lock().expect("unpoisoned registry");
+    let mut reg = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     reg.gauges.insert(name, value);
 }
 
@@ -120,7 +122,7 @@ pub fn gauge_max(name: &'static str, value: f64) {
     if !enabled() {
         return;
     }
-    let mut reg = REGISTRY.lock().expect("unpoisoned registry");
+    let mut reg = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let g = reg.gauges.entry(name).or_insert(f64::NEG_INFINITY);
     if value > *g {
         *g = value;
@@ -134,7 +136,7 @@ pub fn observe_with(name: &'static str, bounds: &'static [f64], value: f64) {
     if !enabled() {
         return;
     }
-    let mut reg = REGISTRY.lock().expect("unpoisoned registry");
+    let mut reg = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     reg.histograms.entry(name).or_insert_with(|| Histogram::new(bounds)).observe(value);
 }
 
@@ -268,7 +270,7 @@ impl Snapshot {
 /// Copy the registry's current state (works whether or not recording is
 /// enabled — disabled just means nothing new arrives).
 pub fn snapshot() -> Snapshot {
-    let reg = REGISTRY.lock().expect("unpoisoned registry");
+    let reg = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     Snapshot {
         counters: reg.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         gauges: reg.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
@@ -295,7 +297,7 @@ pub fn snapshot() -> Snapshot {
 /// Clear every counter, gauge, and histogram (the enable flag and journal
 /// sink are untouched).
 pub fn reset() {
-    let mut reg = REGISTRY.lock().expect("unpoisoned registry");
+    let mut reg = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     reg.counters.clear();
     reg.gauges.clear();
     reg.histograms.clear();

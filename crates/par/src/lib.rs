@@ -24,6 +24,8 @@
 //! 3. the `COMET_THREADS` environment variable,
 //! 4. [`std::thread::available_parallelism`].
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -194,10 +196,15 @@ where
             if i >= n {
                 break;
             }
-            let item =
-                slots[i].lock().expect("unpoisoned slot").take().expect("each slot taken once");
+            #[allow(clippy::expect_used)]
+            let item = slots[i]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                // comet-lint: allow(D4) — fetch_add hands each index to exactly one worker, so the slot is always occupied
+                .expect("each slot taken once");
             let out = f(state.get_or_insert_with(init), item);
-            *results[i].lock().expect("unpoisoned result") = Some(out);
+            *results[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
         }
     };
 
@@ -223,7 +230,16 @@ where
 
     results
         .iter()
-        .map(|slot| slot.lock().expect("unpoisoned result").take().expect("all items processed"))
+        .map(|slot| {
+            #[allow(clippy::expect_used)]
+            let out = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                // comet-lint: allow(D4) — the scope above joins every worker, so each result slot is filled before we drain
+                .expect("all items processed");
+            out
+        })
         .collect()
 }
 
