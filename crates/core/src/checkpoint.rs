@@ -18,6 +18,7 @@ use crate::config::CometConfig;
 use crate::error::CometError;
 use crate::trace::CleaningTrace;
 use comet_jenga::ErrorType;
+use comet_ml::kernels::KernelTier;
 use comet_obs::json::{self, JsonObject, JsonValue};
 use rand::RngCore;
 use std::collections::BTreeSet;
@@ -55,9 +56,14 @@ pub(crate) fn config_fingerprint(config: &CometConfig, errors: &[ErrorType]) -> 
 
 /// Fingerprint of every decision the trace has accumulated so far —
 /// records, failures, and the F1 curve, bit-exact (f64s hashed by their
-/// bit patterns). Divergence detection during resume replay.
-pub(crate) fn trace_fingerprint(trace: &CleaningTrace) -> u64 {
-    let mut h = 0x7_2A_CEu64;
+/// bit patterns). Divergence detection during resume replay. Seeded with
+/// the kernel tier, its lane count, and the f32-probe flag: each tier has
+/// its own fixed reduction order, so traces produced under different
+/// tiers are distinct even when their decisions happen to coincide.
+pub(crate) fn trace_fingerprint(trace: &CleaningTrace, tier: KernelTier, f32_probes: bool) -> u64 {
+    let mut h = mix_bytes(0x7_2A_CEu64, tier.name().as_bytes());
+    h = mix(h, tier.lanes() as u64);
+    h = mix(h, f32_probes as u64);
     for r in &trace.records {
         h = mix(h, r.iteration as u64);
         h = mix(h, r.col as u64);
@@ -145,14 +151,37 @@ pub(crate) struct IterationCheckpoint {
 }
 
 /// Everything a checkpoint file holds.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub(crate) struct CheckpointData {
     pub session_seed: u64,
     pub config_fp: u64,
     pub budget_total: f64,
+    /// Kernel tier the run was recorded under. Headers predating the
+    /// tiered kernels default to scalar — the only tier that existed.
+    pub kernel_tier: KernelTier,
+    /// Reduction lane count of that tier (redundant with the tier name,
+    /// persisted so a mismatch error can state both sides' orders).
+    pub lane_count: u64,
+    /// Whether probe evaluations ran in the f32 tier.
+    pub f32_probes: bool,
     /// Union of all persisted evaluation-cache entries, in file order.
     pub cache: Vec<(u64, u64, f64)>,
     pub iterations: Vec<IterationCheckpoint>,
+}
+
+impl Default for CheckpointData {
+    fn default() -> Self {
+        CheckpointData {
+            session_seed: 0,
+            config_fp: 0,
+            budget_total: 0.0,
+            kernel_tier: KernelTier::Scalar,
+            lane_count: KernelTier::Scalar.lanes() as u64,
+            f32_probes: false,
+            cache: Vec::new(),
+            iterations: Vec::new(),
+        }
+    }
 }
 
 fn cache_array(entries: &[(u64, u64, f64)]) -> String {
@@ -171,12 +200,17 @@ pub(crate) struct CheckpointWriter {
 }
 
 impl CheckpointWriter {
-    /// Create (truncate) the checkpoint file and write its header.
+    /// Create (truncate) the checkpoint file and write its header. The
+    /// kernel tier, its lane count, and the f32-probe flag are part of the
+    /// header because a checkpoint taken under one reduction order must
+    /// refuse silent resume under another.
     pub fn create(
         path: &Path,
         session_seed: u64,
         config_fp: u64,
         budget_total: f64,
+        kernel_tier: KernelTier,
+        f32_probes: bool,
     ) -> Result<Self, CometError> {
         let file = File::create(path).map_err(|e| {
             CometError::Checkpoint(format!("cannot create {}: {e}", path.display()))
@@ -187,7 +221,10 @@ impl CheckpointWriter {
             .field_u64("version", 1)
             .field_str("session_seed", &hex_u64(session_seed))
             .field_str("config_fp", &hex_u64(config_fp))
-            .field_f64("budget_total", budget_total);
+            .field_f64("budget_total", budget_total)
+            .field_str("kernel_tier", kernel_tier.name())
+            .field_u64("lane_count", kernel_tier.lanes() as u64)
+            .field_u64("f32_probes", f32_probes as u64);
         writer.write_line(&obj.finish())?;
         Ok(writer)
     }
@@ -290,6 +327,22 @@ pub(crate) fn load(path: &Path) -> Result<CheckpointData, CometError> {
                 data.session_seed = get_hex(&value, "session_seed")?;
                 data.config_fp = get_hex(&value, "config_fp")?;
                 data.budget_total = get_f64(&value, "budget_total")?;
+                // Tier fields default (scalar / 4 lanes / f64 probes) when
+                // absent: headers written before the kernel tiers existed
+                // could only have come from the scalar-tier code path.
+                let tier_name =
+                    value.get("kernel_tier").and_then(JsonValue::as_str).unwrap_or("scalar");
+                data.kernel_tier = KernelTier::parse(tier_name).ok_or_else(|| {
+                    CometError::Checkpoint(format!(
+                        "unknown kernel tier {tier_name:?} in checkpoint header"
+                    ))
+                })?;
+                data.lane_count = value
+                    .get("lane_count")
+                    .and_then(JsonValue::as_f64)
+                    .map_or(data.kernel_tier.lanes() as u64, |v| v as u64);
+                data.f32_probes =
+                    value.get("f32_probes").and_then(JsonValue::as_f64).is_some_and(|v| v != 0.0);
                 has_header = true;
             }
             Some("checkpoint_cache") => {
@@ -337,9 +390,15 @@ mod tests {
     #[test]
     fn writer_loader_roundtrip() {
         let path = temp_path("roundtrip.jsonl");
-        let mut w =
-            CheckpointWriter::create(&path, 0xDEAD_BEEF_CAFE_F00D, 0xFFFF_0000_1234_5678, 50.0)
-                .unwrap();
+        let mut w = CheckpointWriter::create(
+            &path,
+            0xDEAD_BEEF_CAFE_F00D,
+            0xFFFF_0000_1234_5678,
+            50.0,
+            KernelTier::Simd,
+            true,
+        )
+        .unwrap();
         w.write_cache(&[(1, 2, 0.5)]).unwrap();
         w.write_iteration(
             &IterationCheckpoint {
@@ -356,6 +415,9 @@ mod tests {
         assert_eq!(data.session_seed, 0xDEAD_BEEF_CAFE_F00D);
         assert_eq!(data.config_fp, 0xFFFF_0000_1234_5678);
         assert_eq!(data.budget_total, 50.0);
+        assert_eq!(data.kernel_tier, KernelTier::Simd);
+        assert_eq!(data.lane_count, 8);
+        assert!(data.f32_probes);
         assert_eq!(data.cache, vec![(1, 2, 0.5), (u64::MAX, 3, 0.7125)]);
         assert_eq!(data.iterations.len(), 1);
         assert_eq!(
@@ -374,7 +436,7 @@ mod tests {
     #[test]
     fn truncated_tail_is_tolerated_missing_header_is_not() {
         let path = temp_path("truncated.jsonl");
-        let mut w = CheckpointWriter::create(&path, 7, 8, 10.0).unwrap();
+        let mut w = CheckpointWriter::create(&path, 7, 8, 10.0, KernelTier::Scalar, false).unwrap();
         w.write_iteration(
             &IterationCheckpoint {
                 iteration: 0,
@@ -443,12 +505,13 @@ mod tests {
             fully_clean_f1: Some(0.9),
             ..CleaningTrace::default()
         };
-        let fp = trace_fingerprint(&base);
-        assert_eq!(fp, trace_fingerprint(&base.clone()));
+        let fp = |t: &CleaningTrace| trace_fingerprint(t, KernelTier::Scalar, false);
+        let base_fp = fp(&base);
+        assert_eq!(base_fp, fp(&base.clone()));
 
         let mut action = base.clone();
         action.records[0].action = StepAction::Reverted;
-        assert_ne!(fp, trace_fingerprint(&action));
+        assert_ne!(base_fp, fp(&action));
 
         let mut failed = base.clone();
         failed.failures.push(FailureRecord {
@@ -458,16 +521,54 @@ mod tests {
             reason: "panic: injected".into(),
             retries: 1,
         });
-        assert_ne!(fp, trace_fingerprint(&failed));
+        assert_ne!(base_fp, fp(&failed));
 
         let mut curve = base.clone();
         curve.f1_curve[0].1 = 0.82;
-        assert_ne!(fp, trace_fingerprint(&curve));
+        assert_ne!(base_fp, fp(&curve));
 
         // Runtimes are measurement, not decisions.
         let mut timed = base.clone();
         timed.iteration_runtimes.push(std::time::Duration::from_millis(1));
-        assert_eq!(fp, trace_fingerprint(&timed));
+        assert_eq!(base_fp, fp(&timed));
+
+        // The kernel tier and probe precision seed the fingerprint: the
+        // same decisions under a different reduction order are a
+        // different trace identity.
+        assert_ne!(base_fp, trace_fingerprint(&base, KernelTier::Simd, false));
+        assert_ne!(base_fp, trace_fingerprint(&base, KernelTier::Scalar, true));
+    }
+
+    #[test]
+    fn pre_tier_headers_default_to_scalar_f64() {
+        // Checkpoints written before the kernel tiers existed carry no
+        // tier fields; they could only have come from the scalar/f64 code
+        // path and must load as such instead of erroring.
+        let path = temp_path("pre_tier.jsonl");
+        std::fs::write(
+            &path,
+            "{\"kind\":\"checkpoint_header\",\"version\":1,\
+             \"session_seed\":\"0000000000000007\",\
+             \"config_fp\":\"0000000000000008\",\"budget_total\":10}\n",
+        )
+        .unwrap();
+        let data = load(&path).unwrap();
+        assert_eq!(data.kernel_tier, KernelTier::Scalar);
+        assert_eq!(data.lane_count, 4);
+        assert!(!data.f32_probes);
+
+        // An unparseable tier name is corruption, not a default.
+        std::fs::write(
+            &path,
+            "{\"kind\":\"checkpoint_header\",\"version\":1,\
+             \"session_seed\":\"0000000000000007\",\
+             \"config_fp\":\"0000000000000008\",\"budget_total\":10,\
+             \"kernel_tier\":\"avx512\"}\n",
+        )
+        .unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.to_string().contains("avx512"), "{err}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]
@@ -479,5 +580,11 @@ mod tests {
         let other = CometConfig { budget: 49.0, ..c };
         assert_ne!(fp, config_fingerprint(&other, &errs));
         assert_ne!(fp, config_fingerprint(&c, &[ErrorType::MissingValues, ErrorType::Scaling]));
+        // The kernel tier and probe precision ride on the Debug format,
+        // so they are covered without explicit field handling.
+        let tiered = CometConfig { kernels: KernelTier::Simd, ..c };
+        assert_ne!(fp, config_fingerprint(&tiered, &errs));
+        let probed = CometConfig { f32_probes: true, ..c };
+        assert_ne!(fp, config_fingerprint(&probed, &errs));
     }
 }

@@ -1,6 +1,7 @@
 //! COMET configuration.
 
 use crate::cost::CostPolicy;
+use comet_ml::kernels::KernelTier;
 use comet_ml::{Metric, RandomSearch};
 
 /// All knobs of a COMET run. Defaults follow the paper's experimental setup
@@ -43,6 +44,17 @@ pub struct CometConfig {
     /// estimator error) is retried before the candidate is recorded as
     /// failed and skipped for the iteration.
     pub max_retries: usize,
+    /// Kernel tier for all linear-algebra reductions (DESIGN.md §12).
+    /// Each tier has one fixed reduction order, so the tier is part of the
+    /// session's determinism contract: it is fingerprinted, recorded in
+    /// checkpoint headers, and a resume under a different tier is refused.
+    /// Defaults to the `COMET_KERNELS` environment variable, else scalar.
+    pub kernels: KernelTier,
+    /// Run the Estimator's inner pollution-probe evaluations with f32
+    /// model training (SGD/MLP/KNN forward passes). The Bayesian fit,
+    /// ranking, and every accepted-step evaluation stay f64; only the
+    /// what-if probes drop precision. Off by default.
+    pub f32_probes: bool,
 }
 
 impl Default for CometConfig {
@@ -64,6 +76,8 @@ impl Default for CometConfig {
             fallback: true,
             batch_size: 1,
             max_retries: 1,
+            kernels: KernelTier::from_env_or_scalar(),
+            f32_probes: false,
         }
     }
 }
@@ -112,6 +126,10 @@ mod tests {
         assert_eq!(c.search.n_samples, 10);
         assert_eq!(c.max_retries, 1);
         assert!(c.use_uncertainty && c.bias_correction && c.revert_on_decrease && c.fallback);
+        // The paper's numbers were produced with full-precision probes;
+        // the kernel tier only follows an explicit opt-in.
+        assert_eq!(c.kernels, KernelTier::from_env_or_scalar());
+        assert!(!c.f32_probes);
         assert!(c.validate().is_ok());
     }
 

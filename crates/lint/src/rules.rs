@@ -29,10 +29,11 @@ pub enum Rule {
     D4,
     /// Every `unsafe` must carry a `// SAFETY:` comment.
     D5,
-    /// No raw `sum::<f64>()`/`.fold(0.0, ..)` float reductions in the
-    /// `comet-ml`/`comet-bayes` hot paths: accumulation order is part of
-    /// the trace contract, so route through the fixed-order `kernels`
-    /// primitives.
+    /// No raw `sum::<f64>()`/`sum::<f32>()`/`.fold(0.0, ..)` float
+    /// reductions in the `comet-ml`/`comet-bayes` hot paths: accumulation
+    /// order is part of the trace contract, so route through the
+    /// fixed-order `kernels` primitives. Only the lane-ordered tier
+    /// modules (`kernels/{scalar,lanes8,x86}.rs`) are exempt.
     D6,
 }
 
@@ -117,7 +118,13 @@ impl FileContext {
     }
 
     fn hot_path(&self) -> bool {
-        HOT_PATH.contains(&self.crate_name.as_str()) && !self.path.ends_with("kernels.rs")
+        // Only the lane-ordered primitive modules may spell raw reductions;
+        // the dispatcher (`kernels/mod.rs`) and everything above it must
+        // route through them, so D6 scans those too.
+        const LANE_ORDERED: [&str; 3] =
+            ["kernels/scalar.rs", "kernels/lanes8.rs", "kernels/x86.rs"];
+        HOT_PATH.contains(&self.crate_name.as_str())
+            && !LANE_ORDERED.iter().any(|m| self.path.ends_with(m))
     }
 
     /// Test-ish files: integration tests, benches, examples.
@@ -517,14 +524,15 @@ impl Matcher<'_> {
             && is_punct(ts, k + 1, b':')
             && is_punct(ts, k + 2, b':')
             && is_punct(ts, k + 3, b'<')
-            && ident_at(ts, k + 4) == Some("f64")
+            && matches!(ident_at(ts, k + 4), Some("f64") | Some("f32"))
         {
             self.emit(
                 out,
                 k,
                 Rule::D6,
-                "raw `sum::<f64>()` reduction in a hot-path crate; accumulation order \
-                 is part of the trace contract — use the fixed-order `kernels` primitives"
+                "raw `sum::<f64>()`/`sum::<f32>()` reduction in a hot-path crate; \
+                 accumulation order is part of the trace contract — use the \
+                 fixed-order `kernels` primitives"
                     .into(),
             );
             return;
@@ -532,7 +540,7 @@ impl Matcher<'_> {
         if is_punct(ts, k, b'.')
             && ident_at(ts, k + 1) == Some("fold")
             && is_punct(ts, k + 2, b'(')
-            && (is_float_at(ts, k + 3) || ident_at(ts, k + 3) == Some("f64"))
+            && (is_float_at(ts, k + 3) || matches!(ident_at(ts, k + 3), Some("f64") | Some("f32")))
         {
             self.emit(
                 out,
@@ -576,6 +584,24 @@ mod tests {
         let src = "fn f() { let m = HashMap::new(); a.partial_cmp(b); x.iter().sum::<f64>(); }";
         assert!(rules_found("crates/obs/src/x.rs", src).is_empty());
         assert_eq!(rules_found("crates/core/src/x.rs", src).len(), 2); // D1 + D2; D6 is ml/bayes only
+    }
+
+    #[test]
+    fn d6_covers_f32_reductions() {
+        let src = "fn f(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }";
+        assert_eq!(rules_found("crates/ml/src/x.rs", src), vec![Rule::D6]);
+        let fold = "fn f(xs: &[f32]) -> f32 { xs.iter().fold(0.0f32, |a, b| a + b) }";
+        assert_eq!(rules_found("crates/ml/src/x.rs", fold), vec![Rule::D6]);
+    }
+
+    #[test]
+    fn only_lane_ordered_tier_modules_are_d6_exempt() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+        assert!(rules_found("crates/ml/src/kernels/scalar.rs", src).is_empty());
+        assert!(rules_found("crates/ml/src/kernels/lanes8.rs", src).is_empty());
+        assert!(rules_found("crates/ml/src/kernels/x86.rs", src).is_empty());
+        // The dispatcher must route through the tier primitives, so it IS scanned.
+        assert_eq!(rules_found("crates/ml/src/kernels/mod.rs", src), vec![Rule::D6]);
     }
 
     #[test]

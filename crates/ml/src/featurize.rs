@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use crate::Matrix;
-use comet_frame::{Column, ColumnKind, DataFrame, FrameError, Result};
+use comet_frame::{Column, ColumnKind, ColumnSummary, DataFrame, FrameError, Result};
 
 #[derive(Debug, Clone, PartialEq)]
 enum FeatSpec {
@@ -199,8 +199,13 @@ pub struct Featurizer {
 fn column_stats(column: &Column) -> Result<SpecStats> {
     match column.kind() {
         ColumnKind::Numeric => {
-            let mean = column.mean().unwrap_or(0.0);
-            let mut std = column.std().unwrap_or(1.0);
+            // One summary() pass: mean() + std() would each run the full
+            // Welford scan, doubling the dominant per-column cost of an
+            // uncached fit. Same scan, same bits.
+            let (mean, mut std) = match column.summary() {
+                ColumnSummary::Numeric(s) if s.count > 0 => (s.mean, s.std),
+                _ => (0.0, 1.0),
+            };
             if std < 1e-12 {
                 std = 1.0; // constant column: center only
             }

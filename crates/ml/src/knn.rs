@@ -3,7 +3,23 @@
 //! The paper's KNN (§4.4). Operates on the standardized feature matrix the
 //! [`crate::Featurizer`] produces, so Euclidean distance is meaningful
 //! across mixed numeric/one-hot features.
+//!
+//! The distance scan is tier-shaped (DESIGN.md §12). The scalar tier keeps
+//! the original per-pair [`kernels::sq_dist`] scan and sorted-insert
+//! neighbor list, bit-identical to every pre-tier release. The SIMD tier
+//! batches the scan through the norm decomposition
+//! `‖a − xᵢ‖² = ‖a‖² + ‖xᵢ‖² − 2·a·xᵢ`: train-row norms are computed once
+//! per predict pass, the cross terms for a block of test rows come from
+//! one cache-blocked [`kernels::matmul`] against the transposed training
+//! matrix (throughput-bound element-wise axpy instead of `n_train · n_test`
+//! tiny latency-chained dot calls), and the k nearest are selected by an
+//! unsorted worst-tracking scan instead of a `Vec::insert` memmove per
+//! improvement. Both strategies are fixed-order and deterministic; they
+//! are simply *different* fixed orders (including how distance ties at
+//! the k-boundary are broken), which is exactly why the kernel tier is
+//! part of the trace fingerprint.
 
+use crate::kernels::KernelTier;
 use crate::model::Classifier;
 use crate::{kernels, Matrix};
 use rand::RngCore;
@@ -45,28 +61,27 @@ impl KnnClassifier {
         self.params.k
     }
 
-    /// Scan all training rows keeping the `k` nearest in `best` (sorted
-    /// ascending by squared distance; sqrt is monotone, so ranking on the
-    /// squared metric picks the same neighbors without a sqrt per row),
-    /// then majority-vote into `votes`.
-    fn vote(&self, row: &[f64], best: &mut Vec<(f64, u32)>, votes: &mut Vec<usize>) -> u32 {
-        let x = self.train_x.as_ref().expect("predict called before fit");
-        let k = self.params.k.min(x.nrows());
-        best.clear();
-        for i in 0..x.nrows() {
-            let d = kernels::sq_dist(row, x.row(i));
-            if best.len() < k {
-                let at = best.partition_point(|&(bd, _)| bd <= d);
-                best.insert(at, (d, self.train_y[i]));
-            } else if d < best[k - 1].0 {
-                best.pop();
-                let at = best.partition_point(|&(bd, _)| bd <= d);
-                best.insert(at, (d, self.train_y[i]));
-            }
+    /// Keep the `k` nearest in `best` (sorted ascending by squared
+    /// distance; sqrt is monotone, so ranking on the squared metric picks
+    /// the same neighbors without a sqrt per row).
+    #[inline]
+    fn consider(best: &mut Vec<(f64, u32)>, k: usize, d: f64, label: u32) {
+        if best.len() < k {
+            let at = best.partition_point(|&(bd, _)| bd <= d);
+            best.insert(at, (d, label));
+        } else if d < best[k - 1].0 {
+            best.pop();
+            let at = best.partition_point(|&(bd, _)| bd <= d);
+            best.insert(at, (d, label));
         }
+    }
+
+    /// Majority-vote over `best` into `votes` (ties break toward the
+    /// smaller class code).
+    fn majority(&self, best: &[(f64, u32)], votes: &mut Vec<usize>) -> u32 {
         votes.clear();
         votes.resize(self.n_classes, 0);
-        for &(_, label) in best.iter() {
+        for &(_, label) in best {
             votes[label as usize] += 1;
         }
         let mut winner = 0usize;
@@ -77,7 +92,106 @@ impl KnnClassifier {
         }
         winner as u32
     }
+
+    /// The fitted training matrix; predicting before `fit` is a caller
+    /// bug (`predict_before_fit_panics` pins the message).
+    fn fitted(&self) -> &Matrix {
+        self.train_x.as_ref().expect("predict called before fit")
+    }
+
+    /// Scalar-tier scan: one [`kernels::sq_dist`] per training row, the
+    /// pre-tier evaluation order.
+    fn vote(&self, row: &[f64], best: &mut Vec<(f64, u32)>, votes: &mut Vec<usize>) -> u32 {
+        let x = self.fitted();
+        let k = self.params.k.min(x.nrows());
+        best.clear();
+        for i in 0..x.nrows() {
+            let d = kernels::sq_dist(row, x.row(i));
+            Self::consider(best, k, d, self.train_y[i]);
+        }
+        self.majority(best, votes)
+    }
+
+    /// Squared norm of every training row, in the current tier's dot
+    /// order — the amortized half of the SIMD-tier decomposition.
+    fn train_norms(&self) -> Vec<f64> {
+        let x = self.fitted();
+        (0..x.nrows()).map(|i| kernels::dot(x.row(i), x.row(i))).collect()
+    }
+
+    /// Column-major (transposed) copy of the training matrix, the `b`
+    /// operand of the cross-term [`kernels::matmul`].
+    fn transposed_train(&self) -> Vec<f64> {
+        let x = self.fitted();
+        let (n, d) = (x.nrows(), x.ncols());
+        let mut t = vec![0.0; n * d];
+        for i in 0..n {
+            for (j, &v) in x.row(i).iter().enumerate() {
+                t[j * n + i] = v;
+            }
+        }
+        t
+    }
+
+    /// Deterministic unsorted top-k over one distance row: keep the `k`
+    /// smallest seen so far, tracking the index of the current worst; a
+    /// strictly smaller distance overwrites the worst, then the worst is
+    /// re-scanned (first index wins ties). Same strict `<` admission rule
+    /// as the scalar tier's sorted insert.
+    fn top_k_scan(dists: &[f64], labels: &[u32], k: usize, best: &mut Vec<(f64, u32)>) {
+        best.clear();
+        // The worst entry's (value, index) live in registers: the re-scan
+        // after an admission would otherwise reload `best[worst].0` every
+        // iteration, a loop-carried load chain that dominates at larger k.
+        let (mut wv, mut wi) = (f64::NEG_INFINITY, 0usize);
+        let fill = k.min(dists.len());
+        for i in 0..fill {
+            let d = dists[i];
+            if d > wv {
+                wv = d;
+                wi = i;
+            }
+            best.push((d, labels[i]));
+        }
+        for i in fill..dists.len() {
+            let d = dists[i];
+            if d < wv {
+                best[wi] = (d, labels[i]);
+                wv = best[0].0;
+                wi = 0;
+                for (j, &(bd, _)) in best.iter().enumerate().skip(1) {
+                    if bd > wv {
+                        wv = bd;
+                        wi = j;
+                    }
+                }
+            }
+        }
+    }
+
+    /// SIMD-tier vote for one test row, given its matmul cross-term row.
+    /// `dists` is a caller-provided `n_train` scratch buffer.
+    fn vote_decomposed(
+        &self,
+        rn: f64,
+        norms: &[f64],
+        cross: &[f64],
+        dists: &mut [f64],
+        best: &mut Vec<(f64, u32)>,
+        votes: &mut Vec<usize>,
+    ) -> u32 {
+        let k = self.params.k.min(norms.len());
+        for ((di, &ni), &ci) in dists.iter_mut().zip(norms).zip(cross) {
+            *di = (rn + ni) - 2.0 * ci;
+        }
+        Self::top_k_scan(dists, &self.train_y, k, best);
+        self.majority(best, votes)
+    }
 }
+
+/// Test rows per cross-term [`kernels::matmul`] block: bounds the
+/// `block × n_train` cross buffer while amortizing the blocked product.
+const KNN_BLOCK: usize = 64;
 
 impl Default for KnnClassifier {
     fn default() -> Self {
@@ -97,18 +211,65 @@ impl Classifier for KnnClassifier {
     fn predict_row(&self, row: &[f64]) -> u32 {
         let mut best = Vec::with_capacity(self.params.k + 1);
         let mut votes = Vec::with_capacity(self.n_classes);
-        self.vote(row, &mut best, &mut votes)
+        match kernels::tier() {
+            KernelTier::Scalar => self.vote(row, &mut best, &mut votes),
+            KernelTier::Simd => {
+                // One-row block of the batched path: matmul's per-cell
+                // order is m-invariant, so this matches `predict` exactly.
+                let norms = self.train_norms();
+                let xt = self.transposed_train();
+                let n = norms.len();
+                let mut cross = vec![0.0; n];
+                kernels::matmul(row, 1, row.len(), &xt, n, &mut cross);
+                let rn = kernels::dot(row, row);
+                let mut dists = vec![0.0; n];
+                self.vote_decomposed(rn, &norms, &cross, &mut dists, &mut best, &mut votes)
+            }
+        }
     }
 
     fn predict(&self, x: &Matrix) -> Vec<u32> {
-        // One pair of buffers for the whole test set; the distance scan per
+        // One set of buffers for the whole test set; the distance scan per
         // row reuses them instead of allocating (the KNN workloads in the
         // session loop predict a few thousand rows per candidate).
         let mut best = Vec::with_capacity(self.params.k + 1);
         let mut votes = Vec::with_capacity(self.n_classes);
         let mut out = Vec::with_capacity(x.nrows());
-        for i in 0..x.nrows() {
-            out.push(self.vote(x.row(i), &mut best, &mut votes));
+        match kernels::tier() {
+            KernelTier::Scalar => {
+                for i in 0..x.nrows() {
+                    out.push(self.vote(x.row(i), &mut best, &mut votes));
+                }
+            }
+            KernelTier::Simd => {
+                // Train norms and the transposed training matrix amortize
+                // over the whole test set; cross terms stream through one
+                // matmul per KNN_BLOCK test rows.
+                let norms = self.train_norms();
+                let xt = self.transposed_train();
+                let (n, d) = (norms.len(), x.ncols());
+                let mut cross = vec![0.0; KNN_BLOCK * n];
+                let mut dists = vec![0.0; n];
+                let mut i0 = 0;
+                while i0 < x.nrows() {
+                    let i1 = (i0 + KNN_BLOCK).min(x.nrows());
+                    let rows = i1 - i0;
+                    let block = &x.as_slice()[i0 * d..i1 * d];
+                    kernels::matmul(block, rows, d, &xt, n, &mut cross[..rows * n]);
+                    for i in 0..rows {
+                        let rn = kernels::dot(x.row(i0 + i), x.row(i0 + i));
+                        out.push(self.vote_decomposed(
+                            rn,
+                            &norms,
+                            &cross[i * n..(i + 1) * n],
+                            &mut dists,
+                            &mut best,
+                            &mut votes,
+                        ));
+                    }
+                    i0 = i1;
+                }
+            }
         }
         out
     }

@@ -1,0 +1,337 @@
+//! Cross-implementation bit-identity proptests for the kernel tiers.
+//!
+//! The SIMD tier's determinism story rests on one claim: the portable
+//! [`lanes8`] reference and the AVX2/SSE2 [`x86`] encodings produce the
+//! same bits on every input, at every length straddling the 8-lane
+//! boundary. These tests drive all reachable implementations against
+//! each other with random lengths and values, plus the dispatcher in
+//! both tiers, the element-wise kernels' tier-independence, and
+//! `matmul`'s tier- and m-invariance (the property `KnnClassifier`
+//! relies on to make `predict_row` match batched `predict` bit for bit).
+//!
+//! The tier selection is process-global, so every test that flips it
+//! holds `TIER_LOCK` and restores the previous tier before releasing.
+
+use comet_ml::kernels::{self, lanes8, scalar, KernelTier};
+use proptest::prop_assert_eq;
+use std::sync::{Mutex, MutexGuard};
+
+#[cfg(target_arch = "x86_64")]
+use comet_ml::kernels::x86;
+
+static TIER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Hold the lock, select `t`, and hand back a guard that restores on drop.
+struct TierGuard {
+    _lock: MutexGuard<'static, ()>,
+    prev: KernelTier,
+}
+
+impl TierGuard {
+    fn select(t: KernelTier) -> Self {
+        let lock = TIER_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let prev = kernels::tier();
+        kernels::set_tier(t);
+        TierGuard { _lock: lock, prev }
+    }
+}
+
+impl Drop for TierGuard {
+    fn drop(&mut self) {
+        kernels::set_tier(self.prev);
+    }
+}
+
+/// Deterministic pseudo-random f64 vector (values in roughly ±8).
+fn vec_f64(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 16.0
+        })
+        .collect()
+}
+
+fn vec_f32(len: usize, seed: u64) -> Vec<f32> {
+    vec_f64(len, seed).into_iter().map(|v| v as f32).collect()
+}
+
+/// Every length from empty through two full 8-lane blocks plus ragged
+/// tails — each residue mod 8 appears at least twice.
+const LENS: [usize; 20] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 23, 40];
+
+#[test]
+fn reducing_kernels_bit_identical_across_simd_encodings() {
+    for (li, &n) in LENS.iter().enumerate() {
+        let a = vec_f64(n, li as u64 + 1);
+        let b = vec_f64(n, li as u64 + 101);
+        let dot_ref = lanes8::dot(&a, &b);
+        let sq_ref = lanes8::sq_dist(&a, &b);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if x86::has_avx2() {
+                // SAFETY: AVX2 support was verified at runtime just above.
+                unsafe {
+                    assert_eq!(x86::dot_avx2(&a, &b).to_bits(), dot_ref.to_bits(), "n={n}");
+                    assert_eq!(x86::sq_dist_avx2(&a, &b).to_bits(), sq_ref.to_bits(), "n={n}");
+                }
+            }
+            if x86::has_sse2() {
+                // SAFETY: SSE2 support was verified at runtime just above.
+                unsafe {
+                    assert_eq!(x86::dot_sse2(&a, &b).to_bits(), dot_ref.to_bits(), "n={n}");
+                    assert_eq!(x86::sq_dist_sse2(&a, &b).to_bits(), sq_ref.to_bits(), "n={n}");
+                }
+            }
+        }
+        let af = vec_f32(n, li as u64 + 1);
+        let bf = vec_f32(n, li as u64 + 101);
+        let dotf_ref = lanes8::dot_f32(&af, &bf);
+        let sqf_ref = lanes8::sq_dist_f32(&af, &bf);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if x86::has_avx2() {
+                // SAFETY: AVX2 support was verified at runtime just above.
+                unsafe {
+                    assert_eq!(x86::dot_f32_avx2(&af, &bf).to_bits(), dotf_ref.to_bits());
+                    assert_eq!(x86::sq_dist_f32_avx2(&af, &bf).to_bits(), sqf_ref.to_bits());
+                }
+            }
+            if x86::has_sse2() {
+                // SAFETY: SSE2 support was verified at runtime just above.
+                unsafe {
+                    assert_eq!(x86::dot_f32_sse2(&af, &bf).to_bits(), dotf_ref.to_bits());
+                    assert_eq!(x86::sq_dist_f32_sse2(&af, &bf).to_bits(), sqf_ref.to_bits());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn elementwise_kernels_bit_identical_across_simd_encodings() {
+    for (li, &n) in LENS.iter().enumerate() {
+        let x = vec_f64(n, li as u64 + 7);
+        let y0 = vec_f64(n, li as u64 + 207);
+        let mut y_ref = y0.clone();
+        lanes8::axpy(0.37, &x, &mut y_ref);
+        lanes8::scale_axpy(0.9, &mut y_ref, -0.21, &x);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if x86::has_avx2() {
+                let mut y = y0.clone();
+                // SAFETY: AVX2 support was verified at runtime just above.
+                unsafe {
+                    x86::axpy_avx2(0.37, &x, &mut y);
+                    x86::scale_axpy_avx2(0.9, &mut y, -0.21, &x);
+                }
+                assert!(y.iter().zip(&y_ref).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+            if x86::has_sse2() {
+                let mut y = y0.clone();
+                // SAFETY: SSE2 support was verified at runtime just above.
+                unsafe {
+                    x86::axpy_sse2(0.37, &x, &mut y);
+                    x86::scale_axpy_sse2(0.9, &mut y, -0.21, &x);
+                }
+                assert!(y.iter().zip(&y_ref).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        }
+        let xf = vec_f32(n, li as u64 + 7);
+        let yf0 = vec_f32(n, li as u64 + 207);
+        let mut yf_ref = yf0.clone();
+        lanes8::axpy_f32(0.37, &xf, &mut yf_ref);
+        lanes8::scale_axpy_f32(0.9, &mut yf_ref, -0.21, &xf);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if x86::has_avx2() {
+                let mut y = yf0.clone();
+                // SAFETY: AVX2 support was verified at runtime just above.
+                unsafe {
+                    x86::axpy_f32_avx2(0.37, &xf, &mut y);
+                    x86::scale_axpy_f32_avx2(0.9, &mut y, -0.21, &xf);
+                }
+                assert!(y.iter().zip(&yf_ref).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+            if x86::has_sse2() {
+                let mut y = yf0.clone();
+                // SAFETY: SSE2 support was verified at runtime just above.
+                unsafe {
+                    x86::axpy_f32_sse2(0.37, &xf, &mut y);
+                    x86::scale_axpy_f32_sse2(0.9, &mut y, -0.21, &xf);
+                }
+                assert!(y.iter().zip(&yf_ref).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        }
+    }
+}
+
+// The vendored `proptest!` grammar takes `ident in strategy` only, so
+// tuple strategies bind one ident and destructure inside the body.
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+    #[test]
+    fn dispatcher_routes_each_tier_to_its_reference(
+        args in (0usize..40, 0u64..1_000_000),
+    ) {
+        let (n, seed) = args;
+        let a = vec_f64(n, seed);
+        let b = vec_f64(n, seed ^ 0xABCD);
+        let af = vec_f32(n, seed);
+        let bf = vec_f32(n, seed ^ 0xABCD);
+        {
+            let _g = TierGuard::select(KernelTier::Scalar);
+            prop_assert_eq!(kernels::dot(&a, &b).to_bits(), scalar::dot(&a, &b).to_bits());
+            prop_assert_eq!(
+                kernels::sq_dist(&a, &b).to_bits(),
+                scalar::sq_dist(&a, &b).to_bits()
+            );
+            prop_assert_eq!(
+                kernels::dot_f32(&af, &bf).to_bits(),
+                scalar::dot_f32(&af, &bf).to_bits()
+            );
+        }
+        {
+            // All SIMD encodings are bit-identical (test above), so the
+            // portable reference is the expected value regardless of
+            // which ISA the dispatcher picked.
+            let _g = TierGuard::select(KernelTier::Simd);
+            prop_assert_eq!(kernels::dot(&a, &b).to_bits(), lanes8::dot(&a, &b).to_bits());
+            prop_assert_eq!(
+                kernels::sq_dist(&a, &b).to_bits(),
+                lanes8::sq_dist(&a, &b).to_bits()
+            );
+            prop_assert_eq!(
+                kernels::dot_f32(&af, &bf).to_bits(),
+                lanes8::dot_f32(&af, &bf).to_bits()
+            );
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+    #[test]
+    fn matvec_matches_per_row_dot_in_both_tiers(
+        args in (1usize..9, 0usize..17, 0u64..1_000_000),
+    ) {
+        let (rows, cols, seed) = args;
+        let a = vec_f64(rows * cols, seed);
+        let x = vec_f64(cols, seed ^ 0x77);
+        let bias = vec_f64(rows, seed ^ 0x99);
+        for t in [KernelTier::Scalar, KernelTier::Simd] {
+            let _g = TierGuard::select(t);
+            let mut out = vec![0.0; rows];
+            kernels::matvec(&a, rows, cols, &x, &mut out);
+            for (i, o) in out.iter().enumerate() {
+                let row = &a[i * cols..(i + 1) * cols];
+                prop_assert_eq!(o.to_bits(), kernels::dot(row, &x).to_bits());
+            }
+            kernels::matvec_bias(&a, rows, cols, &x, &bias, &mut out);
+            for (i, o) in out.iter().enumerate() {
+                let row = &a[i * cols..(i + 1) * cols];
+                prop_assert_eq!(o.to_bits(), (kernels::dot(row, &x) + bias[i]).to_bits());
+            }
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+    #[test]
+    fn matmul_is_tier_and_m_invariant(
+        args in (1usize..10, 0usize..12, 1usize..20, 0u64..1_000_000),
+    ) {
+        let (m, k, n, seed) = args;
+        let a = vec_f64(m * k, seed);
+        let b = vec_f64(k * n, seed ^ 0x55);
+        // Naive i-k-j reference: one add per term, k strictly ascending.
+        let mut naive = vec![0.0; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                for j in 0..n {
+                    naive[i * n + j] += aik * b[kk * n + j];
+                }
+            }
+        }
+        for t in [KernelTier::Scalar, KernelTier::Simd] {
+            let _g = TierGuard::select(t);
+            let mut out = vec![0.0; m * n];
+            kernels::matmul(&a, m, k, &b, n, &mut out);
+            for (x, y) in out.iter().zip(&naive) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            // m-invariance: row-at-a-time calls see the same bits, so a
+            // one-row caller (`predict_row`) matches any batched caller.
+            for i in 0..m {
+                let mut row_out = vec![0.0; n];
+                kernels::matmul(&a[i * k..(i + 1) * k], 1, k, &b, n, &mut row_out);
+                for (x, y) in row_out.iter().zip(&naive[i * n..(i + 1) * n]) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+    #[test]
+    fn matmul_f32_is_tier_and_m_invariant(
+        args in (1usize..10, 0usize..12, 1usize..28, 0u64..1_000_000),
+    ) {
+        let (m, k, n, seed) = args;
+        let a = vec_f32(m * k, seed);
+        let b = vec_f32(k * n, seed ^ 0x55);
+        let mut naive = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                for j in 0..n {
+                    naive[i * n + j] += aik * b[kk * n + j];
+                }
+            }
+        }
+        for t in [KernelTier::Scalar, KernelTier::Simd] {
+            let _g = TierGuard::select(t);
+            let mut out = vec![0.0f32; m * n];
+            kernels::matmul_f32(&a, m, k, &b, n, &mut out);
+            for (x, y) in out.iter().zip(&naive) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for i in 0..m {
+                let mut row_out = vec![0.0f32; n];
+                kernels::matmul_f32(&a[i * k..(i + 1) * k], 1, k, &b, n, &mut row_out);
+                for (x, y) in row_out.iter().zip(&naive[i * n..(i + 1) * n]) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+    #[test]
+    fn elementwise_kernels_identical_across_tiers(
+        args in (0usize..40, 0u64..1_000_000),
+    ) {
+        let (n, seed) = args;
+        let x = vec_f64(n, seed);
+        let y0 = vec_f64(n, seed ^ 0x31);
+        let run = |t: KernelTier| {
+            let _g = TierGuard::select(t);
+            let mut y = y0.clone();
+            kernels::axpy(0.43, &x, &mut y);
+            kernels::scale_axpy(0.87, &mut y, -0.12, &x);
+            y
+        };
+        let scalar_out = run(KernelTier::Scalar);
+        let simd_out = run(KernelTier::Simd);
+        for (a, b) in scalar_out.iter().zip(&simd_out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

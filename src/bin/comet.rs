@@ -36,6 +36,7 @@ usage:
   comet recommend --dirty FILE --clean FILE --label COL [--algo NAME] [--budget N]
                   [--step FRAC] [--batch N] [--max-retries N] [--trace FILE]
                   [--checkpoint FILE [--resume]] [--metrics-out FILE]
+                  [--kernels scalar|simd] [--f32-probes]
                   [--no-feature-cache] [--seed N]";
 
 fn main() -> ExitCode {
@@ -64,7 +65,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["resume", "no-feature-cache"];
+const BOOL_FLAGS: &[&str] = &["resume", "no-feature-cache", "f32-probes"];
 
 /// Parse `--key value` pairs (and valueless [`BOOL_FLAGS`]).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -167,6 +168,14 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
         || Ok(CometConfig::default().max_retries),
         |s| s.parse().map_err(|e| format!("--max-retries: {e}")),
     )?;
+    // Kernel tier precedence: `--kernels` beats `COMET_KERNELS` beats the
+    // scalar default (the config default already resolves the env var).
+    let kernels = match flags.get("kernels") {
+        None => CometConfig::default().kernels,
+        Some(name) => comet::ml::kernels::KernelTier::parse(name)
+            .ok_or_else(|| format!("unknown kernel tier {name:?} (use scalar|simd)"))?,
+    };
+    let f32_probes = flags.contains_key("f32-probes");
     let resume = flags.contains_key("resume");
     let checkpoint =
         flags.get("checkpoint").map(|path| CheckpointSpec { path: path.into(), resume });
@@ -224,6 +233,8 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
         step_frac: step,
         batch_size: batch,
         max_retries,
+        kernels,
+        f32_probes,
         ..CometConfig::default()
     };
     let mut session = CleaningSession::new(config, errors);
@@ -375,6 +386,14 @@ mod tests {
         assert_eq!(f.get("trace").unwrap(), "t.csv");
         let f = flags(&["--resume"]).unwrap();
         assert!(f.contains_key("resume"));
+    }
+
+    #[test]
+    fn kernel_flags_parse() {
+        let f = flags(&["--f32-probes", "--kernels", "simd"]).unwrap();
+        assert!(f.contains_key("f32-probes"), "--f32-probes is valueless");
+        assert_eq!(f.get("kernels").unwrap(), "simd");
+        assert_eq!(comet::ml::kernels::KernelTier::parse("simd").unwrap().lanes(), 8);
     }
 
     #[test]
