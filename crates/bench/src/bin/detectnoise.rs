@@ -1,0 +1,232 @@
+//! Detection-noise benchmark: COMET vs RR/FIR **without the oracle**.
+//!
+//! Every other experiment binary hands the strategies the JENGA provenance
+//! — they always know exactly which `(feature, error)` pairs are dirty.
+//! This bin removes that assumption: the environment runs in
+//! detection-seeded mode, so candidates come from the `comet-detect`
+//! ensemble applied to the dirty frames (noisy: false positives waste
+//! budget, false negatives hide dirt), and the simulated cleaner treats
+//! the detector's family attribution as a hint, not a filter.
+//!
+//! **Workload.** Four REIN-style error families, each planted into a
+//! dataset whose schema exercises it (EEG is purely numeric, CMC mostly
+//! categorical with a 3-class label):
+//!
+//! * `O`  — outliers (EEG)
+//! * `SF` — swapped fields (EEG)
+//! * `ND` — near-duplicate rows (EEG)
+//! * `LN` — label noise (CMC)
+//!
+//! Strategies receive the full `ErrorType::EXTENDED` palette — none of
+//! them is told which family was planted. Per family and pre-pollution
+//! setting, COMET / RR / FIR run on clones of the same environment with
+//! the same budget; the headline quantity is the mean F1 per budget unit
+//! (the area under the budget curve, same series the paper's figures
+//! plot). Per-detector precision/recall against the hidden provenance is
+//! reported alongside, so the JSON shows *how noisy* the candidate source
+//! was while COMET still won.
+//!
+//! Output: a text table on stdout plus `BENCH_detect.json` under `--out`
+//! (CI smoke asserts COMET beats both baselines on at least 3 of the 4
+//! families).
+
+use comet_bench::{build_rein_env, f1_series, run_strategy, ExperimentOpts, Strategy};
+use comet_core::CostPolicy;
+use comet_datasets::Dataset;
+use comet_detect::DetectorConfig;
+use comet_jenga::ErrorType;
+use comet_ml::Algorithm;
+
+/// One benchmark cell: a planted family and the dataset that carries it.
+const FAMILIES: [(ErrorType, Dataset); 4] = [
+    (ErrorType::Outliers, Dataset::Eeg),
+    (ErrorType::SwappedFields, Dataset::Eeg),
+    (ErrorType::NearDuplicateRows, Dataset::Eeg),
+    (ErrorType::LabelNoise, Dataset::Cmc),
+];
+
+struct Row {
+    family: ErrorType,
+    dataset: Dataset,
+    flagged: usize,
+    detector_precision: f64,
+    detector_recall: f64,
+    comet_auc: f64,
+    rr_auc: f64,
+    fir_auc: f64,
+    comet_final: f64,
+    rr_final: f64,
+    fir_final: f64,
+}
+
+impl Row {
+    fn comet_beats_both(&self) -> bool {
+        self.comet_auc > self.rr_auc && self.comet_auc > self.fir_auc
+    }
+}
+
+/// Mean of an F1-per-budget-unit series: the area under the budget curve,
+/// normalised to the budget span.
+fn auc(series: &[f64]) -> f64 {
+    series.iter().sum::<f64>() / series.len() as f64
+}
+
+/// Micro-averaged flagged/precision/recall over the ensemble: pools every
+/// detector's (flagged ∩ target-dirty) counts so one number summarises how
+/// noisy the candidate source was.
+fn ensemble_quality(scores: &[comet_detect::DetectorScore]) -> (usize, f64, f64) {
+    let flagged: usize = scores.iter().map(|s| s.flagged).sum();
+    let hits: f64 = scores.iter().map(|s| s.precision * s.flagged as f64).sum();
+    let dirty: f64 = scores.iter().map(|s| s.recall * s.true_dirty as f64).sum();
+    let true_dirty: usize = scores.iter().map(|s| s.true_dirty).sum();
+    let precision = if flagged == 0 { 0.0 } else { hits / flagged as f64 };
+    let recall = if true_dirty == 0 { 0.0 } else { dirty / true_dirty as f64 };
+    (flagged, precision, recall)
+}
+
+fn json_row(r: &Row) -> String {
+    format!(
+        "    {{\"family\": \"{}\", \"dataset\": \"{}\", \"flagged_cells\": {}, \
+         \"detector_precision\": {:.3}, \"detector_recall\": {:.3}, \
+         \"comet_auc\": {:.4}, \"rr_auc\": {:.4}, \"fir_auc\": {:.4}, \
+         \"comet_final\": {:.4}, \"rr_final\": {:.4}, \"fir_final\": {:.4}, \
+         \"comet_beats_both\": {}}}",
+        r.family.abbrev(),
+        r.dataset,
+        r.flagged,
+        r.detector_precision,
+        r.detector_recall,
+        r.comet_auc,
+        r.rr_auc,
+        r.fir_auc,
+        r.comet_final,
+        r.rr_final,
+        r.fir_final,
+        r.comet_beats_both(),
+    )
+}
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let algorithm = opts.algorithm_or(Algorithm::Knn);
+    let errors = ErrorType::EXTENDED.to_vec();
+    let max_budget = opts.budget as usize;
+    println!(
+        "Detection-noise: COMET vs RR/FIR, candidates from comet-detect (no oracle), \
+         {algorithm}, budget {}, {} setting(s)\n",
+        opts.budget, opts.settings
+    );
+    println!(
+        "{:<4} {:>8} {:>8} {:>7} {:>7}  {:>9} {:>9} {:>9}  winner",
+        "fam", "dataset", "flagged", "det-P", "det-R", "COMET", "RR", "FIR"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (family, dataset) in FAMILIES {
+        let mut comet_series: Vec<Vec<f64>> = Vec::new();
+        let mut rr_series: Vec<Vec<f64>> = Vec::new();
+        let mut fir_series: Vec<Vec<f64>> = Vec::new();
+        let mut flagged = 0usize;
+        let mut det_p = 0.0;
+        let mut det_r = 0.0;
+        for setting in 0..opts.settings {
+            let setup = build_rein_env(
+                dataset,
+                algorithm,
+                &[family],
+                DetectorConfig::default(),
+                setting,
+                &opts,
+            )
+            .unwrap_or_else(|e| panic!("{dataset}/{family}: {e}"));
+            let scores = setup.env.detector_scores().expect("detector scores");
+            let (f, p, r) = ensemble_quality(&scores);
+            flagged += f;
+            det_p += p / opts.settings as f64;
+            det_r += r / opts.settings as f64;
+            for (strategy, bucket) in [
+                (Strategy::Comet, &mut comet_series),
+                (Strategy::Rr, &mut rr_series),
+                (Strategy::Fir, &mut fir_series),
+            ] {
+                let seed = opts.child_seed("detectnoise-run", setting as u64);
+                let traces = run_strategy(
+                    strategy,
+                    &setup.env,
+                    &errors,
+                    CostPolicy::constant(),
+                    &opts,
+                    seed,
+                )
+                .unwrap_or_else(|e| panic!("{dataset}/{family}/{strategy:?}: {e}"));
+                bucket.push(f1_series(&traces, max_budget));
+            }
+        }
+        let mean = |series: &[Vec<f64>]| {
+            let len = series[0].len();
+            let mut out = vec![0.0; len];
+            for s in series {
+                for (o, v) in out.iter_mut().zip(s) {
+                    *o += v / series.len() as f64;
+                }
+            }
+            out
+        };
+        let (comet, rr, fir) = (mean(&comet_series), mean(&rr_series), mean(&fir_series));
+        let row = Row {
+            family,
+            dataset,
+            flagged,
+            detector_precision: det_p,
+            detector_recall: det_r,
+            comet_auc: auc(&comet),
+            rr_auc: auc(&rr),
+            fir_auc: auc(&fir),
+            comet_final: *comet.last().expect("non-empty series"),
+            rr_final: *rr.last().expect("non-empty series"),
+            fir_final: *fir.last().expect("non-empty series"),
+        };
+        println!(
+            "{:<4} {:>8} {:>8} {:>7.3} {:>7.3}  {:>9.4} {:>9.4} {:>9.4}  {}",
+            row.family.abbrev(),
+            row.dataset.to_string(),
+            row.flagged,
+            row.detector_precision,
+            row.detector_recall,
+            row.comet_auc,
+            row.rr_auc,
+            row.fir_auc,
+            if row.comet_beats_both() { "COMET" } else { "baseline" }
+        );
+        rows.push(row);
+    }
+
+    let wins = rows.iter().filter(|r| r.comet_beats_both()).count();
+    println!("\nCOMET beats both baselines on {wins}/{} families (acceptance: >= 3)", rows.len());
+
+    let json = format!(
+        "{{\n  \"bench\": \"detection_noise\",\n  \"workload\": \"COMET vs RR/FIR with \
+         candidates from the comet-detect ensemble instead of the provenance oracle; four \
+         planted REIN error families, strategies receive the full EXTENDED error palette\",\n  \
+         \"algorithm\": \"{}\",\n  \"rows\": {},\n  \"budget\": {},\n  \"settings\": {},\n  \
+         \"seed\": {},\n  \"results\": [\n{}\n  ],\n  \"summary\": {{\"families\": {}, \
+         \"comet_wins\": {}, \"acceptance_met\": {}}}\n}}\n",
+        algorithm.name(),
+        opts.rows.map_or("null".into(), |r| r.to_string()),
+        opts.budget,
+        opts.settings,
+        opts.seed,
+        rows.iter().map(json_row).collect::<Vec<_>>().join(",\n"),
+        rows.len(),
+        wins,
+        wins >= 3,
+    );
+    std::fs::create_dir_all(&opts.out_dir).expect("create out dir");
+    let path = format!("{}/BENCH_detect.json", opts.out_dir);
+    std::fs::write(&path, &json).expect("write BENCH_detect.json");
+    println!("wrote {path}");
+    if wins < 3 {
+        eprintln!("warning: COMET won only {wins}/4 families under detection noise");
+        std::process::exit(1);
+    }
+}

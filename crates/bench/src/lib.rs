@@ -29,4 +29,6 @@ pub use figures::{dataset_advantage_table, Source};
 pub use opts::ExperimentOpts;
 pub use report::{MatrixTable, SeriesTable};
 pub use runner::{advantage, comet_config, f1_series, mean_series, run_strategy, Strategy};
-pub use setup::{applicable, build_cleanml_env, build_prepolluted_env, scenario_errors, EnvSetup};
+pub use setup::{
+    applicable, build_cleanml_env, build_prepolluted_env, build_rein_env, scenario_errors, EnvSetup,
+};

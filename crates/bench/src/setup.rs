@@ -145,6 +145,62 @@ pub fn build_cleanml_env(
     Ok(EnvSetup { env, dataset, algorithm, errors })
 }
 
+/// Build a detection-seeded environment carrying planted REIN error
+/// families (outliers, swapped fields, near-duplicate rows, label noise).
+/// Unlike every oracle-mode setup, the returned environment has detection
+/// enabled: candidate pairs come from the `comet-detect` ensemble run on
+/// the dirty frames, and the JENGA provenance stays hidden from the
+/// strategies (it is only used by the harness to score detectors and to
+/// simulate the cleaner).
+pub fn build_rein_env(
+    dataset: Dataset,
+    algorithm: Algorithm,
+    families: &[ErrorType],
+    detect: comet_detect::DetectorConfig,
+    setting: usize,
+    opts: &ExperimentOpts,
+) -> Result<EnvSetup, EnvError> {
+    let tag = format!("rein-{dataset}-{algorithm}-{families:?}");
+    let seed = opts.child_seed(&tag, setting as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let pair = dataset.generate_rein_pair(
+        opts.rows.map(|r| r.min(dataset.spec().rows)),
+        families,
+        &mut rng,
+    );
+    // Same split discipline as the CleanML setup: partition rows once on
+    // the clean version, apply the identical partition to the dirty one.
+    let tt = train_test_split(&pair.clean, SplitOptions::default(), &mut rng)?;
+    let clean_train = pair.clean.take(&tt.train_rows)?;
+    let clean_test = pair.clean.take(&tt.test_rows)?;
+    let dirty_train = pair.dirty.take(&tt.train_rows)?;
+    let dirty_test = pair.dirty.take(&tt.test_rows)?;
+    let prov_train = split_provenance(&pair.provenance, pair.dirty.ncols(), &tt.train_rows);
+    let prov_test = split_provenance(&pair.provenance, pair.dirty.ncols(), &tt.test_rows);
+
+    let mut env = CleaningEnvironment::new(
+        dirty_train,
+        dirty_test,
+        GroundTruth::new(clean_train),
+        GroundTruth::new(clean_test),
+        prov_train,
+        prov_test,
+        algorithm,
+        Metric::F1,
+        // A coarser cleaning step than the oracle setups (5% of a column
+        // per unit): a detection-seeded cleaner works through a flagged
+        // column in batches, and per-step F1 movement must clear the
+        // evaluation noise floor for budget ranking to be measurable.
+        0.05,
+        search(opts),
+        seed ^ 0x5EED,
+        &mut rng,
+    )?;
+    env.enable_detection(detect);
+    Ok(EnvSetup { env, dataset, algorithm, errors: families.to_vec() })
+}
+
 /// Project a full-frame provenance onto a row subset.
 fn split_provenance(full: &Provenance, ncols: usize, rows: &[usize]) -> Provenance {
     let mut out = Provenance::new(ncols, rows.len());
@@ -225,6 +281,28 @@ mod tests {
             let prov_rows = env.dirty_train_rows(col, ErrorType::MissingValues);
             assert_eq!(gt_train, prov_rows, "column {col}");
         }
+    }
+
+    #[test]
+    fn rein_env_is_detection_seeded() {
+        let opts = tiny_opts();
+        let setup = build_rein_env(
+            Dataset::Eeg,
+            Algorithm::Knn,
+            &[ErrorType::Outliers],
+            comet_detect::DetectorConfig::default(),
+            0,
+            &opts,
+        )
+        .unwrap();
+        assert!(setup.env.total_dirty().unwrap() > 0, "REIN pair must plant dirt");
+        assert!(setup.env.detection().is_some(), "detection mode must be on");
+        assert_eq!(setup.errors, vec![ErrorType::Outliers]);
+        // Candidates come from the detector ensemble, so they exist even
+        // though nobody handed the environment an error-type filter that
+        // matches the planted family exactly.
+        let candidates = setup.env.candidate_pairs(&ErrorType::EXTENDED);
+        assert!(!candidates.is_empty(), "detectors must surface candidates");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::config::CometConfig;
 use crate::error::CometError;
 use crate::trace::CleaningTrace;
+use comet_detect::DetectorConfig;
 use comet_jenga::ErrorType;
 use comet_ml::kernels::KernelTier;
 use comet_obs::json::{self, JsonObject, JsonValue};
@@ -52,6 +53,15 @@ fn mix_bytes(mut h: u64, bytes: &[u8]) -> u64 {
 /// resumable: the full config and the candidate error set.
 pub(crate) fn config_fingerprint(config: &CometConfig, errors: &[ErrorType]) -> u64 {
     mix_bytes(0xC0_FF_EE, format!("{config:?}|{errors:?}").as_bytes())
+}
+
+/// Fingerprint of the detection setup, `None` included. Detection decides
+/// which candidate pairs the session even sees, so a checkpoint taken
+/// under one detector configuration (or under oracle mode) must refuse
+/// silent resume under another. Debug-derived like [`config_fingerprint`]:
+/// any future `DetectorConfig` field is covered automatically.
+pub(crate) fn detect_fingerprint(detect: &Option<DetectorConfig>) -> u64 {
+    mix_bytes(0xDE_7E_C7, format!("{detect:?}").as_bytes())
 }
 
 /// Fingerprint of every decision the trace has accumulated so far —
@@ -164,6 +174,10 @@ pub(crate) struct CheckpointData {
     pub lane_count: u64,
     /// Whether probe evaluations ran in the f32 tier.
     pub f32_probes: bool,
+    /// [`detect_fingerprint`] of the run's detection setup. Headers
+    /// predating detection mode default to the fingerprint of `None` —
+    /// oracle mode was the only mode that existed.
+    pub detect_fp: u64,
     /// Union of all persisted evaluation-cache entries, in file order.
     pub cache: Vec<(u64, u64, f64)>,
     pub iterations: Vec<IterationCheckpoint>,
@@ -178,6 +192,7 @@ impl Default for CheckpointData {
             kernel_tier: KernelTier::Scalar,
             lane_count: KernelTier::Scalar.lanes() as u64,
             f32_probes: false,
+            detect_fp: detect_fingerprint(&None),
             cache: Vec::new(),
             iterations: Vec::new(),
         }
@@ -204,6 +219,7 @@ impl CheckpointWriter {
     /// kernel tier, its lane count, and the f32-probe flag are part of the
     /// header because a checkpoint taken under one reduction order must
     /// refuse silent resume under another.
+    #[allow(clippy::too_many_arguments)]
     pub fn create(
         path: &Path,
         session_seed: u64,
@@ -211,6 +227,7 @@ impl CheckpointWriter {
         budget_total: f64,
         kernel_tier: KernelTier,
         f32_probes: bool,
+        detect_fp: u64,
     ) -> Result<Self, CometError> {
         let file = File::create(path).map_err(|e| {
             CometError::Checkpoint(format!("cannot create {}: {e}", path.display()))
@@ -224,7 +241,8 @@ impl CheckpointWriter {
             .field_f64("budget_total", budget_total)
             .field_str("kernel_tier", kernel_tier.name())
             .field_u64("lane_count", kernel_tier.lanes() as u64)
-            .field_u64("f32_probes", f32_probes as u64);
+            .field_u64("f32_probes", f32_probes as u64)
+            .field_str("detect_fp", &hex_u64(detect_fp));
         writer.write_line(&obj.finish())?;
         Ok(writer)
     }
@@ -343,6 +361,12 @@ pub(crate) fn load(path: &Path) -> Result<CheckpointData, CometError> {
                     .map_or(data.kernel_tier.lanes() as u64, |v| v as u64);
                 data.f32_probes =
                     value.get("f32_probes").and_then(JsonValue::as_f64).is_some_and(|v| v != 0.0);
+                // Absent detect_fp = header from before detection mode;
+                // only oracle mode existed then.
+                data.detect_fp = match value.get("detect_fp").and_then(JsonValue::as_str) {
+                    Some(s) => parse_hex(s)?,
+                    None => detect_fingerprint(&None),
+                };
                 has_header = true;
             }
             Some("checkpoint_cache") => {
@@ -397,6 +421,7 @@ mod tests {
             50.0,
             KernelTier::Simd,
             true,
+            0x1111_2222_3333_4444,
         )
         .unwrap();
         w.write_cache(&[(1, 2, 0.5)]).unwrap();
@@ -418,6 +443,7 @@ mod tests {
         assert_eq!(data.kernel_tier, KernelTier::Simd);
         assert_eq!(data.lane_count, 8);
         assert!(data.f32_probes);
+        assert_eq!(data.detect_fp, 0x1111_2222_3333_4444);
         assert_eq!(data.cache, vec![(1, 2, 0.5), (u64::MAX, 3, 0.7125)]);
         assert_eq!(data.iterations.len(), 1);
         assert_eq!(
@@ -436,7 +462,8 @@ mod tests {
     #[test]
     fn truncated_tail_is_tolerated_missing_header_is_not() {
         let path = temp_path("truncated.jsonl");
-        let mut w = CheckpointWriter::create(&path, 7, 8, 10.0, KernelTier::Scalar, false).unwrap();
+        let mut w =
+            CheckpointWriter::create(&path, 7, 8, 10.0, KernelTier::Scalar, false, 0).unwrap();
         w.write_iteration(
             &IterationCheckpoint {
                 iteration: 0,
@@ -556,6 +583,8 @@ mod tests {
         assert_eq!(data.kernel_tier, KernelTier::Scalar);
         assert_eq!(data.lane_count, 4);
         assert!(!data.f32_probes);
+        // Pre-detection headers resume only against oracle mode.
+        assert_eq!(data.detect_fp, detect_fingerprint(&None));
 
         // An unparseable tier name is corruption, not a default.
         std::fs::write(
@@ -586,5 +615,24 @@ mod tests {
         assert_ne!(fp, config_fingerprint(&tiered, &errs));
         let probed = CometConfig { f32_probes: true, ..c };
         assert_ne!(fp, config_fingerprint(&probed, &errs));
+    }
+
+    #[test]
+    fn detect_fingerprint_separates_modes_and_configs() {
+        let none = detect_fingerprint(&None);
+        assert_eq!(none, detect_fingerprint(&None));
+        let defaults = Some(DetectorConfig::default());
+        assert_ne!(none, detect_fingerprint(&defaults));
+        // Every knob is covered through the Debug format: thresholds...
+        let loose = Some(DetectorConfig { z_threshold: 6.0, ..DetectorConfig::default() });
+        assert_ne!(detect_fingerprint(&defaults), detect_fingerprint(&loose));
+        // ...and the enabled-detector set (name-based Debug, so this holds
+        // even if the bitset representation ever changes).
+        let fewer = Some(DetectorConfig {
+            enabled: comet_detect::DetectorSet::none()
+                .with(comet_detect::DetectorKind::MissingSentinel),
+            ..DetectorConfig::default()
+        });
+        assert_ne!(detect_fingerprint(&defaults), detect_fingerprint(&fewer));
     }
 }

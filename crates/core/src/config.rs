@@ -1,6 +1,7 @@
 //! COMET configuration.
 
 use crate::cost::CostPolicy;
+use comet_detect::DetectorConfig;
 use comet_ml::kernels::KernelTier;
 use comet_ml::{Metric, RandomSearch};
 
@@ -55,6 +56,14 @@ pub struct CometConfig {
     /// ranking, and every accepted-step evaluation stay f64; only the
     /// what-if probes drop precision. Off by default.
     pub f32_probes: bool,
+    /// Detection-seeded mode: when set, candidate `(feature, error)` pairs
+    /// come from a deterministic detector ensemble scanning the dirty
+    /// frames instead of the JENGA provenance oracle (DESIGN.md §13). The
+    /// detector configuration is part of the session identity: it is
+    /// fingerprinted into checkpoint headers and a resume under a
+    /// different configuration is refused. `None` = oracle mode (the
+    /// paper's setup).
+    pub detect: Option<DetectorConfig>,
 }
 
 impl Default for CometConfig {
@@ -78,6 +87,7 @@ impl Default for CometConfig {
             max_retries: 1,
             kernels: KernelTier::from_env_or_scalar(),
             f32_probes: false,
+            detect: None,
         }
     }
 }
@@ -102,6 +112,9 @@ impl CometConfig {
         }
         if self.batch_size == 0 {
             return Err("batch_size must be at least 1".into());
+        }
+        if let Some(detect) = &self.detect {
+            detect.validate().map_err(|e| format!("detect: {e}"))?;
         }
         Ok(())
     }
@@ -130,6 +143,7 @@ mod tests {
         // the kernel tier only follows an explicit opt-in.
         assert_eq!(c.kernels, KernelTier::from_env_or_scalar());
         assert!(!c.f32_probes);
+        assert!(c.detect.is_none(), "the paper's setup is oracle mode");
         assert!(c.validate().is_ok());
     }
 
@@ -142,6 +156,13 @@ mod tests {
             CometConfig { interval: 1.0, ..CometConfig::default() },
             CometConfig { budget: -1.0, ..CometConfig::default() },
             CometConfig { batch_size: 0, ..CometConfig::default() },
+            CometConfig {
+                detect: Some(comet_detect::DetectorConfig {
+                    knn_k: 0,
+                    ..comet_detect::DetectorConfig::default()
+                }),
+                ..CometConfig::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "{c:?} should be invalid");

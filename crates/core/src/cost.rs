@@ -49,12 +49,18 @@ impl CostModel {
 }
 
 /// Maps error types to cost models — one policy per experiment scenario.
+/// Covers the paper's four families plus the REIN extension families used
+/// by detection-seeded sessions.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostPolicy {
     missing_values: CostModel,
     gaussian_noise: CostModel,
     categorical_shift: CostModel,
     scaling: CostModel,
+    outliers: CostModel,
+    swapped_fields: CostModel,
+    near_duplicate_rows: CostModel,
+    label_noise: CostModel,
 }
 
 impl CostPolicy {
@@ -67,29 +73,62 @@ impl CostPolicy {
             gaussian_noise: one,
             categorical_shift: one,
             scaling: one,
+            outliers: one,
+            swapped_fields: one,
+            near_duplicate_rows: one,
+            label_noise: one,
         }
     }
 
     /// Multi-error scenario (§4.2/§5.1): constant for categorical shift and
     /// scaling, one-shot (2, then 0) for missing values, linear (1, +1) for
-    /// Gaussian noise.
+    /// Gaussian noise. The extension families follow the same reasoning:
+    /// outliers grow linearly (subtler points are harder to spot, like
+    /// Gaussian noise), near-duplicate removal is one-shot (blocking/dedup
+    /// set-up, then cheap), swapped fields and label fixes are constant.
     pub fn paper_multi() -> Self {
         CostPolicy {
             missing_values: CostModel::OneShot { first: 2.0, rest: 0.0 },
             gaussian_noise: CostModel::Linear { initial: 1.0, increment: 1.0 },
             categorical_shift: CostModel::Constant(1.0),
             scaling: CostModel::Constant(1.0),
+            outliers: CostModel::Linear { initial: 1.0, increment: 1.0 },
+            swapped_fields: CostModel::Constant(1.0),
+            near_duplicate_rows: CostModel::OneShot { first: 2.0, rest: 0.0 },
+            label_noise: CostModel::Constant(1.0),
         }
     }
 
-    /// Custom policy.
+    /// Custom policy over the paper's four families; the extension families
+    /// start at constant one unit — override with [`CostPolicy::with_model`].
     pub fn new(
         missing_values: CostModel,
         gaussian_noise: CostModel,
         categorical_shift: CostModel,
         scaling: CostModel,
     ) -> Self {
-        CostPolicy { missing_values, gaussian_noise, categorical_shift, scaling }
+        CostPolicy {
+            missing_values,
+            gaussian_noise,
+            categorical_shift,
+            scaling,
+            ..CostPolicy::constant()
+        }
+    }
+
+    /// Replace the model for one error type (builder-style).
+    pub fn with_model(mut self, err: ErrorType, model: CostModel) -> Self {
+        match err {
+            ErrorType::MissingValues => self.missing_values = model,
+            ErrorType::GaussianNoise => self.gaussian_noise = model,
+            ErrorType::CategoricalShift => self.categorical_shift = model,
+            ErrorType::Scaling => self.scaling = model,
+            ErrorType::Outliers => self.outliers = model,
+            ErrorType::SwappedFields => self.swapped_fields = model,
+            ErrorType::NearDuplicateRows => self.near_duplicate_rows = model,
+            ErrorType::LabelNoise => self.label_noise = model,
+        }
+        self
     }
 
     /// The model for one error type.
@@ -99,6 +138,10 @@ impl CostPolicy {
             ErrorType::GaussianNoise => self.gaussian_noise,
             ErrorType::CategoricalShift => self.categorical_shift,
             ErrorType::Scaling => self.scaling,
+            ErrorType::Outliers => self.outliers,
+            ErrorType::SwappedFields => self.swapped_fields,
+            ErrorType::NearDuplicateRows => self.near_duplicate_rows,
+            ErrorType::LabelNoise => self.label_noise,
         }
     }
 
@@ -142,7 +185,7 @@ mod tests {
     #[test]
     fn constant_policy_charges_one_everywhere() {
         let p = CostPolicy::constant();
-        for err in ErrorType::ALL {
+        for err in ErrorType::EXTENDED {
             assert_eq!(p.next_cost(err, 0), 1.0);
             assert_eq!(p.next_cost(err, 10), 1.0);
         }
@@ -157,6 +200,11 @@ mod tests {
         assert_eq!(p.next_cost(ErrorType::GaussianNoise, 3), 4.0);
         assert_eq!(p.next_cost(ErrorType::CategoricalShift, 5), 1.0);
         assert_eq!(p.next_cost(ErrorType::Scaling, 5), 1.0);
+        assert_eq!(p.next_cost(ErrorType::Outliers, 2), 3.0);
+        assert_eq!(p.next_cost(ErrorType::NearDuplicateRows, 0), 2.0);
+        assert_eq!(p.next_cost(ErrorType::NearDuplicateRows, 1), 0.0);
+        assert_eq!(p.next_cost(ErrorType::SwappedFields, 3), 1.0);
+        assert_eq!(p.next_cost(ErrorType::LabelNoise, 3), 1.0);
     }
 
     #[test]
@@ -171,5 +219,9 @@ mod tests {
         assert_eq!(p.next_cost(ErrorType::GaussianNoise, 0), 4.0);
         assert_eq!(p.next_cost(ErrorType::CategoricalShift, 0), 5.0);
         assert_eq!(p.next_cost(ErrorType::Scaling, 0), 6.0);
+        // Extension families default to one unit until overridden.
+        assert_eq!(p.next_cost(ErrorType::LabelNoise, 0), 1.0);
+        let p = p.with_model(ErrorType::LabelNoise, CostModel::Constant(7.0));
+        assert_eq!(p.next_cost(ErrorType::LabelNoise, 0), 7.0);
     }
 }

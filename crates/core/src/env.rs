@@ -11,6 +11,7 @@
 //! All cleaning strategies (COMET, RR, FIR, CL, AC, Oracle) run against
 //! this same environment, so their traces are directly comparable.
 
+use comet_detect::{DetectionReport, DetectorConfig, DetectorScore};
 use comet_frame::{Column, DataFrame, FrameError};
 use comet_jenga::{ErrorType, GroundTruth, Provenance};
 use comet_ml::{
@@ -19,9 +20,9 @@ use comet_ml::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Errors from environment operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -191,6 +192,28 @@ impl Clone for EvalCache {
     }
 }
 
+/// Memoized detection reports for the environment's *current* frames.
+/// Detection is pure in the frame contents and the detector config, so the
+/// entry is keyed by both and shared between clones like [`EvalCache`].
+#[derive(Debug, Default)]
+struct DetectMemo {
+    inner: Arc<Mutex<Option<DetectMemoEntry>>>,
+}
+
+#[derive(Debug, Clone)]
+struct DetectMemoEntry {
+    key: (u64, u64),
+    config: DetectorConfig,
+    train: DetectionReport,
+    test: DetectionReport,
+}
+
+impl Clone for DetectMemo {
+    fn clone(&self) -> Self {
+        DetectMemo { inner: Arc::clone(&self.inner) }
+    }
+}
+
 /// The simulated world: dirty data + hidden ground truth + a fixed model.
 #[derive(Debug, Clone)]
 pub struct CleaningEnvironment {
@@ -219,6 +242,21 @@ pub struct CleaningEnvironment {
     /// (where one exists) instead of the full f64 model. Per-handle like
     /// `feat_caching`; the caches stay shared (probe entries are salted).
     f32_probes: bool,
+    /// Detection-seeded mode (DESIGN.md §13): when set, candidate pairs
+    /// come from the detector ensemble scanning the dirty frames and
+    /// cleaning steps target ground-truth dirt regardless of the (noisy)
+    /// family attribution. `None` = oracle mode, the paper's setup.
+    detect: Option<DetectorConfig>,
+    /// Memoized detection reports for the current frame contents.
+    detect_memo: DetectMemo,
+    /// `(col, err)` pairs detection keeps proposing but whose columns hold
+    /// no ground-truth dirt any more — permanent false positives (a natural
+    /// outlier stays an outlier after cleaning). Marked when a cleaning
+    /// step restores zero cells; monotone, never reverted (a revert of the
+    /// column restores dirt state, not the Cleaner's learned futility), so
+    /// detection-seeded sessions terminate. Cloned by value: a clone
+    /// starts from the parent's knowledge and evolves independently.
+    detect_exhausted: BTreeSet<(usize, ErrorType)>,
 }
 
 impl CleaningEnvironment {
@@ -278,6 +316,9 @@ impl CleaningEnvironment {
             feat_cache,
             feat_caching: true,
             f32_probes: false,
+            detect: None,
+            detect_memo: DetectMemo::default(),
+            detect_exhausted: BTreeSet::new(),
         })
     }
 
@@ -500,9 +541,18 @@ impl CleaningEnvironment {
         !self.dirty_train_rows(col, err).is_empty() || !self.dirty_test_rows(col, err).is_empty()
     }
 
-    /// All `(feature, error type)` pairs still dirty, restricted to the
-    /// given error types (single-error scenario passes one; multi-error all).
+    /// All `(feature, error type)` candidate pairs, restricted to the given
+    /// error types (single-error scenario passes one; multi-error all).
+    ///
+    /// Oracle mode (the paper's setup) reads the JENGA provenance: a pair
+    /// is a candidate while its column still carries `err`-type dirt.
+    /// Detection mode derives the pairs from the detector ensemble's flags
+    /// on the current dirty frames — COMET never touches ground truth —
+    /// minus the pairs the Cleaner has learned are pure false positives.
     pub fn candidate_pairs(&self, errors: &[ErrorType]) -> Vec<(usize, ErrorType)> {
+        if self.detect.is_some() {
+            return self.detected_candidate_pairs(errors);
+        }
         let mut out = Vec::new();
         for &col in &self.feature_cols() {
             for &err in errors {
@@ -512,6 +562,74 @@ impl CleaningEnvironment {
             }
         }
         out
+    }
+
+    fn detected_candidate_pairs(&self, errors: &[ErrorType]) -> Vec<(usize, ErrorType)> {
+        let Ok((train, test)) = self.detect_reports() else {
+            // Unreachable with a validated config; surfaced as a counter
+            // rather than silently dropped.
+            comet_obs::counter_add("detect.errors", 1);
+            return Vec::new();
+        };
+        let mut pairs = train.candidate_pairs();
+        pairs.extend(test.candidate_pairs());
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs.retain(|&(col, err)| {
+            errors.contains(&err) && !self.detect_exhausted.contains(&(col, err))
+        });
+        pairs
+    }
+
+    /// Enable detection-seeded mode: from now on, candidate pairs come
+    /// from the detector ensemble instead of the provenance oracle, and
+    /// cleaning steps target any ground-truth dirt in the chosen column
+    /// (the family attribution is a noisy hint, not a filter).
+    pub fn enable_detection(&mut self, config: DetectorConfig) {
+        self.detect = Some(config);
+    }
+
+    /// The active detector configuration, if detection mode is on.
+    pub fn detection(&self) -> Option<DetectorConfig> {
+        self.detect
+    }
+
+    /// Detection reports for the current train/test frames (memoized by
+    /// content fingerprint, shared with clones). Errors when detection
+    /// mode is off.
+    pub fn detect_reports(&self) -> Result<(DetectionReport, DetectionReport), EnvError> {
+        let Some(config) = self.detect else {
+            return Err(EnvError::Invalid("detection mode is not enabled".into()));
+        };
+        let key = (self.train.fingerprint(), self.test.fingerprint());
+        {
+            let memo = self.detect_memo.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(entry) = memo.as_ref() {
+                if entry.key == key && entry.config == config {
+                    return Ok((entry.train.clone(), entry.test.clone()));
+                }
+            }
+        }
+        let train = comet_detect::detect(&self.train, &config)?;
+        let test = comet_detect::detect(&self.test, &config)?;
+        comet_obs::counter_add(
+            "detect.flagged_cells",
+            (train.flagged_cell_count() + test.flagged_cell_count()) as u64,
+        );
+        let false_positives = comet_detect::false_positive_cells(&train, &self.prov_train)
+            + comet_detect::false_positive_cells(&test, &self.prov_test);
+        comet_obs::counter_add("detect.false_positives", false_positives as u64);
+        let mut memo = self.detect_memo.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        *memo = Some(DetectMemoEntry { key, config, train: train.clone(), test: test.clone() });
+        Ok((train, test))
+    }
+
+    /// Per-detector precision/recall on the *train* split, scored against
+    /// the hidden provenance (harness-side diagnostics; COMET never sees
+    /// these numbers). Errors when detection mode is off.
+    pub fn detector_scores(&self) -> Result<Vec<DetectorScore>, EnvError> {
+        let (train, _) = self.detect_reports()?;
+        Ok(comet_detect::score_detectors(&train, &self.prov_train, &self.train))
     }
 
     /// Total dirty cells across both splits (ground-truth diff).
@@ -548,6 +666,14 @@ impl CleaningEnvironment {
     /// worth of `err`-polluted cells per split (preferring the rows the
     /// Polluter flagged, §3.3), clearing their provenance. Returns
     /// `(train_cells, test_cells)` actually cleaned.
+    ///
+    /// In detection mode the human cleaner inspects the *column*, not the
+    /// detector's (noisy) family attribution: any ground-truth dirt found
+    /// there is eligible, with the detector-flagged rows tried first. A
+    /// step that restores zero cells marks `(col, err)` as exhausted — a
+    /// pure false positive the Cleaner will not revisit. That set is
+    /// monotone (a revert restores dirt state, not the Cleaner's learned
+    /// futility), which is what guarantees termination without an oracle.
     pub fn clean_step<R: Rng>(
         &mut self,
         col: usize,
@@ -556,6 +682,9 @@ impl CleaningEnvironment {
         preferred_test: &[usize],
         rng: &mut R,
     ) -> Result<(usize, usize), EnvError> {
+        if self.detect.is_some() {
+            return self.detect_clean_step(col, err, preferred_train, preferred_test, rng);
+        }
         let cleaned_train = clean_split(
             &mut self.train,
             &self.gt_train,
@@ -576,6 +705,45 @@ impl CleaningEnvironment {
             preferred_test,
             rng,
         )?;
+        Ok((cleaned_train, cleaned_test))
+    }
+
+    fn detect_clean_step<R: Rng>(
+        &mut self,
+        col: usize,
+        err: ErrorType,
+        preferred_train: &[usize],
+        preferred_test: &[usize],
+        rng: &mut R,
+    ) -> Result<(usize, usize), EnvError> {
+        // Detector-flagged rows extend the session's preference list; the
+        // reports are cloned out so the memo borrow ends before `&mut self`.
+        let (train_rep, test_rep) = self.detect_reports()?;
+        let mut pref_train = preferred_train.to_vec();
+        pref_train.extend(train_rep.flagged_rows_any(col));
+        let mut pref_test = preferred_test.to_vec();
+        pref_test.extend(test_rep.flagged_rows_any(col));
+        let cleaned_train = clean_split_any(
+            &mut self.train,
+            &self.gt_train,
+            &mut self.prov_train,
+            col,
+            self.step_train,
+            &pref_train,
+            rng,
+        )?;
+        let cleaned_test = clean_split_any(
+            &mut self.test,
+            &self.gt_test,
+            &mut self.prov_test,
+            col,
+            self.step_test,
+            &pref_test,
+            rng,
+        )?;
+        if cleaned_train + cleaned_test == 0 {
+            self.detect_exhausted.insert((col, err));
+        }
         Ok((cleaned_train, cleaned_test))
     }
 
@@ -655,6 +823,47 @@ fn clean_split<R: Rng>(
     // Clear provenance for every chosen row: restoring may be a no-op for a
     // cell whose polluted value coincides with ground truth, but the cell is
     // clean either way.
+    for &r in &chosen {
+        prov.clear(col, r);
+    }
+    Ok(restored.len().max(chosen.len()))
+}
+
+/// Clean up to `k` ground-truth-dirty cells of `col` in one split,
+/// regardless of which family polluted them (detection mode: the cleaner
+/// sees a suspicious column, not a provenance label).
+fn clean_split_any<R: Rng>(
+    df: &mut DataFrame,
+    gt: &GroundTruth,
+    prov: &mut Provenance,
+    col: usize,
+    k: usize,
+    preferred: &[usize],
+    rng: &mut R,
+) -> Result<usize, EnvError> {
+    let dirty = gt.dirty_rows(df, col)?;
+    if dirty.is_empty() {
+        return Ok(0);
+    }
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for &p in preferred {
+        if chosen.len() == k {
+            break;
+        }
+        if dirty.binary_search(&p).is_ok() && !chosen.contains(&p) {
+            chosen.push(p);
+        }
+    }
+    if chosen.len() < k {
+        let mut rest: Vec<usize> = dirty.iter().copied().filter(|r| !chosen.contains(r)).collect();
+        let need = (k - chosen.len()).min(rest.len());
+        for i in 0..need {
+            let j = rng.gen_range(i..rest.len());
+            rest.swap(i, j);
+            chosen.push(rest[i]);
+        }
+    }
+    let restored = gt.restore(df, col, &chosen)?;
     for &r in &chosen {
         prov.clear(col, r);
     }
@@ -966,5 +1175,95 @@ mod tests {
             &mut rng,
         );
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn detect_reports_require_detection_mode() {
+        let env = make_env(20);
+        assert!(env.detection().is_none());
+        assert!(matches!(env.detect_reports(), Err(EnvError::Invalid(_))));
+        assert!(matches!(env.detector_scores(), Err(EnvError::Invalid(_))));
+    }
+
+    #[test]
+    fn detection_mode_candidates_come_from_detectors_not_provenance() {
+        let mut env = make_env(21);
+        let oracle_pairs = env.candidate_pairs(&[ErrorType::MissingValues]);
+        env.enable_detection(DetectorConfig::default());
+        assert!(env.detection().is_some());
+        let detect_pairs = env.candidate_pairs(&[ErrorType::MissingValues]);
+        // Missing sentinels are trivially detectable, so every column the
+        // oracle lists must also be flagged by the ensemble.
+        let detect_cols: BTreeSet<usize> = detect_pairs.iter().map(|&(c, _)| c).collect();
+        for &(col, _) in &oracle_pairs {
+            assert!(detect_cols.contains(&col), "oracle col {col} missing from detection");
+        }
+        // And the family filter still applies.
+        assert!(env.candidate_pairs(&[ErrorType::CategoricalShift]).is_empty());
+    }
+
+    #[test]
+    fn detect_reports_are_memoized_and_invalidated_by_cleaning() {
+        let mut env = make_env(22);
+        env.enable_detection(DetectorConfig::default());
+        let (a_train, _) = env.detect_reports().unwrap();
+        let (b_train, _) = env.detect_reports().unwrap();
+        assert_eq!(a_train, b_train, "repeat detection must be memoized/deterministic");
+        // The memo is shared with clones, like the eval cache.
+        let clone = env.clone();
+        let (c_train, _) = clone.detect_reports().unwrap();
+        assert_eq!(a_train, c_train);
+        // Cleaning changes the frame fingerprint: flags must not grow.
+        let mut rng = StdRng::seed_from_u64(0);
+        let before = a_train.flagged_cell_count();
+        env.clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng).unwrap();
+        let (after_train, _) = env.detect_reports().unwrap();
+        assert!(after_train.flagged_cell_count() < before);
+    }
+
+    #[test]
+    fn detect_clean_step_cleans_any_dirt_and_learns_false_positives() {
+        let mut env = make_env(23);
+        env.enable_detection(DetectorConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let before = env.total_dirty().unwrap();
+        // The detector attributes sentinel cells to MissingValues; cleaning
+        // through the detect path restores real ground-truth dirt.
+        let (ctr, cte) = env.clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng).unwrap();
+        assert!(ctr + cte > 0);
+        assert_eq!(before - env.total_dirty().unwrap(), ctr + cte);
+
+        // Drain column 0 completely, then one more step on the now-clean
+        // column: zero cells cleaned marks the pair exhausted and it leaves
+        // the candidate list even if a detector still (falsely) flags it.
+        let mut guard = 0;
+        while !env.gt_dirty_rows(0).map(|(a, b)| a.is_empty() && b.is_empty()).unwrap() {
+            env.clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng).unwrap();
+            guard += 1;
+            assert!(guard < 300, "detect-mode cleaning must terminate");
+        }
+        env.clean_step(0, ErrorType::MissingValues, &[], &[], &mut rng).unwrap();
+        let pairs = env.candidate_pairs(&[ErrorType::MissingValues]);
+        assert!(
+            !pairs.iter().any(|&(c, e)| c == 0 && e == ErrorType::MissingValues),
+            "exhausted pair must not be re-offered: {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn detector_scores_track_planted_missing_values() {
+        let mut env = make_env(24);
+        env.enable_detection(DetectorConfig::default());
+        let scores = env.detector_scores().unwrap();
+        let ms = scores
+            .iter()
+            .find(|s| s.detector == comet_detect::DetectorKind::MissingSentinel)
+            .unwrap();
+        // Every planted MissingValues cell is an invalid cell, so the
+        // sentinel detector has perfect recall here (precision can dip if
+        // the generator produced natural missings, which Eeg does not).
+        assert!(ms.true_dirty > 0);
+        assert!((ms.recall - 1.0).abs() < 1e-12, "recall {}", ms.recall);
+        assert!(ms.precision > 0.99, "precision {}", ms.precision);
     }
 }

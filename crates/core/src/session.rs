@@ -142,6 +142,11 @@ impl CleaningSession {
         // order. The f32-probe flag is per-environment.
         comet_ml::kernels::set_tier(self.config.kernels);
         env.set_f32_probes(self.config.f32_probes);
+        // Detection-seeded mode: candidate pairs come from the detector
+        // ensemble from here on, never from the provenance oracle.
+        if let Some(detect) = self.config.detect {
+            env.enable_detection(detect);
+        }
 
         // Count sequential rng draws so checkpoints can verify a resumed
         // replay consumes randomness identically.
@@ -167,6 +172,7 @@ impl CleaningSession {
         // the replay below both cheap and bit-identical (the warm-cache
         // determinism property) — then rewrite the file from scratch.
         let config_fp = checkpoint::config_fingerprint(&self.config, &self.errors);
+        let detect_fp = checkpoint::detect_fingerprint(&self.config.detect);
         let mut resume_data = None;
         let mut writer = match &self.checkpoint {
             Some(spec) => {
@@ -196,6 +202,17 @@ impl CleaningSession {
                             data.f32_probes, self.config.f32_probes
                         )));
                     }
+                    if data.detect_fp != detect_fp {
+                        // Typed as Invalid, not Checkpoint: the file is
+                        // fine, the caller's detector configuration is what
+                        // contradicts the recorded session identity.
+                        return Err(CometError::Invalid(format!(
+                            "checkpoint was recorded under detection setup {:016x}, this session \
+                             runs {:016x} — the detector configuration decides which candidate \
+                             pairs exist, refusing to resume",
+                            data.detect_fp, detect_fp
+                        )));
+                    }
                     if data.session_seed != session_seed {
                         return Err(CometError::Checkpoint(format!(
                             "checkpoint was recorded under session seed {:016x}, resumed with {:016x}",
@@ -215,6 +232,7 @@ impl CleaningSession {
                         self.config.budget,
                         self.config.kernels,
                         self.config.f32_probes,
+                        detect_fp,
                     )?;
                     w.write_cache(&data.cache)?;
                     resume_data = Some(data);
@@ -227,6 +245,7 @@ impl CleaningSession {
                         self.config.budget,
                         self.config.kernels,
                         self.config.f32_probes,
+                        detect_fp,
                     )?)
                 }
             }
@@ -1540,6 +1559,135 @@ mod tests {
         // The untampered header still resumes cleanly.
         std::fs::write(&path, &text).unwrap();
         resume(&path).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    fn detect_config(budget: f64) -> CometConfig {
+        CometConfig {
+            detect: Some(comet_detect::DetectorConfig::default()),
+            ..quick_config(budget)
+        }
+    }
+
+    #[test]
+    fn detection_seeded_session_cleans_without_the_oracle() {
+        let mut env = build_env(41, 240, vec![(0, 0.3), (1, 0.2)], Algorithm::Knn);
+        let session = CleaningSession::new(detect_config(1_000.0), vec![ErrorType::MissingValues]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let before = env.total_dirty().unwrap();
+        let outcome = session.run(&mut env, &mut rng).unwrap();
+        assert!(!outcome.trace.records.is_empty());
+        // With ample budget the detection-seeded session drains every pair
+        // it can see; missing sentinels are fully detectable, so the frames
+        // end up genuinely clean — no oracle was consulted to get there.
+        assert!(env.total_dirty().unwrap() < before / 10, "dirt must mostly vanish");
+        assert!(env.candidate_pairs(&[ErrorType::MissingValues]).is_empty());
+    }
+
+    #[test]
+    fn detection_trace_bit_identical_across_thread_counts() {
+        let env0 = build_env(42, 240, vec![(0, 0.3), (1, 0.25), (2, 0.2)], Algorithm::Knn);
+        let session = CleaningSession::new(detect_config(10.0), vec![ErrorType::MissingValues]);
+        let run_with = |threads: usize| {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let mut rng = StdRng::seed_from_u64(77);
+            comet_par::with_threads(threads, || session.run(&mut env, &mut rng).unwrap())
+        };
+        let one = run_with(1);
+        for threads in [2, 8] {
+            let other = run_with(threads);
+            assert!(
+                one.trace.content_eq(&other.trace),
+                "detection must not break thread-count determinism ({threads} threads):\
+                 \n1: {:?}\n{threads}: {:?}",
+                one.trace.records,
+                other.trace.records,
+            );
+        }
+        assert!(!one.trace.records.is_empty(), "trivial traces prove nothing");
+    }
+
+    #[test]
+    fn detect_kill_and_resume_is_bit_identical() {
+        let env0 = build_env(43, 200, vec![(0, 0.3), (1, 0.2)], Algorithm::Knn);
+        let full_path = ckpt_path("detect_full.jsonl");
+        let cut_path = ckpt_path("detect_cut.jsonl");
+        let full = {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let session = CleaningSession::new(detect_config(8.0), vec![ErrorType::MissingValues])
+                .with_checkpoint(CheckpointSpec { path: full_path.clone(), resume: false });
+            let mut rng = StdRng::seed_from_u64(5);
+            session.run(&mut env, &mut rng).unwrap()
+        };
+        assert!(full.trace.records.len() > 1, "need a multi-step run to cut in half");
+
+        let text = std::fs::read_to_string(&full_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 2, "checkpoint must span several iterations: {text}");
+        let mut cut = lines[..2].join("\n");
+        cut.push_str("\n{\"kind\":\"checkpoint_itera");
+        std::fs::write(&cut_path, &cut).unwrap();
+
+        let resumed = {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let session = CleaningSession::new(detect_config(8.0), vec![ErrorType::MissingValues])
+                .with_checkpoint(CheckpointSpec { path: cut_path.clone(), resume: true });
+            let mut rng = StdRng::seed_from_u64(5);
+            session.run(&mut env, &mut rng).unwrap()
+        };
+        assert!(
+            full.trace.content_eq(&resumed.trace),
+            "detect-mode resume must be bit-identical:\nfull: {:?}\nresumed: {:?}",
+            full.trace.records,
+            resumed.trace.records,
+        );
+        std::fs::remove_file(full_path).ok();
+        std::fs::remove_file(cut_path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_changed_detector_config() {
+        let env0 = build_env(43, 200, vec![(0, 0.3)], Algorithm::Knn);
+        let path = ckpt_path("detect_mismatch.jsonl");
+        {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let session = CleaningSession::new(detect_config(4.0), vec![ErrorType::MissingValues])
+                .with_checkpoint(CheckpointSpec { path: path.clone(), resume: false });
+            let mut rng = StdRng::seed_from_u64(5);
+            session.run(&mut env, &mut rng).unwrap();
+        }
+        let resume = |config: CometConfig| {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let session = CleaningSession::new(config, vec![ErrorType::MissingValues])
+                .with_checkpoint(CheckpointSpec { path: path.clone(), resume: true });
+            let mut rng = StdRng::seed_from_u64(5);
+            session.run(&mut env, &mut rng).map(|_| ())
+        };
+
+        // A different detector threshold is a different session identity:
+        // the candidate pairs it would offer are not the recorded ones.
+        let loosened = CometConfig {
+            detect: Some(comet_detect::DetectorConfig {
+                z_threshold: 6.0,
+                ..comet_detect::DetectorConfig::default()
+            }),
+            ..quick_config(4.0)
+        };
+        let err = resume(loosened).unwrap_err();
+        assert!(matches!(err, CometError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("detect"), "{err}");
+
+        // So is switching back to oracle mode entirely.
+        let err = resume(quick_config(4.0)).unwrap_err();
+        assert!(matches!(err, CometError::Invalid(_)), "{err}");
+
+        // The unchanged detector configuration still resumes.
+        resume(detect_config(4.0)).unwrap();
         std::fs::remove_file(path).ok();
     }
 

@@ -121,6 +121,25 @@ impl GeneratorConfig {
         }
     }
 
+    /// Spread the numeric features across heterogeneous scales, multiplying
+    /// feature `i`'s base and std by `SPREAD[i % 3]`. Real tabular data
+    /// mixes single-digit fields with fields in the hundreds or thousands
+    /// (ages next to incomes), and the REIN detection experiments depend on
+    /// that: a swapped field is only *detectable* — and only damaging —
+    /// when the two fields live in different domains. The spread factors
+    /// are deliberately not powers of ten, so a swap is never mistaken for
+    /// a unit error by the decade-ratio detector. Oracle-mode datasets keep
+    /// the homogeneous scales, so every committed figure stays reproducible.
+    pub fn with_scale_spread(mut self) -> Self {
+        const SPREAD: [f64; 3] = [1.0, 30.0, 900.0];
+        for (i, spec) in self.numeric.iter_mut().enumerate() {
+            let s = SPREAD[i % SPREAD.len()];
+            spec.base *= s;
+            spec.std *= s;
+        }
+        self
+    }
+
     /// Dataset name.
     pub fn name(&self) -> &str {
         &self.name
@@ -238,6 +257,85 @@ impl GeneratorConfig {
         }
         CleanMlPair { dirty, clean, provenance }
     }
+
+    /// Generate a paired dirty/clean dataset carrying REIN-taxonomy error
+    /// families at realistic shapes, with full provenance:
+    ///
+    /// * [`ErrorType::NearDuplicateRows`] is injected *row-wise* — one
+    ///   sampled row set duplicated across every feature column, so each
+    ///   polluted row really is a near-copy of its donor row;
+    /// * [`ErrorType::LabelNoise`] flips labels in the label column (the
+    ///   only family allowed there);
+    /// * every other family (outliers, swapped fields, and the paper's
+    ///   four) is injected per-column like
+    ///   [`GeneratorConfig::generate_cleanml_pair`].
+    pub fn generate_rein_pair<R: Rng + ?Sized>(
+        &self,
+        errors: &[ErrorType],
+        rng: &mut R,
+    ) -> CleanMlPair {
+        assert!(!errors.is_empty(), "need at least one error type");
+        let clean = self.generate(rng);
+        let mut dirty = clean.clone();
+        let mut provenance = Provenance::for_frame(&clean);
+        let n = clean.nrows();
+        for &err in errors {
+            match err {
+                ErrorType::NearDuplicateRows => {
+                    // 5–15% of rows become near-duplicates, whole-row.
+                    let level: f64 = rng.gen_range(0.05..0.15);
+                    let cells = ((level * n as f64).round() as usize).max(1);
+                    let rows = sample_rows(n, cells, rng);
+                    for col in clean.feature_indices() {
+                        let rec = inject(&mut dirty, col, &rows, err, rng)
+                            // comet-lint: allow(D4) — NearDuplicateRows is applicable to every feature kind by construction
+                            .expect("near-duplicates apply to any feature kind");
+                        for (r, _) in rec.changed {
+                            provenance.record(col, r, err);
+                        }
+                    }
+                }
+                ErrorType::LabelNoise => {
+                    let Ok(label) = clean.label_index() else { continue };
+                    let level: f64 = rng.gen_range(0.05..0.15);
+                    let cells = ((level * n as f64).round() as usize).max(1);
+                    let rows = sample_rows(n, cells, rng);
+                    let rec = inject(&mut dirty, label, &rows, err, rng)
+                        // comet-lint: allow(D4) — LabelNoise targets the label column, which label_index just resolved
+                        .expect("label noise applies to the label column");
+                    for (r, _) in rec.changed {
+                        provenance.record(label, r, err);
+                    }
+                }
+                _ => {
+                    for col in clean.feature_indices() {
+                        // comet-lint: allow(D4) — `col` comes from feature_indices on the same frame
+                        let kind = clean.column(col).expect("valid column").kind();
+                        if !err.applicable(kind) {
+                            continue;
+                        }
+                        if rng.gen::<f64>() < 0.5 {
+                            continue;
+                        }
+                        let u: f64 = 1.0 - rng.gen::<f64>();
+                        let level = (-0.12 * u.ln()).min(0.35);
+                        let cells = (level * n as f64).round() as usize;
+                        if cells == 0 {
+                            continue;
+                        }
+                        let rows = sample_rows(n, cells, rng);
+                        let rec = inject(&mut dirty, col, &rows, err, rng)
+                            // comet-lint: allow(D4) — applicability was checked right above; inject cannot refuse
+                            .expect("applicable injection succeeds");
+                        for (r, _) in rec.changed {
+                            provenance.record(col, r, err);
+                        }
+                    }
+                }
+            }
+        }
+        CleanMlPair { dirty, clean, provenance }
+    }
 }
 
 /// A CleanML-style paired dataset.
@@ -258,6 +356,44 @@ mod tests {
     use comet_frame::{train_test_split, SplitOptions};
     use comet_jenga::GroundTruth;
     use comet_ml::{metrics, Classifier, Featurizer, KnnClassifier, KnnParams};
+
+    #[test]
+    fn rein_pair_plants_all_requested_families_with_provenance() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let families = [
+            ErrorType::Outliers,
+            ErrorType::SwappedFields,
+            ErrorType::NearDuplicateRows,
+            ErrorType::LabelNoise,
+        ];
+        let pair = Dataset::Eeg.generate_rein_pair(Some(200), &families, &mut rng);
+        assert_eq!(pair.dirty.nrows(), pair.clean.nrows());
+
+        // Every family landed somewhere, and every planted cell diverges
+        // from ground truth exactly where the provenance says it does.
+        let mut seen = std::collections::BTreeSet::new();
+        let gt = GroundTruth::new(pair.clean.clone());
+        for col in 0..pair.clean.ncols() {
+            let dirty_rows = gt.dirty_rows(&pair.dirty, col).unwrap();
+            for row in dirty_rows {
+                let fam = pair.provenance.get(col, row).unwrap_or_else(|| {
+                    panic!("changed cell ({col},{row}) missing from provenance")
+                });
+                seen.insert(fam);
+            }
+        }
+        for fam in families {
+            assert!(seen.contains(&fam), "{fam} was not planted: {seen:?}");
+        }
+
+        // Label noise stays on the label column, nothing else touches it.
+        let label = pair.clean.label_index().unwrap();
+        for row in 0..pair.clean.nrows() {
+            if let Some(fam) = pair.provenance.get(label, row) {
+                assert_eq!(fam, ErrorType::LabelNoise);
+            }
+        }
+    }
 
     #[test]
     fn generator_is_identity_stable() {

@@ -165,6 +165,21 @@ impl Dataset {
         );
         self.config(rows).generate_cleanml_pair(spec.cleanml_errors, rng)
     }
+
+    /// Generate a paired (dirty, clean) version carrying the given REIN
+    /// error families (detection-seeded experiments; works for every
+    /// dataset, no CleanML spec required). Numeric features are spread
+    /// across heterogeneous scales (see
+    /// [`GeneratorConfig::with_scale_spread`]) so cross-domain errors like
+    /// swapped fields are realistically detectable.
+    pub fn generate_rein_pair<R: Rng + ?Sized>(
+        self,
+        rows: Option<usize>,
+        errors: &[ErrorType],
+        rng: &mut R,
+    ) -> CleanMlPair {
+        self.config(rows).with_scale_spread().generate_rein_pair(errors, rng)
+    }
 }
 
 impl fmt::Display for Dataset {

@@ -1,0 +1,48 @@
+//! COMET error detection: cleaning sessions without a ground-truth oracle.
+//!
+//! JENGA plants pollution and hands the session a perfect per-cell error
+//! map; real traffic arrives dirty with no such oracle. This crate is the
+//! replacement candidate source: an ensemble of cheap, fully deterministic
+//! detectors (BoostClean's recipe) scans the dirty frames and produces a
+//! [`DetectionReport`] — a flagged cell set with a best-effort error-family
+//! attribution — that seeds the Polluter's candidate pairs instead of the
+//! JENGA tracker.
+//!
+//! Determinism contract: detection consumes no randomness, no wall clock,
+//! and no hash-seeded iteration order (`BTreeMap`/sorted `Vec`s only), so
+//! the flag set is bit-identical across re-runs and thread counts — a
+//! detection-seeded session stays as replayable as an oracle-seeded one.
+//!
+//! The detectors, in attribution priority order:
+//!
+//! | detector | signal | family attributed |
+//! |---|---|---|
+//! | missing-sentinel | explicitly missing cells | `MissingValues` |
+//! | domain | pow-10 ratio to the column median | `Scaling` |
+//! | domain | value inside a *sibling* column's bulk range | `SwappedFields` |
+//! | robust-z | median/MAD z-score beyond `z_threshold` | `Outliers` |
+//! | iqr | outside `k·IQR` fences | `Outliers` |
+//! | near-duplicate | banded row fingerprints + verification | `NearDuplicateRows` |
+//! | label-disagreement | kNN label-majority disagreement | `LabelNoise` |
+//!
+//! Attribution is *noisy by design* — a swapped field can land inside the
+//! robust-z fence, a scaled value trips the IQR fence first when the median
+//! is near zero. Downstream consumers must treat the family as a hint, not
+//! an oracle; `comet-core`'s detect-mode Cleaner does exactly that.
+//! Against planted ground truth (a JENGA [`Provenance`]), [`score_detectors`]
+//! reports per-detector precision/recall through the NaN-guarded metrics in
+//! `comet-ml`.
+//!
+//! [`Provenance`]: comet_jenga::Provenance
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+mod config;
+mod detectors;
+mod report;
+mod score;
+
+pub use config::{DetectorConfig, DetectorKind, DetectorSet};
+pub use detectors::detect;
+pub use report::{DetectionReport, Flag};
+pub use score::{false_positive_cells, score_detectors, DetectorScore};

@@ -1,0 +1,175 @@
+//! Detection output: flagged cells and their derived candidate pairs.
+
+use crate::config::DetectorKind;
+use comet_jenga::ErrorType;
+use std::collections::BTreeMap;
+
+/// One flagged cell: a detector's claim that `(col, row)` is dirty,
+/// attributed to an error family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Flag {
+    /// Column index in the scanned frame.
+    pub col: usize,
+    /// Row index in the scanned frame.
+    pub row: usize,
+    /// Which detector raised the flag.
+    pub detector: DetectorKind,
+    /// The error family the detector attributes the dirt to (a hint, not
+    /// ground truth — see the crate docs).
+    pub family: ErrorType,
+}
+
+/// The full flag set of one detection pass over one frame.
+///
+/// Flags are kept sorted by `(col, row, detector, family)`; since
+/// [`DetectorKind`]'s declaration order is the attribution priority order,
+/// the first flag per cell is the winning attribution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DetectionReport {
+    flags: Vec<Flag>,
+}
+
+impl DetectionReport {
+    /// Build a report from raw flags (sorted and exact-deduplicated).
+    pub fn new(mut flags: Vec<Flag>) -> Self {
+        flags.sort_unstable();
+        flags.dedup();
+        DetectionReport { flags }
+    }
+
+    /// Every flag, sorted.
+    pub fn flags(&self) -> &[Flag] {
+        &self.flags
+    }
+
+    /// Number of flags (a cell flagged by two detectors counts twice).
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// True when nothing was flagged.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Flagged cells with their winning family attribution
+    /// (first detector in priority order wins).
+    pub fn cells(&self) -> BTreeMap<(usize, usize), ErrorType> {
+        let mut out = BTreeMap::new();
+        for f in &self.flags {
+            out.entry((f.col, f.row)).or_insert(f.family);
+        }
+        out
+    }
+
+    /// Distinct flagged cells regardless of attribution.
+    pub fn flagged_cell_count(&self) -> usize {
+        self.cells().len()
+    }
+
+    /// The `(column, family)` candidate pairs this report seeds a cleaning
+    /// session with, sorted and deduplicated.
+    pub fn candidate_pairs(&self) -> Vec<(usize, ErrorType)> {
+        let mut pairs: Vec<(usize, ErrorType)> =
+            self.cells().into_iter().map(|((col, _), family)| (col, family)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Rows of `col` whose winning attribution is `family`, sorted.
+    pub fn flagged_rows(&self, col: usize, family: ErrorType) -> Vec<usize> {
+        self.cells()
+            .into_iter()
+            .filter(|((c, _), fam)| *c == col && *fam == family)
+            .map(|((_, row), _)| row)
+            .collect()
+    }
+
+    /// Rows of `col` flagged with *any* attribution, sorted.
+    pub fn flagged_rows_any(&self, col: usize) -> Vec<usize> {
+        let mut rows: Vec<usize> =
+            self.cells().into_keys().filter(|(c, _)| *c == col).map(|(_, row)| row).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// Flags raised by one specific detector (for per-detector scoring).
+    pub fn flags_by(&self, detector: DetectorKind) -> impl Iterator<Item = &Flag> {
+        self.flags.iter().filter(move |f| f.detector == detector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flag(col: usize, row: usize, detector: DetectorKind, family: ErrorType) -> Flag {
+        Flag { col, row, detector, family }
+    }
+
+    #[test]
+    fn flags_sorted_and_deduped() {
+        let report = DetectionReport::new(vec![
+            flag(1, 5, DetectorKind::Iqr, ErrorType::Outliers),
+            flag(0, 2, DetectorKind::RobustZ, ErrorType::Outliers),
+            flag(1, 5, DetectorKind::Iqr, ErrorType::Outliers),
+        ]);
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.flags()[0].col, 0);
+        assert!(!report.is_empty());
+        assert!(DetectionReport::default().is_empty());
+    }
+
+    #[test]
+    fn first_detector_in_priority_order_wins_attribution() {
+        // Same cell flagged by Domain (Scaling) and RobustZ (Outliers):
+        // Domain comes first in DetectorKind::ALL, so Scaling wins.
+        let report = DetectionReport::new(vec![
+            flag(0, 3, DetectorKind::RobustZ, ErrorType::Outliers),
+            flag(0, 3, DetectorKind::Domain, ErrorType::Scaling),
+        ]);
+        let cells = report.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[&(0, 3)], ErrorType::Scaling);
+        assert_eq!(report.flagged_cell_count(), 1);
+        assert_eq!(report.len(), 2);
+    }
+
+    #[test]
+    fn candidate_pairs_collapse_rows() {
+        let report = DetectionReport::new(vec![
+            flag(0, 1, DetectorKind::RobustZ, ErrorType::Outliers),
+            flag(0, 7, DetectorKind::RobustZ, ErrorType::Outliers),
+            flag(2, 4, DetectorKind::MissingSentinel, ErrorType::MissingValues),
+        ]);
+        assert_eq!(
+            report.candidate_pairs(),
+            vec![(0, ErrorType::Outliers), (2, ErrorType::MissingValues)]
+        );
+    }
+
+    #[test]
+    fn flagged_rows_filters_by_winning_family() {
+        let report = DetectionReport::new(vec![
+            flag(0, 1, DetectorKind::Domain, ErrorType::Scaling),
+            flag(0, 1, DetectorKind::RobustZ, ErrorType::Outliers), // loses to Domain
+            flag(0, 5, DetectorKind::RobustZ, ErrorType::Outliers),
+        ]);
+        assert_eq!(report.flagged_rows(0, ErrorType::Scaling), vec![1]);
+        assert_eq!(report.flagged_rows(0, ErrorType::Outliers), vec![5]);
+        assert_eq!(report.flagged_rows_any(0), vec![1, 5]);
+        assert!(report.flagged_rows(1, ErrorType::Outliers).is_empty());
+    }
+
+    #[test]
+    fn flags_by_detector() {
+        let report = DetectionReport::new(vec![
+            flag(0, 1, DetectorKind::Iqr, ErrorType::Outliers),
+            flag(0, 2, DetectorKind::RobustZ, ErrorType::Outliers),
+        ]);
+        assert_eq!(report.flags_by(DetectorKind::Iqr).count(), 1);
+        assert_eq!(report.flags_by(DetectorKind::NearDuplicate).count(), 0);
+    }
+}

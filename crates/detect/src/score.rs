@@ -1,0 +1,158 @@
+//! Detector scoring against planted ground truth.
+//!
+//! The simulation harness knows exactly which cells JENGA polluted and with
+//! which family ([`Provenance`]). Each detector is scored as a binary
+//! classifier over the frame's cells: a cell is *positive truth* when its
+//! provenance family is one the detector targets
+//! ([`DetectorKind::target_families`]), and *predicted positive* when that
+//! detector flagged it. Precision and recall run through `comet-ml`'s
+//! NaN-guarded metrics, so degenerate cases (nothing flagged, nothing
+//! planted) come back as 0.0, never NaN or a panic.
+
+use crate::config::DetectorKind;
+use crate::report::DetectionReport;
+use comet_frame::DataFrame;
+use comet_jenga::Provenance;
+use std::collections::BTreeSet;
+
+/// Precision/recall of one detector against planted ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorScore {
+    /// Which detector.
+    pub detector: DetectorKind,
+    /// Cells this detector flagged.
+    pub flagged: usize,
+    /// Cells whose planted family is in the detector's target set.
+    pub true_dirty: usize,
+    /// Flagged ∧ target-dirty / flagged (0.0 when nothing was flagged).
+    pub precision: f64,
+    /// Flagged ∧ target-dirty / target-dirty (0.0 when nothing was planted).
+    pub recall: f64,
+}
+
+/// Score every detector in [`DetectorKind::ALL`] against `prov`.
+///
+/// The cell universe is every cell of `df` in `(col, row)` order —
+/// deterministic, so the emitted numbers are replayable. Detectors that
+/// were disabled (or flagged nothing) score `flagged: 0, precision: 0.0`.
+pub fn score_detectors(
+    report: &DetectionReport,
+    prov: &Provenance,
+    df: &DataFrame,
+) -> Vec<DetectorScore> {
+    let ncols = df.ncols();
+    let nrows = df.nrows();
+    DetectorKind::ALL
+        .into_iter()
+        .map(|detector| {
+            let targets = detector.target_families();
+            let flagged: BTreeSet<(usize, usize)> =
+                report.flags_by(detector).map(|f| (f.col, f.row)).collect();
+            let mut y_true = Vec::with_capacity(ncols * nrows);
+            let mut y_pred = Vec::with_capacity(ncols * nrows);
+            for col in 0..ncols {
+                for row in 0..nrows {
+                    let dirty = prov.get(col, row).is_some_and(|fam| targets.contains(&fam));
+                    y_true.push(u32::from(dirty));
+                    y_pred.push(u32::from(flagged.contains(&(col, row))));
+                }
+            }
+            let true_dirty = y_true.iter().filter(|&&t| t == 1).count();
+            DetectorScore {
+                detector,
+                flagged: flagged.len(),
+                true_dirty,
+                precision: comet_ml::metrics::precision(&y_true, &y_pred, 1),
+                recall: comet_ml::metrics::recall(&y_true, &y_pred, 1),
+            }
+        })
+        .collect()
+}
+
+/// Flagged cells (any detector, any attribution) that carry *no* planted
+/// dirt of any family — the ensemble's raw false positives, fed to the
+/// `detect.false_positives` observability counter.
+pub fn false_positive_cells(report: &DetectionReport, prov: &Provenance) -> usize {
+    report.cells().keys().filter(|&&(col, row)| prov.get(col, row).is_none()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use crate::detect;
+    use comet_frame::{Cell, Column};
+    use comet_jenga::ErrorType;
+
+    fn frame_with_planted_outliers() -> (DataFrame, Provenance) {
+        // Strictly increasing ramp: no two rows are near-duplicates.
+        let x: Vec<f64> = (0..30).map(|i| 10.0 + 1.5 * i as f64).collect();
+        let mut df = DataFrame::new(
+            vec![
+                Column::numeric("x", x),
+                Column::categorical("label", vec![0; 30], vec!["n".into()]).unwrap(),
+            ],
+            Some("label"),
+        )
+        .unwrap();
+        let mut prov = Provenance::for_frame(&df);
+        for (row, v) in [(4usize, 500.0), (17, -400.0)] {
+            df.set(row, 0, Cell::Num(v)).unwrap();
+            prov.record(0, row, ErrorType::Outliers);
+        }
+        (df, prov)
+    }
+
+    #[test]
+    fn perfect_detection_scores_perfect_precision_and_recall() {
+        let (df, prov) = frame_with_planted_outliers();
+        let report = detect(&df, &DetectorConfig::default()).unwrap();
+        let scores = score_detectors(&report, &prov, &df);
+        assert_eq!(scores.len(), DetectorKind::ALL.len());
+        let z = scores.iter().find(|s| s.detector == DetectorKind::RobustZ).unwrap();
+        assert_eq!(z.true_dirty, 2);
+        assert_eq!(z.flagged, 2);
+        assert!((z.precision - 1.0).abs() < 1e-12, "precision {}", z.precision);
+        assert!((z.recall - 1.0).abs() < 1e-12, "recall {}", z.recall);
+    }
+
+    #[test]
+    fn idle_detectors_score_zero_without_nan() {
+        let (df, prov) = frame_with_planted_outliers();
+        let report = detect(&df, &DetectorConfig::default()).unwrap();
+        let scores = score_detectors(&report, &prov, &df);
+        let dup = scores.iter().find(|s| s.detector == DetectorKind::NearDuplicate).unwrap();
+        assert_eq!(dup.flagged, 0);
+        assert_eq!(dup.true_dirty, 0);
+        assert_eq!(dup.precision, 0.0);
+        assert_eq!(dup.recall, 0.0);
+        for s in &scores {
+            assert!(s.precision.is_finite() && s.recall.is_finite(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn false_positive_cells_counts_unplanted_flags() {
+        let (df, prov) = frame_with_planted_outliers();
+        let report = detect(&df, &DetectorConfig::default()).unwrap();
+        // Everything flagged on this frame is planted dirt.
+        assert_eq!(false_positive_cells(&report, &prov), 0);
+        // Wipe the provenance: now every flag is a false positive.
+        let empty = Provenance::for_frame(&df);
+        assert_eq!(false_positive_cells(&report, &empty), report.flagged_cell_count());
+    }
+
+    #[test]
+    fn recall_penalizes_missed_dirt() {
+        let (mut df, mut prov) = frame_with_planted_outliers();
+        // Plant a third outlier too mild for the default thresholds (and
+        // off the ramp's grid, so it is no near-duplicate either).
+        df.set(9, 0, Cell::Num(11.05)).unwrap();
+        prov.record(0, 9, ErrorType::Outliers);
+        let report = detect(&df, &DetectorConfig::default()).unwrap();
+        let scores = score_detectors(&report, &prov, &df);
+        let z = scores.iter().find(|s| s.detector == DetectorKind::RobustZ).unwrap();
+        assert_eq!(z.true_dirty, 3);
+        assert!(z.recall > 0.6 && z.recall < 0.7, "recall {}", z.recall);
+    }
+}

@@ -1,0 +1,92 @@
+//! Detection determinism: the ensemble is pure — same frame, same config,
+//! same report — and stays bit-identical when runs are fanned out across
+//! worker threads (1/2/8), because nothing in it consults thread identity,
+//! hash-seeded iteration order, clocks, or RNGs.
+
+use comet_detect::{detect, DetectionReport, DetectorConfig};
+use comet_frame::{Cell, Column, DataFrame};
+use proptest::prelude::*;
+
+/// A frame whose content is entirely decided by the proptest inputs:
+/// two numeric features (one offset into a different scale), a derived
+/// categorical label, plus planted missing cells and spikes.
+fn build_frame(values: &[f64], missing: &[usize], spikes: &[(usize, f64)]) -> DataFrame {
+    let n = values.len();
+    let x: Vec<f64> = values.to_vec();
+    let y: Vec<f64> = values.iter().map(|v| 100.0 + 7.0 * v).collect();
+    let labels: Vec<u32> = values.iter().map(|v| u32::from(*v > 0.0)).collect();
+    let mut df = DataFrame::new(
+        vec![
+            Column::numeric("x", x),
+            Column::numeric("y", y),
+            Column::categorical("label", labels, vec!["neg".into(), "pos".into()]).unwrap(),
+        ],
+        Some("label"),
+    )
+    .unwrap();
+    for &row in missing {
+        df.set(row % n, 0, Cell::Missing).unwrap();
+    }
+    for &(row, magnitude) in spikes {
+        df.set(row % n, 1, Cell::Num(magnitude)).unwrap();
+    }
+    df
+}
+
+fn assert_report_invariants(report: &DetectionReport) {
+    // Flags are sorted and deduplicated — the report's own ordering
+    // contract, which everything downstream (attribution, candidate
+    // pairs, fingerprints) relies on.
+    let flags = report.flags();
+    for pair in flags.windows(2) {
+        assert!(pair[0] < pair[1], "flags must be strictly sorted: {pair:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn detection_is_pure_and_thread_count_independent(
+        values in prop::collection::vec(-50.0f64..50.0, 20..60),
+        missing in prop::collection::vec(0usize..60, 0..6),
+        spikes in prop::collection::vec((0usize..60, 5_000.0f64..50_000.0), 0..4),
+    ) {
+        let df = build_frame(&values, &missing, &spikes);
+        let config = DetectorConfig::default();
+        let baseline = detect(&df, &config).unwrap();
+        assert_report_invariants(&baseline);
+
+        // Rerun on the same thread: bit-identical.
+        prop_assert_eq!(&baseline, &detect(&df, &config).unwrap());
+
+        // Fan the same detection out across 1, 2, and 8 worker threads;
+        // every copy must come back identical to the sequential baseline.
+        for threads in [1usize, 2, 8] {
+            let reports = comet_par::with_threads(threads, || {
+                comet_par::par_map(vec![df.clone(); 8], |frame| {
+                    detect(&frame, &DetectorConfig::default()).unwrap()
+                })
+            });
+            for report in &reports {
+                prop_assert_eq!(&baseline, report, "divergence at {} threads", threads);
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_thresholds_never_flag_less(
+        values in prop::collection::vec(-50.0f64..50.0, 20..60),
+        spikes in prop::collection::vec((0usize..60, 5_000.0f64..50_000.0), 1..4),
+    ) {
+        // Monotonicity: loosening z/IQR thresholds can only remove flags.
+        let df = build_frame(&values, &[], &spikes);
+        let tight = detect(&df, &DetectorConfig::default()).unwrap();
+        let loose = detect(
+            &df,
+            &DetectorConfig { z_threshold: 12.0, iqr_k: 9.0, ..DetectorConfig::default() },
+        )
+        .unwrap();
+        prop_assert!(loose.flagged_cell_count() <= tight.flagged_cell_count());
+    }
+}

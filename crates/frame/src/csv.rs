@@ -134,30 +134,48 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
     Ok(records)
 }
 
-/// Infer a typed column from string fields. Empty fields are missing.
+/// True when a raw CSV field denotes a missing value: empty (also after
+/// trimming whitespace) or one of the common sentinels real datasets use.
+/// Case-insensitive, so `NA`, `na`, `NULL`, `NaN` all normalize the same
+/// way — a sentinel that survived inference as a categorical value would
+/// blind every missing-value detector downstream.
+pub fn is_missing_sentinel(field: &str) -> bool {
+    let t = field.trim();
+    if t.is_empty() {
+        return true;
+    }
+    matches!(
+        t.to_ascii_lowercase().as_str(),
+        "na" | "n/a" | "null" | "nan" | "none" | "?" | "-" | "missing"
+    )
+}
+
+/// Infer a typed column from string fields. Fields are trimmed and
+/// missing-value sentinels (see [`is_missing_sentinel`]) parse as Missing.
 fn infer_column(name: &str, fields: &[&str]) -> Result<Column> {
     let all_numeric =
-        fields.iter().filter(|f| !f.is_empty()).all(|f| f.trim().parse::<f64>().is_ok());
-    let any_value = fields.iter().any(|f| !f.is_empty());
+        fields.iter().filter(|f| !is_missing_sentinel(f)).all(|f| f.trim().parse::<f64>().is_ok());
+    let any_value = fields.iter().any(|f| !is_missing_sentinel(f));
 
     if all_numeric && any_value {
         let values: Vec<Option<f64>> = fields
             .iter()
-            .map(|f| if f.is_empty() { None } else { f.trim().parse::<f64>().ok() })
+            .map(|f| if is_missing_sentinel(f) { None } else { f.trim().parse::<f64>().ok() })
             .collect();
         Ok(Column::numeric_opt(name, values))
     } else {
         let mut dict: Vec<String> = Vec::new();
         let mut codes: Vec<Option<u32>> = Vec::with_capacity(fields.len());
         for f in fields {
-            if f.is_empty() {
+            if is_missing_sentinel(f) {
                 codes.push(None);
                 continue;
             }
+            let f = f.trim();
             let code = match dict.iter().position(|d| d == f) {
                 Some(i) => i as u32,
                 None => {
-                    dict.push((*f).to_string());
+                    dict.push(f.to_string());
                     (dict.len() - 1) as u32
                 }
             };
@@ -291,5 +309,56 @@ mod tests {
     fn mixed_column_becomes_categorical() {
         let df = read_csv_str("a\n1.0\nx\n", None).unwrap();
         assert_eq!(df.column(0).unwrap().kind(), crate::ColumnKind::Categorical);
+    }
+
+    #[test]
+    fn missing_sentinel_matrix() {
+        // Every sentinel spelling must normalize to Missing, in both numeric
+        // and categorical columns, with or without whitespace padding.
+        let missing = [
+            "", " ", "\t", "NA", "na", " NA ", "N/A", "n/a", "null", "NULL", "NaN", "nan", "None",
+            "?", "-", "missing", " null\t",
+        ];
+        for s in missing {
+            assert!(is_missing_sentinel(s), "{s:?} must be a missing sentinel");
+        }
+        let values = ["0", "na0", "Nat", "n\\a", "nulls", "--", "x", "7.5", "-1.0"];
+        for s in values {
+            assert!(!is_missing_sentinel(s), "{s:?} must not be a missing sentinel");
+        }
+    }
+
+    #[test]
+    fn sentinels_parse_as_missing_in_numeric_columns() {
+        // The sentinels must not demote the column to categorical, and NaN
+        // must arrive as Missing, never as a numeric NaN cell.
+        let df = read_csv_str("a,y\n1.5,p\nNA,p\n n/a ,q\nnull,q\nNaN,p\n 2.5 ,q\n", None).unwrap();
+        let a = df.column_by_name("a").unwrap();
+        assert_eq!(a.kind(), crate::ColumnKind::Numeric);
+        assert_eq!(a.missing_count(), 4);
+        assert_eq!(a.num(0), Some(1.5));
+        assert_eq!(a.num(5), Some(2.5), "whitespace-padded numerics must parse");
+        for row in 1..5 {
+            assert!(df.get(row, 0).unwrap().is_missing(), "row {row}");
+        }
+    }
+
+    #[test]
+    fn sentinels_parse_as_missing_in_categorical_columns() {
+        let df = read_csv_str("job,y\ntech,p\nN/A,p\n admin ,q\nnone,q\ntech,p\n", None).unwrap();
+        let job = df.column_by_name("job").unwrap();
+        assert_eq!(job.kind(), crate::ColumnKind::Categorical);
+        assert_eq!(job.missing_count(), 2);
+        // Whitespace-padded values are trimmed into the dictionary.
+        assert_eq!(job.categories(), &["tech".to_string(), "admin".to_string()]);
+        assert_eq!(job.display(2).unwrap(), "admin");
+    }
+
+    #[test]
+    fn sentinel_only_column_is_numeric_missing() {
+        let df = read_csv_str("a,b\nNA,1.0\nnull,2.0\n ? ,3.0\n", None).unwrap();
+        let a = df.column_by_name("a").unwrap();
+        assert_eq!(a.kind(), crate::ColumnKind::Numeric);
+        assert_eq!(a.missing_count(), 3);
     }
 }

@@ -35,7 +35,7 @@ mod stats;
 
 pub use builder::{numeric_schema, DataFrameBuilder};
 pub use column::{Cell, Column, ColumnData};
-pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string};
+pub use csv::{is_missing_sentinel, read_csv, read_csv_str, write_csv, write_csv_string};
 pub use error::FrameError;
 pub use frame::DataFrame;
 pub use schema::{ColumnKind, FieldMeta, Role, Schema};

@@ -1,9 +1,16 @@
-//! The four error types of paper §3.4.
+//! The four error types of paper §3.4, plus the REIN-taxonomy extension
+//! families (outliers, swapped fields, near-duplicate rows, label noise).
 
 use comet_frame::ColumnKind;
 use std::fmt;
 
 /// A data error type COMET can pollute with and recommend cleaning for.
+///
+/// The first four variants are the paper's (§3.4); the rest follow REIN's
+/// error taxonomy and exist so detection-seeded sessions can face the error
+/// families real dirty data actually carries. Variant order is part of the
+/// determinism contract: discriminants feed per-candidate seeds and
+/// checkpoint fingerprints, so new variants are only ever appended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ErrorType {
     /// Empty / placeholder entries (§3.4 "Missing values").
@@ -14,10 +21,24 @@ pub enum ErrorType {
     CategoricalShift,
     /// Value multiplied by 10, 100, or 1000 — unit-conversion errors (§3.4).
     Scaling,
+    /// Value replaced by an extreme point far outside the column's bulk
+    /// (REIN "outliers": sensor glitches, fat-finger entries).
+    Outliers,
+    /// Cell overwritten with the same row's value from a *different* numeric
+    /// column — misaligned/shifted fields during ingestion (REIN).
+    SwappedFields,
+    /// Cell overwritten with a near-copy of another row's value in the same
+    /// column; injected across all features of a row it makes that row a
+    /// near-duplicate of its donor (REIN "duplicates").
+    NearDuplicateRows,
+    /// Label flipped to a different class — annotation noise (REIN). The
+    /// only error type allowed to touch the label column, and the only
+    /// column it may touch.
+    LabelNoise,
 }
 
 impl ErrorType {
-    /// All error types, in the paper's presentation order.
+    /// The paper's error types, in its presentation order.
     pub const ALL: [ErrorType; 4] = [
         ErrorType::MissingValues,
         ErrorType::GaussianNoise,
@@ -25,29 +46,57 @@ impl ErrorType {
         ErrorType::Scaling,
     ];
 
+    /// Every error type, paper families first, then the REIN extension.
+    pub const EXTENDED: [ErrorType; 8] = [
+        ErrorType::MissingValues,
+        ErrorType::GaussianNoise,
+        ErrorType::CategoricalShift,
+        ErrorType::Scaling,
+        ErrorType::Outliers,
+        ErrorType::SwappedFields,
+        ErrorType::NearDuplicateRows,
+        ErrorType::LabelNoise,
+    ];
+
     /// Whether this error type can occur in a column of the given kind.
-    /// Gaussian noise and scaling need numbers; categorical shift needs
-    /// categories; missing values can hit anything.
+    /// Gaussian noise, scaling, outliers, and swapped fields need numbers;
+    /// categorical shift and label noise need categories; missing values
+    /// and near-duplicates can hit anything.
     pub fn applicable(self, kind: ColumnKind) -> bool {
         match self {
-            ErrorType::MissingValues => true,
-            ErrorType::GaussianNoise | ErrorType::Scaling => kind == ColumnKind::Numeric,
-            ErrorType::CategoricalShift => kind == ColumnKind::Categorical,
+            ErrorType::MissingValues | ErrorType::NearDuplicateRows => true,
+            ErrorType::GaussianNoise
+            | ErrorType::Scaling
+            | ErrorType::Outliers
+            | ErrorType::SwappedFields => kind == ColumnKind::Numeric,
+            ErrorType::CategoricalShift | ErrorType::LabelNoise => kind == ColumnKind::Categorical,
         }
     }
 
-    /// Error types applicable to the given column kind.
+    /// True for the one error family that targets the label column (every
+    /// other family is barred from it, per paper §4.1).
+    pub fn targets_label(self) -> bool {
+        self == ErrorType::LabelNoise
+    }
+
+    /// Paper error types applicable to the given column kind (the paper's
+    /// multi-error scenario draws from this set).
     pub fn applicable_to(kind: ColumnKind) -> Vec<ErrorType> {
         Self::ALL.into_iter().filter(|e| e.applicable(kind)).collect()
     }
 
-    /// The paper's abbreviation (MV, GN, CS, S) as used in Figures 10–12.
+    /// The abbreviation used in figures and traces (paper: MV, GN, CS, S;
+    /// extension: O, SF, ND, LN).
     pub fn abbrev(self) -> &'static str {
         match self {
             ErrorType::MissingValues => "MV",
             ErrorType::GaussianNoise => "GN",
             ErrorType::CategoricalShift => "CS",
             ErrorType::Scaling => "S",
+            ErrorType::Outliers => "O",
+            ErrorType::SwappedFields => "SF",
+            ErrorType::NearDuplicateRows => "ND",
+            ErrorType::LabelNoise => "LN",
         }
     }
 
@@ -64,6 +113,14 @@ impl ErrorType {
                 Some(ErrorType::CategoricalShift)
             }
             "s" | "scaling" | "scale" => Some(ErrorType::Scaling),
+            "o" | "outliers" | "outlier" => Some(ErrorType::Outliers),
+            "sf" | "swapped" | "swapped_fields" | "swapped-fields" => {
+                Some(ErrorType::SwappedFields)
+            }
+            "nd" | "duplicates" | "near_duplicates" | "near-duplicates" | "near_duplicate_rows" => {
+                Some(ErrorType::NearDuplicateRows)
+            }
+            "ln" | "label" | "label_noise" | "label-noise" => Some(ErrorType::LabelNoise),
             _ => None,
         }
     }
@@ -76,6 +133,10 @@ impl fmt::Display for ErrorType {
             ErrorType::GaussianNoise => "Gaussian noise",
             ErrorType::CategoricalShift => "categorical shift",
             ErrorType::Scaling => "scaling",
+            ErrorType::Outliers => "outliers",
+            ErrorType::SwappedFields => "swapped fields",
+            ErrorType::NearDuplicateRows => "near-duplicate rows",
+            ErrorType::LabelNoise => "label noise",
         };
         f.write_str(name)
     }
@@ -112,11 +173,45 @@ mod tests {
 
     #[test]
     fn abbreviations_roundtrip_through_parse() {
-        for e in ErrorType::ALL {
+        for e in ErrorType::EXTENDED {
             assert_eq!(ErrorType::parse(e.abbrev()), Some(e));
         }
         assert_eq!(ErrorType::parse("gaussian_noise"), Some(ErrorType::GaussianNoise));
         assert_eq!(ErrorType::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn extended_families_applicability() {
+        use ColumnKind::*;
+        assert!(ErrorType::Outliers.applicable(Numeric));
+        assert!(!ErrorType::Outliers.applicable(Categorical));
+        assert!(ErrorType::SwappedFields.applicable(Numeric));
+        assert!(!ErrorType::SwappedFields.applicable(Categorical));
+        assert!(ErrorType::NearDuplicateRows.applicable(Numeric));
+        assert!(ErrorType::NearDuplicateRows.applicable(Categorical));
+        assert!(!ErrorType::LabelNoise.applicable(Numeric));
+        assert!(ErrorType::LabelNoise.applicable(Categorical));
+        // The paper's multi-error scenario never draws extension families.
+        assert!(!ErrorType::applicable_to(Numeric).contains(&ErrorType::Outliers));
+        // Only label noise targets labels.
+        for e in ErrorType::EXTENDED {
+            assert_eq!(e.targets_label(), e == ErrorType::LabelNoise, "{e}");
+        }
+    }
+
+    #[test]
+    fn variant_order_is_appended_only() {
+        // Discriminants feed candidate seeds and checkpoint fingerprints;
+        // the paper's four must keep their positions.
+        let d = |e: ErrorType| e as u8;
+        assert_eq!(d(ErrorType::MissingValues), 0);
+        assert_eq!(d(ErrorType::GaussianNoise), 1);
+        assert_eq!(d(ErrorType::CategoricalShift), 2);
+        assert_eq!(d(ErrorType::Scaling), 3);
+        assert_eq!(d(ErrorType::Outliers), 4);
+        assert_eq!(d(ErrorType::SwappedFields), 5);
+        assert_eq!(d(ErrorType::NearDuplicateRows), 6);
+        assert_eq!(d(ErrorType::LabelNoise), 7);
     }
 
     #[test]

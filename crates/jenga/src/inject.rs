@@ -47,15 +47,24 @@ pub fn sample_rows<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usiz
     idx
 }
 
-/// Inject `error_type` into the given `rows` of feature column `col`.
+/// Inject `error_type` into the given `rows` of column `col`.
 ///
-/// Follows paper §3.4:
+/// Follows paper §3.4 for the original families:
 /// * **Missing values** — replace with a placeholder (our explicit missing),
 /// * **Gaussian noise** — add `N(0, σ²)` with σ drawn uniformly from \[1, 5\]
 ///   once per call,
 /// * **Categorical shift** — swap the category for a uniformly chosen
 ///   *different* category of the same column,
-/// * **Scaling** — multiply by 10, 100, or 1000 (chosen per row).
+/// * **Scaling** — multiply by 10, 100, or 1000 (chosen per row),
+///
+/// and REIN's taxonomy for the extension families:
+/// * **Outliers** — replace with `mean ± kσ`, `k ∈ [6, 12]` per row,
+/// * **Swapped fields** — overwrite with the same row's value from the next
+///   numeric feature column,
+/// * **Near-duplicate rows** — overwrite with a ±1 %-jittered copy of the
+///   next row's value in the same column,
+/// * **Label noise** — flip the label to a different class (the only error
+///   type allowed on the label column, and barred from features).
 ///
 /// Cells that are already missing are skipped for value-modifying error
 /// types (there is no value to perturb); `MissingValues` skips cells that
@@ -77,8 +86,16 @@ pub fn inject<R: Rng + ?Sized>(
             column.name()
         )));
     }
-    if df.label_index().ok() == Some(col) {
-        return Err(FrameError::InvalidArgument("labels are never polluted (paper §4.1)".into()));
+    let is_label = df.label_index().ok() == Some(col);
+    if is_label && !error_type.targets_label() {
+        return Err(FrameError::InvalidArgument(
+            "labels are never polluted (paper §4.1); only label noise targets them".into(),
+        ));
+    }
+    if !is_label && error_type.targets_label() {
+        return Err(FrameError::InvalidArgument(
+            "label noise targets the label column, not features".into(),
+        ));
     }
 
     let mut changed = Vec::with_capacity(rows.len());
@@ -113,7 +130,9 @@ pub fn inject<R: Rng + ?Sized>(
                 changed.push((row, prev));
             }
         }
-        ErrorType::CategoricalShift => {
+        ErrorType::CategoricalShift | ErrorType::LabelNoise => {
+            // Label noise is a categorical shift on the label column:
+            // annotation errors swap the class for a different one.
             let cardinality = df.column(col)?.cardinality() as u32;
             if cardinality < 2 {
                 // Nothing to shift to; report zero changes.
@@ -128,6 +147,94 @@ pub fn inject<R: Rng + ?Sized>(
                     new_code += 1;
                 }
                 df.set(row, col, Cell::Cat(new_code))?;
+                changed.push((row, prev));
+            }
+        }
+        ErrorType::Outliers => {
+            // Extreme points relative to the column's own bulk: mean ± kσ
+            // with k ∈ [6, 12] per row. A constant column still yields a
+            // visible outlier through the |mean|-based fallback spread.
+            let (mean, std) = match df.column(col)?.summary() {
+                comet_frame::ColumnSummary::Numeric(s) if s.count > 0 => (s.mean, s.std),
+                _ => (0.0, 0.0),
+            };
+            let spread = if std > 0.0 {
+                std
+            } else if mean.abs() > 1.0 {
+                mean.abs()
+            } else {
+                1.0
+            };
+            for &row in rows {
+                let prev = df.get(row, col)?;
+                if prev.as_num().is_none() {
+                    continue;
+                }
+                let k = rng.gen_range(6.0..=12.0);
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                df.set(row, col, Cell::Num(mean + sign * k * spread))?;
+                changed.push((row, prev));
+            }
+        }
+        ErrorType::SwappedFields => {
+            // Misaligned ingestion: the cell receives the same row's value
+            // from the next numeric feature column (cyclically). With no
+            // partner column there is nothing to swap from.
+            let numeric: Vec<usize> = df
+                .feature_indices()
+                .into_iter()
+                .filter(|&c| {
+                    c != col
+                        && df.column(c).map(|x| x.kind() == comet_frame::ColumnKind::Numeric)
+                            == Ok(true)
+                })
+                .collect();
+            let Some(&partner) = numeric.iter().find(|&&c| c > col).or_else(|| numeric.first())
+            else {
+                return Ok(InjectionRecord { col, error_type, changed });
+            };
+            for &row in rows {
+                let prev = df.get(row, col)?;
+                if prev.as_num().is_none() {
+                    continue;
+                }
+                let Some(v) = df.get(row, partner)?.as_num() else { continue };
+                if prev.as_num() == Some(v) {
+                    continue;
+                }
+                df.set(row, col, Cell::Num(v))?;
+                changed.push((row, prev));
+            }
+        }
+        ErrorType::NearDuplicateRows => {
+            // The cell becomes a near-copy of the next row's value. The
+            // donor is a fixed function of the row, so injecting the same
+            // row set across every feature column turns those rows into
+            // near-duplicates of their donor rows — the whole-row shape the
+            // banding detector hunts.
+            let n = df.nrows();
+            if n < 2 {
+                return Ok(InjectionRecord { col, error_type, changed });
+            }
+            for &row in rows {
+                let donor = (row + 1) % n;
+                let prev = df.get(row, col)?;
+                if prev.is_missing() {
+                    continue;
+                }
+                let new = match df.get(donor, col)? {
+                    Cell::Num(v) => {
+                        // ±1% jitter: near-duplicate, not exact.
+                        let jitter = 1.0 + 0.01 * (2.0 * rng.gen::<f64>() - 1.0);
+                        Cell::Num(v * jitter)
+                    }
+                    Cell::Cat(c) => Cell::Cat(c),
+                    Cell::Missing => continue,
+                };
+                if new == prev {
+                    continue;
+                }
+                df.set(row, col, new)?;
                 changed.push((row, prev));
             }
         }
@@ -274,6 +381,118 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let err = inject(&mut df, 2, &[0], ErrorType::MissingValues, &mut rng).unwrap_err();
         assert!(err.to_string().contains("never polluted"));
+    }
+
+    #[test]
+    fn outliers_land_far_outside_the_bulk() {
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(20);
+        let (mean, std) = {
+            let c = df.column(0).unwrap();
+            (c.mean().unwrap(), c.std().unwrap())
+        };
+        let rows = vec![3, 40, 77];
+        let rec = inject(&mut df, 0, &rows, ErrorType::Outliers, &mut rng).unwrap();
+        assert_eq!(rec.changed.len(), 3);
+        for &r in &rows {
+            let v = df.get(r, 0).unwrap().as_num().unwrap();
+            let z = (v - mean).abs() / std;
+            assert!(z >= 5.0, "outlier at z={z} is not extreme");
+        }
+    }
+
+    #[test]
+    fn swapped_fields_copy_from_partner_column() {
+        // frame() has one numeric feature; add a second so a partner exists.
+        let x = Column::numeric("x", (0..100).map(|i| i as f64).collect());
+        let z = Column::numeric("z", (0..100).map(|i| 1000.0 + i as f64).collect());
+        let y = Column::categorical(
+            "y",
+            (0..100).map(|i| (i % 2) as u32).collect(),
+            vec!["n".into(), "p".into()],
+        )
+        .unwrap();
+        let mut df = DataFrame::new(vec![x, z, y], Some("y")).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let rec = inject(&mut df, 0, &[5, 6], ErrorType::SwappedFields, &mut rng).unwrap();
+        assert_eq!(rec.changed.len(), 2);
+        assert_eq!(df.get(5, 0).unwrap(), Cell::Num(1005.0));
+        assert_eq!(df.get(6, 0).unwrap(), Cell::Num(1006.0));
+        // The partner column itself is untouched.
+        assert_eq!(df.get(5, 1).unwrap(), Cell::Num(1005.0));
+    }
+
+    #[test]
+    fn swapped_fields_without_partner_is_noop() {
+        // frame() has exactly one numeric feature column.
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(22);
+        let rec = inject(&mut df, 0, &[1, 2], ErrorType::SwappedFields, &mut rng).unwrap();
+        assert!(rec.changed.is_empty());
+    }
+
+    #[test]
+    fn near_duplicates_copy_the_next_row() {
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(23);
+        let rec = inject(&mut df, 0, &[10], ErrorType::NearDuplicateRows, &mut rng).unwrap();
+        assert_eq!(rec.changed.len(), 1);
+        let v = df.get(10, 0).unwrap().as_num().unwrap();
+        let donor = df.get(11, 0).unwrap().as_num().unwrap();
+        assert!((v - donor).abs() / donor.abs() <= 0.011, "v={v} donor={donor}");
+        assert_ne!(v, 10.0, "the original value must be gone");
+        // Categorical columns copy the donor code exactly; same-code rows
+        // are reported unchanged.
+        let rec = inject(&mut df, 1, &[0, 30], ErrorType::NearDuplicateRows, &mut rng).unwrap();
+        for &(r, _) in &rec.changed {
+            assert_eq!(df.get(r, 1).unwrap(), df.get(r + 1, 1).unwrap());
+        }
+    }
+
+    #[test]
+    fn label_noise_flips_labels_and_only_labels() {
+        let mut df = frame();
+        let mut rng = StdRng::seed_from_u64(24);
+        let before: Vec<u32> = (0..8).map(|r| df.get(r, 2).unwrap().as_cat().unwrap()).collect();
+        let rows: Vec<usize> = (0..8).collect();
+        let rec = inject(&mut df, 2, &rows, ErrorType::LabelNoise, &mut rng).unwrap();
+        assert_eq!(rec.changed.len(), 8);
+        for (i, &r) in rows.iter().enumerate() {
+            assert_ne!(df.get(r, 2).unwrap().as_cat().unwrap(), before[i]);
+        }
+        // Label noise is barred from feature columns…
+        let err = inject(&mut df, 1, &[0], ErrorType::LabelNoise, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("label column"), "{err}");
+        // …and every other family stays barred from the label.
+        let err = inject(&mut df, 2, &[0], ErrorType::CategoricalShift, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("never polluted"), "{err}");
+    }
+
+    #[test]
+    fn extended_families_revert_exactly() {
+        let x = Column::numeric("x", (0..60).map(|i| i as f64).collect());
+        let z = Column::numeric("z", (0..60).map(|i| (i * 3) as f64).collect());
+        let y = Column::categorical(
+            "y",
+            (0..60).map(|i| (i % 2) as u32).collect(),
+            vec!["n".into(), "p".into()],
+        )
+        .unwrap();
+        let mut df = DataFrame::new(vec![x, z, y], Some("y")).unwrap();
+        let original = df.clone();
+        let mut rng = StdRng::seed_from_u64(25);
+        for (col, err) in [
+            (0, ErrorType::Outliers),
+            (0, ErrorType::SwappedFields),
+            (1, ErrorType::NearDuplicateRows),
+            (2, ErrorType::LabelNoise),
+        ] {
+            let rows = sample_rows(60, 20, &mut rng);
+            let rec = inject(&mut df, col, &rows, err, &mut rng).unwrap();
+            assert!(!rec.changed.is_empty(), "{err} changed nothing");
+            rec.revert(&mut df).unwrap();
+            assert_eq!(df, original, "{err} revert must restore exactly");
+        }
     }
 
     #[test]

@@ -91,10 +91,16 @@ impl PrePollutionPlan {
             )));
         }
         let n = df.nrows();
-        for &(col, level) in &self.levels {
-            let cells = (level * n as f64).round() as usize;
+        for (col, level) in self.effective_levels() {
+            // A positive level must pollute at least one cell: plain
+            // rounding yields 0 at small levels/row counts, producing plan
+            // steps that pollute nothing yet consume a probe.
+            let mut cells = (level * n as f64).round() as usize;
             if cells == 0 {
-                continue;
+                if level <= 0.0 || n == 0 {
+                    continue;
+                }
+                cells = 1;
             }
             match self.scenario {
                 Scenario::SingleError(err) => {
@@ -123,6 +129,22 @@ impl PrePollutionPlan {
             }
         }
         Ok(())
+    }
+
+    /// The plan's levels with collided column entries deduplicated: when a
+    /// column appears more than once (an [`explicit`](Self::explicit) plan
+    /// built from overlapping sources), the entries merge into one at the
+    /// maximum level, in first-appearance order — applying the same target
+    /// twice would overshoot the requested pollution.
+    pub fn effective_levels(&self) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = Vec::with_capacity(self.levels.len());
+        for &(col, level) in &self.levels {
+            match out.iter_mut().find(|(c, _)| *c == col) {
+                Some((_, existing)) => *existing = existing.max(level),
+                None => out.push((col, level)),
+            }
+        }
+        out
     }
 
     /// Mean pollution level across planned features (0 if none).
@@ -262,6 +284,43 @@ mod tests {
         let mut prov = Provenance::for_frame(&df);
         let mut df2 = df.clone();
         assert!(plan.apply(&mut df2, 0.0, &mut prov, &mut rng).is_err());
+    }
+
+    #[test]
+    fn tiny_positive_level_pollutes_at_least_one_cell() {
+        // Regression: round(0.002 * 200) == 0 used to make this plan step a
+        // silent no-op that still consumed a probe.
+        let mut df = frame();
+        let gt = crate::GroundTruth::new(df.clone());
+        let mut prov = Provenance::for_frame(&df);
+        let mut rng = StdRng::seed_from_u64(9);
+        let plan = PrePollutionPlan::explicit(
+            Scenario::SingleError(ErrorType::MissingValues),
+            vec![(0, 0.002), (1, 0.0001)],
+        );
+        plan.apply(&mut df, 0.01, &mut prov, &mut rng).unwrap();
+        assert_eq!(gt.dirty_count(&df, 0).unwrap(), 1);
+        assert_eq!(gt.dirty_count(&df, 1).unwrap(), 1);
+        // Level 0 still means untouched (zero_level_is_noop covers it too).
+        assert_eq!(gt.dirty_count(&df, 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn collided_column_entries_are_deduplicated() {
+        let plan = PrePollutionPlan::explicit(
+            Scenario::SingleError(ErrorType::MissingValues),
+            vec![(0, 0.10), (2, 0.25), (0, 0.05), (0, 0.20)],
+        );
+        assert_eq!(plan.effective_levels(), vec![(0, 0.20), (2, 0.25)]);
+
+        // Applying must use the merged level, not the sum of collisions.
+        let mut df = frame();
+        let gt = crate::GroundTruth::new(df.clone());
+        let mut prov = Provenance::for_frame(&df);
+        let mut rng = StdRng::seed_from_u64(10);
+        plan.apply(&mut df, 0.01, &mut prov, &mut rng).unwrap();
+        assert_eq!(gt.dirty_count(&df, 0).unwrap(), 40); // 0.20 × 200, once
+        assert_eq!(gt.dirty_count(&df, 2).unwrap(), 50);
     }
 
     #[test]

@@ -53,16 +53,21 @@ impl GroundTruth {
         Ok(self.dirty_rows(dirty, col)?.len())
     }
 
-    /// Total dirty cells across all feature columns.
+    /// Total dirty cells across all feature columns — plus the label
+    /// column when the frame has one, so label noise counts as dirt (a
+    /// session is not "fully clean" while flipped labels remain).
     pub fn total_dirty(&self, dirty: &DataFrame) -> Result<usize> {
         let mut total = 0;
         for col in dirty.feature_indices() {
             total += self.dirty_count(dirty, col)?;
         }
+        if let Ok(label) = dirty.label_index() {
+            total += self.dirty_count(dirty, label)?;
+        }
         Ok(total)
     }
 
-    /// True when every feature cell matches ground truth.
+    /// True when every feature (and label) cell matches ground truth.
     pub fn is_fully_clean(&self, dirty: &DataFrame) -> Result<bool> {
         Ok(self.total_dirty(dirty)? == 0)
     }
@@ -296,6 +301,18 @@ mod tests {
         // Cleaning a clean column is a no-op.
         let cleaned = gt.clean_step(&mut df, 0, 10, &[], &mut rng).unwrap();
         assert!(cleaned.is_empty());
+    }
+
+    #[test]
+    fn label_dirt_counts_toward_total() {
+        let mut df = frame();
+        let gt = GroundTruth::new(df.clone());
+        let mut rng = StdRng::seed_from_u64(6);
+        inject(&mut df, 1, &[2, 4], ErrorType::LabelNoise, &mut rng).unwrap();
+        assert_eq!(gt.total_dirty(&df).unwrap(), 2, "flipped labels are dirt");
+        assert!(!gt.is_fully_clean(&df).unwrap());
+        gt.restore(&mut df, 1, &[2, 4]).unwrap();
+        assert!(gt.is_fully_clean(&df).unwrap());
     }
 
     #[test]

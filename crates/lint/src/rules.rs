@@ -98,7 +98,7 @@ pub struct FileContext {
 
 /// Crates whose source participates in producing the cleaning trace: any
 /// order-of-iteration or NaN-comparison slip here changes recommendations.
-const TRACE_AFFECTING: [&str; 6] = ["core", "ml", "bayes", "jenga", "baselines", "frame"];
+const TRACE_AFFECTING: [&str; 7] = ["core", "ml", "bayes", "jenga", "baselines", "frame", "detect"];
 
 /// Crates allowed to read wall clocks / entropy: the observability layer,
 /// the timing shim, and bench binaries measure time *by design*.

@@ -92,9 +92,13 @@ pub fn f1_macro(y_true: &[u32], y_pred: &[u32], n_classes: usize) -> f64 {
 }
 
 /// Precision for one class treated as positive (`tp / (tp + fp)`; 0 when no
-/// positive prediction exists).
+/// positive prediction exists, including the empty-split case). Single-class
+/// ground truth bumps the `metrics.single_class` counter, exactly like
+/// [`f1_binary`] — detector precision/recall scoring runs on arbitrary flag
+/// vectors and must never panic or emit NaN into the trace.
 pub fn precision(y_true: &[u32], y_pred: &[u32], positive: u32) -> f64 {
     assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    note_single_class(y_true);
     let tp = y_true.iter().zip(y_pred).filter(|&(&t, &p)| t == positive && p == positive).count();
     let predicted = y_pred.iter().filter(|&&p| p == positive).count();
     if predicted == 0 {
@@ -105,9 +109,11 @@ pub fn precision(y_true: &[u32], y_pred: &[u32], positive: u32) -> f64 {
 }
 
 /// Recall for one class treated as positive (`tp / (tp + fn)`; 0 when the
-/// class is absent from the labels).
+/// class is absent from the labels, including the empty-split case).
+/// Single-class ground truth bumps the `metrics.single_class` counter.
 pub fn recall(y_true: &[u32], y_pred: &[u32], positive: u32) -> f64 {
     assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    note_single_class(y_true);
     let tp = y_true.iter().zip(y_pred).filter(|&(&t, &p)| t == positive && p == positive).count();
     let actual = y_true.iter().filter(|&&t| t == positive).count();
     if actual == 0 {
@@ -315,6 +321,41 @@ mod tests {
         // Concurrent tests may also bump the counter, so assert growth by
         // at least the three single-class calls above.
         assert!(after >= before + 3, "counter {before} -> {after}");
+    }
+
+    #[test]
+    fn empty_test_split_never_panics_or_emits_nan() {
+        // Detector scoring and pathological splits can hand every metric an
+        // empty vector; each must return a defined (finite) value.
+        let empty: [u32; 0] = [];
+        let scores: [f64; 0] = [];
+        for v in [
+            accuracy(&empty, &empty),
+            f1_binary(&empty, &empty, 1),
+            f1_macro(&empty, &empty, 2),
+            precision(&empty, &empty, 1),
+            recall(&empty, &empty, 1),
+            balanced_accuracy(&empty, &empty, 2),
+            roc_auc(&empty, &scores),
+            Metric::F1.eval(&empty, &empty, 2),
+            Metric::Accuracy.eval(&empty, &empty, 2),
+        ] {
+            assert!(v.is_finite(), "metric emitted {v}");
+            assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn precision_recall_single_class_is_defined_and_counted() {
+        comet_obs::set_enabled(true);
+        let before = comet_obs::snapshot().counter("metrics.single_class");
+        let p = precision(&[1, 1, 1], &[1, 0, 1], 1);
+        let r = recall(&[0, 0, 0], &[1, 0, 1], 0);
+        let after = comet_obs::snapshot().counter("metrics.single_class");
+        comet_obs::set_enabled(false);
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+        assert!(r.is_finite() && (0.0..=1.0).contains(&r));
+        assert!(after >= before + 2, "counter {before} -> {after}");
     }
 
     #[test]

@@ -37,7 +37,13 @@ usage:
                   [--step FRAC] [--batch N] [--max-retries N] [--trace FILE]
                   [--checkpoint FILE [--resume]] [--metrics-out FILE]
                   [--kernels scalar|simd] [--f32-probes]
-                  [--no-feature-cache] [--seed N]";
+                  [--detect [--detectors LIST]]
+                  [--no-feature-cache] [--seed N]
+
+  --detect      seed candidates from the built-in detector ensemble instead
+                of the dirty/clean provenance diff (the oracle); --detectors
+                narrows the ensemble (comma list, e.g. missing-sentinel,iqr;
+                default all)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,7 +71,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["resume", "no-feature-cache", "f32-probes"];
+const BOOL_FLAGS: &[&str] = &["resume", "no-feature-cache", "f32-probes", "detect"];
 
 /// Parse `--key value` pairs (and valueless [`BOOL_FLAGS`]).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -91,6 +97,32 @@ fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a st
 
 fn seed_of(flags: &HashMap<String, String>) -> Result<u64, String> {
     flags.get("seed").map_or(Ok(42), |s| s.parse().map_err(|e| format!("--seed: {e}")))
+}
+
+/// `--detect [--detectors LIST]` → the session's detector configuration.
+/// `--detectors` without `--detect` is rejected rather than ignored.
+fn parse_detect(
+    flags: &HashMap<String, String>,
+) -> Result<Option<comet::detect::DetectorConfig>, String> {
+    let enabled = flags.contains_key("detect");
+    match flags.get("detectors") {
+        Some(list) => {
+            if !enabled {
+                return Err("--detectors requires --detect".into());
+            }
+            let set = comet::detect::DetectorSet::parse(list)
+                .ok_or_else(|| format!("unknown detector in {list:?}"))?;
+            if set.is_empty() {
+                return Err("--detectors must enable at least one detector".into());
+            }
+            Ok(Some(comet::detect::DetectorConfig {
+                enabled: set,
+                ..comet::detect::DetectorConfig::default()
+            }))
+        }
+        None if enabled => Ok(Some(comet::detect::DetectorConfig::default())),
+        None => Ok(None),
+    }
 }
 
 fn algo_of(flags: &HashMap<String, String>) -> Result<Algorithm, String> {
@@ -176,6 +208,7 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("unknown kernel tier {name:?} (use scalar|simd)"))?,
     };
     let f32_probes = flags.contains_key("f32-probes");
+    let detect = parse_detect(&flags)?;
     let resume = flags.contains_key("resume");
     let checkpoint =
         flags.get("checkpoint").map(|path| CheckpointSpec { path: path.into(), resume });
@@ -212,10 +245,13 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     if flags.contains_key("no-feature-cache") {
         env.set_feature_caching(false);
     }
-    // Which error types does the dirt look like? Run with all four; the
-    // provenance derived from the diff uses MissingValues for empty cells
-    // and Scaling/GaussianNoise/CategoricalShift heuristically.
-    let errors = ErrorType::ALL.to_vec();
+    // Which error types does the dirt look like? Oracle mode runs the
+    // paper's four (the provenance derived from the diff uses those
+    // heuristically). Detection mode runs the full extended taxonomy: the
+    // ensemble attributes families like outliers and near-duplicates that
+    // the diff heuristic never emits.
+    let errors =
+        if detect.is_some() { ErrorType::EXTENDED.to_vec() } else { ErrorType::ALL.to_vec() };
 
     // `--metrics-out` turns on the observability registry for this run and
     // streams the JSONL journal to the given path while the session runs.
@@ -235,6 +271,7 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
         max_retries,
         kernels,
         f32_probes,
+        detect,
         ..CometConfig::default()
     };
     let mut session = CleaningSession::new(config, errors);
@@ -280,6 +317,22 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
         );
     }
     print!("{}", trace.summary());
+    if detect.is_some() {
+        // Harness-side diagnostics: how well the ensemble tracked the
+        // dirty/clean diff (COMET itself never saw these numbers).
+        if let Ok(scores) = env.detector_scores() {
+            println!("detector precision/recall vs the dirty/clean diff (train split):");
+            for s in scores {
+                println!(
+                    "  {:<20} flagged {:>5}  P {:.3}  R {:.3}",
+                    s.detector.name(),
+                    s.flagged,
+                    s.precision,
+                    s.recall,
+                );
+            }
+        }
+    }
     if let Some(path) = flags.get("trace") {
         std::fs::write(path, trace.to_csv(Some(env.train()))).map_err(|e| e.to_string())?;
         println!("trace written to {path}");
@@ -408,6 +461,24 @@ mod tests {
         assert!(algo_of(&f).is_err());
         let f = flags(&["--seed", "NaN"]).unwrap();
         assert!(seed_of(&f).is_err());
+    }
+
+    #[test]
+    fn detect_flags_parse() {
+        let f = flags(&["--detect"]).unwrap();
+        let config = parse_detect(&f).unwrap().expect("--detect enables detection");
+        assert_eq!(config, comet::detect::DetectorConfig::default());
+
+        let f = flags(&["--detect", "--detectors", "missing-sentinel,iqr"]).unwrap();
+        let config = parse_detect(&f).unwrap().unwrap();
+        assert!(config.enabled.contains(comet::detect::DetectorKind::MissingSentinel));
+        assert!(config.enabled.contains(comet::detect::DetectorKind::Iqr));
+        assert!(!config.enabled.contains(comet::detect::DetectorKind::Domain));
+
+        // Oracle mode stays the default; partial/invalid flags are loud.
+        assert_eq!(parse_detect(&flags(&[]).unwrap()).unwrap(), None);
+        assert!(parse_detect(&flags(&["--detectors", "iqr"]).unwrap()).is_err());
+        assert!(parse_detect(&flags(&["--detect", "--detectors", "psychic"]).unwrap()).is_err());
     }
 
     #[test]

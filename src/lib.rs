@@ -11,6 +11,7 @@ pub use comet_baselines as baselines;
 pub use comet_bayes as bayes;
 pub use comet_core as core;
 pub use comet_datasets as datasets;
+pub use comet_detect as detect;
 pub use comet_frame as frame;
 pub use comet_jenga as jenga;
 pub use comet_ml as ml;
