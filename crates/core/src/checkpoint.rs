@@ -212,6 +212,7 @@ fn cache_array(entries: &[(u64, u64, f64)]) -> String {
 pub(crate) struct CheckpointWriter {
     out: BufWriter<File>,
     seen: BTreeSet<(u64, u64)>,
+    faults: Option<std::sync::Arc<crate::faults::FaultPlan>>,
 }
 
 impl CheckpointWriter {
@@ -232,7 +233,8 @@ impl CheckpointWriter {
         let file = File::create(path).map_err(|e| {
             CometError::Checkpoint(format!("cannot create {}: {e}", path.display()))
         })?;
-        let mut writer = CheckpointWriter { out: BufWriter::new(file), seen: BTreeSet::new() };
+        let mut writer =
+            CheckpointWriter { out: BufWriter::new(file), seen: BTreeSet::new(), faults: None };
         let mut obj = JsonObject::new();
         obj.field_str("kind", "checkpoint_header")
             .field_u64("version", 1)
@@ -255,8 +257,17 @@ impl CheckpointWriter {
             .map_err(|e| CometError::Checkpoint(format!("write failed: {e}")))
     }
 
-    fn fresh(&mut self, entries: &[(u64, u64, f64)]) -> Vec<(u64, u64, f64)> {
-        entries.iter().copied().filter(|&(a, b, _)| self.seen.insert((a, b))).collect()
+    /// Entries not yet persisted. `seen` is only updated by [`Self::commit`]
+    /// *after* a successful write, so a failed write (real or injected) can
+    /// be retried without dropping entries from the file.
+    fn fresh(&self, entries: &[(u64, u64, f64)]) -> Vec<(u64, u64, f64)> {
+        entries.iter().copied().filter(|&(a, b, _)| !self.seen.contains(&(a, b))).collect()
+    }
+
+    fn commit(&mut self, fresh: &[(u64, u64, f64)]) {
+        for &(a, b, _) in fresh {
+            self.seen.insert((a, b));
+        }
     }
 
     /// Persist cache entries outside any iteration (resume writes the
@@ -266,7 +277,18 @@ impl CheckpointWriter {
         let fresh = self.fresh(entries);
         let mut obj = JsonObject::new();
         obj.field_str("kind", "checkpoint_cache").field_raw("entries", &cache_array(&fresh));
-        self.write_line(&obj.finish())
+        self.write_line(&obj.finish())?;
+        self.commit(&fresh);
+        Ok(())
+    }
+
+    /// Arm deterministic I/O fault injection: a
+    /// [`crate::faults::FaultKind::CheckpointWriteError`] spec in `plan`
+    /// makes [`Self::write_iteration`] fail at that iteration as if the
+    /// disk did.
+    pub fn with_faults(mut self, plan: std::sync::Arc<crate::faults::FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Persist one completed iteration plus the cache entries it added.
@@ -275,6 +297,16 @@ impl CheckpointWriter {
         record: &IterationCheckpoint,
         cache_entries: &[(u64, u64, f64)],
     ) -> Result<(), CometError> {
+        // Injection happens before `seen` is updated, so a retried write
+        // after a transient fault still persists every fresh cache entry.
+        if let Some(plan) = &self.faults {
+            if plan.arm_checkpoint(record.iteration) {
+                return Err(CometError::Checkpoint(format!(
+                    "injected checkpoint write failure at iteration {}",
+                    record.iteration
+                )));
+            }
+        }
         let fresh = self.fresh(cache_entries);
         let mut obj = JsonObject::new();
         obj.field_str("kind", "checkpoint_iteration")
@@ -284,7 +316,9 @@ impl CheckpointWriter {
             .field_u64("records", record.records as u64)
             .field_str("trace_fp", &hex_u64(record.trace_fp))
             .field_raw("cache", &cache_array(&fresh));
-        self.write_line(&obj.finish())
+        self.write_line(&obj.finish())?;
+        self.commit(&fresh);
+        Ok(())
     }
 }
 

@@ -1,0 +1,166 @@
+//! Cooperative session control: cancellation, deadlines, and live
+//! progress — the hooks a long-running host (the `comet-serve` daemon)
+//! uses to bound a session without owning its thread.
+//!
+//! A [`SessionControl`] is a cheap clonable handle shared between the
+//! thread running [`crate::CleaningSession::run`] and whoever supervises
+//! it. The supervisor requests a stop ([`SessionControl::cancel`] /
+//! [`SessionControl::expire_deadline`]); the session checks the flag at
+//! every outer-loop iteration boundary and, when set, stops *gracefully*:
+//! the completed iterations are already checkpointed, the partial trace is
+//! returned as a normal [`crate::SessionOutcome`] (tagged with the
+//! [`StopReason`]), and nothing is lost. Stopping is degradation, not an
+//! error.
+//!
+//! The deadline itself lives with the supervisor: comet-core never reads a
+//! wall clock (the determinism invariant, comet-lint D3), so "the deadline
+//! passed" arrives as an externally raised flag, exactly like a cancel.
+//!
+//! Progress flows the other way: after every iteration the session
+//! publishes its best-so-far state ([`SessionProgress`]) into the handle,
+//! which is how a status/streaming endpoint reports anytime results while
+//! the session is still running.
+
+use crate::trace::StepRecord;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Why a session stopped before its natural end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The supervisor (or a client) cancelled the session.
+    Cancelled,
+    /// The session's wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+impl StopReason {
+    /// Stable wire/manifest name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::Cancelled => "cancelled",
+            StopReason::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Best-so-far state of a running session, published at every iteration
+/// boundary. `steps` carries the full step records accumulated so far, so
+/// a streaming endpoint can emit each recommendation the moment it lands.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionProgress {
+    /// Completed outer-loop iterations.
+    pub iterations: usize,
+    /// F1 of the initial dirty state (available after the first publish).
+    pub initial_f1: f64,
+    /// F1 of the currently kept state — the anytime answer.
+    pub best_f1: f64,
+    /// Budget spent so far.
+    pub budget_spent: f64,
+    /// All step records so far, in trace order.
+    pub steps: Vec<StepRecord>,
+}
+
+const RUN: u8 = 0;
+const CANCEL: u8 = 1;
+const DEADLINE: u8 = 2;
+
+#[derive(Debug, Default)]
+struct ControlInner {
+    stop: AtomicU8,
+    progress: Mutex<SessionProgress>,
+}
+
+/// Shared cancel/deadline flag + progress board for one session run.
+#[derive(Debug, Clone, Default)]
+pub struct SessionControl {
+    inner: Arc<ControlInner>,
+}
+
+impl SessionControl {
+    /// Fresh handle with no stop requested and empty progress.
+    pub fn new() -> Self {
+        SessionControl::default()
+    }
+
+    /// Request a cooperative cancel. Idempotent; a deadline already
+    /// recorded wins (first stop reason sticks).
+    pub fn cancel(&self) {
+        let _ = self.inner.stop.compare_exchange(RUN, CANCEL, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// Record that the session's wall-clock deadline passed. Idempotent;
+    /// a cancel already recorded wins (first stop reason sticks).
+    pub fn expire_deadline(&self) {
+        let _ = self.inner.stop.compare_exchange(RUN, DEADLINE, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// The stop requested so far, if any. The session polls this at every
+    /// iteration boundary.
+    pub fn stop_requested(&self) -> Option<StopReason> {
+        match self.inner.stop.load(Ordering::SeqCst) {
+            CANCEL => Some(StopReason::Cancelled),
+            DEADLINE => Some(StopReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of the session's published best-so-far progress.
+    pub fn progress(&self) -> SessionProgress {
+        self.inner.progress.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Publish the state after an iteration (or the initial state, with
+    /// `iterations == 0`). Called by the session loop only.
+    pub(crate) fn publish(&self, progress: SessionProgress) {
+        *self.inner.progress.lock().unwrap_or_else(PoisonError::into_inner) = progress;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_stop_reason_sticks() {
+        let c = SessionControl::new();
+        assert_eq!(c.stop_requested(), None);
+        c.cancel();
+        c.expire_deadline();
+        assert_eq!(c.stop_requested(), Some(StopReason::Cancelled));
+
+        let d = SessionControl::new();
+        d.expire_deadline();
+        d.cancel();
+        assert_eq!(d.stop_requested(), Some(StopReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = SessionControl::new();
+        let view = c.clone();
+        c.publish(SessionProgress {
+            iterations: 3,
+            initial_f1: 0.5,
+            best_f1: 0.75,
+            budget_spent: 2.0,
+            steps: Vec::new(),
+        });
+        assert_eq!(view.progress().iterations, 3);
+        assert_eq!(view.progress().best_f1, 0.75);
+        view.cancel();
+        assert_eq!(c.stop_requested(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn stop_reason_names_are_stable() {
+        assert_eq!(StopReason::Cancelled.name(), "cancelled");
+        assert_eq!(StopReason::DeadlineExceeded.to_string(), "deadline-exceeded");
+    }
+}

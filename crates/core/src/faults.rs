@@ -26,6 +26,14 @@ pub enum FaultKind {
     NanLoss,
     /// Make the estimator return an error for this candidate.
     EstimatorFailure,
+    /// Fail the checkpoint write at the end of the spec's iteration (an
+    /// I/O fault: full disk, yanked volume). Unlike the candidate faults
+    /// above, this fires from inside `CheckpointWriter::write_iteration`
+    /// via [`FaultPlan::arm_checkpoint`] — the spec's `col`/`err` are
+    /// ignored. The session retries the write (seed-identical: retries
+    /// consume no randomness) and surfaces a typed
+    /// [`crate::CometError::Checkpoint`] when retries exhaust.
+    CheckpointWriteError,
 }
 
 /// One planned fault at a specific candidate coordinate.
@@ -95,8 +103,14 @@ impl FaultPlan {
     /// spec's `attempts`, so a transient fault clears after its quota and
     /// the retry succeeds. Fired faults bump the `fault.injected` counter.
     pub fn arm(&self, iteration: usize, col: usize, err: ErrorType) -> Option<FaultKind> {
-        let spec =
-            self.specs.iter().find(|s| s.iteration == iteration && s.col == col && s.err == err)?;
+        // Checkpoint faults have their own injection point
+        // ([`Self::arm_checkpoint`]); candidate evaluation never sees them.
+        let spec = self.specs.iter().find(|s| {
+            s.kind != FaultKind::CheckpointWriteError
+                && s.iteration == iteration
+                && s.col == col
+                && s.err == err
+        })?;
         let mut hits = self.hits.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let count = hits.entry((iteration, col, err)).or_insert(0);
         *count += 1;
@@ -105,6 +119,32 @@ impl FaultPlan {
             Some(spec.kind)
         } else {
             None
+        }
+    }
+
+    /// Check whether a [`FaultKind::CheckpointWriteError`] fires for this
+    /// write attempt of `iteration`'s checkpoint record. Same attempt
+    /// semantics as [`Self::arm`]: every call counts as one attempt, the
+    /// fault fires while the count is within the spec's `attempts`, so a
+    /// transient I/O fault clears and the session's retry succeeds.
+    /// Checkpoint specs are keyed by iteration only; attempts are tracked
+    /// under a `col` of `usize::MAX`, which no candidate coordinate uses.
+    pub fn arm_checkpoint(&self, iteration: usize) -> bool {
+        let Some(spec) = self
+            .specs
+            .iter()
+            .find(|s| s.kind == FaultKind::CheckpointWriteError && s.iteration == iteration)
+        else {
+            return false;
+        };
+        let mut hits = self.hits.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let count = hits.entry((iteration, usize::MAX, spec.err)).or_insert(0);
+        *count += 1;
+        if *count <= spec.attempts {
+            comet_obs::counter_add("fault.injected", 1);
+            true
+        } else {
+            false
         }
     }
 }
@@ -146,6 +186,25 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(plan.arm(0, 0, ErrorType::Scaling), Some(FaultKind::TrainingPanic));
         }
+    }
+
+    #[test]
+    fn checkpoint_faults_fire_from_their_own_injection_point() {
+        let plan = FaultPlan::new(vec![FaultSpec {
+            iteration: 1,
+            col: 0,
+            err: ErrorType::MissingValues,
+            kind: FaultKind::CheckpointWriteError,
+            attempts: 2,
+        }]);
+        // Candidate evaluation never sees a checkpoint spec — even at the
+        // spec's own coordinates.
+        assert_eq!(plan.arm(1, 0, ErrorType::MissingValues), None);
+        // The checkpoint injection point counts attempts independently.
+        assert!(!plan.arm_checkpoint(0), "wrong iteration never fires");
+        assert!(plan.arm_checkpoint(1));
+        assert!(plan.arm_checkpoint(1));
+        assert!(!plan.arm_checkpoint(1), "transient fault clears after its quota");
     }
 
     #[test]

@@ -29,13 +29,18 @@
 //! Fault tolerance (DESIGN.md §9): candidate failures are isolated and
 //! retried ([`FaultPlan`] injects them deterministically for testing),
 //! errors surface through the [`CometError`] taxonomy, and sessions can
-//! checkpoint/resume via [`CheckpointSpec`].
+//! checkpoint/resume via [`CheckpointSpec`]. Long-running hosts supervise
+//! sessions through a [`SessionControl`] (cooperative cancel/deadline +
+//! live best-so-far progress, DESIGN.md §14) and build environments via
+//! [`build_paired_env`] so every front end constructs sessions
+//! identically.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 mod budget;
 mod checkpoint;
 mod config;
+mod control;
 mod cost;
 mod env;
 mod error;
@@ -46,11 +51,13 @@ mod polluter;
 mod recommender;
 mod report;
 mod session;
+mod setup;
 mod trace;
 
 pub use budget::Budget;
 pub use checkpoint::CheckpointSpec;
 pub use config::CometConfig;
+pub use control::{SessionControl, SessionProgress, StopReason};
 pub use cost::{CostModel, CostPolicy};
 pub use env::{CacheStats, CleaningEnvironment, EnvError, ModelSpec, StateSnapshot};
 pub use error::CometError;
@@ -60,4 +67,5 @@ pub use metrics::{IterationMetrics, PhaseNanos, RunMetrics, PHASES};
 pub use polluter::{PollutedVariant, Polluter};
 pub use recommender::{Candidate, Recommender};
 pub use session::{CleaningSession, SessionOutcome};
+pub use setup::{build_paired_env, derive_provenance};
 pub use trace::{CleaningTrace, FailureRecord, StepAction, StepRecord};

@@ -4,6 +4,7 @@
 use crate::budget::Budget;
 use crate::checkpoint::{self, CheckpointSpec, CheckpointWriter, CountingRng, IterationCheckpoint};
 use crate::config::CometConfig;
+use crate::control::{SessionControl, SessionProgress, StopReason};
 use crate::env::{CleaningEnvironment, EnvError};
 use crate::error::CometError;
 use crate::estimator::{Estimate, Estimator};
@@ -65,6 +66,7 @@ pub struct CleaningSession {
     errors: Vec<ErrorType>,
     faults: Option<Arc<FaultPlan>>,
     checkpoint: Option<CheckpointSpec>,
+    control: Option<SessionControl>,
 }
 
 /// How one candidate evaluation attempt ended: a usable estimate, or a
@@ -94,6 +96,12 @@ pub struct SessionOutcome {
     /// Per-iteration phase timings and counters, collected only while
     /// `comet_obs` recording is enabled; `None` on bare runs.
     pub metrics: Option<RunMetrics>,
+    /// Why the session stopped early, if a supervisor requested it through
+    /// a [`SessionControl`]; `None` for a natural finish (budget spent,
+    /// data clean, or no affordable action). An early-stopped session
+    /// still carries its full partial trace — graceful degradation, not
+    /// an error.
+    pub stop: Option<StopReason>,
 }
 
 impl CleaningSession {
@@ -103,7 +111,7 @@ impl CleaningSession {
         // comet-lint: allow(D4) — documented constructor contract: invalid config is a caller bug, not a runtime failure
         config.validate().expect("valid config");
         assert!(!errors.is_empty(), "need at least one candidate error type");
-        CleaningSession { config, errors, faults: None, checkpoint: None }
+        CleaningSession { config, errors, faults: None, checkpoint: None, control: None }
     }
 
     /// Inject a deterministic [`FaultPlan`] into candidate evaluations
@@ -116,6 +124,14 @@ impl CleaningSession {
     /// Persist (and optionally resume from) a checkpoint file.
     pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> Self {
         self.checkpoint = Some(spec);
+        self
+    }
+
+    /// Attach a cooperative [`SessionControl`]: a supervisor can cancel the
+    /// run or expire its deadline at any iteration boundary, and read
+    /// best-so-far progress while the session is still running.
+    pub fn with_control(mut self, control: SessionControl) -> Self {
+        self.control = Some(control);
         self
     }
 
@@ -174,7 +190,7 @@ impl CleaningSession {
         let config_fp = checkpoint::config_fingerprint(&self.config, &self.errors);
         let detect_fp = checkpoint::detect_fingerprint(&self.config.detect);
         let mut resume_data = None;
-        let mut writer = match &self.checkpoint {
+        let writer = match &self.checkpoint {
             Some(spec) => {
                 if spec.resume {
                     let data = checkpoint::load(&spec.path)?;
@@ -251,6 +267,13 @@ impl CleaningSession {
             }
             None => None,
         };
+        // A planned CheckpointWriteError fires from inside the writer, so
+        // the injected failure travels the exact production I/O error path.
+        let writer = writer.map(|w| match &self.faults {
+            Some(plan) => w.with_faults(Arc::clone(plan)),
+            None => w,
+        });
+        let mut writer = writer;
 
         let mut trace = CleaningTrace {
             initial_f1: env.evaluate()?,
@@ -265,7 +288,29 @@ impl CleaningSession {
         let metrics_on = comet_obs::enabled();
         let mut run_metrics = if metrics_on { Some(RunMetrics::default()) } else { None };
 
+        // The initial publish makes the dirty baseline visible to status
+        // polls before the first iteration lands.
+        if let Some(control) = &self.control {
+            control.publish(SessionProgress {
+                iterations: 0,
+                initial_f1: trace.initial_f1,
+                best_f1: trace.initial_f1,
+                budget_spent: 0.0,
+                steps: Vec::new(),
+            });
+        }
+
+        let mut stopped: Option<StopReason> = None;
         for iteration in 0..10_000usize {
+            // Cooperative stop: a cancel or an expired deadline raised by
+            // the supervisor takes effect here, between iterations. All
+            // completed iterations are already checkpointed, so stopping
+            // loses nothing — the partial trace below is a normal outcome.
+            if let Some(reason) = self.control.as_ref().and_then(SessionControl::stop_requested) {
+                comet_obs::counter_add("session.stopped_early", 1);
+                stopped = Some(reason);
+                break;
+            }
             // An exhausted budget still admits zero-cost productive
             // actions: buffered re-applications and free follow-up steps
             // under `OneShot { rest: 0.0 }` cost models. Breaking outright
@@ -746,8 +791,38 @@ impl CleaningSession {
                     }
                 }
                 if let Some(w) = writer.as_mut() {
-                    w.write_iteration(&record, &env.export_cache_entries())?;
+                    // Checkpoint I/O faults are often transient (full disk
+                    // freed, volume reattached); retry in place. Retries
+                    // consume no randomness, so a recovered write leaves
+                    // the trace bit-identical to an undisturbed run.
+                    let entries = env.export_cache_entries();
+                    let mut attempt = 0usize;
+                    loop {
+                        match w.write_iteration(&record, &entries) {
+                            Ok(()) => break,
+                            Err(e) => {
+                                comet_obs::counter_add("fault.checkpoint_write_errors", 1);
+                                if attempt >= self.config.max_retries {
+                                    return Err(e);
+                                }
+                                attempt += 1;
+                                comet_obs::counter_add("fault.checkpoint_write_retries", 1);
+                            }
+                        }
+                    }
                 }
+            }
+
+            // Publish best-so-far progress for status polls and result
+            // streams. Reading `control` never feeds back into the trace.
+            if let Some(control) = &self.control {
+                control.publish(SessionProgress {
+                    iterations: iteration + 1,
+                    initial_f1: trace.initial_f1,
+                    best_f1: current_f1,
+                    budget_spent: budget.spent(),
+                    steps: trace.records.clone(),
+                });
             }
 
             if !progressed {
@@ -763,7 +838,7 @@ impl CleaningSession {
             rm.registry = comet_obs::snapshot();
             rm
         });
-        Ok(SessionOutcome { trace, metrics })
+        Ok(SessionOutcome { trace, metrics, stop: stopped })
     }
 
     /// True while an exhausted budget still leaves a zero-cost productive
@@ -1418,6 +1493,122 @@ mod tests {
         let dir = std::env::temp_dir().join("comet_session_ckpt_tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    #[test]
+    fn transient_checkpoint_write_fault_recovers_seed_identically() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        comet_obs::set_enabled(true);
+        comet_obs::reset();
+        let env0 = build_env(31, 240, vec![(0, 0.3), (1, 0.25)], Algorithm::Knn);
+        let clean_path = ckpt_path("io_clean.jsonl");
+        let faulted_path = ckpt_path("io_faulted.jsonl");
+        let run = |path: &std::path::Path, faults: Option<FaultPlan>| {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let mut session =
+                CleaningSession::new(quick_config(6.0), vec![ErrorType::MissingValues])
+                    .with_checkpoint(CheckpointSpec { path: path.to_path_buf(), resume: false });
+            if let Some(plan) = faults {
+                session = session.with_faults(plan);
+            }
+            let mut rng = StdRng::seed_from_u64(11);
+            session.run(&mut env, &mut rng).unwrap()
+        };
+        let undisturbed = run(&clean_path, None);
+        let plan = FaultPlan::new(vec![FaultSpec {
+            iteration: 0,
+            col: 0, // ignored by checkpoint faults
+            err: ErrorType::MissingValues,
+            kind: FaultKind::CheckpointWriteError,
+            attempts: 1, // transient: the first retry succeeds
+        }]);
+        let recovered = run(&faulted_path, Some(plan));
+        let reg = comet_obs::snapshot();
+        comet_obs::set_enabled(false);
+        assert!(
+            undisturbed.trace.content_eq(&recovered.trace),
+            "a recovered checkpoint write must not perturb the trace",
+        );
+        assert_eq!(reg.counter("fault.checkpoint_write_errors"), 1);
+        assert_eq!(reg.counter("fault.checkpoint_write_retries"), 1);
+        // The retried file carries the same verification records — no cache
+        // entry was dropped by the failed attempt.
+        let a = crate::checkpoint::load(&clean_path).unwrap();
+        let b = crate::checkpoint::load(&faulted_path).unwrap();
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.cache, b.cache);
+        std::fs::remove_file(clean_path).ok();
+        std::fs::remove_file(faulted_path).ok();
+    }
+
+    #[test]
+    fn exhausted_checkpoint_write_retries_surface_a_typed_error() {
+        let mut env = build_env(31, 240, vec![(0, 0.3)], Algorithm::Knn);
+        let path = ckpt_path("io_permanent.jsonl");
+        let plan = FaultPlan::new(vec![FaultSpec {
+            iteration: 0,
+            col: 0,
+            err: ErrorType::MissingValues,
+            kind: FaultKind::CheckpointWriteError,
+            attempts: u32::MAX,
+        }]);
+        let session = CleaningSession::new(quick_config(6.0), vec![ErrorType::MissingValues])
+            .with_checkpoint(CheckpointSpec { path: path.clone(), resume: false })
+            .with_faults(plan);
+        let mut rng = StdRng::seed_from_u64(11);
+        let err = session.run(&mut env, &mut rng).unwrap_err();
+        assert!(
+            matches!(err, CometError::Checkpoint(ref m)
+                if m.contains("injected checkpoint write failure")),
+            "{err}",
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pre_cancelled_session_stops_gracefully_at_the_first_boundary() {
+        let mut env = build_env(21, 300, vec![(0, 0.3)], Algorithm::Knn);
+        let control = SessionControl::new();
+        control.cancel();
+        let session = CleaningSession::new(quick_config(8.0), vec![ErrorType::MissingValues])
+            .with_control(control.clone());
+        let mut rng = StdRng::seed_from_u64(7);
+        let outcome = session.run(&mut env, &mut rng).unwrap();
+        assert_eq!(outcome.stop, Some(StopReason::Cancelled));
+        assert!(outcome.trace.records.is_empty(), "no iteration may run after the stop");
+        let progress = control.progress();
+        assert_eq!(progress.iterations, 0);
+        assert_eq!(progress.best_f1, outcome.trace.initial_f1, "initial state still published");
+    }
+
+    #[test]
+    fn attached_control_publishes_progress_and_leaves_the_trace_unchanged() {
+        let env0 = build_env(21, 300, vec![(0, 0.3), (1, 0.25)], Algorithm::Knn);
+        let run = |control: Option<SessionControl>| {
+            let mut env = env0.clone();
+            env.clear_eval_cache();
+            let mut session =
+                CleaningSession::new(quick_config(8.0), vec![ErrorType::MissingValues]);
+            if let Some(c) = control {
+                session = session.with_control(c);
+            }
+            let mut rng = StdRng::seed_from_u64(7);
+            session.run(&mut env, &mut rng).unwrap()
+        };
+        let bare = run(None);
+        let control = SessionControl::new();
+        let supervised = run(Some(control.clone()));
+        assert_eq!(supervised.stop, None, "an unsignalled control never stops a session");
+        assert!(
+            bare.trace.content_eq(&supervised.trace),
+            "attaching a control must not perturb the trace",
+        );
+        let progress = control.progress();
+        assert!(progress.iterations >= 1);
+        assert_eq!(progress.steps, supervised.trace.records);
+        assert_eq!(progress.best_f1, supervised.trace.final_f1);
+        assert_eq!(progress.initial_f1, supervised.trace.initial_f1);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Shared session setup: turn a (dirty, clean) frame pair into a ready
+//! [`CleaningEnvironment`].
+//!
+//! This is the one place that knows how to derive a provenance oracle from
+//! a dirty/clean diff and how to split/assemble the environment, so every
+//! front end — the `comet recommend` CLI and the `comet-serve` daemon —
+//! builds sessions identically. Identical construction order matters: the
+//! split and the environment consume the caller's rng sequentially, and
+//! any divergence between front ends would silently produce different
+//! traces for the same seed.
+
+use crate::env::{CleaningEnvironment, EnvError};
+use crate::error::CometError;
+use comet_frame::{train_test_split, Cell, DataFrame, SplitOptions};
+use comet_jenga::{ErrorType, GroundTruth, Provenance};
+use comet_ml::{Algorithm, Metric, RandomSearch};
+use rand::Rng;
+
+/// Classify each dirty cell's apparent error type from the dirty/clean
+/// diff: empty cells are missing values; changed categoricals are shifts;
+/// changed numerics with a power-of-ten ratio are scaling, otherwise
+/// noise. This is the oracle-mode candidate source (detection-seeded
+/// sessions ignore it).
+pub fn derive_provenance(dirty: &DataFrame, gt: &GroundTruth) -> Result<Provenance, CometError> {
+    let mut prov = Provenance::for_frame(dirty);
+    for col in dirty.feature_indices() {
+        let rows = gt.dirty_rows(dirty, col).map_err(EnvError::from)?;
+        for row in rows {
+            let dirty_cell = dirty.get(row, col)?;
+            let clean_cell = gt.clean().get(row, col)?;
+            let err = match (dirty_cell, clean_cell) {
+                (Cell::Missing, _) => ErrorType::MissingValues,
+                (Cell::Cat(_), _) => ErrorType::CategoricalShift,
+                (Cell::Num(d), Cell::Num(c)) if c != 0.0 => {
+                    let ratio = d / c;
+                    let is_pow10 = [10.0, 100.0, 1000.0, 0.1, 0.01, 0.001]
+                        .iter()
+                        .any(|f| (ratio - f).abs() < 1e-9);
+                    if is_pow10 {
+                        ErrorType::Scaling
+                    } else {
+                        ErrorType::GaussianNoise
+                    }
+                }
+                _ => ErrorType::GaussianNoise,
+            };
+            prov.record(col, row, err);
+        }
+    }
+    Ok(prov)
+}
+
+/// Assemble a [`CleaningEnvironment`] from a dirty frame and its clean
+/// reference (the simulated Cleaner's ground truth). One split — drawn
+/// from `rng` on the *clean* frame — drives both versions, and the
+/// provenance oracle is derived from the per-split diffs.
+///
+/// With `clean == None` the data is treated as its own ground truth
+/// (evaluate-only use; no dirt, no candidates).
+pub fn build_paired_env<R: Rng>(
+    dirty: DataFrame,
+    clean: Option<DataFrame>,
+    algorithm: Algorithm,
+    step_frac: f64,
+    search: RandomSearch,
+    eval_seed: u64,
+    rng: &mut R,
+) -> Result<CleaningEnvironment, CometError> {
+    let clean = match clean {
+        Some(clean) => {
+            if dirty.nrows() != clean.nrows() || dirty.ncols() != clean.ncols() {
+                return Err(CometError::Invalid(format!(
+                    "dirty and clean frames must have identical shapes \
+                     (dirty {}x{}, clean {}x{})",
+                    dirty.nrows(),
+                    dirty.ncols(),
+                    clean.nrows(),
+                    clean.ncols()
+                )));
+            }
+            clean
+        }
+        None => dirty.clone(),
+    };
+    // One split drives both versions.
+    let tt = train_test_split(&clean, SplitOptions::default(), rng).map_err(EnvError::from)?;
+    let dirty_train = dirty.take(&tt.train_rows)?;
+    let dirty_test = dirty.take(&tt.test_rows)?;
+    let gt_train = GroundTruth::new(tt.train);
+    let gt_test = GroundTruth::new(tt.test);
+    let prov_train = derive_provenance(&dirty_train, &gt_train)?;
+    let prov_test = derive_provenance(&dirty_test, &gt_test)?;
+    Ok(CleaningEnvironment::new(
+        dirty_train,
+        dirty_test,
+        gt_train,
+        gt_test,
+        prov_train,
+        prov_test,
+        algorithm,
+        Metric::F1,
+        step_frac,
+        search,
+        eval_seed,
+        rng,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_frame::Column;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_pair() -> (DataFrame, DataFrame) {
+        let n = 40;
+        let x: Vec<f64> =
+            (0..n).map(|i| if i % 2 == 0 { -2.0 } else { 2.0 } + i as f64 * 0.01).collect();
+        let z: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let labels: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let clean = DataFrame::new(
+            vec![
+                Column::numeric("x", x),
+                Column::numeric("z", z),
+                Column::categorical("y", labels, vec!["no".into(), "yes".into()]).unwrap(),
+            ],
+            Some("y"),
+        )
+        .unwrap();
+        let mut dirty = clean.clone();
+        dirty.set(0, 0, Cell::Missing).unwrap();
+        dirty.set(1, 0, Cell::Num(dirty_num(&clean, 1, 0) * 100.0)).unwrap();
+        dirty.set(2, 1, Cell::Num(dirty_num(&clean, 2, 1) + 0.37)).unwrap();
+        (dirty, clean)
+    }
+
+    fn dirty_num(df: &DataFrame, row: usize, col: usize) -> f64 {
+        match df.get(row, col).unwrap() {
+            Cell::Num(v) => v,
+            other => panic!("expected numeric cell, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn provenance_derivation_classifies_errors() {
+        let (dirty, clean) = toy_pair();
+        let gt = GroundTruth::new(clean);
+        let prov = derive_provenance(&dirty, &gt).unwrap();
+        assert_eq!(prov.get(0, 0), Some(ErrorType::MissingValues));
+        assert_eq!(prov.get(0, 1), Some(ErrorType::Scaling));
+        assert_eq!(prov.get(1, 2), Some(ErrorType::GaussianNoise));
+        assert_eq!(prov.get(1, 0), None);
+    }
+
+    #[test]
+    fn paired_env_builds_and_rejects_shape_mismatch() {
+        let (dirty, clean) = toy_pair();
+        let mut rng = StdRng::seed_from_u64(3);
+        let env = build_paired_env(
+            dirty.clone(),
+            Some(clean.clone()),
+            Algorithm::Knn,
+            0.05,
+            RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            7,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(env.train().nrows() + env.test().nrows(), clean.nrows());
+
+        let truncated = clean.take(&(0..clean.nrows() - 1).collect::<Vec<_>>()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let err = build_paired_env(
+            dirty,
+            Some(truncated),
+            Algorithm::Knn,
+            0.05,
+            RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            7,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CometError::Invalid(ref m) if m.contains("identical shapes")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn self_ground_truth_env_has_no_candidates() {
+        let (_, clean) = toy_pair();
+        let mut rng = StdRng::seed_from_u64(9);
+        let env = build_paired_env(
+            clean,
+            None,
+            Algorithm::Knn,
+            0.05,
+            RandomSearch { n_samples: 1, ..RandomSearch::default() },
+            7,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(env.candidate_pairs(&ErrorType::ALL).is_empty());
+    }
+}

@@ -101,8 +101,12 @@ pub struct FileContext {
 const TRACE_AFFECTING: [&str; 7] = ["core", "ml", "bayes", "jenga", "baselines", "frame", "detect"];
 
 /// Crates allowed to read wall clocks / entropy: the observability layer,
-/// the timing shim, and bench binaries measure time *by design*.
-const TIMING_EXEMPT: [&str; 3] = ["obs", "criterion", "bench"];
+/// the timing shim, and bench binaries measure time *by design*. The serve
+/// daemon is the *service* layer — deadlines, backoff, and endpoint
+/// latency are wall-clock concepts there; the sessions it hosts still
+/// never read clocks (a deadline reaches comet-core as an externally
+/// raised flag, DESIGN.md §14).
+const TIMING_EXEMPT: [&str; 4] = ["obs", "criterion", "bench", "serve"];
 
 /// Crates whose float reductions sit on the evaluation hot path and must
 /// use the fixed-order `kernels` primitives.

@@ -114,6 +114,47 @@ pub enum JsonValue {
     Obj(Vec<(String, JsonValue)>),
 }
 
+impl std::fmt::Display for JsonValue {
+    /// Re-serialize: compact JSON that [`parse`] round-trips. Integral
+    /// numbers print without a fractional part; non-finite numbers (which
+    /// JSON cannot represent) print as `null`, matching the writer side.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Num(n) if !n.is_finite() => f.write_str("null"),
+            JsonValue::Num(n) => write!(f, "{n}"),
+            JsonValue::Str(s) => {
+                let mut buf = String::new();
+                write_escaped(&mut buf, s);
+                f.write_str(&buf)
+            }
+            JsonValue::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut buf = String::new();
+                    write_escaped(&mut buf, key);
+                    write!(f, "{buf}:{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
 impl JsonValue {
     /// Object field lookup.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
@@ -370,6 +411,19 @@ mod tests {
         for bad in ["{", "{\"a\":}", "[1,]", "tru", "\"unterminated", "{} extra", "{'a':1}"] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            r#"{"a":[1,-2.5,"x\ny"],"b":{"c":true,"d":null},"e":7}"#,
+            r#"[{"nested":[[],{}]},false]"#,
+        ] {
+            let value = parse(text).unwrap();
+            assert_eq!(parse(&value.to_string()).unwrap(), value, "{text}");
+        }
+        assert_eq!(JsonValue::Num(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::Num(3.0).to_string(), "3");
     }
 
     #[test]

@@ -250,6 +250,49 @@ pub fn active_workers() -> usize {
     ACTIVE_WORKERS.load(Ordering::SeqCst)
 }
 
+/// A long-running task's claim on worker slots from the process-global
+/// fan-out budget, released on drop (RAII).
+///
+/// [`par_map`] bounds the *total* live workers across nested fan-outs, but
+/// it only knows about threads it spawned itself. A host that runs its own
+/// pool on top — the `comet-serve` daemon multiplexing concurrent cleaning
+/// sessions over dedicated worker threads — uses [`occupy_slots`] to make
+/// those threads count against the same budget: a session running on a
+/// daemon worker then sees proportionally fewer free fan-out slots, so
+/// N concurrent sessions share the machine instead of each fanning out to
+/// the full thread count. Occupancy never changes results, only how much
+/// parallelism each fan-out wins (the determinism contract: traces are
+/// bit-identical at any thread count).
+#[derive(Debug)]
+pub struct WorkerSlots {
+    granted: usize,
+}
+
+impl WorkerSlots {
+    /// How many slots were actually reserved (0 when the budget was
+    /// already exhausted — the caller still runs, just sequentially).
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for WorkerSlots {
+    fn drop(&mut self) {
+        release_workers(self.granted);
+    }
+}
+
+/// Reserve up to `wanted` worker slots from the global budget for a
+/// long-running task (best effort — the returned guard reports how many
+/// were granted). Slots are returned to the budget when the guard drops.
+pub fn occupy_slots(wanted: usize) -> WorkerSlots {
+    let granted = reserve_workers(wanted, max_threads());
+    if granted > 0 && comet_obs::enabled() {
+        comet_obs::gauge_set("par.active_workers", ACTIVE_WORKERS.load(Ordering::SeqCst) as f64);
+    }
+    WorkerSlots { granted }
+}
+
 /// Render a `catch_unwind` payload as a one-line reason string.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -560,6 +603,44 @@ mod tests {
             }
             proptest::prop_assert!(active_workers() <= 16, "leaked slots: {}", active_workers());
         }
+    }
+
+    #[test]
+    fn occupied_slots_obey_the_shared_budget_and_release_on_drop() {
+        // ACTIVE_WORKERS is process-global and other tests' fan-outs run
+        // concurrently, so assert invariants that hold regardless of
+        // outside activity rather than exact global counts.
+        with_threads(4, || {
+            let lease = occupy_slots(2);
+            let granted = lease.granted();
+            assert!(granted <= 2);
+            // Whatever is happening elsewhere, our two claims plus the
+            // caller itself can never exceed this thread's cap of 4.
+            let inner = occupy_slots(4);
+            assert!(
+                granted + inner.granted() <= 3,
+                "over-granted: {} + {}",
+                granted,
+                inner.granted()
+            );
+            drop(inner);
+            drop(lease);
+            // Fan-outs still work (and still return input order) afterwards.
+            let out = par_map((0..8).collect::<Vec<usize>>(), |x| x * 2);
+            assert_eq!(out, (0..8).map(|x| x * 2).collect::<Vec<usize>>());
+        });
+    }
+
+    #[test]
+    fn occupying_an_exhausted_budget_grants_zero() {
+        with_threads(1, || {
+            // Cap 1 = the caller itself; nothing is ever free to occupy
+            // (free = cap - current - 1 saturates at zero no matter what
+            // other tests' workers are doing).
+            let lease = occupy_slots(3);
+            assert_eq!(lease.granted(), 0);
+            assert_eq!(occupy_slots(0).granted(), 0);
+        });
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Admission control: a pure decision function over queue and tenant
+//! counts.
+//!
+//! Keeping the decision a function of plain numbers — no clocks, no
+//! randomness, no internal state — makes overload behaviour exactly
+//! reproducible: the same submission sequence against the same limits
+//! yields the same accept/reject pattern every run, which is what the CI
+//! admission smoke pins down. Backoff hints are deterministic too,
+//! growing linearly with how far past the high-water mark the queue is,
+//! so a herd of rejected clients spreads out instead of thundering back
+//! in lockstep.
+
+/// Static admission limits, fixed at daemon start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// High-water mark for the pending (queued, not yet running) sessions.
+    pub max_queued: usize,
+    /// Per-tenant cap on in-flight (queued + running) sessions.
+    pub per_tenant_cap: usize,
+    /// Base unit for backoff hints, in milliseconds.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { max_queued: 8, per_tenant_cap: 4, base_backoff_ms: 200 }
+    }
+}
+
+/// A typed admission rejection — maps 1:1 onto the wire error object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// One of the [`crate::protocol::kind`] constants.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// Whether retrying after `backoff_ms` can succeed.
+    pub retryable: bool,
+    /// Suggested wait before the retry (absent on non-retryable kinds).
+    pub backoff_ms: Option<u64>,
+}
+
+impl AdmissionConfig {
+    /// Decide whether a new session may join. `queued` is the current
+    /// pending-queue depth, `tenant_inflight` the submitting tenant's
+    /// queued + running count, `draining` the daemon's drain flag.
+    ///
+    /// Checks are ordered from least to most recoverable: draining is
+    /// permanent (this daemon will never accept again), the tenant cap
+    /// clears as that tenant's sessions finish, queue pressure clears as
+    /// any session finishes.
+    pub fn admit(
+        &self,
+        queued: usize,
+        tenant_inflight: usize,
+        draining: bool,
+    ) -> Result<(), Rejection> {
+        if draining {
+            return Err(Rejection {
+                kind: crate::protocol::kind::DRAINING,
+                message: "daemon is draining; no new sessions are admitted".into(),
+                retryable: false,
+                backoff_ms: None,
+            });
+        }
+        if tenant_inflight >= self.per_tenant_cap {
+            return Err(Rejection {
+                kind: crate::protocol::kind::TENANT_CAP,
+                message: format!(
+                    "tenant has {tenant_inflight} sessions in flight (cap {})",
+                    self.per_tenant_cap
+                ),
+                retryable: true,
+                backoff_ms: Some(self.base_backoff_ms),
+            });
+        }
+        if queued >= self.max_queued {
+            // Linear pressure-proportional hint: one base unit per session
+            // past the mark, so deeper overload spreads retries wider.
+            let overload = (queued - self.max_queued + 1) as u64;
+            return Err(Rejection {
+                kind: crate::protocol::kind::QUEUE_FULL,
+                message: format!("{queued} sessions pending (high-water mark {})", self.max_queued),
+                retryable: true,
+                backoff_ms: Some(self.base_backoff_ms.saturating_mul(overload)),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::kind;
+
+    const CFG: AdmissionConfig =
+        AdmissionConfig { max_queued: 2, per_tenant_cap: 3, base_backoff_ms: 100 };
+
+    #[test]
+    fn under_limits_admits() {
+        assert_eq!(CFG.admit(0, 0, false), Ok(()));
+        assert_eq!(CFG.admit(1, 2, false), Ok(()));
+    }
+
+    #[test]
+    fn queue_high_water_rejects_retryably_with_growing_backoff() {
+        let at_mark = CFG.admit(2, 0, false).unwrap_err();
+        assert_eq!(at_mark.kind, kind::QUEUE_FULL);
+        assert!(at_mark.retryable);
+        assert_eq!(at_mark.backoff_ms, Some(100));
+        let deeper = CFG.admit(5, 0, false).unwrap_err();
+        assert_eq!(deeper.backoff_ms, Some(400), "backoff grows with overload depth");
+    }
+
+    #[test]
+    fn tenant_cap_rejects_before_queue_pressure() {
+        let r = CFG.admit(10, 3, false).unwrap_err();
+        assert_eq!(r.kind, kind::TENANT_CAP, "the tenant-specific reason wins");
+        assert!(r.retryable);
+        assert_eq!(r.backoff_ms, Some(100));
+    }
+
+    #[test]
+    fn draining_rejects_everything_non_retryably() {
+        let r = CFG.admit(0, 0, true).unwrap_err();
+        assert_eq!(r.kind, kind::DRAINING);
+        assert!(!r.retryable);
+        assert_eq!(r.backoff_ms, None);
+    }
+
+    #[test]
+    fn decision_is_a_pure_function() {
+        // Same inputs, same outputs — call it a thousand times.
+        let first = CFG.admit(3, 1, false);
+        for _ in 0..1000 {
+            assert_eq!(CFG.admit(3, 1, false), first);
+        }
+    }
+}

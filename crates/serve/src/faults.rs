@@ -1,0 +1,238 @@
+//! Service-layer fault injection: misbehaving clients and failing I/O,
+//! on demand.
+//!
+//! The session-level [`comet_core::FaultPlan`] injects candidate and
+//! checkpoint-write faults *inside* a run. This module covers the faults
+//! a daemon meets at its edges: a client that trickles bytes, a client
+//! that disconnects mid-upload, a checkpoint device that fails. Specs
+//! parse from `--inject-fault` CLI strings so smoke tests can stage an
+//! outage without bespoke binaries:
+//!
+//! ```text
+//! slow-client:2:500        # 2nd request handled after a 500 ms stall
+//! upload-disconnect:1      # 1st upload: drop the connection, no response
+//! checkpoint-write:3:2     # iteration 3's checkpoint write fails twice
+//! session-stall:1:5000     # 1st session executed holds its worker 5 s
+//! ```
+//!
+//! Counting is per-daemon and deterministic for a serial client (the CI
+//! smokes drive exactly one); concurrent clients race for the nth slot,
+//! which is fine for chaos drills.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One service-layer fault to stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// Stall handling of the `nth` request (1-based, any command) by
+    /// `delay_ms` — the slow-client / slow-network simulator.
+    SlowClient {
+        /// Which request (1-based) stalls.
+        nth: u64,
+        /// Stall length in milliseconds.
+        delay_ms: u64,
+    },
+    /// Drop the connection on the `nth` upload (1-based) after reading the
+    /// request but before any response — the mid-upload disconnect.
+    UploadDisconnect {
+        /// Which upload (1-based) is dropped.
+        nth: u64,
+    },
+    /// Fail the checkpoint write at `iteration` for `attempts` attempts in
+    /// every hosted session (forwarded into the session-level
+    /// [`comet_core::FaultPlan`]).
+    CheckpointWrite {
+        /// Iteration whose checkpoint write fails.
+        iteration: usize,
+        /// How many write attempts fail before recovery.
+        attempts: u32,
+    },
+    /// Hold the worker for `stall_ms` before the `nth` session execution
+    /// (1-based) — the long-running-session simulator admission tests use
+    /// to keep a worker deterministically busy. The stall is cancel-aware:
+    /// cancelling the stalled session releases the worker early.
+    SessionStall {
+        /// Which session execution (1-based) stalls.
+        nth: u64,
+        /// Stall length in milliseconds.
+        stall_ms: u64,
+    },
+}
+
+impl ServeFault {
+    /// Parse one `--inject-fault` spec string (see module docs).
+    pub fn parse(spec: &str) -> Result<ServeFault, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let num = |idx: usize, what: &str| -> Result<u64, String> {
+            parts
+                .get(idx)
+                .ok_or_else(|| format!("{spec:?}: missing {what}"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{spec:?}: bad {what}: {e}"))
+        };
+        match parts.first().copied() {
+            Some("slow-client") => Ok(ServeFault::SlowClient {
+                nth: num(1, "request index")?,
+                delay_ms: num(2, "delay")?,
+            }),
+            Some("upload-disconnect") => {
+                Ok(ServeFault::UploadDisconnect { nth: num(1, "upload index")? })
+            }
+            Some("checkpoint-write") => Ok(ServeFault::CheckpointWrite {
+                iteration: num(1, "iteration")? as usize,
+                attempts: num(2, "attempts")? as u32,
+            }),
+            Some("session-stall") => Ok(ServeFault::SessionStall {
+                nth: num(1, "session index")?,
+                stall_ms: num(2, "stall")?,
+            }),
+            _ => Err(format!(
+                "{spec:?}: unknown fault (use slow-client:N:MS, upload-disconnect:N, \
+                 checkpoint-write:ITER:ATTEMPTS, session-stall:N:MS)"
+            )),
+        }
+    }
+}
+
+/// The staged faults plus the request/upload counters that trigger them.
+#[derive(Debug, Default)]
+pub struct ServeFaultPlan {
+    specs: Vec<ServeFault>,
+    requests_seen: AtomicU64,
+    uploads_seen: AtomicU64,
+    executions_seen: AtomicU64,
+}
+
+impl ServeFaultPlan {
+    /// Build a plan from parsed specs.
+    pub fn new(specs: Vec<ServeFault>) -> Arc<Self> {
+        Arc::new(ServeFaultPlan { specs, ..ServeFaultPlan::default() })
+    }
+
+    /// The staged faults.
+    pub fn specs(&self) -> &[ServeFault] {
+        &self.specs
+    }
+
+    /// Count one incoming request; returns the stall to apply, if this is
+    /// a staged slow-client request.
+    pub fn next_request_delay(&self) -> Option<u64> {
+        let n = self.requests_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        self.specs.iter().find_map(|s| match s {
+            ServeFault::SlowClient { nth, delay_ms } if *nth == n => {
+                comet_obs::counter_add("serve.faults_injected", 1);
+                Some(*delay_ms)
+            }
+            _ => None,
+        })
+    }
+
+    /// Count one session execution; returns the stall to apply, if this
+    /// one is staged to hold its worker.
+    pub fn next_session_stall(&self) -> Option<u64> {
+        let n = self.executions_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        self.specs.iter().find_map(|s| match s {
+            ServeFault::SessionStall { nth, stall_ms } if *nth == n => {
+                comet_obs::counter_add("serve.faults_injected", 1);
+                Some(*stall_ms)
+            }
+            _ => None,
+        })
+    }
+
+    /// Count one upload; true if this one is staged to disconnect.
+    pub fn next_upload_disconnects(&self) -> bool {
+        let n = self.uploads_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        let hit = self
+            .specs
+            .iter()
+            .any(|s| matches!(s, ServeFault::UploadDisconnect { nth } if *nth == n));
+        if hit {
+            comet_obs::counter_add("serve.faults_injected", 1);
+        }
+        hit
+    }
+
+    /// The session-level fault plan every hosted session runs under (the
+    /// forwarded `checkpoint-write` specs), if any are staged.
+    pub fn session_faults(&self) -> Option<comet_core::FaultPlan> {
+        let specs: Vec<comet_core::FaultSpec> = self
+            .specs
+            .iter()
+            .filter_map(|s| match s {
+                ServeFault::CheckpointWrite { iteration, attempts } => {
+                    Some(comet_core::FaultSpec {
+                        iteration: *iteration,
+                        col: 0, // ignored by checkpoint faults
+                        err: comet_jenga::ErrorType::MissingValues,
+                        kind: comet_core::FaultKind::CheckpointWriteError,
+                        attempts: *attempts,
+                    })
+                }
+                _ => None,
+            })
+            .collect();
+        if specs.is_empty() {
+            None
+        } else {
+            Some(comet_core::FaultPlan::new(specs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_reject_garbage() {
+        assert_eq!(
+            ServeFault::parse("slow-client:2:500").unwrap(),
+            ServeFault::SlowClient { nth: 2, delay_ms: 500 }
+        );
+        assert_eq!(
+            ServeFault::parse("upload-disconnect:1").unwrap(),
+            ServeFault::UploadDisconnect { nth: 1 }
+        );
+        assert_eq!(
+            ServeFault::parse("checkpoint-write:3:2").unwrap(),
+            ServeFault::CheckpointWrite { iteration: 3, attempts: 2 }
+        );
+        assert_eq!(
+            ServeFault::parse("session-stall:1:5000").unwrap(),
+            ServeFault::SessionStall { nth: 1, stall_ms: 5000 }
+        );
+        for bad in ["", "slow-client", "slow-client:x:1", "upload-disconnect", "meteor:1"] {
+            assert!(ServeFault::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn counters_trigger_the_nth_occurrence_only() {
+        let plan = ServeFaultPlan::new(vec![
+            ServeFault::SlowClient { nth: 2, delay_ms: 250 },
+            ServeFault::UploadDisconnect { nth: 2 },
+        ]);
+        assert_eq!(plan.next_request_delay(), None);
+        assert_eq!(plan.next_request_delay(), Some(250));
+        assert_eq!(plan.next_request_delay(), None);
+        assert!(!plan.next_upload_disconnects());
+        assert!(plan.next_upload_disconnects());
+        assert!(!plan.next_upload_disconnects());
+    }
+
+    #[test]
+    fn checkpoint_specs_forward_into_a_session_plan() {
+        let plan = ServeFaultPlan::new(vec![
+            ServeFault::SlowClient { nth: 1, delay_ms: 1 },
+            ServeFault::CheckpointWrite { iteration: 0, attempts: 1 },
+        ]);
+        let session = plan.session_faults().expect("checkpoint spec forwards");
+        assert_eq!(session.specs().len(), 1);
+        assert!(session.arm_checkpoint(0), "forwarded spec must arm");
+
+        let none = ServeFaultPlan::new(vec![ServeFault::UploadDisconnect { nth: 1 }]);
+        assert!(none.session_faults().is_none());
+    }
+}

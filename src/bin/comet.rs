@@ -4,6 +4,8 @@
 //! comet pollute   --input data.csv --label y --error mv --level 0.2 --output dirty.csv
 //! comet evaluate  --input data.csv --label y --algo knn
 //! comet recommend --dirty dirty.csv --clean clean.csv --label y --algo knn --budget 10
+//! comet serve     --root store/ --workers 2 --port-file port.txt
+//! comet client start --port-file port.txt --dirty FP --clean FP --label y
 //! ```
 //!
 //! * `pollute` injects one error type at a given level into every applicable
@@ -19,11 +21,20 @@
 //!   `--checkpoint ckpt.jsonl` records a resumable checkpoint every
 //!   iteration; add `--resume` to continue a killed run bit-identically,
 //!   and `--max-retries N` to tune candidate-failure retries (DESIGN.md §9).
+//! * `serve` runs the multi-tenant session daemon (DESIGN.md §14): it
+//!   hosts uploaded datasets and queued cleaning sessions, survives
+//!   `kill -9` (interrupted sessions resume bit-identically from their
+//!   checkpoints on restart), and blocks until a client sends `drain`.
+//! * `client` is the matching wire client, one request per invocation; it
+//!   prints the daemon's JSON response, and `--retry N` honours the
+//!   server's backoff hints on retryable rejections.
 
-use comet::core::{CheckpointSpec, CleaningEnvironment, CleaningSession, CometConfig};
-use comet::frame::{read_csv, train_test_split, write_csv, DataFrame, SplitOptions};
-use comet::jenga::{inject, sample_rows, ErrorType, GroundTruth, Provenance};
-use comet::ml::{Algorithm, Metric, RandomSearch};
+use comet::core::{build_paired_env, CheckpointSpec, CleaningSession, CometConfig};
+use comet::frame::{read_csv, write_csv};
+use comet::jenga::{inject, sample_rows, ErrorType};
+use comet::ml::{Algorithm, RandomSearch};
+use comet::obs::json::JsonObject;
+use comet::serve::{Client, Daemon, ServeConfig, ServeFault, ServeFaultPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -40,6 +51,20 @@ usage:
                   [--detect [--detectors LIST]]
                   [--no-feature-cache] [--seed N]
 
+  comet serve     --root DIR [--workers N] [--max-queued N] [--tenant-cap N]
+                  [--backoff-ms N] [--port N] [--port-file FILE]
+                  [--kernels scalar|simd] [--metrics-out FILE]
+                  [--report-every-secs N] [--inject-fault SPEC[,SPEC...]]
+  comet client ACTION [--port N | --port-file FILE] [--retry N] ...
+                  ping | stats | drain
+                  upload  --file FILE
+                  start   --dirty FP --label COL [--clean FP] [--algo NAME]
+                          [--budget N] [--seed N] [--tenant NAME] [--detect]
+                          [--deadline-ms N]
+                  status  --session ID
+                  results --session ID [--from N]
+                  cancel  --session ID
+
   --detect      seed candidates from the built-in detector ensemble instead
                 of the dirty/clean provenance diff (the oracle); --detectors
                 narrows the ensemble (comma list, e.g. missing-sentinel,iqr;
@@ -55,6 +80,8 @@ fn main() -> ExitCode {
         "pollute" => cmd_pollute(rest),
         "evaluate" => cmd_evaluate(rest),
         "recommend" => cmd_recommend(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -171,8 +198,8 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed_of(&flags)?);
 
     let df = read_csv(input, Some(label)).map_err(|e| format!("{input}: {e}"))?;
-    let tt = train_test_split(&df, SplitOptions::default(), &mut rng).map_err(|e| e.to_string())?;
-    let env = build_env(tt.train, tt.test, None, algorithm, 0.01, &mut rng)?;
+    let env = build_paired_env(df, None, algorithm, 0.01, RandomSearch::default(), 7, &mut rng)
+        .map_err(|e| e.to_string())?;
     let f1 = env.evaluate().map_err(|e| e.to_string())?;
     println!(
         "{algorithm} on {input}: F1 {f1:.4} ({} train / {} test rows, {} features)",
@@ -219,26 +246,14 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
 
     let dirty = read_csv(dirty_path, Some(label)).map_err(|e| format!("{dirty_path}: {e}"))?;
     let clean = read_csv(clean_path, Some(label)).map_err(|e| format!("{clean_path}: {e}"))?;
-    if dirty.nrows() != clean.nrows() || dirty.ncols() != clean.ncols() {
-        return Err("dirty and clean files must have identical shapes".into());
-    }
 
-    // One split drives both versions.
-    let tt =
-        train_test_split(&clean, SplitOptions::default(), &mut rng).map_err(|e| e.to_string())?;
-    let dirty_train = dirty.take(&tt.train_rows).map_err(|e| e.to_string())?;
-    let dirty_test = dirty.take(&tt.test_rows).map_err(|e| e.to_string())?;
-    let clean_train = tt.train;
-    let clean_test = tt.test;
-
-    let mut env = build_env(
-        dirty_train,
-        dirty_test,
-        Some((clean_train, clean_test)),
-        algorithm,
-        step,
-        &mut rng,
-    )?;
+    // The shared front-end path: `comet-core::build_paired_env` splits,
+    // derives the provenance oracle, and assembles the environment exactly
+    // the way the `comet-serve` daemon does, so a CLI run and a served run
+    // with the same seed produce bit-identical traces.
+    let mut env =
+        build_paired_env(dirty, Some(clean), algorithm, step, RandomSearch::default(), 7, &mut rng)
+            .map_err(|e| e.to_string())?;
     // `--no-feature-cache` reverts evaluation to full re-featurization per
     // candidate — the pre-cache behaviour, kept as an escape hatch and for
     // timing comparisons. Scores are identical either way.
@@ -285,9 +300,15 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
             comet::obs::journal::emit(&metrics.summary_json());
             print!("{}", metrics.report());
         }
-        comet::obs::journal::set_sink(None);
+        // `take_sink` flushes and surfaces any write error the journal
+        // swallowed mid-run — a silently truncated journal should not
+        // report success.
+        let (_sink, flush_error) = comet::obs::journal::take_sink();
         comet::obs::set_enabled(false);
-        println!("metrics journal written to {path}");
+        match flush_error {
+            Some(e) => eprintln!("warning: metrics journal {path} may be incomplete: {e}"),
+            None => println!("metrics journal written to {path}"),
+        }
     }
     let trace = outcome.trace;
 
@@ -340,74 +361,160 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Assemble a [`CleaningEnvironment`]. With no clean reference, the data is
-/// treated as its own ground truth (evaluate-only use).
-fn build_env(
-    dirty_train: DataFrame,
-    dirty_test: DataFrame,
-    clean: Option<(DataFrame, DataFrame)>,
-    algorithm: Algorithm,
-    step: f64,
-    rng: &mut StdRng,
-) -> Result<CleaningEnvironment, String> {
-    let (clean_train, clean_test) = match clean {
-        Some(pair) => pair,
-        None => (dirty_train.clone(), dirty_test.clone()),
-    };
-    let gt_train = GroundTruth::new(clean_train);
-    let gt_test = GroundTruth::new(clean_test);
-    // Derive provenance from the dirty/clean diff: empty cells are missing
-    // values; changed categoricals are shifts; changed numerics with a
-    // power-of-ten ratio are scaling, otherwise noise.
-    let prov_train = derive_provenance(&dirty_train, &gt_train)?;
-    let prov_test = derive_provenance(&dirty_test, &gt_test)?;
-    CleaningEnvironment::new(
-        dirty_train,
-        dirty_test,
-        gt_train,
-        gt_test,
-        prov_train,
-        prov_test,
-        algorithm,
-        Metric::F1,
-        step,
-        RandomSearch::default(),
-        7,
-        rng,
-    )
-    .map_err(|e| e.to_string())
-}
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let mut config =
+        ServeConfig { root: required(&flags, "root")?.into(), ..ServeConfig::default() };
+    if let Some(v) = flags.get("workers") {
+        config.workers = v.parse().map_err(|e| format!("--workers: {e}"))?;
+    }
+    if let Some(v) = flags.get("max-queued") {
+        config.admission.max_queued = v.parse().map_err(|e| format!("--max-queued: {e}"))?;
+    }
+    if let Some(v) = flags.get("tenant-cap") {
+        config.admission.per_tenant_cap = v.parse().map_err(|e| format!("--tenant-cap: {e}"))?;
+    }
+    if let Some(v) = flags.get("backoff-ms") {
+        config.admission.base_backoff_ms = v.parse().map_err(|e| format!("--backoff-ms: {e}"))?;
+    }
+    if let Some(v) = flags.get("port") {
+        config.port = v.parse().map_err(|e| format!("--port: {e}"))?;
+    }
+    if let Some(v) = flags.get("report-every-secs") {
+        let secs: u64 = v.parse().map_err(|e| format!("--report-every-secs: {e}"))?;
+        config.report_every = std::time::Duration::from_secs(secs);
+    }
+    if let Some(name) = flags.get("kernels") {
+        config.kernels = comet::ml::kernels::KernelTier::parse(name)
+            .ok_or_else(|| format!("unknown kernel tier {name:?} (use scalar|simd)"))?;
+    }
+    if let Some(list) = flags.get("inject-fault") {
+        let specs: Vec<ServeFault> =
+            list.split(',').map(ServeFault::parse).collect::<Result<_, _>>()?;
+        config.faults = ServeFaultPlan::new(specs);
+    }
+    let metrics_out = flags.get("metrics-out");
+    if let Some(path) = metrics_out {
+        let file = std::fs::File::create(path).map_err(|e| format!("--metrics-out: {e}"))?;
+        comet::obs::reset();
+        comet::obs::set_enabled(true);
+        comet::obs::journal::set_sink(Some(Box::new(std::io::BufWriter::new(file))));
+    }
 
-/// Classify each dirty cell's apparent error type from the dirty/clean diff.
-#[allow(clippy::result_large_err)]
-fn derive_provenance(dirty: &DataFrame, gt: &GroundTruth) -> Result<Provenance, String> {
-    use comet::frame::Cell;
-    let mut prov = Provenance::for_frame(dirty);
-    for col in dirty.feature_indices() {
-        let rows = gt.dirty_rows(dirty, col).map_err(|e| e.to_string())?;
-        for row in rows {
-            let dirty_cell = dirty.get(row, col).map_err(|e| e.to_string())?;
-            let clean_cell = gt.clean().get(row, col).map_err(|e| e.to_string())?;
-            let err = match (dirty_cell, clean_cell) {
-                (Cell::Missing, _) => ErrorType::MissingValues,
-                (Cell::Cat(_), _) => ErrorType::CategoricalShift,
-                (Cell::Num(d), Cell::Num(c)) if c != 0.0 => {
-                    let ratio = d / c;
-                    let is_pow10 = [10.0, 100.0, 1000.0, 0.1, 0.01, 0.001]
-                        .iter()
-                        .any(|f| (ratio - f).abs() < 1e-9);
-                    if is_pow10 {
-                        ErrorType::Scaling
-                    } else {
-                        ErrorType::GaussianNoise
-                    }
-                }
-                _ => ErrorType::GaussianNoise,
-            };
-            prov.record(col, row, err);
+    let daemon = Daemon::start(config).map_err(|e| format!("starting daemon: {e}"))?;
+    let port = daemon.port();
+    // The port file is the rendezvous for scripts driving an ephemeral
+    // port: written only once the socket is live and accepting.
+    if let Some(path) = flags.get("port-file") {
+        std::fs::write(path, format!("{port}\n")).map_err(|e| format!("--port-file: {e}"))?;
+    }
+    println!("comet-serve listening on 127.0.0.1:{port}");
+    daemon.join();
+    println!("comet-serve drained");
+
+    if let Some(path) = metrics_out {
+        let (_sink, flush_error) = comet::obs::journal::take_sink();
+        comet::obs::set_enabled(false);
+        match flush_error {
+            Some(e) => eprintln!("warning: metrics journal {path} may be incomplete: {e}"),
+            None => println!("metrics journal written to {path}"),
         }
     }
-    Ok(prov)
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(
+            "client needs an action: ping|upload|start|status|results|cancel|stats|drain".into()
+        );
+    };
+    let flags = parse_flags(rest)?;
+    let retries: usize =
+        flags.get("retry").map_or(Ok(0), |s| s.parse().map_err(|e| format!("--retry: {e}")))?;
+    let request = build_client_request(action, &flags)?;
+    let port = client_port(&flags)?;
+    let mut client =
+        Client::connect(port).map_err(|e| format!("connecting to 127.0.0.1:{port}: {e}"))?;
+    // Typed retryable rejections (queue-full, tenant-cap) are retried up
+    // to `--retry` times honouring the server's backoff hint; anything
+    // still failing surfaces as `kind: message (retry in N ms)` on stderr
+    // with a nonzero exit.
+    let value = client.request_with_retry(&request, retries).map_err(|e| e.to_string())?;
+    println!("{value}");
+    Ok(())
+}
+
+/// Resolve the daemon port from `--port` or a `--port-file` written by
+/// `comet serve`.
+fn client_port(flags: &HashMap<String, String>) -> Result<u16, String> {
+    if let Some(p) = flags.get("port") {
+        return p.parse().map_err(|e| format!("--port: {e}"));
+    }
+    match flags.get("port-file") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--port-file {path}: {e}"))?;
+            text.trim().parse().map_err(|e| format!("--port-file {path}: {e}"))
+        }
+        None => Err("client needs --port N or --port-file FILE".into()),
+    }
+}
+
+/// Encode one client action as a request frame for the serve protocol.
+fn build_client_request(action: &str, flags: &HashMap<String, String>) -> Result<String, String> {
+    let mut req = JsonObject::new();
+    match action {
+        "ping" | "stats" | "drain" => {
+            req.field_str("cmd", action);
+        }
+        "upload" => {
+            let path = required(flags, "file")?;
+            let csv = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            req.field_str("cmd", "upload").field_str("csv", &csv);
+        }
+        "start" => {
+            req.field_str("cmd", "start")
+                .field_str("dirty", required(flags, "dirty")?)
+                .field_str("label", required(flags, "label")?);
+            for key in ["clean", "tenant", "algo"] {
+                if let Some(value) = flags.get(key) {
+                    req.field_str(key, value);
+                }
+            }
+            if let Some(b) = flags.get("budget") {
+                req.field_f64("budget", b.parse().map_err(|e| format!("--budget: {e}"))?);
+            }
+            if let Some(s) = flags.get("seed") {
+                req.field_u64("seed", s.parse().map_err(|e| format!("--seed: {e}"))?);
+            }
+            if flags.contains_key("detect") {
+                req.field_raw("detect", "true");
+            }
+            if let Some(ms) = flags.get("deadline-ms") {
+                req.field_u64(
+                    "deadline_ms",
+                    ms.parse().map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
+        }
+        "status" | "cancel" => {
+            req.field_str("cmd", action).field_str("session", required(flags, "session")?);
+        }
+        "results" => {
+            req.field_str("cmd", "results").field_str("session", required(flags, "session")?);
+            if let Some(from) = flags.get("from") {
+                req.field_u64("from", from.parse().map_err(|e| format!("--from: {e}"))?);
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown client action {other:?} \
+                 (use ping|upload|start|status|results|cancel|stats|drain)"
+            ));
+        }
+    }
+    Ok(req.finish())
 }
 
 #[cfg(test)]
@@ -483,7 +590,10 @@ mod tests {
 
     #[test]
     fn provenance_derivation_classifies_errors() {
-        use comet::frame::{Cell, Column};
+        // The CLI builds environments through the shared `comet-core`
+        // helpers; this exercises the façade re-export end to end.
+        use comet::frame::{Cell, Column, DataFrame};
+        use comet::jenga::GroundTruth;
         let x = Column::numeric("x", vec![1.0, 2.0, 3.0, 4.0]);
         let c = Column::categorical("c", vec![0, 1, 0, 1], vec!["a".into(), "b".into()]).unwrap();
         let y = Column::categorical("y", vec![0, 1, 0, 1], vec!["n".into(), "p".into()]).unwrap();
@@ -494,11 +604,46 @@ mod tests {
         dirty.set(2, 0, Cell::Num(3.7)).unwrap(); // noise
         dirty.set(3, 1, Cell::Cat(0)).unwrap(); // shift
         let gt = GroundTruth::new(clean);
-        let prov = derive_provenance(&dirty, &gt).unwrap();
+        let prov = comet::core::derive_provenance(&dirty, &gt).unwrap();
         assert_eq!(prov.get(0, 0), Some(ErrorType::MissingValues));
         assert_eq!(prov.get(0, 1), Some(ErrorType::Scaling));
         assert_eq!(prov.get(0, 2), Some(ErrorType::GaussianNoise));
         assert_eq!(prov.get(1, 3), Some(ErrorType::CategoricalShift));
         assert_eq!(prov.get(0, 3), None);
+    }
+
+    #[test]
+    fn client_requests_encode_and_validate() {
+        let f = flags(&["--session", "s00000001", "--from", "3"]).unwrap();
+        let req = build_client_request("results", &f).unwrap();
+        let parsed = comet::obs::json::parse(&req).unwrap();
+        assert_eq!(parsed.get("cmd").unwrap().as_str(), Some("results"));
+        assert_eq!(parsed.get("session").unwrap().as_str(), Some("s00000001"));
+        assert_eq!(parsed.get("from").unwrap().as_f64(), Some(3.0));
+
+        let f = flags(&["--dirty", "abc", "--label", "y", "--detect", "--budget", "5"]).unwrap();
+        let req = build_client_request("start", &f).unwrap();
+        let parsed = comet::obs::json::parse(&req).unwrap();
+        assert_eq!(parsed.get("detect"), Some(&comet::obs::json::JsonValue::Bool(true)));
+        assert_eq!(parsed.get("budget").unwrap().as_f64(), Some(5.0));
+        assert!(parsed.get("clean").is_none(), "omitted flags stay omitted");
+
+        assert!(build_client_request("start", &flags(&["--dirty", "abc"]).unwrap()).is_err());
+        assert!(build_client_request("status", &flags(&[]).unwrap()).is_err());
+        assert!(build_client_request("frobnicate", &flags(&[]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn client_port_resolves_flag_then_file() {
+        let f = flags(&["--port", "4410"]).unwrap();
+        assert_eq!(client_port(&f).unwrap(), 4410);
+        assert!(client_port(&flags(&[]).unwrap()).is_err(), "no source → loud error");
+        assert!(client_port(&flags(&["--port", "banana"]).unwrap()).is_err());
+
+        let path = std::env::temp_dir().join(format!("comet-port-{}", std::process::id()));
+        std::fs::write(&path, "4411\n").unwrap();
+        let f = flags(&["--port-file", path.to_str().unwrap()]).unwrap();
+        assert_eq!(client_port(&f).unwrap(), 4411);
+        std::fs::remove_file(&path).ok();
     }
 }

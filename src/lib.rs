@@ -2,8 +2,8 @@
 //!
 //! Re-exports the public API of the COMET workspace: the data frame
 //! substrate, error-injection framework, ML library, Bayesian statistics,
-//! dataset generators, the COMET cleaning-recommendation engine, and the
-//! baselines it is evaluated against.
+//! dataset generators, the COMET cleaning-recommendation engine, the
+//! baselines it is evaluated against, and the `comet-serve` session daemon.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -17,6 +17,7 @@ pub use comet_jenga as jenga;
 pub use comet_ml as ml;
 pub use comet_obs as obs;
 pub use comet_par as par;
+pub use comet_serve as serve;
 
 /// Commonly used items, importable as `use comet::prelude::*`.
 pub mod prelude {
