@@ -178,6 +178,13 @@ pub(crate) struct CheckpointData {
     /// predating detection mode default to the fingerprint of `None` —
     /// oracle mode was the only mode that existed.
     pub detect_fp: u64,
+    /// Column segment size the run was recorded under (`0` = whole
+    /// column). Spill files and feature-block cache keys are per-segment,
+    /// so a resume under a different segmentation is refused even though
+    /// traces are bit-identical across sizes. Headers predating segmented
+    /// frames default to the default segment size — the layout every
+    /// earlier run used implicitly.
+    pub segment_rows: u64,
     /// Union of all persisted evaluation-cache entries, in file order.
     pub cache: Vec<(u64, u64, f64)>,
     pub iterations: Vec<IterationCheckpoint>,
@@ -193,6 +200,7 @@ impl Default for CheckpointData {
             lane_count: KernelTier::Scalar.lanes() as u64,
             f32_probes: false,
             detect_fp: detect_fingerprint(&None),
+            segment_rows: comet_frame::DEFAULT_SEGMENT_ROWS as u64,
             cache: Vec::new(),
             iterations: Vec::new(),
         }
@@ -229,6 +237,7 @@ impl CheckpointWriter {
         kernel_tier: KernelTier,
         f32_probes: bool,
         detect_fp: u64,
+        segment_rows: usize,
     ) -> Result<Self, CometError> {
         let file = File::create(path).map_err(|e| {
             CometError::Checkpoint(format!("cannot create {}: {e}", path.display()))
@@ -244,7 +253,8 @@ impl CheckpointWriter {
             .field_str("kernel_tier", kernel_tier.name())
             .field_u64("lane_count", kernel_tier.lanes() as u64)
             .field_u64("f32_probes", f32_probes as u64)
-            .field_str("detect_fp", &hex_u64(detect_fp));
+            .field_str("detect_fp", &hex_u64(detect_fp))
+            .field_u64("segment_rows", segment_rows as u64);
         writer.write_line(&obj.finish())?;
         Ok(writer)
     }
@@ -401,6 +411,12 @@ pub(crate) fn load(path: &Path) -> Result<CheckpointData, CometError> {
                     Some(s) => parse_hex(s)?,
                     None => detect_fingerprint(&None),
                 };
+                // Absent segment_rows = header from before segmented
+                // frames; every run then used the default layout.
+                data.segment_rows = value
+                    .get("segment_rows")
+                    .and_then(JsonValue::as_f64)
+                    .map_or(comet_frame::DEFAULT_SEGMENT_ROWS as u64, |v| v as u64);
                 has_header = true;
             }
             Some("checkpoint_cache") => {
@@ -456,6 +472,7 @@ mod tests {
             KernelTier::Simd,
             true,
             0x1111_2222_3333_4444,
+            1024,
         )
         .unwrap();
         w.write_cache(&[(1, 2, 0.5)]).unwrap();
@@ -478,6 +495,7 @@ mod tests {
         assert_eq!(data.lane_count, 8);
         assert!(data.f32_probes);
         assert_eq!(data.detect_fp, 0x1111_2222_3333_4444);
+        assert_eq!(data.segment_rows, 1024);
         assert_eq!(data.cache, vec![(1, 2, 0.5), (u64::MAX, 3, 0.7125)]);
         assert_eq!(data.iterations.len(), 1);
         assert_eq!(
@@ -497,7 +515,7 @@ mod tests {
     fn truncated_tail_is_tolerated_missing_header_is_not() {
         let path = temp_path("truncated.jsonl");
         let mut w =
-            CheckpointWriter::create(&path, 7, 8, 10.0, KernelTier::Scalar, false, 0).unwrap();
+            CheckpointWriter::create(&path, 7, 8, 10.0, KernelTier::Scalar, false, 0, 64).unwrap();
         w.write_iteration(
             &IterationCheckpoint {
                 iteration: 0,
@@ -619,6 +637,8 @@ mod tests {
         assert!(!data.f32_probes);
         // Pre-detection headers resume only against oracle mode.
         assert_eq!(data.detect_fp, detect_fingerprint(&None));
+        // Pre-segmentation headers recorded the default layout.
+        assert_eq!(data.segment_rows, comet_frame::DEFAULT_SEGMENT_ROWS as u64);
 
         // An unparseable tier name is corruption, not a default.
         std::fs::write(
@@ -649,6 +669,10 @@ mod tests {
         assert_ne!(fp, config_fingerprint(&tiered, &errs));
         let probed = CometConfig { f32_probes: true, ..c };
         assert_ne!(fp, config_fingerprint(&probed, &errs));
+        // segment_rows rides on the Debug format too: a cross-segment-size
+        // resume is refused even before the explicit header check.
+        let resized = CometConfig { segment_rows: 1024, ..c };
+        assert_ne!(fp, config_fingerprint(&resized, &errs));
     }
 
     #[test]

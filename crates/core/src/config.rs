@@ -64,6 +64,12 @@ pub struct CometConfig {
     /// different configuration is refused. `None` = oracle mode (the
     /// paper's setup).
     pub detect: Option<DetectorConfig>,
+    /// Rows per column segment (DESIGN.md §15). `0` = whole-column (one
+    /// segment per column). Traces are bit-identical across segment sizes,
+    /// but spill files, feature-block cache keys, and pollution clone
+    /// granularity are per-segment, so the value is fingerprinted into
+    /// checkpoint headers and a cross-segment-size resume is refused.
+    pub segment_rows: usize,
 }
 
 impl Default for CometConfig {
@@ -88,6 +94,7 @@ impl Default for CometConfig {
             kernels: KernelTier::from_env_or_scalar(),
             f32_probes: false,
             detect: None,
+            segment_rows: comet_frame::DEFAULT_SEGMENT_ROWS,
         }
     }
 }
@@ -144,6 +151,7 @@ mod tests {
         assert_eq!(c.kernels, KernelTier::from_env_or_scalar());
         assert!(!c.f32_probes);
         assert!(c.detect.is_none(), "the paper's setup is oracle mode");
+        assert_eq!(c.segment_rows, comet_frame::DEFAULT_SEGMENT_ROWS);
         assert!(c.validate().is_ok());
     }
 

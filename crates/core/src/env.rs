@@ -515,6 +515,14 @@ impl CleaningEnvironment {
         self.feat_caching = enabled;
     }
 
+    /// Cap the feature-block cache's byte footprint (shared with all
+    /// clones). Cold blocks are dropped, not spilled — they are derived
+    /// data, cheaper to recompute from the (possibly spilled) segments
+    /// than to round-trip through disk.
+    pub fn set_feature_cache_budget(&self, bytes: usize) {
+        self.feat_cache.set_block_byte_budget(bytes);
+    }
+
     /// Whether the featurization block cache is in use.
     pub fn feature_caching(&self) -> bool {
         self.feat_caching

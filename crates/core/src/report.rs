@@ -126,6 +126,21 @@ impl RunMetrics {
                 self.registry.counter("tune.searches"),
             ));
         }
+        // Segment spill tier: only reported when a memory budget was
+        // configured (the counters stay zero otherwise).
+        let spills = self.registry.counter("segment.spills");
+        let reloads = self.registry.counter("segment.reloads");
+        if spills > 0 || reloads > 0 {
+            out.push_str(&format!("segment spills: {spills} ({reloads} reloads)\n"));
+            if let Some(resident) = self.registry.gauge("segment.resident") {
+                out.push_str(&format!(
+                    "resident segments: {resident:.0} ({:.1} MiB resident, {:.1} MiB spilled)\n",
+                    self.registry.gauge("segment.resident_bytes").unwrap_or(0.0)
+                        / (1u64 << 20) as f64,
+                    self.registry.gauge("segment.spill_bytes").unwrap_or(0.0) / (1u64 << 20) as f64,
+                ));
+            }
+        }
         out
     }
 }
@@ -244,5 +259,26 @@ mod tests {
             assert!(s.contains(phase), "missing {phase} in {s}");
         }
         assert!(s.contains("3 hits / 1 misses (75.0% hit rate)"));
+        assert!(!s.contains("segment spills"), "no spill tier → no spill section: {s}");
+    }
+
+    #[test]
+    fn metrics_report_includes_spill_tier_when_active() {
+        let mut registry = comet_obs::Snapshot::default();
+        registry.counters.insert("segment.spills".into(), 4);
+        registry.counters.insert("segment.reloads".into(), 2);
+        registry.gauges.insert("segment.resident".into(), 7.0);
+        registry.gauges.insert("segment.resident_bytes".into(), (3u64 << 20) as f64);
+        registry.gauges.insert("segment.spill_bytes".into(), (1u64 << 20) as f64);
+        let metrics = RunMetrics {
+            iterations: vec![],
+            initial_f1: 0.7,
+            final_f1: 0.8,
+            budget_spent: 1.0,
+            registry,
+        };
+        let s = metrics.report();
+        assert!(s.contains("segment spills: 4 (2 reloads)"), "{s}");
+        assert!(s.contains("resident segments: 7 (3.0 MiB resident, 1.0 MiB spilled)"), "{s}");
     }
 }

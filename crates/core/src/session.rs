@@ -229,6 +229,14 @@ impl CleaningSession {
                             data.detect_fp, detect_fp
                         )));
                     }
+                    if data.segment_rows != self.config.segment_rows as u64 {
+                        return Err(CometError::Checkpoint(format!(
+                            "checkpoint was recorded with segment_rows={}, resumed with \
+                             segment_rows={} — spill files and feature blocks are addressed \
+                             per segment, refusing to resume",
+                            data.segment_rows, self.config.segment_rows
+                        )));
+                    }
                     if data.session_seed != session_seed {
                         return Err(CometError::Checkpoint(format!(
                             "checkpoint was recorded under session seed {:016x}, resumed with {:016x}",
@@ -249,6 +257,7 @@ impl CleaningSession {
                         self.config.kernels,
                         self.config.f32_probes,
                         detect_fp,
+                        self.config.segment_rows,
                     )?;
                     w.write_cache(&data.cache)?;
                     resume_data = Some(data);
@@ -262,6 +271,7 @@ impl CleaningSession {
                         self.config.kernels,
                         self.config.f32_probes,
                         detect_fp,
+                        self.config.segment_rows,
                     )?)
                 }
             }
@@ -713,6 +723,20 @@ impl CleaningSession {
                 if let Some(t) = fallback_started {
                     fallback_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 }
+            }
+
+            // Spill-tier health check at the iteration boundary: a failed
+            // segment write or reload mid-iteration degraded the affected
+            // cells to missing (libraries never panic on I/O), which would
+            // silently corrupt every later decision. Surface the sticky
+            // error and fail the session loudly instead.
+            if comet_frame::spill_is_configured() {
+                if let Some(cause) = comet_frame::spill_take_error() {
+                    return Err(CometError::Invalid(format!(
+                        "segment spill tier failed during iteration {iteration}: {cause}"
+                    )));
+                }
+                comet_frame::spill_publish_resident_gauge();
             }
 
             if let Some(rm) = run_metrics.as_mut() {

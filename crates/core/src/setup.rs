@@ -57,6 +57,12 @@ pub fn derive_provenance(dirty: &DataFrame, gt: &GroundTruth) -> Result<Provenan
 ///
 /// With `clean == None` the data is treated as its own ground truth
 /// (evaluate-only use; no dirt, no candidates).
+///
+/// `segment_rows` sets the column segment size for both frames (`0` =
+/// whole-column); the re-segmentation happens before the split so the
+/// train/test frames, their ground truths, and every pollution clone in
+/// the session inherit it. Traces are bit-identical across segment sizes.
+#[allow(clippy::too_many_arguments)]
 pub fn build_paired_env<R: Rng>(
     dirty: DataFrame,
     clean: Option<DataFrame>,
@@ -64,8 +70,10 @@ pub fn build_paired_env<R: Rng>(
     step_frac: f64,
     search: RandomSearch,
     eval_seed: u64,
+    segment_rows: usize,
     rng: &mut R,
 ) -> Result<CleaningEnvironment, CometError> {
+    let dirty = dirty.resegment(segment_rows).map_err(EnvError::from)?;
     let clean = match clean {
         Some(clean) => {
             if dirty.nrows() != clean.nrows() || dirty.ncols() != clean.ncols() {
@@ -78,7 +86,7 @@ pub fn build_paired_env<R: Rng>(
                     clean.ncols()
                 )));
             }
-            clean
+            clean.resegment(segment_rows).map_err(EnvError::from)?
         }
         None => dirty.clone(),
     };
@@ -164,6 +172,7 @@ mod tests {
             0.05,
             RandomSearch { n_samples: 1, ..RandomSearch::default() },
             7,
+            comet_frame::DEFAULT_SEGMENT_ROWS,
             &mut rng,
         )
         .unwrap();
@@ -178,6 +187,7 @@ mod tests {
             0.05,
             RandomSearch { n_samples: 1, ..RandomSearch::default() },
             7,
+            comet_frame::DEFAULT_SEGMENT_ROWS,
             &mut rng,
         )
         .unwrap_err();
@@ -198,6 +208,7 @@ mod tests {
             0.05,
             RandomSearch { n_samples: 1, ..RandomSearch::default() },
             7,
+            comet_frame::DEFAULT_SEGMENT_ROWS,
             &mut rng,
         )
         .unwrap();

@@ -48,6 +48,11 @@ pub struct GeneratorConfig {
     label_flip: f64,
     numeric: Vec<NumericSpec>,
     categorical: Vec<CategoricalSpec>,
+    /// Rows per column segment in the generated frames (`0` = builder
+    /// default). Generation streams row-by-row and seals segments
+    /// incrementally, so with a configured spill pool a 10⁶–10⁷-row frame
+    /// never holds more than the memory budget resident.
+    segment_rows: usize,
 }
 
 impl GeneratorConfig {
@@ -118,7 +123,16 @@ impl GeneratorConfig {
             label_flip: 0.06,
             numeric,
             categorical,
+            segment_rows: comet_frame::DEFAULT_SEGMENT_ROWS,
         }
+    }
+
+    /// Stream generated frames into segments of `seg_rows` rows (`0` =
+    /// the builder default). The sampled values are identical for every
+    /// size — segmentation never enters the rng stream.
+    pub fn with_segment_rows(mut self, seg_rows: usize) -> Self {
+        self.segment_rows = seg_rows;
+        self
     }
 
     /// Spread the numeric features across heterogeneous scales, multiplying
@@ -166,10 +180,13 @@ impl GeneratorConfig {
         (Schema::new(fields).expect("generated schema is valid"), dicts)
     }
 
-    /// Sample the clean dataset.
+    /// Sample the clean dataset, streaming rows into sealed segments —
+    /// peak residency during generation is one open segment per column
+    /// plus whatever the spill pool keeps warm.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> DataFrame {
         let (schema, dicts) = self.schema();
-        let mut builder = DataFrameBuilder::new(schema, dicts).expect("valid builder");
+        let mut builder = DataFrameBuilder::with_segment_rows(schema, dicts, self.segment_rows)
+            .expect("valid builder");
         let mut row: Vec<Cell> =
             Vec::with_capacity(self.numeric.len() + self.categorical.len() + 1);
         for _ in 0..self.rows {
@@ -269,6 +286,12 @@ impl GeneratorConfig {
     /// * every other family (outliers, swapped fields, and the paper's
     ///   four) is injected per-column like
     ///   [`GeneratorConfig::generate_cleanml_pair`].
+    ///
+    /// The pair never materializes two full copies: `dirty` starts as an
+    /// `Arc`-shared clone of `clean` (O(columns), no payloads copied) and
+    /// injection copy-on-writes only the segments it touches, so at
+    /// 10⁶–10⁷ rows the overhead over one copy is the touched segments
+    /// plus provenance, not a second frame.
     pub fn generate_rein_pair<R: Rng + ?Sized>(
         &self,
         errors: &[ErrorType],

@@ -119,14 +119,18 @@ fn missing_sentinel(
 ) -> Result<(), FrameError> {
     for &col in features {
         let c = df.column(col)?;
-        for (row, ok) in c.valid().iter().enumerate() {
-            if !ok {
-                flags.push(Flag {
-                    col,
-                    row,
-                    detector: DetectorKind::MissingSentinel,
-                    family: comet_jenga::ErrorType::MissingValues,
-                });
+        for seg in 0..c.n_segments() {
+            let offset = c.segment_offset(seg);
+            let view = c.segment_view(seg)?;
+            for local in 0..view.len() {
+                if !view.is_valid(local) {
+                    flags.push(Flag {
+                        col,
+                        row: offset + local,
+                        detector: DetectorKind::MissingSentinel,
+                        family: comet_jenga::ErrorType::MissingValues,
+                    });
+                }
             }
         }
     }

@@ -1,13 +1,22 @@
-//! Typed columns with an explicit validity mask.
+//! Typed columns with an explicit validity mask, stored as chunked row
+//! segments.
 //!
-//! Storage is `Arc`-backed and copy-on-write: cloning a column (and thus
-//! snapshotting or duplicating a frame) is O(1) reference bumps, and the
-//! first mutation through [`Column::set`] un-shares only the touched
-//! buffers. The cleaning session leans on this — every candidate pollution
-//! snapshots a column and every polluter variant clones both frames.
+//! Storage is `Arc`-backed and copy-on-write at *segment* granularity:
+//! cloning a column (and thus snapshotting or duplicating a frame) is O(1)
+//! reference bumps per segment, and a mutation through [`Column::set`]
+//! un-shares only the touched segment — a few-cell pollution on a
+//! million-row column copies O(segment) data, not O(column). The cleaning
+//! session leans on this: every candidate pollution snapshots a column and
+//! every polluter variant clones both frames. Cold segments can spill to
+//! disk under a memory budget (see [`crate::spill`]); readers transparently
+//! reload them.
 
 use std::sync::{Arc, OnceLock};
 
+use crate::segment::{
+    seal_categorical, seal_numeric, SegData, SegPayload, SegmentCore, SegmentView,
+    DEFAULT_SEGMENT_ROWS,
+};
 use crate::{ColumnKind, FrameError, Result};
 
 /// A single cell value, as read from or written into a column.
@@ -53,25 +62,6 @@ impl Cell {
     }
 }
 
-/// The typed payload of a column. Slots for missing rows hold a neutral
-/// filler (0.0 / code 0) and are masked out by [`Column::valid`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum ColumnData {
-    /// `f64` payload.
-    Numeric(Vec<f64>),
-    /// Dictionary codes. Every valid code must index into the dictionary.
-    Categorical(Vec<u32>),
-}
-
-impl ColumnData {
-    fn len(&self) -> usize {
-        match self {
-            ColumnData::Numeric(v) => v.len(),
-            ColumnData::Categorical(v) => v.len(),
-        }
-    }
-}
-
 /// Memoized content fingerprint. Cloning carries the computed value over
 /// (clones share content, so they share the fingerprint); any mutation
 /// resets the slot. Excluded from equality — it is a cache, not content.
@@ -89,12 +79,16 @@ impl Clone for FpCache {
 }
 
 /// One named, typed column with a validity mask and (for categoricals) a
-/// dictionary mapping codes to category names.
+/// dictionary mapping codes to category names. Rows live in fixed-size
+/// segments of `seg_rows` (the last segment may be short).
 #[derive(Debug, Clone)]
 pub struct Column {
     name: Arc<str>,
-    data: Arc<ColumnData>,
-    valid: Arc<Vec<bool>>,
+    kind: ColumnKind,
+    /// Rows per full segment; always ≥ 1.
+    seg_rows: usize,
+    len: usize,
+    segments: Vec<Arc<SegmentCore>>,
     /// Dictionary for categorical columns; empty for numeric columns.
     categories: Arc<Vec<String>>,
     fp: FpCache,
@@ -102,38 +96,108 @@ pub struct Column {
 
 impl PartialEq for Column {
     fn eq(&self, other: &Self) -> bool {
-        // Shared storage (the common case after an O(1) snapshot) short-
-        // circuits without scanning the payload.
-        self.name == other.name
-            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
-            && (Arc::ptr_eq(&self.valid, &other.valid) || self.valid == other.valid)
-            && (Arc::ptr_eq(&self.categories, &other.categories)
+        if self.name != other.name
+            || self.kind != other.kind
+            || self.len != other.len
+            || !(Arc::ptr_eq(&self.categories, &other.categories)
                 || self.categories == other.categories)
+        {
+            return false;
+        }
+        // Shared storage (the common case after an O(1) snapshot) short-
+        // circuits without scanning payloads.
+        if self.segments.len() == other.segments.len()
+            && self.segments.iter().zip(&other.segments).all(|(a, b)| Arc::ptr_eq(a, b))
+        {
+            return true;
+        }
+        // Logical comparison: validity plus values at valid rows.
+        for row in 0..self.len {
+            let a = self.get(row).unwrap_or(Cell::Missing);
+            let b = other.get(row).unwrap_or(Cell::Missing);
+            match (a, b) {
+                (Cell::Num(x), Cell::Num(y)) if x.to_bits() != y.to_bits() => return false,
+                (Cell::Num(_), Cell::Num(_)) => {}
+                (a, b) if a != b => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+}
+
+/// Write `cell` into a payload at segment-local `row`. Kind and dictionary
+/// checks happen before this is called.
+fn apply_cell(payload: &mut SegPayload, row: usize, cell: Cell) {
+    match cell {
+        Cell::Missing => payload.valid[row] = false,
+        Cell::Num(x) => {
+            if let SegData::Num(v) = &mut payload.data {
+                v[row] = x;
+            }
+            payload.valid[row] = true;
+        }
+        Cell::Cat(code) => {
+            if let SegData::Cat(v) = &mut payload.data {
+                v[row] = code;
+            }
+            payload.valid[row] = true;
+        }
     }
 }
 
 impl Column {
-    fn build(name: Arc<str>, data: ColumnData, valid: Vec<bool>, categories: Vec<String>) -> Self {
-        Column {
-            name,
-            data: Arc::new(data),
-            valid: Arc::new(valid),
-            categories: Arc::new(categories),
-            fp: FpCache::default(),
-        }
+    fn from_parts(
+        name: Arc<str>,
+        kind: ColumnKind,
+        seg_rows: usize,
+        len: usize,
+        segments: Vec<Arc<SegmentCore>>,
+        categories: Arc<Vec<String>>,
+    ) -> Self {
+        Column { name, kind, seg_rows, len, segments, categories, fp: FpCache::default() }
+    }
+
+    pub(crate) fn from_segments(
+        name: Arc<str>,
+        kind: ColumnKind,
+        seg_rows: usize,
+        len: usize,
+        segments: Vec<Arc<SegmentCore>>,
+        categories: Arc<Vec<String>>,
+    ) -> Self {
+        Column::from_parts(name, kind, seg_rows, len, segments, categories)
     }
 
     /// Build a numeric column where every value is valid.
     pub fn numeric(name: impl Into<String>, values: Vec<f64>) -> Self {
-        let valid = vec![true; values.len()];
-        Column::build(name.into().into(), ColumnData::Numeric(values), valid, Vec::new())
+        let len = values.len();
+        let valid = vec![true; len];
+        let segments = seal_numeric(values, valid, DEFAULT_SEGMENT_ROWS);
+        Column::from_parts(
+            name.into().into(),
+            ColumnKind::Numeric,
+            DEFAULT_SEGMENT_ROWS,
+            len,
+            segments,
+            Arc::new(Vec::new()),
+        )
     }
 
     /// Build a numeric column from optional values (None = missing).
     pub fn numeric_opt(name: impl Into<String>, values: Vec<Option<f64>>) -> Self {
         let valid: Vec<bool> = values.iter().map(Option::is_some).collect();
         let data: Vec<f64> = values.into_iter().map(|v| v.unwrap_or(0.0)).collect();
-        Column::build(name.into().into(), ColumnData::Numeric(data), valid, Vec::new())
+        let len = data.len();
+        let segments = seal_numeric(data, valid, DEFAULT_SEGMENT_ROWS);
+        Column::from_parts(
+            name.into().into(),
+            ColumnKind::Numeric,
+            DEFAULT_SEGMENT_ROWS,
+            len,
+            segments,
+            Arc::new(Vec::new()),
+        )
     }
 
     /// Build a categorical column from codes and a dictionary. Codes must
@@ -149,8 +213,17 @@ impl Column {
                 return Err(FrameError::UnknownCategory { column: name, code });
             }
         }
-        let valid = vec![true; codes.len()];
-        Ok(Column::build(name.into(), ColumnData::Categorical(codes), valid, categories))
+        let len = codes.len();
+        let valid = vec![true; len];
+        let segments = seal_categorical(codes, valid, DEFAULT_SEGMENT_ROWS);
+        Ok(Column::from_parts(
+            name.into(),
+            ColumnKind::Categorical,
+            DEFAULT_SEGMENT_ROWS,
+            len,
+            segments,
+            Arc::new(categories),
+        ))
     }
 
     /// Build a categorical column from optional codes (None = missing).
@@ -167,7 +240,16 @@ impl Column {
         }
         let valid: Vec<bool> = codes.iter().map(Option::is_some).collect();
         let data: Vec<u32> = codes.into_iter().map(|c| c.unwrap_or(0)).collect();
-        Ok(Column::build(name.into(), ColumnData::Categorical(data), valid, categories))
+        let len = data.len();
+        let segments = seal_categorical(data, valid, DEFAULT_SEGMENT_ROWS);
+        Ok(Column::from_parts(
+            name.into(),
+            ColumnKind::Categorical,
+            DEFAULT_SEGMENT_ROWS,
+            len,
+            segments,
+            Arc::new(categories),
+        ))
     }
 
     /// Column name.
@@ -177,30 +259,17 @@ impl Column {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True if the column has no rows.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 
     /// Storage kind of this column.
     pub fn kind(&self) -> ColumnKind {
-        match *self.data {
-            ColumnData::Numeric(_) => ColumnKind::Numeric,
-            ColumnData::Categorical(_) => ColumnKind::Categorical,
-        }
-    }
-
-    /// The raw typed payload.
-    pub fn data(&self) -> &ColumnData {
-        &self.data
-    }
-
-    /// Validity mask: `true` means present, `false` means missing.
-    pub fn valid(&self) -> &[bool] {
-        &self.valid
+        self.kind
     }
 
     /// Dictionary (empty for numeric columns).
@@ -213,61 +282,125 @@ impl Column {
         self.categories.len()
     }
 
+    /// Rows per full segment.
+    pub fn segment_rows(&self) -> usize {
+        self.seg_rows
+    }
+
+    /// Number of segments.
+    pub fn n_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// First row covered by segment `seg`.
+    pub fn segment_offset(&self, seg: usize) -> usize {
+        seg * self.seg_rows
+    }
+
+    /// Rows in segment `seg` (the last segment may be short).
+    pub fn segment_len(&self, seg: usize) -> usize {
+        self.segments.get(seg).map_or(0, |s| s.len())
+    }
+
+    /// Read handle on segment `seg`'s payload, reloading it from the spill
+    /// tier if necessary. Hot loops should fetch one view per segment
+    /// instead of calling the per-cell accessors per row.
+    pub fn segment_view(&self, seg: usize) -> Result<SegmentView> {
+        match self.segments.get(seg) {
+            Some(core) => core.view(),
+            None => Err(FrameError::ColumnOutOfBounds { col: seg, ncols: self.segments.len() }),
+        }
+    }
+
+    /// Memoized content fingerprint of segment `seg` (kind + values +
+    /// validity; excludes the column name, so identical content shares
+    /// spill files and feature-block cache entries across columns).
+    pub fn segment_fingerprint(&self, seg: usize) -> Result<u64> {
+        match self.segments.get(seg) {
+            Some(core) => core.fingerprint(),
+            None => Err(FrameError::ColumnOutOfBounds { col: seg, ncols: self.segments.len() }),
+        }
+    }
+
+    #[inline]
+    fn locate(&self, row: usize) -> (usize, usize) {
+        (row / self.seg_rows, row % self.seg_rows)
+    }
+
     /// Number of missing cells.
     pub fn missing_count(&self) -> usize {
-        self.valid.iter().filter(|v| !**v).count()
+        let mut count = 0;
+        for seg in &self.segments {
+            if let Ok(view) = seg.view() {
+                count += view.payload().valid.iter().filter(|v| !**v).count();
+            }
+        }
+        count
+    }
+
+    /// True when the cell at `row` is present (in bounds and not missing).
+    pub fn is_valid(&self, row: usize) -> bool {
+        if row >= self.len {
+            return false;
+        }
+        let (s, local) = self.locate(row);
+        self.segments[s].view().map(|v| v.is_valid(local)).unwrap_or(false)
     }
 
     /// Read the cell at `row`.
     pub fn get(&self, row: usize) -> Result<Cell> {
-        if row >= self.len() {
-            return Err(FrameError::RowOutOfBounds { row, nrows: self.len() });
+        if row >= self.len {
+            return Err(FrameError::RowOutOfBounds { row, nrows: self.len });
         }
-        if !self.valid[row] {
+        let (s, local) = self.locate(row);
+        let view = self.segments[s].view()?;
+        if !view.is_valid(local) {
             return Ok(Cell::Missing);
         }
-        Ok(match &*self.data {
-            ColumnData::Numeric(v) => Cell::Num(v[row]),
-            ColumnData::Categorical(v) => Cell::Cat(v[row]),
+        Ok(match view.payload().data {
+            SegData::Num(ref v) => Cell::Num(v[local]),
+            SegData::Cat(ref v) => Cell::Cat(v[local]),
         })
     }
 
     /// Write the cell at `row`, enforcing the column's kind. Writing
     /// [`Cell::Missing`] clears the validity bit; writing a value sets it.
-    /// The first write to shared storage un-shares it (copy-on-write).
+    /// The first write to a shared segment un-shares that segment only
+    /// (copy-on-write at segment granularity).
     pub fn set(&mut self, row: usize, cell: Cell) -> Result<()> {
-        if row >= self.len() {
-            return Err(FrameError::RowOutOfBounds { row, nrows: self.len() });
+        if row >= self.len {
+            return Err(FrameError::RowOutOfBounds { row, nrows: self.len });
         }
-        match (&*self.data, cell) {
-            (_, Cell::Missing) => {
-                Arc::make_mut(&mut self.valid)[row] = false;
-            }
-            (ColumnData::Numeric(_), Cell::Num(x)) => {
-                if let ColumnData::Numeric(v) = Arc::make_mut(&mut self.data) {
-                    v[row] = x;
-                }
-                Arc::make_mut(&mut self.valid)[row] = true;
-            }
-            (ColumnData::Categorical(_), Cell::Cat(code)) => {
+        match (self.kind, cell) {
+            (_, Cell::Missing) | (ColumnKind::Numeric, Cell::Num(_)) => {}
+            (ColumnKind::Categorical, Cell::Cat(code)) => {
                 if code as usize >= self.categories.len() {
                     return Err(FrameError::UnknownCategory {
                         column: self.name.as_ref().to_owned(),
                         code,
                     });
                 }
-                if let ColumnData::Categorical(v) = Arc::make_mut(&mut self.data) {
-                    v[row] = code;
-                }
-                Arc::make_mut(&mut self.valid)[row] = true;
             }
             (_, cell) => {
                 return Err(FrameError::TypeMismatch {
                     column: self.name.as_ref().to_owned(),
-                    expected: self.kind().name(),
+                    expected: self.kind.name(),
                     got: cell.kind_name(),
                 })
             }
+        }
+        let (s, local) = self.locate(row);
+        let core = &self.segments[s];
+        if Arc::strong_count(core) == 1 {
+            // Uniquely owned by this column: mutate in place (the payload
+            // itself un-shares from live views via make_mut).
+            core.with_payload_mut(|payload| apply_cell(payload, local, cell))?;
+        } else {
+            // Shared with a snapshot: copy-on-write this one segment.
+            let view = core.view()?;
+            let mut payload = view.payload().clone();
+            apply_cell(&mut payload, local, cell);
+            self.segments[s] = SegmentCore::new_resident(payload, self.kind);
         }
         self.fp = FpCache::default();
         Ok(())
@@ -275,47 +408,94 @@ impl Column {
 
     /// Numeric value at `row` if present and the column is numeric.
     pub fn num(&self, row: usize) -> Option<f64> {
-        match (&*self.data, self.valid.get(row)) {
-            (ColumnData::Numeric(v), Some(true)) => Some(v[row]),
-            _ => None,
+        if row >= self.len {
+            return None;
         }
+        let (s, local) = self.locate(row);
+        self.segments[s].view().ok()?.num(local)
     }
 
     /// Categorical code at `row` if present and the column is categorical.
     pub fn cat(&self, row: usize) -> Option<u32> {
-        match (&*self.data, self.valid.get(row)) {
-            (ColumnData::Categorical(v), Some(true)) => Some(v[row]),
-            _ => None,
+        if row >= self.len {
+            return None;
         }
+        let (s, local) = self.locate(row);
+        self.segments[s].view().ok()?.cat(local)
     }
 
     /// Iterate all cells in row order.
     pub fn iter(&self) -> impl Iterator<Item = Cell> + '_ {
-        (0..self.len()).map(move |row| self.get(row).unwrap_or(Cell::Missing))
+        (0..self.len).map(move |row| self.get(row).unwrap_or(Cell::Missing))
     }
 
     /// Build a new column containing only the given rows, in order.
     /// Duplicated and re-ordered indices are allowed (used by bootstrap
-    /// sampling and splits).
+    /// sampling and splits). Raw payload values (including fillers under
+    /// masked cells) are preserved so fingerprints match the pre-segmented
+    /// layout exactly.
     pub fn take(&self, rows: &[usize]) -> Result<Column> {
-        let nrows = self.len();
+        let nrows = self.len;
         if let Some(&bad) = rows.iter().find(|&&r| r >= nrows) {
             return Err(FrameError::RowOutOfBounds { row: bad, nrows });
         }
-        let data = match &*self.data {
-            ColumnData::Numeric(src) => ColumnData::Numeric(rows.iter().map(|&r| src[r]).collect()),
-            ColumnData::Categorical(src) => {
-                ColumnData::Categorical(rows.iter().map(|&r| src[r]).collect())
+        let mut out = RawBuilder::new(self.kind, self.seg_rows, rows.len());
+        // Cache the last source view: split/sample indices are sorted, so
+        // consecutive rows overwhelmingly land in the same segment.
+        let mut cached: Option<(usize, SegmentView)> = None;
+        for &r in rows {
+            let (s, local) = self.locate(r);
+            let view = match &cached {
+                Some((seg, view)) if *seg == s => view,
+                _ => {
+                    cached = Some((s, self.segment_view(s)?));
+                    match &cached {
+                        Some((_, view)) => view,
+                        // The cache was just written; this arm is unreachable.
+                        None => return Err(FrameError::Io("segment cache invariant".into())),
+                    }
+                }
+            };
+            out.push_raw(view, local);
+        }
+        Ok(Column::from_parts(
+            self.name.clone(),
+            self.kind,
+            self.seg_rows,
+            rows.len(),
+            out.finish(),
+            self.categories.clone(),
+        ))
+    }
+
+    /// Rebuild this column with a different segment size. `seg_rows == 0`
+    /// means whole-column (a single segment). Content, fingerprints, and
+    /// traces are invariant under resegmentation; only locality and spill
+    /// granularity change. A no-op (O(1) clone) when the size matches.
+    pub fn resegment(&self, seg_rows: usize) -> Result<Column> {
+        let target = if seg_rows == 0 { self.len.max(1) } else { seg_rows };
+        if target == self.seg_rows {
+            return Ok(self.clone());
+        }
+        let mut out = RawBuilder::new(self.kind, target, self.len);
+        for seg in 0..self.segments.len() {
+            let view = self.segment_view(seg)?;
+            for local in 0..view.len() {
+                out.push_raw(&view, local);
             }
-        };
-        let valid = rows.iter().map(|&r| self.valid[r]).collect();
-        Ok(Column {
-            name: self.name.clone(),
-            data: Arc::new(data),
-            valid: Arc::new(valid),
-            categories: self.categories.clone(),
-            fp: FpCache::default(),
-        })
+        }
+        let mut col = Column::from_parts(
+            self.name.clone(),
+            self.kind,
+            target,
+            self.len,
+            out.finish(),
+            self.categories.clone(),
+        );
+        // Content is unchanged, so the memoized whole-column fingerprint
+        // (segment-size-invariant by construction) carries over.
+        col.fp = self.fp.clone();
+        Ok(col)
     }
 
     /// Rename the column (used when deriving feature matrices).
@@ -329,7 +509,8 @@ impl Column {
     /// copy-on-write clone that has not diverged). Diagnostic for tests and
     /// snapshot-cost assertions.
     pub fn shares_storage_with(&self, other: &Column) -> bool {
-        Arc::ptr_eq(&self.data, &other.data) && Arc::ptr_eq(&self.valid, &other.valid)
+        self.segments.len() == other.segments.len()
+            && self.segments.iter().zip(&other.segments).all(|(a, b)| Arc::ptr_eq(a, b))
     }
 
     /// Memoization slot for the content fingerprint (see `fingerprint.rs`).
@@ -345,6 +526,63 @@ impl Column {
             Cell::Num(v) => format_float(v),
             Cell::Cat(code) => self.categories[code as usize].clone(),
         })
+    }
+}
+
+/// Accumulates raw (value, validity) pairs into sealed segments — the
+/// engine behind [`Column::take`] and [`Column::resegment`], which must
+/// preserve filler values under masked cells bit-for-bit.
+struct RawBuilder {
+    kind: ColumnKind,
+    seg_rows: usize,
+    nums: Vec<f64>,
+    cats: Vec<u32>,
+    valid: Vec<bool>,
+    segments: Vec<Arc<SegmentCore>>,
+}
+
+impl RawBuilder {
+    fn new(kind: ColumnKind, seg_rows: usize, size_hint: usize) -> Self {
+        let cap = seg_rows.min(size_hint.max(1));
+        RawBuilder {
+            kind,
+            seg_rows,
+            nums: if kind == ColumnKind::Numeric { Vec::with_capacity(cap) } else { Vec::new() },
+            cats: if kind == ColumnKind::Categorical {
+                Vec::with_capacity(cap)
+            } else {
+                Vec::new()
+            },
+            valid: Vec::with_capacity(cap),
+            segments: Vec::new(),
+        }
+    }
+
+    fn push_raw(&mut self, view: &SegmentView, local: usize) {
+        match &view.payload().data {
+            SegData::Num(v) => self.nums.push(v[local]),
+            SegData::Cat(v) => self.cats.push(v[local]),
+        }
+        self.valid.push(view.payload().valid[local]);
+        if self.valid.len() == self.seg_rows {
+            self.seal();
+        }
+    }
+
+    fn seal(&mut self) {
+        let valid = std::mem::take(&mut self.valid);
+        let data = match self.kind {
+            ColumnKind::Numeric => SegData::Num(std::mem::take(&mut self.nums)),
+            ColumnKind::Categorical => SegData::Cat(std::mem::take(&mut self.cats)),
+        };
+        self.segments.push(SegmentCore::new_resident(SegPayload { data, valid }, self.kind));
+    }
+
+    fn finish(mut self) -> Vec<Arc<SegmentCore>> {
+        if !self.valid.is_empty() || self.segments.is_empty() {
+            self.seal();
+        }
+        self.segments
     }
 }
 
@@ -513,5 +751,74 @@ mod tests {
         assert_eq!(Cell::Cat(1).as_cat(), Some(1));
         assert_eq!(Cell::Cat(1).as_num(), None);
         assert_eq!(Cell::Missing.kind_name(), "missing");
+    }
+
+    #[test]
+    fn resegment_preserves_content_and_sharing_granularity() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let base = Column::numeric("x", values.clone());
+        let seg = base.resegment(16).unwrap();
+        assert_eq!(seg.n_segments(), 7);
+        assert_eq!(seg.segment_len(6), 4);
+        assert_eq!(seg.segment_offset(3), 48);
+        assert_eq!(base, seg);
+        assert_eq!(base.fingerprint(), seg.fingerprint());
+        // Whole-column sentinel.
+        let whole = seg.resegment(0).unwrap();
+        assert_eq!(whole.n_segments(), 1);
+        assert_eq!(whole.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn segment_cow_touches_one_segment() {
+        let base =
+            Column::numeric("x", (0..100).map(|i| i as f64).collect()).resegment(16).unwrap();
+        let mut poked = base.clone();
+        poked.set(50, Cell::Num(-1.0)).unwrap();
+        assert!(!poked.shares_storage_with(&base));
+        // Only segment 3 (rows 48..64) diverged.
+        for seg in 0..base.n_segments() {
+            let same = Arc::ptr_eq(&base.segments[seg], &poked.segments[seg]);
+            assert_eq!(same, seg != 3, "segment {seg}");
+        }
+        assert_eq!(base.get(50).unwrap(), Cell::Num(50.0));
+        assert_eq!(poked.get(50).unwrap(), Cell::Num(-1.0));
+    }
+
+    #[test]
+    fn segment_fingerprints_are_content_addressed() {
+        let a = Column::numeric("a", (0..64).map(|i| i as f64).collect()).resegment(16).unwrap();
+        let b = Column::numeric("b", (0..64).map(|i| i as f64).collect()).resegment(16).unwrap();
+        // Same content, different names: segment fingerprints agree
+        // (content-addressed), whole-column fingerprints differ (named).
+        for seg in 0..a.n_segments() {
+            assert_eq!(a.segment_fingerprint(seg).unwrap(), b.segment_fingerprint(seg).unwrap());
+        }
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.set(17, Cell::Num(99.0)).unwrap();
+        assert_ne!(
+            a.segment_fingerprint(1).unwrap(),
+            c.segment_fingerprint(1).unwrap(),
+            "touched segment fingerprint changes"
+        );
+        assert_eq!(a.segment_fingerprint(0).unwrap(), c.segment_fingerprint(0).unwrap());
+    }
+
+    #[test]
+    fn take_across_segments_preserves_segment_size() {
+        let base = Column::numeric_opt(
+            "x",
+            (0..100).map(|i| if i % 7 == 0 { None } else { Some(i as f64) }).collect(),
+        )
+        .resegment(16)
+        .unwrap();
+        let rows: Vec<usize> = (0..100).step_by(3).collect();
+        let t = base.take(&rows).unwrap();
+        assert_eq!(t.segment_rows(), 16);
+        assert_eq!(t.len(), rows.len());
+        for (out_row, &src_row) in rows.iter().enumerate() {
+            assert_eq!(t.get(out_row).unwrap(), base.get(src_row).unwrap());
+        }
     }
 }

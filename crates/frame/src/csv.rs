@@ -5,40 +5,32 @@
 //! missing values. Column kinds are inferred: a column whose every non-empty
 //! field parses as `f64` is numeric, otherwise categorical (dictionary built
 //! in first-appearance order so round-trips are stable).
+//!
+//! The reader makes two streaming passes — one to infer column kinds, one
+//! to build — and feeds rows straight into segment-sealing
+//! [`ColumnBuilder`]s. Peak memory is one record plus one unsealed segment
+//! per column (and under a spill budget, sealed segments can already be
+//! evicted mid-load), never a materialized copy of the whole file: loading
+//! a million-row CSV no longer doubles the frame's footprint.
 
-use crate::{Column, DataFrame, FrameError, Result};
+use crate::{ColumnBuilder, DataFrame, FrameError, Result};
 use std::fs;
+use std::io::Read;
 use std::path::Path;
 
 /// Read a CSV file into a frame. `label` names the label column, if any.
+/// The file is scanned twice (infer, then build) so neither pass holds more
+/// than one record in memory.
 pub fn read_csv(path: impl AsRef<Path>, label: Option<&str>) -> Result<DataFrame> {
-    let text = fs::read_to_string(path)?;
-    read_csv_str(&text, label)
+    let path = path.as_ref();
+    let plan = infer_pass(CharReader::new(fs::File::open(path)?))?;
+    build_pass(CharReader::new(fs::File::open(path)?), &plan, label)
 }
 
 /// Read CSV text into a frame.
 pub fn read_csv_str(text: &str, label: Option<&str>) -> Result<DataFrame> {
-    let mut records = parse_records(text)?;
-    if records.is_empty() {
-        return Err(FrameError::Empty);
-    }
-    let header = records.remove(0);
-    if records.is_empty() {
-        return Err(FrameError::Empty);
-    }
-    let ncols = header.len();
-    for (i, rec) in records.iter().enumerate() {
-        if rec.len() != ncols {
-            return Err(FrameError::RaggedRow { line: i + 2, expected: ncols, got: rec.len() });
-        }
-    }
-
-    let mut columns = Vec::with_capacity(ncols);
-    for (c, name) in header.iter().enumerate() {
-        let fields: Vec<&str> = records.iter().map(|r| r[c].as_str()).collect();
-        columns.push(infer_column(name, &fields)?);
-    }
-    DataFrame::new(columns, label)
+    let plan = infer_pass(StrChars::new(text))?;
+    build_pass(StrChars::new(text), &plan, label)
 }
 
 /// Write a frame to a CSV file.
@@ -73,65 +65,167 @@ fn quote_field(field: &str) -> String {
     }
 }
 
-/// Split CSV text into records of unquoted fields.
-fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
-    let mut records = Vec::new();
-    let mut record = Vec::new();
-    let mut field = String::new();
-    let mut in_quotes = false;
-    let mut line = 1usize;
-    let mut chars = text.chars().peekable();
+/// A pull source of chars, so the record parser can run identically over
+/// in-memory text and incrementally decoded files.
+trait CharSource {
+    fn next_char(&mut self) -> Result<Option<char>>;
+    fn peek_char(&mut self) -> Result<Option<char>>;
+}
 
-    while let Some(ch) = chars.next() {
-        if in_quotes {
-            match ch {
-                '"' => {
-                    if chars.peek() == Some(&'"') {
-                        chars.next();
-                        field.push('"');
-                    } else {
-                        in_quotes = false;
-                    }
+struct StrChars<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> StrChars<'a> {
+    fn new(text: &'a str) -> Self {
+        StrChars { chars: text.chars().peekable() }
+    }
+}
+
+impl CharSource for StrChars<'_> {
+    fn next_char(&mut self) -> Result<Option<char>> {
+        Ok(self.chars.next())
+    }
+
+    fn peek_char(&mut self) -> Result<Option<char>> {
+        Ok(self.chars.peek().copied())
+    }
+}
+
+/// Incremental UTF-8 decoder over any byte reader: pulls 64 KiB chunks,
+/// carrying partial multi-byte sequences across chunk boundaries.
+struct CharReader<R: Read> {
+    inner: R,
+    /// Undecoded suffix of the previous chunk (an incomplete UTF-8 char).
+    tail: Vec<u8>,
+    buf: Vec<char>,
+    pos: usize,
+    eof: bool,
+}
+
+impl<R: Read> CharReader<R> {
+    fn new(inner: R) -> Self {
+        CharReader { inner, tail: Vec::new(), buf: Vec::new(), pos: 0, eof: false }
+    }
+
+    fn refill(&mut self) -> Result<()> {
+        while self.pos >= self.buf.len() && !self.eof {
+            let mut chunk = [0u8; 65536];
+            let n = self.inner.read(&mut chunk)?;
+            if n == 0 {
+                self.eof = true;
+                if !self.tail.is_empty() {
+                    return Err(FrameError::Io("invalid UTF-8 at end of CSV input".into()));
                 }
-                '\n' => {
-                    line += 1;
-                    field.push('\n');
-                }
-                _ => field.push(ch),
+                break;
             }
-        } else {
-            match ch {
-                '"' => {
-                    if !field.is_empty() {
-                        return Err(FrameError::MalformedCell {
-                            line,
-                            column: record.len() + 1,
-                            message: "quote inside unquoted field".into(),
-                        });
-                    }
-                    in_quotes = true;
+            let mut bytes = std::mem::take(&mut self.tail);
+            bytes.extend_from_slice(&chunk[..n]);
+            let valid_len = match std::str::from_utf8(&bytes) {
+                Ok(_) => bytes.len(),
+                Err(e) if e.error_len().is_none() && bytes.len() - e.valid_up_to() < 4 => {
+                    // Incomplete trailing char: carry it into the next chunk.
+                    e.valid_up_to()
                 }
-                ',' => {
-                    record.push(std::mem::take(&mut field));
+                Err(_) => return Err(FrameError::Io("invalid UTF-8 in CSV input".into())),
+            };
+            self.tail = bytes.split_off(valid_len);
+            match std::str::from_utf8(&bytes) {
+                Ok(s) => {
+                    self.buf = s.chars().collect();
+                    self.pos = 0;
                 }
-                '\r' => {} // tolerate CRLF
-                '\n' => {
-                    line += 1;
-                    record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
-                }
-                _ => field.push(ch),
+                Err(_) => return Err(FrameError::Io("invalid UTF-8 in CSV input".into())),
             }
         }
+        Ok(())
     }
-    if in_quotes {
-        return Err(FrameError::Csv { line, message: "unterminated quoted field".into() });
+}
+
+impl<R: Read> CharSource for CharReader<R> {
+    fn next_char(&mut self) -> Result<Option<char>> {
+        self.refill()?;
+        let ch = self.buf.get(self.pos).copied();
+        if ch.is_some() {
+            self.pos += 1;
+        }
+        Ok(ch)
     }
-    if !field.is_empty() || !record.is_empty() {
-        record.push(field);
-        records.push(record);
+
+    fn peek_char(&mut self) -> Result<Option<char>> {
+        self.refill()?;
+        Ok(self.buf.get(self.pos).copied())
     }
-    Ok(records)
+}
+
+/// Streaming RFC-4180-subset record parser: quotes, `""` escapes, CRLF
+/// tolerance, and line-accurate errors. Yields one record at a time.
+struct RecordStream<S: CharSource> {
+    src: S,
+    line: usize,
+}
+
+impl<S: CharSource> RecordStream<S> {
+    fn new(src: S) -> Self {
+        RecordStream { src, line: 1 }
+    }
+
+    fn next_record(&mut self) -> Result<Option<Vec<String>>> {
+        let mut record: Vec<String> = Vec::new();
+        let mut field = String::new();
+        let mut in_quotes = false;
+        while let Some(ch) = self.src.next_char()? {
+            if in_quotes {
+                match ch {
+                    '"' => {
+                        if self.src.peek_char()? == Some('"') {
+                            self.src.next_char()?;
+                            field.push('"');
+                        } else {
+                            in_quotes = false;
+                        }
+                    }
+                    '\n' => {
+                        self.line += 1;
+                        field.push('\n');
+                    }
+                    _ => field.push(ch),
+                }
+            } else {
+                match ch {
+                    '"' => {
+                        if !field.is_empty() {
+                            return Err(FrameError::MalformedCell {
+                                line: self.line,
+                                column: record.len() + 1,
+                                message: "quote inside unquoted field".into(),
+                            });
+                        }
+                        in_quotes = true;
+                    }
+                    ',' => record.push(std::mem::take(&mut field)),
+                    '\r' => {} // tolerate CRLF
+                    '\n' => {
+                        self.line += 1;
+                        record.push(std::mem::take(&mut field));
+                        return Ok(Some(record));
+                    }
+                    _ => field.push(ch),
+                }
+            }
+        }
+        if in_quotes {
+            return Err(FrameError::Csv {
+                line: self.line,
+                message: "unterminated quoted field".into(),
+            });
+        }
+        if !field.is_empty() || !record.is_empty() {
+            record.push(field);
+            return Ok(Some(record));
+        }
+        Ok(None)
+    }
 }
 
 /// True when a raw CSV field denotes a missing value: empty (also after
@@ -150,43 +244,91 @@ pub fn is_missing_sentinel(field: &str) -> bool {
     )
 }
 
-/// Infer a typed column from string fields. Fields are trimmed and
-/// missing-value sentinels (see [`is_missing_sentinel`]) parse as Missing.
-fn infer_column(name: &str, fields: &[&str]) -> Result<Column> {
-    let all_numeric =
-        fields.iter().filter(|f| !is_missing_sentinel(f)).all(|f| f.trim().parse::<f64>().is_ok());
-    let any_value = fields.iter().any(|f| !is_missing_sentinel(f));
+/// Outcome of the first pass: header plus per-column kind decisions.
+struct InferPlan {
+    header: Vec<String>,
+    /// Per column: true = numeric (every non-missing field parses as f64,
+    /// or the column is entirely missing), false = categorical.
+    numeric: Vec<bool>,
+}
 
-    if all_numeric && any_value {
-        let values: Vec<Option<f64>> = fields
-            .iter()
-            .map(|f| if is_missing_sentinel(f) { None } else { f.trim().parse::<f64>().ok() })
-            .collect();
-        Ok(Column::numeric_opt(name, values))
-    } else {
-        let mut dict: Vec<String> = Vec::new();
-        let mut codes: Vec<Option<u32>> = Vec::with_capacity(fields.len());
-        for f in fields {
+fn infer_pass<S: CharSource>(src: S) -> Result<InferPlan> {
+    let mut records = RecordStream::new(src);
+    let Some(header) = records.next_record()? else {
+        return Err(FrameError::Empty);
+    };
+    let ncols = header.len();
+    let mut all_numeric = vec![true; ncols];
+    let mut any_value = vec![false; ncols];
+    let mut nrows = 0usize;
+    while let Some(record) = records.next_record()? {
+        if record.len() != ncols {
+            return Err(FrameError::RaggedRow {
+                line: nrows + 2,
+                expected: ncols,
+                got: record.len(),
+            });
+        }
+        for (c, f) in record.iter().enumerate() {
             if is_missing_sentinel(f) {
-                codes.push(None);
                 continue;
             }
-            let f = f.trim();
-            let code = match dict.iter().position(|d| d == f) {
-                Some(i) => i as u32,
-                None => {
-                    dict.push(f.to_string());
-                    (dict.len() - 1) as u32
-                }
-            };
-            codes.push(Some(code));
+            any_value[c] = true;
+            if all_numeric[c] && f.trim().parse::<f64>().is_err() {
+                all_numeric[c] = false;
+            }
         }
-        if dict.is_empty() {
-            // Entirely empty column: keep it numeric & fully missing.
-            return Ok(Column::numeric_opt(name, vec![None; fields.len()]));
-        }
-        Column::categorical_opt(name, codes, dict)
+        nrows += 1;
     }
+    if nrows == 0 {
+        return Err(FrameError::Empty);
+    }
+    // An entirely missing column stays numeric & fully missing.
+    let numeric = all_numeric.iter().zip(&any_value).map(|(&num, &any)| num || !any).collect();
+    Ok(InferPlan { header, numeric })
+}
+
+fn build_pass<S: CharSource>(src: S, plan: &InferPlan, label: Option<&str>) -> Result<DataFrame> {
+    let mut records = RecordStream::new(src);
+    // Header already validated by the infer pass.
+    records.next_record()?;
+    let ncols = plan.header.len();
+    let mut builders: Vec<ColumnBuilder> = plan
+        .header
+        .iter()
+        .zip(&plan.numeric)
+        .map(|(name, &numeric)| {
+            if numeric {
+                ColumnBuilder::numeric(name.clone(), 0)
+            } else {
+                ColumnBuilder::categorical_open(name.clone(), 0)
+            }
+        })
+        .collect();
+    let mut nrows = 0usize;
+    while let Some(record) = records.next_record()? {
+        if record.len() != ncols {
+            return Err(FrameError::RaggedRow {
+                line: nrows + 2,
+                expected: ncols,
+                got: record.len(),
+            });
+        }
+        for (c, f) in record.iter().enumerate() {
+            if plan.numeric[c] {
+                let value =
+                    if is_missing_sentinel(f) { None } else { f.trim().parse::<f64>().ok() };
+                builders[c].push_num(value)?;
+            } else if is_missing_sentinel(f) {
+                builders[c].push_cat(None)?;
+            } else {
+                builders[c].push_label(f.trim())?;
+            }
+        }
+        nrows += 1;
+    }
+    let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
+    DataFrame::new(columns, label)
 }
 
 #[cfg(test)]
@@ -360,5 +502,23 @@ mod tests {
         let a = df.column_by_name("a").unwrap();
         assert_eq!(a.kind(), crate::ColumnKind::Numeric);
         assert_eq!(a.missing_count(), 3);
+    }
+
+    #[test]
+    fn multibyte_utf8_across_chunk_boundaries() {
+        // Force the CharReader path (file I/O) with multi-byte chars.
+        let mut text = String::from("name,y\n");
+        for i in 0..50 {
+            text.push_str(&format!("héllo—{i}·ünïcødé,x\n"));
+        }
+        let dir = std::env::temp_dir().join("comet_frame_csv_utf8_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("utf8.csv");
+        std::fs::write(&path, &text).unwrap();
+        let from_file = read_csv(&path, None).unwrap();
+        let from_str = read_csv_str(&text, None).unwrap();
+        assert_eq!(from_file, from_str);
+        assert_eq!(from_file.column(0).unwrap().display(0).unwrap(), "héllo—0·ünïcødé");
+        std::fs::remove_file(path).ok();
     }
 }

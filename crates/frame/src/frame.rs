@@ -174,6 +174,18 @@ impl DataFrame {
         Ok(DataFrame { schema: self.schema.clone(), columns, nrows: rows.len() })
     }
 
+    /// Rebuild every column with segments of `seg_rows` rows (0 = one
+    /// whole-column segment). Content, fingerprints, and traces are
+    /// invariant under resegmentation; only memory locality and spill
+    /// granularity change. O(1) per column whose size already matches.
+    pub fn resegment(&self, seg_rows: usize) -> Result<DataFrame> {
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for col in &self.columns {
+            columns.push(col.resegment(seg_rows)?);
+        }
+        Ok(DataFrame { schema: self.schema.clone(), columns, nrows: self.nrows })
+    }
+
     /// Total number of missing cells across feature columns.
     pub fn missing_cells(&self) -> usize {
         self.feature_indices().into_iter().map(|i| self.columns[i].missing_count()).sum()

@@ -126,10 +126,10 @@ fn concat_columns(a: &Column, b: &Column) -> Result<Column> {
 
 /// Append cells to a column by rebuilding its storage.
 fn extend_column(col: Column, cells: &[Cell]) -> Result<Column> {
-    use crate::ColumnData;
+    use crate::ColumnKind;
     let name = col.name().to_string();
-    match col.data() {
-        ColumnData::Numeric(_) => {
+    match col.kind() {
+        ColumnKind::Numeric => {
             let mut values: Vec<Option<f64>> = (0..col.len())
                 .map(|r| match col.get(r) {
                     Ok(Cell::Num(v)) => Some(v),
@@ -141,7 +141,7 @@ fn extend_column(col: Column, cells: &[Cell]) -> Result<Column> {
             }
             Ok(Column::numeric_opt(name, values))
         }
-        ColumnData::Categorical(_) => {
+        ColumnKind::Categorical => {
             let mut codes: Vec<Option<u32>> =
                 (0..col.len()).map(|r| col.get(r).ok().and_then(|c| c.as_cat())).collect();
             for cell in cells {

@@ -1,0 +1,394 @@
+//! Process-global LRU spill-to-disk tier for cold segments (DESIGN.md §15).
+//!
+//! Unconfigured (the default), every function here is a no-op and segments
+//! stay resident forever — the pre-segmentation behaviour. Configuring the
+//! pool ([`configure`]) sets a directory and a resident-byte budget; sealing
+//! or reloading a segment that pushes the pool past its budget evicts the
+//! least-recently-used resident segments to fingerprint-addressed files
+//! until the pool fits again.
+//!
+//! Spilling is invisible to traces: payloads round-trip bit-exactly (f64
+//! bit patterns, u32 codes, packed validity), fingerprints are memoized
+//! before eviction, and the LRU order derives from a monotonic access
+//! counter, never the wall clock (lint rule D3). Spill/reload totals are
+//! exported through `comet-obs` (`segment.spills`, `segment.reloads`,
+//! `segment.resident`, `segment.spill_bytes`).
+//!
+//! Lock order: pool → segment fingerprint slot → segment state. Segment
+//! file I/O helpers never touch the pool lock, so eviction (which runs with
+//! the pool lock held) and reload (which runs with no lock held) cannot
+//! deadlock. Byte accounting tolerates a bounded, self-correcting drift of
+//! one segment per thread racing an eviction against a reload.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
+
+use crate::segment::{SegData, SegPayload, SegmentCore, SpillOutcome};
+use crate::{ColumnKind, FrameError, Result};
+
+/// Spill file magic + version.
+const MAGIC: &[u8; 8] = b"CSEG0001";
+
+/// Resident bytes released by dropped segments, not yet settled into the
+/// pool's `resident` counter. `SegmentCore::drop` may run while the pool
+/// lock is held (eviction can release the last strong reference), so drops
+/// record here lock-free and every pool entry point settles the books
+/// before acting. Without this, bytes of dropped-while-resident segments
+/// would inflate `resident` forever — once the phantom total passes the
+/// budget, every register/reload evicts everything live and the pool
+/// thrashes permanently.
+static DEAD_RESIDENT: AtomicU64 = AtomicU64::new(0);
+
+struct PoolState {
+    dir: PathBuf,
+    budget: u64,
+    /// Bytes of registered, currently-resident segment payloads.
+    resident: u64,
+    /// Bytes currently parked in spill files by live segments.
+    spilled: u64,
+    entries: Vec<Weak<SegmentCore>>,
+    spills: u64,
+    reloads: u64,
+    error: Option<String>,
+}
+
+static POOL: Mutex<Option<PoolState>> = Mutex::new(None);
+
+fn pool() -> std::sync::MutexGuard<'static, Option<PoolState>> {
+    POOL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Point-in-time pool counters, for reports and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillStats {
+    /// Registered segments currently resident.
+    pub resident_segments: usize,
+    /// Bytes of resident registered payloads.
+    pub resident_bytes: u64,
+    /// Segments currently parked on disk.
+    pub spilled_segments: usize,
+    /// Bytes currently parked on disk.
+    pub spill_bytes: u64,
+    /// Total evictions since configure.
+    pub spills: u64,
+    /// Total reloads since configure.
+    pub reloads: u64,
+}
+
+/// Enable the spill tier: segments spill under `dir` once their combined
+/// resident payload exceeds `budget_bytes`. Reconfiguring replaces the
+/// budget and directory; already-spilled segments reload from wherever they
+/// were written (spill files are fingerprint-addressed, so stale files are
+/// harmless). Segments sealed before the pool was configured are not
+/// tracked — configure the pool before loading data.
+pub fn configure(dir: impl AsRef<Path>, budget_bytes: u64) -> Result<()> {
+    let dir = dir.as_ref().to_path_buf();
+    fs::create_dir_all(&dir)?;
+    let mut guard = pool();
+    match guard.as_mut() {
+        Some(state) => {
+            state.dir = dir;
+            state.budget = budget_bytes;
+        }
+        None => {
+            // Drops recorded while no pool was live belong to untracked
+            // segments — discard them with the fresh counters.
+            DEAD_RESIDENT.store(0, Ordering::Relaxed);
+            *guard = Some(PoolState {
+                dir,
+                budget: budget_bytes,
+                resident: 0,
+                spilled: 0,
+                entries: Vec::new(),
+                spills: 0,
+                reloads: 0,
+                error: None,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Disable the spill tier. Already-spilled segments can no longer reload
+/// (the pool forgets its directory), so only call this when no spilled
+/// data is live — tests and teardown.
+pub fn deconfigure() {
+    *pool() = None;
+}
+
+/// True when a spill pool is active.
+pub fn is_configured() -> bool {
+    pool().is_some()
+}
+
+/// The pool's spill directory, when configured.
+pub(crate) fn dir() -> Option<PathBuf> {
+    pool().as_ref().map(|s| s.dir.clone())
+}
+
+/// Current pool counters, `None` when unconfigured.
+pub fn stats() -> Option<SpillStats> {
+    let mut guard = pool();
+    let state = guard.as_mut()?;
+    settle_dead(state);
+    let mut resident_segments = 0usize;
+    let mut spilled_segments = 0usize;
+    for entry in &state.entries {
+        if let Some(core) = entry.upgrade() {
+            if core.resident_bytes().is_some() {
+                resident_segments += 1;
+            } else {
+                spilled_segments += 1;
+            }
+        }
+    }
+    Some(SpillStats {
+        resident_segments,
+        resident_bytes: state.resident,
+        spilled_segments,
+        spill_bytes: state.spilled,
+        spills: state.spills,
+        reloads: state.reloads,
+    })
+}
+
+/// Record a spill-path failure. Sticky: surfaced by [`take_error`].
+pub fn note_error(msg: &str) {
+    if let Some(state) = pool().as_mut() {
+        if state.error.is_none() {
+            state.error = Some(msg.to_string());
+        }
+    }
+}
+
+/// Take (and clear) the first spill-path failure since the last call.
+/// Session runners should check this at step boundaries: per-cell reads
+/// have no error channel, so a reload failure downgrades them to missing
+/// cells (lint rule D4 forbids panicking) and the cause surfaces here.
+pub fn take_error() -> Option<String> {
+    pool().as_mut().and_then(|state| state.error.take())
+}
+
+/// Register a freshly sealed resident segment and evict if over budget.
+pub(crate) fn register(core: &Arc<SegmentCore>) {
+    let mut guard = pool();
+    let Some(state) = guard.as_mut() else { return };
+    settle_dead(state);
+    let bytes = core.resident_bytes().unwrap_or(0);
+    core.set_tracked();
+    state.entries.push(Arc::downgrade(core));
+    state.resident = state.resident.saturating_add(bytes);
+    evict_to_budget(state);
+    publish(state);
+}
+
+/// Record resident bytes released by a dropped tracked segment. Lock-free
+/// on purpose: see [`DEAD_RESIDENT`].
+pub(crate) fn note_dead(bytes: u64) {
+    DEAD_RESIDENT.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Settle dropped-segment refunds into the resident counter before any
+/// budget decision reads it.
+fn settle_dead(state: &mut PoolState) {
+    let dead = DEAD_RESIDENT.swap(0, Ordering::Relaxed);
+    state.resident = state.resident.saturating_sub(dead);
+}
+
+/// Account a reload (the segment is already registered) and rebalance.
+pub(crate) fn after_reload(bytes: u64) {
+    let mut guard = pool();
+    let Some(state) = guard.as_mut() else { return };
+    settle_dead(state);
+    state.resident = state.resident.saturating_add(bytes);
+    state.spilled = state.spilled.saturating_sub(bytes);
+    state.reloads += 1;
+    comet_obs::counter_add("segment.reloads", 1);
+    evict_to_budget(state);
+    publish(state);
+}
+
+/// Account an eviction undone by the mutation path: a segment whose
+/// payload was reinstated from a live view without touching disk (not a
+/// reload — no file was read, so the reload counter stays put).
+pub(crate) fn after_reinstate(bytes: u64) {
+    let mut guard = pool();
+    let Some(state) = guard.as_mut() else { return };
+    settle_dead(state);
+    state.resident = state.resident.saturating_add(bytes);
+    state.spilled = state.spilled.saturating_sub(bytes);
+    evict_to_budget(state);
+    publish(state);
+}
+
+/// Evict least-recently-used resident segments until under budget. Runs
+/// with the pool lock held; takes each core's fingerprint + state locks in
+/// turn (pool → fp → state order, see module docs).
+fn evict_to_budget(state: &mut PoolState) {
+    if state.resident <= state.budget {
+        return;
+    }
+    // Drop dead entries and rank survivors by LRU clock.
+    let mut live: Vec<(u64, Arc<SegmentCore>)> = Vec::with_capacity(state.entries.len());
+    state.entries.retain(|w| match w.upgrade() {
+        Some(core) => {
+            if core.resident_bytes().is_some() {
+                live.push((core.last_touch(), Arc::clone(&core)));
+            }
+            true
+        }
+        None => false,
+    });
+    live.sort_by_key(|&(touch, _)| touch);
+    for (_, core) in live {
+        if state.resident <= state.budget {
+            break;
+        }
+        match core.try_spill(&state.dir) {
+            SpillOutcome::Spilled(bytes) => {
+                state.resident = state.resident.saturating_sub(bytes);
+                state.spilled = state.spilled.saturating_add(bytes);
+                state.spills += 1;
+                comet_obs::counter_add("segment.spills", 1);
+            }
+            SpillOutcome::Skip => {}
+            SpillOutcome::Failed(msg) => {
+                if state.error.is_none() {
+                    state.error = Some(msg);
+                }
+            }
+        }
+    }
+}
+
+fn publish(state: &PoolState) {
+    comet_obs::gauge_set("segment.resident_bytes", state.resident as f64);
+    comet_obs::gauge_set("segment.spill_bytes", state.spilled as f64);
+}
+
+/// Recompute the resident-segment-count gauge (an O(entries) sweep, so it
+/// runs on demand from report paths rather than on every access).
+pub fn publish_resident_gauge() {
+    if let Some(stats) = stats() {
+        comet_obs::gauge_set("segment.resident", stats.resident_segments as f64);
+    }
+}
+
+fn file_path(dir: &Path, fp: u64) -> PathBuf {
+    dir.join(format!("{fp:016x}.seg"))
+}
+
+/// Serialize a payload to its fingerprint-addressed file under `dir`.
+/// Content-addressed writes are idempotent: an existing file is trusted
+/// (same fingerprint, same bytes). Writes go through a temp file + rename
+/// so a kill mid-spill never leaves a truncated file under the final name.
+/// Never touches the pool lock (callable from eviction).
+pub(crate) fn write_segment_file(dir: &Path, fp: u64, payload: &SegPayload) -> Result<()> {
+    let path = file_path(dir, fp);
+    if path.exists() {
+        return Ok(());
+    }
+    let tmp = dir.join(format!("{fp:016x}.tmp"));
+    {
+        let mut f = std::io::BufWriter::new(fs::File::create(&tmp)?);
+        f.write_all(MAGIC)?;
+        let (kind, len) = match &payload.data {
+            SegData::Num(v) => (0u8, v.len()),
+            SegData::Cat(v) => (1u8, v.len()),
+        };
+        f.write_all(&[kind])?;
+        f.write_all(&(len as u64).to_le_bytes())?;
+        match &payload.data {
+            SegData::Num(v) => {
+                for x in v {
+                    f.write_all(&x.to_bits().to_le_bytes())?;
+                }
+            }
+            SegData::Cat(v) => {
+                for x in v {
+                    f.write_all(&x.to_le_bytes())?;
+                }
+            }
+        }
+        let mut byte = 0u8;
+        let mut bits = 0u32;
+        for (i, &v) in payload.valid.iter().enumerate() {
+            byte |= (v as u8) << bits;
+            bits += 1;
+            if bits == 8 || i + 1 == payload.valid.len() {
+                f.write_all(&[byte])?;
+                byte = 0;
+                bits = 0;
+            }
+        }
+        f.flush()?;
+    }
+    fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Read a payload back from its fingerprint-addressed file, bit-exactly.
+/// Never touches the pool lock.
+pub(crate) fn read_segment_file(
+    dir: &Path,
+    fp: u64,
+    kind: ColumnKind,
+    len: usize,
+) -> Result<SegPayload> {
+    let path = file_path(dir, fp);
+    let mut f =
+        std::io::BufReader::new(fs::File::open(&path).map_err(|e| {
+            FrameError::Io(format!("spill reload of {} failed: {e}", path.display()))
+        })?);
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    let mut head = [0u8; 9];
+    f.read_exact(&mut head)?;
+    let file_kind = head[0];
+    let file_len = u64::from_le_bytes([
+        head[1], head[2], head[3], head[4], head[5], head[6], head[7], head[8],
+    ]) as usize;
+    let kind_ok =
+        matches!((kind, file_kind), (ColumnKind::Numeric, 0) | (ColumnKind::Categorical, 1));
+    if &magic != MAGIC || !kind_ok || file_len != len {
+        return Err(FrameError::Io(format!(
+            "spill file {} is corrupt or mismatched",
+            path.display()
+        )));
+    }
+    let data = match kind {
+        ColumnKind::Numeric => {
+            let mut v = Vec::with_capacity(len);
+            let mut buf = [0u8; 8];
+            for _ in 0..len {
+                f.read_exact(&mut buf)?;
+                v.push(f64::from_bits(u64::from_le_bytes(buf)));
+            }
+            SegData::Num(v)
+        }
+        ColumnKind::Categorical => {
+            let mut v = Vec::with_capacity(len);
+            let mut buf = [0u8; 4];
+            for _ in 0..len {
+                f.read_exact(&mut buf)?;
+                v.push(u32::from_le_bytes(buf));
+            }
+            SegData::Cat(v)
+        }
+    };
+    let mut valid = Vec::with_capacity(len);
+    let mut byte = [0u8; 1];
+    let mut bits = 8u32;
+    for _ in 0..len {
+        if bits == 8 {
+            f.read_exact(&mut byte)?;
+            bits = 0;
+        }
+        valid.push((byte[0] >> bits) & 1 == 1);
+        bits += 1;
+    }
+    Ok(SegPayload { data, valid })
+}

@@ -1,6 +1,7 @@
 //! Per-column summary statistics.
 
-use crate::{Column, ColumnData, DataFrame, Result};
+use crate::segment::SegData;
+use crate::{Column, ColumnKind, DataFrame, Result};
 
 /// Summary of a numeric column over its *valid* cells.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,27 +29,41 @@ pub enum ColumnSummary {
 }
 
 impl Column {
-    /// Compute this column's summary.
+    /// Compute this column's summary by streaming its segments in row
+    /// order. The numeric pass is deliberately *sequential* — Welford's
+    /// update is order-sensitive in its low bits, and featurize keys its
+    /// caches by these statistics, so a parallel tree-reduction would break
+    /// bit-identity with the pre-segmentation layout. (Parallelism over
+    /// segments lives in featurize's block computation instead, which is
+    /// per-row and order-free.)
     pub fn summary(&self) -> ColumnSummary {
-        match self.data() {
-            ColumnData::Numeric(values) => {
+        match self.kind() {
+            ColumnKind::Numeric => {
                 let mut count = 0usize;
                 let mut mean = 0.0f64;
                 let mut m2 = 0.0f64;
                 let mut min = f64::INFINITY;
                 let mut max = f64::NEG_INFINITY;
-                for (i, &v) in values.iter().enumerate() {
-                    if !self.valid()[i] {
-                        continue;
+                for seg in 0..self.n_segments() {
+                    // A reload failure degrades this segment's rows to
+                    // missing; the cause surfaces via `spill::take_error`.
+                    let Ok(view) = self.segment_view(seg) else { continue };
+                    let payload = view.payload();
+                    let SegData::Num(values) = &payload.data else { continue };
+                    for (i, &v) in values.iter().enumerate() {
+                        if !payload.valid[i] {
+                            continue;
+                        }
+                        count += 1;
+                        // Welford's online algorithm: numerically stable even
+                        // for large, offset-heavy columns (e.g. scaled-by-1000
+                        // errors).
+                        let delta = v - mean;
+                        mean += delta / count as f64;
+                        m2 += delta * (v - mean);
+                        min = min.min(v);
+                        max = max.max(v);
                     }
-                    count += 1;
-                    // Welford's online algorithm: numerically stable even for
-                    // large, offset-heavy columns (e.g. scaled-by-1000 errors).
-                    let delta = v - mean;
-                    mean += delta / count as f64;
-                    m2 += delta * (v - mean);
-                    min = min.min(v);
-                    max = max.max(v);
                 }
                 let std = if count >= 2 { (m2 / (count as f64 - 1.0)).sqrt() } else { 0.0 };
                 if count == 0 {
@@ -58,11 +73,16 @@ impl Column {
                 }
                 ColumnSummary::Numeric(NumericSummary { count, mean, std, min, max })
             }
-            ColumnData::Categorical(codes) => {
+            ColumnKind::Categorical => {
                 let mut counts = vec![0usize; self.cardinality()];
-                for (i, &code) in codes.iter().enumerate() {
-                    if self.valid()[i] {
-                        counts[code as usize] += 1;
+                for seg in 0..self.n_segments() {
+                    let Ok(view) = self.segment_view(seg) else { continue };
+                    let payload = view.payload();
+                    let SegData::Cat(codes) = &payload.data else { continue };
+                    for (i, &code) in codes.iter().enumerate() {
+                        if payload.valid[i] {
+                            counts[code as usize] += 1;
+                        }
                     }
                 }
                 let mode = counts
@@ -210,5 +230,18 @@ mod tests {
         let c = Column::numeric("x", (0..1000).map(|i| base + (i % 7) as f64).collect());
         let std = c.std().unwrap();
         assert!(std > 1.9 && std < 2.1, "std {std} should be ~2");
+    }
+
+    #[test]
+    fn summary_is_segment_size_invariant() {
+        let vals: Vec<Option<f64>> = (0..300)
+            .map(|i| if i % 11 == 0 { None } else { Some((i as f64).sin() * 1e6) })
+            .collect();
+        let whole = Column::numeric_opt("x", vals);
+        let base = whole.summary();
+        for seg_rows in [1usize, 7, 64, 299, 1024] {
+            let seg = whole.resegment(seg_rows).unwrap();
+            assert_eq!(seg.summary(), base, "seg_rows={seg_rows} (bit-identical Welford)");
+        }
     }
 }

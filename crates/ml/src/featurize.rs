@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use crate::Matrix;
-use comet_frame::{Column, ColumnKind, ColumnSummary, DataFrame, FrameError, Result};
+use comet_frame::{Column, ColumnKind, ColumnSummary, DataFrame, FrameError, Result, SegmentView};
 
 #[derive(Debug, Clone, PartialEq)]
 enum FeatSpec {
@@ -74,23 +74,55 @@ pub struct FeatureCacheStats {
     pub block_misses: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct FeatureCacheInner {
     /// Column content fingerprint → fitted stats.
     // comet-lint: allow(D1) — lookup-only memo; never iterated, so order cannot leak into a trace
     stats: HashMap<u64, SpecStats>,
-    /// (spec params key, column content fingerprint) → dense transformed
-    /// block, row-major `nrows × spec.width()`.
+    /// (spec params key, *segment* content fingerprint) → dense transformed
+    /// block, row-major `seg_len × spec.width()`. Per-segment granularity
+    /// means a few-cell pollution on a huge column invalidates (and
+    /// recomputes) only the touched segments' blocks.
     // comet-lint: allow(D1) — lookup-only memo; eviction clears wholesale rather than iterating
     blocks: HashMap<(u64, u64), Arc<Vec<f64>>>,
+    /// Heap bytes currently held by `blocks` values.
+    block_bytes: usize,
+    /// Byte budget for `blocks` before a wholesale clear.
+    block_byte_budget: usize,
     block_hits: u64,
     block_misses: u64,
 }
 
+impl Default for FeatureCacheInner {
+    fn default() -> Self {
+        FeatureCacheInner {
+            // comet-lint: allow(D1) — construction of the lookup-only memos declared above
+            stats: HashMap::default(),
+            // comet-lint: allow(D1) — construction of the lookup-only memos declared above
+            blocks: HashMap::default(),
+            block_bytes: 0,
+            block_byte_budget: DEFAULT_BLOCK_BYTE_BUDGET,
+            block_hits: 0,
+            block_misses: 0,
+        }
+    }
+}
+
 /// Bounds before a wholesale clear: a spec entry is a few words, a block is
-/// `nrows × width` floats, so blocks get the tighter cap.
+/// `seg_len × width` floats, so blocks get the tighter cap. Blocks are
+/// *derived* data — their source segments are content-addressed (and
+/// possibly already on disk in the spill tier), so "evicting" a feature
+/// block is just dropping it; recompute is one pass over the segment. That
+/// is why cold feature blocks are dropped under memory pressure rather than
+/// spilled: re-reading a spilled block would cost the same I/O as reloading
+/// the segment, without saving the (cheap, clamp-and-scale) transform.
 const SPEC_CACHE_CAP: usize = 65_536;
 const BLOCK_CACHE_CAP: usize = 4_096;
+/// Default byte budget for cached blocks (256 MiB) — small frames never hit
+/// it; million-row sessions bound their featurize footprint with it. The
+/// session runner lowers it via [`FeatureCache::set_block_byte_budget`]
+/// when a `--memory-budget` is configured.
+const DEFAULT_BLOCK_BYTE_BUDGET: usize = 256 << 20;
 
 /// Column-block featurization cache.
 ///
@@ -121,6 +153,7 @@ impl FeatureCache {
         let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.stats.clear();
         inner.blocks.clear();
+        inner.block_bytes = 0;
     }
 
     /// Occupancy and hit/miss counters.
@@ -166,11 +199,28 @@ impl FeatureCache {
     }
 
     fn insert_block(&self, key: (u64, u64), block: Arc<Vec<f64>>) {
+        let bytes = block.len() * std::mem::size_of::<f64>();
         let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        if inner.blocks.len() >= BLOCK_CACHE_CAP {
+        if inner.blocks.len() >= BLOCK_CACHE_CAP
+            || inner.block_bytes.saturating_add(bytes) > inner.block_byte_budget
+        {
             inner.blocks.clear();
+            inner.block_bytes = 0;
         }
+        inner.block_bytes += bytes;
         inner.blocks.insert(key, block);
+    }
+
+    /// Bound the bytes held by cached transformed blocks; exceeding it
+    /// clears the block cache wholesale (blocks are cheap to recompute from
+    /// their — possibly disk-backed — source segments).
+    pub fn set_block_byte_budget(&self, bytes: usize) {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.block_byte_budget = bytes.max(1);
+        if inner.block_bytes > inner.block_byte_budget {
+            inner.blocks.clear();
+            inner.block_bytes = 0;
+        }
     }
 }
 
@@ -322,15 +372,16 @@ impl Featurizer {
         Ok(())
     }
 
-    /// Transform one column into a dense row-major `n × width` block.
-    fn compute_block(spec: &FeatSpec, column: &Column, n: usize) -> Vec<f64> {
+    /// Transform one segment into a dense row-major `seg_len × width` block.
+    fn compute_segment_block(spec: &FeatSpec, view: &SegmentView) -> Vec<f64> {
+        let n = view.len();
         match *spec {
             FeatSpec::Numeric { mean, std, .. } => {
                 let mut block = Vec::with_capacity(n);
-                for row in 0..n {
+                for local in 0..n {
                     // Missing → mean-impute → standardized 0. Non-finite
                     // values (overflowed scaling errors) are clamped.
-                    let v = column.num(row).unwrap_or(mean);
+                    let v = view.num(local).unwrap_or(mean);
                     let z = (v - mean) / std;
                     block.push(z.clamp(-1e9, 1e9));
                 }
@@ -338,9 +389,9 @@ impl Featurizer {
             }
             FeatSpec::Categorical { cardinality, mode, .. } => {
                 let mut block = vec![0.0; n * cardinality];
-                for row in 0..n {
-                    let code = column.cat(row).unwrap_or(mode) as usize;
-                    block[row * cardinality + code] = 1.0;
+                for local in 0..n {
+                    let code = view.cat(local).unwrap_or(mode) as usize;
+                    block[local * cardinality + code] = 1.0;
                 }
                 block
             }
@@ -354,8 +405,9 @@ impl Featurizer {
     }
 
     /// [`Featurizer::transform`] into a recycled buffer, optionally splicing
-    /// per-column blocks from `cache`. Only columns whose (params, content)
-    /// key misses are recomputed; output is bit-identical to an uncached
+    /// per-segment blocks from `cache`. Only segments whose (params, segment
+    /// content) key misses are recomputed — in parallel via `comet-par` when
+    /// several segments miss at once; output is bit-identical to an uncached
     /// transform. The buffer's allocation is reused when large enough.
     pub fn transform_with(
         &self,
@@ -373,36 +425,62 @@ impl Featurizer {
             let w = spec.width();
             match cache {
                 Some(cache) => {
-                    let key = (spec.params_key(), column.fingerprint());
-                    let block = match cache.lookup_block(key) {
-                        Some(block) => block,
-                        None => {
-                            let block = Arc::new(Featurizer::compute_block(spec, column, n));
-                            cache.insert_block(key, Arc::clone(&block));
-                            block
+                    // Per-segment keys: a few-cell pollution invalidates only
+                    // the touched segments' blocks, not the whole column.
+                    let params = spec.params_key();
+                    let mut blocks: Vec<Option<Arc<Vec<f64>>>> =
+                        Vec::with_capacity(column.n_segments());
+                    let mut missed: Vec<(usize, SegmentView)> = Vec::new();
+                    for seg in 0..column.n_segments() {
+                        let key = (params, column.segment_fingerprint(seg)?);
+                        match cache.lookup_block(key) {
+                            Some(block) => blocks.push(Some(block)),
+                            None => {
+                                blocks.push(None);
+                                missed.push((seg, column.segment_view(seg)?));
+                            }
                         }
-                    };
-                    // Splice the dense block into its output column range.
-                    for row in 0..n {
-                        out[row * d + group.start..row * d + group.end]
-                            .copy_from_slice(&block[row * w..(row + 1) * w]);
+                    }
+                    let computed = comet_par::par_map(missed, |(seg, view)| {
+                        (seg, Arc::new(Featurizer::compute_segment_block(spec, &view)))
+                    });
+                    for (seg, block) in computed {
+                        let key = (params, column.segment_fingerprint(seg)?);
+                        cache.insert_block(key, Arc::clone(&block));
+                        blocks[seg] = Some(block);
+                    }
+                    // Splice each dense block into its output column range.
+                    for (seg, block) in blocks.iter().enumerate() {
+                        let Some(block) = block else { continue };
+                        let offset = column.segment_offset(seg);
+                        for local in 0..column.segment_len(seg) {
+                            let row = offset + local;
+                            out[row * d + group.start..row * d + group.end]
+                                .copy_from_slice(&block[local * w..(local + 1) * w]);
+                        }
                     }
                 }
-                None => match *spec {
-                    FeatSpec::Numeric { mean, std, .. } => {
-                        for row in 0..n {
-                            let v = column.num(row).unwrap_or(mean);
-                            let z = (v - mean) / std;
-                            out[row * d + group.start] = z.clamp(-1e9, 1e9);
+                None => {
+                    for seg in 0..column.n_segments() {
+                        let view = column.segment_view(seg)?;
+                        let offset = column.segment_offset(seg);
+                        match *spec {
+                            FeatSpec::Numeric { mean, std, .. } => {
+                                for local in 0..view.len() {
+                                    let v = view.num(local).unwrap_or(mean);
+                                    let z = (v - mean) / std;
+                                    out[(offset + local) * d + group.start] = z.clamp(-1e9, 1e9);
+                                }
+                            }
+                            FeatSpec::Categorical { mode, .. } => {
+                                for local in 0..view.len() {
+                                    let code = view.cat(local).unwrap_or(mode) as usize;
+                                    out[(offset + local) * d + group.start + code] = 1.0;
+                                }
+                            }
                         }
                     }
-                    FeatSpec::Categorical { mode, .. } => {
-                        for row in 0..n {
-                            let code = column.cat(row).unwrap_or(mode) as usize;
-                            out[row * d + group.start + code] = 1.0;
-                        }
-                    }
-                },
+                }
             }
         }
         Ok(m)

@@ -58,6 +58,14 @@ pub struct ServeConfig {
     /// Period of the supervisor's serve report to the journal sink (if one
     /// is installed).
     pub report_every: Duration,
+    /// Rows per column segment for every hosted session (`0` = whole
+    /// column). Part of each session's checkpoint identity, so one daemon
+    /// pins one segmentation — exactly like the kernel tier.
+    pub segment_rows: usize,
+    /// Resident-segment byte cap. `Some(n)` arms the process-global spill
+    /// pool under `<root>/spill`; cold segments move to content-addressed
+    /// files and reload on demand. `None` = everything stays in memory.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +78,8 @@ impl Default for ServeConfig {
             kernels: KernelTier::Scalar,
             faults: ServeFaultPlan::new(Vec::new()),
             report_every: Duration::from_secs(10),
+            segment_rows: comet_frame::DEFAULT_SEGMENT_ROWS,
+            memory_budget: None,
         }
     }
 }
@@ -114,6 +124,15 @@ impl Daemon {
     pub fn start(config: ServeConfig) -> io::Result<Daemon> {
         comet_ml::kernels::set_tier(config.kernels);
         let store = SessionStore::open(&config.root)?;
+        if let Some(budget) = config.memory_budget {
+            // The spill pool is process-global, like the kernel tier:
+            // every hosted session shares the one budget. Content
+            // addressing makes the directory safe to reuse across
+            // restarts — a recovered session finds its segments by
+            // fingerprint or rewrites them idempotently.
+            comet_frame::spill_configure(config.root.join("spill"), budget)
+                .map_err(|e| io::Error::other(format!("spill dir: {e}")))?;
+        }
 
         // Crash recovery: every manifest still queued/running is accepted
         // work this daemon owes a result for. Re-enqueue in id order (the
@@ -748,14 +767,26 @@ fn execute_session(
     // content-addressed datasets this makes the trace a pure function of
     // the manifest — the property the crash-recovery smoke compares.
     let mut rng = StdRng::seed_from_u64(manifest.seed);
-    let mut env =
-        build_paired_env(dirty, clean, algorithm, 0.01, RandomSearch::default(), 7, &mut rng)
-            .map_err(|e| e.to_string())?;
+    let mut env = build_paired_env(
+        dirty,
+        clean,
+        algorithm,
+        0.01,
+        RandomSearch::default(),
+        7,
+        inner.config.segment_rows,
+        &mut rng,
+    )
+    .map_err(|e| e.to_string())?;
+    if let Some(budget) = inner.config.memory_budget {
+        env.set_feature_cache_budget((budget / 4).max(1) as usize);
+    }
 
     let config = CometConfig {
         budget: manifest.budget,
         detect,
         kernels: inner.config.kernels,
+        segment_rows: inner.config.segment_rows,
         ..CometConfig::default()
     };
     let dir = inner.store.session_dir(&manifest.id);

@@ -50,11 +50,13 @@ usage:
                   [--kernels scalar|simd] [--f32-probes]
                   [--detect [--detectors LIST]]
                   [--no-feature-cache] [--seed N]
+                  [--segment-rows N] [--memory-budget BYTES]
 
   comet serve     --root DIR [--workers N] [--max-queued N] [--tenant-cap N]
                   [--backoff-ms N] [--port N] [--port-file FILE]
                   [--kernels scalar|simd] [--metrics-out FILE]
                   [--report-every-secs N] [--inject-fault SPEC[,SPEC...]]
+                  [--segment-rows N] [--memory-budget BYTES]
   comet client ACTION [--port N | --port-file FILE] [--retry N] ...
                   ping | stats | drain
                   upload  --file FILE
@@ -68,7 +70,12 @@ usage:
   --detect      seed candidates from the built-in detector ensemble instead
                 of the dirty/clean provenance diff (the oracle); --detectors
                 narrows the ensemble (comma list, e.g. missing-sentinel,iqr;
-                default all)";
+                default all)
+  --segment-rows N      rows per column segment (default 65536; 0 = whole
+                column). Traces are bit-identical across sizes.
+  --memory-budget BYTES cap resident segment bytes; cold segments spill to
+                disk (LRU, content-addressed). Accepts K/M/G suffixes,
+                e.g. 512M";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -152,6 +159,29 @@ fn parse_detect(
     }
 }
 
+/// `--segment-rows N` → rows per column segment (`0` = whole-column,
+/// absent = the config default).
+fn segment_rows_of(flags: &HashMap<String, String>) -> Result<usize, String> {
+    flags.get("segment-rows").map_or(Ok(CometConfig::default().segment_rows), |s| {
+        s.parse().map_err(|e| format!("--segment-rows: {e}"))
+    })
+}
+
+/// Parse a byte size: a plain integer, optionally with a binary K/M/G
+/// suffix (`512M` = 512 × 2²⁰).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (digits, shift) = match s.as_bytes().last() {
+        Some(b'K' | b'k') => (&s[..s.len() - 1], 10),
+        Some(b'M' | b'm') => (&s[..s.len() - 1], 20),
+        Some(b'G' | b'g') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits.trim().parse().map_err(|e| format!("bad byte size {s:?}: {e}"))?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(|| format!("byte size {s:?} overflows u64"))
+}
+
 fn algo_of(flags: &HashMap<String, String>) -> Result<Algorithm, String> {
     match flags.get("algo") {
         None => Ok(Algorithm::Knn),
@@ -198,8 +228,18 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed_of(&flags)?);
 
     let df = read_csv(input, Some(label)).map_err(|e| format!("{input}: {e}"))?;
-    let env = build_paired_env(df, None, algorithm, 0.01, RandomSearch::default(), 7, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let segment_rows = segment_rows_of(&flags)?;
+    let env = build_paired_env(
+        df,
+        None,
+        algorithm,
+        0.01,
+        RandomSearch::default(),
+        7,
+        segment_rows,
+        &mut rng,
+    )
+    .map_err(|e| e.to_string())?;
     let f1 = env.evaluate().map_err(|e| e.to_string())?;
     println!(
         "{algorithm} on {input}: F1 {f1:.4} ({} train / {} test rows, {} features)",
@@ -244,6 +284,26 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     }
     let mut rng = StdRng::seed_from_u64(seed_of(&flags)?);
 
+    let segment_rows = segment_rows_of(&flags)?;
+    // `--memory-budget` arms the spill tier before the CSVs stream in, so
+    // even the initial load stays under the cap. The spill directory lives
+    // next to the checkpoint when one is given (it survives a kill and the
+    // resume finds the same content-addressed files), else under the OS
+    // temp dir.
+    let memory_budget = flags.get("memory-budget").map(|s| parse_bytes(s)).transpose()?;
+    if let Some(budget) = memory_budget {
+        let dir = match flags.get("checkpoint") {
+            Some(ckpt) => std::path::Path::new(ckpt)
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+                .unwrap_or_else(|| std::path::Path::new("."))
+                .join("comet-spill"),
+            None => std::env::temp_dir().join(format!("comet-spill-{}", std::process::id())),
+        };
+        comet::frame::spill_configure(&dir, budget)
+            .map_err(|e| format!("--memory-budget: cannot open spill dir: {e}"))?;
+    }
+
     let dirty = read_csv(dirty_path, Some(label)).map_err(|e| format!("{dirty_path}: {e}"))?;
     let clean = read_csv(clean_path, Some(label)).map_err(|e| format!("{clean_path}: {e}"))?;
 
@@ -251,9 +311,22 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     // derives the provenance oracle, and assembles the environment exactly
     // the way the `comet-serve` daemon does, so a CLI run and a served run
     // with the same seed produce bit-identical traces.
-    let mut env =
-        build_paired_env(dirty, Some(clean), algorithm, step, RandomSearch::default(), 7, &mut rng)
-            .map_err(|e| e.to_string())?;
+    let mut env = build_paired_env(
+        dirty,
+        Some(clean),
+        algorithm,
+        step,
+        RandomSearch::default(),
+        7,
+        segment_rows,
+        &mut rng,
+    )
+    .map_err(|e| e.to_string())?;
+    if let Some(budget) = memory_budget {
+        // Derived feature blocks get a quarter of the budget; they are
+        // dropped (recomputed from segments), never spilled.
+        env.set_feature_cache_budget((budget / 4).max(1) as usize);
+    }
     // `--no-feature-cache` reverts evaluation to full re-featurization per
     // candidate — the pre-cache behaviour, kept as an escape hatch and for
     // timing comparisons. Scores are identical either way.
@@ -287,6 +360,7 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
         kernels,
         f32_probes,
         detect,
+        segment_rows,
         ..CometConfig::default()
     };
     let mut session = CleaningSession::new(config, errors);
@@ -358,6 +432,20 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
         std::fs::write(path, trace.to_csv(Some(env.train()))).map_err(|e| e.to_string())?;
         println!("trace written to {path}");
     }
+    if memory_budget.is_some() {
+        if let Some(s) = comet::frame::spill_stats() {
+            println!(
+                "spill tier: {} spills / {} reloads, {} segments resident \
+                 ({:.1} MiB resident, {:.1} MiB on disk)",
+                s.spills,
+                s.reloads,
+                s.resident_segments,
+                s.resident_bytes as f64 / (1u64 << 20) as f64,
+                s.spill_bytes as f64 / (1u64 << 20) as f64,
+            );
+        }
+        comet::frame::spill_deconfigure();
+    }
     Ok(())
 }
 
@@ -392,6 +480,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let specs: Vec<ServeFault> =
             list.split(',').map(ServeFault::parse).collect::<Result<_, _>>()?;
         config.faults = ServeFaultPlan::new(specs);
+    }
+    if flags.contains_key("segment-rows") {
+        config.segment_rows = segment_rows_of(&flags)?;
+    }
+    if let Some(s) = flags.get("memory-budget") {
+        config.memory_budget = Some(parse_bytes(s)?);
     }
     let metrics_out = flags.get("metrics-out");
     if let Some(path) = metrics_out {
@@ -554,6 +648,25 @@ mod tests {
         assert!(f.contains_key("f32-probes"), "--f32-probes is valueless");
         assert_eq!(f.get("kernels").unwrap(), "simd");
         assert_eq!(comet::ml::kernels::KernelTier::parse("simd").unwrap().lanes(), 8);
+    }
+
+    #[test]
+    fn segment_and_budget_flags_parse() {
+        let f = flags(&[]).unwrap();
+        assert_eq!(segment_rows_of(&f).unwrap(), CometConfig::default().segment_rows);
+        let f = flags(&["--segment-rows", "1024"]).unwrap();
+        assert_eq!(segment_rows_of(&f).unwrap(), 1024);
+        let f = flags(&["--segment-rows", "0"]).unwrap();
+        assert_eq!(segment_rows_of(&f).unwrap(), 0, "0 = whole-column");
+        assert!(segment_rows_of(&flags(&["--segment-rows", "many"]).unwrap()).is_err());
+
+        assert_eq!(parse_bytes("4096").unwrap(), 4096);
+        assert_eq!(parse_bytes("64K").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("512M").unwrap(), 512 << 20);
+        assert_eq!(parse_bytes("2g").unwrap(), 2 << 30);
+        assert!(parse_bytes("1.5G").is_err());
+        assert!(parse_bytes("lots").is_err());
+        assert!(parse_bytes("99999999999G").is_err(), "overflow is loud");
     }
 
     #[test]

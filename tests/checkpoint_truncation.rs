@@ -62,6 +62,7 @@ fn run_session(seed: u64, path: &Path, resume: bool) -> Result<String, CometErro
         0.05,
         RandomSearch { n_samples: 1, ..RandomSearch::default() },
         7,
+        comet::frame::DEFAULT_SEGMENT_ROWS,
         &mut rng,
     )?;
     let session = CleaningSession::new(session_config(), ErrorType::ALL.to_vec())
