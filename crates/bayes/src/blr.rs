@@ -14,12 +14,13 @@ use crate::poly::PolynomialBasis;
 use crate::student_t::StudentT;
 use std::fmt;
 
-/// Condition-number estimate above which a fit is declared [`BlrError::Degenerate`].
+/// Condition-number estimate above which a fit is declared [`BayesError::Degenerate`].
 const CONDITION_LIMIT: f64 = 1e12;
 
-/// Failure of a Bayesian regression fit.
+/// Failure of a regression fit or prediction in this crate (shared by the
+/// Bayesian model and the OLS cross-check).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum BlrError {
+pub enum BayesError {
     /// The regularized precision matrix `V₀⁻¹ + XᵀX` failed to factor.
     Cholesky(CholeskyError),
     /// The design is numerically near-singular: the condition estimate of
@@ -31,25 +32,28 @@ pub enum BlrError {
     },
     /// An observation was NaN or infinite.
     NonFinite,
+    /// `predict` was called before a successful `fit`.
+    Unfitted,
 }
 
-impl fmt::Display for BlrError {
+impl fmt::Display for BayesError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BlrError::Cholesky(e) => write!(f, "precision factorization failed: {e}"),
-            BlrError::Degenerate { condition } => {
+            BayesError::Cholesky(e) => write!(f, "precision factorization failed: {e}"),
+            BayesError::Degenerate { condition } => {
                 write!(f, "near-singular design: condition estimate {condition:.3e} > 1e12")
             }
-            BlrError::NonFinite => write!(f, "non-finite observation in regression input"),
+            BayesError::NonFinite => write!(f, "non-finite observation in regression input"),
+            BayesError::Unfitted => write!(f, "predict called before a successful fit"),
         }
     }
 }
 
-impl std::error::Error for BlrError {}
+impl std::error::Error for BayesError {}
 
-impl From<CholeskyError> for BlrError {
+impl From<CholeskyError> for BayesError {
     fn from(e: CholeskyError) -> Self {
-        BlrError::Cholesky(e)
+        BayesError::Cholesky(e)
     }
 }
 
@@ -137,15 +141,15 @@ impl BayesianLinearRegression {
     /// Fit the posterior from paired observations. Requires at least one
     /// point; with fewer points than basis dimensions the prior regularizes.
     ///
-    /// Fails with [`BlrError::NonFinite`] on NaN/∞ inputs and with
-    /// [`BlrError::Degenerate`] when the regularized precision matrix is so
+    /// Fails with [`BayesError::NonFinite`] on NaN/∞ inputs and with
+    /// [`BayesError::Degenerate`] when the regularized precision matrix is so
     /// ill-conditioned that the posterior would be numerical noise (e.g. a
     /// constant design column under an effectively flat prior).
-    pub fn fit(&mut self, xs: &[f64], ys: &[f64]) -> Result<&Posterior, BlrError> {
+    pub fn fit(&mut self, xs: &[f64], ys: &[f64]) -> Result<&Posterior, BayesError> {
         assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
         assert!(!xs.is_empty(), "need at least one observation");
         if xs.iter().chain(ys).any(|v| !v.is_finite()) {
-            return Err(BlrError::NonFinite);
+            return Err(BayesError::NonFinite);
         }
         let d = self.basis.dim();
         let n = xs.len();
@@ -184,7 +188,7 @@ impl BayesianLinearRegression {
         }
         let condition = (hi / lo) * (hi / lo);
         if !condition.is_finite() || condition > CONDITION_LIMIT {
-            return Err(BlrError::Degenerate { condition });
+            return Err(BayesError::Degenerate { condition });
         }
 
         // mₙ = Vₙ Xᵀy  (prior mean is zero).
@@ -203,8 +207,7 @@ impl BayesianLinearRegression {
         // comet-lint: allow(D2) — positivity floor for the inverse-gamma rate parameter
         let b = (self.config.b0 + 0.5 * (yty - quad)).max(self.config.b0 * 1e-6).max(1e-12);
 
-        self.posterior = Some(Posterior { mean, cov_scale, a, b, n });
-        Ok(self.posterior.as_ref().expect("just set"))
+        Ok(self.posterior.insert(Posterior { mean, cov_scale, a, b, n }))
     }
 
     /// The fitted posterior, if [`fit`](Self::fit) has been called.
@@ -212,9 +215,10 @@ impl BayesianLinearRegression {
         self.posterior.as_ref()
     }
 
-    /// Posterior-predictive summary at input `x`. Panics if unfitted.
-    pub fn predict(&self, x: f64) -> Prediction {
-        let post = self.posterior.as_ref().expect("predict called before fit");
+    /// Posterior-predictive summary at input `x`. Fails with
+    /// [`BayesError::Unfitted`] before a successful [`fit`](Self::fit).
+    pub fn predict(&self, x: f64) -> Result<Prediction, BayesError> {
+        let post = self.posterior.as_ref().ok_or(BayesError::Unfitted)?;
         let d = self.basis.dim();
         let phi = self.basis.expand(x);
 
@@ -233,7 +237,7 @@ impl BayesianLinearRegression {
         let scale = ((post.b / post.a) * (1.0 + xvx)).sqrt();
         let t = StudentT::new(2.0 * post.a);
         let half = t.interval_half_width(self.config.interval) * scale;
-        Prediction { mean, scale, lower: mean - half, upper: mean + half }
+        Ok(Prediction { mean, scale, lower: mean - half, upper: mean + half })
     }
 }
 
@@ -260,7 +264,7 @@ mod tests {
         // The weak prior shrinks estimates slightly toward zero.
         assert!((post.mean[0] - 0.9).abs() < 1e-2, "intercept {}", post.mean[0]);
         assert!((post.mean[1] + 0.5).abs() < 2e-2, "slope {}", post.mean[1]);
-        let p = blr.predict(0.5);
+        let p = blr.predict(0.5).unwrap();
         assert!((p.mean - 0.65).abs() < 1e-2);
         // Prior shrinkage leaves small residuals even on noiseless data, so
         // the interval is narrow but not degenerate.
@@ -276,7 +280,7 @@ mod tests {
         let mut noisy = BayesianLinearRegression::new(BlrConfig::default());
         noisy.fit(&xs, &ys_noisy).unwrap();
         assert!(
-            noisy.predict(0.5).uncertainty() > clean.predict(0.5).uncertainty(),
+            noisy.predict(0.5).unwrap().uncertainty() > clean.predict(0.5).unwrap().uncertainty(),
             "noise must widen the credible interval"
         );
     }
@@ -289,7 +293,9 @@ mod tests {
         small.fit(&xs_small, &ys_small).unwrap();
         let mut big = BayesianLinearRegression::new(BlrConfig::default());
         big.fit(&xs_big, &ys_big).unwrap();
-        assert!(big.predict(0.5).uncertainty() < small.predict(0.5).uncertainty());
+        assert!(
+            big.predict(0.5).unwrap().uncertainty() < small.predict(0.5).unwrap().uncertainty()
+        );
     }
 
     #[test]
@@ -297,8 +303,8 @@ mod tests {
         let (xs, ys) = line_data(16, -1.0, 1.0, 0.02);
         let mut blr = BayesianLinearRegression::new(BlrConfig::default());
         blr.fit(&xs, &ys).unwrap();
-        let inside = blr.predict(0.5).uncertainty();
-        let outside = blr.predict(3.0).uncertainty();
+        let inside = blr.predict(0.5).unwrap().uncertainty();
+        let outside = blr.predict(3.0).unwrap().uncertainty();
         assert!(outside > inside, "extrapolation {outside} <= interpolation {inside}");
     }
 
@@ -309,7 +315,7 @@ mod tests {
         let mut blr =
             BayesianLinearRegression::new(BlrConfig { degree: 2, ..BlrConfig::default() });
         blr.fit(&xs, &ys).unwrap();
-        let p = blr.predict(0.8);
+        let p = blr.predict(0.8).unwrap();
         let want = 1.0 - 0.3 * 0.8 - 0.5 * 0.64;
         assert!((p.mean - want).abs() < 1e-2, "{} vs {want}", p.mean);
     }
@@ -318,7 +324,7 @@ mod tests {
     fn single_point_falls_back_to_prior_shrinkage() {
         let mut blr = BayesianLinearRegression::new(BlrConfig::default());
         blr.fit(&[0.0], &[0.7]).unwrap();
-        let p = blr.predict(0.0);
+        let p = blr.predict(0.0).unwrap();
         // With one point the prediction is pulled toward it but the interval
         // must be wide.
         assert!((p.mean - 0.7).abs() < 0.1);
@@ -337,9 +343,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before fit")]
-    fn predict_before_fit_panics() {
-        BayesianLinearRegression::new(BlrConfig::default()).predict(0.0);
+    fn predict_before_fit_is_a_typed_error() {
+        let blr = BayesianLinearRegression::new(BlrConfig::default());
+        assert_eq!(blr.predict(0.0), Err(BayesError::Unfitted));
     }
 
     #[test]
@@ -358,7 +364,7 @@ mod tests {
         let mut blr =
             BayesianLinearRegression::new(BlrConfig { prior_scale: 1e12, ..BlrConfig::default() });
         match blr.fit(&xs, &ys) {
-            Err(BlrError::Degenerate { condition }) => {
+            Err(BayesError::Degenerate { condition }) => {
                 assert!(condition > 1e12, "condition estimate {condition} too small")
             }
             other => panic!("expected Degenerate, got {other:?}"),
@@ -374,15 +380,15 @@ mod tests {
     #[test]
     fn non_finite_observations_rejected() {
         let mut blr = BayesianLinearRegression::new(BlrConfig::default());
-        assert_eq!(blr.fit(&[0.0, f64::NAN], &[0.1, 0.2]), Err(BlrError::NonFinite));
-        assert_eq!(blr.fit(&[0.0, 1.0], &[0.1, f64::INFINITY]), Err(BlrError::NonFinite));
+        assert_eq!(blr.fit(&[0.0, f64::NAN], &[0.1, 0.2]), Err(BayesError::NonFinite));
+        assert_eq!(blr.fit(&[0.0, 1.0], &[0.1, f64::INFINITY]), Err(BayesError::NonFinite));
     }
 
     #[test]
     fn blr_error_display_is_informative() {
-        assert!(BlrError::Degenerate { condition: 5e13 }.to_string().contains("near-singular"));
-        assert!(BlrError::NonFinite.to_string().contains("non-finite"));
-        let wrapped = BlrError::from(CholeskyError::NotPositiveDefinite { pivot: 0 });
+        assert!(BayesError::Degenerate { condition: 5e13 }.to_string().contains("near-singular"));
+        assert!(BayesError::NonFinite.to_string().contains("non-finite"));
+        let wrapped = BayesError::from(CholeskyError::NotPositiveDefinite { pivot: 0 });
         assert!(wrapped.to_string().contains("factorization failed"));
     }
 
@@ -391,7 +397,7 @@ mod tests {
         let (xs, ys) = line_data(12, 0.0, 0.5, 0.01);
         let mut blr = BayesianLinearRegression::new(BlrConfig::default());
         blr.fit(&xs, &ys).unwrap();
-        let p = blr.predict(0.2);
+        let p = blr.predict(0.2).unwrap();
         assert!((p.uncertainty() - (p.upper - p.lower)).abs() < 1e-15);
         assert!(p.lower < p.mean && p.mean < p.upper);
     }

@@ -27,7 +27,7 @@ mod running;
 mod special;
 mod student_t;
 
-pub use blr::{BayesianLinearRegression, BlrConfig, BlrError, Posterior, Prediction};
+pub use blr::{BayesError, BayesianLinearRegression, BlrConfig, Posterior, Prediction};
 pub use hypergeom::Hypergeometric;
 pub use linalg::{cholesky_solve, CholeskyError};
 pub use ols::Ols;

@@ -2,7 +2,8 @@
 //! counterpart of [`crate::BayesianLinearRegression`], used as a numerical
 //! cross-check and by ablation benchmarks (Score without uncertainty).
 
-use crate::linalg::{cholesky_solve, CholeskyError};
+use crate::blr::BayesError;
+use crate::linalg::cholesky_solve;
 use crate::poly::PolynomialBasis;
 
 /// Ordinary least squares fit of `y` on `[1, x, …, x^degree]` with a small
@@ -21,7 +22,7 @@ impl Ols {
     }
 
     /// Fit the weights by solving the (ridge-stabilized) normal equations.
-    pub fn fit(&mut self, xs: &[f64], ys: &[f64]) -> Result<&[f64], CholeskyError> {
+    pub fn fit(&mut self, xs: &[f64], ys: &[f64]) -> Result<&[f64], BayesError> {
         assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
         assert!(!xs.is_empty(), "need at least one observation");
         let d = self.basis.dim();
@@ -40,8 +41,7 @@ impl Ols {
             xtx[i * d + i] += self.ridge;
         }
         let w = cholesky_solve(&xtx, d, &xty)?;
-        self.weights = Some(w);
-        Ok(self.weights.as_deref().expect("just set"))
+        Ok(self.weights.insert(w))
     }
 
     /// Fitted weights (intercept first).
@@ -49,10 +49,11 @@ impl Ols {
         self.weights.as_deref()
     }
 
-    /// Predict at `x`. Panics if unfitted.
-    pub fn predict(&self, x: f64) -> f64 {
-        let w = self.weights.as_ref().expect("predict called before fit");
-        self.basis.expand(x).iter().zip(w).map(|(phi, wi)| phi * wi).sum()
+    /// Predict at `x`. Fails with [`BayesError::Unfitted`] before a
+    /// successful [`fit`](Self::fit).
+    pub fn predict(&self, x: f64) -> Result<f64, BayesError> {
+        let w = self.weights.as_ref().ok_or(BayesError::Unfitted)?;
+        Ok(self.basis.expand(x).iter().zip(w).map(|(phi, wi)| phi * wi).sum())
     }
 }
 
@@ -68,7 +69,7 @@ mod tests {
         let w = ols.fit(&xs, &ys).unwrap().to_vec();
         assert!((w[0] - 1.0).abs() < 1e-6);
         assert!((w[1] - 2.0).abs() < 1e-6);
-        assert!((ols.predict(10.0) - 21.0).abs() < 1e-5);
+        assert!((ols.predict(10.0).unwrap() - 21.0).abs() < 1e-5);
     }
 
     #[test]
@@ -97,13 +98,12 @@ mod tests {
         });
         blr.fit(&xs, &ys).unwrap();
         for x in [0.0, 5.0, 20.0] {
-            assert!((ols.predict(x) - blr.predict(x).mean).abs() < 1e-4);
+            assert!((ols.predict(x).unwrap() - blr.predict(x).unwrap().mean).abs() < 1e-4);
         }
     }
 
     #[test]
-    #[should_panic(expected = "before fit")]
-    fn predict_unfitted_panics() {
-        Ols::new(1).predict(0.0);
+    fn predict_unfitted_is_a_typed_error() {
+        assert_eq!(Ols::new(1).predict(0.0), Err(BayesError::Unfitted));
     }
 }

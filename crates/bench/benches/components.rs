@@ -74,7 +74,7 @@ fn bench_bayes(c: &mut Criterion) {
         b.iter(|| {
             let mut blr = BayesianLinearRegression::new(BlrConfig::default());
             blr.fit(black_box(&xs), black_box(&ys)).unwrap();
-            black_box(blr.predict(-1.0));
+            black_box(blr.predict(-1.0).unwrap());
         })
     });
     c.bench_function("bayes/student_t_quantile", |b| {

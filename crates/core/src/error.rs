@@ -1,7 +1,7 @@
 //! The workspace-wide error taxonomy for session-level operations.
 //!
 //! Module-local errors stay where they are ([`EnvError`] for environment
-//! operations, `FrameError` for frames, `BlrError` for regression fits);
+//! operations, `FrameError` for frames, `BayesError` for regression fits);
 //! `CometError` is the umbrella the session loop and its callers (CLI,
 //! bench runners) speak, so one `?` chain carries every failure mode with
 //! its context intact instead of panicking mid-run.

@@ -144,21 +144,19 @@ impl Estimator {
     /// the candidate. Degraded fits bump `fault.degraded_estimates`.
     fn backward_prediction(&self, xs: &[f64], ys: &[f64]) -> Result<(f64, f64), EnvError> {
         let mut blr = BayesianLinearRegression::new(self.blr_config);
-        let blr_err = match blr.fit(xs, ys) {
-            Ok(_) => {
-                let pred = blr.predict(-1.0);
-                return Ok((pred.mean, pred.uncertainty()));
-            }
+        let fitted = blr.fit(xs, ys).map(|_| ());
+        let blr_err = match fitted.and_then(|()| blr.predict(-1.0)) {
+            Ok(pred) => return Ok((pred.mean, pred.uncertainty())),
             Err(e) => e,
         };
         comet_obs::counter_add("fault.degraded_estimates", 1);
         let mut ols = Ols::new(self.blr_config.degree);
-        ols.fit(xs, ys).map_err(|ols_err| {
+        let fitted = ols.fit(xs, ys).map(|_| ());
+        let mean = fitted.and_then(|()| ols.predict(-1.0)).map_err(|ols_err| {
             EnvError::Invalid(format!(
                 "Bayesian regression failed ({blr_err}) and OLS fallback failed ({ols_err})"
             ))
         })?;
-        let mean = ols.predict(-1.0);
         // OLS carries no posterior; use the observed response spread as a
         // conservative stand-in (floored so the score penalty stays real).
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);

@@ -54,6 +54,7 @@ fn timed<T>(on: bool, acc: &AtomicU64, f: impl FnOnce() -> T) -> T {
     // comet-lint: allow(D3) — observability: metrics phase timing; never feeds a trace decision
     let started = Instant::now();
     let out = f();
+    // comet-lint: allow(D9) — monotonic metrics accumulator; only read at report time, no ordering needed
     acc.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
     out
 }
@@ -721,6 +722,7 @@ impl CleaningSession {
                     }
                 }
                 if let Some(t) = fallback_started {
+                    // comet-lint: allow(D9) — metrics accumulator for fallback timing; report-only
                     fallback_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 }
             }

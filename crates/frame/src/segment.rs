@@ -109,6 +109,7 @@ pub(crate) struct SegmentCore {
 /// and settled at the pool's next operation.
 impl Drop for SegmentCore {
     fn drop(&mut self) {
+        // comet-lint: allow(D9) — tracked is set once before the segment is shared; Drop races nothing
         if !self.tracked.load(Ordering::Relaxed) {
             return;
         }
@@ -125,6 +126,7 @@ impl SegmentCore {
             len: payload.len(),
             kind,
             fp: Mutex::new(None),
+            // comet-lint: allow(D9) — LRU clock tick; ties only skew eviction order, never correctness
             touch: AtomicU64::new(TOUCH_CLOCK.fetch_add(1, Ordering::Relaxed)),
             tracked: AtomicBool::new(false),
             state: Mutex::new(SegState::Resident(Arc::new(payload))),
@@ -135,6 +137,7 @@ impl SegmentCore {
 
     /// Mark this segment as accounted for by the spill pool.
     pub(crate) fn set_tracked(&self) {
+        // comet-lint: allow(D9) — one-way flag set under the pool lock; readers tolerate a stale false
         self.tracked.store(true, Ordering::Relaxed);
     }
 
@@ -143,6 +146,7 @@ impl SegmentCore {
     }
 
     pub(crate) fn last_touch(&self) -> u64 {
+        // comet-lint: allow(D9) — LRU clock read; staleness only skews eviction order
         self.touch.load(Ordering::Relaxed)
     }
 
@@ -158,6 +162,7 @@ impl SegmentCore {
     /// Bumps the LRU clock. The returned view keeps the payload alive even
     /// if the pool spills this segment concurrently.
     pub(crate) fn view(&self) -> Result<SegmentView> {
+        // comet-lint: allow(D9) — LRU clock bump; an out-of-order touch only skews eviction order
         self.touch.store(TOUCH_CLOCK.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
         // Fast path: resident. Only the state lock is taken.
         {

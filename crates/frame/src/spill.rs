@@ -96,6 +96,7 @@ pub fn configure(dir: impl AsRef<Path>, budget_bytes: u64) -> Result<()> {
         None => {
             // Drops recorded while no pool was live belong to untracked
             // segments — discard them with the fresh counters.
+            // comet-lint: allow(D9) — refund counter reset under the pool guard; settles at next pool op
             DEAD_RESIDENT.store(0, Ordering::Relaxed);
             *guard = Some(PoolState {
                 dir,
@@ -188,12 +189,14 @@ pub(crate) fn register(core: &Arc<SegmentCore>) {
 /// Record resident bytes released by a dropped tracked segment. Lock-free
 /// on purpose: see [`DEAD_RESIDENT`].
 pub(crate) fn note_dead(bytes: u64) {
+    // comet-lint: allow(D9) — commutative byte-count refund; settled under the pool lock before reads
     DEAD_RESIDENT.fetch_add(bytes, Ordering::Relaxed);
 }
 
 /// Settle dropped-segment refunds into the resident counter before any
 /// budget decision reads it.
 fn settle_dead(state: &mut PoolState) {
+    // comet-lint: allow(D9) — swap happens under the pool lock; concurrent refunds land in the next settle
     let dead = DEAD_RESIDENT.swap(0, Ordering::Relaxed);
     state.resident = state.resident.saturating_sub(dead);
 }

@@ -1,0 +1,12 @@
+//! True-negative twin of `tp_d8.rs`: the same step-record construction
+//! inside `#[cfg(test)]` is dev-only and must NOT mark the crate as a
+//! trace-writing root. Not compiled — scanned by `tests/dataflow.rs`.
+
+#[cfg(test)]
+mod tests {
+    use comet_core::StepRecord;
+
+    pub fn record_step(iteration: u64) -> StepRecord {
+        StepRecord { iteration }
+    }
+}

@@ -1,0 +1,41 @@
+//! True-negative twin of `tp_d9.rs`: the same operations written the way
+//! D9 wants them. Not compiled — scanned by `tests/rules.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub struct Shared {
+    a: Mutex<Vec<u32>>,
+    b: Mutex<Vec<u32>>,
+    payload: Arc<Vec<u32>>,
+    counter: AtomicU64,
+}
+
+impl Shared {
+    /// Sequential statements: each guard is scoped before the next lock.
+    pub fn sequential_locks(&self) -> usize {
+        let na = self.a.lock().len();
+        let nb = self.b.lock().len();
+        na + nb
+    }
+
+    /// An explicit ordering instead of Relaxed.
+    pub fn bump(&self) {
+        self.counter.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn view(&self) -> Arc<Vec<u32>> {
+        Arc::clone(&self.payload)
+    }
+
+    /// The view is dropped before the exclusive access — refcount is back
+    /// to 1, so `make_mut` mutates in place.
+    pub fn mutate(&mut self) -> usize {
+        let view = self.view();
+        let n = view.len();
+        drop(view);
+        let out = Arc::make_mut(&mut self.payload);
+        out.push(1);
+        n
+    }
+}

@@ -1,0 +1,10 @@
+//! True-positive fixture for D8 root detection: constructing a step
+//! record in production code marks the crate as a trace-writing root even
+//! though `StepRecord` is defined elsewhere. Not compiled — scanned by
+//! `tests/dataflow.rs`.
+
+use comet_core::StepRecord;
+
+pub fn record_step(iteration: u64) -> StepRecord {
+    StepRecord { iteration }
+}

@@ -1,0 +1,39 @@
+//! True-positive fixture for D9: every concurrency hazard the rule knows.
+//! Not compiled — scanned by `tests/rules.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub struct Shared {
+    a: Mutex<Vec<u32>>,
+    b: Mutex<Vec<u32>>,
+    payload: Arc<Vec<u32>>,
+    counter: AtomicU64,
+}
+
+impl Shared {
+    /// D9a: two `.lock()` acquisitions in one statement chain.
+    pub fn nested_locks(&self) -> usize {
+        let total = self.a.lock().len() + self.b.lock().len();
+        total
+    }
+
+    /// D9b: `Ordering::Relaxed` outside the audited counter layer.
+    pub fn bump(&self) {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn view(&self) -> Arc<Vec<u32>> {
+        Arc::clone(&self.payload)
+    }
+
+    /// D9c: `Arc::make_mut` while a `self`-derived view is still live —
+    /// the view's clone keeps the refcount above 1, so the mutation
+    /// silently lands on a copy.
+    pub fn mutate(&mut self) -> usize {
+        let view = self.view();
+        let out = Arc::make_mut(&mut self.payload);
+        out.push(1);
+        view.len()
+    }
+}

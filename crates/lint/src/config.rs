@@ -1,11 +1,14 @@
 //! The checked-in allowlist (`lint.toml`) and its burn-down semantics.
 //!
-//! The file is a tiny TOML subset — `[[allow]]` tables with string and
-//! integer values only — parsed by hand so the linter stays dependency
-//! free. Each entry pins an exact finding count for one `(rule, file)`
-//! pair. The count is a ratchet: more findings than the count is a new
-//! violation, and *fewer* findings than the count is also an error
-//! ("stale allowlist") so the number can only ever be ratcheted down.
+//! The file is a tiny TOML subset — `[[allow]]` and `[[exempt]]` tables
+//! with string and integer values only — parsed by hand so the linter
+//! stays dependency free. Each `[[allow]]` entry pins an exact finding
+//! count for one `(rule, file)` pair. The count is a ratchet: more
+//! findings than the count is a new violation, and *fewer* findings than
+//! the count is also an error ("stale allowlist") so the number can only
+//! ever be ratcheted down. `[[exempt]]` entries subtract an audited crate
+//! from the computed trace-taint set (D8) and go stale the day the crate
+//! stops being reachable.
 
 use crate::rules::{Finding, Rule};
 use std::collections::BTreeMap;
@@ -21,10 +24,19 @@ pub struct AllowEntry {
     pub reason: String,
 }
 
+/// One `[[exempt]]` entry: `name` is reachable from the trace-writing
+/// roots but audited to never feed trace decisions (`reason` says why).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExemptEntry {
+    pub name: String,
+    pub reason: String,
+}
+
 /// The parsed allowlist.
 #[derive(Debug, Default, Clone)]
 pub struct Allowlist {
     pub entries: Vec<AllowEntry>,
+    pub exempt: Vec<ExemptEntry>,
 }
 
 impl Allowlist {
@@ -41,19 +53,36 @@ impl Allowlist {
 }
 
 /// An `[[allow]]` entry mid-parse: rule, file, count, reason so far.
-type PartialEntry = (Option<Rule>, Option<String>, Option<usize>, String);
+type PartialAllow = (Option<Rule>, Option<String>, Option<usize>, String);
+
+/// Which table the parser is inside.
+enum Current {
+    Allow(PartialAllow),
+    Exempt(Option<String>, Option<String>),
+}
 
 /// Parse `lint.toml` text. Returns a message describing the first
 /// malformed line on failure.
 pub fn parse_allowlist(text: &str) -> Result<Allowlist, String> {
-    let mut entries: Vec<AllowEntry> = Vec::new();
-    let mut current: Option<PartialEntry> = None;
-    let mut finish = |cur: &mut Option<PartialEntry>| -> Result<(), String> {
-        if let Some((rule, file, count, reason)) = cur.take() {
-            let rule = rule.ok_or("allow entry missing `rule`")?;
-            let file = file.ok_or("allow entry missing `file`")?;
-            let count = count.ok_or("allow entry missing `count`")?;
-            entries.push(AllowEntry { rule, file, count, reason });
+    let mut out = Allowlist::default();
+    let mut current: Option<Current> = None;
+    let finish = |cur: &mut Option<Current>, out: &mut Allowlist| -> Result<(), String> {
+        match cur.take() {
+            Some(Current::Allow((rule, file, count, reason))) => {
+                let rule = rule.ok_or("allow entry missing `rule`")?;
+                let file = file.ok_or("allow entry missing `file`")?;
+                let count = count.ok_or("allow entry missing `count`")?;
+                out.entries.push(AllowEntry { rule, file, count, reason });
+            }
+            Some(Current::Exempt(name, reason)) => {
+                let name = name.ok_or("exempt entry missing `crate`")?;
+                let reason = reason.ok_or("exempt entry missing `reason`")?;
+                if reason.trim().is_empty() {
+                    return Err(format!("exempt entry for `{name}` has an empty `reason`"));
+                }
+                out.exempt.push(ExemptEntry { name, reason });
+            }
+            None => {}
         }
         Ok(())
     };
@@ -64,8 +93,13 @@ pub fn parse_allowlist(text: &str) -> Result<Allowlist, String> {
             continue;
         }
         if line == "[[allow]]" {
-            finish(&mut current)?;
-            current = Some((None, None, None, String::new()));
+            finish(&mut current, &mut out)?;
+            current = Some(Current::Allow((None, None, None, String::new())));
+            continue;
+        }
+        if line == "[[exempt]]" {
+            finish(&mut current, &mut out)?;
+            current = Some(Current::Exempt(None, None));
             continue;
         }
         if line.starts_with('[') {
@@ -74,38 +108,59 @@ pub fn parse_allowlist(text: &str) -> Result<Allowlist, String> {
         let Some((key, value)) = line.split_once('=') else {
             return Err(format!("lint.toml:{lineno}: expected `key = value`, got `{line}`"));
         };
-        let Some(cur) = current.as_mut() else {
-            return Err(format!("lint.toml:{lineno}: `{}` outside an [[allow]] entry", key.trim()));
-        };
         let (key, value) = (key.trim(), value.trim());
-        match key {
-            "rule" => {
-                let s = unquote(value)
-                    .ok_or_else(|| format!("lint.toml:{lineno}: `rule` must be a string"))?;
-                cur.0 = Some(Rule::parse(&s).ok_or_else(|| {
-                    format!("lint.toml:{lineno}: unknown rule `{s}` (expected D1..D6)")
-                })?);
+        match current.as_mut() {
+            None => {
+                return Err(format!(
+                    "lint.toml:{lineno}: `{key}` outside an [[allow]]/[[exempt]] entry"
+                ));
             }
-            "file" => {
-                cur.1 = Some(
-                    unquote(value)
-                        .ok_or_else(|| format!("lint.toml:{lineno}: `file` must be a string"))?,
-                );
+            Some(Current::Allow(cur)) => match key {
+                "rule" => {
+                    let s = unquote(value)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: `rule` must be a string"))?;
+                    cur.0 = Some(Rule::parse(&s).ok_or_else(|| {
+                        format!("lint.toml:{lineno}: unknown rule `{s}` (expected D1..D9)")
+                    })?);
+                }
+                "file" => {
+                    cur.1 =
+                        Some(unquote(value).ok_or_else(|| {
+                            format!("lint.toml:{lineno}: `file` must be a string")
+                        })?);
+                }
+                "count" => {
+                    cur.2 = Some(value.parse().map_err(|_| {
+                        format!("lint.toml:{lineno}: `count` must be a non-negative integer")
+                    })?);
+                }
+                "reason" => {
+                    cur.3 = unquote(value)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: `reason` must be a string"))?;
+                }
+                other => return Err(format!("lint.toml:{lineno}: unknown key `{other}`")),
+            },
+            Some(Current::Exempt(name, reason)) => {
+                match key {
+                    "crate" => {
+                        *name = Some(unquote(value).ok_or_else(|| {
+                            format!("lint.toml:{lineno}: `crate` must be a string")
+                        })?);
+                    }
+                    "reason" => {
+                        *reason = Some(unquote(value).ok_or_else(|| {
+                            format!("lint.toml:{lineno}: `reason` must be a string")
+                        })?);
+                    }
+                    other => {
+                        return Err(format!("lint.toml:{lineno}: unknown exempt key `{other}`"));
+                    }
+                }
             }
-            "count" => {
-                cur.2 = Some(value.parse().map_err(|_| {
-                    format!("lint.toml:{lineno}: `count` must be a non-negative integer")
-                })?);
-            }
-            "reason" => {
-                cur.3 = unquote(value)
-                    .ok_or_else(|| format!("lint.toml:{lineno}: `reason` must be a string"))?;
-            }
-            other => return Err(format!("lint.toml:{lineno}: unknown key `{other}`")),
         }
     }
-    finish(&mut current)?;
-    Ok(Allowlist { entries })
+    finish(&mut current, &mut out)?;
+    Ok(out)
 }
 
 fn unquote(v: &str) -> Option<String> {
@@ -121,6 +176,9 @@ pub struct Evaluation {
     pub errors: Vec<String>,
     /// Findings covered by an exact-count allow entry.
     pub allowed: usize,
+    /// The `(rule, file)` groups whose findings are allowlisted — lets
+    /// `--json` tag individual findings.
+    pub allowed_groups: Vec<(Rule, String)>,
 }
 
 /// Reconcile pragma-filtered findings with the allowlist.
@@ -144,6 +202,7 @@ pub fn evaluate(findings: &[Finding], allow: &Allowlist) -> Evaluation {
         let n = by_group.get(&key).map_or(0, |v| v.len());
         if n == entry.count && n > 0 {
             eval.allowed += n;
+            eval.allowed_groups.push((entry.rule, entry.file.clone()));
         } else if n > entry.count {
             let mut msg = format!(
                 "{}: {} findings of {} exceed the allowlisted count {} — fix the new \
@@ -220,12 +279,47 @@ mod tests {
     }
 
     #[test]
+    fn parses_exempt_entries() {
+        let toml = r#"
+            [[exempt]]
+            crate = "obs"
+            reason = "audited counter layer; output never feeds trace decisions"
+
+            [[allow]]
+            rule = "D9"
+            file = "f.rs"
+            count = 1
+            reason = "r"
+        "#;
+        let a = parse_allowlist(toml).expect("parses");
+        assert_eq!(a.exempt.len(), 1);
+        assert_eq!(a.exempt[0].name, "obs");
+        assert_eq!(a.entries.len(), 1);
+    }
+
+    #[test]
+    fn exempt_requires_crate_and_reason() {
+        assert!(parse_allowlist("[[exempt]]\ncrate = \"obs\"").is_err());
+        assert!(parse_allowlist("[[exempt]]\nreason = \"r\"").is_err());
+        assert!(parse_allowlist("[[exempt]]\ncrate = \"obs\"\nreason = \"\"").is_err());
+        assert!(parse_allowlist("[[exempt]]\ncrate = \"obs\"\ncount = 1").is_err());
+    }
+
+    #[test]
     fn rejects_malformed_entries() {
-        assert!(parse_allowlist("[[allow]]\nrule = \"D9\"").is_err());
+        assert!(parse_allowlist("[[allow]]\nrule = \"D12\"").is_err());
         assert!(parse_allowlist("rule = \"D1\"").is_err());
         assert!(parse_allowlist("[[allow]]\nfile = \"x\"\ncount = 1").is_err());
         assert!(parse_allowlist("[[allow]]\nrule = \"D1\"\nfile = \"x\"\ncount = -1").is_err());
         assert!(parse_allowlist("[other]").is_err());
+    }
+
+    #[test]
+    fn d7_to_d9_are_valid_allowlist_rules() {
+        for rule in ["D7", "D8", "D9"] {
+            let toml = format!("[[allow]]\nrule = \"{rule}\"\nfile = \"f.rs\"\ncount = 1\n");
+            assert!(parse_allowlist(&toml).is_ok(), "{rule}");
+        }
     }
 
     #[test]
@@ -236,6 +330,7 @@ mod tests {
         let e = evaluate(&fs, &a);
         assert!(e.errors.is_empty(), "{:?}", e.errors);
         assert_eq!(e.allowed, 2);
+        assert_eq!(e.allowed_groups, vec![(Rule::D4, "f.rs".to_string())]);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! The lexer operates on raw bytes and must never panic, whatever soup it
 //! is fed: unterminated literals and comments simply run to end of input.
 
-/// One lexed token. Literal *content* is deliberately dropped — rules only
-/// ever need to know "a string was here", never what it said.
+/// One lexed token. Literals carry their raw source text (delimiters and
+/// prefixes included): the token rules only need "a string was here", but
+/// the D7 fingerprint-coverage analysis reads format-string captures
+/// (`"{config:?}"`) and header key literals out of them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Tok {
     /// Identifier or keyword (ASCII rules; good enough for this codebase).
@@ -20,8 +22,9 @@ pub enum Tok {
     /// Numeric literal; `is_float` when it has a fractional part, an
     /// exponent, or an `f32`/`f64` suffix.
     Number { is_float: bool },
-    /// Any string/char/byte/C-string literal, raw or not.
-    Literal,
+    /// Any string/char/byte/C-string literal, raw or not, with its raw
+    /// source text.
+    Literal(String),
     /// A single punctuation byte (`::` arrives as two `Punct(b':')`).
     Punct(u8),
 }
@@ -99,9 +102,11 @@ pub fn lex(src: &[u8]) -> Lexed {
             b'/' if c.peek(1) == Some(b'/') => lex_line_comment(&mut c, &mut out),
             b'/' if c.peek(1) == Some(b'*') => lex_block_comment(&mut c, &mut out),
             b'"' => {
+                let start = c.i;
                 c.bump();
                 skip_quoted(&mut c, b'"');
-                out.tokens.push(Token { tok: Tok::Literal, line, col });
+                let text = String::from_utf8_lossy(&src[start..c.i]).into_owned();
+                out.tokens.push(Token { tok: Tok::Literal(text), line, col });
             }
             b'\'' => lex_quote(&mut c, &mut out, line, col),
             b'0'..=b'9' => lex_number(&mut c, &mut out, line, col),
@@ -197,13 +202,15 @@ fn lex_quote(c: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
         (Some(n), t) if is_ident_continue(n) && n != b'\\' => t != Some(b'\''),
         _ => false,
     };
+    let start = c.i;
     c.bump(); // the `'`
     if is_lifetime {
         // Emit the quote as punctuation; the label lexes as a normal ident.
         out.tokens.push(Token { tok: Tok::Punct(b'\''), line, col });
     } else {
         skip_quoted(c, b'\'');
-        out.tokens.push(Token { tok: Tok::Literal, line, col });
+        let text = String::from_utf8_lossy(&c.src[start..c.i]).into_owned();
+        out.tokens.push(Token { tok: Tok::Literal(text), line, col });
     }
 }
 
@@ -290,14 +297,16 @@ fn lex_ident_or_prefixed_literal(c: &mut Cursor, out: &mut Lexed, line: u32, col
                 } else {
                     skip_quoted(c, b'"');
                 }
-                out.tokens.push(Token { tok: Tok::Literal, line, col });
+                let text = String::from_utf8_lossy(&c.src[start..c.i]).into_owned();
+                out.tokens.push(Token { tok: Tok::Literal(text), line, col });
                 return;
             }
             // `b'x'` byte char.
             Some(b'\'') if ident == b"b" => {
                 c.bump();
                 skip_quoted(c, b'\'');
-                out.tokens.push(Token { tok: Tok::Literal, line, col });
+                let text = String::from_utf8_lossy(&c.src[start..c.i]).into_owned();
+                out.tokens.push(Token { tok: Tok::Literal(text), line, col });
                 return;
             }
             Some(b'#') => {
@@ -313,7 +322,8 @@ fn lex_ident_or_prefixed_literal(c: &mut Cursor, out: &mut Lexed, line: u32, col
                             c.bump(); // hashes + opening quote
                         }
                         skip_raw(c, n);
-                        out.tokens.push(Token { tok: Tok::Literal, line, col });
+                        let text = String::from_utf8_lossy(&c.src[start..c.i]).into_owned();
+                        out.tokens.push(Token { tok: Tok::Literal(text), line, col });
                         return;
                     }
                     Some(bb) if n == 1 && ident == b"r" && is_ident_start(bb) => {
@@ -420,6 +430,23 @@ mod tests {
         assert_eq!(lexed.tokens[0].col, 1);
         assert_eq!(lexed.tokens[1].line, 2);
         assert_eq!(lexed.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn literals_carry_their_raw_text() {
+        let lits = |src: &str| -> Vec<String> {
+            lex(src.as_bytes())
+                .tokens
+                .into_iter()
+                .filter_map(|t| match t.tok {
+                    Tok::Literal(s) => Some(s),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(lits(r#"f("{config:?}|{errors:?}")"#), vec!["\"{config:?}|{errors:?}\""]);
+        assert_eq!(lits("let k = \"kind\"; let c = 'x';"), vec!["\"kind\"", "'x'"]);
+        assert!(lits("let s = r#\"raw text\"#;")[0].contains("raw text"));
     }
 
     #[test]

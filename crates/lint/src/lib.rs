@@ -1,26 +1,31 @@
 //! `comet-lint`: a workspace static-analysis pass enforcing COMET's
-//! determinism, NaN-safety, and error-handling invariants at the source
-//! level (DESIGN.md §11 catalogues the invariants and which rule guards
-//! each one).
+//! determinism, NaN-safety, error-handling, and concurrency invariants at
+//! the source level (DESIGN.md §11 catalogues the invariants and which
+//! rule guards each one; §16 covers the dataflow analyses).
 //!
 //! The pipeline: walk every workspace crate's sources → lex each file
-//! with the hand-rolled comment/string-aware [`lexer`] → match the
-//! [`rules`] catalogue (D1–D6) over the token stream → drop findings
-//! suppressed by `// comet-lint: allow(..)` pragmas or inside test
-//! regions → reconcile what remains against the checked-in `lint.toml`
-//! burn-down allowlist ([`config`]). Anything left is a violation and
-//! the binary exits nonzero.
+//! with the hand-rolled comment/string-aware [`lexer`] → [`parse`] items
+//! and cross-crate references → compute the trace-taint crate set from
+//! the use graph ([`graph`], D8) → match the [`rules`] catalogue over the
+//! token stream under that scope → run the workspace-level fingerprint
+//! coverage analysis (D7) → drop findings suppressed by pragmas or inside
+//! test regions, failing any pragma that suppressed nothing → reconcile
+//! what remains against the checked-in `lint.toml` burn-down allowlist
+//! ([`config`]). Anything left is a violation and the binary exits
+//! nonzero.
 //!
 //! Dependency-free by design: no `syn`, no proc macros, no crates.io.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 use config::{evaluate, Allowlist, Evaluation};
-use rules::{scan_file, FileContext, Finding};
+use rules::{scan_with_usage, FileContext, Finding, PragmaKind, ScannedFile, Scope};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -29,10 +34,13 @@ use std::path::{Path, PathBuf};
 pub struct Report {
     /// Pragma- and test-region-filtered findings, in path order.
     pub findings: Vec<Finding>,
-    /// Allowlist reconciliation (errors + allowed counts).
+    /// Allowlist reconciliation (errors + allowed counts), extended with
+    /// taint self-check errors and stale-pragma errors.
     pub evaluation: Evaluation,
     /// Number of files scanned.
     pub files: usize,
+    /// The D8 trace-taint computation (roots, closure, exemptions).
+    pub taint: graph::Taint,
 }
 
 impl Report {
@@ -103,20 +111,70 @@ pub fn file_context(rel: &Path) -> FileContext {
     FileContext { path, crate_name }
 }
 
+/// Lint an already-scanned file set against `allow`. This is the whole
+/// pipeline minus I/O: taint computation, scoped per-file rules, the D7
+/// coverage analysis, pragma-staleness enforcement, and allowlist
+/// reconciliation.
+pub fn lint_files(files: &[ScannedFile], allow: &Allowlist) -> Report {
+    let taint = graph::compute_taint(files, &allow.exempt);
+    let scope = Scope { trace_affecting: taint.trace_affecting.clone() };
+    let mut findings = Vec::new();
+    let mut used_per_file: Vec<Vec<bool>> = Vec::with_capacity(files.len());
+    for file in files {
+        let mut used = Vec::new();
+        findings.extend(scan_with_usage(file, &scope, &mut used));
+        used_per_file.push(used);
+    }
+    let coverage = graph::fingerprint_coverage(files);
+    findings.extend(coverage.findings);
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    let mut evaluation = evaluate(&findings, allow);
+    evaluation.errors.extend(taint.errors.iter().cloned());
+    // Every pragma must earn its keep: an `allow` that suppressed nothing
+    // and a `nofp` that excused no uncovered field are dead weight that
+    // would silently mask a future regression at their line.
+    for (file, used) in files.iter().zip(&used_per_file) {
+        for (pragma, &was_used) in file.pragmas.iter().zip(used) {
+            match &pragma.kind {
+                PragmaKind::Allow { .. } => {
+                    if !was_used {
+                        evaluation.errors.push(format!(
+                            "{}:{}: stale pragma — this `allow` suppresses no findings; \
+                             remove it (or the rule regressed and the pragma is masking \
+                             nothing)",
+                            file.ctx.path, pragma.first_line
+                        ));
+                    }
+                }
+                PragmaKind::NoFp => {
+                    let key = (file.ctx.path.clone(), pragma.first_line);
+                    if !coverage.credited_nofp.contains(&key) {
+                        evaluation.errors.push(format!(
+                            "{}:{}: stale pragma — this `nofp` excuses no uncovered \
+                             fingerprint field; remove it",
+                            file.ctx.path, pragma.first_line
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Report { findings, evaluation, files: files.len(), taint }
+}
+
 /// Lint the workspace at `root` against `allow`.
 pub fn lint_workspace(root: &Path, allow: &Allowlist) -> Result<Report, String> {
     let sources = workspace_sources(root)?;
-    let mut findings = Vec::new();
-    let mut files = 0usize;
+    let mut files = Vec::with_capacity(sources.len());
     for rel in &sources {
         let ctx = file_context(rel);
         let abs = root.join(rel);
         let src = fs::read(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
-        findings.extend(scan_file(&ctx, &src));
-        files += 1;
+        files.push(ScannedFile::new(ctx, &src));
     }
-    let evaluation = evaluate(&findings, allow);
-    Ok(Report { findings, evaluation, files })
+    Ok(lint_files(&files, allow))
 }
 
 /// Load and parse the allowlist at `path`; a missing file is an empty
@@ -127,4 +185,168 @@ pub fn load_allowlist(path: &Path) -> Result<Allowlist, String> {
     }
     let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     config::parse_allowlist(&text)
+}
+
+/// Render a report as a single JSON object (findings, errors, taint) for
+/// machine consumers — the CI diff-annotation step parses this. Escaping
+/// is hand-rolled like everything else in this crate.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let allowed = report
+            .evaluation
+            .allowed_groups
+            .iter()
+            .any(|(r, file)| *r == f.rule && file == &f.file);
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \
+             \"allowed\": {}, \"message\": {}}}",
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(f.rule.as_str()),
+            allowed,
+            json_str(&f.message)
+        ));
+    }
+    out.push_str("\n  ],\n  \"errors\": [");
+    for (i, e) in report.evaluation.errors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}", json_str(e)));
+    }
+    out.push_str("\n  ],\n  \"taint\": {");
+    let sets = [
+        ("roots", &report.taint.roots),
+        ("reachable", &report.taint.reachable),
+        ("trace_affecting", &report.taint.trace_affecting),
+    ];
+    for (i, (name, set)) in sets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let items: Vec<String> = set.iter().map(|s| json_str(s)).collect();
+        out.push_str(&format!("\n    \"{name}\": [{}]", items.join(", ")));
+    }
+    out.push_str(&format!(
+        "\n  }},\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+        report.files,
+        report.is_clean()
+    ));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scanned(path: &str, src: &str) -> ScannedFile {
+        ScannedFile::new(file_context(Path::new(path)), src.as_bytes())
+    }
+
+    /// A minimal workspace with a trace-writing root so the D8 self-check
+    /// passes; D7's targets are absent, so its self-check findings are
+    /// present unless a test allowlists them.
+    fn base_files() -> Vec<ScannedFile> {
+        vec![scanned("crates/core/src/trace.rs", "pub struct CleaningTrace { pub n: usize }")]
+    }
+
+    #[test]
+    fn lint_files_reports_taint_and_d7_self_checks() {
+        let report = lint_files(&base_files(), &Allowlist::default());
+        assert_eq!(report.taint.roots, ["core".to_string()].into());
+        // The D7 targets (config structs, checkpoint builder) are missing
+        // from this tiny workspace: self-check findings, not silence.
+        assert!(report.findings.iter().any(|f| f.rule == rules::Rule::D7));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn stale_allow_pragma_is_an_error() {
+        let mut files = base_files();
+        files.push(scanned(
+            "crates/core/src/x.rs",
+            "fn f() {\n    // comet-lint: allow(D4)\n    let y = 1;\n}",
+        ));
+        let report = lint_files(&files, &Allowlist::default());
+        assert!(
+            report
+                .evaluation
+                .errors
+                .iter()
+                .any(|e| e.contains("stale pragma") && e.contains("crates/core/src/x.rs:2")),
+            "{:?}",
+            report.evaluation.errors
+        );
+    }
+
+    #[test]
+    fn used_allow_pragma_is_not_stale() {
+        let mut files = base_files();
+        files.push(scanned(
+            "crates/core/src/x.rs",
+            "fn f() {\n    // comet-lint: allow(D4)\n    x.unwrap();\n}",
+        ));
+        let report = lint_files(&files, &Allowlist::default());
+        assert!(
+            !report.evaluation.errors.iter().any(|e| e.contains("crates/core/src/x.rs")),
+            "{:?}",
+            report.evaluation.errors
+        );
+    }
+
+    #[test]
+    fn stale_nofp_pragma_is_an_error() {
+        let mut files = base_files();
+        // No fingerprint analysis credits this nofp (the D7 targets are
+        // missing entirely), so it must fail as stale.
+        files.push(scanned(
+            "crates/core/src/y.rs",
+            "pub struct Other {\n    // comet-lint: nofp — not a fingerprinted struct\n    pub a: u8,\n}",
+        ));
+        let report = lint_files(&files, &Allowlist::default());
+        assert!(
+            report.evaluation.errors.iter().any(|e| e.contains("stale pragma")
+                && e.contains("crates/core/src/y.rs:2")
+                && e.contains("nofp")),
+            "{:?}",
+            report.evaluation.errors
+        );
+    }
+
+    #[test]
+    fn render_json_is_well_formed_enough_to_round_trip_quotes() {
+        let report = lint_files(&base_files(), &Allowlist::default());
+        let json = render_json(&report);
+        assert!(json.contains("\"findings\": ["));
+        assert!(json.contains("\"taint\": {"));
+        assert!(json.contains("\"roots\": [\"core\"]"));
+        assert!(json.contains("\"clean\": false"));
+        // Message text with quotes/backslashes must be escaped.
+        assert!(!json.contains("\\`"));
+        let quoted = json_str("a \"b\" \\ c\nd");
+        assert_eq!(quoted, "\"a \\\"b\\\" \\\\ c\\nd\"");
+    }
 }

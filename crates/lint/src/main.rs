@@ -7,11 +7,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: comet-lint [--root DIR] [--config FILE] [--list] [--print-baseline]
+usage: comet-lint [--root DIR] [--config FILE] [--list] [--json] [--taint] [--print-baseline]
 
   --root DIR         workspace root to scan (default: .)
   --config FILE      allowlist path (default: <root>/lint.toml)
   --list             print every finding, including allowlisted ones
+  --json             print the full report as JSON on stdout (findings,
+                     errors, computed trace-taint sets) for CI annotation
+  --taint            print the computed D8 crate sets (roots, reachable,
+                     trace-affecting) and exit
   --print-baseline   print [[allow]] entries for all current findings
                      (the starting point for a new lint.toml baseline)";
 
@@ -19,18 +23,28 @@ struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
     list: bool,
+    json: bool,
+    taint: bool,
     print_baseline: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { root: PathBuf::from("."), config: None, list: false, print_baseline: false };
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        list: false,
+        json: false,
+        taint: false,
+        print_baseline: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => args.root = it.next().ok_or("--root needs a value")?.into(),
             "--config" => args.config = Some(it.next().ok_or("--config needs a value")?.into()),
             "--list" => args.list = true,
+            "--json" => args.json = true,
+            "--taint" => args.taint = true,
             "--print-baseline" => args.print_baseline = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
@@ -55,6 +69,25 @@ fn run() -> Result<bool, String> {
         print!("{}", comet_lint::config::render_baseline(&report.findings));
         return Ok(true);
     }
+    if args.taint {
+        let sets = [
+            ("roots", &report.taint.roots),
+            ("reachable", &report.taint.reachable),
+            ("trace-affecting", &report.taint.trace_affecting),
+        ];
+        for (name, set) in sets {
+            let names: Vec<&str> = set.iter().map(String::as_str).collect();
+            println!("{name}: {}", names.join(" "));
+        }
+        for err in &report.taint.errors {
+            eprintln!("error: {err}");
+        }
+        return Ok(report.taint.errors.is_empty());
+    }
+    if args.json {
+        print!("{}", comet_lint::render_json(&report));
+        return Ok(report.is_clean());
+    }
     if args.list {
         for f in &report.findings {
             println!("{f}");
@@ -64,11 +97,13 @@ fn run() -> Result<bool, String> {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "comet-lint: {} files scanned, {} findings ({} allowlisted, burn-down total {}), {} error(s)",
+        "comet-lint: {} files scanned, {} findings ({} allowlisted, burn-down total {}), \
+         {} trace-affecting crates, {} error(s)",
         report.files,
         report.findings.len(),
         report.evaluation.allowed,
         allow.burn_down_total(),
+        report.taint.trace_affecting.len(),
         report.evaluation.errors.len()
     );
     Ok(report.is_clean())

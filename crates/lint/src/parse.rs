@@ -1,0 +1,509 @@
+//! A lightweight item parser layered on the byte [`crate::lexer`].
+//!
+//! This is *not* a Rust grammar: it recovers exactly the structure the
+//! dataflow rules need — `struct` field lists, `fn` items with their
+//! parameter names and body token ranges, the enclosing `impl` type of
+//! each method, and the set of workspace crates a file references via
+//! `use` declarations or fully-qualified paths. Everything else is
+//! skipped without error; like the lexer, parsing is total and panic-free
+//! on arbitrary byte soup.
+
+use crate::lexer::{Lexed, Tok, Token};
+use std::collections::BTreeSet;
+
+/// One named struct field with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub line: u32,
+}
+
+/// The shapes the parser recovers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` item: declared parameter names (excluding `self`) and the
+    /// token-index range of its `{ .. }` body, when it has one.
+    Fn { params: Vec<String>, body: Option<(usize, usize)> },
+    /// A `struct` item with named fields (empty for tuple/unit structs).
+    Struct { fields: Vec<Field> },
+}
+
+/// One recovered item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    pub name: String,
+    /// The `impl` type enclosing a method, if any.
+    pub owner: Option<String>,
+    pub line: u32,
+    pub kind: ItemKind,
+}
+
+/// The result of parsing one file.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    pub items: Vec<Item>,
+    /// Workspace crate directory names this file references outside test
+    /// regions: `comet_frame` → `frame`, plus the vendored shims (`rand`,
+    /// `proptest`, `criterion`) when used as a path or `use` target.
+    pub crate_refs: BTreeSet<String>,
+}
+
+/// Crates vendored under `crates/` whose package name *is* the directory
+/// name (no `comet_` prefix).
+pub const VENDORED: [&str; 3] = ["rand", "proptest", "criterion"];
+
+pub(crate) fn is_punct(ts: &[Token], k: usize, b: u8) -> bool {
+    matches!(ts.get(k), Some(t) if t.tok == Tok::Punct(b))
+}
+
+pub(crate) fn ident_at(ts: &[Token], k: usize) -> Option<&str> {
+    match ts.get(k) {
+        Some(Token { tok: Tok::Ident(s), .. }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+pub(crate) fn literal_at(ts: &[Token], k: usize) -> Option<&str> {
+    match ts.get(k) {
+        Some(Token { tok: Tok::Literal(s), .. }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+pub(crate) fn is_float_at(ts: &[Token], k: usize) -> bool {
+    matches!(ts.get(k), Some(Token { tok: Tok::Number { is_float: true }, .. }))
+}
+
+/// Find the index of the token closing the bracket opened at `open`.
+pub(crate) fn matching(ts: &[Token], open: usize, ob: u8, cb: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in ts.iter().enumerate().skip(open) {
+        if t.tok == Tok::Punct(ob) {
+            depth += 1;
+        } else if t.tok == Tok::Punct(cb) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Strip a literal token's delimiters and prefixes: `"kind"` → `kind`,
+/// `r#"x"#` → `x`, `b"y"` → `y`. Best-effort — good enough for comparing
+/// plain-string keys.
+pub fn literal_inner(raw: &str) -> &str {
+    let s = raw.trim_start_matches(['r', 'b', 'c']);
+    let s = s.trim_start_matches('#');
+    let s = s.strip_prefix(['"', '\'']).unwrap_or(s);
+    let s = s.trim_end_matches('#');
+    s.strip_suffix(['"', '\'']).unwrap_or(s)
+}
+
+/// Identifiers captured by a format string: `"{config:?}|{errors:?}"`
+/// yields `config` and `errors`. `{{` escapes are honored; positional and
+/// non-ident captures are skipped.
+pub fn format_captures(raw: &str) -> Vec<String> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'{' {
+            i += 1;
+            continue;
+        }
+        if bytes.get(i + 1) == Some(&b'{') {
+            i += 2; // escaped `{{`
+            continue;
+        }
+        let start = i + 1;
+        let mut j = start;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if j > start && !bytes[start].is_ascii_digit() && matches!(bytes.get(j), Some(b'}' | b':'))
+        {
+            out.push(String::from_utf8_lossy(&bytes[start..j]).into_owned());
+        }
+        i = j.max(start);
+    }
+    out
+}
+
+/// Parse the token stream of one file. `in_test` reports whether a token
+/// index sits inside a test region — crate references found there do not
+/// count as taint edges (dev-only dependencies are not trace-affecting).
+pub fn parse(lexed: &Lexed, in_test: &dyn Fn(usize) -> bool) -> Parsed {
+    let ts = &lexed.tokens;
+    let mut out = Parsed::default();
+    // (impl type name, index of the token closing the impl body)
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+    let mut k = 0;
+    while k < ts.len() {
+        while impl_stack.last().is_some_and(|&(_, end)| k > end) {
+            impl_stack.pop();
+        }
+        collect_crate_ref(ts, k, in_test, &mut out.crate_refs);
+        match ident_at(ts, k) {
+            Some("impl") => {
+                if let Some((owner, open)) = impl_header(ts, k) {
+                    if let Some(close) = matching(ts, open, b'{', b'}') {
+                        impl_stack.push((owner, close));
+                        // Descend into the impl body to find methods.
+                        k = open + 1;
+                        continue;
+                    }
+                }
+                k += 1;
+            }
+            Some("fn") => {
+                let Some(name) = ident_at(ts, k + 1) else {
+                    k += 1; // `fn(u8)` pointer type, not an item
+                    continue;
+                };
+                let line = ts[k].line;
+                let (params, after) = fn_params(ts, k + 2);
+                let body = fn_body(ts, after);
+                out.items.push(Item {
+                    name: name.to_string(),
+                    owner: impl_stack.last().map(|(n, _)| n.clone()),
+                    line,
+                    kind: ItemKind::Fn { params, body },
+                });
+                // Skip the body: nested closures/items are not needed, and
+                // the crate-ref walk below still visits every token.
+                match body {
+                    Some((_, close)) => {
+                        for j in k..=close.min(ts.len().saturating_sub(1)) {
+                            collect_crate_ref(ts, j, in_test, &mut out.crate_refs);
+                        }
+                        k = close + 1;
+                    }
+                    None => k = after,
+                }
+            }
+            Some("struct") => {
+                let Some(name) = ident_at(ts, k + 1) else {
+                    k += 1;
+                    continue;
+                };
+                let line = ts[k].line;
+                let (fields, next) = struct_fields(ts, k + 2);
+                out.items.push(Item {
+                    name: name.to_string(),
+                    owner: impl_stack.last().map(|(n, _)| n.clone()),
+                    line,
+                    kind: ItemKind::Struct { fields },
+                });
+                k = next;
+            }
+            _ => k += 1,
+        }
+    }
+    out
+}
+
+fn collect_crate_ref(
+    ts: &[Token],
+    k: usize,
+    in_test: &dyn Fn(usize) -> bool,
+    refs: &mut BTreeSet<String>,
+) {
+    let Some(id) = ident_at(ts, k) else { return };
+    if in_test(k) {
+        return;
+    }
+    if let Some(suffix) = id.strip_prefix("comet_") {
+        if !suffix.is_empty() {
+            refs.insert(suffix.to_string());
+        }
+        return;
+    }
+    if VENDORED.contains(&id) {
+        // Count only path/`use` positions so a local named `rand` (or the
+        // word in an ident like `rand_state`) cannot create a taint edge.
+        let is_path = is_punct(ts, k + 1, b':') && is_punct(ts, k + 2, b':');
+        let is_use = ident_at(ts, k.wrapping_sub(1)) == Some("use");
+        if is_path || is_use {
+            refs.insert(id.to_string());
+        }
+    }
+}
+
+/// Recover `(type name, body-open index)` from an `impl` header at `k`.
+/// `impl Foo {`, `impl<T> Foo<T> {`, and `impl Trait for Foo {` all
+/// resolve to `Foo`.
+fn impl_header(ts: &[Token], k: usize) -> Option<(String, usize)> {
+    let open = (k..ts.len()).find(|&j| is_punct(ts, j, b'{'))?;
+    let header = &ts[k..open];
+    // `impl Trait for Type {` names the type after the *last* `for`
+    // (HRTB `for<'a>` is followed by `<`, not a type name, so skip those).
+    let mut after_for = None;
+    for (j, t) in header.iter().enumerate() {
+        if matches!(&t.tok, Tok::Ident(s) if s == "for")
+            && !matches!(header.get(j + 1).map(|t| &t.tok), Some(Tok::Punct(b'<')))
+        {
+            after_for = Some(j + 1);
+        }
+    }
+    let search = &header[after_for.unwrap_or(0)..];
+    // First path ident outside the leading generic parameter list.
+    let mut j = 0;
+    if after_for.is_none() && matches!(search.get(1).map(|t| &t.tok), Some(Tok::Punct(b'<'))) {
+        // Skip `impl<..>` generics: find the matching `>` at depth 0.
+        let mut depth = 0usize;
+        j = 1;
+        while j < search.len() {
+            match search[j].tok {
+                Tok::Punct(b'<') => depth += 1,
+                Tok::Punct(b'>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    let name = search[j..].iter().find_map(|t| match &t.tok {
+        Tok::Ident(s) if s != "impl" && s != "dyn" && s != "mut" && s != "const" => Some(s.clone()),
+        _ => None,
+    })?;
+    Some((name, open))
+}
+
+/// Parse a parameter list starting at the `(` expected at `k`. Returns the
+/// parameter names (skipping any `self` receiver) and the index just past
+/// the closing `)`.
+fn fn_params(ts: &[Token], mut k: usize) -> (Vec<String>, usize) {
+    // Skip `fn name<...>` generics between the name and `(`.
+    while k < ts.len() && !is_punct(ts, k, b'(') && !is_punct(ts, k, b'{') && !is_punct(ts, k, b';')
+    {
+        k += 1;
+    }
+    if !is_punct(ts, k, b'(') {
+        return (Vec::new(), k);
+    }
+    let Some(close) = matching(ts, k, b'(', b')') else {
+        return (Vec::new(), ts.len());
+    };
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut j = k + 1;
+    while j < close {
+        match &ts[j].tok {
+            Tok::Punct(b'(' | b'[' | b'<') => depth += 1,
+            Tok::Punct(b')' | b']' | b'>') => depth = depth.saturating_sub(1),
+            // A parameter name is an ident directly followed by `:` (but
+            // not `::`), at the top level of the list.
+            Tok::Ident(name)
+                if depth == 0
+                    && name != "self"
+                    && name != "mut"
+                    && is_punct(ts, j + 1, b':')
+                    && !is_punct(ts, j + 2, b':') =>
+            {
+                params.push(name.clone());
+                // Skip the type up to the next top-level `,`.
+                let mut d = 0usize;
+                j += 2;
+                while j < close {
+                    match ts[j].tok {
+                        Tok::Punct(b'(' | b'[' | b'<') => d += 1,
+                        Tok::Punct(b')' | b']' | b'>') => d = d.saturating_sub(1),
+                        Tok::Punct(b',') if d == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (params, close + 1)
+}
+
+/// Find a fn body's `{ .. }` token range starting the search just past the
+/// parameter list (skipping `-> Type` and `where` clauses). A `;` first
+/// means a body-less declaration.
+fn fn_body(ts: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut j = from;
+    while j < ts.len() {
+        match ts[j].tok {
+            Tok::Punct(b'{') => {
+                let close = matching(ts, j, b'{', b'}')?;
+                return Some((j, close));
+            }
+            Tok::Punct(b';') => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Parse named struct fields starting just past the struct name. Returns
+/// the fields and the index to resume scanning from.
+fn struct_fields(ts: &[Token], mut k: usize) -> (Vec<Field>, usize) {
+    // Skip generics / where clause up to `{`, `(`, or `;`.
+    while k < ts.len() {
+        match ts[k].tok {
+            Tok::Punct(b'{') => break,
+            // Tuple struct `struct X(u8);` or unit struct `struct X;`.
+            Tok::Punct(b'(') => {
+                let end = matching(ts, k, b'(', b')').unwrap_or(ts.len().saturating_sub(1));
+                return (Vec::new(), end + 1);
+            }
+            Tok::Punct(b';') => return (Vec::new(), k + 1),
+            _ => k += 1,
+        }
+    }
+    if k >= ts.len() {
+        return (Vec::new(), k);
+    }
+    let Some(close) = matching(ts, k, b'{', b'}') else {
+        return (Vec::new(), ts.len());
+    };
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut j = k + 1;
+    while j < close {
+        match &ts[j].tok {
+            Tok::Punct(b'{' | b'(' | b'[' | b'<') => depth += 1,
+            Tok::Punct(b'}' | b')' | b']' | b'>') => depth = depth.saturating_sub(1),
+            Tok::Ident(name)
+                if depth == 0
+                    && is_punct(ts, j + 1, b':')
+                    && !is_punct(ts, j + 2, b':')
+                    && name != "pub"
+                    && name != "crate" =>
+            {
+                fields.push(Field { name: name.clone(), line: ts[j].line });
+                // Skip the type up to the next top-level `,`.
+                let mut d = 0usize;
+                j += 2;
+                while j < close {
+                    match ts[j].tok {
+                        Tok::Punct(b'(' | b'[' | b'<') => d += 1,
+                        Tok::Punct(b')' | b']' | b'>') => d = d.saturating_sub(1),
+                        Tok::Punct(b',') if d == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (fields, close + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> Parsed {
+        parse(&lex(src.as_bytes()), &|_| false)
+    }
+
+    #[test]
+    fn structs_yield_named_fields_with_lines() {
+        let src = "pub struct Config {\n    pub step: f64,\n    pub detect: Option<Detector>,\n    pub pairs: Vec<(u64, u64)>,\n}";
+        let p = parsed(src);
+        let Some(Item { kind: ItemKind::Struct { fields }, name, .. }) = p.items.first() else {
+            panic!("no struct: {:?}", p.items);
+        };
+        assert_eq!(name, "Config");
+        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["step", "detect", "pairs"]);
+        assert_eq!(fields[1].line, 3);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_named_fields() {
+        let p = parsed("struct A(u8, u8); struct B; struct C { x: u8 }");
+        assert_eq!(p.items.len(), 3);
+        assert!(matches!(&p.items[0].kind, ItemKind::Struct { fields } if fields.is_empty()));
+        assert!(matches!(&p.items[2].kind, ItemKind::Struct { fields } if fields.len() == 1));
+    }
+
+    #[test]
+    fn fns_capture_params_and_owner() {
+        let src = "impl Writer {\n    pub fn create(path: &Path, seed: u64, mut rows: usize) -> Result<Self, E> {\n        body();\n    }\n}\nfn free(x: f64) {}";
+        let p = parsed(src);
+        let create = p.items.iter().find(|i| i.name == "create").expect("create");
+        assert_eq!(create.owner.as_deref(), Some("Writer"));
+        let ItemKind::Fn { params, body } = &create.kind else { panic!() };
+        assert_eq!(params, &["path", "seed", "rows"]);
+        assert!(body.is_some());
+        let free = p.items.iter().find(|i| i.name == "free").expect("free");
+        assert_eq!(free.owner, None);
+    }
+
+    #[test]
+    fn impl_trait_for_type_resolves_the_type() {
+        let src = "impl<R: RngCore> Iterator for Counting<'_, R> { fn next(&mut self) -> Option<u8> { None } }";
+        let p = parsed(src);
+        let next = p.items.iter().find(|i| i.name == "next").expect("next");
+        assert_eq!(next.owner.as_deref(), Some("Counting"));
+    }
+
+    #[test]
+    fn crate_refs_see_use_and_paths_but_not_tests() {
+        let src =
+            "use comet_frame::Frame;\nfn f() { comet_par::run(); let r = rand::thread_rng; }\n";
+        let p = parsed(src);
+        assert!(p.crate_refs.contains("frame"));
+        assert!(p.crate_refs.contains("par"));
+        assert!(p.crate_refs.contains("rand"));
+        // Same source, everything marked test: no refs.
+        let none = parse(&lex(src.as_bytes()), &|_| true);
+        assert!(none.crate_refs.is_empty());
+    }
+
+    #[test]
+    fn a_local_named_rand_is_not_a_crate_ref() {
+        let p = parsed("fn f() { let rand = 3; let rand_state = rand + 1; }");
+        assert!(p.crate_refs.is_empty());
+    }
+
+    #[test]
+    fn format_captures_extract_idents() {
+        assert_eq!(format_captures("\"{config:?}|{errors:?}\""), ["config", "errors"]);
+        assert_eq!(format_captures("\"{a} {{esc}} {0} {b:>8}\""), ["a", "b"]);
+        assert!(format_captures("\"plain\"").is_empty());
+    }
+
+    #[test]
+    fn literal_inner_strips_delimiters() {
+        assert_eq!(literal_inner("\"kind\""), "kind");
+        assert_eq!(literal_inner("r#\"raw\"#"), "raw");
+        assert_eq!(literal_inner("b\"bytes\""), "bytes");
+    }
+
+    #[test]
+    fn parser_survives_malformed_input() {
+        for src in [
+            "struct",
+            "struct {",
+            "fn",
+            "fn (",
+            "impl",
+            "impl {",
+            "struct X {",
+            "fn f(x:",
+            "impl X { fn",
+            "struct X { y: }",
+        ] {
+            let _ = parsed(src);
+        }
+    }
+}

@@ -1,9 +1,16 @@
-//! The lexer and the full scan pipeline must be total: arbitrary byte soup
-//! (including invalid UTF-8, unterminated literals, and stray quotes) must
-//! never panic, and token/comment positions must stay in bounds.
+//! The lexer, the item parser, and the full lint pipeline must be total:
+//! arbitrary byte soup (including invalid UTF-8, unterminated literals, and
+//! stray quotes) must never panic, and token/item positions must stay in
+//! bounds.
 
+use comet_lint::config::Allowlist;
 use comet_lint::lexer::lex;
-use comet_lint::rules::{scan_file, FileContext};
+use comet_lint::parse::parse;
+use comet_lint::rules::{scan_file, FileContext, ScannedFile, Scope};
+
+fn soup_scope() -> Scope {
+    Scope::of(["ml", "core"])
+}
 
 proptest::proptest! {
     #![proptest_config(proptest::ProptestConfig::with_cases(256))]
@@ -22,15 +29,41 @@ proptest::proptest! {
     }
 
     #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in proptest::prop::collection::vec(0u8..=255u8, 0..512)) {
+        let lexed = lex(&bytes);
+        let parsed = parse(&lexed, &|_| false);
+        for item in &parsed.items {
+            proptest::prop_assert!(item.line >= 1);
+            if let comet_lint::parse::ItemKind::Fn { body: Some((open, close)), .. } = &item.kind {
+                proptest::prop_assert!(open <= close);
+                proptest::prop_assert!(*close < lexed.tokens.len());
+            }
+        }
+    }
+
+    #[test]
     fn scan_never_panics_on_arbitrary_bytes(bytes in proptest::prop::collection::vec(0u8..=255u8, 0..512)) {
         let ctx = FileContext {
             path: "crates/ml/src/soup.rs".to_string(),
             crate_name: "ml".to_string(),
         };
-        let findings = scan_file(&ctx, &bytes);
+        let findings = scan_file(&ctx, &bytes, &soup_scope());
         for f in &findings {
             proptest::prop_assert!(f.line >= 1);
         }
+    }
+
+    #[test]
+    fn full_pipeline_never_panics_on_arbitrary_bytes(bytes in proptest::prop::collection::vec(0u8..=255u8, 0..512)) {
+        // Mount the soup where the D7 fingerprint-coverage pass looks for the
+        // checkpoint builder so the graph analyses run on it too.
+        let ctx = FileContext {
+            path: "crates/core/src/checkpoint.rs".to_string(),
+            crate_name: "core".to_string(),
+        };
+        let file = ScannedFile::new(ctx, &bytes);
+        let report = comet_lint::lint_files(&[file], &Allowlist::default());
+        let _ = comet_lint::render_json(&report);
     }
 
     #[test]

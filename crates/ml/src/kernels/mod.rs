@@ -104,6 +104,7 @@ static TIER: AtomicU8 = AtomicU8::new(TIER_UNSET);
 /// first call; afterwards a relaxed atomic load.
 #[inline]
 pub fn tier() -> KernelTier {
+    // comet-lint: allow(D9) — single u8 flag, no dependent data; worst case is one redundant env re-read
     match TIER.load(Ordering::Relaxed) {
         TIER_SCALAR => KernelTier::Scalar,
         TIER_SIMD => KernelTier::Simd,
@@ -124,6 +125,7 @@ pub fn set_tier(t: KernelTier) {
         KernelTier::Scalar => TIER_SCALAR,
         KernelTier::Simd => TIER_SIMD,
     };
+    // comet-lint: allow(D9) — publishes a standalone u8; no other memory must become visible with it
     TIER.store(raw, Ordering::Relaxed);
 }
 

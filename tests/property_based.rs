@@ -158,8 +158,8 @@ proptest! {
             ..BlrConfig::default()
         });
         wide.fit(&xs, &ys).unwrap();
-        let pn = narrow.predict(x_query);
-        let pw = wide.predict(x_query);
+        let pn = narrow.predict(x_query).unwrap();
+        let pw = wide.predict(x_query).unwrap();
         prop_assert!(pn.lower <= pn.mean && pn.mean <= pn.upper);
         prop_assert!((pn.mean - pw.mean).abs() < 1e-9, "level must not shift the mean");
         prop_assert!(pw.uncertainty() >= pn.uncertainty());
